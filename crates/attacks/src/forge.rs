@@ -1,0 +1,116 @@
+//! Pre-computation, replay and result-forging attacks (paper §8).
+//!
+//! The checksum depends on an unpredictable fresh challenge, so recorded
+//! answers are worthless and intermediate values cannot be precomputed.
+//! The adversary here sits on the PCIe bus and replays the previous
+//! round's result for every later round.
+
+use sage::{GpuSession, SageError};
+use sage_gpu_sim::{BusTap, Device, DeviceConfig};
+use sage_vf::{expected_checksum, VfParams};
+
+use crate::Detection;
+
+/// A bus tap that records the first device-to-host transfer from the
+/// result area, then substitutes it into every later one.
+pub struct ReplayTap {
+    result_addr: u32,
+    recorded: Option<Vec<u8>>,
+    /// Number of readbacks substituted.
+    pub replays: u32,
+}
+
+impl ReplayTap {
+    /// Creates a tap for the VF's result area.
+    pub fn new(result_addr: u32) -> ReplayTap {
+        ReplayTap {
+            result_addr,
+            recorded: None,
+            replays: 0,
+        }
+    }
+}
+
+impl BusTap for ReplayTap {
+    fn on_d2h(&mut self, addr: u32, data: &mut Vec<u8>) {
+        if addr != self.result_addr {
+            return;
+        }
+        match &self.recorded {
+            None => self.recorded = Some(data.clone()),
+            Some(old) => {
+                *data = old.clone();
+                self.replays += 1;
+            }
+        }
+    }
+}
+
+/// Mounts the replay attack over `rounds` fresh-challenge rounds; returns
+/// the per-round detections (round 0 passes — it is the recording pass).
+pub fn replay_attack(
+    cfg: &DeviceConfig,
+    params: &VfParams,
+    rounds: usize,
+) -> Result<Vec<Detection>, SageError> {
+    let dev = Device::new(cfg.clone());
+    let mut session = GpuSession::install(dev, params, 0x4E94)?;
+    let result_addr = session.build().layout.result_addr();
+    session.dev.install_bus_tap(Box::new(ReplayTap::new(result_addr)));
+
+    let mut outcomes = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let ch: Vec<[u8; 16]> = (0..params.grid_blocks)
+            .map(|b| [(round as u8) ^ (b as u8) ^ 0x17; 16])
+            .collect();
+        let expected = expected_checksum(session.build(), &ch);
+        outcomes.push(crate::classify_round(
+            &mut session,
+            &ch,
+            expected,
+            u64::MAX,
+        ));
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replayed_results_fail_fresh_challenges() {
+        let params = VfParams::test_tiny();
+        let outcomes = replay_attack(&DeviceConfig::sim_tiny(), &params, 4).unwrap();
+        // Round 0 is recorded (honest), every later round replays a stale
+        // answer against a fresh challenge.
+        assert_eq!(outcomes[0], Detection::Undetected);
+        for (i, o) in outcomes.iter().enumerate().skip(1) {
+            assert_eq!(*o, Detection::WrongChecksum, "round {i}");
+        }
+    }
+
+    #[test]
+    fn same_challenge_replay_would_pass() {
+        // The dual: if the verifier reused a challenge, the replay would
+        // succeed — why challenges must be fresh and unpredictable.
+        let params = VfParams::test_tiny();
+        let dev = Device::new(DeviceConfig::sim_tiny());
+        let mut session = GpuSession::install(dev, &params, 0x4E94).unwrap();
+        let result_addr = session.build().layout.result_addr();
+        session
+            .dev
+            .install_bus_tap(Box::new(ReplayTap::new(result_addr)));
+        let ch: Vec<[u8; 16]> = (0..params.grid_blocks).map(|b| [b as u8; 16]).collect();
+        let expected = expected_checksum(session.build(), &ch);
+        assert_eq!(
+            crate::classify_round(&mut session, &ch, expected, u64::MAX),
+            Detection::Undetected
+        );
+        // Second round, *same* challenge: stale answer is still right.
+        assert_eq!(
+            crate::classify_round(&mut session, &ch, expected, u64::MAX),
+            Detection::Undetected
+        );
+    }
+}

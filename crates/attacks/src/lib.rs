@@ -1,0 +1,63 @@
+//! The SAGE adversary library: every attack class from the paper's
+//! security analysis (§8), implemented against the simulated device so
+//! that detection — or the documented residual risk — is demonstrated by
+//! executable tests and the robustness benchmarks.
+//!
+//! | Paper attack (§8)            | Module                |
+//! |------------------------------|-----------------------|
+//! | instruction injection (exp 2)| [`nop`]               |
+//! | data substitution            | [`datasub`]           |
+//! | memory copy (b)(c)(d), Fig. 7| [`memcopy`]           |
+//! | resource takeover            | [`takeover`]          |
+//! | proxy attacks                | [`proxy`]             |
+//! | pre-computation / replay     | [`forge`]             |
+//! | LEPC constant substitution   | [`lepc`]              |
+//!
+//! Each attack operates through capabilities the threat model grants the
+//! adversary (§3.3): direct MMIO access to device memory
+//! ([`sage_gpu_sim::Device::poke`]), a PCIe interposer
+//! ([`sage_gpu_sim::BusTap`]), malicious kernel launches, and full
+//! control of the untrusted host software.
+
+pub mod datasub;
+pub mod forge;
+pub mod lepc;
+pub mod memcopy;
+pub mod nop;
+pub mod proxy;
+pub mod takeover;
+
+use sage::GpuSession;
+
+/// Outcome of mounting an attack against a verification round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Detection {
+    /// The checksum value did not match the verifier's replay.
+    WrongChecksum,
+    /// The checksum was correct but arrived after the threshold.
+    TooSlow,
+    /// The attack was not detected (documented residual risk only).
+    Undetected,
+}
+
+/// Runs one verification round against a (possibly tampered) session and
+/// classifies the outcome against `expected` and `threshold`.
+pub fn classify_round(
+    session: &mut GpuSession,
+    challenges: &[[u8; 16]],
+    expected: [u32; 8],
+    threshold: u64,
+) -> Detection {
+    match session.run_checksum(challenges) {
+        Err(_) => Detection::WrongChecksum, // faulting device = failed attestation
+        Ok((got, measured)) => {
+            if got != expected {
+                Detection::WrongChecksum
+            } else if measured > threshold {
+                Detection::TooSlow
+            } else {
+                Detection::Undetected
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Memory-copy attacks (paper §8, Fig. 7).
+//!
+//! - **Variant (b)**: the adversary modifies the code in place and
+//!   redirects the checksum traversal to a pristine copy of the region
+//!   stashed at a different address ("PC correct, DP different"). The
+//!   fold includes the absolute data pointer, so the redirect itself
+//!   changes the checksum → detected.
+//! - **Variants (c)/(d)** degenerate, in a fully consistent form, into
+//!   the *deep memory copy*: relocate everything and patch every
+//!   absolute reference. As the paper itself states, a deep copy
+//!   "modif\[ies\] the position of the checksum function in the memory,
+//!   but not its functionality. Thus, this is not considered a memory
+//!   copy attack" — it is the documented residual. [`deep_copy_attack`]
+//!   demonstrates it passing, and the partial (inconsistent) variants
+//!   failing.
+
+use sage::{GpuSession, SageError};
+use sage_gpu_sim::{BusTap, Device, DeviceConfig, LaunchParams};
+use sage_isa::{encode, Opcode, INSN_BYTES};
+#[cfg(test)]
+use sage_isa::Operand;
+use sage_vf::{expected_checksum, VfParams};
+
+use crate::Detection;
+
+/// Rewrites, in an encoded code image, every immediate equal to
+/// `old` on instructions with opcode `op`, to `new`. Returns the number
+/// of patches.
+pub fn patch_immediates(image: &mut [u8], op: Opcode, old: u32, new: u32) -> usize {
+    let mut patched = 0;
+    for chunk in image.chunks_exact_mut(INSN_BYTES) {
+        let mut word = [0u8; INSN_BYTES];
+        word.copy_from_slice(chunk);
+        if let Ok(insn) = encode::decode_bytes(&word) {
+            if insn.op == op && insn.immediate() == Some(old) {
+                encode::patch_immediate_bytes(&mut word, new);
+                chunk.copy_from_slice(&word);
+                patched += 1;
+            }
+        }
+    }
+    patched
+}
+
+/// A bus tap that rewrites uploads targeting the executable-copy area:
+/// the adversary's persistent in-line modification of the code the warps
+/// execute (survives the verifier's per-run repair upload).
+struct ExecPatcher {
+    exec_base: u32,
+    exec_len: u32,
+    op: Opcode,
+    old: u32,
+    new: u32,
+}
+
+impl BusTap for ExecPatcher {
+    fn on_h2d(&mut self, addr: u32, data: &mut Vec<u8>) {
+        if addr >= self.exec_base && addr < self.exec_base + self.exec_len {
+            patch_immediates(data, self.op, self.old, self.new);
+        }
+    }
+}
+
+/// Mounts variant (b): stash a pristine copy of the static region at a
+/// fresh address, tamper the original region, and redirect the
+/// traversal's base immediates in the executing loop copies to the
+/// pristine copy.
+pub fn variant_b(cfg: &DeviceConfig, params: &VfParams) -> Result<Detection, SageError> {
+    let dev = Device::new(cfg.clone());
+    let mut session = GpuSession::install(dev, params, 0xB00B)?;
+    let layout = session.build().layout;
+    let expected = expected_checksum(session.build(), &challenge(params.grid_blocks));
+
+    // 1. Pristine copy of the static region elsewhere in device memory.
+    let copy_base = session.dev.alloc(layout.data_bytes)?;
+    let pristine = session.dev.peek(layout.base, layout.data_bytes)?;
+    session.dev.poke(copy_base, &pristine)?;
+
+    // 2. Tamper the original region (the adversary's payload byte).
+    let t = layout.base + layout.fill_off + 128;
+    session.dev.poke(t, &[0xEE])?;
+
+    // 3. Redirect the executing loops' traversal base to the pristine
+    //    copy — on every (re-)upload of the executable copies.
+    session.dev.install_bus_tap(Box::new(ExecPatcher {
+        exec_base: layout.base + layout.exec_loops_off,
+        exec_len: layout.loop_bytes * layout.num_blocks,
+        op: Opcode::Lea,
+        old: layout.base,
+        new: copy_base,
+    }));
+
+    let ch = challenge(params.grid_blocks);
+    Ok(crate::classify_round(
+        &mut session,
+        &ch,
+        expected,
+        u64::MAX,
+    ))
+}
+
+/// Relocation info produced by [`relocate_image`].
+pub struct Relocated {
+    /// New base address.
+    pub base: u32,
+    /// Patches applied (for diagnostics).
+    pub patches: usize,
+}
+
+/// Builds a fully consistent relocated copy of the VF image at a fresh
+/// allocation: every absolute self-reference (entry dispatch, loop back
+/// edges, epilog branch) is retargeted to the copy, while references to
+/// verifier-visible state (region base, challenges, results) keep
+/// pointing at the original, so the computation is bit-identical.
+pub fn relocate_image(
+    session: &mut GpuSession,
+    tamper_relocated_fill: bool,
+) -> Result<Relocated, SageError> {
+    let layout = session.build().layout;
+    let new_base = session.dev.alloc(layout.total_bytes)?;
+    let mut image = session.dev.peek(layout.base, layout.total_bytes)?;
+    let mut patches = 0;
+
+    // Init: MOV R16, Imm(exec_loops_abs) → relocated loops.
+    patches += patch_immediates(
+        &mut image[..layout.epilog_off as usize],
+        Opcode::Mov,
+        layout.base + layout.exec_loops_off,
+        new_base + layout.exec_loops_off,
+    );
+    // Loop copies (reference image and executable copies): BRA epilog.
+    let epilog_old = layout.base + layout.epilog_off;
+    let epilog_new = new_base + layout.epilog_off;
+    patches += patch_immediates(&mut image, Opcode::Bra, epilog_old, epilog_new);
+
+    if tamper_relocated_fill {
+        // The "inconsistent deep copy": the relocated traversal input is
+        // modified. The traversal still reads the ORIGINAL region (the
+        // region-base immediates were deliberately not retargeted), so
+        // tampering the relocated fill has no effect on the value — this
+        // flag exists to document that only the original matters.
+        let off = (layout.fill_off + 64) as usize;
+        image[off] ^= 0xFF;
+    }
+
+    session.dev.poke(new_base, &image)?;
+    Ok(Relocated {
+        base: new_base,
+        patches,
+    })
+}
+
+/// Runs one verification round against the *relocated* VF: the malicious
+/// host launches the copy but reports timing honestly. Returns the
+/// detection outcome.
+///
+/// This is the deep-memory-copy residual: the relocated VF computes the
+/// identical function over the identical (original) region, so both the
+/// value and the time are correct. The paper excludes this from the
+/// memory-copy attack class (§8).
+pub fn deep_copy_attack(
+    cfg: &DeviceConfig,
+    params: &VfParams,
+) -> Result<(Detection, u64), SageError> {
+    let dev = Device::new(cfg.clone());
+    let mut session = GpuSession::install(dev, params, 0xDEE9)?;
+    let layout = session.build().layout;
+    let ch = challenge(params.grid_blocks);
+    let expected = expected_checksum(session.build(), &ch);
+
+    // Honest baseline threshold from a handful of genuine runs.
+    let mut samples = Vec::new();
+    for _ in 0..6 {
+        let (_, t) = session.run_checksum(&ch)?;
+        samples.push(t);
+    }
+    let threshold = sage::Calibration::from_samples(&samples).threshold();
+
+    let relocated = relocate_image(&mut session, false)?;
+
+    // Malicious host runtime: replicate the driver flow but enter at the
+    // relocated image.
+    session.dev.memcpy_h2d(layout.result_addr(), &[0u8; 32])?;
+    session.dev.take_bus_cycles();
+    for (b, c) in ch.iter().enumerate() {
+        session
+            .dev
+            .memcpy_h2d(layout.challenge_addr(b as u32), c)?;
+    }
+    let (report, _) = session.dev.run_single(LaunchParams {
+        ctx: session.ctx,
+        entry_pc: relocated.base, // ← the relocated init
+        grid_dim: params.grid_blocks,
+        block_dim: params.block_threads,
+        regs_per_thread: session.build().regs_per_thread(),
+        smem_bytes: session.build().smem_bytes(),
+        params: vec![],
+    })?;
+    let raw = session.dev.memcpy_d2h(layout.result_addr(), 32)?;
+    let measured = session.dev.take_bus_cycles() + report.completion_cycle;
+    let mut got = [0u32; 8];
+    for (j, cell) in got.iter_mut().enumerate() {
+        *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().expect("4 bytes"));
+    }
+
+    let detection = if got != expected {
+        Detection::WrongChecksum
+    } else if measured > threshold {
+        Detection::TooSlow
+    } else {
+        Detection::Undetected
+    };
+    Ok((detection, relocated.patches as u64))
+}
+
+fn challenge(blocks: u32) -> Vec<[u8; 16]> {
+    (0..blocks).map(|b| [0x5A ^ b as u8; 16]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_b_detected_via_data_pointer() {
+        let mut params = VfParams::test_tiny();
+        params.iterations = 10;
+        let det = variant_b(&DeviceConfig::sim_tiny(), &params).unwrap();
+        // The redirect changes every folded absolute address → wrong
+        // checksum on the very first iteration.
+        assert_eq!(det, Detection::WrongChecksum);
+    }
+
+    #[test]
+    fn deep_copy_is_the_documented_residual() {
+        let params = VfParams::test_tiny();
+        let (det, patches) = deep_copy_attack(&DeviceConfig::sim_tiny(), &params).unwrap();
+        assert!(patches > 0, "relocation must have patched something");
+        // A fully consistent deep copy computes the identical function:
+        // it passes, exactly as the paper's §8 concedes ("not considered
+        // a memory copy attack").
+        assert_eq!(det, Detection::Undetected);
+    }
+
+    #[test]
+    fn patch_immediates_is_precise() {
+        let mut b = sage_isa::ProgramBuilder::new();
+        b.mov(sage_isa::Reg(1), Operand::Imm(0x1000));
+        b.mov(sage_isa::Reg(2), Operand::Imm(0x2000));
+        b.lea(sage_isa::Reg(3), sage_isa::Reg(1), Operand::Imm(0x1000), 2);
+        let prog = b.build().unwrap();
+        let mut img = prog.encode();
+        // Only the MOV with imm 0x1000 is patched, not the LEA.
+        assert_eq!(patch_immediates(&mut img, Opcode::Mov, 0x1000, 0x9999), 1);
+        let back = sage_isa::Program::decode(&img).unwrap();
+        assert_eq!(back.insns[0].immediate(), Some(0x9999));
+        assert_eq!(back.insns[1].immediate(), Some(0x2000));
+        assert_eq!(back.insns[2].immediate(), Some(0x1000));
+    }
+}

@@ -1,0 +1,161 @@
+//! Instruction-injection attack (paper experiment 2, §7.2).
+//!
+//! The adversary inserts instructions into the checksum loop (to make
+//! room for malicious work) while keeping the computed value correct.
+//! The defence is purely temporal: over `iterations` loop passes even a
+//! single extra NOP accumulates a delay that exceeds the verifier's
+//! `T_avg + 2.5σ` threshold — the paper demonstrates
+//! `T_min(injected) > T_avg + 2.5σ` over 100 runs.
+
+use sage::{timing::Calibration, GpuSession, SageError};
+use sage_gpu_sim::{Device, DeviceConfig};
+use sage_vf::{expected_checksum, VfParams};
+
+/// Result of the injection experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct NopExperiment {
+    /// Calibration of the genuine VF.
+    pub calibration: Calibration,
+    /// Minimum runtime of the injected VF over all runs.
+    pub t_min_injected: u64,
+    /// Mean runtime of the injected VF.
+    pub t_avg_injected: f64,
+    /// Number of injected NOPs per loop pass.
+    pub nops: usize,
+    /// `true` when every injected run exceeded the threshold
+    /// (`T_min > T_avg + 2.5σ`).
+    pub always_detected: bool,
+}
+
+/// A compact *port-bound* configuration for timing experiments: one SM
+/// at full occupancy, so every injected instruction consumes real issue
+/// slots (at low occupancy the scheduler hides single instructions behind
+/// memory stalls and the experiment needs the paper's 100 000-iteration
+/// scale to separate).
+pub fn timing_test_setup() -> (DeviceConfig, VfParams) {
+    let mut cfg = DeviceConfig::sim_large();
+    cfg.num_sms = 1;
+    cfg.lat.gmem_min = 190;
+    cfg.lat.gmem_jitter = 50;
+    let params = VfParams {
+        data_bytes: 128 * 1024,
+        unroll: 8,
+        pattern_pairs: 12,
+        iterations: 150,
+        smc: sage_vf::SmcMode::Off,
+        inner: None,
+        grid_blocks: 2,
+        block_threads: 512,
+        naive_schedule: false,
+        injected_nops: 0,
+    };
+    (cfg, params)
+}
+
+fn challenge_set(blocks: u32, run: u64) -> Vec<[u8; 16]> {
+    (0..blocks)
+        .map(|b| {
+            let mut c = [0u8; 16];
+            for (i, byte) in c.iter_mut().enumerate() {
+                let x = sage_vf::spec::splitmix32(
+                    (run as u32) ^ (b << 8) ^ ((i as u32) << 16) ^ 0xA77A_C4ED,
+                );
+                *byte = x as u8;
+            }
+            c
+        })
+        .collect()
+}
+
+/// Runs `runs` timed checksum exchanges on a fresh session and returns
+/// the samples (each verified against the replay).
+pub fn timing_samples(
+    cfg: &DeviceConfig,
+    params: &VfParams,
+    fill_seed: u32,
+    runs: usize,
+) -> Result<Vec<u64>, SageError> {
+    let dev = Device::new(cfg.clone());
+    let mut session = GpuSession::install(dev, params, fill_seed)?;
+    let mut samples = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let ch = challenge_set(params.grid_blocks, run as u64);
+        let (got, measured) = session.run_checksum(&ch)?;
+        let expected = expected_checksum(session.build(), &ch);
+        if got != expected {
+            return Err(SageError::ChecksumMismatch { got, expected });
+        }
+        samples.push(measured);
+    }
+    Ok(samples)
+}
+
+/// Runs the full experiment: calibrate the genuine VF, then measure the
+/// NOP-injected variant and test the paper's detection condition.
+pub fn run_nop_experiment(
+    cfg: &DeviceConfig,
+    params: &VfParams,
+    nops: usize,
+    runs: usize,
+) -> Result<NopExperiment, SageError> {
+    let genuine = timing_samples(cfg, params, 0x5EED, runs)?;
+    let calibration = Calibration::from_samples(&genuine);
+
+    let mut injected_params = *params;
+    injected_params.injected_nops = nops;
+    let injected = timing_samples(cfg, &injected_params, 0x5EED, runs)?;
+    let t_min = *injected.iter().min().expect("runs > 0");
+    let t_avg = injected.iter().map(|&s| s as f64).sum::<f64>() / injected.len() as f64;
+
+    Ok(NopExperiment {
+        calibration,
+        t_min_injected: t_min,
+        t_avg_injected: t_avg,
+        nops,
+        always_detected: t_min > calibration.threshold(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_nop_is_always_detected() {
+        let (cfg, params) = timing_test_setup();
+        let exp = run_nop_experiment(&cfg, &params, 1, 6).unwrap();
+        assert!(
+            exp.always_detected,
+            "T_min {} must exceed threshold {} (T_avg {} σ {})",
+            exp.t_min_injected,
+            exp.calibration.threshold(),
+            exp.calibration.t_avg,
+            exp.calibration.sigma,
+        );
+    }
+
+    #[test]
+    fn more_nops_cost_more() {
+        let (cfg, mut params) = timing_test_setup();
+        params.iterations = 50;
+        let few = run_nop_experiment(&cfg, &params, 1, 4).unwrap();
+        let many = run_nop_experiment(&cfg, &params, 16, 4).unwrap();
+        assert!(
+            many.t_avg_injected > few.t_avg_injected,
+            "{} vs {}",
+            many.t_avg_injected,
+            few.t_avg_injected
+        );
+    }
+
+    #[test]
+    fn genuine_runs_pass() {
+        let (cfg, mut params) = timing_test_setup();
+        params.iterations = 30;
+        let samples = timing_samples(&cfg, &params, 1, 6).unwrap();
+        let c = Calibration::from_samples(&samples);
+        // All calibration samples are within their own threshold except
+        // possibly outliers; the threshold must at least admit the mean.
+        assert!(c.accepts(c.t_avg as u64));
+    }
+}

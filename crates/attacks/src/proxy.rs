@@ -1,0 +1,116 @@
+//! Proxy attacks (paper §8): the adversary forwards the challenge to a
+//! different (possibly faster) GPU and relays the answer.
+//!
+//! A remote proxy pays the network round trip on every exchange; the
+//! verifier defeats it by tuning the iteration count so the detection
+//! margin (`2.5σ`) is smaller than any plausible network latency. A
+//! faster GPU can only win if its compute advantage exceeds that round
+//! trip — the crossover this module measures.
+
+use sage::{GpuSession, SageError};
+use sage_gpu_sim::{Device, DeviceConfig};
+use sage_vf::{expected_checksum, VfParams};
+
+use crate::Detection;
+
+/// Result of a proxy attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyOutcome {
+    /// Detection verdict.
+    pub detection: Detection,
+    /// Cycles measured by the verifier (proxy compute + network).
+    pub measured: u64,
+    /// The verifier threshold.
+    pub threshold: u64,
+}
+
+/// Mounts a proxy attack: calibrate on the genuine device, then answer a
+/// round from a proxy device (`proxy_cfg`) across `network_latency`
+/// cycles each way.
+pub fn proxy_attack(
+    genuine_cfg: &DeviceConfig,
+    proxy_cfg: &DeviceConfig,
+    params: &VfParams,
+    network_latency: u64,
+) -> Result<ProxyOutcome, SageError> {
+    let ch: Vec<[u8; 16]> = (0..params.grid_blocks).map(|b| [b as u8 ^ 0x99; 16]).collect();
+
+    // Calibration on the genuine device.
+    let dev = Device::new(genuine_cfg.clone());
+    let mut genuine = GpuSession::install(dev, params, 0x9409)?;
+    let expected = expected_checksum(genuine.build(), &ch);
+    let mut samples = Vec::new();
+    for _ in 0..8 {
+        let (_, t) = genuine.run_checksum(&ch)?;
+        samples.push(t);
+    }
+    let threshold = sage::Calibration::from_samples(&samples).threshold();
+
+    // The proxy computes the genuine answer on its own hardware.
+    let dev = Device::new(proxy_cfg.clone());
+    let mut proxy = GpuSession::install(dev, params, 0x9409)?;
+    let (got, proxy_cycles) = proxy.run_checksum(&ch)?;
+    let measured = proxy_cycles + 2 * network_latency;
+
+    let detection = if got != expected {
+        Detection::WrongChecksum
+    } else if measured > threshold {
+        Detection::TooSlow
+    } else {
+        Detection::Undetected
+    };
+    Ok(ProxyOutcome {
+        detection,
+        measured,
+        threshold,
+    })
+}
+
+/// A "faster GPU" configuration: same architecture, 25% lower memory and
+/// fetch latencies (an optimistic bound for one hardware generation).
+pub fn faster_gpu(base: &DeviceConfig) -> DeviceConfig {
+    let mut cfg = base.clone();
+    cfg.lat.gmem_min = cfg.lat.gmem_min * 3 / 4;
+    cfg.lat.gmem_jitter = cfg.lat.gmem_jitter * 3 / 4;
+    cfg.lat.ifetch_mem = cfg.lat.ifetch_mem * 3 / 4;
+    cfg.lat.smem = cfg.lat.smem * 3 / 4;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> VfParams {
+        let mut p = VfParams::test_tiny();
+        p.iterations = 30;
+        p
+    }
+
+    #[test]
+    fn same_speed_proxy_is_caught_by_network_latency() {
+        let cfg = DeviceConfig::sim_tiny();
+        // A datacenter round trip (~50 µs ≈ 70k cycles at 1.41 GHz) is
+        // far above the jitter margin.
+        let out = proxy_attack(&cfg, &cfg, &params(), 70_000).unwrap();
+        assert_eq!(out.detection, Detection::TooSlow, "{out:?}");
+    }
+
+    #[test]
+    fn faster_proxy_with_tiny_latency_may_succeed() {
+        // The cautionary half of the paper's argument: if the network is
+        // faster than the compute advantage margin, a faster GPU slips
+        // under the threshold — which is why iteration counts must be
+        // tuned so the threshold is tighter than any real latency.
+        let cfg = DeviceConfig::sim_tiny();
+        let out = proxy_attack(&cfg, &faster_gpu(&cfg), &params(), 0).unwrap();
+        assert_eq!(out.detection, Detection::Undetected, "{out:?}");
+    }
+
+    #[test]
+    fn faster_proxy_still_caught_beyond_real_latency() {
+        let cfg = DeviceConfig::sim_tiny();
+        let out = proxy_attack(&cfg, &faster_gpu(&cfg), &params(), 70_000).unwrap();
+        assert_eq!(out.detection, Detection::TooSlow, "{out:?}");
+    }
+}

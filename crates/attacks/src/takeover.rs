@@ -1,0 +1,157 @@
+//! Resource-takeover attack (paper §8): the adversary dispatches its own
+//! kernel while the checksum runs, hoping to steal compute for free.
+//!
+//! The VF occupies every SM at full thread and register occupancy, so an
+//! adversarial kernel either queues behind the VF's blocks (visibly
+//! delaying the checksum) or cannot be placed at all. The attack is
+//! detected by timing.
+
+use sage::{GpuSession, SageError};
+use sage_gpu_sim::{Device, DeviceConfig, LaunchParams};
+use sage_isa::{CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg};
+use sage_vf::{expected_checksum, VfParams};
+
+use crate::Detection;
+
+/// Builds a spin kernel that burns `iters` ALU iterations per thread.
+pub fn spin_kernel(iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(1), Operand::Imm(0));
+    b.label("spin");
+    b.ctrl(CtrlInfo::stall(1));
+    b.iadd3(Reg(2), Reg(2), Operand::Imm(0x1234), Reg::RZ);
+    b.ctrl(CtrlInfo::stall(1));
+    b.lea_hi(Reg(3), Reg(3), Reg(2).into(), 3);
+    b.ctrl(CtrlInfo::stall(4));
+    b.iadd3(Reg(1), Reg(1), Operand::Imm(1), Reg::RZ);
+    b.ctrl(CtrlInfo::stall(4));
+    b.isetp(PredReg(0), CmpOp::Lt, Reg(1), Operand::Imm(iters));
+    b.pred(Pred::on(PredReg(0)));
+    b.bra("spin");
+    b.exit();
+    b.build().expect("labels resolve")
+}
+
+/// Runs one verification round with an adversarial kernel co-dispatched
+/// on the same device. Returns the detection outcome and the measured
+/// time of the attacked round.
+pub fn takeover_round(
+    cfg: &DeviceConfig,
+    params: &VfParams,
+    spin_iters: u32,
+    spin_blocks: u32,
+) -> Result<(Detection, u64, u64), SageError> {
+    let dev = Device::new(cfg.clone());
+    let mut session = GpuSession::install(dev, params, 0x7A4E)?;
+    let ch: Vec<[u8; 16]> = (0..params.grid_blocks).map(|b| [b as u8 | 0x40; 16]).collect();
+    let expected = expected_checksum(session.build(), &ch);
+
+    // Honest calibration.
+    let mut samples = Vec::new();
+    for _ in 0..6 {
+        let (_, t) = session.run_checksum(&ch)?;
+        samples.push(t);
+    }
+    let threshold = sage::Calibration::from_samples(&samples).threshold();
+
+    // Malicious host runtime: co-dispatch the adversary kernel with the
+    // checksum launch (the VF's blocks are queued first, but the
+    // adversary's blocks compete for SM residency as VF blocks retire —
+    // and on any SM where they land first, the VF waits).
+    let layout = session.build().layout;
+    let mut spin = spin_kernel(spin_iters);
+    let spin_base = session.dev.alloc(spin.byte_len() as u32)?;
+    spin.relocate(spin_base);
+    session.dev.poke(spin_base, &spin.encode())?;
+
+    // Restore/reset as the driver would.
+    let exec_off = layout.exec_loops_off as usize;
+    let exec_len = (layout.loop_bytes * layout.num_blocks) as usize;
+    let exec_img = session.build().image[exec_off..exec_off + exec_len].to_vec();
+    session
+        .dev
+        .memcpy_h2d(layout.base + layout.exec_loops_off, &exec_img)?;
+    session.dev.memcpy_h2d(layout.result_addr(), &[0u8; 32])?;
+    session.dev.take_bus_cycles();
+    for (b, c) in ch.iter().enumerate() {
+        session.dev.memcpy_h2d(layout.challenge_addr(b as u32), c)?;
+    }
+    // The adversary's kernel is queued *before* the VF (it controls the
+    // command stream order).
+    session.dev.launch(LaunchParams {
+        ctx: session.ctx,
+        entry_pc: spin_base,
+        grid_dim: spin_blocks,
+        block_dim: 256,
+        regs_per_thread: 16,
+        smem_bytes: 0,
+        params: vec![],
+    })?;
+    let vf_id = session.dev.launch(LaunchParams {
+        ctx: session.ctx,
+        entry_pc: layout.entry_addr(),
+        grid_dim: params.grid_blocks,
+        block_dim: params.block_threads,
+        regs_per_thread: session.build().regs_per_thread(),
+        smem_bytes: session.build().smem_bytes(),
+        params: vec![],
+    })?;
+    let report = session.dev.run()?;
+    let raw = session.dev.memcpy_d2h(layout.result_addr(), 32)?;
+    let measured =
+        session.dev.take_bus_cycles() + report.launches[vf_id].completion_cycle;
+
+    let mut got = [0u32; 8];
+    for (j, cell) in got.iter_mut().enumerate() {
+        *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let detection = if got != expected {
+        Detection::WrongChecksum
+    } else if measured > threshold {
+        Detection::TooSlow
+    } else {
+        Detection::Undetected
+    };
+    Ok((detection, measured, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn co_running_kernel_delays_the_checksum() {
+        let mut params = VfParams::test_tiny();
+        params.iterations = 8;
+        let (det, measured, threshold) =
+            takeover_round(&DeviceConfig::sim_tiny(), &params, 3000, 2).unwrap();
+        assert_eq!(
+            det,
+            Detection::TooSlow,
+            "measured {measured} threshold {threshold}"
+        );
+    }
+
+    #[test]
+    fn spin_kernel_runs_standalone() {
+        let mut dev = Device::new(DeviceConfig::sim_tiny());
+        let ctx = dev.create_context();
+        let mut k = spin_kernel(100);
+        let base = dev.alloc(k.byte_len() as u32).unwrap();
+        k.relocate(base);
+        dev.poke(base, &k.encode()).unwrap();
+        let (report, _) = dev
+            .run_single(LaunchParams {
+                ctx,
+                entry_pc: base,
+                grid_dim: 1,
+                block_dim: 32,
+                regs_per_thread: 16,
+                smem_bytes: 0,
+                params: vec![],
+            })
+            .unwrap();
+        assert!(report.completion_cycle > 100);
+    }
+}

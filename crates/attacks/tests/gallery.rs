@@ -1,0 +1,101 @@
+//! The full §8 attack gallery, driven through the public API in one
+//! integration pass — the executable counterpart of the paper's security
+//! analysis table (see EXPERIMENTS.md).
+
+use sage_attacks::{datasub, forge, memcopy, proxy, takeover, Detection};
+use sage_gpu_sim::DeviceConfig;
+use sage_vf::VfParams;
+
+fn params() -> VfParams {
+    let mut p = VfParams::test_tiny();
+    p.iterations = 20;
+    p
+}
+
+#[test]
+fn every_value_attack_breaks_the_checksum() {
+    let cfg = DeviceConfig::sim_tiny();
+    // Data substitution without monitoring.
+    assert_eq!(
+        datasub::naive_tamper(&cfg, &params(), 256).unwrap(),
+        Detection::WrongChecksum
+    );
+    // Memory copy (b): traversal redirect.
+    assert_eq!(
+        memcopy::variant_b(&cfg, &params()).unwrap(),
+        Detection::WrongChecksum
+    );
+    // Replay of a stale checksum against fresh challenges.
+    let outcomes = forge::replay_attack(&cfg, &params(), 3).unwrap();
+    assert!(outcomes[1..]
+        .iter()
+        .all(|&o| o == Detection::WrongChecksum));
+}
+
+#[test]
+fn every_timing_attack_breaks_the_threshold() {
+    // Resource takeover.
+    let mut p = params();
+    p.iterations = 8;
+    let (det, _, _) =
+        takeover::takeover_round(&DeviceConfig::sim_tiny(), &p, 3000, 2).unwrap();
+    assert_eq!(det, Detection::TooSlow);
+
+    // Remote proxy.
+    let cfg = DeviceConfig::sim_tiny();
+    let out = proxy::proxy_attack(&cfg, &cfg, &params(), 70_000).unwrap();
+    assert_eq!(out.detection, Detection::TooSlow);
+}
+
+#[test]
+fn image_audit_pinpoints_the_tamper_after_detection() {
+    // Forensics: after a WrongChecksum verdict, the verifier dumps the
+    // device image and the audit localizes the modification.
+    use sage::GpuSession;
+    use sage_gpu_sim::Device;
+
+    let p = params();
+    let dev = Device::new(DeviceConfig::sim_tiny());
+    let mut session = GpuSession::install(dev, &p, 0xF0F0).unwrap();
+    let layout = session.build().layout;
+
+    // Adversary pokes the epilog (executed + checksummed).
+    session
+        .dev
+        .poke(layout.base + layout.epilog_off + 32, &[0x13])
+        .unwrap();
+
+    let dump = session
+        .dev
+        .peek(layout.base, layout.total_bytes)
+        .unwrap();
+    let findings = session.build().audit_image(&dump);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].contains("epilog"), "{findings:?}");
+}
+
+#[test]
+fn detection_enum_is_ordered_by_severity_of_evidence() {
+    // classify_round never reports Undetected when the value mismatches,
+    // even if the timing is also over threshold (value evidence wins).
+    use sage::GpuSession;
+    use sage_gpu_sim::Device;
+    use sage_vf::expected_checksum;
+
+    let p = params();
+    let dev = Device::new(DeviceConfig::sim_tiny());
+    let mut session = GpuSession::install(dev, &p, 0xBEAD).unwrap();
+    let ch: Vec<[u8; 16]> = (0..p.grid_blocks).map(|b| [b as u8; 16]).collect();
+    let expected = expected_checksum(session.build(), &ch);
+
+    // Tamper value AND set an impossible threshold of 0.
+    let layout = session.build().layout;
+    for w in 0..32u32 {
+        session
+            .dev
+            .poke(layout.base + layout.fill_off + w * 128, &[0xEE])
+            .unwrap();
+    }
+    let det = sage_attacks::classify_round(&mut session, &ch, expected, 0);
+    assert_eq!(det, Detection::WrongChecksum);
+}

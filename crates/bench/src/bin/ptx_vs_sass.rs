@@ -1,0 +1,55 @@
+//! Reproduces the §7.1 comparison: the optimized microcode schedule vs
+//! the "PTXAS with maximum optimization" compiler-style schedule of the
+//! same checksum function. The paper measures the optimized version
+//! ~230% faster (≈ 2.3×).
+
+use sage_bench::{bench_device, experiments, measure, print_table};
+
+fn main() {
+    let cfg = bench_device();
+    eprintln!("running §7.1 schedule comparison on {} …", cfg.name);
+
+    let opt = measure(&cfg, &experiments::exp1(&cfg), "optimized microcode", 4)
+        .expect("optimized run");
+    let naive = measure(&cfg, &experiments::exp1_naive(&cfg), "compiler-style (PTX)", 3)
+        .expect("naive run");
+
+    let rows = vec![
+        (
+            "optimized microcode".to_string(),
+            vec![
+                format!("{:.0}", opt.t_avg()),
+                format!("{:.0}%", opt.utilization * 100.0),
+                opt.loop_instructions.to_string(),
+                "32".to_string(),
+            ],
+        ),
+        (
+            "compiler-style".to_string(),
+            vec![
+                format!("{:.0}", naive.t_avg()),
+                format!("{:.0}%", naive.utilization * 100.0),
+                naive.loop_instructions.to_string(),
+                "64 (spills)".to_string(),
+            ],
+        ),
+    ];
+    print_table(
+        "§7.1: schedule comparison",
+        &[
+            "Tavg [cyc]".into(),
+            "% peak".into(),
+            "loop insns".into(),
+            "regs/thread".into(),
+        ],
+        &rows,
+    );
+    let speedup = naive.t_avg() / opt.t_avg();
+    println!(
+        "\noptimized is {speedup:.2}x faster than the compiler-style schedule \
+         (paper: ~2.3x).\n\
+         The gap comes from dual-pipe interleaving, scoreboarded loads hidden\n\
+         behind the busy-wait pattern, tight stall fields, and full occupancy\n\
+         (the compiler-style build spills registers and halves occupancy)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Reproduces §7.2 "Attack Robustness": the detection-threshold analysis.
+//!
+//! Measures the genuine runtime distribution over repeated runs, sets the
+//! threshold at `T_avg + 2.5σ`, and checks that the minimum runtime of
+//! the adversarial-NOP build exceeds it — plus an empirical
+//! false-positive rate (the paper predicts ≈ 0.5% at 2.5σ).
+
+use sage::Calibration;
+use sage_attacks::nop::timing_samples;
+use sage_bench::{bench_device, experiments, print_table};
+
+fn main() {
+    let cfg = bench_device();
+    let runs = std::env::var("SAGE_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20usize);
+    // Full-occupancy geometry (as Table 1): the NOP's issue slots are
+    // only visible when the schedulers are port-bound.
+    let mut params = experiments::exp1(&cfg);
+    params.iterations = 60;
+
+    eprintln!("robustness: {runs} genuine + {runs} adversarial runs…");
+    let genuine = timing_samples(&cfg, &params, 0x0B0B, runs).expect("genuine runs");
+    let calib = Calibration::from_samples(&genuine);
+
+    let mut adv = params;
+    adv.injected_nops = 1;
+    let injected = timing_samples(&cfg, &adv, 0x0B0B, runs).expect("adversarial runs");
+    let t_min = *injected.iter().min().expect("non-empty");
+    let adv_mean = injected.iter().map(|&s| s as f64).sum::<f64>() / injected.len() as f64;
+
+    let rows = vec![
+        (
+            "genuine".to_string(),
+            vec![
+                format!("{:.0}", calib.t_avg),
+                format!("{:.1}", calib.sigma),
+                format!("{}", genuine.iter().min().unwrap()),
+                format!("{}", genuine.iter().max().unwrap()),
+            ],
+        ),
+        (
+            "adversarial (+1 NOP)".to_string(),
+            vec![
+                format!("{adv_mean:.0}"),
+                "-".to_string(),
+                format!("{t_min}"),
+                format!("{}", injected.iter().max().unwrap()),
+            ],
+        ),
+    ];
+    print_table(
+        "§7.2: runtime distributions (cycles)",
+        &["mean".into(), "sigma".into(), "min".into(), "max".into()],
+        &rows,
+    );
+
+    println!("\nthreshold T_avg + 2.5 sigma = {} cycles", calib.threshold());
+    println!(
+        "adversarial T_min = {t_min} cycles → {}",
+        if t_min > calib.threshold() {
+            "DETECTED: T_avg + 2.5 sigma < T_min — impossible to insert even one \
+             instruction undetected (paper's conclusion)"
+        } else {
+            "not separated at this scale; raise iterations"
+        }
+    );
+
+    // Empirical false-positive probe.
+    let fp_runs = runs * 3;
+    let extra = timing_samples(&cfg, &params, 0x00F9, fp_runs).expect("fp runs");
+    let fp = extra.iter().filter(|&&t| !calib.accepts(t)).count();
+    println!(
+        "false positives: {fp}/{fp_runs} genuine runs over threshold \
+         (paper predicts ~0.5%; verification simply restarts)"
+    );
+}

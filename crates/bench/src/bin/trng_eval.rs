@@ -1,0 +1,92 @@
+//! Reproduces §6.6: statistical evaluation and throughput of the
+//! race-condition TRNG.
+//!
+//! The paper's GPU TRNG passes NIST SP 800-22, DIEHARD and ENT, yields
+//! 7.999996 bits/byte, and sustains ~4 kB/s (≈ 8 ms per 256-bit output).
+//! The host-race substitute (see DESIGN.md) is evaluated with the same
+//! ENT measurements and a NIST subset; raw (unconditioned) samples are
+//! shown alongside to demonstrate the conditioning stage.
+
+use std::time::Instant;
+
+use sage_bench::print_table;
+use sage_trng::{nist, stats::EntReport, RaceTrng};
+
+fn main() {
+    let sample_bytes = std::env::var("SAGE_TRNG_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64 * 1024usize);
+
+    eprintln!("sampling {sample_bytes} conditioned bytes from the race TRNG…");
+    let mut trng = RaceTrng::start(Default::default());
+
+    // Throughput measurement.
+    let t0 = Instant::now();
+    let data = trng.bytes(sample_bytes);
+    let dt = t0.elapsed().as_secs_f64();
+    let throughput = sample_bytes as f64 / dt;
+
+    // Raw (unconditioned) reference stream.
+    let raw: Vec<u8> = (0..sample_bytes / 8)
+        .flat_map(|_| trng.raw_sample().to_le_bytes())
+        .collect();
+    trng.stop();
+
+    let cooked = EntReport::analyze(&data);
+    let rawr = EntReport::analyze(&raw);
+
+    let rows = vec![
+        (
+            "conditioned".to_string(),
+            vec![
+                format!("{:.6}", cooked.entropy_bits_per_byte),
+                format!("{:.1}", cooked.chi_square),
+                format!("{:.2}", cooked.mean),
+                format!("{:.4}", cooked.monte_carlo_pi),
+                format!("{:.5}", cooked.serial_correlation),
+            ],
+        ),
+        (
+            "raw samples".to_string(),
+            vec![
+                format!("{:.6}", rawr.entropy_bits_per_byte),
+                format!("{:.1}", rawr.chi_square),
+                format!("{:.2}", rawr.mean),
+                format!("{:.4}", rawr.monte_carlo_pi),
+                format!("{:.5}", rawr.serial_correlation),
+            ],
+        ),
+    ];
+    print_table(
+        "§6.6: ENT analysis",
+        &[
+            "entropy b/B".into(),
+            "chi^2".into(),
+            "mean".into(),
+            "MC pi".into(),
+            "serial corr".into(),
+        ],
+        &rows,
+    );
+    println!("(paper: 7.999996 bits of entropy per byte on the conditioned output)");
+
+    println!("\nNIST SP 800-22 subset on the conditioned output:");
+    let mut pass = 0;
+    let battery = nist::run_battery(&data);
+    for (name, outcome) in &battery {
+        println!(
+            "  {name:22} p = {:.4}  {}",
+            outcome.p_value,
+            if outcome.passed() { "PASS" } else { "FAIL" }
+        );
+        pass += outcome.passed() as usize;
+    }
+    println!("  → {pass}/{} tests passed", battery.len());
+
+    println!(
+        "\nthroughput: {:.1} B/s ({:.3} ms per 256-bit output; paper: ~4 kB/s, 8 ms/256 b on GPU)",
+        throughput,
+        32.0 / throughput * 1e3
+    );
+}

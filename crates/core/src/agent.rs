@@ -1,0 +1,162 @@
+//! The device-resident trusted agent.
+//!
+//! After the dynamic root of trust is established, SAGE has verified code
+//! running on the GPU: the key-establishment arithmetic, the user-kernel
+//! measurement and the channel endpoints execute inside that untampered
+//! environment. The checksum itself and the SHA-256 measurement run as
+//! real microcode on the simulated device; the (small) remaining protocol
+//! arithmetic of the agent is modelled in Rust, standing in for VF code
+//! the paper likewise runs after attestation (substitution documented in
+//! DESIGN.md).
+
+use sage_crypto::EntropySource;
+
+use crate::{
+    channel::{Role, SecureChannel, Wire},
+    error::{Result, SageError},
+    kernels::{load_kernel, sha256_dev},
+    sake::{derive_challenges, SakeDevice, SakeMessage},
+    session::GpuSession,
+};
+
+/// The trusted device-side agent.
+pub struct DeviceAgent {
+    entropy: Box<dyn EntropySource>,
+    sake: Option<SakeDevice>,
+    channel: Option<SecureChannel>,
+    sha_entry: Option<u32>,
+}
+
+impl DeviceAgent {
+    /// Creates an agent with the given entropy source (the race-condition
+    /// TRNG in production, an injected DRBG in tests).
+    pub fn new(entropy: Box<dyn EntropySource>) -> DeviceAgent {
+        DeviceAgent {
+            entropy,
+            sake: None,
+            channel: None,
+            sha_entry: None,
+        }
+    }
+
+    /// Creates an agent backed by the race-condition TRNG (paper §6.6).
+    pub fn with_race_trng() -> DeviceAgent {
+        DeviceAgent::new(Box::new(sage_trng::RaceTrng::start(Default::default())))
+    }
+
+    /// SAKE: handles the verifier challenge — runs the checksum kernel on
+    /// the device and produces the commitment. Returns the message and
+    /// the measured exchange time (what the verifier observes as
+    /// `t₁ − t₀`).
+    pub fn handle_challenge(
+        &mut self,
+        session: &mut GpuSession,
+        group: sage_crypto::DhGroup,
+        v2: [u8; 32],
+    ) -> Result<(SakeMessage, u64)> {
+        let blocks = session.build().params.grid_blocks;
+        let challenges = derive_challenges(&v2, blocks);
+        let (c, measured) = session.run_checksum(&challenges)?;
+        let mut sake = SakeDevice::new(group);
+        let msg = sake.on_challenge(v2, c, self.entropy.as_mut());
+        self.sake = Some(sake);
+        Ok((msg, measured))
+    }
+
+    /// SAKE: handles the `v₁` reveal.
+    pub fn handle_reveal_v1(&mut self, v1: [u8; 32]) -> Result<SakeMessage> {
+        self.sake_mut()?.on_reveal_v1(v1)
+    }
+
+    /// SAKE: handles the `v₀` reveal; on success the agent derives its
+    /// channel endpoint.
+    pub fn handle_reveal_v0(&mut self, v0: Vec<u8>) -> Result<SakeMessage> {
+        let msg = self.sake_mut()?.on_reveal_v0(v0)?;
+        let sk = self
+            .sake_mut()?
+            .session_key()
+            .ok_or_else(|| SageError::Protocol("device key not established".into()))?;
+        self.channel = Some(SecureChannel::new(sk, Role::Device));
+        Ok(msg)
+    }
+
+    fn sake_mut(&mut self) -> Result<&mut SakeDevice> {
+        self.sake
+            .as_mut()
+            .ok_or_else(|| SageError::Protocol("SAKE not started".into()))
+    }
+
+    /// The established session key (after SAKE completes).
+    pub fn session_key(&self) -> Option<[u8; 16]> {
+        self.sake.as_ref().and_then(|s| s.session_key())
+    }
+
+    /// Measures a user kernel *on the device*: uploads `pad(r ‖ code)`,
+    /// runs the SHA-256 microcode kernel, returns the digest (paper
+    /// Eq. 9).
+    pub fn measure_kernel(
+        &mut self,
+        session: &mut GpuSession,
+        r: &[u8; 32],
+        code: &[u8],
+    ) -> Result<[u8; 32]> {
+        let entry = match self.sha_entry {
+            Some(e) => e,
+            None => {
+                let e = load_kernel(&mut session.dev, &sha256_dev::sha256_kernel())?;
+                self.sha_entry = Some(e);
+                e
+            }
+        };
+        let mut msg = Vec::with_capacity(32 + code.len());
+        msg.extend_from_slice(r);
+        msg.extend_from_slice(code);
+        let padded = sha256_dev::sha256_pad(&msg);
+        let mbuf = session.dev.alloc(padded.len() as u32)?;
+        let obuf = session.dev.alloc(32)?;
+        session.dev.memcpy_h2d(mbuf, &padded)?;
+        session.dev.run_single(sage_gpu_sim::LaunchParams {
+            ctx: session.ctx,
+            entry_pc: entry,
+            grid_dim: 1,
+            block_dim: 32,
+            regs_per_thread: sha256_dev::SHA256_REGS,
+            smem_bytes: sha256_dev::SHA256_SMEM,
+            params: vec![mbuf, (padded.len() / 64) as u32, obuf],
+        })?;
+        let raw = session.dev.memcpy_d2h(obuf, 32)?;
+        Ok(raw.try_into().expect("32 bytes"))
+    }
+
+    /// Receives protected data: authenticates (and decrypts) the wire
+    /// message, then places the plaintext at its bound device address.
+    ///
+    /// The plaintext write uses the direct device path ([`sage_gpu_sim::Device::poke`]),
+    /// standing in for the on-device decryption the trusted code performs
+    /// — the ciphertext is what crossed the observable bus.
+    pub fn receive_data(&mut self, session: &mut GpuSession, wire: &Wire) -> Result<()> {
+        let chan = self
+            .channel
+            .as_mut()
+            .ok_or_else(|| SageError::Protocol("channel not established".into()))?;
+        let plain = chan.open(wire)?;
+        session.dev.poke(wire.addr, &plain)?;
+        Ok(())
+    }
+
+    /// Sends device data back to the host over the channel.
+    pub fn send_data(
+        &mut self,
+        session: &mut GpuSession,
+        addr: u32,
+        len: u32,
+        confidential: bool,
+    ) -> Result<Wire> {
+        let chan = self
+            .channel
+            .as_mut()
+            .ok_or_else(|| SageError::Protocol("channel not established".into()))?;
+        let data = session.dev.peek(addr, len)?;
+        Ok(chan.seal(addr, &data, confidential))
+    }
+}

@@ -1,0 +1,74 @@
+//! Protocol-level errors.
+
+use core::fmt;
+
+use sage_gpu_sim::SimError;
+
+/// Errors raised by the SAGE protocol layers.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SageError {
+    /// The device simulator faulted.
+    Sim(SimError),
+    /// The returned checksum does not match the verifier's replay.
+    ChecksumMismatch {
+        /// What the device returned.
+        got: [u32; 8],
+        /// What the replay expected.
+        expected: [u32; 8],
+    },
+    /// The checksum arrived after the detection threshold.
+    TimingExceeded {
+        /// Measured cycles.
+        measured: u64,
+        /// Threshold cycles (`T_avg + 2.5σ`).
+        threshold: u64,
+    },
+    /// A message authentication code failed to verify.
+    MacFailure(&'static str),
+    /// A hash-chain link failed to verify.
+    ChainFailure(&'static str),
+    /// A Diffie-Hellman public value was invalid.
+    BadPublicKey,
+    /// The user-kernel measurement did not match.
+    KernelHashMismatch,
+    /// A secure-channel message failed authentication or ordering.
+    ChannelTamper(&'static str),
+    /// Generic protocol violation.
+    Protocol(String),
+}
+
+impl fmt::Display for SageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SageError::Sim(e) => write!(f, "device error: {e}"),
+            SageError::ChecksumMismatch { got, expected } => write!(
+                f,
+                "checksum mismatch: device {got:08x?} vs expected {expected:08x?}"
+            ),
+            SageError::TimingExceeded {
+                measured,
+                threshold,
+            } => write!(
+                f,
+                "timing threshold exceeded: {measured} cycles > {threshold} cycles"
+            ),
+            SageError::MacFailure(what) => write!(f, "MAC verification failed: {what}"),
+            SageError::ChainFailure(what) => write!(f, "hash-chain verification failed: {what}"),
+            SageError::BadPublicKey => write!(f, "invalid Diffie-Hellman public value"),
+            SageError::KernelHashMismatch => write!(f, "user-kernel measurement mismatch"),
+            SageError::ChannelTamper(what) => write!(f, "secure-channel tampering: {what}"),
+            SageError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SageError {}
+
+impl From<SimError> for SageError {
+    fn from(e: SimError) -> SageError {
+        SageError::Sim(e)
+    }
+}
+
+/// Result alias for protocol operations.
+pub type Result<T> = std::result::Result<T, SageError>;

@@ -1,0 +1,190 @@
+//! Dense single-precision matrix multiplication `C = A × B` — the user
+//! kernel of the paper's §7.4 benchmark (Table 2).
+//!
+//! Mapping: one thread per output element; block `cta` computes row
+//! `cta`, thread `tid` computes column `tid` (so `n ≤ block_dim` and
+//! `grid_dim = n`). The inner product runs a counted loop of
+//! `LDG/LDG/FFMA` with pointer bumping.
+
+use sage_isa::{CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg, SpecialReg};
+
+fn s4() -> CtrlInfo {
+    CtrlInfo::stall(4).with_yield()
+}
+
+/// Builds the matmul kernel.
+///
+/// Parameter block: `[a_base, b_base, c_base, n]` (row-major f32).
+/// Launch with `grid_dim = n`, `block_dim = n.next_multiple_of(32)` and
+/// [`MATMUL_REGS`] registers.
+pub fn matmul_kernel() -> Program {
+    let mut b = ProgramBuilder::new();
+    for (i, reg) in [(0u32, Reg(1)), (1, Reg(2)), (2, Reg(3)), (3, Reg(4))] {
+        b.ctrl(CtrlInfo::stall(1).with_write_bar(i as u8));
+        b.ldg(reg, Reg(0), 4 * i);
+    }
+    b.ctrl(s4());
+    b.s2r(Reg(5), SpecialReg::TidX); // column
+    b.ctrl(s4());
+    b.s2r(Reg(6), SpecialReg::CtaIdX); // row
+    let mut c = s4();
+    c.wait_mask = 0b1111;
+    b.ctrl(c);
+    b.isetp(PredReg(0), CmpOp::Ge, Reg(5), Reg(4).into());
+    b.pred(Pred::on(PredReg(0)));
+    b.exit(); // columns beyond n retire
+
+    // Row pointer: A + 4·n·row.
+    b.ctrl(s4());
+    b.imad(Reg(9), Reg(4), Reg(6).into(), Reg::RZ);
+    b.ctrl(s4());
+    b.lea(Reg(9), Reg(9), Reg(1).into(), 2);
+    // Column pointer: B + 4·col.
+    b.ctrl(s4());
+    b.lea(Reg(10), Reg(5), Reg(2).into(), 2);
+    // acc = 0.0, k = 0.
+    b.ctrl(s4());
+    b.mov(Reg(14), Operand::Imm(0));
+    b.ctrl(s4());
+    b.mov(Reg(7), Operand::Imm(0));
+
+    b.label("kloop");
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+    b.ldg(Reg(12), Reg(9), 0); // A[row][k]
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(1));
+    b.ldg(Reg(13), Reg(10), 0); // B[k][col]
+    // Bump pointers while the loads are in flight.
+    b.ctrl(s4());
+    b.iadd3(Reg(9), Reg(9), Operand::Imm(4), Reg::RZ);
+    b.ctrl(s4());
+    b.lea(Reg(10), Reg(4), Reg(10).into(), 2); // += 4·n
+    b.ctrl(s4());
+    b.iadd3(Reg(7), Reg(7), Operand::Imm(1), Reg::RZ);
+    let mut c = s4();
+    c.wait_mask = 0b11;
+    b.ctrl(c);
+    b.ffma(Reg(14), Reg(12), Reg(13).into(), Reg(14));
+    b.ctrl(s4());
+    b.isetp(PredReg(1), CmpOp::Lt, Reg(7), Reg(4).into());
+    b.pred(Pred::on(PredReg(1)));
+    b.bra("kloop");
+
+    // C[row][col] = acc.
+    b.ctrl(s4());
+    b.imad(Reg(11), Reg(4), Reg(6).into(), Reg(5));
+    b.ctrl(s4());
+    b.lea(Reg(11), Reg(11), Reg(3).into(), 2);
+    b.ctrl(s4());
+    b.stg(Reg(11), 0, Reg(14));
+    b.exit();
+    b.build().expect("labels resolve")
+}
+
+/// Registers per thread the kernel needs.
+pub const MATMUL_REGS: u32 = 16;
+
+/// Host reference implementation (row-major f32).
+pub fn matmul_host(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                // Match the kernel's FFMA accumulation order: the device
+                // accumulates over k sequentially per (i, j); f32 addition
+                // is not associative, so the host must use the same
+                // order. The loop nest below computes the same sums as
+                // `for j { for k { fma } }`.
+                c[i * n + j] = aik.mul_add(b[k * n + j], c[i * n + j]);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::load_kernel;
+    use sage_gpu_sim::{Device, DeviceConfig, LaunchParams};
+
+    fn run_device_matmul(a: &[f32], b: &[f32], n: usize) -> (Vec<f32>, u64) {
+        let mut dev = Device::new(DeviceConfig::sim_small());
+        dev.set_hazard_check(true);
+        let ctx = dev.create_context();
+        let bytes = |v: &[f32]| -> Vec<u8> {
+            v.iter().flat_map(|w| w.to_bits().to_le_bytes()).collect()
+        };
+        let abuf = dev.alloc((4 * n * n) as u32).unwrap();
+        let bbuf = dev.alloc((4 * n * n) as u32).unwrap();
+        let cbuf = dev.alloc((4 * n * n) as u32).unwrap();
+        dev.memcpy_h2d(abuf, &bytes(a)).unwrap();
+        dev.memcpy_h2d(bbuf, &bytes(b)).unwrap();
+        let entry = load_kernel(&mut dev, &matmul_kernel()).unwrap();
+        let (report, stats) = dev
+            .run_single(LaunchParams {
+                ctx,
+                entry_pc: entry,
+                grid_dim: n as u32,
+                block_dim: (n as u32).div_ceil(32) * 32,
+                regs_per_thread: MATMUL_REGS,
+                smem_bytes: 0,
+                params: vec![abuf, bbuf, cbuf, n as u32],
+            })
+            .unwrap();
+        assert_eq!(stats.hazard_violations, 0);
+        let raw = dev.memcpy_d2h(cbuf, (4 * n * n) as u32).unwrap();
+        let out = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        (out, report.completion_cycle)
+    }
+
+    fn test_matrices(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.25).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.5).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn matches_host_reference_exactly() {
+        let n = 32;
+        let (a, b) = test_matrices(n);
+        let (device, _) = run_device_matmul(&a, &b, n);
+        let host = matmul_host(&a, &b, n);
+        assert_eq!(device, host, "bit-exact FFMA accumulation expected");
+    }
+
+    #[test]
+    fn non_multiple_of_32_size() {
+        let n = 48;
+        let (a, b) = test_matrices(n);
+        let (device, _) = run_device_matmul(&a, &b, n);
+        let host = matmul_host(&a, &b, n);
+        assert_eq!(device, host);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let n = 32;
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let (_, b) = test_matrices(n);
+        let (device, _) = run_device_matmul(&a, &b, n);
+        assert_eq!(device, b);
+    }
+
+    #[test]
+    fn cycles_grow_with_size() {
+        let (a32, b32) = test_matrices(32);
+        let (_, c32) = run_device_matmul(&a32, &b32, 32);
+        let (a64, b64) = test_matrices(64);
+        let (_, c64) = run_device_matmul(&a64, &b64, 64);
+        assert!(c64 > c32, "{c64} vs {c32}");
+    }
+}

@@ -1,0 +1,67 @@
+//! User kernels as native microcode for the simulated GPU.
+//!
+//! These are the workloads SAGE protects: a quickstart vector add, the
+//! §7.4 matrix-multiply benchmark, and a full SHA-256 used to measure the
+//! user kernel *on the device* (`h = H(r ‖ code)`, Eq. 9).
+//!
+//! All kernel builders produce position-independent [`Program`]s with
+//! label-based control flow; the loader relocates them to their device
+//! address with [`Program::relocate`]. Parameters follow the launch ABI:
+//! `R0` holds the address of a parameter block of 32-bit words.
+
+pub mod matmul;
+pub mod reduce;
+pub mod sha256_dev;
+pub mod vecadd;
+
+pub use matmul::{matmul_host, matmul_kernel, MATMUL_REGS};
+pub use reduce::{reduce_sum_kernel, REDUCE_REGS};
+pub use sha256_dev::{sha256_kernel, sha256_pad};
+pub use vecadd::{vecadd_kernel, VECADD_REGS};
+
+use sage_gpu_sim::{ContextId, Device, LaunchParams};
+use sage_isa::Program;
+
+use crate::error::Result;
+
+/// Loads a relocatable kernel at a fresh device allocation and returns
+/// its entry address.
+pub fn load_kernel(dev: &mut Device, prog: &Program) -> Result<u32> {
+    let mut prog = prog.clone();
+    let base = dev.alloc(prog.byte_len() as u32)?;
+    prog.relocate(base);
+    dev.memcpy_h2d(base, &prog.encode())?;
+    Ok(base)
+}
+
+/// Convenience launch descriptor for the kernels in this module.
+#[derive(Clone, Debug)]
+pub struct KernelLaunch {
+    /// Entry PC (from [`load_kernel`]).
+    pub entry_pc: u32,
+    /// Grid dimension.
+    pub grid_dim: u32,
+    /// Block dimension.
+    pub block_dim: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per block.
+    pub smem_bytes: u32,
+    /// Parameter words.
+    pub params: Vec<u32>,
+}
+
+impl KernelLaunch {
+    /// Converts into simulator launch parameters for `ctx`.
+    pub fn into_launch(self, ctx: ContextId) -> LaunchParams {
+        LaunchParams {
+            ctx,
+            entry_pc: self.entry_pc,
+            grid_dim: self.grid_dim,
+            block_dim: self.block_dim,
+            regs_per_thread: self.regs_per_thread,
+            smem_bytes: self.smem_bytes,
+            params: self.params,
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Block-wise tree reduction (sum) in shared memory — the classic GPU
+//! reduction pattern, exercising `LDS`/`STS`/`BAR.SYNC` and divergent
+//! strides under the simulator.
+//!
+//! Each block loads `block_dim` elements, reduces them in shared memory
+//! with a halving-stride tree, and the block leader atomically adds the
+//! block total into the global accumulator.
+
+use sage_isa::{CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg, SpecialReg};
+
+fn s4() -> CtrlInfo {
+    CtrlInfo::stall(4).with_yield()
+}
+
+/// Builds the u32 sum-reduction kernel.
+///
+/// Parameter block: `[in_base, out_addr, n]`. Launch with
+/// `grid_dim * block_dim >= n`, [`REDUCE_REGS`] registers and
+/// `4 * block_dim` bytes of shared memory. `out_addr` must be zeroed
+/// beforehand. `block_dim` must be a power of two.
+pub fn reduce_sum_kernel(block_dim: u32) -> Program {
+    assert!(block_dim.is_power_of_two() && block_dim >= 32);
+    let mut b = ProgramBuilder::new();
+    for (i, reg) in [(0u32, Reg(1)), (1, Reg(2)), (2, Reg(3))] {
+        b.ctrl(CtrlInfo::stall(1).with_write_bar(i as u8));
+        b.ldg(reg, Reg(0), 4 * i);
+    }
+    b.ctrl(s4());
+    b.s2r(Reg(4), SpecialReg::TidX);
+    b.ctrl(s4());
+    b.s2r(Reg(5), SpecialReg::CtaIdX);
+    b.ctrl(s4());
+    b.s2r(Reg(6), SpecialReg::NTidX);
+    b.ctrl(s4());
+    b.imad(Reg(7), Reg(5), Reg(6).into(), Reg(4)); // gid
+
+    // value = gid < n ? in[gid] : 0
+    let mut c = s4();
+    c.wait_mask = 0b111;
+    b.ctrl(c);
+    b.isetp(PredReg(0), CmpOp::Lt, Reg(7), Reg(3).into());
+    b.ctrl(s4());
+    b.mov(Reg(8), Operand::Imm(0));
+    b.ctrl(s4());
+    b.lea(Reg(9), Reg(7), Reg(1).into(), 2);
+    b.pred(Pred::on(PredReg(0)));
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+    b.ldg(Reg(8), Reg(9), 0);
+
+    // smem[tid] = value
+    let mut c = s4();
+    c.wait_mask = 0b1;
+    b.ctrl(c);
+    b.lea(Reg(10), Reg(4), Operand::Imm(0), 2); // 4*tid
+    b.ctrl(s4());
+    b.sts(Reg(10), 0, Reg(8));
+    b.bar_sync();
+
+    // Tree reduction: for stride = block_dim/2 .. 1 (compile-time
+    // unrolled — strides are powers of two).
+    let mut stride = block_dim / 2;
+    while stride >= 1 {
+        // if tid < stride: smem[tid] += smem[tid + stride]
+        b.ctrl(s4());
+        b.isetp(PredReg(1), CmpOp::Lt, Reg(4), Operand::Imm(stride));
+        b.pred(Pred::on(PredReg(1)));
+        b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+        b.lds(Reg(11), Reg(10), 4 * stride);
+        b.pred(Pred::on(PredReg(1)));
+        let mut c = CtrlInfo::stall(1).with_write_bar(1);
+        c = c.with_wait(0);
+        b.ctrl(c);
+        b.lds(Reg(12), Reg(10), 0);
+        b.pred(Pred::on(PredReg(1)));
+        let mut c = s4();
+        c.wait_mask = 0b10;
+        b.ctrl(c);
+        b.iadd3(Reg(12), Reg(12), Reg(11).into(), Reg::RZ);
+        b.pred(Pred::on(PredReg(1)));
+        b.ctrl(s4());
+        b.sts(Reg(10), 0, Reg(12));
+        b.bar_sync();
+        stride /= 2;
+    }
+
+    // tid 0: atomically add the block total to out.
+    b.ctrl(s4());
+    b.isetp(PredReg(2), CmpOp::Eq, Reg(4), Operand::Imm(0));
+    b.pred(Pred::on(PredReg(2)));
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+    b.lds(Reg(13), Reg::RZ, 0);
+    b.pred(Pred::on(PredReg(2)));
+    let mut c = s4();
+    c.wait_mask = 0b1;
+    b.ctrl(c);
+    b.atomg_add(Reg(2), 0, Reg(13));
+    b.exit();
+    b.build().expect("no unresolved labels")
+}
+
+/// Registers per thread the kernel needs.
+pub const REDUCE_REGS: u32 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::load_kernel;
+    use sage_gpu_sim::{Device, DeviceConfig, LaunchParams};
+
+    fn run_reduce(data: &[u32], block_dim: u32) -> u32 {
+        let n = data.len() as u32;
+        let mut dev = Device::new(DeviceConfig::sim_small());
+        dev.set_hazard_check(true);
+        let ctx = dev.create_context();
+        let inbuf = dev.alloc(4 * n).unwrap();
+        let out = dev.alloc(4).unwrap();
+        let bytes: Vec<u8> = data.iter().flat_map(|w| w.to_le_bytes()).collect();
+        dev.memcpy_h2d(inbuf, &bytes).unwrap();
+        dev.memcpy_h2d(out, &[0u8; 4]).unwrap();
+        let entry = load_kernel(&mut dev, &reduce_sum_kernel(block_dim)).unwrap();
+        let (_, stats) = dev
+            .run_single(LaunchParams {
+                ctx,
+                entry_pc: entry,
+                grid_dim: n.div_ceil(block_dim).max(1),
+                block_dim,
+                regs_per_thread: REDUCE_REGS,
+                smem_bytes: 4 * block_dim,
+                params: vec![inbuf, out, n],
+            })
+            .unwrap();
+        assert_eq!(stats.hazard_violations, 0);
+        let raw = dev.memcpy_d2h(out, 4).unwrap();
+        u32::from_le_bytes(raw.try_into().unwrap())
+    }
+
+    #[test]
+    fn sums_exact_multiple_of_block() {
+        let data: Vec<u32> = (1..=256).collect();
+        assert_eq!(run_reduce(&data, 64), (1..=256).sum::<u32>());
+    }
+
+    #[test]
+    fn sums_ragged_tail() {
+        let data: Vec<u32> = (0..137).map(|i| i * 3 + 1).collect();
+        let expect: u32 = data.iter().sum();
+        assert_eq!(run_reduce(&data, 64), expect);
+    }
+
+    #[test]
+    fn sums_single_block_of_32() {
+        let data: Vec<u32> = vec![7; 32];
+        assert_eq!(run_reduce(&data, 32), 224);
+    }
+
+    #[test]
+    fn wrapping_sums() {
+        let data = vec![u32::MAX, 2, 5];
+        assert_eq!(run_reduce(&data, 32), 6); // wraps mod 2^32
+    }
+
+    #[test]
+    #[should_panic(expected = "power_of_two")]
+    fn non_power_of_two_block_rejected() {
+        let _ = reduce_sum_kernel(48);
+    }
+}

@@ -1,0 +1,324 @@
+//! SHA-256 as native GPU microcode — the measurement kernel behind the
+//! user-kernel authenticity check `h = H(r ‖ code)` (paper §5.2.3,
+//! Eq. 9), which the VF runs *on the device* after root-of-trust
+//! establishment.
+//!
+//! Implementation notes:
+//! - fully unrolled 64-round compression, with the classic register
+//!   renaming trick (no `a..h` moves: round `r` addresses the state
+//!   registers rotated by `r mod 8`);
+//! - the 16-word message schedule lives in `R16..R31` as a ring buffer
+//!   with compile-time indices;
+//! - chaining state `H0..H7` lives in shared memory across blocks;
+//! - round constants are immediates (no table loads);
+//! - input words are byte-swapped with two rotates and three `LOP3`s
+//!   (SHA-256 is big-endian, the device memory is little-endian).
+//!
+//! Every thread of the single launched warp computes the same digest;
+//! the stores are idempotent.
+
+use sage_crypto::sha256::{H0, K};
+use sage_isa::{
+    op::lut, CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg,
+};
+
+const R_MSG: Reg = Reg(1); // current block pointer
+const R_NBLK: Reg = Reg(2); // blocks remaining
+const R_OUT: Reg = Reg(3); // digest output address
+const R_K: Reg = Reg(4); // round constant / scratch
+const R_T1: Reg = Reg(5);
+const R_T2: Reg = Reg(6);
+const R_T3: Reg = Reg(7);
+/// Working state `a..h` (rotating) in `R8..R15`.
+const R_STATE: u8 = 8;
+/// Message schedule ring `w0..w15` in `R16..R31`.
+const R_W: u8 = 16;
+
+fn s4() -> CtrlInfo {
+    CtrlInfo::stall(4).with_yield()
+}
+
+/// Physical register of logical state variable `v` (0 = a … 7 = h) in
+/// round `r`.
+fn state_reg(v: usize, r: usize) -> Reg {
+    Reg(R_STATE + ((v + 8 - (r % 8)) % 8) as u8)
+}
+
+fn w_reg(i: usize) -> Reg {
+    Reg(R_W + (i % 16) as u8)
+}
+
+/// Emits `dst = rotate_right(src, n)` (via the funnel shifter).
+fn emit_rotr(b: &mut ProgramBuilder, dst: Reg, src: Reg, n: u32) {
+    // rotr(n) == rotl(32 - n); SHF.L with c == a is a rotate-left.
+    b.ctrl(s4());
+    b.shf_l(dst, src, Operand::Imm(32 - n), src);
+}
+
+/// Emits `dst ^= src`.
+fn emit_xor_into(b: &mut ProgramBuilder, dst: Reg, src: Reg) {
+    b.ctrl(s4());
+    b.lop3(dst, dst, src.into(), Reg::RZ, lut::XOR_AB);
+}
+
+/// Emits a 32-bit byte swap of `reg` (clobbers `t1`, `t2`):
+/// `bswap(x) = (rotl(x, 8) & 0x00FF00FF) | (rotl(x, 24) & 0xFF00FF00)`.
+fn emit_bswap(b: &mut ProgramBuilder, reg: Reg, t1: Reg, t2: Reg) {
+    b.ctrl(s4());
+    b.shf_l(t1, reg, Operand::Imm(8), reg);
+    b.ctrl(s4());
+    b.shf_l(t2, reg, Operand::Imm(24), reg);
+    b.ctrl(s4());
+    b.lop3(t1, t1, Operand::Imm(0x00FF_00FF), Reg::RZ, lut::AND_AB);
+    b.ctrl(s4());
+    b.lop3(t2, t2, Operand::Imm(0xFF00_FF00), Reg::RZ, lut::AND_AB);
+    b.ctrl(s4());
+    b.lop3(reg, t1, t2.into(), Reg::RZ, lut::OR_AB);
+}
+
+/// `LOP3` look-up table for `ch(e, f, g) = (e & f) ^ (!e & g)` — the
+/// bitwise mux `e ? f : g`.
+const LUT_CH: u8 = 0xCA;
+/// `LOP3` look-up table for `maj(a, b, c)`.
+const LUT_MAJ: u8 = 0xE8;
+
+/// Builds the SHA-256 kernel.
+///
+/// Parameter block: `[msg_addr, n_blocks, out_addr]`, where the message
+/// is already padded ([`sha256_pad`]) and `n_blocks = padded_len / 64`.
+/// Launch with one 32-thread block and [`SHA256_REGS`] registers and
+/// [`SHA256_SMEM`] bytes of shared memory.
+pub fn sha256_kernel() -> Program {
+    let mut b = ProgramBuilder::new();
+    // Parameters.
+    for (i, reg) in [(0u32, R_MSG), (1, R_NBLK), (2, R_OUT)] {
+        b.ctrl(CtrlInfo::stall(1).with_write_bar(i as u8));
+        b.ldg(reg, Reg(0), 4 * i);
+    }
+    // Initialize the chaining state in shared memory.
+    for (j, h) in H0.iter().enumerate() {
+        b.ctrl(s4());
+        b.mov(R_K, Operand::Imm(*h));
+        b.ctrl(s4());
+        b.sts(Reg::RZ, 4 * j as u32, R_K);
+    }
+
+    b.label("block_loop");
+    // Load and byte-swap the 16 message words. Write barriers 0..5
+    // rotate; re-arming a slot waits for its previous use first.
+    for i in 0..16usize {
+        let mut c = CtrlInfo::stall(1).with_write_bar((i % 6) as u8);
+        if i >= 6 {
+            c = c.with_wait((i % 6) as u8);
+        }
+        if i < 3 {
+            // Parameter loads used barriers 0..2.
+            c = c.with_wait(i as u8);
+        }
+        b.ctrl(c);
+        b.ldg(w_reg(i), R_MSG, 4 * i as u32);
+    }
+    let mut c = s4();
+    c.wait_mask = 0b11_1111;
+    b.ctrl(c);
+    b.nop(); // fence: all 16 words resident
+    for i in 0..16usize {
+        emit_bswap(&mut b, w_reg(i), R_T1, R_T2);
+    }
+
+    // Load working state a..h from shared memory. Round 0 has the
+    // identity renaming, so logical v lives in R8+v.
+    for v in 0..8usize {
+        let mut c = CtrlInfo::stall(2).with_write_bar(0);
+        b.ctrl(c);
+        b.lds(state_reg(v, 0), Reg::RZ, 4 * v as u32);
+        c = s4().with_wait(0);
+        b.ctrl(c);
+        b.nop();
+    }
+
+    // 64 unrolled rounds.
+    for r in 0..64usize {
+        let (a, bb, cc, d, e, f, g, h) = (
+            state_reg(0, r),
+            state_reg(1, r),
+            state_reg(2, r),
+            state_reg(3, r),
+            state_reg(4, r),
+            state_reg(5, r),
+            state_reg(6, r),
+            state_reg(7, r),
+        );
+        if r >= 16 {
+            // Schedule update:
+            // w[r] = w[r-16] + s0(w[r-15]) + w[r-7] + s1(w[r-2]).
+            let w = w_reg(r);
+            let w15 = w_reg(r + 1);
+            let w7 = w_reg(r + 9);
+            let w2 = w_reg(r + 14);
+            // s0 = rotr7 ^ rotr18 ^ shr3 (into T1).
+            emit_rotr(&mut b, R_T1, w15, 7);
+            emit_rotr(&mut b, R_T2, w15, 18);
+            emit_xor_into(&mut b, R_T1, R_T2);
+            b.ctrl(s4());
+            b.shf_r(R_T2, w15, Operand::Imm(3), Reg::RZ);
+            emit_xor_into(&mut b, R_T1, R_T2);
+            // s1 = rotr17 ^ rotr19 ^ shr10 (into T2).
+            emit_rotr(&mut b, R_T2, w2, 17);
+            emit_rotr(&mut b, R_T3, w2, 19);
+            emit_xor_into(&mut b, R_T2, R_T3);
+            b.ctrl(s4());
+            b.shf_r(R_T3, w2, Operand::Imm(10), Reg::RZ);
+            emit_xor_into(&mut b, R_T2, R_T3);
+            b.ctrl(s4());
+            b.iadd3(w, w, R_T1.into(), w7);
+            b.ctrl(s4());
+            b.iadd3(w, w, R_T2.into(), Reg::RZ);
+        }
+        // S1(e) into T1.
+        emit_rotr(&mut b, R_T1, e, 6);
+        emit_rotr(&mut b, R_T2, e, 11);
+        emit_xor_into(&mut b, R_T1, R_T2);
+        emit_rotr(&mut b, R_T2, e, 25);
+        emit_xor_into(&mut b, R_T1, R_T2);
+        // ch(e, f, g) into T2.
+        b.ctrl(s4());
+        b.lop3(R_T2, e, f.into(), g, LUT_CH);
+        // t1 = h + S1 + ch + K[r] + w[r].
+        b.ctrl(s4());
+        b.iadd3(R_T1, R_T1, R_T2.into(), h);
+        b.ctrl(s4());
+        b.mov(R_K, Operand::Imm(K[r]));
+        b.ctrl(s4());
+        b.iadd3(R_T1, R_T1, R_K.into(), w_reg(r));
+        // S0(a) into T2.
+        emit_rotr(&mut b, R_T2, a, 2);
+        emit_rotr(&mut b, R_T3, a, 13);
+        emit_xor_into(&mut b, R_T2, R_T3);
+        emit_rotr(&mut b, R_T3, a, 22);
+        emit_xor_into(&mut b, R_T2, R_T3);
+        // maj(a, b, c) into T3; t2 = S0 + maj.
+        b.ctrl(s4());
+        b.lop3(R_T3, a, bb.into(), cc, LUT_MAJ);
+        b.ctrl(s4());
+        b.iadd3(R_T2, R_T2, R_T3.into(), Reg::RZ);
+        // d += t1; the old h register receives the new a = t1 + t2.
+        b.ctrl(s4());
+        b.iadd3(d, d, R_T1.into(), Reg::RZ);
+        b.ctrl(s4());
+        b.iadd3(h, R_T1, R_T2.into(), Reg::RZ);
+    }
+
+    // Add the working state back into the chaining state. After 64
+    // rounds the renaming is the identity again (64 % 8 == 0).
+    for v in 0..8usize {
+        b.ctrl(CtrlInfo::stall(2).with_write_bar(0));
+        b.lds(R_K, Reg::RZ, 4 * v as u32);
+        b.ctrl(s4().with_wait(0));
+        b.iadd3(R_K, R_K, state_reg(v, 0).into(), Reg::RZ);
+        b.ctrl(s4());
+        b.sts(Reg::RZ, 4 * v as u32, R_K);
+    }
+
+    // Next block.
+    b.ctrl(s4());
+    b.iadd3(R_MSG, R_MSG, Operand::Imm(64), Reg::RZ);
+    b.ctrl(s4());
+    b.iadd3(R_NBLK, R_NBLK, Operand::Imm(u32::MAX), Reg::RZ); // -= 1
+    b.ctrl(s4());
+    b.isetp(PredReg(0), CmpOp::Ne, R_NBLK, Operand::Imm(0));
+    b.pred(Pred::on(PredReg(0)));
+    b.bra("block_loop");
+
+    // Emit the digest big-endian.
+    for v in 0..8usize {
+        b.ctrl(CtrlInfo::stall(2).with_write_bar(0));
+        b.lds(R_K, Reg::RZ, 4 * v as u32);
+        b.ctrl(s4().with_wait(0));
+        b.nop();
+        emit_bswap(&mut b, R_K, R_T1, R_T2);
+        b.ctrl(s4());
+        b.stg(R_OUT, 4 * v as u32, R_K);
+    }
+    b.exit();
+    b.build().expect("labels resolve")
+}
+
+/// Registers per thread the kernel needs.
+pub const SHA256_REGS: u32 = 32;
+
+/// Shared memory bytes the kernel needs (8-word chaining state).
+pub const SHA256_SMEM: u32 = 32;
+
+/// Pads a message to full SHA-256 blocks (FIPS 180-4 §5.1.1): append
+/// `0x80`, zeros, and the 64-bit big-endian bit length.
+pub fn sha256_pad(msg: &[u8]) -> Vec<u8> {
+    let mut out = msg.to_vec();
+    let bit_len = (msg.len() as u64).wrapping_mul(8);
+    out.push(0x80);
+    while out.len() % 64 != 56 {
+        out.push(0);
+    }
+    out.extend_from_slice(&bit_len.to_be_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::load_kernel;
+    use sage_crypto::sha256;
+    use sage_gpu_sim::{Device, DeviceConfig, LaunchParams};
+
+    fn device_sha256(msg: &[u8]) -> [u8; 32] {
+        let padded = sha256_pad(msg);
+        let mut dev = Device::new(DeviceConfig::sim_small());
+        dev.set_hazard_check(true);
+        let ctx = dev.create_context();
+        let mbuf = dev.alloc(padded.len() as u32).unwrap();
+        let obuf = dev.alloc(32).unwrap();
+        dev.memcpy_h2d(mbuf, &padded).unwrap();
+        let entry = load_kernel(&mut dev, &sha256_kernel()).unwrap();
+        let (_, stats) = dev
+            .run_single(LaunchParams {
+                ctx,
+                entry_pc: entry,
+                grid_dim: 1,
+                block_dim: 32,
+                regs_per_thread: SHA256_REGS,
+                smem_bytes: SHA256_SMEM,
+                params: vec![mbuf, (padded.len() / 64) as u32, obuf],
+            })
+            .unwrap();
+        assert_eq!(stats.hazard_violations, 0, "SHA kernel must be hazard-free");
+        let raw = dev.memcpy_d2h(obuf, 32).unwrap();
+        raw.try_into().expect("32 bytes")
+    }
+
+    #[test]
+    fn padding_structure() {
+        let p = sha256_pad(b"abc");
+        assert_eq!(p.len(), 64);
+        assert_eq!(p[3], 0x80);
+        assert_eq!(&p[56..], &(24u64).to_be_bytes());
+        assert_eq!(sha256_pad(&[0u8; 64]).len(), 128);
+        assert_eq!(sha256_pad(&[0u8; 55]).len(), 64);
+        assert_eq!(sha256_pad(&[0u8; 56]).len(), 128);
+    }
+
+    #[test]
+    fn device_digest_matches_host_abc() {
+        assert_eq!(device_sha256(b"abc"), sha256(b"abc"));
+    }
+
+    #[test]
+    fn device_digest_matches_host_empty() {
+        assert_eq!(device_sha256(b""), sha256(b""));
+    }
+
+    #[test]
+    fn device_digest_matches_host_multi_block() {
+        let msg: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        assert_eq!(device_sha256(&msg), sha256(&msg));
+    }
+}

@@ -1,0 +1,51 @@
+//! SAGE: software-based attestation for GPU execution — the protocol
+//! core (paper §4–§5).
+//!
+//! This crate glues the substrates together into the system the paper
+//! describes:
+//!
+//! - [`timing`] — the verifier's timing policy: calibration over repeated
+//!   runs, the `T_avg + 2.5σ` detection threshold, false-positive retry
+//!   (paper §7.2);
+//! - [`session`] — the GPU-side session: loading the VF image, issuing
+//!   challenges, timed checksum runs over the (tappable) bus;
+//! - [`verifier`] — the enclave-resident verifier: challenge generation,
+//!   replay, verdicts, and external attestation quotes;
+//! - [`sake`] — the modified SAKE key-establishment protocol (hash
+//!   chains + DH, checksum as a short-lived secret, Eqs. 1–8);
+//! - [`channel`] — the authenticated/encrypted data channel keyed by the
+//!   SAKE secret (§5.2.4);
+//! - [`agent`] — the device-resident trusted code model that exists after
+//!   root-of-trust establishment (TRNG, SAKE device side, inbound
+//!   decryption);
+//! - [`challenger`] — the external challenger of Fig. 2, remote-attesting
+//!   the verifier enclave with fresh nonces;
+//! - [`multi`] — sequential multi-GPU root-of-trust establishment
+//!   (§3.2);
+//! - [`kernels`] — user kernels as native microcode: vector add, matrix
+//!   multiply (the §7.4 benchmark), and a full SHA-256 used for the
+//!   user-kernel authenticity check `h = H(r ‖ code)` *on the device*
+//!   (§5.2.3, Eq. 9).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` at the workspace root for the end-to-end
+//! flow: attest → key establishment → kernel integrity check → protected
+//! data transfer → execution.
+
+pub mod agent;
+pub mod challenger;
+pub mod channel;
+pub mod error;
+pub mod kernels;
+pub mod multi;
+pub mod sake;
+pub mod session;
+pub mod timing;
+pub mod verifier;
+
+pub use channel::SecureChannel;
+pub use error::SageError;
+pub use session::GpuSession;
+pub use timing::Calibration;
+pub use verifier::{AttestationOutcome, Verifier};

@@ -1,0 +1,182 @@
+//! Multi-GPU root-of-trust establishment (paper §3.2 and §8, proxy
+//! case 1).
+//!
+//! In heterogeneous multi-GPU systems the verification function must run
+//! on the *fastest* GPU first — otherwise the adversary could answer a
+//! slower GPU's challenge with a faster one and bank the time difference.
+//! The paper's prescription: "the dynamic RoT could also be established
+//! in sequence (while actively maintaining already established RoTs)
+//! starting from the most powerful GPU to the least powerful GPU."
+//!
+//! [`attest_fleet`] implements exactly that: devices are ranked by
+//! compute power, attested in descending order, and every already
+//! attested device is re-verified after each new establishment (the
+//! "actively maintaining" step).
+
+use sage_crypto::DhGroup;
+use sage_gpu_sim::DeviceConfig;
+use sage_sgx_sim::Enclave;
+
+use crate::{
+    agent::DeviceAgent,
+    error::{Result, SageError},
+    session::GpuSession,
+    verifier::{AttestationOutcome, Verifier},
+};
+
+/// A relative compute-power score used for ordering (issue slots per
+/// second: SMs × partitions × clock).
+pub fn power_score(cfg: &DeviceConfig) -> u128 {
+    cfg.num_sms as u128 * cfg.partitions_per_sm as u128 * cfg.clock_hz as u128
+}
+
+/// One member of the fleet: the session plus its device-resident agent.
+pub struct FleetMember {
+    /// Installed VF session.
+    pub session: GpuSession,
+    /// Device-resident agent.
+    pub agent: DeviceAgent,
+    /// Human-readable name (defaults to the device config name).
+    pub name: String,
+}
+
+impl FleetMember {
+    /// Creates a member from a session and agent.
+    pub fn new(session: GpuSession, agent: DeviceAgent) -> FleetMember {
+        let name = session.dev.cfg.name.to_string();
+        FleetMember {
+            session,
+            agent,
+            name,
+        }
+    }
+}
+
+/// The outcome of a fleet attestation.
+pub struct FleetOutcome {
+    /// Per-device results, in the order the devices were attested
+    /// (descending power).
+    pub attested: Vec<(String, AttestationOutcome)>,
+}
+
+/// Attests every fleet member in descending power order, re-verifying all
+/// previously attested members after each new establishment.
+///
+/// `calibration_runs` timed exchanges are used per device to establish
+/// its threshold. Returns the per-device outcomes or the first failure
+/// (naming the device in the error).
+pub fn attest_fleet(
+    enclave_factory: &mut dyn FnMut() -> Enclave,
+    group: DhGroup,
+    mut members: Vec<FleetMember>,
+    calibration_runs: usize,
+) -> Result<(FleetOutcome, Vec<(FleetMember, Verifier)>)> {
+    // Most powerful first (paper §3.2).
+    members.sort_by_key(|m| std::cmp::Reverse(power_score(&m.session.dev.cfg)));
+
+    let mut attested: Vec<(String, AttestationOutcome)> = Vec::new();
+    let mut done: Vec<(FleetMember, Verifier)> = Vec::new();
+
+    for mut member in members {
+        let mut verifier = Verifier::new(
+            enclave_factory(),
+            member.session.build().clone(),
+            group.clone(),
+        );
+        verifier
+            .calibrate(&mut member.session, calibration_runs)
+            .map_err(|e| named(&member.name, e))?;
+        let outcome = verifier
+            .establish_key(&mut member.session, &mut member.agent, None)
+            .map_err(|e| named(&member.name, e))?;
+        attested.push((member.name.clone(), outcome));
+        done.push((member, verifier));
+
+        // Actively maintain the RoTs established so far: one fresh
+        // verification round per earlier device.
+        for (earlier, earlier_verifier) in done.iter_mut() {
+            earlier_verifier
+                .verify_once(&mut earlier.session)
+                .map_err(|e| named(&earlier.name, e))?;
+        }
+    }
+
+    Ok((FleetOutcome { attested }, done))
+}
+
+fn named(name: &str, e: SageError) -> SageError {
+    SageError::Protocol(format!("device {name}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_crypto::EntropySource;
+    use sage_gpu_sim::Device;
+    use sage_sgx_sim::SgxPlatform;
+    use sage_vf::VfParams;
+
+    fn entropy(seed: u8) -> impl EntropySource {
+        let mut state = seed;
+        move |buf: &mut [u8]| {
+            for b in buf {
+                state = state.wrapping_mul(181).wrapping_add(101);
+                *b = state;
+            }
+        }
+    }
+
+    fn member(cfg: DeviceConfig, seed: u8) -> FleetMember {
+        let mut params = VfParams::test_tiny();
+        params.iterations = 6;
+        let session = GpuSession::install(Device::new(cfg), &params, 0xF1EE7).unwrap();
+        FleetMember::new(session, DeviceAgent::new(Box::new(entropy(seed))))
+    }
+
+    fn run_fleet(cfgs: Vec<DeviceConfig>) -> Result<FleetOutcome> {
+        let platform = SgxPlatform::new([7u8; 16]);
+        let mut seed = 40u8;
+        let members = cfgs
+            .into_iter()
+            .map(|c| {
+                seed += 1;
+                member(c, seed)
+            })
+            .collect();
+        let mut launch_seed = 60u8;
+        let mut factory = move || {
+            launch_seed += 1;
+            platform.launch(b"fleet-verifier", &mut entropy(launch_seed))
+        };
+        attest_fleet(&mut factory, DhGroup::test_group(), members, 5).map(|(o, _)| o)
+    }
+
+    #[test]
+    fn fleet_attests_most_powerful_first() {
+        let outcome = run_fleet(vec![
+            DeviceConfig::sim_tiny(),  // 1 SM
+            DeviceConfig::sim_small(), // 2 SMs — more powerful
+        ])
+        .unwrap();
+        assert_eq!(outcome.attested.len(), 2);
+        assert_eq!(outcome.attested[0].0, "SIM-SMALL");
+        assert_eq!(outcome.attested[1].0, "SIM-TINY");
+    }
+
+    #[test]
+    fn power_score_orders_presets() {
+        assert!(power_score(&DeviceConfig::a100()) > power_score(&DeviceConfig::sim_large()));
+        assert!(
+            power_score(&DeviceConfig::sim_large()) > power_score(&DeviceConfig::sim_small())
+        );
+        assert!(
+            power_score(&DeviceConfig::sim_small()) > power_score(&DeviceConfig::sim_tiny())
+        );
+    }
+
+    #[test]
+    fn single_device_fleet_works() {
+        let outcome = run_fleet(vec![DeviceConfig::sim_tiny()]).unwrap();
+        assert_eq!(outcome.attested.len(), 1);
+    }
+}

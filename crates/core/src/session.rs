@@ -1,0 +1,178 @@
+//! The GPU-side attestation session: VF installation and timed checksum
+//! runs.
+
+use sage_gpu_sim::{ContextId, Device, LaunchParams};
+use sage_vf::{codegen::VfBuild, VfParams};
+
+use crate::error::Result;
+
+/// A device with an installed verification function.
+///
+/// The session models what the *untrusted* host runtime does on behalf of
+/// the verifier: allocate the buffer, DMA the VF image, write challenges,
+/// launch, and read back the checksum. Every one of these steps crosses
+/// the tappable bus, which is exactly the attack surface the protocol is
+/// designed to survive.
+pub struct GpuSession {
+    /// The device (public: the adversary harness manipulates it
+    /// directly, as the threat model allows).
+    pub dev: Device,
+    /// The driver context used for VF launches.
+    pub ctx: ContextId,
+    build: VfBuild,
+    run_counter: u64,
+}
+
+impl GpuSession {
+    /// Builds the VF for `params`, allocates device memory and uploads
+    /// the image.
+    pub fn install(dev: Device, params: &VfParams, fill_seed: u32) -> Result<GpuSession> {
+        GpuSession::install_inline(dev, params, fill_seed, None)
+    }
+
+    /// Like [`GpuSession::install`], but inlines a user kernel into the
+    /// VF: the epilog `CAL`s it directly after aggregation (the paper's
+    /// §8 TOCTOU defence), and the kernel bytes are covered by the
+    /// checksum traversal.
+    pub fn install_inline(
+        mut dev: Device,
+        params: &VfParams,
+        fill_seed: u32,
+        user_kernel: Option<&sage_isa::Program>,
+    ) -> Result<GpuSession> {
+        let ctx = dev.create_context();
+        // Two-step: sizes depend only on params, so probe-build at 0.
+        let probe = sage_vf::build_vf_inline(params, 0, fill_seed, user_kernel)
+            .map_err(crate::error::SageError::Protocol)?;
+        let base = dev.alloc(probe.layout.total_bytes)?;
+        let build = sage_vf::build_vf_inline(params, base, fill_seed, user_kernel)
+            .map_err(crate::error::SageError::Protocol)?;
+        dev.memcpy_h2d(base, &build.image)?;
+        Ok(GpuSession {
+            dev,
+            ctx,
+            build,
+            run_counter: 0,
+        })
+    }
+
+    /// The installed VF build (layout, params, image).
+    pub fn build(&self) -> &VfBuild {
+        &self.build
+    }
+
+    /// Runs the checksum function once with the given per-block
+    /// challenges. Returns the 8-word checksum and the measured exchange
+    /// time in device cycles (challenge upload + execution + readback, as
+    /// the verifier would measure `t₁ − t₀`).
+    pub fn run_checksum(&mut self, challenges: &[[u8; 16]]) -> Result<([u32; 8], u64)> {
+        self.run_checksum_with_params(challenges, Vec::new())
+    }
+
+    /// Like [`GpuSession::run_checksum`], passing a launch parameter
+    /// block — the ABI surface of an *inlined* user kernel (`R0` points
+    /// at these words when the epilog calls it).
+    pub fn run_checksum_with_params(
+        &mut self,
+        challenges: &[[u8; 16]],
+        kernel_params: Vec<u32>,
+    ) -> Result<([u32; 8], u64)> {
+        let layout = self.build.layout;
+        // Each run sees fresh environmental timing conditions.
+        self.run_counter += 1;
+        let seed = 0x00C0_FFEE ^ self.run_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.dev.set_timing_seed(seed);
+        self.dev.take_bus_cycles();
+
+        // Restore the executable loop copies (self-modifying code from a
+        // previous run must not leak into this one) and zero the result
+        // cells. This repair is part of the verifier's re-invocation
+        // procedure and is done before t0.
+        let exec_off = layout.exec_loops_off as usize;
+        let exec_len = (layout.loop_bytes * layout.num_blocks) as usize;
+        let exec_img = self.build.image[exec_off..exec_off + exec_len].to_vec();
+        self.dev
+            .memcpy_h2d(layout.base + layout.exec_loops_off, &exec_img)?;
+        self.dev.memcpy_h2d(layout.result_addr(), &[0u8; 32])?;
+        self.dev.take_bus_cycles(); // repair is not part of the measurement
+
+        // t0: challenge upload.
+        for (b, ch) in challenges.iter().enumerate() {
+            self.dev.memcpy_h2d(layout.challenge_addr(b as u32), ch)?;
+        }
+        let (report, _stats) = self.dev.run_single(LaunchParams {
+            ctx: self.ctx,
+            entry_pc: layout.entry_addr(),
+            grid_dim: self.build.params.grid_blocks,
+            block_dim: self.build.params.block_threads,
+            regs_per_thread: self.build.regs_per_thread(),
+            smem_bytes: self.build.smem_bytes(),
+            params: kernel_params,
+        })?;
+        let raw = self.dev.memcpy_d2h(layout.result_addr(), 32)?;
+        // t1: measured time = bus transfers + kernel completion.
+        let measured = self.dev.take_bus_cycles() + report.completion_cycle;
+
+        let mut cells = [0u32; 8];
+        for (j, cell) in cells.iter_mut().enumerate() {
+            *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().expect("4 bytes"));
+        }
+        Ok((cells, measured))
+    }
+
+    /// Number of checksum runs performed.
+    pub fn runs(&self) -> u64 {
+        self.run_counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_gpu_sim::DeviceConfig;
+    use sage_vf::expected_checksum;
+
+    fn session() -> GpuSession {
+        let dev = Device::new(DeviceConfig::sim_tiny());
+        GpuSession::install(dev, &VfParams::test_tiny(), 0xAA55).unwrap()
+    }
+
+    fn chs(seed: u8, n: u32) -> Vec<[u8; 16]> {
+        (0..n).map(|b| [seed.wrapping_add(b as u8); 16]).collect()
+    }
+
+    #[test]
+    fn install_and_run() {
+        let mut s = session();
+        let ch = chs(1, s.build().params.grid_blocks);
+        let (got, measured) = s.run_checksum(&ch).unwrap();
+        assert_eq!(got, expected_checksum(s.build(), &ch));
+        assert!(measured > 0);
+        assert_eq!(s.runs(), 1);
+    }
+
+    #[test]
+    fn repeated_runs_stay_correct() {
+        // Re-invocation must repair state (result cells, SMC immediates)
+        // so each run independently matches the replay.
+        let dev = Device::new(DeviceConfig::sim_tiny());
+        let mut params = VfParams::test_tiny();
+        params.smc = sage_vf::SmcMode::Cctl;
+        let mut s = GpuSession::install(dev, &params, 0xAA55).unwrap();
+        for seed in 1..=3u8 {
+            let ch = chs(seed, params.grid_blocks);
+            let (got, _) = s.run_checksum(&ch).unwrap();
+            assert_eq!(got, expected_checksum(s.build(), &ch), "run {seed}");
+        }
+    }
+
+    #[test]
+    fn timing_varies_run_to_run() {
+        let mut s = session();
+        let ch = chs(1, s.build().params.grid_blocks);
+        let (_, t1) = s.run_checksum(&ch).unwrap();
+        let (_, t2) = s.run_checksum(&ch).unwrap();
+        // Different timing seeds: almost surely different cycle counts.
+        assert_ne!(t1, t2);
+    }
+}

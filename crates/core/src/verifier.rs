@@ -1,0 +1,278 @@
+//! The enclave-resident verifier: challenges, replay, timing verdicts,
+//! key establishment and external attestation.
+
+use sage_crypto::DhGroup;
+use sage_sgx_sim::{Enclave, Quote};
+use sage_vf::{codegen::VfBuild, expected_checksum};
+
+use crate::{
+    agent::DeviceAgent,
+    channel::{Role, SecureChannel},
+    error::{Result, SageError},
+    sake::{derive_challenges, SakeMessage, SakeVerifier},
+    session::GpuSession,
+    timing::{Calibration, VerificationStats},
+};
+
+/// Result of a successful attestation + key establishment.
+#[derive(Clone, Debug)]
+pub struct AttestationOutcome {
+    /// The established symmetric session key.
+    pub session_key: [u8; 16],
+    /// Measured checksum exchange time (cycles).
+    pub measured_cycles: u64,
+    /// The threshold it was checked against.
+    pub threshold_cycles: u64,
+}
+
+/// A hook for adversarial message interposition in tests and the attack
+/// harness: called with the flow step index and the in-flight message.
+pub type MessageTap<'a> = &'a mut dyn FnMut(usize, &mut SakeMessage);
+
+/// The SAGE verifier, running inside the (simulated) enclave.
+pub struct Verifier {
+    /// The hosting enclave (nonce source, sealing, quotes).
+    pub enclave: Enclave,
+    build: VfBuild,
+    group: DhGroup,
+    calibration: Option<Calibration>,
+    stats: VerificationStats,
+}
+
+impl Verifier {
+    /// Creates a verifier for an installed VF build.
+    pub fn new(enclave: Enclave, build: VfBuild, group: DhGroup) -> Verifier {
+        Verifier {
+            enclave,
+            build,
+            group,
+            calibration: None,
+            stats: VerificationStats::default(),
+        }
+    }
+
+    /// Fresh random per-block challenges from the enclave DRBG.
+    pub fn generate_challenges(&mut self) -> Vec<[u8; 16]> {
+        (0..self.build.params.grid_blocks)
+            .map(|_| self.enclave.nonce16())
+            .collect()
+    }
+
+    /// The expected checksum for a challenge set (bit-exact replay).
+    pub fn expected(&self, challenges: &[[u8; 16]]) -> [u32; 8] {
+        expected_checksum(&self.build, challenges)
+    }
+
+    /// Calibrates the timing threshold over `runs` checksum exchanges on
+    /// a known-good device (paper §7.2: 100 runs, threshold
+    /// `T_avg + 2.5σ`). Each run's checksum is also verified.
+    pub fn calibrate(&mut self, session: &mut GpuSession, runs: usize) -> Result<Calibration> {
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let ch = self.generate_challenges();
+            let (got, measured) = session.run_checksum(&ch)?;
+            let expected = self.expected(&ch);
+            if got != expected {
+                return Err(SageError::ChecksumMismatch { got, expected });
+            }
+            samples.push(measured);
+        }
+        let calibration = Calibration::from_samples(&samples);
+        self.calibration = Some(calibration);
+        Ok(calibration)
+    }
+
+    /// The current calibration, if any.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+
+    /// Installs an externally obtained calibration (e.g. from a golden
+    /// reference of the same hardware configuration).
+    pub fn set_calibration(&mut self, c: Calibration) {
+        self.calibration = Some(c);
+    }
+
+    /// Seals the current calibration into the enclave's protected store,
+    /// so a restarted verifier on the same platform can resume without
+    /// re-measuring (sealing is bound to the enclave measurement).
+    ///
+    /// Returns `false` when no calibration exists yet.
+    pub fn seal_calibration(&mut self) -> bool {
+        let Some(c) = self.calibration else {
+            return false;
+        };
+        let mut blob = Vec::with_capacity(8 * 3 + 8);
+        blob.extend_from_slice(&c.t_avg.to_le_bytes());
+        blob.extend_from_slice(&c.sigma.to_le_bytes());
+        blob.extend_from_slice(&c.k_sigma.to_le_bytes());
+        blob.extend_from_slice(&(c.runs as u64).to_le_bytes());
+        self.enclave.seal("calibration", &blob);
+        true
+    }
+
+    /// Restores a previously sealed calibration. Returns `false` if no
+    /// valid sealed blob exists (missing or tampered).
+    pub fn unseal_calibration(&mut self) -> bool {
+        let Some(blob) = self.enclave.unseal("calibration") else {
+            return false;
+        };
+        if blob.len() != 32 {
+            return false;
+        }
+        let f = |r: core::ops::Range<usize>| {
+            f64::from_le_bytes(blob[r].try_into().expect("8 bytes"))
+        };
+        let runs = u64::from_le_bytes(blob[24..32].try_into().expect("8 bytes"));
+        self.calibration = Some(Calibration {
+            t_avg: f(0..8),
+            sigma: f(8..16),
+            k_sigma: f(16..24),
+            runs: runs as usize,
+        });
+        true
+    }
+
+    fn check_timing(&mut self, measured: u64) -> Result<u64> {
+        let calibration = self
+            .calibration
+            .ok_or_else(|| SageError::Protocol("verifier not calibrated".into()))?;
+        if !calibration.accepts(measured) {
+            self.stats.timing_rejects += 1;
+            return Err(SageError::TimingExceeded {
+                measured,
+                threshold: calibration.threshold(),
+            });
+        }
+        Ok(calibration.threshold())
+    }
+
+    /// One challenge–response verification round: fresh challenges, timed
+    /// run, value and timing verdicts (the repeated invocation of Fig. 3,
+    /// step 4).
+    pub fn verify_once(&mut self, session: &mut GpuSession) -> Result<u64> {
+        let ch = self.generate_challenges();
+        let (got, measured) = session.run_checksum(&ch)?;
+        let expected = self.expected(&ch);
+        if got != expected {
+            self.stats.value_rejects += 1;
+            return Err(SageError::ChecksumMismatch { got, expected });
+        }
+        self.check_timing(measured)?;
+        self.stats.accepted += 1;
+        Ok(measured)
+    }
+
+    /// Verification outcome counters.
+    pub fn stats(&self) -> VerificationStats {
+        self.stats
+    }
+
+    /// Runs the full modified-SAKE key establishment against the device
+    /// agent (paper §5.2.3), with an optional message tap for adversarial
+    /// interposition.
+    pub fn establish_key(
+        &mut self,
+        session: &mut GpuSession,
+        agent: &mut DeviceAgent,
+        mut tap: Option<MessageTap<'_>>,
+    ) -> Result<AttestationOutcome> {
+        let mut touch = |step: usize, msg: &mut SakeMessage| {
+            if let Some(t) = tap.as_mut() {
+                t(step, msg);
+            }
+        };
+
+        let mut entropy = {
+            // The enclave DRBG provides the verifier's randomness.
+            let seed = self.enclave.random(32);
+            let key: [u8; 16] = seed[..16].try_into().expect("16 bytes");
+            let iv: [u8; 16] = seed[16..].try_into().expect("16 bytes");
+            sage_crypto::AesCtr::new(&key, &iv)
+        };
+        let (mut sake, mut msg) = SakeVerifier::start(self.group.clone(), &mut entropy);
+        touch(0, &mut msg);
+        let SakeMessage::Challenge { v2 } = msg else {
+            return Err(SageError::Protocol("bad flow: challenge".into()));
+        };
+
+        // The device computes the checksum under the v2-derived
+        // challenges; the verifier replays the same derivation.
+        let (mut commit, measured) = agent.handle_challenge(session, self.group.clone(), v2)?;
+        touch(1, &mut commit);
+        let challenges = derive_challenges(&v2, self.build.params.grid_blocks);
+        sake.set_expected_checksum(self.expected(&challenges));
+        let threshold = self.check_timing(measured)?;
+
+        let SakeMessage::Commit { w2, mac } = commit else {
+            return Err(SageError::Protocol("bad flow: commit".into()));
+        };
+        let mut reveal1 = sake.on_commit(w2, mac)?;
+        touch(2, &mut reveal1);
+        let SakeMessage::RevealV1 { v1 } = reveal1 else {
+            return Err(SageError::Protocol("bad flow: reveal v1".into()));
+        };
+        let mut dev1 = agent.handle_reveal_v1(v1)?;
+        touch(3, &mut dev1);
+        let SakeMessage::DeviceReveal1 { w1, k, mac_k } = dev1 else {
+            return Err(SageError::Protocol("bad flow: device reveal 1".into()));
+        };
+        let mut reveal0 = sake.on_device_reveal1(w1, k, mac_k)?;
+        touch(4, &mut reveal0);
+        let SakeMessage::RevealV0 { v0 } = reveal0 else {
+            return Err(SageError::Protocol("bad flow: reveal v0".into()));
+        };
+        let mut dev0 = agent.handle_reveal_v0(v0)?;
+        touch(5, &mut dev0);
+        let SakeMessage::DeviceReveal0 { w0 } = dev0 else {
+            return Err(SageError::Protocol("bad flow: device reveal 0".into()));
+        };
+        sake.on_device_reveal0(w0)?;
+
+        let session_key = sake
+            .session_key()
+            .ok_or_else(|| SageError::Protocol("no session key".into()))?;
+        self.stats.accepted += 1;
+        Ok(AttestationOutcome {
+            session_key,
+            measured_cycles: measured,
+            threshold_cycles: threshold,
+        })
+    }
+
+    /// Opens the verifier's end of the secure channel.
+    pub fn open_channel(&self, outcome: &AttestationOutcome) -> SecureChannel {
+        SecureChannel::new(outcome.session_key, Role::Host)
+    }
+
+    /// Checks a user kernel's authenticity: sends a fresh `r`, has the
+    /// device measure `H(r ‖ code)` with the SHA-256 kernel, and compares
+    /// against the locally computed expectation (paper §5.2.3, Eq. 9).
+    pub fn verify_user_kernel(
+        &mut self,
+        session: &mut GpuSession,
+        agent: &mut DeviceAgent,
+        code: &[u8],
+    ) -> Result<()> {
+        let r = self.enclave.nonce32();
+        let device_hash = agent.measure_kernel(session, &r, code)?;
+        let mut expect_input = Vec::with_capacity(32 + code.len());
+        expect_input.extend_from_slice(&r);
+        expect_input.extend_from_slice(code);
+        let expected = sage_crypto::sha256(&expect_input);
+        if !sage_crypto::ct_eq(&device_hash, &expected) {
+            return Err(SageError::KernelHashMismatch);
+        }
+        Ok(())
+    }
+
+    /// Produces an enclave quote binding the attestation transcript for
+    /// an external challenger (Fig. 2's challenger role).
+    pub fn quote_attestation(&self, outcome: &AttestationOutcome) -> Quote {
+        let mut h = sage_crypto::Sha256::new();
+        h.update(b"sage-attestation:");
+        h.update(&outcome.session_key);
+        h.update(&outcome.measured_cycles.to_le_bytes());
+        self.enclave.quote(h.finalize())
+    }
+}

@@ -1,0 +1,126 @@
+//! The TOCTOU defence (paper §8): the user kernel is inlined into the VF
+//! and called directly by the epilog — no scheduler gap, and the kernel's
+//! code is fingerprinted by the checksum traversal.
+
+use sage::kernels::{vecadd::Elem, vecadd_kernel};
+use sage::GpuSession;
+use sage_gpu_sim::{Device, DeviceConfig};
+use sage_vf::{build_vf_inline, expected_checksum, VfParams};
+
+fn params() -> VfParams {
+    let mut p = VfParams::test_tiny();
+    p.iterations = 4;
+    p
+}
+
+fn challenges(n: u32) -> Vec<[u8; 16]> {
+    (0..n).map(|b| [0x21u8.wrapping_add(b as u8 * 7); 16]).collect()
+}
+
+#[test]
+fn inlined_kernel_runs_after_checksum_in_one_launch() {
+    let kernel = vecadd_kernel(Elem::U32);
+    let dev = Device::new(DeviceConfig::sim_tiny());
+    let p = params();
+    let mut session =
+        GpuSession::install_inline(dev, &p, 0x10C7, Some(&kernel)).unwrap();
+    assert!(session.build().layout.user_kernel_addr().is_some());
+
+    // Input/output buffers for the inlined vecadd; geometry comes from
+    // the VF launch (2 blocks × 64 threads = 128 threads ≥ n).
+    let n = 100u32;
+    let a: Vec<u32> = (0..n).collect();
+    let b: Vec<u32> = (0..n).map(|i| 2 * i).collect();
+    let bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|w| w.to_le_bytes()).collect() };
+    let abuf = session.dev.alloc(4 * n).unwrap();
+    let bbuf = session.dev.alloc(4 * n).unwrap();
+    let obuf = session.dev.alloc(4 * n).unwrap();
+    session.dev.memcpy_h2d(abuf, &bytes(&a)).unwrap();
+    session.dev.memcpy_h2d(bbuf, &bytes(&b)).unwrap();
+
+    let ch = challenges(p.grid_blocks);
+    let (got, _) = session
+        .run_checksum_with_params(&ch, vec![abuf, bbuf, obuf, n])
+        .unwrap();
+
+    // The checksum is correct (replay covers the kernel bytes too)…
+    assert_eq!(got, expected_checksum(session.build(), &ch));
+    // …and the kernel ran inside the same launch.
+    let raw = session.dev.memcpy_d2h(obuf, 4 * n).unwrap();
+    for i in 0..n as usize {
+        let v = u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
+        assert_eq!(v, 3 * i as u32, "element {i}");
+    }
+}
+
+#[test]
+fn tampering_the_inlined_kernel_breaks_the_checksum() {
+    // Because the kernel lives inside the checksummed region, modifying
+    // it is equivalent to modifying the VF: the traversal reads the
+    // changed bytes and the checksum diverges — kernel code integrity
+    // without a separate hash check.
+    let kernel = vecadd_kernel(Elem::U32);
+    let p = params();
+    let build = build_vf_inline(&p, 4096, 0x10C7, Some(&kernel)).unwrap();
+    let ch = challenges(p.grid_blocks);
+    let expected = expected_checksum(&build, &ch);
+
+    let mut dev = Device::new(DeviceConfig::sim_tiny());
+    let ctx = dev.create_context();
+    let base = dev.alloc(build.layout.total_bytes).unwrap();
+    assert_eq!(base, build.layout.base);
+    let mut image = build.image.clone();
+    // Adversary swaps one instruction of the inlined kernel for a NOP
+    // (e.g. to skip the range guard). Overwrite a whole word in the user
+    // area.
+    let off = build.layout.user_off as usize + 6 * 16;
+    let nop = sage_isa::encode::encode_bytes(&sage_isa::Instruction::new(
+        sage_isa::Opcode::Nop,
+    ));
+    image[off..off + 16].copy_from_slice(&nop);
+    dev.memcpy_h2d(base, &image).unwrap();
+    for (b, c) in ch.iter().enumerate() {
+        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), c).unwrap();
+    }
+    dev.run_single(sage_gpu_sim::LaunchParams {
+        ctx,
+        entry_pc: build.layout.entry_addr(),
+        grid_dim: p.grid_blocks,
+        block_dim: p.block_threads,
+        regs_per_thread: build.regs_per_thread(),
+        smem_bytes: build.smem_bytes(),
+        params: vec![0, 0, 0, 0],
+    })
+    .unwrap();
+    let raw = dev.memcpy_d2h(build.layout.result_addr(), 32).unwrap();
+    let mut got = [0u32; 8];
+    for (j, cell) in got.iter_mut().enumerate() {
+        *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().unwrap());
+    }
+    assert_ne!(got, expected, "kernel tampering must surface in the checksum");
+}
+
+#[test]
+fn inline_build_rejects_oversized_kernels() {
+    let mut p = params();
+    p.data_bytes = 4096; // tiny region
+    let kernel = sage::kernels::sha256_dev::sha256_kernel(); // ~2k insns
+    assert!(build_vf_inline(&p, 0, 1, Some(&kernel)).is_err());
+}
+
+#[test]
+fn inline_and_plain_builds_differ_only_in_kernel_presence() {
+    let p = params();
+    let plain = sage_vf::build_vf(&p, 0x1000, 9).unwrap();
+    let kernel = vecadd_kernel(Elem::U32);
+    let inline = build_vf_inline(&p, 0x1000, 9, Some(&kernel)).unwrap();
+    assert_eq!(plain.layout.user_bytes, 0);
+    assert_eq!(inline.layout.user_bytes, kernel.byte_len() as u32);
+    assert!(inline.layout.fill_off > plain.layout.fill_off);
+    // Different images → different checksums, naturally.
+    let ch = challenges(p.grid_blocks);
+    assert_ne!(
+        expected_checksum(&plain, &ch),
+        expected_checksum(&inline, &ch)
+    );
+}

@@ -1,0 +1,384 @@
+//! Minimal arbitrary-precision unsigned integers for Diffie-Hellman.
+//!
+//! Little-endian `u32` limbs; schoolbook multiplication and shift-subtract
+//! reduction — deliberately simple and auditable. Performance is adequate
+//! for the handful of modular exponentiations per attestation session.
+
+use core::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zero limbs (canonical form).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> BigUint {
+        let mut b = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        b.normalize();
+        b
+    }
+
+    /// Parses big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut v = 0u32;
+            for &b in chunk {
+                v = (v << 8) | b as u32;
+            }
+            limbs.push(v);
+        }
+        let mut b = BigUint { limbs };
+        b.normalize();
+        b
+    }
+
+    /// Serializes to big-endian bytes (minimal length; zero → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes (left-padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `true` if zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Bit `i` (little-endian numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        self.limbs
+            .get(limb)
+            .map_or(false, |&l| l & (1 << (i % 32)) != 0)
+    }
+
+    /// Comparison.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut limbs = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let s = a + b + carry;
+            limbs.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        let mut r = BigUint { limbs };
+        r.normalize();
+        r
+    }
+
+    /// `self - other` (saturating at zero is a bug; callers must ensure
+    /// `self >= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "bignum subtraction underflow"
+        );
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(d as u32);
+        }
+        let mut r = BigUint { limbs };
+        r.normalize();
+        r
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = limbs[i + j] as u64 + a as u64 * b as u64 + carry;
+                limbs[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = limbs[k] as u64 + carry;
+                limbs[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 32;
+        let bit_shift = n % 32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by one bit, in place.
+    pub fn shr1_mut(&mut self) {
+        let mut carry = 0u32;
+        for l in self.limbs.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 31);
+            carry = new_carry;
+        }
+        self.normalize();
+    }
+
+    /// `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulo by zero");
+        if self.cmp_big(m) == Ordering::Less {
+            return self.clone();
+        }
+        let shift = self.bits() - m.bits();
+        let mut d = m.shl(shift);
+        let mut a = self.clone();
+        for _ in 0..=shift {
+            if a.cmp_big(&d) != Ordering::Less {
+                a = a.sub(&d);
+            }
+            d.shr1_mut();
+        }
+        a
+    }
+
+    /// `self^exp mod m` (left-to-right square and multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulo by zero");
+        if m.cmp_big(&BigUint::one()) == Ordering::Equal {
+            return BigUint::zero();
+        }
+        let base = self.rem(m);
+        let mut result = BigUint::one();
+        let nbits = exp.bits();
+        for i in (0..nbits).rev() {
+            result = result.mul(&result).rem(m);
+            if exp.bit(i) {
+                result = result.mul(&base).rem(m);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(b.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 7]).to_bytes_be(), vec![7]);
+        assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_serialization() {
+        assert_eq!(big(0x0102).to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_too_small_panics() {
+        let _ = big(0x0102_0304_05).to_bytes_be_padded(4);
+    }
+
+    #[test]
+    fn arithmetic_small_values() {
+        assert_eq!(big(3).add(&big(4)), big(7));
+        assert_eq!(big(1 << 33).sub(&big(1)), BigUint::from_u64((1 << 33) - 1));
+        assert_eq!(big(123456789).mul(&big(987654321)), {
+            BigUint::from_bytes_be(&(123456789u128 * 987654321).to_be_bytes())
+        });
+        assert_eq!(big(1000).rem(&big(37)), big(1000 % 37));
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let max = BigUint::from_u64(u64::MAX);
+        let r = max.add(&BigUint::one());
+        assert_eq!(r.bits(), 65);
+        assert_eq!(r.sub(&BigUint::one()), max);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(big(1).shl(100).bits(), 101);
+        let mut v = big(4);
+        v.shr1_mut();
+        assert_eq!(v, big(2));
+        assert_eq!(big(5).shl(35), BigUint::from_u64(5u64 << 35));
+        assert_eq!(big(5).shl(64), big(5).shl(32).shl(32));
+    }
+
+    #[test]
+    fn modpow_small() {
+        // 5^117 mod 19 = 1 (since ord(5) mod 19 divides 9; 5^9=1 mod 19,
+        // 117 = 13*9).
+        assert_eq!(big(5).modpow(&big(117), &big(19)), big(1));
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        assert_eq!(big(2).modpow(&big(0), &big(7)), big(1));
+        assert_eq!(big(2).modpow(&big(10), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_matches_u128_reference() {
+        let cases = [
+            (3u128, 200u128, 1_000_003u128),
+            (65537, 1234, 4_294_967_291),
+            (2, 127, (1 << 61) - 1),
+        ];
+        for (b, e, m) in cases {
+            let mut expect = 1u128;
+            let mut base = b % m;
+            let mut exp = e;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    expect = expect * base % m;
+                }
+                base = base * base % m;
+                exp >>= 1;
+            }
+            let r = BigUint::from_bytes_be(&b.to_be_bytes()).modpow(
+                &BigUint::from_bytes_be(&e.to_be_bytes()),
+                &BigUint::from_bytes_be(&m.to_be_bytes()),
+            );
+            assert_eq!(r, BigUint::from_bytes_be(&expect.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn rem_large_operands() {
+        let a = BigUint::from_bytes_be(&[0xFF; 40]);
+        let m = BigUint::from_bytes_be(&[0x01, 0x00, 0x00, 0x00, 0x01]);
+        let r = a.rem(&m);
+        assert!(r.cmp_big(&m) == Ordering::Less);
+        // (a - r) divisible by m: check via multiply-back scan.
+        let q_times_m_plus_r_matches = {
+            // Verify a ≡ r (mod m) by computing (a - r) mod m == 0.
+            a.sub(&r).rem(&m).is_zero()
+        };
+        assert!(q_times_m_plus_r_matches);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Hash chains in the Guy Fawkes style (Anderson et al.), as used by the
+//! SAKE key-establishment protocol: each party commits to the head of a
+//! short chain (`v₂ = H(v₁) = H(H(v₀))`) and gradually discloses the
+//! pre-images, which the peer verifies link by link (paper §5.2.3,
+//! Eqs. 1–7).
+
+use crate::sha256::sha256;
+
+/// A length-3 hash chain `x₀ → x₁ = H(x₀) → x₂ = H(x₁)` over 32-byte
+/// values, matching the SAKE message flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HashChain {
+    links: [[u8; 32]; 3],
+}
+
+impl HashChain {
+    /// Builds the chain from its secret root `x₀`.
+    pub fn from_root(x0: [u8; 32]) -> HashChain {
+        let x1 = sha256(&x0);
+        let x2 = sha256(&x1);
+        HashChain {
+            links: [x0, x1, x2],
+        }
+    }
+
+    /// The secret root `x₀`.
+    pub fn x0(&self) -> &[u8; 32] {
+        &self.links[0]
+    }
+
+    /// The middle link `x₁ = H(x₀)`.
+    pub fn x1(&self) -> &[u8; 32] {
+        &self.links[1]
+    }
+
+    /// The public commitment `x₂ = H(x₁)`.
+    pub fn x2(&self) -> &[u8; 32] {
+        &self.links[2]
+    }
+
+    /// Verifies that `candidate` is the pre-image of `commitment`
+    /// (`H(candidate) == commitment`).
+    pub fn verify_link(commitment: &[u8; 32], candidate: &[u8; 32]) -> bool {
+        crate::ct::ct_eq(&sha256(candidate), commitment)
+    }
+}
+
+/// Verifier-side view of a peer's chain: holds the last verified link and
+/// accepts pre-images one at a time.
+#[derive(Clone, Debug)]
+pub struct ChainVerifier {
+    expected: [u8; 32],
+    accepted: u32,
+}
+
+impl ChainVerifier {
+    /// Starts from a received commitment `x₂`.
+    pub fn new(commitment: [u8; 32]) -> ChainVerifier {
+        ChainVerifier {
+            expected: commitment,
+            accepted: 0,
+        }
+    }
+
+    /// Accepts the next pre-image if it hashes to the current expectation;
+    /// returns `true` and advances on success.
+    pub fn accept(&mut self, preimage: &[u8; 32]) -> bool {
+        if HashChain::verify_link(&self.expected, preimage) {
+            self.expected = *preimage;
+            self.accepted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of links verified so far.
+    pub fn accepted(&self) -> u32 {
+        self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let c = HashChain::from_root([7u8; 32]);
+        assert_eq!(*c.x1(), sha256(c.x0()));
+        assert_eq!(*c.x2(), sha256(c.x1()));
+        assert!(HashChain::verify_link(c.x2(), c.x1()));
+        assert!(HashChain::verify_link(c.x1(), c.x0()));
+        assert!(!HashChain::verify_link(c.x2(), c.x0()));
+    }
+
+    #[test]
+    fn verifier_walks_the_chain() {
+        let c = HashChain::from_root([42u8; 32]);
+        let mut v = ChainVerifier::new(*c.x2());
+        assert!(v.accept(c.x1()));
+        assert!(v.accept(c.x0()));
+        assert_eq!(v.accepted(), 2);
+    }
+
+    #[test]
+    fn verifier_rejects_wrong_preimage_and_replays() {
+        let c = HashChain::from_root([42u8; 32]);
+        let mut v = ChainVerifier::new(*c.x2());
+        assert!(!v.accept(c.x0())); // skipping a link fails
+        assert!(v.accept(c.x1()));
+        assert!(!v.accept(c.x1())); // replaying the same link fails
+        assert!(v.accept(c.x0()));
+    }
+
+    #[test]
+    fn distinct_roots_give_distinct_commitments() {
+        let a = HashChain::from_root([1u8; 32]);
+        let b = HashChain::from_root([2u8; 32]);
+        assert_ne!(a.x2(), b.x2());
+    }
+}

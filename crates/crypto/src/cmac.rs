@@ -1,0 +1,145 @@
+//! AES-CMAC (RFC 4493) — the protocol MAC of the modified SAKE exchange
+//! (paper §5.2.3) and of the authenticated data channel (§5.2.4).
+
+use crate::aes::Aes128;
+
+/// Left-shift a 16-byte block by one bit.
+fn shl1(b: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        out[i] = (b[i] << 1) | carry;
+        carry = b[i] >> 7;
+    }
+    out
+}
+
+fn subkeys(cipher: &Aes128) -> ([u8; 16], [u8; 16]) {
+    const RB: u8 = 0x87;
+    let l = cipher.encrypt(&[0u8; 16]);
+    let mut k1 = shl1(&l);
+    if l[0] & 0x80 != 0 {
+        k1[15] ^= RB;
+    }
+    let mut k2 = shl1(&k1);
+    if k1[0] & 0x80 != 0 {
+        k2[15] ^= RB;
+    }
+    (k1, k2)
+}
+
+/// Computes AES-CMAC of `msg` under `key`.
+pub fn cmac_aes128(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
+    let cipher = Aes128::new(key);
+    let (k1, k2) = subkeys(&cipher);
+
+    let n = msg.len().div_ceil(16).max(1);
+    let complete = msg.len() == n * 16;
+
+    let mut x = [0u8; 16];
+    for block_idx in 0..n - 1 {
+        for i in 0..16 {
+            x[i] ^= msg[block_idx * 16 + i];
+        }
+        x = cipher.encrypt(&x);
+    }
+
+    let mut last = [0u8; 16];
+    let tail = &msg[(n - 1) * 16..];
+    if complete {
+        last[..16].copy_from_slice(tail);
+        for i in 0..16 {
+            last[i] ^= k1[i];
+        }
+    } else {
+        last[..tail.len()].copy_from_slice(tail);
+        last[tail.len()] = 0x80;
+        for i in 0..16 {
+            last[i] ^= k2[i];
+        }
+    }
+    for i in 0..16 {
+        x[i] ^= last[i];
+    }
+    cipher.encrypt(&x)
+}
+
+/// Verifies a CMAC tag in constant time.
+pub fn cmac_verify(key: &[u8; 16], msg: &[u8], tag: &[u8]) -> bool {
+    let computed = cmac_aes128(key, msg);
+    crate::ct::ct_eq(&computed, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    const KEY: &str = "2b7e151628aed2a6abf7158809cf4f3c";
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let key: [u8; 16] = unhex(KEY).try_into().unwrap();
+        assert_eq!(
+            cmac_aes128(&key, b"").to_vec(),
+            unhex("bb1d6929e95937287fa37d129b756746")
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_2_16_bytes() {
+        let key: [u8; 16] = unhex(KEY).try_into().unwrap();
+        let msg = unhex("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(
+            cmac_aes128(&key, &msg).to_vec(),
+            unhex("070a16b46b4d4144f79bdd9dd04a287c")
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let key: [u8; 16] = unhex(KEY).try_into().unwrap();
+        let msg = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411",
+        );
+        assert_eq!(
+            cmac_aes128(&key, &msg).to_vec(),
+            unhex("dfa66747de9ae63030ca32611497c827")
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let key: [u8; 16] = unhex(KEY).try_into().unwrap();
+        let msg = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        assert_eq!(
+            cmac_aes128(&key, &msg).to_vec(),
+            unhex("51f0bebf7e3b9d92fc49741779363cfe")
+        );
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let key = [5u8; 16];
+        let tag = cmac_aes128(&key, b"hello");
+        assert!(cmac_verify(&key, b"hello", &tag));
+        assert!(!cmac_verify(&key, b"hellp", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!cmac_verify(&key, b"hello", &bad));
+        assert!(!cmac_verify(&key, b"hello", &tag[..15]));
+    }
+}

@@ -1,0 +1,42 @@
+//! Constant-time comparison.
+
+/// Compares two byte strings in time independent of where they differ.
+///
+/// Returns `false` immediately only on length mismatch (lengths are
+/// public in every use in this workspace: MAC tags, digests, checksums).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    // Reduce without branching on the value.
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_and_unequal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"\x00", b"\x01"));
+    }
+
+    #[test]
+    fn first_and_last_byte_differences() {
+        let a = [0u8; 64];
+        let mut b = a;
+        b[0] = 1;
+        assert!(!ct_eq(&a, &b));
+        let mut c = a;
+        c[63] = 1;
+        assert!(!ct_eq(&a, &c));
+    }
+}

@@ -1,0 +1,199 @@
+//! Classic finite-field Diffie-Hellman (the paper's Eq. 1/5/8:
+//! `v₀ = gᵃ mod p`, `k = gᵇ mod p`, `sk = g^{ab} mod p`).
+
+use crate::{
+    bignum::BigUint,
+    sha256::{sha256, Sha256},
+    EntropySource,
+};
+
+/// A multiplicative MODP group `(p, g)`.
+#[derive(Clone, Debug)]
+pub struct DhGroup {
+    /// Prime modulus.
+    pub p: BigUint,
+    /// Generator.
+    pub g: BigUint,
+    /// Private-exponent length in bytes.
+    pub exponent_bytes: usize,
+}
+
+/// RFC 3526 group 14 (2048-bit MODP) prime, big-endian.
+const MODP_2048_P: [u8; 256] = [
+    0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xC9, 0x0F, 0xDA, 0xA2, 0x21, 0x68, 0xC2,
+    0x34, 0xC4, 0xC6, 0x62, 0x8B, 0x80, 0xDC, 0x1C, 0xD1, 0x29, 0x02, 0x4E, 0x08, 0x8A, 0x67,
+    0xCC, 0x74, 0x02, 0x0B, 0xBE, 0xA6, 0x3B, 0x13, 0x9B, 0x22, 0x51, 0x4A, 0x08, 0x79, 0x8E,
+    0x34, 0x04, 0xDD, 0xEF, 0x95, 0x19, 0xB3, 0xCD, 0x3A, 0x43, 0x1B, 0x30, 0x2B, 0x0A, 0x6D,
+    0xF2, 0x5F, 0x14, 0x37, 0x4F, 0xE1, 0x35, 0x6D, 0x6D, 0x51, 0xC2, 0x45, 0xE4, 0x85, 0xB5,
+    0x76, 0x62, 0x5E, 0x7E, 0xC6, 0xF4, 0x4C, 0x42, 0xE9, 0xA6, 0x37, 0xED, 0x6B, 0x0B, 0xFF,
+    0x5C, 0xB6, 0xF4, 0x06, 0xB7, 0xED, 0xEE, 0x38, 0x6B, 0xFB, 0x5A, 0x89, 0x9F, 0xA5, 0xAE,
+    0x9F, 0x24, 0x11, 0x7C, 0x4B, 0x1F, 0xE6, 0x49, 0x28, 0x66, 0x51, 0xEC, 0xE4, 0x5B, 0x3D,
+    0xC2, 0x00, 0x7C, 0xB8, 0xA1, 0x63, 0xBF, 0x05, 0x98, 0xDA, 0x48, 0x36, 0x1C, 0x55, 0xD3,
+    0x9A, 0x69, 0x16, 0x3F, 0xA8, 0xFD, 0x24, 0xCF, 0x5F, 0x83, 0x65, 0x5D, 0x23, 0xDC, 0xA3,
+    0xAD, 0x96, 0x1C, 0x62, 0xF3, 0x56, 0x20, 0x85, 0x52, 0xBB, 0x9E, 0xD5, 0x29, 0x07, 0x70,
+    0x96, 0x96, 0x6D, 0x67, 0x0C, 0x35, 0x4E, 0x4A, 0xBC, 0x98, 0x04, 0xF1, 0x74, 0x6C, 0x08,
+    0xCA, 0x18, 0x21, 0x7C, 0x32, 0x90, 0x5E, 0x46, 0x2E, 0x36, 0xCE, 0x3B, 0xE3, 0x9E, 0x77,
+    0x2C, 0x18, 0x0E, 0x86, 0x03, 0x9B, 0x27, 0x83, 0xA2, 0xEC, 0x07, 0xA2, 0x8F, 0xB5, 0xC5,
+    0x5D, 0xF0, 0x6F, 0x4C, 0x52, 0xC9, 0xDE, 0x2B, 0xCB, 0xF6, 0x95, 0x58, 0x17, 0x18, 0x39,
+    0x95, 0x49, 0x7C, 0xEA, 0x95, 0x6A, 0xE5, 0x15, 0xD2, 0x26, 0x18, 0x98, 0xFA, 0x05, 0x10,
+    0x15, 0x72, 0x8E, 0x5A, 0x8A, 0xAC, 0xAA, 0x68, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+    0xFF,
+];
+
+impl DhGroup {
+    /// RFC 3526 group 14: 2048-bit MODP, generator 2 — the production
+    /// group.
+    pub fn modp_2048() -> DhGroup {
+        DhGroup {
+            p: BigUint::from_bytes_be(&MODP_2048_P),
+            g: BigUint::from_u64(2),
+            exponent_bytes: 32, // 256-bit exponents
+        }
+    }
+
+    /// A small (127-bit Mersenne prime `2¹²⁷ − 1`) group for fast tests.
+    /// Functionally identical protocol flow; no security claim.
+    pub fn test_group() -> DhGroup {
+        let p = BigUint::from_bytes_be(&((1u128 << 127) - 1).to_be_bytes());
+        DhGroup {
+            p,
+            g: BigUint::from_u64(3),
+            exponent_bytes: 16,
+        }
+    }
+
+    /// Generates a key pair from the entropy source.
+    pub fn generate(&self, entropy: &mut dyn EntropySource) -> DhKeyPair {
+        // Sample until 2 <= private < p (rejection sampling at byte
+        // granularity; at most a couple of iterations).
+        let private = loop {
+            let bytes = entropy.bytes(self.exponent_bytes);
+            let candidate = BigUint::from_bytes_be(&bytes);
+            if candidate.cmp_big(&BigUint::from_u64(2)) != std::cmp::Ordering::Less
+                && candidate.cmp_big(&self.p) == std::cmp::Ordering::Less
+            {
+                break candidate;
+            }
+        };
+        let public = self.g.modpow(&private, &self.p);
+        DhKeyPair { private, public }
+    }
+
+    /// Computes the shared secret `peer_public ^ private mod p`.
+    pub fn shared_secret(&self, keys: &DhKeyPair, peer_public: &BigUint) -> BigUint {
+        peer_public.modpow(&keys.private, &self.p)
+    }
+
+    /// Derives a 128-bit symmetric key from the shared secret:
+    /// `SHA-256("sage-kdf" ‖ secret)[..16]`.
+    pub fn derive_key(&self, shared: &BigUint) -> [u8; 16] {
+        let mut h = Sha256::new();
+        h.update(b"sage-kdf");
+        h.update(&shared.to_bytes_be());
+        let digest = h.finalize();
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&digest[..16]);
+        key
+    }
+
+    /// Validates a peer public key: `1 < y < p - 1`.
+    pub fn valid_public(&self, y: &BigUint) -> bool {
+        use std::cmp::Ordering::Less;
+        let one = BigUint::one();
+        let p_minus_1 = self.p.sub(&one);
+        one.cmp_big(y) == Less && y.cmp_big(&p_minus_1) == Less
+    }
+}
+
+/// A Diffie-Hellman key pair.
+#[derive(Clone, Debug)]
+pub struct DhKeyPair {
+    /// Secret exponent.
+    pub private: BigUint,
+    /// Public value `g^private mod p`.
+    pub public: BigUint,
+}
+
+/// Hashes a DH public value for transcript binding.
+pub fn public_digest(y: &BigUint) -> [u8; 32] {
+    sha256(&y.to_bytes_be())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingEntropy(u8);
+    impl EntropySource for CountingEntropy {
+        fn fill(&mut self, buf: &mut [u8]) {
+            for b in buf {
+                self.0 = self.0.wrapping_mul(181).wrapping_add(97);
+                *b = self.0;
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_agrees() {
+        let g = DhGroup::test_group();
+        let mut e1 = CountingEntropy(1);
+        let mut e2 = CountingEntropy(99);
+        let alice = g.generate(&mut e1);
+        let bob = g.generate(&mut e2);
+        let s1 = g.shared_secret(&alice, &bob.public);
+        let s2 = g.shared_secret(&bob, &alice.public);
+        assert_eq!(s1, s2);
+        assert_eq!(g.derive_key(&s1), g.derive_key(&s2));
+    }
+
+    #[test]
+    fn distinct_entropy_distinct_keys() {
+        let g = DhGroup::test_group();
+        let a = g.generate(&mut CountingEntropy(1));
+        let b = g.generate(&mut CountingEntropy(2));
+        assert_ne!(a.public.to_bytes_be(), b.public.to_bytes_be());
+    }
+
+    #[test]
+    fn public_validation() {
+        let g = DhGroup::test_group();
+        assert!(!g.valid_public(&BigUint::one()));
+        assert!(!g.valid_public(&g.p.sub(&BigUint::one())));
+        assert!(!g.valid_public(&g.p));
+        let kp = g.generate(&mut CountingEntropy(7));
+        assert!(g.valid_public(&kp.public));
+    }
+
+    #[test]
+    fn modp_2048_structure() {
+        // Structural sanity of the RFC 3526 constant: 2048 bits, odd,
+        // top and bottom 64 bits all ones.
+        let g = DhGroup::modp_2048();
+        assert_eq!(g.p.bits(), 2048);
+        let bytes = g.p.to_bytes_be();
+        assert_eq!(&bytes[..8], &[0xFF; 8]);
+        assert_eq!(&bytes[bytes.len() - 8..], &[0xFF; 8]);
+    }
+
+    #[test]
+    #[ignore = "slow: full 2048-bit exchange (~seconds in release); run with --ignored"]
+    fn modp_2048_exchange() {
+        let g = DhGroup::modp_2048();
+        let alice = g.generate(&mut CountingEntropy(1));
+        let bob = g.generate(&mut CountingEntropy(2));
+        assert_eq!(
+            g.shared_secret(&alice, &bob.public),
+            g.shared_secret(&bob, &alice.public)
+        );
+    }
+
+    #[test]
+    fn derive_key_is_stable_and_binding() {
+        let g = DhGroup::test_group();
+        let k1 = g.derive_key(&BigUint::from_u64(12345));
+        let k2 = g.derive_key(&BigUint::from_u64(12345));
+        let k3 = g.derive_key(&BigUint::from_u64(12346));
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+}

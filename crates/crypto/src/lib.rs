@@ -1,0 +1,60 @@
+//! From-scratch cryptographic primitives for the SAGE reproduction.
+//!
+//! The paper's implementation uses the Intel SGX SDK `tcrypto` library and
+//! cuRAND; the offline crate set here contains no cryptography, so the
+//! primitives the protocol needs are implemented in-repo and pinned to
+//! published test vectors:
+//!
+//! - [`sha256`](mod@sha256) — FIPS 180-4 SHA-256 (protocol hash `H`, user-kernel
+//!   measurement, hash chains),
+//! - [`aes`] — FIPS 197 AES-128 block cipher,
+//! - [`ctr`] — NIST SP 800-38A AES-CTR (challenge DRBG, secure channel
+//!   encryption),
+//! - [`cmac`] — RFC 4493 AES-CMAC (protocol MAC, secure channel
+//!   authentication),
+//! - [`bignum`]/[`dh`] — big-integer modular exponentiation and classic
+//!   MODP Diffie-Hellman (RFC 3526 group 14, plus a small test group),
+//! - [`chain`] — Guy-Fawkes-style hash chains (SAKE's `v₂/v₁/v₀`,
+//!   `w₂/w₁/w₀`),
+//! - [`ct`] — constant-time comparison.
+//!
+//! None of this is intended for production use outside the reproduction;
+//! it is here so the workspace is self-contained and auditable.
+
+pub mod aes;
+pub mod bignum;
+pub mod chain;
+pub mod cmac;
+pub mod ct;
+pub mod ctr;
+pub mod dh;
+pub mod sha256;
+
+pub use aes::Aes128;
+pub use bignum::BigUint;
+pub use chain::HashChain;
+pub use cmac::cmac_aes128;
+pub use ct::ct_eq;
+pub use ctr::AesCtr;
+pub use dh::{DhGroup, DhKeyPair};
+pub use sha256::{sha256, Sha256};
+
+/// A source of random bytes, injected by callers (the enclave DRBG or the
+/// race-condition TRNG).
+pub trait EntropySource {
+    /// Fills `buf` with random bytes.
+    fn fill(&mut self, buf: &mut [u8]);
+
+    /// Convenience: returns `n` random bytes.
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut v = vec![0u8; n];
+        self.fill(&mut v);
+        v
+    }
+}
+
+impl<F: FnMut(&mut [u8])> EntropySource for F {
+    fn fill(&mut self, buf: &mut [u8]) {
+        self(buf)
+    }
+}

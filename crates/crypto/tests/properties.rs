@@ -1,0 +1,153 @@
+//! Property-based tests of the crypto substrate: round trips, algebraic
+//! identities against wide-integer references, and tamper detection.
+
+use proptest::prelude::*;
+use sage_crypto::{
+    chain::HashChain,
+    cmac::{cmac_aes128, cmac_verify},
+    AesCtr, BigUint, Sha256,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        split in any::<usize>(),
+    ) {
+        let split = if data.is_empty() { 0 } else { split % data.len() };
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sage_crypto::sha256(&data));
+    }
+
+    #[test]
+    fn aes_ctr_round_trips(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut enc = AesCtr::new(&key, &iv);
+        let mut buf = data.clone();
+        enc.apply(&mut buf);
+        let mut dec = AesCtr::new(&key, &iv);
+        dec.apply(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn aes_ctr_chunking_invariant(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        chunk in 1usize..64,
+    ) {
+        let mut whole = data.clone();
+        AesCtr::new(&key, &iv).apply(&mut whole);
+        let mut pieces = data.clone();
+        let mut ctr = AesCtr::new(&key, &iv);
+        for c in pieces.chunks_mut(chunk) {
+            ctr.apply(c);
+        }
+        prop_assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn cmac_detects_any_tamper(
+        key in any::<[u8; 16]>(),
+        msg in prop::collection::vec(any::<u8>(), 1..256),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let tag = cmac_aes128(&key, &msg);
+        prop_assert!(cmac_verify(&key, &msg, &tag));
+        let mut bad = msg.clone();
+        let i = pos % bad.len();
+        bad[i] ^= flip;
+        prop_assert!(!cmac_verify(&key, &bad, &tag));
+    }
+
+    #[test]
+    fn cmac_keys_separate(
+        k1 in any::<[u8; 16]>(),
+        k2 in any::<[u8; 16]>(),
+        msg in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let t1 = cmac_aes128(&k1, &msg);
+        let t2 = cmac_aes128(&k2, &msg);
+        if k1 == k2 {
+            prop_assert_eq!(t1, t2);
+        } else {
+            prop_assert_ne!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn bignum_add_sub_inverse(a in any::<u128>(), b in any::<u128>()) {
+        let ba = BigUint::from_bytes_be(&a.to_be_bytes());
+        let bb = BigUint::from_bytes_be(&b.to_be_bytes());
+        prop_assert_eq!(ba.add(&bb).sub(&bb), ba);
+    }
+
+    #[test]
+    fn bignum_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let r = BigUint::from_bytes_be(&a.to_be_bytes())
+            .mul(&BigUint::from_bytes_be(&b.to_be_bytes()));
+        let expect = a as u128 * b as u128;
+        prop_assert_eq!(r, BigUint::from_bytes_be(&expect.to_be_bytes()));
+    }
+
+    #[test]
+    fn bignum_rem_matches_u128(a in any::<u128>(), m in 1u128..) {
+        let r = BigUint::from_bytes_be(&a.to_be_bytes())
+            .rem(&BigUint::from_bytes_be(&m.to_be_bytes()));
+        prop_assert_eq!(r, BigUint::from_bytes_be(&(a % m).to_be_bytes()));
+    }
+
+    #[test]
+    fn bignum_modpow_matches_u128(base in any::<u64>(), exp in any::<u8>(), m in 2u64..) {
+        // u128-checked reference for small exponents.
+        let mut expect: u128 = 1;
+        let mm = m as u128;
+        let mut b = base as u128 % mm;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                expect = expect * b % mm;
+            }
+            b = b * b % mm;
+            e >>= 1;
+        }
+        let r = BigUint::from_bytes_be(&base.to_be_bytes()).modpow(
+            &BigUint::from_bytes_be(&[exp]),
+            &BigUint::from_bytes_be(&m.to_be_bytes()),
+        );
+        prop_assert_eq!(r, BigUint::from_bytes_be(&expect.to_be_bytes()));
+    }
+
+    #[test]
+    fn bignum_bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let b = BigUint::from_bytes_be(&bytes);
+        let back = b.to_bytes_be();
+        // Canonical form: no leading zeros.
+        let canon: Vec<u8> = bytes.iter().copied().skip_while(|&x| x == 0).collect();
+        prop_assert_eq!(back, canon);
+    }
+
+    #[test]
+    fn hash_chain_links_verify(root in any::<[u8; 32]>()) {
+        let c = HashChain::from_root(root);
+        prop_assert!(HashChain::verify_link(c.x2(), c.x1()));
+        prop_assert!(HashChain::verify_link(c.x1(), c.x0()));
+        // Cross-links never verify (collision would be a SHA-256 break).
+        prop_assert!(!HashChain::verify_link(c.x2(), c.x0()));
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_eq(a in prop::collection::vec(any::<u8>(), 0..64),
+                            b in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(sage_crypto::ct_eq(&a, &b), a == b);
+    }
+}

@@ -1,0 +1,295 @@
+//! Command channels and the command processor front-end (paper §2:
+//! "Commands to the GPU are transmitted using a set of command queues
+//! known as *channels*. The GPU's command processor receives these
+//! commands and forwards them to the corresponding engines.").
+//!
+//! Channels belong to contexts, but — as on the real hardware the paper
+//! targets — nothing stops one context's channel from addressing another
+//! context's memory: the isolation gap the SAGE threat model assumes.
+
+use std::collections::VecDeque;
+
+use crate::{
+    device::{ContextId, Device, LaunchParams, RunReport},
+    error::{Result, SimError},
+};
+
+/// Opaque channel identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ChannelId(pub u32);
+
+/// A command submitted to a channel.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Allocate device memory; completes with [`Completion::Alloc`].
+    MemAlloc {
+        /// Requested size in bytes.
+        bytes: u32,
+    },
+    /// DMA host → device (through the tappable bus).
+    MemcpyH2D {
+        /// Destination device address.
+        addr: u32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// DMA device → host; completes with [`Completion::Bytes`].
+    MemcpyD2H {
+        /// Source device address.
+        addr: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Queue a kernel launch; completes with [`Completion::Launched`].
+    Launch(LaunchParams),
+    /// Execute everything queued so far; completes with
+    /// [`Completion::Ran`].
+    RunToCompletion,
+}
+
+/// The completion record of one processed command.
+#[derive(Clone, Debug)]
+pub enum Completion {
+    /// Command had no value to return.
+    Done,
+    /// Result of [`Command::MemAlloc`].
+    Alloc(u32),
+    /// Result of [`Command::MemcpyD2H`].
+    Bytes(Vec<u8>),
+    /// Launch id within the next run.
+    Launched(usize),
+    /// Result of [`Command::RunToCompletion`].
+    Ran(RunReport),
+}
+
+/// One command queue.
+#[derive(Debug)]
+pub struct Channel {
+    /// The owning context (informational only — no isolation, §2).
+    pub ctx: ContextId,
+    queue: VecDeque<Command>,
+}
+
+/// The command-processor front-end: a set of channels multiplexed onto a
+/// device.
+#[derive(Default)]
+pub struct CommandProcessor {
+    channels: Vec<Channel>,
+}
+
+impl CommandProcessor {
+    /// Creates an empty command processor.
+    pub fn new() -> CommandProcessor {
+        CommandProcessor::default()
+    }
+
+    /// Creates a channel for `ctx`.
+    pub fn create_channel(&mut self, ctx: ContextId) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel {
+            ctx,
+            queue: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Enqueues a command on a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown channel id.
+    pub fn submit(&mut self, ch: ChannelId, cmd: Command) {
+        self.channels[ch.0 as usize].queue.push_back(cmd);
+    }
+
+    /// Pending commands on a channel.
+    pub fn pending(&self, ch: ChannelId) -> usize {
+        self.channels[ch.0 as usize].queue.len()
+    }
+
+    /// Processes all queued commands against `dev`, draining channels
+    /// round-robin one command at a time (the interleaving the command
+    /// processor performs between contexts). Returns per-command
+    /// completions tagged with their channel.
+    pub fn process(&mut self, dev: &mut Device) -> Result<Vec<(ChannelId, Completion)>> {
+        let mut out = Vec::new();
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.channels.len() {
+                let Some(cmd) = self.channels[idx].queue.pop_front() else {
+                    continue;
+                };
+                progressed = true;
+                let completion = match cmd {
+                    Command::MemAlloc { bytes } => Completion::Alloc(dev.alloc(bytes)?),
+                    Command::MemcpyH2D { addr, data } => {
+                        dev.memcpy_h2d(addr, &data)?;
+                        Completion::Done
+                    }
+                    Command::MemcpyD2H { addr, len } => {
+                        Completion::Bytes(dev.memcpy_d2h(addr, len)?)
+                    }
+                    Command::Launch(params) => Completion::Launched(dev.launch(params)?),
+                    Command::RunToCompletion => Completion::Ran(dev.run()?),
+                };
+                out.push((ChannelId(idx as u32), completion));
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience: expects an `Alloc` completion.
+pub fn expect_alloc(c: &Completion) -> Result<u32> {
+    match c {
+        Completion::Alloc(a) => Ok(*a),
+        other => Err(SimError::BadCopy(format!(
+            "expected Alloc completion, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use sage_isa::ProgramBuilder;
+    use sage_isa::Reg;
+
+    fn store42_kernel() -> Vec<u8> {
+        // [param0] = 42
+        let mut b = ProgramBuilder::new();
+        b.ctrl(sage_isa::CtrlInfo::stall(1).with_write_bar(0));
+        b.ldg(Reg(1), Reg(0), 0);
+        b.ctrl(sage_isa::CtrlInfo::stall(4).with_wait(0));
+        b.mov(Reg(2), sage_isa::Operand::Imm(42));
+        b.ctrl(sage_isa::CtrlInfo::stall(4));
+        b.stg(Reg(1), 0, Reg(2));
+        b.exit();
+        b.build().unwrap().encode()
+    }
+
+    #[test]
+    fn end_to_end_through_channels() {
+        let mut dev = Device::new(DeviceConfig::sim_tiny());
+        let ctx = dev.create_context();
+        let mut cp = CommandProcessor::new();
+        let ch = cp.create_channel(ctx);
+
+        cp.submit(ch, Command::MemAlloc { bytes: 64 });
+        cp.submit(ch, Command::MemAlloc { bytes: 1024 });
+        let done = cp.process(&mut dev).unwrap();
+        let out_buf = expect_alloc(&done[0].1).unwrap();
+        let code_buf = expect_alloc(&done[1].1).unwrap();
+
+        cp.submit(
+            ch,
+            Command::MemcpyH2D {
+                addr: code_buf,
+                data: store42_kernel(),
+            },
+        );
+        cp.submit(
+            ch,
+            Command::Launch(LaunchParams {
+                ctx,
+                entry_pc: code_buf,
+                grid_dim: 1,
+                block_dim: 32,
+                regs_per_thread: 8,
+                smem_bytes: 0,
+                params: vec![out_buf],
+            }),
+        );
+        cp.submit(ch, Command::RunToCompletion);
+        cp.submit(
+            ch,
+            Command::MemcpyD2H {
+                addr: out_buf,
+                len: 4,
+            },
+        );
+        let done = cp.process(&mut dev).unwrap();
+        let Completion::Bytes(bytes) = &done.last().unwrap().1 else {
+            panic!("expected bytes");
+        };
+        assert_eq!(u32::from_le_bytes(bytes[..4].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn channels_interleave_round_robin() {
+        let mut dev = Device::new(DeviceConfig::sim_tiny());
+        let ctx_a = dev.create_context();
+        let ctx_b = dev.create_context();
+        let mut cp = CommandProcessor::new();
+        let a = cp.create_channel(ctx_a);
+        let b = cp.create_channel(ctx_b);
+        cp.submit(a, Command::MemAlloc { bytes: 16 });
+        cp.submit(a, Command::MemAlloc { bytes: 16 });
+        cp.submit(b, Command::MemAlloc { bytes: 16 });
+        let done = cp.process(&mut dev).unwrap();
+        // Round-robin: a, b, a.
+        let order: Vec<u32> = done.iter().map(|(c, _)| c.0).collect();
+        assert_eq!(order, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn no_isolation_between_contexts() {
+        // A channel of context B reads memory written through context A's
+        // channel — the §2 observation the threat model builds on.
+        let mut dev = Device::new(DeviceConfig::sim_tiny());
+        let ctx_a = dev.create_context();
+        let ctx_b = dev.create_context();
+        let mut cp = CommandProcessor::new();
+        let a = cp.create_channel(ctx_a);
+        let b = cp.create_channel(ctx_b);
+
+        cp.submit(a, Command::MemAlloc { bytes: 16 });
+        let done = cp.process(&mut dev).unwrap();
+        let secret = expect_alloc(&done[0].1).unwrap();
+        cp.submit(
+            a,
+            Command::MemcpyH2D {
+                addr: secret,
+                data: b"victim secret!!!".to_vec(),
+            },
+        );
+        // Context B snoops it.
+        cp.submit(
+            b,
+            Command::MemcpyD2H {
+                addr: secret,
+                len: 16,
+            },
+        );
+        let done = cp.process(&mut dev).unwrap();
+        let Completion::Bytes(stolen) = &done[1].1 else {
+            panic!("expected bytes");
+        };
+        assert_eq!(stolen, b"victim secret!!!");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut dev = Device::new(DeviceConfig::sim_tiny());
+        let ctx = dev.create_context();
+        let mut cp = CommandProcessor::new();
+        let ch = cp.create_channel(ctx);
+        cp.submit(
+            ch,
+            Command::MemcpyD2H {
+                addr: 0xFFFF_0000,
+                len: 64,
+            },
+        );
+        assert!(cp.process(&mut dev).is_err());
+    }
+}

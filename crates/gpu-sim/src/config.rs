@@ -1,0 +1,292 @@
+//! Device configuration: compute, memory-hierarchy and latency parameters.
+
+/// Latency and dispatch parameters of the timing model, in cycles.
+///
+/// Defaults follow the microbenchmark literature the paper builds on
+/// (Jia et al., "Dissecting the NVIDIA Volta/Turing GPU architecture"):
+/// 4-cycle fixed ALU/FMA latency, 2-cycle dispatch interval per pipeline
+/// port, ~30-cycle shared memory, and 250–500-cycle global memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Latencies {
+    /// Fixed result latency of ALU/FMA instructions (read-after-write).
+    pub fixed_alu: u32,
+    /// Dispatch interval of the FMA and ALU ports: a port accepts a new
+    /// instruction every `dispatch_interval` cycles.
+    pub dispatch_interval: u32,
+    /// Shared-memory access latency.
+    pub smem: u32,
+    /// Minimum global-memory access latency.
+    pub gmem_min: u32,
+    /// Maximum additional (jittered) global-memory latency; the effective
+    /// latency is `gmem_min + jitter % (gmem_jitter + 1)`.
+    pub gmem_jitter: u32,
+    /// Instruction fetch penalty on an L0i miss that hits in L1i.
+    pub ifetch_l1: u32,
+    /// Instruction fetch penalty on an L1i miss that hits in L2i.
+    pub ifetch_l2: u32,
+    /// Instruction fetch penalty on an L2i miss (fetch from device
+    /// memory).
+    pub ifetch_mem: u32,
+    /// Global atomic latency (performed at the L2/memory partition).
+    pub atomic_global: u32,
+    /// Shared atomic latency.
+    pub atomic_shared: u32,
+    /// One-way PCIe command/DMA latency, in cycles.
+    pub pcie: u32,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            fixed_alu: 4,
+            dispatch_interval: 2,
+            smem: 29,
+            gmem_min: 250,
+            gmem_jitter: 250,
+            ifetch_l1: 12,
+            ifetch_l2: 32,
+            ifetch_mem: 190,
+            atomic_global: 300,
+            atomic_shared: 40,
+            pcie: 700,
+        }
+    }
+}
+
+/// Full device configuration.
+///
+/// The [`DeviceConfig::a100`] preset mirrors the NVIDIA A100 constants the
+/// paper quotes (108 SMs, 4 processing blocks per SM, 64 warps per SM,
+/// 65,536 registers per SM, 192 KiB L1, 128 KiB instruction-cache slice);
+/// the `sim_*` presets are proportionally scaled devices that keep every
+/// architectural ratio but run fast enough for tests and benches.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Processing blocks (warp schedulers / dispatch-port pairs) per SM.
+    pub partitions_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Register allocation granularity (registers are allocated in
+    /// multiples of this, per warp).
+    pub reg_granularity: u32,
+    /// Shared memory per SM, bytes.
+    pub smem_per_sm: u32,
+    /// L0 instruction cache per processing block, bytes.
+    pub l0i_bytes: u32,
+    /// L1 instruction cache per SM, bytes.
+    pub l1i_bytes: u32,
+    /// Instruction-cache slice at the L2 level, bytes (the 128 KiB level
+    /// whose eviction the self-modifying code must force, paper §7.1).
+    pub l2i_bytes: u32,
+    /// Instruction cache line size, bytes.
+    pub icache_line: u32,
+    /// Device (global) memory size, bytes.
+    pub gmem_bytes: u32,
+    /// Core clock in Hz, used only to convert cycles to seconds in
+    /// reports.
+    pub clock_hz: u64,
+    /// Timing-model latencies.
+    pub lat: Latencies,
+    /// Optional data-cache timing model; `None` means every global access
+    /// pays raw DRAM latency (`gmem_min` + jitter).
+    pub dcache: Option<crate::dcache::DataCacheConfig>,
+}
+
+impl DeviceConfig {
+    /// The NVIDIA A100 (SXM4 40 GB) preset, constants as quoted in the
+    /// paper (§2, §6.3) and the Ampere whitepaper.
+    pub fn a100() -> DeviceConfig {
+        DeviceConfig {
+            name: "A100-SIM",
+            num_sms: 108,
+            partitions_per_sm: 4,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65_536,
+            reg_granularity: 8,
+            smem_per_sm: 164 * 1024,
+            l0i_bytes: 16 * 1024,
+            l1i_bytes: 64 * 1024,
+            l2i_bytes: 128 * 1024,
+            icache_line: 128,
+            gmem_bytes: 512 * 1024 * 1024,
+            clock_hz: 1_410_000_000,
+            lat: Latencies::default(),
+            dcache: Some(crate::dcache::DataCacheConfig::a100()),
+        }
+    }
+
+    /// A scaled-down device for benches: 8 SMs, same per-SM architecture
+    /// as the A100.
+    pub fn sim_large() -> DeviceConfig {
+        DeviceConfig {
+            name: "SIM-LARGE",
+            num_sms: 8,
+            gmem_bytes: 64 * 1024 * 1024,
+            ..DeviceConfig::a100()
+        }
+    }
+
+    /// A small device for integration tests: 2 SMs, reduced caches so
+    /// cache-eviction phenomena are reachable with small programs.
+    pub fn sim_small() -> DeviceConfig {
+        DeviceConfig {
+            name: "SIM-SMALL",
+            num_sms: 2,
+            partitions_per_sm: 4,
+            max_threads_per_sm: 512,
+            max_blocks_per_sm: 8,
+            regs_per_sm: 16_384,
+            reg_granularity: 8,
+            smem_per_sm: 48 * 1024,
+            l0i_bytes: 2 * 1024,
+            l1i_bytes: 4 * 1024,
+            l2i_bytes: 8 * 1024,
+            icache_line: 128,
+            gmem_bytes: 8 * 1024 * 1024,
+            clock_hz: 1_410_000_000,
+            lat: Latencies::default(),
+            dcache: None,
+        }
+    }
+
+    /// A minimal device for unit tests: 1 SM, tiny caches.
+    pub fn sim_tiny() -> DeviceConfig {
+        DeviceConfig {
+            name: "SIM-TINY",
+            num_sms: 1,
+            max_threads_per_sm: 256,
+            max_blocks_per_sm: 4,
+            regs_per_sm: 8_192,
+            smem_per_sm: 16 * 1024,
+            l0i_bytes: 1024,
+            l1i_bytes: 2 * 1024,
+            l2i_bytes: 4 * 1024,
+            gmem_bytes: 2 * 1024 * 1024,
+            ..DeviceConfig::sim_small()
+        }
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / 32
+    }
+
+    /// Maximum resident warps per processing block.
+    pub fn max_warps_per_partition(&self) -> u32 {
+        self.max_warps_per_sm() / self.partitions_per_sm
+    }
+
+    /// Registers available per thread at full occupancy
+    /// (`regs_per_sm / max_threads_per_sm`, = 32 on the A100 — the number
+    /// the checksum function is built around, paper §6.3).
+    pub fn regs_per_thread_full_occupancy(&self) -> u32 {
+        self.regs_per_sm / self.max_threads_per_sm
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+
+    /// The number of thread blocks of `block_threads` threads, each using
+    /// `regs_per_thread` registers and `smem` bytes of shared memory, that
+    /// fit on one SM simultaneously.
+    pub fn blocks_resident_per_sm(
+        &self,
+        block_threads: u32,
+        regs_per_thread: u32,
+        smem: u32,
+    ) -> u32 {
+        if block_threads == 0 || block_threads > self.max_threads_per_sm {
+            return 0;
+        }
+        let warps = block_threads.div_ceil(32);
+        // Registers are allocated per warp with `reg_granularity`
+        // granularity.
+        let regs_per_warp =
+            (regs_per_thread * 32).div_ceil(self.reg_granularity) * self.reg_granularity;
+        let by_threads = self.max_threads_per_sm / (warps * 32);
+        let by_regs = if regs_per_warp == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.regs_per_sm / (regs_per_warp * warps)
+        };
+        let by_smem = if smem == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.smem_per_sm / smem
+        };
+        by_threads
+            .min(by_regs)
+            .min(by_smem)
+            .min(self.max_blocks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_constants_match_paper() {
+        let c = DeviceConfig::a100();
+        assert_eq!(c.num_sms, 108);
+        assert_eq!(c.max_warps_per_sm(), 64);
+        assert_eq!(c.partitions_per_sm, 4);
+        // 32 registers per thread at full occupancy (paper §6.3).
+        assert_eq!(c.regs_per_thread_full_occupancy(), 32);
+        // Full GPU occupancy: 2 blocks of 1024 threads per SM, 216 total
+        // (paper §6.3).
+        assert_eq!(c.blocks_resident_per_sm(1024, 32, 0), 2);
+        assert_eq!(c.blocks_resident_per_sm(1024, 32, 0) * c.num_sms, 216);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let c = DeviceConfig::a100();
+        // 64 registers per thread halves occupancy.
+        assert_eq!(c.blocks_resident_per_sm(1024, 64, 0), 1);
+    }
+
+    #[test]
+    fn occupancy_limited_by_smem() {
+        let c = DeviceConfig::a100();
+        assert_eq!(c.blocks_resident_per_sm(256, 32, c.smem_per_sm / 2), 2);
+    }
+
+    #[test]
+    fn occupancy_rejects_oversized_blocks() {
+        let c = DeviceConfig::sim_tiny();
+        assert_eq!(c.blocks_resident_per_sm(4096, 32, 0), 0);
+        assert_eq!(c.blocks_resident_per_sm(0, 32, 0), 0);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let c = DeviceConfig::a100();
+        let s = c.cycles_to_seconds(1_410_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_presets_keep_ratios() {
+        for c in [
+            DeviceConfig::sim_large(),
+            DeviceConfig::sim_small(),
+            DeviceConfig::sim_tiny(),
+        ] {
+            assert_eq!(c.partitions_per_sm, 4);
+            assert_eq!(c.regs_per_thread_full_occupancy(), 32);
+            assert!(c.max_warps_per_sm() % c.partitions_per_sm == 0);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Data-cache timing model (paper §2: per-SM L1 data cache, shared L2).
+//!
+//! Purely a *timing* structure: it tracks tags, not data (functional
+//! reads go straight to memory, which is exact because the simulator has
+//! no reordering to hide). Per warp load, the distinct cache lines
+//! touched by the active lanes are looked up; the instruction's latency
+//! is the worst level hit plus a small per-extra-line pipelining cost
+//! (memory divergence — the checksum's pseudo-random access pattern
+//! touches up to 32 lines per warp load).
+//!
+//! Stores write through without allocating; atomics are performed at the
+//! L2 (they pay L2 latency and install the line there).
+
+use crate::sm::JitterRng;
+
+/// Configuration of the data-cache hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DataCacheConfig {
+    /// Per-SM L1 data cache size, bytes.
+    pub l1_bytes: u32,
+    /// L2 slice size, bytes (each SM is simulated with a full-size L2
+    /// view; exact for read-mostly working sets).
+    pub l2_bytes: u32,
+    /// Line size, bytes.
+    pub line: u32,
+    /// L1 hit latency.
+    pub l1_hit: u32,
+    /// L2 hit latency.
+    pub l2_hit: u32,
+    /// Jitter added on L2 hits (interconnect contention).
+    pub l2_jitter: u32,
+    /// Extra cycles per additional distinct line in one warp access.
+    pub diverge_penalty: u32,
+}
+
+impl DataCacheConfig {
+    /// The A100-flavoured default: 128 KiB L1, 40 MiB L2, 128-byte
+    /// lines.
+    pub fn a100() -> DataCacheConfig {
+        DataCacheConfig {
+            l1_bytes: 128 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            line: 128,
+            l1_hit: 33,
+            l2_hit: 190,
+            l2_jitter: 16,
+            diverge_penalty: 2,
+        }
+    }
+}
+
+/// Tag-only set-associative LRU level.
+#[derive(Clone, Debug)]
+struct TagLevel {
+    sets: Vec<Vec<u32>>, // MRU last
+    ways: usize,
+    set_mask: u32,
+    line_shift: u32,
+}
+
+impl TagLevel {
+    fn new(bytes: u32, line: u32, ways: usize) -> TagLevel {
+        let lines = (bytes / line).max(1) as usize;
+        let sets = (lines / ways).max(1).next_power_of_two();
+        TagLevel {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_mask: sets as u32 - 1,
+            line_shift: line.trailing_zeros(),
+        }
+    }
+
+    fn set_of(&self, line_addr: u32) -> usize {
+        ((line_addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    /// Probes and installs on miss; returns whether it was a hit.
+    fn access(&mut self, line_addr: u32) -> bool {
+        let set = self.set_of(line_addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line_addr) {
+            ways.remove(pos);
+            ways.push(line_addr);
+            true
+        } else {
+            if ways.len() >= self.ways {
+                ways.remove(0);
+            }
+            ways.push(line_addr);
+            false
+        }
+    }
+}
+
+/// The per-SM data-cache timing model.
+#[derive(Clone, Debug)]
+pub struct DataCache {
+    cfg: DataCacheConfig,
+    l1: TagLevel,
+    l2: TagLevel,
+    dram_min: u32,
+    dram_jitter: u32,
+}
+
+impl DataCache {
+    /// Creates the hierarchy; DRAM latency parameters come from the
+    /// device latency table.
+    pub fn new(cfg: DataCacheConfig, dram_min: u32, dram_jitter: u32) -> DataCache {
+        DataCache {
+            l1: TagLevel::new(cfg.l1_bytes, cfg.line, 4),
+            l2: TagLevel::new(cfg.l2_bytes, cfg.line, 16),
+            cfg,
+            dram_min,
+            dram_jitter,
+        }
+    }
+
+    fn line_of(&self, addr: u32) -> u32 {
+        addr & !(self.cfg.line - 1)
+    }
+
+    /// Latency of a warp load touching `addrs` (per-lane byte addresses).
+    pub fn load_latency(&mut self, addrs: &[u32], jitter: &mut JitterRng) -> u32 {
+        let mut lines: Vec<u32> = addrs.iter().map(|&a| self.line_of(a)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut worst = self.cfg.l1_hit;
+        for &line in &lines {
+            let lat = if self.l1.access(line) {
+                self.cfg.l1_hit
+            } else if self.l2.access(line) {
+                self.cfg.l2_hit + jitter.below(self.cfg.l2_jitter)
+            } else {
+                self.dram_min + jitter.below(self.dram_jitter)
+            };
+            worst = worst.max(lat);
+        }
+        worst + (lines.len().saturating_sub(1) as u32) * self.cfg.diverge_penalty
+    }
+
+    /// Latency of a warp atomic at `addrs` (performed at the L2).
+    pub fn atomic_latency(&mut self, addrs: &[u32], jitter: &mut JitterRng) -> u32 {
+        let mut worst = self.cfg.l2_hit;
+        for &addr in addrs {
+            let line = self.line_of(addr);
+            let lat = if self.l2.access(line) {
+                self.cfg.l2_hit + jitter.below(self.cfg.l2_jitter)
+            } else {
+                self.dram_min + jitter.below(self.dram_jitter)
+            };
+            worst = worst.max(lat);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jitter() -> JitterRng {
+        JitterRng::new(7)
+    }
+
+    fn cache() -> DataCache {
+        let cfg = DataCacheConfig {
+            l1_bytes: 1024,
+            l2_bytes: 8 * 1024,
+            line: 128,
+            l1_hit: 30,
+            l2_hit: 200,
+            l2_jitter: 0,
+            diverge_penalty: 2,
+        };
+        DataCache::new(cfg, 500, 0)
+    }
+
+    #[test]
+    fn warms_up_through_the_levels() {
+        let mut c = cache();
+        let mut j = jitter();
+        // Cold: DRAM.
+        assert_eq!(c.load_latency(&[0], &mut j), 500);
+        // Warm: L1.
+        assert_eq!(c.load_latency(&[0], &mut j), 30);
+        // Same line, different offset: still L1.
+        assert_eq!(c.load_latency(&[64], &mut j), 30);
+    }
+
+    #[test]
+    fn l1_capacity_eviction_falls_to_l2() {
+        let mut c = cache();
+        let mut j = jitter();
+        // Touch 16 lines (2× the 8-line L1) twice: second pass hits L2,
+        // not L1.
+        for round in 0..2 {
+            for i in 0..16u32 {
+                let lat = c.load_latency(&[i * 128], &mut j);
+                if round == 1 {
+                    assert_eq!(lat, 200, "line {i} should hit L2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_warp_access_pays_per_line() {
+        let mut c = cache();
+        let mut j = jitter();
+        // Warm 4 lines into L1.
+        for i in 0..4u32 {
+            c.load_latency(&[i * 128], &mut j);
+            c.load_latency(&[i * 128], &mut j);
+        }
+        // A warp load spanning all 4 (L1-resident) lines: base + 3×2.
+        let addrs: Vec<u32> = (0..4).map(|i| i * 128).collect();
+        assert_eq!(c.load_latency(&addrs, &mut j), 30 + 6);
+    }
+
+    #[test]
+    fn coalesced_access_is_one_line() {
+        let mut c = cache();
+        let mut j = jitter();
+        let addrs: Vec<u32> = (0..32).map(|l| l * 4).collect(); // one line
+        c.load_latency(&addrs, &mut j);
+        assert_eq!(c.load_latency(&addrs, &mut j), 30);
+    }
+
+    #[test]
+    fn atomics_execute_at_l2() {
+        let mut c = cache();
+        let mut j = jitter();
+        assert_eq!(c.atomic_latency(&[0], &mut j), 500); // cold
+        assert_eq!(c.atomic_latency(&[0], &mut j), 200); // L2 resident
+    }
+}

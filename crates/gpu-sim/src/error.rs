@@ -1,0 +1,83 @@
+//! Simulator error types.
+
+use core::fmt;
+
+use sage_isa::DecodeError;
+
+/// Errors raised by the device simulator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// A memory access was out of bounds or misaligned.
+    MemFault {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+        /// Description of the access kind (`"global load"`, …).
+        kind: &'static str,
+    },
+    /// Instruction fetch decoded an invalid instruction word.
+    DecodeFault {
+        /// Program counter of the faulting word.
+        pc: u32,
+        /// Underlying decode error.
+        err: DecodeError,
+    },
+    /// A kernel launch was rejected (bad geometry or resources).
+    BadLaunch(String),
+    /// No warp can ever make progress again (e.g. barrier mismatch).
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// An allocation did not fit in device memory.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u32,
+    },
+    /// Host-side copy exceeded the device buffer.
+    BadCopy(String),
+    /// The executed instruction is not valid in this context (e.g.
+    /// `RET` with an empty call stack).
+    IllegalInstruction {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// Description.
+        what: &'static str,
+    },
+    /// Execution exceeded the configured cycle budget (runaway kernel).
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemFault { addr, width, kind } => {
+                write!(f, "memory fault: {kind} of {width} bytes at {addr:#010x}")
+            }
+            SimError::DecodeFault { pc, err } => {
+                write!(f, "instruction decode fault at pc {pc:#010x}: {err}")
+            }
+            SimError::BadLaunch(msg) => write!(f, "bad kernel launch: {msg}"),
+            SimError::Deadlock { cycle } => write!(f, "deadlock detected at cycle {cycle}"),
+            SimError::OutOfMemory { requested } => {
+                write!(f, "device out of memory: requested {requested} bytes")
+            }
+            SimError::BadCopy(msg) => write!(f, "bad host/device copy: {msg}"),
+            SimError::IllegalInstruction { pc, what } => {
+                write!(f, "illegal instruction at pc {pc:#010x}: {what}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulator result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,315 @@
+//! Instruction-cache hierarchy with *no store coherence*.
+//!
+//! Fetch goes L0i (per processing block) → L1i (per SM) → L2i slice →
+//! device memory, all set-associative LRU. A store into the code region
+//! updates memory only; cached lines keep the bytes (and decode) from
+//! install time. A patched instruction is therefore observed only once the
+//! line has been evicted — the central constraint the paper's
+//! self-modifying checksum code must engineer around by sizing its loop
+//! beyond the cache (§6.4, §7.1, §7.5). The `CCTL` maintenance op
+//! invalidates a line everywhere, modelling the instruction-cache
+//! `discard` the paper wishes vendors exposed.
+
+use std::rc::Rc;
+
+use sage_isa::{DecodeError, Instruction, INSN_BYTES};
+
+use crate::{
+    config::DeviceConfig,
+    error::{Result, SimError},
+    mem::GlobalMemory,
+};
+
+/// A decoded cache line: one decode result per 16-byte slot.
+type DecodedLine = Rc<[std::result::Result<Instruction, DecodeError>]>;
+
+/// Where a fetch was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchLevel {
+    /// Hit in the per-partition L0i.
+    L0,
+    /// Hit in the per-SM L1i.
+    L1,
+    /// Hit in the L2 instruction slice.
+    L2,
+    /// Filled from device memory.
+    Memory,
+}
+
+/// One set-associative LRU cache level.
+#[derive(Clone, Debug)]
+struct CacheLevel {
+    sets: Vec<Vec<(u32, DecodedLine)>>, // most-recently-used last
+    ways: usize,
+    set_mask: u32,
+    line_shift: u32,
+}
+
+impl CacheLevel {
+    fn new(bytes: u32, line: u32, ways: usize) -> CacheLevel {
+        let lines = (bytes / line).max(1) as usize;
+        let sets = (lines / ways).max(1).next_power_of_two();
+        CacheLevel {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_mask: sets as u32 - 1,
+            line_shift: line.trailing_zeros(),
+        }
+    }
+
+    fn set_of(&self, line_addr: u32) -> usize {
+        ((line_addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    fn lookup(&mut self, line_addr: u32) -> Option<DecodedLine> {
+        let set = self.set_of(line_addr);
+        let ways = &mut self.sets[set];
+        let pos = ways.iter().position(|(tag, _)| *tag == line_addr)?;
+        let entry = ways.remove(pos);
+        let decoded = entry.1.clone();
+        ways.push(entry); // move to MRU
+        Some(decoded)
+    }
+
+    fn install(&mut self, line_addr: u32, decoded: DecodedLine) {
+        let set = self.set_of(line_addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|(tag, _)| *tag == line_addr) {
+            ways.remove(pos);
+        } else if ways.len() >= self.ways {
+            ways.remove(0); // evict LRU
+        }
+        ways.push((line_addr, decoded));
+    }
+
+    fn invalidate(&mut self, line_addr: u32) {
+        let set = self.set_of(line_addr);
+        self.sets[set].retain(|(tag, _)| *tag != line_addr);
+    }
+
+    fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// The per-SM instruction-cache hierarchy (L0 per partition, shared L1,
+/// L2 slice).
+#[derive(Clone, Debug)]
+pub struct IcacheHierarchy {
+    l0: Vec<CacheLevel>,
+    l1: CacheLevel,
+    l2: CacheLevel,
+    line_bytes: u32,
+}
+
+impl IcacheHierarchy {
+    /// Builds the hierarchy for one SM from the device configuration.
+    pub fn new(cfg: &DeviceConfig) -> IcacheHierarchy {
+        let line = cfg.icache_line;
+        IcacheHierarchy {
+            l0: (0..cfg.partitions_per_sm)
+                .map(|_| CacheLevel::new(cfg.l0i_bytes, line, 4))
+                .collect(),
+            l1: CacheLevel::new(cfg.l1i_bytes, line, 4),
+            l2: CacheLevel::new(cfg.l2i_bytes, line, 8),
+            line_bytes: line,
+        }
+    }
+
+    /// Line base address containing `pc`.
+    pub fn line_of(&self, pc: u32) -> u32 {
+        pc & !(self.line_bytes - 1)
+    }
+
+    /// Fetches the decoded instruction at `pc` for a warp on `partition`.
+    ///
+    /// Returns the decode result and the level that satisfied the fetch
+    /// (which the SM translates into a fetch-stall penalty). A miss
+    /// installs the line at every level (inclusive hierarchy), decoding
+    /// the bytes as they are *now* in memory — later stores to the same
+    /// line will not be observed until eviction.
+    pub fn fetch(
+        &mut self,
+        partition: usize,
+        pc: u32,
+        mem: &GlobalMemory,
+    ) -> Result<(std::result::Result<Instruction, DecodeError>, FetchLevel)> {
+        let line_addr = self.line_of(pc);
+        let slot = ((pc - line_addr) / INSN_BYTES as u32) as usize;
+
+        if let Some(line) = self.l0[partition].lookup(line_addr) {
+            return Ok((line[slot].clone(), FetchLevel::L0));
+        }
+        if let Some(line) = self.l1.lookup(line_addr) {
+            self.l0[partition].install(line_addr, line.clone());
+            return Ok((line[slot].clone(), FetchLevel::L1));
+        }
+        if let Some(line) = self.l2.lookup(line_addr) {
+            self.l1.install(line_addr, line.clone());
+            self.l0[partition].install(line_addr, line.clone());
+            return Ok((line[slot].clone(), FetchLevel::L2));
+        }
+        // Fill from device memory, decoding a snapshot of the bytes.
+        let bytes = mem.read_bytes(line_addr, self.line_bytes)?;
+        let decoded: DecodedLine = bytes
+            .chunks_exact(INSN_BYTES)
+            .map(|chunk| {
+                let mut word = [0u8; INSN_BYTES];
+                word.copy_from_slice(chunk);
+                sage_isa::encode::decode_bytes(&word)
+            })
+            .collect::<Vec<_>>()
+            .into();
+        self.l2.install(line_addr, decoded.clone());
+        self.l1.install(line_addr, decoded.clone());
+        self.l0[partition].install(line_addr, decoded.clone());
+        Ok((decoded[slot].clone(), FetchLevel::Memory))
+    }
+
+    /// Returns whether `line_addr` is present in partition `p`'s L0
+    /// (does not touch LRU state).
+    pub fn peek_l0(&self, partition: usize, line_addr: u32) -> bool {
+        let l0 = &self.l0[partition];
+        let set = l0.set_of(line_addr);
+        l0.sets[set].iter().any(|(tag, _)| *tag == line_addr)
+    }
+
+    /// Invalidates the line containing `addr` at every level (`CCTL`).
+    pub fn invalidate(&mut self, addr: u32) {
+        let line_addr = self.line_of(addr);
+        for l0 in &mut self.l0 {
+            l0.invalidate(line_addr);
+        }
+        self.l1.invalidate(line_addr);
+        self.l2.invalidate(line_addr);
+    }
+
+    /// Flushes every level (used between kernel launches on context
+    /// switch).
+    pub fn flush(&mut self) {
+        for l0 in &mut self.l0 {
+            l0.flush();
+        }
+        self.l1.flush();
+        self.l2.flush();
+    }
+}
+
+/// Decodes the instruction result or converts it into a fault at `pc`.
+pub fn decoded_or_fault(
+    decoded: std::result::Result<Instruction, DecodeError>,
+    pc: u32,
+) -> Result<Instruction> {
+    decoded.map_err(|err| SimError::DecodeFault { pc, err })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_isa::Program;
+
+    fn setup(cfg: &DeviceConfig, code: &str, base: u32) -> (IcacheHierarchy, GlobalMemory) {
+        let prog = Program::assemble(code).unwrap();
+        let mut mem = GlobalMemory::new(cfg.gmem_bytes);
+        mem.write_bytes(base, &prog.encode()).unwrap();
+        (IcacheHierarchy::new(cfg), mem)
+    }
+
+    #[test]
+    fn first_fetch_misses_then_hits() {
+        let cfg = DeviceConfig::sim_tiny();
+        let (mut ic, mem) = setup(&cfg, "NOP ;\nNOP ;\nEXIT ;", 0);
+        let (_, lvl) = ic.fetch(0, 0, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::Memory);
+        let (_, lvl) = ic.fetch(0, 16, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::L0); // same 128-byte line
+    }
+
+    #[test]
+    fn l1_shared_between_partitions() {
+        let cfg = DeviceConfig::sim_tiny();
+        let (mut ic, mem) = setup(&cfg, "NOP ;\nEXIT ;", 0);
+        ic.fetch(0, 0, &mem).unwrap();
+        let (_, lvl) = ic.fetch(1, 0, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::L1); // partition 1's L0 missed, L1 hit
+    }
+
+    #[test]
+    fn stores_are_not_coherent_until_eviction() {
+        let cfg = DeviceConfig::sim_tiny();
+        let (mut ic, mut mem) = setup(&cfg, "IMAD R4, R4, 0x11, R5 ;\nEXIT ;", 0);
+        let (insn, _) = ic.fetch(0, 0, &mem).unwrap();
+        assert_eq!(insn.unwrap().immediate(), Some(0x11));
+
+        // Patch the immediate in memory (self-modifying store).
+        let mut word = [0u8; 16];
+        word.copy_from_slice(mem.read_bytes(0, 16).unwrap());
+        sage_isa::encode::patch_immediate_bytes(&mut word, 0x99);
+        mem.write_bytes(0, &word).unwrap();
+
+        // Cached fetch still sees the stale immediate.
+        let (insn, lvl) = ic.fetch(0, 0, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::L0);
+        assert_eq!(insn.unwrap().immediate(), Some(0x11));
+
+        // After explicit invalidation the new bytes are observed.
+        ic.invalidate(0);
+        let (insn, lvl) = ic.fetch(0, 0, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::Memory);
+        assert_eq!(insn.unwrap().immediate(), Some(0x99));
+    }
+
+    #[test]
+    fn capacity_eviction_exposes_new_bytes() {
+        // A loop larger than every cache level forces re-fetch from
+        // memory — the paper's eviction-by-overflow strategy (§6.4).
+        let cfg = DeviceConfig::sim_tiny(); // L2i = 4 KiB
+        let mut mem = GlobalMemory::new(cfg.gmem_bytes);
+        let mut ic = IcacheHierarchy::new(&cfg);
+
+        // Fill 8 KiB of code (2x the L2i) with IMADs.
+        let n = (8 * 1024) / 16;
+        let src = "IMAD R4, R4, 0x11, R5 ;\n".repeat(n);
+        let prog = Program::assemble(&src).unwrap();
+        mem.write_bytes(0, &prog.encode()).unwrap();
+
+        // First pass: fetch all lines.
+        for i in 0..n {
+            ic.fetch(0, (i * 16) as u32, &mem).unwrap();
+        }
+        // Patch instruction 0 in memory.
+        let mut word = [0u8; 16];
+        word.copy_from_slice(mem.read_bytes(0, 16).unwrap());
+        sage_isa::encode::patch_immediate_bytes(&mut word, 0x77);
+        mem.write_bytes(0, &word).unwrap();
+
+        // Second pass reaches instruction 0 after its line was evicted by
+        // capacity: the patch is visible without explicit invalidation.
+        let (insn, lvl) = ic.fetch(0, 0, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::Memory);
+        assert_eq!(insn.unwrap().immediate(), Some(0x77));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let cfg = DeviceConfig::sim_tiny();
+        let (mut ic, mem) = setup(&cfg, "NOP ;\nEXIT ;", 0);
+        ic.fetch(0, 0, &mem).unwrap();
+        ic.flush();
+        let (_, lvl) = ic.fetch(0, 0, &mem).unwrap();
+        assert_eq!(lvl, FetchLevel::Memory);
+    }
+
+    #[test]
+    fn data_bytes_decode_lazily_to_faults() {
+        let cfg = DeviceConfig::sim_tiny();
+        let mut mem = GlobalMemory::new(cfg.gmem_bytes);
+        // All-ones is an invalid opcode.
+        mem.write_bytes(0, &[0xFF; 16]).unwrap();
+        let mut ic = IcacheHierarchy::new(&cfg);
+        let (decoded, _) = ic.fetch(0, 0, &mem).unwrap();
+        assert!(decoded_or_fault(decoded, 0).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Device global memory.
+//!
+//! One flat byte-addressed memory shared by all contexts — deliberately so:
+//! on the GPUs the paper targets "there is no isolation between contexts
+//! that prevents them from accessing each other's resources" (§2), which
+//! is exactly the attack surface the adversary crate exercises.
+
+use crate::error::{Result, SimError};
+
+/// Flat device memory with bounds- and alignment-checked accessors.
+#[derive(Clone, Debug)]
+pub struct GlobalMemory {
+    data: Vec<u8>,
+}
+
+impl GlobalMemory {
+    /// Allocates a zeroed memory of `bytes` bytes.
+    pub fn new(bytes: u32) -> GlobalMemory {
+        GlobalMemory {
+            data: vec![0; bytes as usize],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Returns `true` if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn check(&self, addr: u32, width: u32, kind: &'static str) -> Result<usize> {
+        let end = addr as u64 + width as u64;
+        if end > self.data.len() as u64 {
+            return Err(SimError::MemFault { addr, width, kind });
+        }
+        if width > 1 && addr % width != 0 {
+            return Err(SimError::MemFault { addr, width, kind });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads an aligned 32-bit word.
+    pub fn read_u32(&self, addr: u32) -> Result<u32> {
+        let a = self.check(addr, 4, "load")?;
+        Ok(u32::from_le_bytes([
+            self.data[a],
+            self.data[a + 1],
+            self.data[a + 2],
+            self.data[a + 3],
+        ]))
+    }
+
+    /// Writes an aligned 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<()> {
+        let a = self.check(addr, 4, "store")?;
+        self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Atomic add on an aligned 32-bit word; returns the previous value.
+    pub fn atomic_add_u32(&mut self, addr: u32, value: u32) -> Result<u32> {
+        let old = self.read_u32(addr)?;
+        self.write_u32(addr, old.wrapping_add(value))?;
+        Ok(old)
+    }
+
+    /// Reads a byte range (DMA / instruction fetch). Only bounds are
+    /// checked; block transfers have no alignment requirement.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8]> {
+        let end = addr as u64 + len as u64;
+        if end > self.data.len() as u64 {
+            return Err(SimError::MemFault {
+                addr,
+                width: len,
+                kind: "block read",
+            });
+        }
+        Ok(&self.data[addr as usize..addr as usize + len as usize])
+    }
+
+    /// Writes a byte range (DMA).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<()> {
+        let end = addr as u64 + bytes.len() as u64;
+        if end > self.data.len() as u64 {
+            return Err(SimError::MemFault {
+                addr,
+                width: bytes.len() as u32,
+                kind: "block write",
+            });
+        }
+        self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = GlobalMemory::new(64);
+        m.write_u32(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(12).unwrap(), 0);
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut m = GlobalMemory::new(64);
+        assert!(matches!(
+            m.read_u32(2),
+            Err(SimError::MemFault { addr: 2, .. })
+        ));
+        assert!(m.write_u32(7, 1).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = GlobalMemory::new(16);
+        assert!(m.read_u32(16).is_err());
+        assert!(m.write_u32(12, 1).is_ok());
+        assert!(m.write_u32(16, 1).is_err());
+        assert!(m.read_bytes(8, 9).is_err());
+        assert!(m.write_bytes(15, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn atomic_add_returns_previous() {
+        let mut m = GlobalMemory::new(16);
+        m.write_u32(0, 10).unwrap();
+        assert_eq!(m.atomic_add_u32(0, 5).unwrap(), 10);
+        assert_eq!(m.read_u32(0).unwrap(), 15);
+        // Wrapping semantics.
+        m.write_u32(0, u32::MAX).unwrap();
+        assert_eq!(m.atomic_add_u32(0, 2).unwrap(), u32::MAX);
+        assert_eq!(m.read_u32(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn byte_ranges() {
+        let mut m = GlobalMemory::new(32);
+        m.write_bytes(4, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(m.read_bytes(4, 5).unwrap(), &[1, 2, 3, 4, 5]);
+    }
+}

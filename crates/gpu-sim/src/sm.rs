@@ -1,0 +1,698 @@
+//! Streaming-multiprocessor model: block residency, per-partition warp
+//! scheduling, dual-pipeline dispatch ports, scoreboards and
+//! instruction-fetch stalls.
+//!
+//! Each SM has `partitions_per_sm` processing blocks; every cycle each
+//! partition's scheduler issues at most one instruction from a ready
+//! resident warp (greedy, round-robin on stall or yield). The FMA and ALU
+//! pipelines have separate dispatch ports that accept an instruction every
+//! `dispatch_interval` cycles — saturating both requires interleaving
+//! IMAD-class and ALU-class instructions, exactly the property the
+//! paper's checksum exploits with its shift-and-add pattern (§6.3, §6.5).
+
+use std::collections::{HashMap, VecDeque};
+
+use sage_isa::{Instruction, Opcode, Operand, Pipeline};
+
+use crate::{
+    config::DeviceConfig,
+    error::{Result, SimError},
+    exec::{execute, Effect, ExecEnv},
+    icache::{FetchLevel, IcacheHierarchy},
+    mem::GlobalMemory,
+    stats::{KernelStats, StallReason},
+    warp::Warp,
+};
+
+/// A thread block queued for execution on an SM.
+#[derive(Clone, Debug)]
+pub struct PendingBlock {
+    /// Identifier of the launch this block belongs to.
+    pub launch_id: usize,
+    /// Block index within the grid.
+    pub cta_id: u32,
+    /// Threads per block (multiple of 32).
+    pub block_dim: u32,
+    /// Blocks in the grid.
+    pub grid_dim: u32,
+    /// Entry program counter (device byte address).
+    pub entry_pc: u32,
+    /// Registers allocated per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per block, bytes.
+    pub smem_bytes: u32,
+    /// Device address of the kernel parameter block (ABI: loaded into
+    /// `R0` of every thread at launch).
+    pub param_base: u32,
+    /// Cycle at which the command processor made the block available.
+    pub submit_cycle: u64,
+}
+
+/// A resident thread block.
+#[derive(Debug)]
+struct BlockState {
+    launch_id: usize,
+    cta_id: u32,
+    block_dim: u32,
+    grid_dim: u32,
+    smem: Vec<u8>,
+    warp_ids: Vec<usize>,
+    warps_done: u32,
+    barrier_arrived: u32,
+    regs_per_thread: u32,
+}
+
+/// One processing block (warp scheduler + dispatch ports).
+#[derive(Clone, Debug, Default)]
+struct Partition {
+    warp_ids: Vec<usize>,
+    rr: usize,
+    /// Next cycle at which each pipeline port accepts an instruction,
+    /// indexed by [`Pipeline`] discriminant order (FMA, ALU, MEM, CTL).
+    port_free: [u64; 4],
+    /// The fetch unit sustains one outstanding instruction-line fill at a
+    /// time; a second miss waits for the first fill to retire. This is
+    /// what makes cache-evicting loops expensive (paper §7.1: "each warp
+    /// … spends 14.1 cycles being stalled due to not having the next
+    /// instruction fetched yet").
+    fill_busy_until: u64,
+}
+
+fn pipe_index(p: Pipeline) -> usize {
+    match p {
+        Pipeline::Fma => 0,
+        Pipeline::Alu => 1,
+        Pipeline::Mem => 2,
+        Pipeline::Control => 3,
+    }
+}
+
+/// Per-launch accounting local to one SM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaunchLocal {
+    /// Instructions issued by this launch's warps on this SM.
+    pub issued: u64,
+    /// Cycle the last block of this launch completed on this SM.
+    pub completion: u64,
+    /// Blocks of this launch executed on this SM.
+    pub blocks: u32,
+}
+
+/// Result of running one SM to completion.
+#[derive(Debug)]
+pub struct SmReport {
+    /// Cycle counters and stall breakdown for this SM.
+    pub stats: KernelStats,
+    /// Per-launch local accounting.
+    pub launches: HashMap<usize, LaunchLocal>,
+    /// The issue trace, if tracing was enabled.
+    pub trace: Option<crate::trace::TraceBuffer>,
+}
+
+/// Outcome of a partition's issue attempt in one cycle.
+enum SlotOutcome {
+    Issued,
+    Stalled(StallReason, Option<u64>),
+    Empty,
+}
+
+/// Deterministic xorshift-based jitter source (timing only; never affects
+/// architectural values).
+#[derive(Clone, Debug)]
+pub struct JitterRng(u64);
+
+impl JitterRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> JitterRng {
+        JitterRng(seed | 1)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound]`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % (bound as u64 + 1)) as u32
+        }
+    }
+}
+
+/// One streaming multiprocessor, runnable to completion over its queue of
+/// blocks.
+pub struct Sm<'a> {
+    cfg: &'a DeviceConfig,
+    sm_id: u32,
+    icache: IcacheHierarchy,
+    warps: Vec<Warp>,
+    fetched: Vec<Option<(u32, Instruction)>>,
+    blocks: Vec<Option<BlockState>>,
+    partitions: Vec<Partition>,
+    pending: VecDeque<PendingBlock>,
+    warp_counter: usize,
+    threads_used: u32,
+    regs_used: u32,
+    smem_used: u32,
+    blocks_resident: u32,
+    stats: KernelStats,
+    launches: HashMap<usize, LaunchLocal>,
+    jitter: JitterRng,
+    hazard_check: bool,
+    last_reason: Vec<StallReason>,
+    dcache: Option<crate::dcache::DataCache>,
+    trace: Option<crate::trace::TraceBuffer>,
+}
+
+impl<'a> Sm<'a> {
+    /// Creates an SM with a queue of blocks to execute.
+    pub fn new(
+        cfg: &'a DeviceConfig,
+        sm_id: u32,
+        blocks: Vec<PendingBlock>,
+        timing_seed: u64,
+        hazard_check: bool,
+    ) -> Sm<'a> {
+        let partitions = vec![Partition::default(); cfg.partitions_per_sm as usize];
+        Sm {
+            cfg,
+            sm_id,
+            icache: IcacheHierarchy::new(cfg),
+            warps: Vec::new(),
+            fetched: Vec::new(),
+            blocks: Vec::new(),
+            partitions,
+            pending: blocks.into(),
+            warp_counter: 0,
+            threads_used: 0,
+            regs_used: 0,
+            smem_used: 0,
+            blocks_resident: 0,
+            stats: KernelStats::default(),
+            launches: HashMap::new(),
+            jitter: JitterRng::new(timing_seed ^ (sm_id as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+            hazard_check,
+            last_reason: vec![StallReason::NoWarp; cfg.partitions_per_sm as usize],
+            dcache: cfg
+                .dcache
+                .map(|dc| crate::dcache::DataCache::new(dc, cfg.lat.gmem_min, cfg.lat.gmem_jitter)),
+            trace: None,
+        }
+    }
+
+    /// Enables issue tracing with the given ring-buffer capacity.
+    pub fn set_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::TraceBuffer::new(capacity));
+    }
+
+    /// Takes the trace buffer, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<crate::trace::TraceBuffer> {
+        self.trace.take()
+    }
+
+    fn block_fits(&self, pb: &PendingBlock) -> bool {
+        let warps = pb.block_dim.div_ceil(32);
+        let regs_per_warp = (pb.regs_per_thread * 32).div_ceil(self.cfg.reg_granularity)
+            * self.cfg.reg_granularity;
+        self.threads_used + pb.block_dim <= self.cfg.max_threads_per_sm
+            && self.regs_used + regs_per_warp * warps <= self.cfg.regs_per_sm
+            && self.smem_used + pb.smem_bytes <= self.cfg.smem_per_sm
+            && self.blocks_resident < self.cfg.max_blocks_per_sm
+    }
+
+    fn place_blocks(&mut self, cycle: u64) {
+        while let Some(pb) = self.pending.front() {
+            if pb.submit_cycle > cycle || !self.block_fits(pb) {
+                break;
+            }
+            let pb = self.pending.pop_front().expect("front checked");
+            let warps_n = pb.block_dim.div_ceil(32);
+            let regs_per_warp = (pb.regs_per_thread * 32).div_ceil(self.cfg.reg_granularity)
+                * self.cfg.reg_granularity;
+            self.threads_used += pb.block_dim;
+            self.regs_used += regs_per_warp * warps_n;
+            self.smem_used += pb.smem_bytes;
+            self.blocks_resident += 1;
+
+            let slot = self.blocks.len();
+            let mut warp_ids = Vec::with_capacity(warps_n as usize);
+            for w in 0..warps_n {
+                let mut warp = Warp::new(slot, w, pb.entry_pc, pb.regs_per_thread.max(1));
+                warp.stall_until = cycle;
+                // Launch ABI: R0 = parameter-block base address.
+                for lane in 0..32 {
+                    warp.set_reg(0, lane, pb.param_base);
+                }
+                let widx = self.warps.len();
+                warp_ids.push(widx);
+                let part = self.warp_counter % self.partitions.len();
+                self.warp_counter += 1;
+                self.partitions[part].warp_ids.push(widx);
+                self.warps.push(warp);
+                self.fetched.push(None);
+            }
+            let entry = self.launches.entry(pb.launch_id).or_default();
+            entry.blocks += 1;
+            self.blocks.push(Some(BlockState {
+                launch_id: pb.launch_id,
+                cta_id: pb.cta_id,
+                block_dim: pb.block_dim,
+                grid_dim: pb.grid_dim,
+                smem: vec![0u8; pb.smem_bytes as usize],
+                warp_ids,
+                warps_done: 0,
+                barrier_arrived: 0,
+                regs_per_thread: pb.regs_per_thread,
+            }));
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.pending.is_empty() && self.blocks.iter().all(Option::is_none)
+    }
+
+    /// Result latency of `insn` for warp `widx` (data-cache-aware for
+    /// global accesses when a cache model is configured).
+    fn op_latency(&mut self, widx: usize, insn: &Instruction) -> u32 {
+        let lat = &self.cfg.lat;
+        match insn.op {
+            Opcode::Ldg => match &mut self.dcache {
+                Some(dc) => {
+                    let addrs = self.warps[widx].effective_addresses(insn);
+                    dc.load_latency(&addrs, &mut self.jitter)
+                }
+                None => lat.gmem_min + self.jitter.below(lat.gmem_jitter),
+            },
+            Opcode::Lds => lat.smem,
+            Opcode::AtomgAdd => match &mut self.dcache {
+                Some(dc) => {
+                    let addrs = self.warps[widx].effective_addresses(insn);
+                    dc.atomic_latency(&addrs, &mut self.jitter)
+                }
+                None => lat.atomic_global + self.jitter.below(lat.gmem_jitter / 4),
+            },
+            Opcode::AtomsAdd => lat.atomic_shared,
+            _ => lat.fixed_alu,
+        }
+    }
+
+    /// Attempts to issue one instruction on partition `p` at `cycle`.
+    fn try_issue(
+        &mut self,
+        p: usize,
+        cycle: u64,
+        gmem: &mut GlobalMemory,
+    ) -> Result<SlotOutcome> {
+        let n = self.partitions[p].warp_ids.len();
+        if n == 0 {
+            return Ok(SlotOutcome::Empty);
+        }
+        let mut resident = false;
+        let mut best_reason = StallReason::NoWarp;
+        let mut next_ready: Option<u64> = None;
+        let bump = |t: u64, next_ready: &mut Option<u64>| {
+            *next_ready = Some(next_ready.map_or(t, |cur| cur.min(t)));
+        };
+
+        for k in 0..n {
+            let scan = (self.partitions[p].rr + k) % n;
+            let widx = self.partitions[p].warp_ids[scan];
+            if self.warps[widx].done {
+                continue;
+            }
+            resident = true;
+            let warp = &self.warps[widx];
+            if warp.at_barrier {
+                best_reason = pick(best_reason, StallReason::Barrier);
+                continue;
+            }
+            if warp.stall_until > cycle {
+                best_reason = pick(best_reason, StallReason::StallField);
+                bump(warp.stall_until, &mut next_ready);
+                continue;
+            }
+            if warp.fetch_ready_at > cycle {
+                best_reason = pick(best_reason, StallReason::InstructionFetch);
+                bump(warp.fetch_ready_at, &mut next_ready);
+                continue;
+            }
+            // Ensure the instruction at the current PC is fetched.
+            let pc = warp.pc;
+            if self.fetched[widx].map_or(true, |(fpc, _)| fpc != pc) {
+                // A non-L0 fetch occupies the partition's fill slot; if
+                // it is busy, the warp must wait for the current fill.
+                let line = self.icache.line_of(pc);
+                let in_l0 = self.icache.peek_l0(p, line);
+                if !in_l0 && self.partitions[p].fill_busy_until > cycle {
+                    best_reason = pick(best_reason, StallReason::InstructionFetch);
+                    bump(self.partitions[p].fill_busy_until, &mut next_ready);
+                    continue;
+                }
+                let (decoded, level) = self.icache.fetch(p, pc, gmem)?;
+                let insn = crate::icache::decoded_or_fault(decoded, pc)?;
+                self.fetched[widx] = Some((pc, insn));
+                let penalty = match level {
+                    FetchLevel::L0 => {
+                        self.stats.icache_hits[0] += 1;
+                        0
+                    }
+                    FetchLevel::L1 => {
+                        self.stats.icache_hits[1] += 1;
+                        self.cfg.lat.ifetch_l1
+                    }
+                    FetchLevel::L2 => {
+                        self.stats.icache_hits[2] += 1;
+                        self.cfg.lat.ifetch_l2
+                    }
+                    FetchLevel::Memory => {
+                        self.stats.icache_mem_fills += 1;
+                        self.cfg.lat.ifetch_mem
+                    }
+                };
+                if penalty > 0 {
+                    self.warps[widx].fetch_ready_at = cycle + penalty as u64;
+                    self.partitions[p].fill_busy_until = cycle + penalty as u64;
+                    best_reason = pick(best_reason, StallReason::InstructionFetch);
+                    bump(cycle + penalty as u64, &mut next_ready);
+                    continue;
+                }
+            }
+            let (_, insn) = self.fetched[widx].expect("fetched above");
+            let warp = &self.warps[widx];
+            if !warp.scoreboard_ready(insn.ctrl.wait_mask, cycle) {
+                best_reason = pick(best_reason, StallReason::Scoreboard);
+                bump(warp.scoreboard_ready_at(insn.ctrl.wait_mask), &mut next_ready);
+                continue;
+            }
+            let pipe = insn.op.pipeline();
+            let port_at = self.partitions[p].port_free[pipe_index(pipe)];
+            if port_at > cycle {
+                best_reason = pick(best_reason, StallReason::PortBusy);
+                bump(port_at, &mut next_ready);
+                continue;
+            }
+
+            // Issue.
+            self.issue(p, scan, widx, &insn, cycle, gmem)?;
+            return Ok(SlotOutcome::Issued);
+        }
+        if resident {
+            Ok(SlotOutcome::Stalled(best_reason, next_ready))
+        } else {
+            Ok(SlotOutcome::Empty)
+        }
+    }
+
+    fn issue(
+        &mut self,
+        p: usize,
+        scan: usize,
+        widx: usize,
+        insn: &Instruction,
+        cycle: u64,
+        gmem: &mut GlobalMemory,
+    ) -> Result<()> {
+        let pipe = insn.op.pipeline();
+        self.stats.record_issue(pipe);
+        if let Some(trace) = &mut self.trace {
+            trace.record(crate::trace::TraceRecord {
+                cycle,
+                sm: self.sm_id,
+                partition: p as u8,
+                warp: widx as u32,
+                pc: self.warps[widx].pc,
+                op: insn.op,
+            });
+        }
+
+        match insn.op {
+            Opcode::Ldg => self.stats.gmem_loads += 1,
+            Opcode::Stg => self.stats.gmem_stores += 1,
+            Opcode::AtomgAdd => self.stats.gmem_atomics += 1,
+            Opcode::Lds | Opcode::Sts | Opcode::AtomsAdd => self.stats.smem_accesses += 1,
+            _ => {}
+        }
+
+        // Optional register-hazard validation (the hardware trusts the
+        // control info, like real Volta+; the checker reports code that
+        // would mis-execute on silicon).
+        let result_latency = self.op_latency(widx, insn);
+        let hazard_check = self.hazard_check;
+        let fixed_alu = self.cfg.lat.fixed_alu;
+        if hazard_check {
+            let warp = &self.warps[widx];
+            let violated = insn.srcs.iter().any(|s| {
+                matches!(s, Operand::Reg(r)
+                    if !r.is_zero() && warp.reg_ready_at[r.index()] > cycle)
+            });
+            if violated {
+                self.stats.hazard_violations += 1;
+                if std::env::var_os("SAGE_HAZARD_DEBUG").is_some() {
+                    eprintln!(
+                        "hazard: pc={:#x} {}",
+                        warp.pc,
+                        insn.body()
+                    );
+                }
+            }
+        }
+
+        let mut finished_slot: Option<usize> = None;
+        {
+            // Split borrows: warps/blocks/icache/stats are distinct
+            // fields of `self`.
+            let Sm {
+                warps,
+                blocks,
+                icache,
+                stats,
+                launches,
+                sm_id,
+                ..
+            } = self;
+
+            let effect;
+            let launch_id;
+            {
+                let warp = &mut warps[widx];
+                let block = blocks[warp.block_slot]
+                    .as_mut()
+                    .expect("warp's block is resident");
+                launch_id = block.launch_id;
+                let mut env = ExecEnv {
+                    gmem,
+                    smem: &mut block.smem,
+                    sm_id: *sm_id,
+                    cycle,
+                    block_dim: block.block_dim,
+                    cta_id: block.cta_id,
+                    grid_dim: block.grid_dim,
+                };
+                effect = execute(warp, insn, &mut env)?;
+                warp.issued += 1;
+
+                // Scheduling state updates.
+                warp.stall_until = cycle + insn.ctrl.stall.max(1) as u64;
+                if let Some(slot) = insn.ctrl.write_bar {
+                    warp.scoreboard[slot as usize] = cycle + result_latency as u64;
+                }
+                if let Some(slot) = insn.ctrl.read_bar {
+                    warp.scoreboard[slot as usize] = cycle + 2;
+                }
+                if hazard_check && insn.op.writes_dst() && !insn.dst.is_zero() {
+                    let lat = if insn.op.is_variable_latency() {
+                        result_latency
+                    } else {
+                        fixed_alu
+                    };
+                    warp.reg_ready_at[insn.dst.index()] = cycle + lat as u64;
+                }
+            }
+            if let Some(e) = launches.get_mut(&launch_id) {
+                e.issued += 1;
+            }
+
+            // Post-effects.
+            match effect {
+                Effect::None => {}
+                Effect::InvalidateLine(addr) => icache.invalidate(addr),
+                Effect::BarrierArrive => {
+                    let warp_block = warps[widx].block_slot;
+                    warps[widx].at_barrier = true;
+                    let block = blocks[warp_block].as_mut().expect("resident");
+                    block.barrier_arrived += 1;
+                    stats.barriers += 1;
+                    let alive = block.warp_ids.len() as u32 - block.warps_done;
+                    if block.barrier_arrived >= alive {
+                        block.barrier_arrived = 0;
+                        for &w in &block.warp_ids {
+                            warps[w].at_barrier = false;
+                        }
+                    }
+                }
+                Effect::Exited(done) => {
+                    if done {
+                        let warp_block = warps[widx].block_slot;
+                        let block = blocks[warp_block].as_mut().expect("resident");
+                        block.warps_done += 1;
+                        // A retiring warp may unblock a barrier.
+                        let alive = block.warp_ids.len() as u32 - block.warps_done;
+                        if alive > 0 && block.barrier_arrived >= alive {
+                            block.barrier_arrived = 0;
+                            for &w in &block.warp_ids {
+                                warps[w].at_barrier = false;
+                            }
+                        }
+                        if block.warps_done == block.warp_ids.len() as u32 {
+                            finished_slot = Some(warp_block);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.fetched[widx] = None; // PC moved; the next fetch re-checks L0.
+        let dispatch = match pipe {
+            Pipeline::Fma | Pipeline::Alu | Pipeline::Mem => {
+                self.cfg.lat.dispatch_interval as u64
+            }
+            Pipeline::Control => 1,
+        };
+        let part = &mut self.partitions[p];
+        part.port_free[pipe_index(pipe)] = cycle + dispatch;
+        // Greedy-then-yield: keep issuing from this warp unless it asked
+        // to yield.
+        part.rr = if insn.ctrl.yield_flag {
+            (scan + 1) % part.warp_ids.len()
+        } else {
+            scan
+        };
+
+        if let Some(slot) = finished_slot {
+            self.retire_block(slot, cycle);
+        }
+        Ok(())
+    }
+
+    fn retire_block(&mut self, slot: usize, cycle: u64) {
+        let block = self.blocks[slot].take().expect("resident block");
+        let warps_n = block.warp_ids.len() as u32;
+        let regs_per_warp = (block.regs_per_thread * 32).div_ceil(self.cfg.reg_granularity)
+            * self.cfg.reg_granularity;
+        self.threads_used -= block.block_dim;
+        self.regs_used -= regs_per_warp * warps_n;
+        self.smem_used -= block.smem.len() as u32;
+        self.blocks_resident -= 1;
+        let entry = self.launches.entry(block.launch_id).or_default();
+        entry.completion = entry.completion.max(cycle + 1);
+        // Remove retired warps from partition lists to keep scans short.
+        let Sm {
+            partitions, warps, ..
+        } = self;
+        for part in partitions {
+            part.warp_ids.retain(|&w| !warps[w].done);
+            part.rr = 0;
+        }
+    }
+
+    /// Runs the SM until all blocks complete (or `cycle_limit` trips).
+    pub fn run(mut self, gmem: &mut GlobalMemory, cycle_limit: u64) -> Result<SmReport> {
+        let mut cycle: u64 = 0;
+        loop {
+            self.place_blocks(cycle);
+            if self.all_done() {
+                break;
+            }
+            let mut any_issued = false;
+            let mut next_event: Option<u64> = None;
+            let mut active_partitions = 0u64;
+            for p in 0..self.partitions.len() {
+                match self.try_issue(p, cycle, gmem)? {
+                    SlotOutcome::Issued => {
+                        any_issued = true;
+                        active_partitions += 1;
+                        self.last_reason[p] = StallReason::NoWarp;
+                    }
+                    SlotOutcome::Stalled(reason, ready) => {
+                        active_partitions += 1;
+                        self.stats.record_stall(reason);
+                        self.last_reason[p] = reason;
+                        if let Some(t) = ready {
+                            next_event = Some(next_event.map_or(t, |c: u64| c.min(t)));
+                        }
+                    }
+                    SlotOutcome::Empty => {
+                        self.last_reason[p] = StallReason::NoWarp;
+                    }
+                }
+            }
+            self.stats.slot_cycles += active_partitions;
+            cycle += 1;
+            if cycle > cycle_limit {
+                return Err(SimError::CycleLimit { limit: cycle_limit });
+            }
+            if !any_issued {
+                // Nothing issued: fast-forward to the next event, keeping
+                // the stall accounting exact.
+                if let Some(pb) = self.pending.front() {
+                    if self.blocks.iter().all(Option::is_none) && pb.submit_cycle > cycle {
+                        let t = pb.submit_cycle;
+                        next_event = Some(next_event.map_or(t, |c: u64| c.min(t)));
+                    }
+                }
+                match next_event {
+                    Some(t) if t > cycle => {
+                        let skip = t - cycle;
+                        for p in 0..self.partitions.len() {
+                            if self.last_reason[p] != StallReason::NoWarp {
+                                self.stats.stalls[self.last_reason[p] as usize] += skip;
+                                self.stats.slot_cycles += skip;
+                            }
+                        }
+                        cycle = t;
+                    }
+                    Some(_) => {}
+                    None => {
+                        if self.all_done() {
+                            break;
+                        }
+                        return Err(SimError::Deadlock { cycle });
+                    }
+                }
+            }
+        }
+        self.stats.cycles = cycle;
+        Ok(SmReport {
+            stats: self.stats,
+            launches: self.launches,
+            trace: self.trace,
+        })
+    }
+}
+
+fn pick(current: StallReason, candidate: StallReason) -> StallReason {
+    // Priority: report the most informative reason when several warps are
+    // blocked for different causes.
+    fn rank(r: StallReason) -> u8 {
+        match r {
+            StallReason::InstructionFetch => 5,
+            StallReason::Scoreboard => 4,
+            StallReason::Barrier => 3,
+            StallReason::StallField => 2,
+            StallReason::PortBusy => 1,
+            StallReason::NoWarp => 0,
+        }
+    }
+    if rank(candidate) > rank(current) {
+        candidate
+    } else {
+        current
+    }
+}

@@ -1,0 +1,276 @@
+//! Execution statistics: issue counts, stall breakdown, cache behaviour.
+//!
+//! These counters back the paper's evaluation: utilization as a fraction
+//! of peak issue rate (Table 1 "% of GPU peak perf.") and the stall-reason
+//! breakdown ("99% of all pipeline stalls … caused by the fact that no
+//! instructions are available in the instruction cache", §7.1).
+
+use sage_isa::Pipeline;
+
+/// Why a scheduler slot went unused for one cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StallReason {
+    /// A warp was ready but its instruction was still being fetched
+    /// (instruction-cache miss).
+    InstructionFetch,
+    /// All warps were waiting on scoreboard (memory) dependencies.
+    Scoreboard,
+    /// All warps were stalled by their control-info stall field.
+    StallField,
+    /// The required dispatch port was busy.
+    PortBusy,
+    /// All warps were waiting at a thread-block barrier.
+    Barrier,
+    /// No resident warp (partition empty or all exited).
+    NoWarp,
+}
+
+impl StallReason {
+    /// All reasons, for iteration in reports.
+    pub const ALL: [StallReason; 6] = [
+        StallReason::InstructionFetch,
+        StallReason::Scoreboard,
+        StallReason::StallField,
+        StallReason::PortBusy,
+        StallReason::Barrier,
+        StallReason::NoWarp,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::InstructionFetch => "ifetch",
+            StallReason::Scoreboard => "scoreboard",
+            StallReason::StallField => "stall-field",
+            StallReason::PortBusy => "port-busy",
+            StallReason::Barrier => "barrier",
+            StallReason::NoWarp => "no-warp",
+        }
+    }
+}
+
+/// Aggregated statistics for one kernel execution (whole grid).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct KernelStats {
+    /// Total cycles from launch to grid completion (max over SMs).
+    pub cycles: u64,
+    /// Instructions issued, by pipeline.
+    pub issued_fma: u64,
+    /// Instructions issued to the ALU pipeline.
+    pub issued_alu: u64,
+    /// Instructions issued to the load/store pipeline.
+    pub issued_mem: u64,
+    /// Instructions issued to the control pipeline.
+    pub issued_control: u64,
+    /// Scheduler-slot cycles with no issue, by reason.
+    pub stalls: [u64; 6],
+    /// Scheduler-slot cycles total (cycles × partitions with resident
+    /// warps, summed over SMs).
+    pub slot_cycles: u64,
+    /// Instruction-cache hits per level: [L0, L1, L2].
+    pub icache_hits: [u64; 3],
+    /// Instruction-cache fills from device memory.
+    pub icache_mem_fills: u64,
+    /// Global memory loads executed (per warp instruction, not per lane).
+    pub gmem_loads: u64,
+    /// Global memory stores executed.
+    pub gmem_stores: u64,
+    /// Global atomics executed.
+    pub gmem_atomics: u64,
+    /// Shared memory accesses executed.
+    pub smem_accesses: u64,
+    /// Thread-block barriers executed (per warp arrival).
+    pub barriers: u64,
+    /// Register read-after-write hazard violations detected by the
+    /// validation checker (0 for correctly scheduled code).
+    pub hazard_violations: u64,
+}
+
+impl KernelStats {
+    /// Total instructions issued across all pipelines.
+    pub fn issued_total(&self) -> u64 {
+        self.issued_fma + self.issued_alu + self.issued_mem + self.issued_control
+    }
+
+    /// Fraction of peak issue rate achieved: issued instructions over
+    /// available scheduler-slot cycles (1 instruction per partition per
+    /// cycle is the peak, paper §7.1).
+    pub fn utilization(&self) -> f64 {
+        if self.slot_cycles == 0 {
+            0.0
+        } else {
+            self.issued_total() as f64 / self.slot_cycles as f64
+        }
+    }
+
+    /// Adds a stall observation.
+    pub fn record_stall(&mut self, reason: StallReason) {
+        self.stalls[reason as usize] += 1;
+    }
+
+    /// Stall cycles attributed to `reason`.
+    pub fn stall(&self, reason: StallReason) -> u64 {
+        self.stalls[reason as usize]
+    }
+
+    /// Total stall cycles across all reasons.
+    pub fn stall_total(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Fraction of all stalls attributed to `reason` (0 if no stalls).
+    pub fn stall_fraction(&self, reason: StallReason) -> f64 {
+        let total = self.stall_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.stall(reason) as f64 / total as f64
+        }
+    }
+
+    /// Records an issue to the given pipeline.
+    pub fn record_issue(&mut self, pipe: Pipeline) {
+        match pipe {
+            Pipeline::Fma => self.issued_fma += 1,
+            Pipeline::Alu => self.issued_alu += 1,
+            Pipeline::Mem => self.issued_mem += 1,
+            Pipeline::Control => self.issued_control += 1,
+        }
+    }
+
+    /// Renders a profiler-style report (the "speed of light" summary a
+    /// GPU profiler prints — utilization, pipe mix, stall breakdown,
+    /// cache behaviour), used by the §7.1 analysis.
+    pub fn report(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycles {:>12}   issued {:>12}   utilization {:>5.1}%",
+            self.cycles,
+            self.issued_total(),
+            self.utilization() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "pipes  FMA {} / ALU {} / MEM {} / CTL {}",
+            self.issued_fma, self.issued_alu, self.issued_mem, self.issued_control
+        );
+        let total_stalls = self.stall_total().max(1);
+        let _ = write!(out, "stalls ");
+        for reason in StallReason::ALL {
+            let n = self.stall(reason);
+            if n > 0 {
+                let _ = write!(
+                    out,
+                    "{} {:.0}%  ",
+                    reason.label(),
+                    100.0 * n as f64 / total_stalls as f64
+                );
+            }
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "icache hits L0 {} / L1 {} / L2 {} / mem fills {}",
+            self.icache_hits[0], self.icache_hits[1], self.icache_hits[2], self.icache_mem_fills
+        );
+        let _ = writeln!(
+            out,
+            "memory loads {} stores {} atomics {} smem {} barriers {}",
+            self.gmem_loads, self.gmem_stores, self.gmem_atomics, self.smem_accesses, self.barriers
+        );
+        out
+    }
+
+    /// Merges another SM's statistics into this grid aggregate.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.issued_fma += other.issued_fma;
+        self.issued_alu += other.issued_alu;
+        self.issued_mem += other.issued_mem;
+        self.issued_control += other.issued_control;
+        for k in 0..self.stalls.len() {
+            self.stalls[k] += other.stalls[k];
+        }
+        self.slot_cycles += other.slot_cycles;
+        for k in 0..3 {
+            self.icache_hits[k] += other.icache_hits[k];
+        }
+        self.icache_mem_fills += other.icache_mem_fills;
+        self.gmem_loads += other.gmem_loads;
+        self.gmem_stores += other.gmem_stores;
+        self.gmem_atomics += other.gmem_atomics;
+        self.smem_accesses += other.smem_accesses;
+        self.barriers += other.barriers;
+        self.hazard_violations += other.hazard_violations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let mut s = KernelStats::default();
+        s.slot_cycles = 100;
+        s.issued_fma = 40;
+        s.issued_alu = 35;
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(s.issued_total(), 75);
+    }
+
+    #[test]
+    fn stall_fractions() {
+        let mut s = KernelStats::default();
+        for _ in 0..99 {
+            s.record_stall(StallReason::InstructionFetch);
+        }
+        s.record_stall(StallReason::Scoreboard);
+        assert!((s.stall_fraction(StallReason::InstructionFetch) - 0.99).abs() < 1e-12);
+        assert_eq!(s.stall_total(), 100);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_counters() {
+        let mut a = KernelStats {
+            cycles: 10,
+            issued_alu: 5,
+            slot_cycles: 20,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            cycles: 30,
+            issued_alu: 7,
+            slot_cycles: 40,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.issued_alu, 12);
+        assert_eq!(a.slot_cycles, 60);
+    }
+
+    #[test]
+    fn report_mentions_the_load_bearing_numbers() {
+        let mut s = KernelStats::default();
+        s.cycles = 1000;
+        s.slot_cycles = 4000;
+        s.issued_fma = 1500;
+        s.issued_alu = 1500;
+        s.record_stall(StallReason::InstructionFetch);
+        s.icache_hits = [10, 5, 2];
+        let r = s.report();
+        assert!(r.contains("75.0%"), "{r}");
+        assert!(r.contains("ifetch"), "{r}");
+        assert!(r.contains("FMA 1500"), "{r}");
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = KernelStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.stall_fraction(StallReason::Barrier), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Instruction-issue tracing: a bounded ring buffer of the most recent
+//! issues, for debugging generated microcode and for the attack
+//! harness's forensics (what actually executed, when, where).
+
+use sage_isa::Opcode;
+
+/// One trace record: an instruction issue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Cycle of issue.
+    pub cycle: u64,
+    /// SM the warp resides on.
+    pub sm: u32,
+    /// Partition (scheduler) within the SM.
+    pub partition: u8,
+    /// Warp index within the SM's warp table.
+    pub warp: u32,
+    /// Program counter of the issued instruction.
+    pub pc: u32,
+    /// Operation.
+    pub op: Opcode,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    next: usize,
+    total: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding the last `capacity` issues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an issue.
+    pub fn record(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Total issues observed (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+
+    /// Renders the retained trace as text, oldest first.
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.records() {
+            let _ = writeln!(
+                out,
+                "{:>10}  sm{} p{} w{:<3} {:#010x}  {}",
+                r.cycle,
+                r.sm,
+                r.partition,
+                r.warp,
+                r.pc,
+                r.op.mnemonic()
+            );
+        }
+        out
+    }
+
+    /// Records matching a predicate, oldest first.
+    pub fn filter(&self, mut pred: impl FnMut(&TraceRecord) -> bool) -> Vec<TraceRecord> {
+        self.records().into_iter().filter(|r| pred(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig, LaunchParams};
+
+    #[test]
+    fn device_run_produces_traces() {
+        let mut dev = Device::new(DeviceConfig::sim_tiny());
+        dev.set_trace_capacity(Some(64));
+        let ctx = dev.create_context();
+        let mut b = sage_isa::ProgramBuilder::new();
+        b.nop();
+        b.nop();
+        b.exit();
+        let prog = b.build().unwrap();
+        let base = dev.alloc(prog.byte_len() as u32).unwrap();
+        dev.memcpy_h2d(base, &prog.encode()).unwrap();
+        let id = dev
+            .launch(LaunchParams {
+                ctx,
+                entry_pc: base,
+                grid_dim: 1,
+                block_dim: 32,
+                regs_per_thread: 8,
+                smem_bytes: 0,
+                params: vec![],
+            })
+            .unwrap();
+        let report = dev.run().unwrap();
+        assert_eq!(report.launches[id].issued, 3);
+        assert_eq!(report.traces.len(), 1);
+        let recs = report.traces[0].records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].op, Opcode::Nop);
+        assert_eq!(recs[2].op, Opcode::Exit);
+        assert!(recs[0].cycle < recs[2].cycle);
+        // Rendered trace names the ops.
+        assert!(report.traces[0].render().contains("EXIT"));
+    }
+
+    fn rec(cycle: u64, pc: u32) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            sm: 0,
+            partition: 0,
+            warp: 0,
+            pc,
+            op: Opcode::Nop,
+        }
+    }
+
+    #[test]
+    fn keeps_last_n_in_order() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.record(rec(i, i as u32 * 16));
+        }
+        let r = t.records();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].cycle, 2);
+        assert_eq!(r[2].cycle, 4);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn underfull_buffer_returns_all() {
+        let mut t = TraceBuffer::new(8);
+        t.record(rec(1, 0));
+        t.record(rec(2, 16));
+        assert_eq!(t.records().len(), 2);
+    }
+
+    #[test]
+    fn render_and_filter() {
+        let mut t = TraceBuffer::new(4);
+        t.record(rec(10, 0x100));
+        t.record(rec(11, 0x110));
+        let text = t.render();
+        assert!(text.contains("0x00000110"));
+        assert_eq!(t.filter(|r| r.pc == 0x100).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

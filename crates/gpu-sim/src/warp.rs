@@ -1,0 +1,204 @@
+//! Per-warp architectural and scheduling state.
+
+use crate::ctrlflow::SyncEntry;
+
+/// Number of lanes (threads) per warp, as on every NVIDIA architecture.
+pub const WARP_LANES: u32 = 32;
+
+/// All-lanes-active mask.
+pub const FULL_MASK: u32 = u32::MAX;
+
+/// State of one warp: registers, predicates, program counter, divergence
+/// and call stacks, plus the scheduling state the SM consults every cycle.
+#[derive(Clone, Debug)]
+pub struct Warp {
+    /// Index of the owning thread block in the SM's block table.
+    pub block_slot: usize,
+    /// Warp index within its thread block.
+    pub warp_in_block: u32,
+    /// Current program counter (byte address of the next instruction).
+    pub pc: u32,
+    /// Lanes that have not executed `EXIT`.
+    pub live: u32,
+    /// Lanes currently executing (subset of `live`).
+    pub active: u32,
+    /// Register file: `regs[r * 32 + lane]`.
+    pub regs: Vec<u32>,
+    /// Predicate registers `P0`–`P6`, one lane mask each.
+    pub preds: [u32; 7],
+    /// Return addresses pushed by `CAL`.
+    pub call_stack: Vec<u32>,
+    /// Reconvergence (branch-synchronization) stack.
+    pub sync_stack: Vec<SyncEntry>,
+    /// The warp may not issue again before this cycle (control-info stall
+    /// field).
+    pub stall_until: u64,
+    /// An instruction fetch completes at this cycle (i-cache miss
+    /// penalty).
+    pub fetch_ready_at: u64,
+    /// Scoreboard (dependency-barrier) slots: cycle at which each slot
+    /// signals completion.
+    pub scoreboard: [u64; 6],
+    /// The warp is blocked at a thread-block barrier.
+    pub at_barrier: bool,
+    /// All lanes exited; the warp is retired.
+    pub done: bool,
+    /// Number of registers allocated per thread.
+    pub nregs: u32,
+    /// Instructions issued by this warp (for accounting).
+    pub issued: u64,
+    /// Per-register cycle at which the last writer's result is ready —
+    /// used only by the optional hazard checker.
+    pub reg_ready_at: Vec<u64>,
+}
+
+impl Warp {
+    /// Creates a fresh warp with all lanes live and registers zeroed.
+    pub fn new(block_slot: usize, warp_in_block: u32, entry_pc: u32, nregs: u32) -> Warp {
+        Warp {
+            block_slot,
+            warp_in_block,
+            pc: entry_pc,
+            live: FULL_MASK,
+            active: FULL_MASK,
+            regs: vec![0; (nregs * WARP_LANES) as usize],
+            preds: [0; 7],
+            call_stack: Vec::new(),
+            sync_stack: Vec::new(),
+            stall_until: 0,
+            fetch_ready_at: 0,
+            scoreboard: [0; 6],
+            at_barrier: false,
+            done: false,
+            nregs,
+            issued: 0,
+            reg_ready_at: vec![0; nregs as usize],
+        }
+    }
+
+    /// Reads register `r` of `lane` (the zero register reads 0).
+    #[inline]
+    pub fn reg(&self, r: u8, lane: u32) -> u32 {
+        if r == 255 {
+            0
+        } else {
+            self.regs[r as usize * WARP_LANES as usize + lane as usize]
+        }
+    }
+
+    /// Writes register `r` of `lane` (writes to the zero register are
+    /// discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, lane: u32, value: u32) {
+        if r != 255 {
+            self.regs[r as usize * WARP_LANES as usize + lane as usize] = value;
+        }
+    }
+
+    /// Reads predicate `p` of `lane` (`P7`/PT reads true).
+    #[inline]
+    pub fn pred(&self, p: u8, lane: u32) -> bool {
+        if p >= 7 {
+            true
+        } else {
+            self.preds[p as usize] & (1 << lane) != 0
+        }
+    }
+
+    /// Writes predicate `p` of `lane` (writes to PT are discarded).
+    #[inline]
+    pub fn set_pred(&mut self, p: u8, lane: u32, value: bool) {
+        if p < 7 {
+            if value {
+                self.preds[p as usize] |= 1 << lane;
+            } else {
+                self.preds[p as usize] &= !(1 << lane);
+            }
+        }
+    }
+
+    /// The lane mask for which guard predicate `(reg, neg)` holds.
+    pub fn guard_mask(&self, reg: u8, neg: bool) -> u32 {
+        let base = if reg >= 7 { FULL_MASK } else { self.preds[reg as usize] };
+        if neg {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// Whether all `wait_mask` scoreboard slots have completed by `cycle`.
+    pub fn scoreboard_ready(&self, wait_mask: u8, cycle: u64) -> bool {
+        (0..6).all(|slot| wait_mask & (1 << slot) == 0 || self.scoreboard[slot] <= cycle)
+    }
+
+    /// The effective per-lane byte addresses of a memory instruction
+    /// (`base register + immediate offset`), for the active lanes under
+    /// the instruction's guard. Used by the data-cache timing model.
+    pub fn effective_addresses(&self, insn: &sage_isa::Instruction) -> Vec<u32> {
+        let guard = self.guard_mask(insn.pred.reg.0, insn.pred.neg);
+        let mask = self.active & guard;
+        let off = insn.srcs[1].imm().unwrap_or(0);
+        let base = insn.srcs[0];
+        (0..WARP_LANES)
+            .filter(|lane| mask & (1 << lane) != 0)
+            .map(|lane| {
+                let b = match base {
+                    sage_isa::Operand::Reg(r) => self.reg(r.0, lane),
+                    sage_isa::Operand::Imm(v) => v,
+                };
+                b.wrapping_add(off)
+            })
+            .collect()
+    }
+
+    /// The earliest cycle at which the `wait_mask` slots complete.
+    pub fn scoreboard_ready_at(&self, wait_mask: u8) -> u64 {
+        (0..6)
+            .filter(|slot| wait_mask & (1 << slot) != 0)
+            .map(|slot| self.scoreboard[slot])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_semantics() {
+        let mut w = Warp::new(0, 0, 0, 8);
+        w.set_reg(255, 3, 42);
+        assert_eq!(w.reg(255, 3), 0);
+        w.set_reg(4, 3, 42);
+        assert_eq!(w.reg(4, 3), 42);
+        assert_eq!(w.reg(4, 2), 0);
+    }
+
+    #[test]
+    fn predicate_semantics() {
+        let mut w = Warp::new(0, 0, 0, 8);
+        assert!(w.pred(7, 0)); // PT
+        w.set_pred(2, 5, true);
+        assert!(w.pred(2, 5));
+        assert!(!w.pred(2, 4));
+        w.set_pred(7, 0, false); // write to PT discarded
+        assert!(w.pred(7, 0));
+        assert_eq!(w.guard_mask(2, false), 1 << 5);
+        assert_eq!(w.guard_mask(2, true), !(1 << 5));
+        assert_eq!(w.guard_mask(7, false), FULL_MASK);
+    }
+
+    #[test]
+    fn scoreboard_wait() {
+        let mut w = Warp::new(0, 0, 0, 8);
+        w.scoreboard[1] = 100;
+        w.scoreboard[3] = 50;
+        assert!(w.scoreboard_ready(0, 0));
+        assert!(!w.scoreboard_ready(0b0010, 99));
+        assert!(w.scoreboard_ready(0b0010, 100));
+        assert_eq!(w.scoreboard_ready_at(0b1010), 100);
+        assert_eq!(w.scoreboard_ready_at(0b1000), 50);
+    }
+}

@@ -1,0 +1,266 @@
+//! Failure injection and control-flow edge cases run through the full
+//! device stack (not just the unit-level modules): faults must surface
+//! as typed errors, and divergent warps must reconverge correctly.
+
+use sage_gpu_sim::{Device, DeviceConfig, LaunchParams, SimError};
+use sage_isa::{CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg, SpecialReg};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::sim_tiny())
+}
+
+fn load(dev: &mut Device, prog: &Program) -> u32 {
+    let mut p = prog.clone();
+    let base = dev.alloc(p.byte_len() as u32).unwrap();
+    p.relocate(base);
+    dev.memcpy_h2d(base, &p.encode()).unwrap();
+    base
+}
+
+fn launch(dev: &mut Device, entry: u32, params: Vec<u32>) -> sage_gpu_sim::Result<()> {
+    let ctx = dev.create_context();
+    dev.run_single(LaunchParams {
+        ctx,
+        entry_pc: entry,
+        grid_dim: 1,
+        block_dim: 32,
+        regs_per_thread: 16,
+        smem_bytes: 256,
+        params,
+    })
+    .map(|_| ())
+}
+
+#[test]
+fn out_of_bounds_load_faults() {
+    let mut dev = device();
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+    b.mov(Reg(1), Operand::Imm(0x7FFF_FFF0));
+    b.ctrl(CtrlInfo::stall(4));
+    b.ldg(Reg(2), Reg(1), 0);
+    b.exit();
+    let entry = load(&mut dev, &b.build().unwrap());
+    let err = launch(&mut dev, entry, vec![]).unwrap_err();
+    assert!(matches!(err, SimError::MemFault { .. }), "{err}");
+}
+
+#[test]
+fn misaligned_store_faults() {
+    let mut dev = device();
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(1), Operand::Imm(4097)); // odd address
+    b.ctrl(CtrlInfo::stall(4));
+    b.stg(Reg(1), 0, Reg(2));
+    b.exit();
+    let entry = load(&mut dev, &b.build().unwrap());
+    assert!(matches!(
+        launch(&mut dev, entry, vec![]),
+        Err(SimError::MemFault { .. })
+    ));
+}
+
+#[test]
+fn executing_data_decode_faults() {
+    let mut dev = device();
+    let buf = dev.alloc(256).unwrap();
+    dev.memcpy_h2d(buf, &[0xFFu8; 256]).unwrap(); // invalid opcodes
+    let err = launch(&mut dev, buf, vec![]).unwrap_err();
+    assert!(matches!(err, SimError::DecodeFault { .. }), "{err}");
+}
+
+#[test]
+fn runaway_kernel_hits_cycle_limit() {
+    let mut dev = device();
+    dev.set_cycle_limit(50_000);
+    let mut b = ProgramBuilder::new();
+    b.label("forever");
+    b.nop();
+    b.bra("forever");
+    let entry = load(&mut dev, &b.build().unwrap());
+    assert!(matches!(
+        launch(&mut dev, entry, vec![]),
+        Err(SimError::CycleLimit { limit: 50_000 })
+    ));
+}
+
+#[test]
+fn ret_without_call_is_illegal() {
+    let mut dev = device();
+    let mut b = ProgramBuilder::new();
+    b.ret();
+    let entry = load(&mut dev, &b.build().unwrap());
+    assert!(matches!(
+        launch(&mut dev, entry, vec![]),
+        Err(SimError::IllegalInstruction { .. })
+    ));
+}
+
+#[test]
+fn divergent_if_else_reconverges_through_bssy() {
+    // if (lane < 16) out[lane] = 1; else out[lane] = 2; then everyone
+    // adds 10 — validates full reconvergence at the BSYNC.
+    let mut dev = device();
+    let out = dev.alloc(128).unwrap();
+
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+    b.ldg(Reg(1), Reg(0), 0); // out base
+    b.ctrl(CtrlInfo::stall(4));
+    b.s2r(Reg(2), SpecialReg::LaneId);
+    let mut c = CtrlInfo::stall(4);
+    c.wait_mask = 1;
+    b.ctrl(c);
+    b.isetp(PredReg(0), CmpOp::Lt, Reg(2), Operand::Imm(16));
+    b.bssy("join");
+    b.pred(Pred::on(PredReg(0)));
+    b.bra("low_half");
+    // else branch: value = 2
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(3), Operand::Imm(2));
+    b.bra("join");
+    b.label("low_half");
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(3), Operand::Imm(1));
+    b.label("join");
+    b.bsync();
+    // Reconverged: everyone executes this.
+    b.ctrl(CtrlInfo::stall(4));
+    b.iadd3(Reg(3), Reg(3), Operand::Imm(10), Reg::RZ);
+    b.ctrl(CtrlInfo::stall(4));
+    b.lea(Reg(4), Reg(2), Reg(1).into(), 2);
+    b.ctrl(CtrlInfo::stall(4));
+    b.stg(Reg(4), 0, Reg(3));
+    b.exit();
+
+    let entry = load(&mut dev, &b.build().unwrap());
+    launch(&mut dev, entry, vec![out]).unwrap();
+    let raw = dev.memcpy_d2h(out, 128).unwrap();
+    for lane in 0..32usize {
+        let v = u32::from_le_bytes(raw[lane * 4..lane * 4 + 4].try_into().unwrap());
+        let expect = if lane < 16 { 11 } else { 12 };
+        assert_eq!(v, expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn divergent_branch_without_bssy_is_rejected() {
+    let mut dev = device();
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(4));
+    b.s2r(Reg(2), SpecialReg::LaneId);
+    b.ctrl(CtrlInfo::stall(4));
+    b.isetp(PredReg(0), CmpOp::Lt, Reg(2), Operand::Imm(7));
+    b.pred(Pred::on(PredReg(0)));
+    b.bra("skip");
+    b.nop();
+    b.label("skip");
+    b.exit();
+    let entry = load(&mut dev, &b.build().unwrap());
+    assert!(matches!(
+        launch(&mut dev, entry, vec![]),
+        Err(SimError::IllegalInstruction { .. })
+    ));
+}
+
+#[test]
+fn nonuniform_jmx_is_rejected() {
+    let mut dev = device();
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(4));
+    b.s2r(Reg(1), SpecialReg::LaneId); // per-lane target: invalid
+    b.ctrl(CtrlInfo::stall(4));
+    b.jmx(Reg(1));
+    b.exit();
+    let entry = load(&mut dev, &b.build().unwrap());
+    assert!(matches!(
+        launch(&mut dev, entry, vec![]),
+        Err(SimError::IllegalInstruction { .. })
+    ));
+}
+
+#[test]
+fn nested_divergence_two_levels() {
+    // Nested if: lane<16 { lane<8 ? 100 : 200 } else { 300 }.
+    let mut dev = device();
+    let out = dev.alloc(128).unwrap();
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+    b.ldg(Reg(1), Reg(0), 0);
+    b.ctrl(CtrlInfo::stall(4));
+    b.s2r(Reg(2), SpecialReg::LaneId);
+    let mut c = CtrlInfo::stall(4);
+    c.wait_mask = 1;
+    b.ctrl(c);
+    b.isetp(PredReg(0), CmpOp::Lt, Reg(2), Operand::Imm(16));
+    b.ctrl(CtrlInfo::stall(4));
+    b.isetp(PredReg(1), CmpOp::Lt, Reg(2), Operand::Imm(8));
+
+    b.bssy("outer_join");
+    b.pred(Pred::on(PredReg(0)));
+    b.bra("low16");
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(3), Operand::Imm(300));
+    b.bra("outer_join");
+    b.label("low16");
+    b.bssy("inner_join");
+    b.pred(Pred::on(PredReg(1)));
+    b.bra("low8");
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(3), Operand::Imm(200));
+    b.bra("inner_join");
+    b.label("low8");
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(3), Operand::Imm(100));
+    b.label("inner_join");
+    b.bsync();
+    b.label("outer_join");
+    b.bsync();
+
+    b.ctrl(CtrlInfo::stall(4));
+    b.lea(Reg(4), Reg(2), Reg(1).into(), 2);
+    b.ctrl(CtrlInfo::stall(4));
+    b.stg(Reg(4), 0, Reg(3));
+    b.exit();
+
+    let entry = load(&mut dev, &b.build().unwrap());
+    launch(&mut dev, entry, vec![out]).unwrap();
+    let raw = dev.memcpy_d2h(out, 128).unwrap();
+    for lane in 0..32usize {
+        let v = u32::from_le_bytes(raw[lane * 4..lane * 4 + 4].try_into().unwrap());
+        let expect = if lane < 8 {
+            100
+        } else if lane < 16 {
+            200
+        } else {
+            300
+        };
+        assert_eq!(v, expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn oom_alloc_reported() {
+    let mut dev = device();
+    assert!(matches!(
+        dev.alloc(u32::MAX),
+        Err(SimError::OutOfMemory { .. })
+    ));
+}
+
+#[test]
+fn smem_out_of_bounds_faults() {
+    let mut dev = device();
+    let mut b = ProgramBuilder::new();
+    b.ctrl(CtrlInfo::stall(4));
+    b.mov(Reg(1), Operand::Imm(4096)); // beyond the 256 B smem
+    b.ctrl(CtrlInfo::stall(4));
+    b.sts(Reg(1), 0, Reg(2));
+    b.exit();
+    let entry = load(&mut dev, &b.build().unwrap());
+    assert!(matches!(
+        launch(&mut dev, entry, vec![]),
+        Err(SimError::MemFault { kind: "shared store", .. })
+    ));
+}

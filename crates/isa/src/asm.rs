@@ -1,0 +1,559 @@
+//! Text assembler for the SASS-like syntax used throughout the paper.
+//!
+//! Accepts exactly the syntax the disassembler produces, e.g.:
+//!
+//! ```text
+//! B------|R-|W-|Y1|S01| IMAD R28, R28, 0x800, R28 ;
+//! B--2---|R-|W0|Y0|S04| LDG.E R8, [R2+0x10] ;
+//! loop:
+//!     @!P0 BRA loop ;
+//! ```
+//!
+//! The 21-character control prefix is optional (defaulting to
+//! `B------|R-|W-|Y0|S01|`), labels may be defined with `name:` and used
+//! as branch/call targets, and `//`-comments are ignored.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{
+    ctrl::CtrlInfo,
+    insn::{Instruction, Operand, Pred},
+    op::{CmpOp, Opcode},
+    reg::{PredReg, Reg, SpecialReg},
+    INSN_BYTES,
+};
+
+/// An assembly error, with the 1-based source line it occurred on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Result of parsing one source line.
+enum Line {
+    Empty,
+    Label(String),
+    Insn(Instruction, Option<String>),
+}
+
+/// Assembles source text into instructions plus a label map.
+///
+/// Returns the instruction list and a map from label name to instruction
+/// index. Branch targets referencing labels are resolved to absolute byte
+/// addresses (`index * 16`) relative to a zero program base; callers that
+/// load code at a different base must relocate (see
+/// [`crate::program::Program::relocate`]).
+pub fn assemble(src: &str) -> Result<(Vec<Instruction>, HashMap<String, usize>), AsmError> {
+    let mut insns: Vec<Instruction> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (insn idx, label, line)
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        match parse_line(raw, lineno)? {
+            Line::Empty => {}
+            Line::Label(name) => {
+                if labels.insert(name.clone(), insns.len()).is_some() {
+                    return err(lineno, format!("duplicate label `{name}`"));
+                }
+            }
+            Line::Insn(insn, label_ref) => {
+                if let Some(label) = label_ref {
+                    fixups.push((insns.len(), label, lineno));
+                }
+                insns.push(insn);
+            }
+        }
+    }
+
+    for (idx, label, lineno) in fixups {
+        let Some(&target) = labels.get(&label) else {
+            return err(lineno, format!("undefined label `{label}`"));
+        };
+        insns[idx].srcs[1] = Operand::Imm((target * INSN_BYTES) as u32);
+    }
+
+    Ok((insns, labels))
+}
+
+fn parse_line(raw: &str, lineno: usize) -> Result<Line, AsmError> {
+    let no_comment = match raw.find("//") {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    };
+    let mut s = no_comment.trim();
+    if s.is_empty() {
+        return Ok(Line::Empty);
+    }
+    if let Some(name) = s.strip_suffix(':') {
+        let name = name.trim();
+        if name.is_empty() || !is_ident(name) {
+            return err(lineno, format!("invalid label `{name}`"));
+        }
+        return Ok(Line::Label(name.to_string()));
+    }
+
+    // Optional fixed-width control prefix: `B......|R.|W.|Y.|S..|`.
+    let mut ctrl = CtrlInfo::default();
+    if s.len() >= 21 && s.starts_with('B') && s.as_bytes().get(7) == Some(&b'|') {
+        ctrl = parse_ctrl(&s[..21], lineno)?;
+        s = s[21..].trim_start();
+    }
+
+    // Optional predicate guard.
+    let mut pred = Pred::TRUE;
+    if let Some(rest) = s.strip_prefix('@') {
+        let (neg, rest) = match rest.strip_prefix('!') {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let end = rest
+            .find(char::is_whitespace)
+            .ok_or_else(|| AsmError {
+                line: lineno,
+                msg: "predicate guard without instruction".into(),
+            })?;
+        let preg = parse_pred_reg(&rest[..end], lineno)?;
+        pred = Pred { reg: preg, neg };
+        s = rest[end..].trim_start();
+    }
+
+    let s = s.strip_suffix(';').map(str::trim_end).unwrap_or(s);
+    let (mnemonic, rest) = match s.find(char::is_whitespace) {
+        Some(pos) => (&s[..pos], s[pos..].trim_start()),
+        None => (s, ""),
+    };
+
+    let (insn, label_ref) = parse_insn(mnemonic, rest, lineno)?;
+    let mut insn = insn;
+    insn.pred = pred;
+    insn.ctrl = ctrl;
+    Ok(Line::Insn(insn, label_ref))
+}
+
+fn parse_ctrl(s: &str, lineno: usize) -> Result<CtrlInfo, AsmError> {
+    let bad = || AsmError {
+        line: lineno,
+        msg: format!("malformed control prefix `{s}`"),
+    };
+    let b = s.as_bytes();
+    // Layout: B(1) wait(6) |R(2) rd(1) |W(2) wr(1) |Y(2) y(1) |S(2) dd(2) |(1)
+    if b.len() != 21
+        || b[0] != b'B'
+        || &s[7..9] != "|R"
+        || &s[10..12] != "|W"
+        || &s[13..15] != "|Y"
+        || &s[16..18] != "|S"
+        || b[20] != b'|'
+    {
+        return Err(bad());
+    }
+    let mut wait_mask = 0u8;
+    for (slot, ch) in s[1..7].bytes().enumerate() {
+        match ch {
+            b'-' | b'.' => {}
+            b'0'..=b'5' => {
+                if (ch - b'0') as usize != slot {
+                    return Err(bad());
+                }
+                wait_mask |= 1 << slot;
+            }
+            _ => return Err(bad()),
+        }
+    }
+    let bar = |ch: u8| -> Result<Option<u8>, AsmError> {
+        match ch {
+            b'-' => Ok(None),
+            b'0'..=b'5' => Ok(Some(ch - b'0')),
+            _ => Err(bad()),
+        }
+    };
+    let read_bar = bar(b[9])?;
+    let write_bar = bar(b[12])?;
+    let yield_flag = match b[15] {
+        b'0' => false,
+        b'1' => true,
+        _ => return Err(bad()),
+    };
+    let stall: u8 = s[18..20].parse().map_err(|_| bad())?;
+    if stall > 15 {
+        return Err(bad());
+    }
+    Ok(CtrlInfo {
+        reuse: 0,
+        wait_mask,
+        read_bar,
+        write_bar,
+        yield_flag,
+        stall,
+    })
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_pred_reg(s: &str, lineno: usize) -> Result<PredReg, AsmError> {
+    if s == "PT" {
+        return Ok(PredReg::PT);
+    }
+    if let Some(n) = s.strip_prefix('P') {
+        if let Ok(idx) = n.parse::<u8>() {
+            if idx < 7 {
+                return Ok(PredReg(idx));
+            }
+        }
+    }
+    err(lineno, format!("invalid predicate register `{s}`"))
+}
+
+fn parse_reg(s: &str, lineno: usize) -> Result<Reg, AsmError> {
+    if s == "RZ" {
+        return Ok(Reg::RZ);
+    }
+    if let Some(n) = s.strip_prefix('R') {
+        if let Ok(idx) = n.parse::<u8>() {
+            if idx < 255 {
+                return Ok(Reg(idx));
+            }
+        }
+    }
+    err(lineno, format!("invalid register `{s}`"))
+}
+
+fn parse_imm(s: &str, lineno: usize) -> Result<u32, AsmError> {
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else if let Some(neg) = s.strip_prefix('-') {
+        neg.parse::<i64>().ok().and_then(|v| {
+            let v = -v;
+            (-(u32::MAX as i64 / 2 + 1)..=u32::MAX as i64)
+                .contains(&v)
+                .then_some(v as u32)
+        })
+    } else {
+        s.parse::<u32>().ok()
+    };
+    v.map_or_else(
+        || err(lineno, format!("invalid immediate `{s}`")),
+        Ok,
+    )
+}
+
+/// Register or immediate operand.
+fn parse_operand(s: &str, lineno: usize) -> Result<Operand, AsmError> {
+    match parse_reg_quiet(s) {
+        Some(r) => Ok(Operand::Reg(r)),
+        None => Ok(Operand::Imm(parse_imm(s, lineno)?)),
+    }
+}
+
+/// Parses `[Rn+0xOFF]` or `[Rn]` into (base, offset).
+fn parse_memref(s: &str, lineno: usize) -> Result<(Reg, u32), AsmError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AsmError {
+            line: lineno,
+            msg: format!("invalid memory operand `{s}`"),
+        })?;
+    match inner.split_once('+') {
+        Some((base, off)) => Ok((
+            parse_reg(base.trim(), lineno)?,
+            parse_imm(off.trim(), lineno)?,
+        )),
+        None => Ok((parse_reg(inner.trim(), lineno)?, 0)),
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<&str> {
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn expect_n(ops: &[&str], n: usize, mnemonic: &str, lineno: usize) -> Result<(), AsmError> {
+    if ops.len() != n {
+        err(
+            lineno,
+            format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+        )
+    } else {
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_insn(
+    mnemonic: &str,
+    rest: &str,
+    lineno: usize,
+) -> Result<(Instruction, Option<String>), AsmError> {
+    let ops = split_operands(rest);
+
+    // ISETP carries its comparison in the mnemonic: `ISETP.LT.AND`.
+    if let Some(suffix) = mnemonic.strip_prefix("ISETP.") {
+        let cmp_str = suffix.strip_suffix(".AND").unwrap_or(suffix);
+        let cmp = CmpOp::from_suffix(cmp_str).ok_or_else(|| AsmError {
+            line: lineno,
+            msg: format!("unknown comparison `{cmp_str}`"),
+        })?;
+        // Accept both `ISETP.LT P0, R2, R3` and the full SASS form
+        // `ISETP.LT.AND P0, PT, R2, R3, PT`.
+        let (p, a, b) = match ops.len() {
+            3 => (ops[0], ops[1], ops[2]),
+            5 => (ops[0], ops[2], ops[3]),
+            n => {
+                return err(lineno, format!("ISETP expects 3 or 5 operands, got {n}"));
+            }
+        };
+        let mut i = Instruction::new(Opcode::Isetp);
+        i.dst_pred = Some(parse_pred_reg(p, lineno)?);
+        i.cmp = cmp;
+        i.srcs[0] = parse_operand(a, lineno)?;
+        i.srcs[1] = parse_operand(b, lineno)?;
+        return Ok((i, None));
+    }
+
+    let op = Opcode::from_mnemonic(mnemonic).ok_or_else(|| AsmError {
+        line: lineno,
+        msg: format!("unknown mnemonic `{mnemonic}`"),
+    })?;
+    let mut i = Instruction::new(op);
+    let mut label_ref = None;
+
+    match op {
+        Opcode::Nop
+        | Opcode::BarSync
+        | Opcode::Bsync
+        | Opcode::Ret
+        | Opcode::Exit => {
+            expect_n(&ops, 0, mnemonic, lineno)?;
+        }
+        Opcode::Imad | Opcode::Iadd3 | Opcode::Ffma => {
+            expect_n(&ops, 4, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            for k in 0..3 {
+                i.srcs[k] = parse_operand(ops[k + 1], lineno)?;
+            }
+        }
+        Opcode::Lea | Opcode::LeaHi => {
+            expect_n(&ops, 4, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            i.srcs[0] = parse_operand(ops[1], lineno)?;
+            i.srcs[1] = parse_operand(ops[2], lineno)?;
+            let shift = parse_imm(ops[3], lineno)?;
+            if shift > 31 {
+                return err(lineno, format!("shift amount {shift} out of range"));
+            }
+            i.shift = shift as u8;
+        }
+        Opcode::ShfL | Opcode::ShfR => {
+            expect_n(&ops, 4, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            for k in 0..3 {
+                i.srcs[k] = parse_operand(ops[k + 1], lineno)?;
+            }
+        }
+        Opcode::Lop3 => {
+            expect_n(&ops, 5, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            for k in 0..3 {
+                i.srcs[k] = parse_operand(ops[k + 1], lineno)?;
+            }
+            let lut = parse_imm(ops[4], lineno)?;
+            if lut > 0xFF {
+                return err(lineno, format!("LUT {lut:#x} out of range"));
+            }
+            i.lut = lut as u8;
+        }
+        Opcode::Mov | Opcode::I2f | Opcode::F2i | Opcode::Lepc => {
+            if op == Opcode::Lepc {
+                expect_n(&ops, 1, mnemonic, lineno)?;
+                i.dst = parse_reg(ops[0], lineno)?;
+            } else {
+                expect_n(&ops, 2, mnemonic, lineno)?;
+                i.dst = parse_reg(ops[0], lineno)?;
+                i.srcs[0] = parse_operand(ops[1], lineno)?;
+            }
+        }
+        Opcode::Fadd | Opcode::Fmul => {
+            expect_n(&ops, 3, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            i.srcs[0] = parse_operand(ops[1], lineno)?;
+            i.srcs[1] = parse_operand(ops[2], lineno)?;
+        }
+        Opcode::S2r => {
+            expect_n(&ops, 2, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            let sr = SpecialReg::from_name(ops[1]).ok_or_else(|| AsmError {
+                line: lineno,
+                msg: format!("unknown special register `{}`", ops[1]),
+            })?;
+            i.srcs[1] = Operand::Imm(sr.code() as u32);
+        }
+        Opcode::Ldg | Opcode::Lds => {
+            expect_n(&ops, 2, mnemonic, lineno)?;
+            i.dst = parse_reg(ops[0], lineno)?;
+            let (base, off) = parse_memref(ops[1], lineno)?;
+            i.srcs[0] = Operand::Reg(base);
+            i.srcs[1] = Operand::Imm(off);
+        }
+        Opcode::Stg | Opcode::Sts | Opcode::AtomgAdd | Opcode::AtomsAdd => {
+            expect_n(&ops, 2, mnemonic, lineno)?;
+            let (base, off) = parse_memref(ops[0], lineno)?;
+            i.srcs[0] = Operand::Reg(base);
+            i.srcs[1] = Operand::Imm(off);
+            i.srcs[2] = parse_operand(ops[1], lineno)?;
+        }
+        Opcode::Cctl => {
+            expect_n(&ops, 1, mnemonic, lineno)?;
+            let (base, off) = parse_memref(ops[0], lineno)?;
+            i.srcs[0] = Operand::Reg(base);
+            i.srcs[1] = Operand::Imm(off);
+        }
+        Opcode::Jmx => {
+            expect_n(&ops, 1, mnemonic, lineno)?;
+            i.srcs[0] = Operand::Reg(parse_reg(ops[0], lineno)?);
+        }
+        Opcode::Bra | Opcode::Bssy | Opcode::Cal => {
+            expect_n(&ops, 1, mnemonic, lineno)?;
+            if labels_allowed(ops[0]) {
+                label_ref = Some(ops[0].to_string());
+                i.srcs[1] = Operand::Imm(0); // patched by fixup
+            } else {
+                i.srcs[1] = Operand::Imm(parse_imm(ops[0], lineno)?);
+            }
+        }
+        Opcode::Isetp => unreachable!("handled above"),
+    }
+
+    Ok((i, label_ref))
+}
+
+/// Accepts identifiers that start with `R` but are not registers
+/// (e.g. `retry_loop`) as labels.
+fn labels_allowed(s: &str) -> bool {
+    is_ident(s) && parse_reg_quiet(s).is_none()
+}
+
+fn parse_reg_quiet(s: &str) -> Option<Reg> {
+    if s == "RZ" {
+        return Some(Reg::RZ);
+    }
+    let n = s.strip_prefix('R')?;
+    let idx: u8 = n.parse().ok()?;
+    (idx < 255).then_some(Reg(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_basic() {
+        let (insns, labels) = assemble(
+            "// checksum fragment\n\
+             start:\n\
+             B------|R-|W0|Y0|S01| LDG.E R8, [R2+0x10] ;\n\
+             B0-----|R-|W-|Y0|S02| IMAD R4, R8, 0x11, R4 ;\n\
+             BRA start ;\n\
+             EXIT ;",
+        )
+        .unwrap();
+        assert_eq!(insns.len(), 4);
+        assert_eq!(labels["start"], 0);
+        assert_eq!(insns[0].op, Opcode::Ldg);
+        assert_eq!(insns[0].ctrl.write_bar, Some(0));
+        assert_eq!(insns[1].ctrl.wait_mask, 0b1);
+        assert_eq!(insns[1].ctrl.stall, 2);
+        assert_eq!(insns[2].srcs[1], Operand::Imm(0)); // label start = insn 0
+        assert_eq!(insns[3].op, Opcode::Exit);
+    }
+
+    #[test]
+    fn label_resolution_to_byte_address() {
+        let (insns, _) = assemble("NOP ;\nNOP ;\ntarget:\nNOP ;\nBRA target ;").unwrap();
+        assert_eq!(insns[3].srcs[1], Operand::Imm(32)); // insn index 2 * 16
+    }
+
+    #[test]
+    fn predicated_branch() {
+        let (insns, _) = assemble("loop:\n@!P0 BRA loop ;").unwrap();
+        assert_eq!(insns[0].pred.reg, PredReg(0));
+        assert!(insns[0].pred.neg);
+    }
+
+    #[test]
+    fn isetp_both_forms() {
+        let (a, _) = assemble("ISETP.LT P0, R2, R3 ;").unwrap();
+        let (b, _) = assemble("ISETP.LT.AND P0, PT, R2, R3, PT ;").unwrap();
+        assert_eq!(a[0].cmp, CmpOp::Lt);
+        assert_eq!(a[0].dst_pred, Some(PredReg(0)));
+        assert_eq!(a[0].srcs[0], Operand::Reg(Reg(2)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let src = "B--2---|R-|W1|Y1|S04| LOP3.LUT R4, R1, R2, R3, 0x96 ;";
+        let (insns, _) = assemble(src).unwrap();
+        let printed = insns[0].to_string();
+        let (again, _) = assemble(&printed).unwrap();
+        assert_eq!(insns, again);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line() {
+        let e = assemble("NOP ;\nBOGUS R1 ;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("BOGUS"));
+
+        let e = assemble("BRA nowhere ;").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+
+        let e = assemble("dup:\ndup:\nNOP ;").unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn malformed_ctrl_rejected() {
+        let e = assemble("B-----x|R-|W-|Y0|S01| NOP ;").unwrap_err();
+        assert!(e.msg.contains("control prefix"));
+    }
+
+    #[test]
+    fn shift_bounds_checked() {
+        let e = assemble("LEA R1, R2, R3, 0x20 ;").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+    }
+
+    #[test]
+    fn s2r_special_registers() {
+        let (insns, _) = assemble("S2R R0, SR_TID.X ;\nS2R R1, SR_SMID ;").unwrap();
+        assert_eq!(insns[0].srcs[1], Operand::Imm(SpecialReg::TidX.code() as u32));
+        assert_eq!(insns[1].srcs[1], Operand::Imm(SpecialReg::SmId.code() as u32));
+    }
+}

@@ -1,0 +1,92 @@
+//! `sage-as` — assemble SASS-like text into microcode (or PTX/CUDA
+//! renderings).
+//!
+//! ```text
+//! sage-as [--target microcode|ptx|cuda] [-o OUT] [INPUT]
+//! ```
+//!
+//! Reads from `INPUT` (or stdin), writes to `OUT` (or stdout; binary
+//! microcode on a terminal is printed as a hex listing).
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+use sage_isa::{emit, Program};
+
+fn usage() -> ! {
+    eprintln!("usage: sage-as [--target microcode|ptx|cuda] [-o OUT] [INPUT]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut target = emit::Target::Microcode;
+    let mut out_path: Option<String> = None;
+    let mut in_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--target" | "-t" => match args.next().as_deref() {
+                Some("microcode") => target = emit::Target::Microcode,
+                Some("ptx") => target = emit::Target::Ptx,
+                Some("cuda") => target = emit::Target::Cuda,
+                _ => usage(),
+            },
+            "-o" => out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            other if in_path.is_none() && !other.starts_with('-') => {
+                in_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+
+    let src = match &in_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sage-as: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("sage-as: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let prog = match Program::assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sage-as: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = emit::emit(&prog, target);
+
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                eprintln!("sage-as: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            if target == emit::Target::Microcode {
+                // Hex listing for terminals.
+                for (i, chunk) in bytes.chunks(16).enumerate() {
+                    let hex: String = chunk.iter().map(|b| format!("{b:02x}")).collect();
+                    println!("{:08x}: {hex}", i * 16);
+                }
+            } else {
+                let mut stdout = std::io::stdout();
+                let _ = stdout.write_all(&bytes);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

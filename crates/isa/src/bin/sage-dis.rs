@@ -1,0 +1,79 @@
+//! `sage-dis` — disassemble microcode into SASS-like text (the
+//! `nvdisasm` counterpart of the instruction decoding framework,
+//! paper §6.1).
+//!
+//! ```text
+//! sage-dis [--addr BASE] [INPUT.bin]
+//! ```
+//!
+//! Invalid words are printed as `.word` directives rather than aborting,
+//! so data regions embedded in a dump remain inspectable.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use sage_isa::{encode, INSN_BYTES};
+
+fn usage() -> ! {
+    eprintln!("usage: sage-dis [--addr BASE] [INPUT.bin]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut base: u32 = 0;
+    let mut in_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" | "-a" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let v = v.strip_prefix("0x").unwrap_or(&v);
+                base = u32::from_str_radix(v, 16).unwrap_or_else(|_| usage());
+            }
+            "-h" | "--help" => usage(),
+            other if in_path.is_none() && !other.starts_with('-') => {
+                in_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+
+    let bytes = match &in_path {
+        Some(path) => match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sage-dis: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut b = Vec::new();
+            if std::io::stdin().read_to_end(&mut b).is_err() {
+                eprintln!("sage-dis: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            b
+        }
+    };
+
+    if bytes.len() % INSN_BYTES != 0 {
+        eprintln!(
+            "sage-dis: warning: {} trailing bytes ignored",
+            bytes.len() % INSN_BYTES
+        );
+    }
+    for (i, chunk) in bytes.chunks_exact(INSN_BYTES).enumerate() {
+        let mut word = [0u8; INSN_BYTES];
+        word.copy_from_slice(chunk);
+        let addr = base + (i * INSN_BYTES) as u32;
+        match encode::decode_bytes(&word) {
+            Ok(insn) => println!("/*{addr:08x}*/  {insn}"),
+            Err(_) => {
+                let lo = u64::from_le_bytes(word[..8].try_into().expect("8 bytes"));
+                let hi = u64::from_le_bytes(word[8..].try_into().expect("8 bytes"));
+                println!("/*{addr:08x}*/  .word 0x{hi:016x}{lo:016x}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,444 @@
+//! Fluent builder for constructing programs in code.
+//!
+//! The verification-function generator (`sage-vf`) and the user-kernel
+//! library build their microcode through this interface rather than via
+//! text assembly — the equivalent of the paper's "rapid prototyping"
+//! path through the instruction generation framework (§6.2).
+
+use std::collections::HashMap;
+
+use crate::{
+    ctrl::CtrlInfo,
+    insn::{Instruction, Operand, Pred},
+    op::{CmpOp, Opcode},
+    program::Program,
+    reg::{PredReg, Reg, SpecialReg},
+    INSN_BYTES,
+};
+
+/// Incrementally builds a [`Program`].
+///
+/// Labels may be referenced before they are defined; unresolved references
+/// are fixed up in [`ProgramBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use sage_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.label("loop");
+/// b.imad(Reg(4), Reg(4), 3u32.into(), Reg(5));
+/// b.bra("loop");
+/// b.exit();
+/// let prog = b.build().unwrap();
+/// assert_eq!(prog.len(), 3);
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    insns: Vec<Instruction>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    /// Control info applied to the next pushed instruction, if set.
+    pending_ctrl: Option<CtrlInfo>,
+    /// Predicate guard applied to the next pushed instruction, if set.
+    pending_pred: Option<Pred>,
+}
+
+/// An unresolved-label error from [`ProgramBuilder::build`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnresolvedLabel(pub String);
+
+impl std::fmt::Display for UnresolvedLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unresolved label `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnresolvedLabel {}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Byte address of the next instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        (self.insns.len() * INSN_BYTES) as u32
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate label definitions.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_string(), self.insns.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Sets the control info for the next instruction only.
+    pub fn ctrl(&mut self, ctrl: CtrlInfo) -> &mut Self {
+        self.pending_ctrl = Some(ctrl);
+        self
+    }
+
+    /// Sets the predicate guard for the next instruction only.
+    pub fn pred(&mut self, pred: Pred) -> &mut Self {
+        self.pending_pred = Some(pred);
+        self
+    }
+
+    /// Pushes a raw instruction (applying any pending ctrl/pred).
+    pub fn push(&mut self, mut insn: Instruction) -> &mut Self {
+        if let Some(c) = self.pending_ctrl.take() {
+            insn.ctrl = c;
+        }
+        if let Some(p) = self.pending_pred.take() {
+            insn.pred = p;
+        }
+        self.insns.push(insn);
+        self
+    }
+
+    fn emit(&mut self, op: Opcode, dst: Reg, srcs: [Operand; 3]) -> &mut Self {
+        let mut i = Instruction::new(op);
+        i.dst = dst;
+        i.srcs = srcs;
+        self.push(i)
+    }
+
+    /// `d = a * b + c` (wrapping u32, FMA pipeline).
+    pub fn imad(&mut self, d: Reg, a: Reg, b: Operand, c: Reg) -> &mut Self {
+        self.emit(Opcode::Imad, d, [a.into(), b, c.into()])
+    }
+
+    /// `d = (a << shift) + b` (ALU pipeline).
+    pub fn lea(&mut self, d: Reg, a: Reg, b: Operand, shift: u8) -> &mut Self {
+        self.emit(Opcode::Lea, d, [a.into(), b, Operand::RZ]);
+        self.insns.last_mut().expect("just pushed").shift = shift;
+        self
+    }
+
+    /// `d = (a >> shift) + b` (ALU pipeline) — shift-and-add.
+    pub fn lea_hi(&mut self, d: Reg, a: Reg, b: Operand, shift: u8) -> &mut Self {
+        self.emit(Opcode::LeaHi, d, [a.into(), b, Operand::RZ]);
+        self.insns.last_mut().expect("just pushed").shift = shift;
+        self
+    }
+
+    /// Funnel shift left.
+    pub fn shf_l(&mut self, d: Reg, a: Reg, s: Operand, c: Reg) -> &mut Self {
+        self.emit(Opcode::ShfL, d, [a.into(), s, c.into()])
+    }
+
+    /// Funnel shift right.
+    pub fn shf_r(&mut self, d: Reg, a: Reg, s: Operand, c: Reg) -> &mut Self {
+        self.emit(Opcode::ShfR, d, [a.into(), s, c.into()])
+    }
+
+    /// Three-input logic op with the given look-up table.
+    pub fn lop3(&mut self, d: Reg, a: Reg, b: Operand, c: Reg, lut: u8) -> &mut Self {
+        self.emit(Opcode::Lop3, d, [a.into(), b, c.into()]);
+        self.insns.last_mut().expect("just pushed").lut = lut;
+        self
+    }
+
+    /// `d = a ^ b` via `LOP3`.
+    pub fn xor(&mut self, d: Reg, a: Reg, b: Operand) -> &mut Self {
+        self.lop3(d, a, b, Reg::RZ, crate::op::lut::XOR_AB)
+    }
+
+    /// `d = a & b` via `LOP3`.
+    pub fn and(&mut self, d: Reg, a: Reg, b: Operand) -> &mut Self {
+        self.lop3(d, a, b, Reg::RZ, crate::op::lut::AND_AB)
+    }
+
+    /// `d = a + b + c`.
+    pub fn iadd3(&mut self, d: Reg, a: Reg, b: Operand, c: Reg) -> &mut Self {
+        self.emit(Opcode::Iadd3, d, [a.into(), b, c.into()])
+    }
+
+    /// `d = a + b`.
+    pub fn iadd(&mut self, d: Reg, a: Reg, b: Operand) -> &mut Self {
+        self.iadd3(d, a, b, Reg::RZ)
+    }
+
+    /// `d = src`.
+    pub fn mov(&mut self, d: Reg, src: Operand) -> &mut Self {
+        self.emit(Opcode::Mov, d, [src, Operand::RZ, Operand::RZ])
+    }
+
+    /// Sets predicate `p = cmp(a, b)`.
+    pub fn isetp(&mut self, p: PredReg, cmp: CmpOp, a: Reg, b: Operand) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Isetp);
+        i.dst_pred = Some(p);
+        i.cmp = cmp;
+        i.srcs[0] = a.into();
+        i.srcs[1] = b;
+        self.push(i)
+    }
+
+    /// Reads a special register.
+    pub fn s2r(&mut self, d: Reg, sr: SpecialReg) -> &mut Self {
+        self.emit(
+            Opcode::S2r,
+            d,
+            [Operand::RZ, Operand::Imm(sr.code() as u32), Operand::RZ],
+        )
+    }
+
+    /// Loads the current program counter.
+    pub fn lepc(&mut self, d: Reg) -> &mut Self {
+        self.emit(Opcode::Lepc, d, [Operand::RZ; 3])
+    }
+
+    /// Global load: `d = [base + off]`.
+    pub fn ldg(&mut self, d: Reg, base: Reg, off: u32) -> &mut Self {
+        self.emit(Opcode::Ldg, d, [base.into(), Operand::Imm(off), Operand::RZ])
+    }
+
+    /// Global store: `[base + off] = v`.
+    pub fn stg(&mut self, base: Reg, off: u32, v: Reg) -> &mut Self {
+        self.emit(
+            Opcode::Stg,
+            Reg::RZ,
+            [base.into(), Operand::Imm(off), v.into()],
+        )
+    }
+
+    /// Shared load: `d = [base + off]`.
+    pub fn lds(&mut self, d: Reg, base: Reg, off: u32) -> &mut Self {
+        self.emit(Opcode::Lds, d, [base.into(), Operand::Imm(off), Operand::RZ])
+    }
+
+    /// Shared store: `[base + off] = v`.
+    pub fn sts(&mut self, base: Reg, off: u32, v: Reg) -> &mut Self {
+        self.emit(
+            Opcode::Sts,
+            Reg::RZ,
+            [base.into(), Operand::Imm(off), v.into()],
+        )
+    }
+
+    /// Global atomic add: `[base + off] += v`.
+    pub fn atomg_add(&mut self, base: Reg, off: u32, v: Reg) -> &mut Self {
+        self.emit(
+            Opcode::AtomgAdd,
+            Reg::RZ,
+            [base.into(), Operand::Imm(off), v.into()],
+        )
+    }
+
+    /// Shared atomic add: `[base + off] += v`.
+    pub fn atoms_add(&mut self, base: Reg, off: u32, v: Reg) -> &mut Self {
+        self.emit(
+            Opcode::AtomsAdd,
+            Reg::RZ,
+            [base.into(), Operand::Imm(off), v.into()],
+        )
+    }
+
+    /// Indirect branch to the warp-uniform address in `target`.
+    pub fn jmx(&mut self, target: Reg) -> &mut Self {
+        self.emit(Opcode::Jmx, Reg::RZ, [target.into(), Operand::RZ, Operand::RZ])
+    }
+
+    /// Instruction-cache maintenance on the line containing `base + off`.
+    pub fn cctl(&mut self, base: Reg, off: u32) -> &mut Self {
+        self.emit(
+            Opcode::Cctl,
+            Reg::RZ,
+            [base.into(), Operand::Imm(off), Operand::RZ],
+        )
+    }
+
+    fn control_to(&mut self, op: Opcode, target: &str) -> &mut Self {
+        let mut i = Instruction::new(op);
+        i.srcs[1] = Operand::Imm(0);
+        self.fixups.push((self.insns.len(), target.to_string()));
+        self.push(i)
+    }
+
+    /// Branch to a label.
+    pub fn bra(&mut self, target: &str) -> &mut Self {
+        self.control_to(Opcode::Bra, target)
+    }
+
+    /// Branch to an absolute byte address.
+    pub fn bra_abs(&mut self, addr: u32) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Bra);
+        i.srcs[1] = Operand::Imm(addr);
+        self.push(i)
+    }
+
+    /// Push a reconvergence point at a label.
+    pub fn bssy(&mut self, target: &str) -> &mut Self {
+        self.control_to(Opcode::Bssy, target)
+    }
+
+    /// Pop the reconvergence point.
+    pub fn bsync(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Bsync))
+    }
+
+    /// Thread-block barrier.
+    pub fn bar_sync(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::BarSync))
+    }
+
+    /// Call a label.
+    pub fn cal(&mut self, target: &str) -> &mut Self {
+        self.control_to(Opcode::Cal, target)
+    }
+
+    /// Call an absolute byte address.
+    pub fn cal_abs(&mut self, addr: u32) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Cal);
+        i.srcs[1] = Operand::Imm(addr);
+        self.push(i)
+    }
+
+    /// Return from a call.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Ret))
+    }
+
+    /// Terminate the thread.
+    pub fn exit(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Exit))
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Nop))
+    }
+
+    /// FP32 `d = a * b + c`.
+    pub fn ffma(&mut self, d: Reg, a: Reg, b: Operand, c: Reg) -> &mut Self {
+        self.emit(Opcode::Ffma, d, [a.into(), b, c.into()])
+    }
+
+    /// FP32 `d = a + b`.
+    pub fn fadd(&mut self, d: Reg, a: Reg, b: Operand) -> &mut Self {
+        self.emit(Opcode::Fadd, d, [a.into(), b, Operand::RZ])
+    }
+
+    /// FP32 `d = a * b`.
+    pub fn fmul(&mut self, d: Reg, a: Reg, b: Operand) -> &mut Self {
+        self.emit(Opcode::Fmul, d, [a.into(), b, Operand::RZ])
+    }
+
+    /// Convert i32 → f32.
+    pub fn i2f(&mut self, d: Reg, a: Reg) -> &mut Self {
+        self.emit(Opcode::I2f, d, [a.into(), Operand::RZ, Operand::RZ])
+    }
+
+    /// Convert f32 → i32.
+    pub fn f2i(&mut self, d: Reg, a: Reg) -> &mut Self {
+        self.emit(Opcode::F2i, d, [a.into(), Operand::RZ, Operand::RZ])
+    }
+
+    /// Resolves all label references and produces the [`Program`].
+    pub fn build(self) -> Result<Program, UnresolvedLabel> {
+        let ProgramBuilder {
+            mut insns,
+            labels,
+            fixups,
+            ..
+        } = self;
+        for (idx, name) in fixups {
+            let Some(&target) = labels.get(&name) else {
+                return Err(UnresolvedLabel(name));
+            };
+            insns[idx].srcs[1] = Operand::Imm((target * INSN_BYTES) as u32);
+        }
+        Ok(Program { insns, labels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        b.bra("end"); // forward reference
+        b.label("loop");
+        b.nop();
+        b.bra("loop"); // backward reference
+        b.label("end");
+        b.exit();
+        let p = b.build().unwrap();
+        assert_eq!(p.insns[0].srcs[1], Operand::Imm(48));
+        assert_eq!(p.insns[2].srcs[1], Operand::Imm(16));
+    }
+
+    #[test]
+    fn unresolved_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.bra("nowhere");
+        assert_eq!(
+            b.build().unwrap_err(),
+            UnresolvedLabel("nowhere".to_string())
+        );
+    }
+
+    #[test]
+    fn pending_ctrl_applies_once() {
+        let mut b = ProgramBuilder::new();
+        b.ctrl(CtrlInfo::stall(4).with_write_bar(0));
+        b.ldg(Reg(8), Reg(2), 0);
+        b.nop();
+        let p = b.build().unwrap();
+        assert_eq!(p.insns[0].ctrl.write_bar, Some(0));
+        assert_eq!(p.insns[1].ctrl, CtrlInfo::default());
+    }
+
+    #[test]
+    fn builder_matches_assembler() {
+        let mut b = ProgramBuilder::new();
+        b.label("entry");
+        b.ctrl(CtrlInfo::stall(1).with_write_bar(0));
+        b.ldg(Reg(8), Reg(2), 0x10);
+        b.ctrl(CtrlInfo::stall(2).with_wait(0));
+        b.imad(Reg(4), Reg(8), Operand::Imm(0x11), Reg(4));
+        b.exit();
+        let built = b.build().unwrap();
+
+        let asm = Program::assemble(
+            "entry:\n\
+             B------|R-|W0|Y0|S01| LDG.E R8, [R2+0x10] ;\n\
+             B0-----|R-|W-|Y0|S02| IMAD R4, R8, 0x11, R4 ;\n\
+             B------|R-|W-|Y0|S01| EXIT ;",
+        )
+        .unwrap();
+        assert_eq!(built, asm);
+    }
+
+    #[test]
+    fn round_trips_through_encode() {
+        let mut b = ProgramBuilder::new();
+        b.s2r(Reg(0), SpecialReg::TidX);
+        b.isetp(PredReg(0), CmpOp::Lt, Reg(0), Operand::Imm(16));
+        b.pred(Pred::on(PredReg(0)));
+        b.iadd(Reg(1), Reg(1), Operand::Imm(1));
+        b.exit();
+        let p = b.build().unwrap();
+        let q = Program::decode(&p.encode()).unwrap();
+        assert_eq!(p.insns, q.insns);
+    }
+}

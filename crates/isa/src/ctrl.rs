@@ -1,0 +1,209 @@
+//! Scheduling control information embedded in every instruction.
+//!
+//! Volta/Turing/Ampere encode compiler scheduling decisions into each
+//! 128-bit instruction word; the hardware enforces them (paper §6.1,
+//! Fig. 6). The fields are: reuse flags (4 b), wait-barrier mask (6 b),
+//! read-barrier index (3 b), write-barrier index (3 b), yield flag (1 b)
+//! and stall cycles (4 b).
+
+use core::fmt;
+
+/// Number of per-warp scoreboard (dependency-barrier) slots.
+pub const NUM_BARRIERS: usize = 6;
+
+/// Maximum stall value representable in the 4-bit field.
+pub const MAX_STALL: u8 = 15;
+
+/// Control information attached to one instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CtrlInfo {
+    /// Operand-reuse flags (4 bits); allow data reuse between adjacent
+    /// instructions without consuming register-file ports. Modelled but
+    /// without a timing effect in the simulator.
+    pub reuse: u8,
+    /// Wait-barrier mask (6 bits): issue stalls until every scoreboard slot
+    /// named in the mask has signalled completion.
+    pub wait_mask: u8,
+    /// Scoreboard slot set when this instruction's *operands have been
+    /// read* (for variable-latency consumers), or `None`.
+    pub read_bar: Option<u8>,
+    /// Scoreboard slot set when this instruction's *result is available*
+    /// (for variable-latency producers such as `LDG`), or `None`.
+    pub write_bar: Option<u8>,
+    /// Yield flag: hints the scheduler to prefer switching warps.
+    pub yield_flag: bool,
+    /// Number of cycles the issuing warp stalls before its next
+    /// instruction (4 bits).
+    pub stall: u8,
+}
+
+impl CtrlInfo {
+    /// Control info with a one-cycle stall and no barriers — the default
+    /// for fixed-latency back-to-back issue.
+    pub const fn stall(stall: u8) -> CtrlInfo {
+        CtrlInfo {
+            reuse: 0,
+            wait_mask: 0,
+            read_bar: None,
+            write_bar: None,
+            yield_flag: false,
+            stall,
+        }
+    }
+
+    /// Sets the write-barrier slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= NUM_BARRIERS`.
+    pub fn with_write_bar(mut self, slot: u8) -> CtrlInfo {
+        assert!((slot as usize) < NUM_BARRIERS, "barrier slot out of range");
+        self.write_bar = Some(slot);
+        self
+    }
+
+    /// Sets the read-barrier slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= NUM_BARRIERS`.
+    pub fn with_read_bar(mut self, slot: u8) -> CtrlInfo {
+        assert!((slot as usize) < NUM_BARRIERS, "barrier slot out of range");
+        self.read_bar = Some(slot);
+        self
+    }
+
+    /// Adds a slot to the wait mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= NUM_BARRIERS`.
+    pub fn with_wait(mut self, slot: u8) -> CtrlInfo {
+        assert!((slot as usize) < NUM_BARRIERS, "barrier slot out of range");
+        self.wait_mask |= 1 << slot;
+        self
+    }
+
+    /// Sets the yield flag.
+    pub fn with_yield(mut self) -> CtrlInfo {
+        self.yield_flag = true;
+        self
+    }
+
+    /// Packs the control information into its 21-bit representation.
+    pub fn pack(&self) -> u32 {
+        let rd = self.read_bar.unwrap_or(7) as u32;
+        let wr = self.write_bar.unwrap_or(7) as u32;
+        (self.reuse as u32 & 0xF)
+            | ((self.wait_mask as u32 & 0x3F) << 4)
+            | (rd << 10)
+            | (wr << 13)
+            | ((self.yield_flag as u32) << 16)
+            | ((self.stall as u32 & 0xF) << 17)
+    }
+
+    /// Unpacks control information from its 21-bit representation.
+    pub fn unpack(bits: u32) -> CtrlInfo {
+        let rd = ((bits >> 10) & 0x7) as u8;
+        let wr = ((bits >> 13) & 0x7) as u8;
+        CtrlInfo {
+            reuse: (bits & 0xF) as u8,
+            wait_mask: ((bits >> 4) & 0x3F) as u8,
+            read_bar: if rd == 7 { None } else { Some(rd) },
+            write_bar: if wr == 7 { None } else { Some(wr) },
+            yield_flag: (bits >> 16) & 1 != 0,
+            stall: ((bits >> 17) & 0xF) as u8,
+        }
+    }
+}
+
+impl Default for CtrlInfo {
+    /// One-cycle stall, no barriers, no yield.
+    fn default() -> CtrlInfo {
+        CtrlInfo::stall(1)
+    }
+}
+
+impl fmt::Display for CtrlInfo {
+    /// Formats in the paper's prefix syntax, e.g. `B--2---|R-|W1|Y0|S02|`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B")?;
+        for slot in 0..NUM_BARRIERS {
+            if self.wait_mask & (1 << slot) != 0 {
+                write!(f, "{slot}")?;
+            } else {
+                write!(f, "-")?;
+            }
+        }
+        match self.read_bar {
+            Some(r) => write!(f, "|R{r}")?,
+            None => write!(f, "|R-")?,
+        }
+        match self.write_bar {
+            Some(w) => write!(f, "|W{w}")?,
+            None => write!(f, "|W-")?,
+        }
+        write!(f, "|Y{}", self.yield_flag as u8)?;
+        write!(f, "|S{:02}|", self.stall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for reuse in 0..16u8 {
+            for wait in [0u8, 1, 0b101, 0b111111] {
+                for rd in [None, Some(0u8), Some(5)] {
+                    for wr in [None, Some(2u8)] {
+                        for y in [false, true] {
+                            for stall in [0u8, 1, 4, 15] {
+                                let c = CtrlInfo {
+                                    reuse,
+                                    wait_mask: wait,
+                                    read_bar: rd,
+                                    write_bar: wr,
+                                    yield_flag: y,
+                                    stall,
+                                };
+                                assert_eq!(CtrlInfo::unpack(c.pack()), c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_fits_21_bits() {
+        let c = CtrlInfo {
+            reuse: 0xF,
+            wait_mask: 0x3F,
+            read_bar: Some(5),
+            write_bar: Some(5),
+            yield_flag: true,
+            stall: 15,
+        };
+        assert!(c.pack() < (1 << 21));
+    }
+
+    #[test]
+    fn display_syntax() {
+        let c = CtrlInfo::stall(1);
+        assert_eq!(c.to_string(), "B------|R-|W-|Y0|S01|");
+        let c = CtrlInfo::stall(4)
+            .with_wait(2)
+            .with_write_bar(1)
+            .with_yield();
+        assert_eq!(c.to_string(), "B--2---|R-|W1|Y1|S04|");
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier slot out of range")]
+    fn barrier_slot_bounds_checked() {
+        let _ = CtrlInfo::stall(1).with_write_bar(6);
+    }
+}

@@ -1,0 +1,265 @@
+//! Fixed-length 128-bit binary encoding of instructions.
+//!
+//! Bit layout (least-significant bit first), our analogue of paper Fig. 6:
+//!
+//! ```text
+//!   [  0, 10)  opcode
+//!   [ 10, 13)  guard predicate register (7 = PT)
+//!   [ 13, 14)  guard predicate negation
+//!   [ 14, 22)  destination register
+//!   [ 22, 30)  source A register
+//!   [ 30, 38)  source B register
+//!   [ 38, 46)  source C register
+//!   [ 46, 49)  destination predicate (7 = none)
+//!   [ 49, 52)  immediate-slot flags (A, B, C; at most one set)
+//!   [ 52, 57)  shift modifier
+//!   [ 57, 60)  comparison op
+//!   [ 64, 96)  32-bit immediate        <- patched by self-modifying code
+//!   [ 96,104)  LOP3 look-up table
+//!   [104,125)  control information (reuse 4, wait 6, rd 3, wr 3, yield 1,
+//!              stall 4) — see [`crate::ctrl`]
+//! ```
+//!
+//! The immediate field occupies bytes `[8, 12)` of the 16-byte word, a
+//! 4-byte-aligned offset ([`IMM_BYTE_OFFSET`]), so a single aligned 32-bit
+//! store can patch it — the property the checksum function's
+//! self-modifying code relies on (paper §6.5).
+
+use core::fmt;
+
+use crate::{
+    ctrl::CtrlInfo,
+    insn::{Instruction, Operand, Pred},
+    op::{CmpOp, Opcode},
+    reg::{PredReg, Reg},
+};
+
+/// Byte offset of the 32-bit immediate field inside the 16-byte word
+/// (immediate bits `[64, 96)` = bytes `[8, 12)`, 4-byte aligned).
+pub const IMM_BYTE_OFFSET: usize = 8;
+
+const OPCODE_SHIFT: u32 = 0;
+const PRED_SHIFT: u32 = 10;
+const PRED_NEG_SHIFT: u32 = 13;
+const DST_SHIFT: u32 = 14;
+const SRCA_SHIFT: u32 = 22;
+const SRCB_SHIFT: u32 = 30;
+const SRCC_SHIFT: u32 = 38;
+const DPRED_SHIFT: u32 = 46;
+const IMMFLAG_SHIFT: u32 = 49;
+const SHIFTMOD_SHIFT: u32 = 52;
+const CMP_SHIFT: u32 = 57;
+const IMM_SHIFT: u32 = 64;
+const LUT_SHIFT: u32 = 96;
+const CTRL_SHIFT: u32 = 104;
+
+/// Errors produced while decoding a 128-bit instruction word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field does not name a known operation.
+    UnknownOpcode(u16),
+    /// The comparison-operation field is out of range.
+    UnknownCmpOp(u8),
+    /// More than one immediate-slot flag is set.
+    MultipleImmediates,
+    /// The byte slice length is not a multiple of 16.
+    Truncated(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(c) => write!(f, "unknown opcode {c:#x}"),
+            DecodeError::UnknownCmpOp(c) => write!(f, "unknown comparison op {c:#x}"),
+            DecodeError::MultipleImmediates => {
+                write!(f, "more than one immediate operand encoded")
+            }
+            DecodeError::Truncated(n) => {
+                write!(f, "byte length {n} is not a multiple of 16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes one instruction into a 128-bit word.
+///
+/// # Panics
+///
+/// Panics if the instruction carries more than one immediate operand (the
+/// encoding has a single immediate field, as on real SASS).
+pub fn encode(i: &Instruction) -> u128 {
+    assert!(
+        i.imm_count() <= 1,
+        "at most one immediate operand is encodable"
+    );
+    let mut w: u128 = 0;
+    w |= (i.op.code() as u128) << OPCODE_SHIFT;
+    w |= (i.pred.reg.0 as u128 & 0x7) << PRED_SHIFT;
+    w |= (i.pred.neg as u128) << PRED_NEG_SHIFT;
+    w |= (i.dst.0 as u128) << DST_SHIFT;
+    let mut imm_flags = 0u128;
+    let mut imm_val = 0u32;
+    let shifts = [SRCA_SHIFT, SRCB_SHIFT, SRCC_SHIFT];
+    for (k, src) in i.srcs.iter().enumerate() {
+        match *src {
+            Operand::Reg(r) => w |= (r.0 as u128) << shifts[k],
+            Operand::Imm(v) => {
+                imm_flags |= 1 << k;
+                imm_val = v;
+                // Register field left as zero for immediate slots.
+            }
+        }
+    }
+    w |= (i.dst_pred.map(|p| p.0).unwrap_or(7) as u128 & 0x7) << DPRED_SHIFT;
+    w |= imm_flags << IMMFLAG_SHIFT;
+    w |= (imm_val as u128) << IMM_SHIFT;
+    w |= (i.shift as u128 & 0x1F) << SHIFTMOD_SHIFT;
+    w |= (i.lut as u128) << LUT_SHIFT;
+    w |= (i.cmp as u8 as u128 & 0x7) << CMP_SHIFT;
+    w |= (i.ctrl.pack() as u128) << CTRL_SHIFT;
+    w
+}
+
+/// Decodes one 128-bit word into an instruction.
+pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
+    let opcode = ((w >> OPCODE_SHIFT) & 0x3FF) as u16;
+    let op = Opcode::from_code(opcode).ok_or(DecodeError::UnknownOpcode(opcode))?;
+    let imm_flags = ((w >> IMMFLAG_SHIFT) & 0x7) as u8;
+    if imm_flags.count_ones() > 1 {
+        return Err(DecodeError::MultipleImmediates);
+    }
+    let imm_val = ((w >> IMM_SHIFT) & 0xFFFF_FFFF) as u32;
+    let shifts = [SRCA_SHIFT, SRCB_SHIFT, SRCC_SHIFT];
+    let mut srcs = [Operand::RZ; 3];
+    for (k, slot) in srcs.iter_mut().enumerate() {
+        if imm_flags & (1 << k) != 0 {
+            *slot = Operand::Imm(imm_val);
+        } else {
+            *slot = Operand::Reg(Reg(((w >> shifts[k]) & 0xFF) as u8));
+        }
+    }
+    let dpred = ((w >> DPRED_SHIFT) & 0x7) as u8;
+    let cmp_code = ((w >> CMP_SHIFT) & 0x7) as u8;
+    let cmp = CmpOp::from_code(cmp_code).ok_or(DecodeError::UnknownCmpOp(cmp_code))?;
+    Ok(Instruction {
+        pred: Pred {
+            reg: PredReg(((w >> PRED_SHIFT) & 0x7) as u8),
+            neg: (w >> PRED_NEG_SHIFT) & 1 != 0,
+        },
+        op,
+        dst: Reg(((w >> DST_SHIFT) & 0xFF) as u8),
+        dst_pred: if dpred == 7 { None } else { Some(PredReg(dpred)) },
+        srcs,
+        shift: ((w >> SHIFTMOD_SHIFT) & 0x1F) as u8,
+        lut: ((w >> LUT_SHIFT) & 0xFF) as u8,
+        cmp,
+        ctrl: CtrlInfo::unpack(((w >> CTRL_SHIFT) & 0x1F_FFFF) as u32),
+    })
+}
+
+/// Encodes an instruction directly to 16 little-endian bytes.
+pub fn encode_bytes(i: &Instruction) -> [u8; 16] {
+    encode(i).to_le_bytes()
+}
+
+/// Decodes an instruction from 16 little-endian bytes.
+pub fn decode_bytes(b: &[u8; 16]) -> Result<Instruction, DecodeError> {
+    decode(u128::from_le_bytes(*b))
+}
+
+/// Patches the 32-bit immediate field inside an encoded 16-byte
+/// instruction word in place, without re-encoding.
+///
+/// This is the operation the self-modifying checksum code performs with an
+/// `STG` into its own instruction stream (paper §6.5, step 5).
+pub fn patch_immediate_bytes(word: &mut [u8; 16], value: u32) {
+    // Immediate occupies bits [64, 96) = bytes [8, 12).
+    word[IMM_BYTE_OFFSET..IMM_BYTE_OFFSET + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Reads the 32-bit immediate field from an encoded 16-byte word.
+pub fn read_immediate_bytes(word: &[u8; 16]) -> u32 {
+    u32::from_le_bytes([word[8], word[9], word[10], word[11]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::lut;
+
+    fn sample() -> Instruction {
+        let mut i = Instruction::new(Opcode::Lop3);
+        i.dst = Reg(12);
+        i.srcs = [Reg(1).into(), Reg(2).into(), Reg(3).into()];
+        i.lut = lut::XOR_ABC;
+        i.ctrl = CtrlInfo::stall(2).with_wait(1);
+        i
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let i = sample();
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let i = sample();
+        assert_eq!(decode_bytes(&encode_bytes(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn immediate_patching_matches_reencode() {
+        let mut i = Instruction::new(Opcode::LeaHi);
+        i.dst = Reg(28);
+        i.srcs = [Reg(28).into(), Operand::Imm(0xDEAD_BEEF), Operand::RZ];
+        let mut bytes = encode_bytes(&i);
+        patch_immediate_bytes(&mut bytes, 0x1234_5678);
+        let decoded = decode_bytes(&bytes).unwrap();
+        assert_eq!(decoded.immediate(), Some(0x1234_5678));
+        assert_eq!(read_immediate_bytes(&bytes), 0x1234_5678);
+
+        // Patching bytes must agree with patching the typed form.
+        let mut typed = i;
+        typed.patch_immediate(0x1234_5678);
+        assert_eq!(decoded, typed);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let w: u128 = 0x3FF; // opcode field all-ones
+        assert_eq!(decode(w), Err(DecodeError::UnknownOpcode(0x3FF)));
+    }
+
+    #[test]
+    fn multiple_immediates_rejected() {
+        let i = sample();
+        let mut w = encode(&i);
+        w |= 0b11 << IMMFLAG_SHIFT;
+        assert_eq!(decode(w), Err(DecodeError::MultipleImmediates));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one immediate")]
+    fn encoding_two_immediates_panics() {
+        let mut i = Instruction::new(Opcode::Iadd3);
+        i.srcs = [Operand::Imm(1), Operand::Imm(2), Operand::RZ];
+        let _ = encode(&i);
+    }
+
+    #[test]
+    fn control_info_survives() {
+        let mut i = sample();
+        i.ctrl = CtrlInfo {
+            reuse: 0b1010,
+            wait_mask: 0b010110,
+            read_bar: Some(3),
+            write_bar: Some(0),
+            yield_flag: true,
+            stall: 13,
+        };
+        assert_eq!(decode(encode(&i)).unwrap().ctrl, i.ctrl);
+    }
+}

@@ -1,0 +1,291 @@
+//! Typed instruction representation and its disassembly syntax.
+
+use core::fmt;
+
+use crate::{
+    ctrl::CtrlInfo,
+    op::{CmpOp, Opcode},
+    reg::{PredReg, Reg, SpecialReg},
+};
+
+/// A source operand: either a register or a 32-bit immediate.
+///
+/// At most one operand of an instruction may be an immediate (there is a
+/// single 32-bit immediate field in the encoding, mirroring SASS).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// General-purpose register operand.
+    Reg(Reg),
+    /// 32-bit immediate operand.
+    Imm(u32),
+}
+
+impl Operand {
+    /// The zero register as an operand.
+    pub const RZ: Operand = Operand::Reg(Reg::RZ);
+
+    /// Returns the immediate value, if this operand is an immediate.
+    pub fn imm(self) -> Option<u32> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            Operand::Reg(_) => None,
+        }
+    }
+
+    /// Returns the register, if this operand is a register.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "0x{v:x}"),
+        }
+    }
+}
+
+/// A predicate guard (`@P0`, `@!P3`, or the always-true default).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Pred {
+    /// Guarding predicate register.
+    pub reg: PredReg,
+    /// Whether the predicate value is negated.
+    pub neg: bool,
+}
+
+impl Pred {
+    /// The always-true guard (`@PT`).
+    pub const TRUE: Pred = Pred {
+        reg: PredReg::PT,
+        neg: false,
+    };
+
+    /// Guard on `@Pn`.
+    pub fn on(reg: PredReg) -> Pred {
+        Pred { reg, neg: false }
+    }
+
+    /// Guard on `@!Pn`.
+    pub fn on_not(reg: PredReg) -> Pred {
+        Pred { reg, neg: true }
+    }
+
+    /// Returns `true` if this is the unconditional guard.
+    pub fn is_unconditional(self) -> bool {
+        self.reg.is_true() && !self.neg
+    }
+}
+
+impl Default for Pred {
+    fn default() -> Pred {
+        Pred::TRUE
+    }
+}
+
+/// One decoded instruction: operation, operands, modifiers and scheduling
+/// control information.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Instruction {
+    /// Predicate guard.
+    pub pred: Pred,
+    /// Operation code.
+    pub op: Opcode,
+    /// Destination register (ignored for ops without a GPR destination).
+    pub dst: Reg,
+    /// Destination predicate (`ISETP` only).
+    pub dst_pred: Option<PredReg>,
+    /// Source operands A, B, C.
+    pub srcs: [Operand; 3],
+    /// Shift amount modifier (`LEA`/`LEA.HI`, 5 bits).
+    pub shift: u8,
+    /// Logic look-up table (`LOP3`).
+    pub lut: u8,
+    /// Comparison operation (`ISETP`).
+    pub cmp: CmpOp,
+    /// Scheduling control information.
+    pub ctrl: CtrlInfo,
+}
+
+impl Instruction {
+    /// Creates a new instruction with default guard, modifiers and control
+    /// information. Use the field setters or [`crate::builder`] for the rest.
+    pub fn new(op: Opcode) -> Instruction {
+        Instruction {
+            pred: Pred::TRUE,
+            op,
+            dst: Reg::RZ,
+            dst_pred: None,
+            srcs: [Operand::RZ; 3],
+            shift: 0,
+            lut: 0,
+            cmp: CmpOp::Eq,
+            ctrl: CtrlInfo::default(),
+        }
+    }
+
+    /// Returns the number of immediate operands.
+    pub fn imm_count(&self) -> usize {
+        self.srcs.iter().filter(|s| s.imm().is_some()).count()
+    }
+
+    /// Returns the single immediate value, if any.
+    pub fn immediate(&self) -> Option<u32> {
+        self.srcs.iter().find_map(|s| s.imm())
+    }
+
+    /// Replaces the single immediate value, returning the previous one.
+    ///
+    /// This is the hook used by self-modifying code: the checksum kernel
+    /// patches the immediate field of an in-memory instruction word
+    /// (paper §6.5, step 5).
+    pub fn patch_immediate(&mut self, value: u32) -> Option<u32> {
+        for s in &mut self.srcs {
+            if let Operand::Imm(old) = *s {
+                *s = Operand::Imm(value);
+                return Some(old);
+            }
+        }
+        None
+    }
+
+    /// Formats only the operation and operands (no control prefix).
+    pub fn body(&self) -> InsnBody<'_> {
+        InsnBody(self)
+    }
+}
+
+/// Helper that displays the instruction body without the control prefix.
+pub struct InsnBody<'a>(&'a Instruction);
+
+impl fmt::Display for InsnBody<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = self.0;
+        if !i.pred.is_unconditional() {
+            if i.pred.neg {
+                write!(f, "@!{} ", i.pred.reg)?;
+            } else {
+                write!(f, "@{} ", i.pred.reg)?;
+            }
+        }
+        let [a, b, c] = i.srcs;
+        match i.op {
+            Opcode::Nop | Opcode::BarSync | Opcode::Bsync | Opcode::Ret | Opcode::Exit => {
+                write!(f, "{}", i.op)?
+            }
+            Opcode::Imad | Opcode::Iadd3 | Opcode::Ffma => {
+                write!(f, "{} {}, {a}, {b}, {c}", i.op, i.dst)?
+            }
+            Opcode::Lea | Opcode::LeaHi => {
+                write!(f, "{} {}, {a}, {b}, 0x{:x}", i.op, i.dst, i.shift)?
+            }
+            Opcode::ShfL | Opcode::ShfR => write!(f, "{} {}, {a}, {b}, {c}", i.op, i.dst)?,
+            Opcode::Lop3 => write!(f, "{} {}, {a}, {b}, {c}, 0x{:02x}", i.op, i.dst, i.lut)?,
+            Opcode::Mov => write!(f, "{} {}, {a}", i.op, i.dst)?,
+            Opcode::Fadd | Opcode::Fmul => write!(f, "{} {}, {a}, {b}", i.op, i.dst)?,
+            Opcode::Isetp => {
+                let p = i.dst_pred.unwrap_or(PredReg::PT);
+                write!(f, "ISETP.{}.AND {p}, PT, {a}, {b}, PT", i.cmp.suffix())?
+            }
+            Opcode::S2r => {
+                let code = b.imm().unwrap_or(0) as u8;
+                let name = SpecialReg::from_code(code)
+                    .map(SpecialReg::name)
+                    .unwrap_or("SR_INVALID");
+                write!(f, "{} {}, {name}", i.op, i.dst)?
+            }
+            Opcode::Lepc => write!(f, "{} {}", i.op, i.dst)?,
+            Opcode::Ldg | Opcode::Lds => {
+                write!(f, "{} {}, [{a}+0x{:x}]", i.op, i.dst, b.imm().unwrap_or(0))?
+            }
+            Opcode::Stg | Opcode::Sts | Opcode::AtomgAdd | Opcode::AtomsAdd => {
+                write!(f, "{} [{a}+0x{:x}], {c}", i.op, b.imm().unwrap_or(0))?
+            }
+            Opcode::Cctl => write!(f, "{} [{a}+0x{:x}]", i.op, b.imm().unwrap_or(0))?,
+            Opcode::Bra | Opcode::Bssy | Opcode::Cal => {
+                write!(f, "{} 0x{:x}", i.op, b.imm().unwrap_or(0))?
+            }
+            Opcode::I2f | Opcode::F2i => write!(f, "{} {}, {a}", i.op, i.dst)?,
+            Opcode::Jmx => write!(f, "{} {a}", i.op)?,
+        }
+        write!(f, " ;")
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Formats as `<ctrl-prefix> <body>` in the paper's syntax, e.g.
+    /// `B------|R-|W-|Y1|S01| IMAD.U32 R28, R28, 0x800, R28 ;`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.ctrl, self.body())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(4)).reg(), Some(Reg(4)));
+        assert_eq!(Operand::from(17u32).imm(), Some(17));
+        assert_eq!(Operand::RZ.reg(), Some(Reg::RZ));
+    }
+
+    #[test]
+    fn patch_immediate_replaces_single_imm() {
+        let mut i = Instruction::new(Opcode::LeaHi);
+        i.srcs = [Operand::Reg(Reg(3)), Operand::Imm(9), Operand::RZ];
+        assert_eq!(i.patch_immediate(21), Some(9));
+        assert_eq!(i.immediate(), Some(21));
+        let mut j = Instruction::new(Opcode::Iadd3);
+        assert_eq!(j.patch_immediate(1), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut i = Instruction::new(Opcode::Imad);
+        i.dst = Reg(4);
+        i.srcs = [Reg(4).into(), Operand::Imm(0x11), Reg(5).into()];
+        assert_eq!(i.body().to_string(), "IMAD R4, R4, 0x11, R5 ;");
+
+        let mut l = Instruction::new(Opcode::Ldg);
+        l.dst = Reg(8);
+        l.srcs = [Reg(2).into(), Operand::Imm(0x10), Operand::RZ];
+        assert_eq!(l.body().to_string(), "LDG.E R8, [R2+0x10] ;");
+
+        let mut s = Instruction::new(Opcode::Stg);
+        s.srcs = [Reg(2).into(), Operand::Imm(0), Reg(9).into()];
+        assert_eq!(s.body().to_string(), "STG.E [R2+0x0], R9 ;");
+
+        let mut b = Instruction::new(Opcode::Bra);
+        b.pred = Pred::on_not(PredReg(0));
+        b.srcs[1] = Operand::Imm(0x120);
+        assert_eq!(b.body().to_string(), "@!P0 BRA 0x120 ;");
+    }
+
+    #[test]
+    fn display_with_ctrl_prefix() {
+        let mut i = Instruction::new(Opcode::Ldg);
+        i.dst = Reg(8);
+        i.srcs = [Reg(2).into(), Operand::Imm(0), Operand::RZ];
+        i.ctrl = CtrlInfo::stall(1).with_write_bar(0);
+        assert_eq!(i.to_string(), "B------|R-|W0|Y0|S01| LDG.E R8, [R2+0x0] ;");
+    }
+}

@@ -1,0 +1,62 @@
+//! A SASS-like GPU instruction set architecture for the SAGE reproduction.
+//!
+//! This crate is the reproduction of SAGE's *instruction generation
+//! framework* (paper §6.1–§6.2): it defines a fixed-length 128-bit
+//! instruction encoding carrying both the operation and its associated
+//! scheduling *control information* (reuse flags, wait-barrier mask,
+//! read/write barrier indices, yield flag, stall cycles — paper Fig. 6),
+//! and provides:
+//!
+//! - typed [`Instruction`]s with [`Opcode`]s modelled after NVIDIA Ampere
+//!   SASS (`IMAD`, `LEA.HI`, `SHF`, `LOP3`, `LDG`, `ATOMG.ADD`, …),
+//! - a binary [encoder/decoder](encode) with exhaustive round-trip tests,
+//! - a text [assembler](asm) for the paper's
+//!   `B......|R.|W.|Y1|S1| IMAD.U32 R28, R28, 2048, R28;` syntax and a
+//!   matching disassembler,
+//! - [builders](builder) used by the verification-function generator, and
+//! - [emitters](emit) that translate a program to microcode bytes, a
+//!   PTX-like virtual assembly, or CUDA-C-like source text.
+//!
+//! The encoding is our own (NVIDIA's is undocumented), but it preserves the
+//! properties SAGE depends on: fixed 128-bit size, an immediate field at a
+//! known bit position (so self-modifying code can patch it with a single
+//! 32-bit store), and hardware-enforced scheduling metadata.
+//!
+//! # Examples
+//!
+//! ```
+//! use sage_isa::{Program, encode};
+//!
+//! let prog = Program::assemble(
+//!     "B------|R-|W-|Y0|S01| IMAD R4, R4, 0x11, R5 ;\n\
+//!      B------|R-|W-|Y0|S01| EXIT ;",
+//! )
+//! .unwrap();
+//! let bytes = prog.encode();
+//! assert_eq!(bytes.len(), 2 * 16);
+//! let back = Program::decode(&bytes).unwrap();
+//! assert_eq!(prog.insns, back.insns);
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod ctrl;
+pub mod emit;
+pub mod encode;
+pub mod insn;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use asm::AsmError;
+pub use builder::ProgramBuilder;
+pub use ctrl::CtrlInfo;
+pub use encode::DecodeError;
+pub use insn::{Instruction, Operand, Pred};
+pub use op::{CmpOp, Opcode, Pipeline};
+pub use program::Program;
+pub use reg::{PredReg, Reg, SpecialReg};
+
+/// Size of one encoded instruction in bytes (128-bit fixed length, as on
+/// Volta/Turing/Ampere).
+pub const INSN_BYTES: usize = 16;

@@ -1,0 +1,415 @@
+//! Operation codes, execution pipelines and instruction modifiers.
+
+use core::fmt;
+
+/// The functional pipeline an instruction dispatches to.
+///
+/// Modern NVIDIA SMs dispatch FP32/`IMAD` instructions to the *FMA*
+/// pipeline and 32-bit integer/logic/move instructions to the *ALU*
+/// pipeline; the two have separate dispatch ports with a two-cycle issue
+/// latency each, so peak throughput requires alternating them (paper §2,
+/// §6.3). Memory and control instructions use their own units.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Pipeline {
+    /// Fused multiply-add pipeline (FP32 and integer multiply-add).
+    Fma,
+    /// Integer/logic/shift/move pipeline.
+    Alu,
+    /// Load/store unit (variable latency, scoreboarded).
+    Mem,
+    /// Branch/control unit.
+    Control,
+}
+
+/// Integer comparison operation for `ISETP`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum CmpOp {
+    /// Equal.
+    Eq = 0,
+    /// Not equal.
+    Ne = 1,
+    /// Unsigned less-than.
+    Lt = 2,
+    /// Unsigned less-or-equal.
+    Le = 3,
+    /// Unsigned greater-than.
+    Gt = 4,
+    /// Unsigned greater-or-equal.
+    Ge = 5,
+}
+
+impl CmpOp {
+    /// All comparison operations, in encoding order.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Decodes from the 3-bit encoding value.
+    pub fn from_code(code: u8) -> Option<CmpOp> {
+        CmpOp::ALL.get(code as usize).copied()
+    }
+
+    /// Evaluates the comparison on unsigned 32-bit operands.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Returns the SASS-style suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "EQ",
+            CmpOp::Ne => "NE",
+            CmpOp::Lt => "LT",
+            CmpOp::Le => "LE",
+            CmpOp::Gt => "GT",
+            CmpOp::Ge => "GE",
+        }
+    }
+
+    /// Parses a SASS-style suffix.
+    pub fn from_suffix(s: &str) -> Option<CmpOp> {
+        CmpOp::ALL.iter().copied().find(|c| c.suffix() == s)
+    }
+}
+
+/// Operation codes of the simulated SASS-like ISA.
+///
+/// The set covers everything the SAGE verification function, its epilog,
+/// the user kernels (matrix multiply, vector add) and the adversarial code
+/// in `sage-attacks` need. Semantics are documented per variant; the
+/// authoritative implementation lives in the simulator's execution unit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u16)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// Integer multiply-add: `d = a * b + c` (wrapping, FMA pipeline).
+    Imad = 1,
+    /// Shifted add: `d = (a << shift) + b` (ALU pipeline).
+    Lea = 2,
+    /// High shifted add: `d = (a >> shift) + b` — the paper's
+    /// `x += x >> N` shift-and-add building block (ALU pipeline).
+    LeaHi = 3,
+    /// Funnel shift left: `d = (a << s) | (c >> (32 - s))`; plain shift
+    /// when `c` is `RZ`.
+    ShfL = 4,
+    /// Funnel shift right: `d = (a >> s) | (c << (32 - s))`; plain shift
+    /// when `c` is `RZ`.
+    ShfR = 5,
+    /// Three-input logic op: per-bit `d = lut[(a << 2) | (b << 1) | c]`.
+    Lop3 = 6,
+    /// Three-input add: `d = a + b + c` (wrapping).
+    Iadd3 = 7,
+    /// Register/immediate move: `d = a`.
+    Mov = 8,
+    /// Integer compare, sets a predicate: `p = cmp(a, b)`.
+    Isetp = 9,
+    /// Read special register into `d`.
+    S2r = 10,
+    /// Load current program counter (byte address) into `d`.
+    Lepc = 11,
+    /// Load 32-bit word from global memory: `d = [a + imm]`.
+    Ldg = 12,
+    /// Store 32-bit word to global memory: `[a + imm] = c`.
+    Stg = 13,
+    /// Load 32-bit word from shared memory: `d = [a + imm]`.
+    Lds = 14,
+    /// Store 32-bit word to shared memory: `[a + imm] = c`.
+    Sts = 15,
+    /// Atomic add on global memory: `[a + imm] += c`.
+    AtomgAdd = 16,
+    /// Atomic add on shared memory: `[a + imm] += c`.
+    AtomsAdd = 17,
+    /// Branch to absolute byte address `imm` (predicated).
+    Bra = 18,
+    /// Push branch-synchronization (reconvergence) point `imm`.
+    Bssy = 19,
+    /// Pop branch-synchronization point; reconverges the warp.
+    Bsync = 20,
+    /// Thread-block-wide barrier.
+    BarSync = 21,
+    /// Call absolute byte address `imm`, pushing the return address.
+    Cal = 22,
+    /// Return from call.
+    Ret = 23,
+    /// Terminate the thread.
+    Exit = 24,
+    /// FP32 fused multiply-add: `d = a * b + c` (FMA pipeline).
+    Ffma = 25,
+    /// FP32 add: `d = a + b`.
+    Fadd = 26,
+    /// FP32 multiply: `d = a * b`.
+    Fmul = 27,
+    /// Convert signed i32 in `a` to f32.
+    I2f = 28,
+    /// Convert f32 in `a` to signed i32 (truncating).
+    F2i = 29,
+    /// Evict the instruction-cache line containing byte address `a + imm`
+    /// (the `CCTL`-style maintenance op discussed in paper §6.4).
+    Cctl = 30,
+    /// Indirect branch to the (warp-uniform) byte address in register `a`
+    /// (SASS `BRX`/`JMX`).
+    Jmx = 31,
+}
+
+impl Opcode {
+    /// All opcodes, in encoding order.
+    pub const ALL: [Opcode; 32] = [
+        Opcode::Nop,
+        Opcode::Imad,
+        Opcode::Lea,
+        Opcode::LeaHi,
+        Opcode::ShfL,
+        Opcode::ShfR,
+        Opcode::Lop3,
+        Opcode::Iadd3,
+        Opcode::Mov,
+        Opcode::Isetp,
+        Opcode::S2r,
+        Opcode::Lepc,
+        Opcode::Ldg,
+        Opcode::Stg,
+        Opcode::Lds,
+        Opcode::Sts,
+        Opcode::AtomgAdd,
+        Opcode::AtomsAdd,
+        Opcode::Bra,
+        Opcode::Bssy,
+        Opcode::Bsync,
+        Opcode::BarSync,
+        Opcode::Cal,
+        Opcode::Ret,
+        Opcode::Exit,
+        Opcode::Ffma,
+        Opcode::Fadd,
+        Opcode::Fmul,
+        Opcode::I2f,
+        Opcode::F2i,
+        Opcode::Cctl,
+        Opcode::Jmx,
+    ];
+
+    /// Decodes an opcode from its encoding value.
+    pub fn from_code(code: u16) -> Option<Opcode> {
+        Opcode::ALL.get(code as usize).copied()
+    }
+
+    /// Returns the encoding value.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Returns the pipeline this opcode dispatches to.
+    pub fn pipeline(self) -> Pipeline {
+        match self {
+            Opcode::Imad | Opcode::Ffma | Opcode::Fadd | Opcode::Fmul => Pipeline::Fma,
+            Opcode::Lea
+            | Opcode::LeaHi
+            | Opcode::ShfL
+            | Opcode::ShfR
+            | Opcode::Lop3
+            | Opcode::Iadd3
+            | Opcode::Mov
+            | Opcode::Isetp
+            | Opcode::S2r
+            | Opcode::Lepc
+            | Opcode::I2f
+            | Opcode::F2i
+            | Opcode::Nop => Pipeline::Alu,
+            Opcode::Ldg
+            | Opcode::Stg
+            | Opcode::Lds
+            | Opcode::Sts
+            | Opcode::AtomgAdd
+            | Opcode::AtomsAdd
+            | Opcode::Cctl => Pipeline::Mem,
+            Opcode::Bra
+            | Opcode::Bssy
+            | Opcode::Bsync
+            | Opcode::BarSync
+            | Opcode::Cal
+            | Opcode::Ret
+            | Opcode::Exit
+            | Opcode::Jmx => Pipeline::Control,
+        }
+    }
+
+    /// Returns `true` for instructions with variable latency that must
+    /// signal completion through a scoreboard write barrier.
+    pub fn is_variable_latency(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ldg | Opcode::Lds | Opcode::AtomgAdd | Opcode::AtomsAdd
+        )
+    }
+
+    /// Returns `true` if the instruction writes a general-purpose
+    /// destination register.
+    pub fn writes_dst(self) -> bool {
+        matches!(
+            self,
+            Opcode::Imad
+                | Opcode::Lea
+                | Opcode::LeaHi
+                | Opcode::ShfL
+                | Opcode::ShfR
+                | Opcode::Lop3
+                | Opcode::Iadd3
+                | Opcode::Mov
+                | Opcode::S2r
+                | Opcode::Lepc
+                | Opcode::Ldg
+                | Opcode::Lds
+                | Opcode::Ffma
+                | Opcode::Fadd
+                | Opcode::Fmul
+                | Opcode::I2f
+                | Opcode::F2i
+        )
+    }
+
+    /// Returns the SASS-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "NOP",
+            Opcode::Imad => "IMAD",
+            Opcode::Lea => "LEA",
+            Opcode::LeaHi => "LEA.HI",
+            Opcode::ShfL => "SHF.L",
+            Opcode::ShfR => "SHF.R",
+            Opcode::Lop3 => "LOP3.LUT",
+            Opcode::Iadd3 => "IADD3",
+            Opcode::Mov => "MOV",
+            Opcode::Isetp => "ISETP",
+            Opcode::S2r => "S2R",
+            Opcode::Lepc => "LEPC",
+            Opcode::Ldg => "LDG.E",
+            Opcode::Stg => "STG.E",
+            Opcode::Lds => "LDS",
+            Opcode::Sts => "STS",
+            Opcode::AtomgAdd => "ATOMG.ADD",
+            Opcode::AtomsAdd => "ATOMS.ADD",
+            Opcode::Bra => "BRA",
+            Opcode::Bssy => "BSSY",
+            Opcode::Bsync => "BSYNC",
+            Opcode::BarSync => "BAR.SYNC",
+            Opcode::Cal => "CAL",
+            Opcode::Ret => "RET",
+            Opcode::Exit => "EXIT",
+            Opcode::Ffma => "FFMA",
+            Opcode::Fadd => "FADD",
+            Opcode::Fmul => "FMUL",
+            Opcode::I2f => "I2F.F32.S32",
+            Opcode::F2i => "F2I.S32.F32",
+            Opcode::Cctl => "CCTL.IVALL",
+            Opcode::Jmx => "JMX",
+        }
+    }
+
+    /// Parses a SASS-style mnemonic (exact match).
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|o| o.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Common `LOP3` look-up tables, using the SASS convention
+/// `A = 0xF0`, `B = 0xCC`, `C = 0xAA`.
+pub mod lut {
+    /// `a & b`
+    pub const AND_AB: u8 = 0xF0 & 0xCC;
+    /// `a | b`
+    pub const OR_AB: u8 = 0xF0 | 0xCC;
+    /// `a ^ b`
+    pub const XOR_AB: u8 = 0xF0 ^ 0xCC;
+    /// `a ^ b ^ c`
+    pub const XOR_ABC: u8 = 0xF0 ^ 0xCC ^ 0xAA;
+    /// `(a & b) | c`
+    pub const AND_AB_OR_C: u8 = (0xF0 & 0xCC) | 0xAA;
+    /// `a & b & c`
+    pub const AND_ABC: u8 = 0xF0 & 0xCC & 0xAA;
+    /// `!a` (complement of A)
+    pub const NOT_A: u8 = !0xF0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(999), None);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Lt.eval(4, 3));
+        for c in CmpOp::ALL {
+            assert_eq!(CmpOp::from_code(c as u8), Some(c));
+            assert_eq!(CmpOp::from_suffix(c.suffix()), Some(c));
+        }
+    }
+
+    #[test]
+    fn pipelines_match_paper_model() {
+        // IMAD goes to the FMA pipeline, LEA.HI to the ALU pipeline — the
+        // pair used for the dual-issue busy-wait pattern (paper §6.5).
+        assert_eq!(Opcode::Imad.pipeline(), Pipeline::Fma);
+        assert_eq!(Opcode::LeaHi.pipeline(), Pipeline::Alu);
+        assert_eq!(Opcode::Ldg.pipeline(), Pipeline::Mem);
+        assert_eq!(Opcode::Bra.pipeline(), Pipeline::Control);
+    }
+
+    #[test]
+    fn variable_latency_ops() {
+        assert!(Opcode::Ldg.is_variable_latency());
+        assert!(Opcode::AtomsAdd.is_variable_latency());
+        assert!(!Opcode::Imad.is_variable_latency());
+        // Plain stores complete asynchronously without a readable result.
+        assert!(!Opcode::Stg.is_variable_latency());
+    }
+
+    #[test]
+    fn lut_constants() {
+        // Verify the LUT convention by brute force over all bit patterns.
+        for a in [0u8, 1] {
+            for b in [0u8, 1] {
+                for c in [0u8, 1] {
+                    let idx = (a << 2) | (b << 1) | c;
+                    assert_eq!((lut::XOR_AB >> idx) & 1, a ^ b);
+                    assert_eq!((lut::AND_AB >> idx) & 1, a & b);
+                    assert_eq!((lut::OR_AB >> idx) & 1, a | b);
+                    assert_eq!((lut::XOR_ABC >> idx) & 1, a ^ b ^ c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! A program: an ordered instruction sequence with labels, binary
+//! round-tripping, relocation and immediate patching.
+
+use std::collections::HashMap;
+
+use crate::{
+    asm::{assemble, AsmError},
+    encode::{decode_bytes, encode_bytes, DecodeError},
+    insn::{Instruction, Operand},
+    op::Opcode,
+    INSN_BYTES,
+};
+
+/// An instruction sequence plus label map.
+///
+/// Addresses are byte offsets from the program base; instruction `i` sits
+/// at byte `i * 16`. Programs are assembled relative to base `0` and can be
+/// [`relocate`](Program::relocate)d when loaded at a different device
+/// address (the VF loader does this, paper §5.2.1).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// The instructions, in order.
+    pub insns: Vec<Instruction>,
+    /// Label name → instruction index.
+    pub labels: HashMap<String, usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Assembles source text (see [`crate::asm`] for the syntax).
+    pub fn assemble(src: &str) -> Result<Program, AsmError> {
+        let (insns, labels) = assemble(src)?;
+        Ok(Program { insns, labels })
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Size of the encoded program in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.insns.len() * INSN_BYTES
+    }
+
+    /// Returns the byte address of a label.
+    pub fn label_addr(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).map(|&i| (i * INSN_BYTES) as u32)
+    }
+
+    /// Encodes to microcode bytes (16 bytes per instruction, little
+    /// endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        for i in &self.insns {
+            out.extend_from_slice(&encode_bytes(i));
+        }
+        out
+    }
+
+    /// Decodes microcode bytes produced by [`Program::encode`].
+    ///
+    /// Labels are not preserved in the binary and come back empty.
+    pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
+        if bytes.len() % INSN_BYTES != 0 {
+            return Err(DecodeError::Truncated(bytes.len()));
+        }
+        let mut insns = Vec::with_capacity(bytes.len() / INSN_BYTES);
+        for chunk in bytes.chunks_exact(INSN_BYTES) {
+            let mut word = [0u8; INSN_BYTES];
+            word.copy_from_slice(chunk);
+            insns.push(decode_bytes(&word)?);
+        }
+        Ok(Program {
+            insns,
+            labels: HashMap::new(),
+        })
+    }
+
+    /// Produces the disassembly listing, one instruction per line with the
+    /// control prefix, in the same syntax [`Program::assemble`] accepts.
+    pub fn disassemble(&self) -> String {
+        let mut addr_to_label: HashMap<usize, &str> = HashMap::new();
+        for (name, &idx) in &self.labels {
+            addr_to_label.insert(idx, name);
+        }
+        let mut out = String::new();
+        for (idx, insn) in self.insns.iter().enumerate() {
+            if let Some(name) = addr_to_label.get(&idx) {
+                out.push_str(name);
+                out.push_str(":\n");
+            }
+            out.push_str(&insn.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Adds `base` to every absolute control-flow target (`BRA`, `BSSY`,
+    /// `CAL`), for loading the program at device address `base`.
+    pub fn relocate(&mut self, base: u32) {
+        for insn in &mut self.insns {
+            if matches!(insn.op, Opcode::Bra | Opcode::Bssy | Opcode::Cal) {
+                if let Operand::Imm(t) = insn.srcs[1] {
+                    insn.srcs[1] = Operand::Imm(t.wrapping_add(base));
+                }
+            }
+        }
+    }
+
+    /// Appends another program, relocating its control-flow targets and
+    /// renaming clashing labels with a `suffix`.
+    pub fn append(&mut self, mut other: Program) {
+        let base = self.byte_len() as u32;
+        other.relocate(base);
+        let offset = self.insns.len();
+        for (name, idx) in other.labels {
+            self.labels.entry(name).or_insert(idx + offset);
+        }
+        self.insns.extend(other.insns);
+    }
+
+    /// Patches the immediate operand of the instruction at `index`,
+    /// returning the previous value.
+    ///
+    /// This is the typed equivalent of the byte-level patch that
+    /// self-modifying code performs on the device.
+    pub fn patch_immediate(&mut self, index: usize, value: u32) -> Option<u32> {
+        self.insns.get_mut(index)?.patch_immediate(value)
+    }
+
+    /// Statically validates the program for loading: control-flow
+    /// targets must be 16-byte aligned and inside `[0, code_limit)`
+    /// (after relocation, pass the code segment's end), and `EXIT` must
+    /// be reachable as the final instruction of straight-line fallthrough
+    /// (the last instruction must be a terminator).
+    ///
+    /// Returns a list of human-readable findings; empty means valid.
+    pub fn validate(&self, code_limit: u32) -> Vec<String> {
+        let mut findings = Vec::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            if matches!(insn.op, Opcode::Bra | Opcode::Bssy | Opcode::Cal) {
+                if let Operand::Imm(t) = insn.srcs[1] {
+                    if t % INSN_BYTES as u32 != 0 {
+                        findings.push(format!("insn {i}: misaligned target {t:#x}"));
+                    }
+                    if t >= code_limit {
+                        findings.push(format!(
+                            "insn {i}: target {t:#x} beyond code limit {code_limit:#x}"
+                        ));
+                    }
+                }
+            }
+        }
+        match self.insns.last() {
+            None => findings.push("empty program".to_string()),
+            Some(last) => {
+                if !matches!(last.op, Opcode::Exit | Opcode::Bra | Opcode::Ret | Opcode::Jmx) {
+                    findings.push(format!(
+                        "last instruction {} falls through past the end",
+                        last.op
+                    ));
+                }
+            }
+        }
+        findings
+    }
+
+    /// Counts instructions per opcode, for utilization accounting.
+    pub fn histogram(&self) -> HashMap<Opcode, usize> {
+        let mut h = HashMap::new();
+        for insn in &self.insns {
+            *h.entry(insn.op).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    const SRC: &str = "\
+entry:
+B------|R-|W0|Y0|S01| LDG.E R8, [R2+0x0] ;
+B0-----|R-|W-|Y0|S02| IMAD R4, R8, 0x11, R4 ;
+@!P0 BRA entry ;
+EXIT ;
+";
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = Program::assemble(SRC).unwrap();
+        let q = Program::decode(&p.encode()).unwrap();
+        assert_eq!(p.insns, q.insns);
+    }
+
+    #[test]
+    fn disassemble_reassembles_identically() {
+        let p = Program::assemble(SRC).unwrap();
+        let q = Program::assemble(&p.disassemble()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn relocation_adjusts_branch_targets() {
+        let mut p = Program::assemble(SRC).unwrap();
+        p.relocate(0x1000);
+        assert_eq!(p.insns[2].srcs[1], Operand::Imm(0x1000));
+    }
+
+    #[test]
+    fn append_relocates_and_offsets_labels() {
+        let mut a = Program::assemble("NOP ;\nNOP ;").unwrap();
+        let b = Program::assemble("tail:\nBRA tail ;").unwrap();
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.labels["tail"], 2);
+        assert_eq!(a.insns[2].srcs[1], Operand::Imm(32));
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        assert_eq!(Program::decode(&[0u8; 15]), Err(DecodeError::Truncated(15)));
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let p = Program::assemble(SRC).unwrap();
+        let h = p.histogram();
+        assert_eq!(h[&Opcode::Ldg], 1);
+        assert_eq!(h[&Opcode::Exit], 1);
+    }
+
+    #[test]
+    fn validate_catches_loader_hazards() {
+        let good = Program::assemble(SRC).unwrap();
+        assert!(good.validate(4096).is_empty());
+
+        // Target beyond the code limit.
+        let p = Program::assemble("BRA 0x4000 ;\nEXIT ;").unwrap();
+        assert_eq!(p.validate(0x100).len(), 1);
+
+        // Misaligned target.
+        let mut p = Program::assemble("BRA 0x0 ;\nEXIT ;").unwrap();
+        p.insns[0].srcs[1] = Operand::Imm(0x8);
+        assert_eq!(p.validate(4096).len(), 1);
+
+        // Fallthrough off the end.
+        let p = Program::assemble("NOP ;").unwrap();
+        assert_eq!(p.validate(4096).len(), 1);
+
+        // Empty program.
+        assert_eq!(Program::new().validate(4096).len(), 1);
+    }
+
+    #[test]
+    fn patch_immediate_typed() {
+        let mut p = Program::assemble("IMAD R4, R4, 0x11, R5 ;").unwrap();
+        assert_eq!(p.patch_immediate(0, 0x21), Some(0x11));
+        assert_eq!(p.insns[0].immediate(), Some(0x21));
+        assert_eq!(p.insns[0].srcs[2], Operand::Reg(Reg(5)));
+    }
+}

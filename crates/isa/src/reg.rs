@@ -1,0 +1,182 @@
+//! Register operands: general-purpose registers, predicate registers and
+//! special (read-only) registers.
+
+use core::fmt;
+
+/// A general-purpose 32-bit register.
+///
+/// Registers `R0`–`R254` are ordinary registers; `R255` is the hardwired
+/// zero register [`Reg::RZ`] (reads as `0`, writes are discarded), mirroring
+/// SASS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const RZ: Reg = Reg(255);
+
+    /// Returns `true` if this is the zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 255
+    }
+
+    /// Returns the register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "RZ")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A 1-bit predicate register.
+///
+/// `P0`–`P6` are ordinary predicates; `P7` is the hardwired true predicate
+/// [`PredReg::PT`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredReg(pub u8);
+
+impl PredReg {
+    /// The hardwired true predicate.
+    pub const PT: PredReg = PredReg(7);
+
+    /// Returns `true` if this is the hardwired true predicate.
+    pub fn is_true(self) -> bool {
+        self.0 == 7
+    }
+
+    /// Returns the predicate index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            write!(f, "PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Special read-only registers exposed through `S2R`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum SpecialReg {
+    /// Thread index within the thread block (x dimension).
+    TidX = 0,
+    /// Thread-block index within the grid (x dimension).
+    CtaIdX = 1,
+    /// Number of thread blocks in the grid (x dimension).
+    NCtaIdX = 2,
+    /// Lane index within the warp (0–31).
+    LaneId = 3,
+    /// Warp index within the thread block.
+    WarpId = 4,
+    /// Physical streaming-multiprocessor identifier.
+    SmId = 5,
+    /// Low 32 bits of the SM cycle counter.
+    ClockLo = 6,
+    /// Number of threads per block (x dimension).
+    NTidX = 7,
+}
+
+impl SpecialReg {
+    /// All special registers, in encoding order.
+    pub const ALL: [SpecialReg; 8] = [
+        SpecialReg::TidX,
+        SpecialReg::CtaIdX,
+        SpecialReg::NCtaIdX,
+        SpecialReg::LaneId,
+        SpecialReg::WarpId,
+        SpecialReg::SmId,
+        SpecialReg::ClockLo,
+        SpecialReg::NTidX,
+    ];
+
+    /// Decodes a special register from its encoding value.
+    pub fn from_code(code: u8) -> Option<SpecialReg> {
+        SpecialReg::ALL.get(code as usize).copied()
+    }
+
+    /// Returns the encoding value.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns the SASS-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialReg::TidX => "SR_TID.X",
+            SpecialReg::CtaIdX => "SR_CTAID.X",
+            SpecialReg::NCtaIdX => "SR_NCTAID.X",
+            SpecialReg::LaneId => "SR_LANEID",
+            SpecialReg::WarpId => "SR_WARPID",
+            SpecialReg::SmId => "SR_SMID",
+            SpecialReg::ClockLo => "SR_CLOCKLO",
+            SpecialReg::NTidX => "SR_NTID.X",
+        }
+    }
+
+    /// Parses a SASS-style name.
+    pub fn from_name(name: &str) -> Option<SpecialReg> {
+        SpecialReg::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_display() {
+        assert_eq!(Reg::RZ.to_string(), "RZ");
+        assert_eq!(Reg(7).to_string(), "R7");
+        assert!(Reg::RZ.is_zero());
+        assert!(!Reg(0).is_zero());
+    }
+
+    #[test]
+    fn predicate_display() {
+        assert_eq!(PredReg::PT.to_string(), "PT");
+        assert_eq!(PredReg(3).to_string(), "P3");
+        assert!(PredReg::PT.is_true());
+    }
+
+    #[test]
+    fn special_reg_round_trip() {
+        for sr in SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_code(sr.code()), Some(sr));
+            assert_eq!(SpecialReg::from_name(sr.name()), Some(sr));
+        }
+        assert_eq!(SpecialReg::from_code(200), None);
+        assert_eq!(SpecialReg::from_name("SR_BOGUS"), None);
+    }
+}

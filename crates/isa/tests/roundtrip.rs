@@ -1,0 +1,207 @@
+//! Property-based round-trip tests over the whole instruction space:
+//! typed → binary → typed, and typed → text → typed (paper Fig. 6's
+//! encode/decode framework must be lossless for the checksum to be
+//! replayable).
+
+use proptest::prelude::*;
+use sage_isa::{
+    encode::{decode_bytes, encode_bytes, patch_immediate_bytes, read_immediate_bytes},
+    CmpOp, CtrlInfo, Instruction, Opcode, Operand, Pred, PredReg, Program, Reg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![(0u8..32).prop_map(Reg), Just(Reg::RZ)]
+}
+
+fn arb_ctrl() -> impl Strategy<Value = CtrlInfo> {
+    (
+        0u8..16,
+        0u8..64,
+        prop_oneof![Just(None), (0u8..6).prop_map(Some)],
+        prop_oneof![Just(None), (0u8..6).prop_map(Some)],
+        any::<bool>(),
+        0u8..16,
+    )
+        .prop_map(|(reuse, wait_mask, read_bar, write_bar, yield_flag, stall)| CtrlInfo {
+            reuse,
+            wait_mask,
+            read_bar,
+            write_bar,
+            yield_flag,
+            stall,
+        })
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (
+        prop_oneof![Just(PredReg::PT), (0u8..7).prop_map(PredReg)],
+        any::<bool>(),
+    )
+        .prop_map(|(reg, neg)| Pred { reg, neg })
+}
+
+/// Generates a structurally valid instruction for every opcode, with the
+/// same operand shapes the assembler would produce.
+fn arb_insn() -> impl Strategy<Value = Instruction> {
+    (
+        prop::sample::select(Opcode::ALL.to_vec()),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<u32>(),
+        0u8..32,
+        any::<u8>(),
+        prop::sample::select(CmpOp::ALL.to_vec()),
+        arb_ctrl(),
+        arb_pred(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(op, dst, ra, rc, imm, shift, lut, cmp, ctrl, pred, use_imm)| {
+                let mut i = Instruction::new(op);
+                i.ctrl = ctrl;
+                i.pred = pred;
+                match op {
+                    Opcode::Nop
+                    | Opcode::BarSync
+                    | Opcode::Bsync
+                    | Opcode::Ret
+                    | Opcode::Exit => {}
+                    Opcode::Imad | Opcode::Iadd3 | Opcode::Ffma => {
+                        i.dst = dst;
+                        i.srcs = [
+                            ra.into(),
+                            if use_imm {
+                                Operand::Imm(imm)
+                            } else {
+                                rc.into()
+                            },
+                            rc.into(),
+                        ];
+                    }
+                    Opcode::Lea | Opcode::LeaHi => {
+                        i.dst = dst;
+                        i.srcs = [ra.into(), rc.into(), Operand::RZ];
+                        i.shift = shift;
+                    }
+                    Opcode::ShfL | Opcode::ShfR => {
+                        i.dst = dst;
+                        i.srcs = [ra.into(), Operand::Imm(imm & 31), rc.into()];
+                    }
+                    Opcode::Lop3 => {
+                        i.dst = dst;
+                        i.srcs = [ra.into(), rc.into(), ra.into()];
+                        i.lut = lut;
+                    }
+                    Opcode::Mov | Opcode::I2f | Opcode::F2i => {
+                        i.dst = dst;
+                        i.srcs[0] = if use_imm && op == Opcode::Mov {
+                            Operand::Imm(imm)
+                        } else {
+                            ra.into()
+                        };
+                    }
+                    Opcode::Fadd | Opcode::Fmul => {
+                        i.dst = dst;
+                        i.srcs[0] = ra.into();
+                        i.srcs[1] = rc.into();
+                    }
+                    Opcode::Isetp => {
+                        i.dst_pred = Some(PredReg(lut % 7));
+                        i.cmp = cmp;
+                        i.srcs[0] = ra.into();
+                        i.srcs[1] = rc.into();
+                    }
+                    Opcode::S2r => {
+                        i.dst = dst;
+                        i.srcs[1] = Operand::Imm((imm % 8) as u32);
+                    }
+                    Opcode::Lepc => i.dst = dst,
+                    Opcode::Ldg | Opcode::Lds => {
+                        i.dst = dst;
+                        i.srcs[0] = ra.into();
+                        i.srcs[1] = Operand::Imm(imm & 0xFFFF);
+                    }
+                    Opcode::Stg | Opcode::Sts | Opcode::AtomgAdd | Opcode::AtomsAdd => {
+                        i.srcs[0] = ra.into();
+                        i.srcs[1] = Operand::Imm(imm & 0xFFFF);
+                        i.srcs[2] = rc.into();
+                    }
+                    Opcode::Cctl => {
+                        i.srcs[0] = ra.into();
+                        i.srcs[1] = Operand::Imm(imm & 0xFFFF);
+                    }
+                    Opcode::Bra | Opcode::Bssy | Opcode::Cal => {
+                        i.srcs[1] = Operand::Imm(imm & 0xFFFF_FFF0);
+                    }
+                    Opcode::Jmx => {
+                        i.srcs[0] = ra.into();
+                    }
+                }
+                i
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn binary_round_trip(insn in arb_insn()) {
+        let bytes = encode_bytes(&insn);
+        let back = decode_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, insn);
+    }
+
+    #[test]
+    fn text_round_trip(insn in arb_insn()) {
+        // The text control prefix (paper syntax) carries no reuse flags,
+        // so text round-trips are exact up to `reuse`.
+        let mut insn = insn;
+        insn.ctrl.reuse = 0;
+        let text = insn.to_string();
+        let prog = Program::assemble(&text)
+            .unwrap_or_else(|e| panic!("reassembly of `{text}` failed: {e}"));
+        prop_assert_eq!(prog.insns[0], insn);
+    }
+
+    #[test]
+    fn immediate_patch_is_isolated(insn in arb_insn(), value in any::<u32>()) {
+        // Patching the immediate field of the encoded word must change the
+        // immediate and nothing else.
+        let mut bytes = encode_bytes(&insn);
+        let original = decode_bytes(&bytes).unwrap();
+        patch_immediate_bytes(&mut bytes, value);
+        prop_assert_eq!(read_immediate_bytes(&bytes), value);
+        let patched = decode_bytes(&bytes).unwrap();
+        let mut expect = original;
+        if expect.imm_count() == 1 {
+            expect.patch_immediate(value);
+        } else {
+            // No immediate operand: the field is ignored by decode.
+        }
+        prop_assert_eq!(patched.op, expect.op);
+        prop_assert_eq!(patched.ctrl, expect.ctrl);
+        prop_assert_eq!(patched.dst, expect.dst);
+        if original.imm_count() == 1 {
+            prop_assert_eq!(patched, expect);
+        }
+    }
+
+    #[test]
+    fn program_round_trip(insns in prop::collection::vec(arb_insn(), 1..64)) {
+        let insns = insns
+            .into_iter()
+            .map(|mut i| {
+                // Text syntax carries no reuse flags; see text_round_trip.
+                i.ctrl.reuse = 0;
+                i
+            })
+            .collect();
+        let prog = Program { insns, labels: Default::default() };
+        let decoded = Program::decode(&prog.encode()).unwrap();
+        prop_assert_eq!(&decoded.insns, &prog.insns);
+        let reasm = Program::assemble(&prog.disassemble()).unwrap();
+        prop_assert_eq!(&reasm.insns, &prog.insns);
+    }
+}

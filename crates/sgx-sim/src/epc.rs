@@ -1,0 +1,91 @@
+//! EPC / memory-encryption-engine cost model.
+//!
+//! The paper reports verification times on two hosts (Table 1): a
+//! dual-socket AMD EPYC 7742 running the verifier natively, and an Intel
+//! Xeon Gold 6348 running it inside SGX, where the Memory Encryption
+//! Engine and EPC management slow memory-heavy replay down by roughly
+//! 4.7× (102 s vs 21.6 s for experiment 1). Real EPC overhead cannot be
+//! measured without SGX hardware, so this model reproduces it as a
+//! calibrated multiplier with a small working-set-dependent ramp: inside
+//! the (historical) 92 MiB usable EPC the MEE costs a fixed factor; once
+//! the working set exceeds the EPC, paging multiplies the cost further.
+
+/// Cost model for enclave execution time.
+#[derive(Clone, Copy, Debug)]
+pub struct EpcModel {
+    /// Usable EPC size in bytes (92 MiB on the paper-era parts).
+    pub epc_bytes: u64,
+    /// MEE slowdown for workloads fitting in the EPC (calibrated to the
+    /// paper's Intel/AMD ratio).
+    pub mee_factor: f64,
+    /// Additional multiplier applied to the portion of the working set
+    /// that spills past the EPC (page-swap cost).
+    pub paging_factor: f64,
+}
+
+impl Default for EpcModel {
+    fn default() -> EpcModel {
+        EpcModel {
+            epc_bytes: 92 * 1024 * 1024,
+            // 102 s (Intel, in SGX) / 21.6 s (AMD, native) ≈ 4.72 from
+            // Table 1, experiments 1–2. The dominant term is the MEE plus
+            // the core-count difference between the two hosts; we fold
+            // both into one verifier-host factor.
+            mee_factor: 4.72,
+            paging_factor: 12.0,
+        }
+    }
+}
+
+impl EpcModel {
+    /// Converts a native execution time into the modelled enclave time
+    /// for a given working-set size.
+    pub fn enclave_seconds(&self, native_seconds: f64, working_set_bytes: u64) -> f64 {
+        if working_set_bytes <= self.epc_bytes {
+            native_seconds * self.mee_factor
+        } else {
+            let resident = self.epc_bytes as f64 / working_set_bytes as f64;
+            let spilled = 1.0 - resident;
+            native_seconds * (self.mee_factor * resident + self.paging_factor * spilled)
+        }
+    }
+
+    /// The effective slowdown factor for a working set.
+    pub fn factor(&self, working_set_bytes: u64) -> f64 {
+        self.enclave_seconds(1.0, working_set_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_epc_uses_mee_factor() {
+        let m = EpcModel::default();
+        let t = m.enclave_seconds(21.6, 1024 * 1024);
+        assert!((t - 21.6 * 4.72).abs() < 1e-9);
+        // Matches the paper's Table 1 shape: ≈ 102 s.
+        assert!((t - 102.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn spilling_working_sets_pay_paging() {
+        let m = EpcModel::default();
+        let inside = m.factor(64 * 1024 * 1024);
+        let outside = m.factor(1024 * 1024 * 1024);
+        assert!(outside > inside);
+        assert!(outside > 4.72 && outside <= 12.0);
+    }
+
+    #[test]
+    fn factor_is_monotonic_in_working_set() {
+        let m = EpcModel::default();
+        let mut last = 0.0;
+        for ws in [1u64 << 20, 1 << 26, 1 << 27, 1 << 28, 1 << 30, 1 << 34] {
+            let f = m.factor(ws);
+            assert!(f >= last, "ws={ws} f={f} last={last}");
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! A minimal SGX-like enclave simulator — the trusted host-side substrate
+//! SAGE's verifier runs in (paper §4, §6.5).
+//!
+//! What the verifier actually needs from SGX, and what this crate
+//! provides:
+//!
+//! - **Attestable identity**: an enclave *measurement* (SHA-256 of the
+//!   enclave code, an MRENCLAVE analogue) and platform-MAC'd *quotes* an
+//!   external challenger can verify ([`enclave`]).
+//! - **Sealed storage**: authenticated encryption bound to the platform
+//!   key and the measurement.
+//! - **A nonce source**: an AES-CTR DRBG seeded at enclave creation
+//!   (paper §6.5: "to generate nonces in the enclave … we use AES-CTR
+//!   with an IV that has been generated using a TRNG during the enclave
+//!   creation").
+//! - **An EPC/MEE cost model** ([`epc`]): SGX's memory-encryption and
+//!   paging overhead on memory-heavy workloads, used to produce the
+//!   paper's "verification (Intel)" column from the plain-CPU
+//!   measurement.
+//!
+//! This is a simulator: isolation is by convention, not hardware. The
+//! point is to exercise the same protocol structure and cost model as the
+//! paper's setup, not to provide real confidentiality.
+
+pub mod enclave;
+pub mod epc;
+
+pub use enclave::{verify_quote, Enclave, Quote, SgxPlatform};
+pub use epc::EpcModel;

@@ -1,0 +1,20 @@
+//! True random number generation from multi-core race conditions, plus
+//! the statistical test battery the paper evaluates it with (§6.6).
+//!
+//! The paper's TRNG runs on the GPU and harvests "uncertainties that
+//! arise when cores simultaneously access a particular memory location".
+//! A deterministic simulator cannot produce physical entropy, so — per the
+//! substitution rule documented in DESIGN.md — [`race::RaceTrng`] harvests
+//! the *same physical phenomenon on the host CPU*: worker threads hammer
+//! shared memory locations and the sampler observes the racy
+//! interleavings. The rest of the pipeline is identical to the paper's:
+//! raw samples are conditioned (SHA-256), and the output is evaluated with
+//! an ENT-style analyzer ([`stats`]) and a NIST SP 800-22 subset
+//! ([`nist`]).
+
+pub mod nist;
+pub mod race;
+pub mod stats;
+
+pub use race::{RaceTrng, RaceTrngConfig};
+pub use stats::EntReport;

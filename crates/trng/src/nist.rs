@@ -1,0 +1,503 @@
+//! A subset of the NIST SP 800-22 statistical test suite, used (with
+//! DIEHARD and ENT) to evaluate the TRNG in the paper (§6.6).
+//!
+//! Implemented tests: frequency (monobit), block frequency, runs,
+//! longest-run-of-ones, cumulative sums, serial, and approximate entropy.
+//! Each returns a p-value; a sequence passes a test at significance
+//! `ALPHA = 0.01` if `p ≥ 0.01` (SP 800-22 §1.1.5).
+
+/// Significance level used by [`TestOutcome::passed`].
+pub const ALPHA: f64 = 0.01;
+
+/// The result of one statistical test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TestOutcome {
+    /// Test p-value in `[0, 1]`.
+    pub p_value: f64,
+}
+
+impl TestOutcome {
+    /// Whether the sequence passes at the standard 1% significance.
+    pub fn passed(&self) -> bool {
+        self.p_value >= ALPHA
+    }
+}
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26-style
+/// rational approximation (max error ≈ 1.2e-7, ample for pass/fail at
+/// α = 0.01).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = Γ(a,x)/Γ(a)`
+/// (series + continued fraction, Numerical Recipes style).
+pub fn igamc(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos approximation.
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1e300;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = b + an / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn to_bits(data: &[u8]) -> Vec<bool> {
+    crate::race::bytes_to_bits(data).collect()
+}
+
+/// 2.1 Frequency (monobit) test.
+pub fn frequency(data: &[u8]) -> TestOutcome {
+    let bits = to_bits(data);
+    let n = bits.len() as f64;
+    let s: i64 = bits.iter().map(|&b| if b { 1i64 } else { -1 }).sum();
+    let s_obs = (s as f64).abs() / n.sqrt();
+    TestOutcome {
+        p_value: erfc(s_obs / std::f64::consts::SQRT_2),
+    }
+}
+
+/// 2.2 Frequency test within blocks of `m` bits.
+pub fn block_frequency(data: &[u8], m: usize) -> TestOutcome {
+    let bits = to_bits(data);
+    let n_blocks = bits.len() / m;
+    if n_blocks == 0 {
+        return TestOutcome { p_value: 0.0 };
+    }
+    let mut chi = 0.0;
+    for blk in 0..n_blocks {
+        let ones = bits[blk * m..(blk + 1) * m].iter().filter(|&&b| b).count();
+        let pi = ones as f64 / m as f64;
+        chi += (pi - 0.5) * (pi - 0.5);
+    }
+    chi *= 4.0 * m as f64;
+    TestOutcome {
+        p_value: igamc(n_blocks as f64 / 2.0, chi / 2.0),
+    }
+}
+
+/// 2.3 Runs test.
+pub fn runs(data: &[u8]) -> TestOutcome {
+    let bits = to_bits(data);
+    let n = bits.len() as f64;
+    let pi = bits.iter().filter(|&&b| b).count() as f64 / n;
+    // Prerequisite frequency check (SP 800-22 step 2).
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return TestOutcome { p_value: 0.0 };
+    }
+    let v: u64 = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+    let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    TestOutcome {
+        p_value: erfc(num / den),
+    }
+}
+
+/// 2.4 Longest run of ones in 128-bit blocks (the `n ≥ 6272`, `M = 128`
+/// parameterization).
+pub fn longest_run(data: &[u8]) -> TestOutcome {
+    let bits = to_bits(data);
+    const M: usize = 128;
+    // Class probabilities for M = 128, K = 5 (SP 800-22 §2.4.4).
+    const PI: [f64; 6] = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124];
+    let n_blocks = bits.len() / M;
+    if n_blocks < 49 {
+        return TestOutcome { p_value: 0.0 };
+    }
+    let mut v = [0u64; 6];
+    for blk in 0..n_blocks {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for &b in &bits[blk * M..(blk + 1) * M] {
+            if b {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let class = match longest {
+            0..=4 => 0,
+            5 => 1,
+            6 => 2,
+            7 => 3,
+            8 => 4,
+            _ => 5,
+        };
+        v[class] += 1;
+    }
+    let n = n_blocks as f64;
+    let chi: f64 = v
+        .iter()
+        .zip(PI)
+        .map(|(&obs, pi)| {
+            let d = obs as f64 - n * pi;
+            d * d / (n * pi)
+        })
+        .sum();
+    TestOutcome {
+        p_value: igamc(2.5, chi / 2.0),
+    }
+}
+
+/// 2.13 Cumulative sums test (forward mode).
+pub fn cumulative_sums(data: &[u8]) -> TestOutcome {
+    let bits = to_bits(data);
+    let n = bits.len() as f64;
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for &b in &bits {
+        s += if b { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    let z = z as f64;
+    if z == 0.0 {
+        return TestOutcome { p_value: 0.0 };
+    }
+    let mut p = 1.0;
+    let sqrt_n = n.sqrt();
+    let phi = |x: f64| 0.5 * erfc(-x / std::f64::consts::SQRT_2);
+    let k_lo = ((-n / z + 1.0) / 4.0).floor() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    let mut sum1 = 0.0;
+    for k in k_lo..=k_hi {
+        sum1 += phi(((4 * k + 1) as f64 * z) / sqrt_n) - phi(((4 * k - 1) as f64 * z) / sqrt_n);
+    }
+    let k_lo2 = ((-n / z - 3.0) / 4.0).floor() as i64;
+    let k_hi2 = ((n / z - 1.0) / 4.0).floor() as i64;
+    let mut sum2 = 0.0;
+    for k in k_lo2..=k_hi2 {
+        sum2 += phi(((4 * k + 3) as f64 * z) / sqrt_n) - phi(((4 * k + 1) as f64 * z) / sqrt_n);
+    }
+    p -= sum1;
+    p += sum2;
+    TestOutcome {
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+fn psi_sq(bits: &[bool], m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    for i in 0..n {
+        let mut idx = 0usize;
+        for j in 0..m {
+            idx = (idx << 1) | bits[(i + j) % n] as usize;
+        }
+        counts[idx] += 1;
+    }
+    let nf = n as f64;
+    let sum: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (1u64 << m) as f64 / nf * sum - nf
+}
+
+/// 2.11 Serial test (returns the first of the two p-values).
+pub fn serial(data: &[u8], m: usize) -> TestOutcome {
+    let bits = to_bits(data);
+    let d1 = psi_sq(&bits, m) - psi_sq(&bits, m.saturating_sub(1));
+    let d2 = psi_sq(&bits, m) - 2.0 * psi_sq(&bits, m.saturating_sub(1))
+        + psi_sq(&bits, m.saturating_sub(2));
+    let p1 = igamc(((1usize << (m - 1)) / 2) as f64, d1 / 2.0);
+    let _p2 = igamc(((1usize << (m - 2)).max(1) / 2).max(1) as f64, d2 / 2.0);
+    TestOutcome { p_value: p1 }
+}
+
+/// 2.12 Approximate entropy test.
+pub fn approximate_entropy(data: &[u8], m: usize) -> TestOutcome {
+    let bits = to_bits(data);
+    let n = bits.len() as f64;
+    let phi = |mm: usize| -> f64 {
+        if mm == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0u64; 1 << mm];
+        for i in 0..bits.len() {
+            let mut idx = 0usize;
+            for j in 0..mm {
+                idx = (idx << 1) | bits[(i + j) % bits.len()] as usize;
+            }
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi(m) - phi(m + 1);
+    let chi = 2.0 * n * (std::f64::consts::LN_2 - ap_en);
+    TestOutcome {
+        p_value: igamc((1u64 << (m - 1)) as f64, chi / 2.0),
+    }
+}
+
+/// 2.6 Discrete Fourier transform (spectral) test.
+///
+/// Detects periodic features: computes the DFT of the ±1 sequence and
+/// checks that no more than ~5% of the first n/2 magnitudes exceed the
+/// 95% threshold `sqrt(ln(1/0.05)·n)`. A straightforward O(n log n)
+/// radix-2 FFT over a power-of-two prefix.
+pub fn spectral(data: &[u8]) -> TestOutcome {
+    let bits = to_bits(data);
+    let n = bits.len().next_power_of_two() / 2 * 2;
+    let n = n.min(bits.len()).next_power_of_two() / 2; // largest power of two ≤ len
+    let n = if n * 2 <= bits.len() { n * 2 } else { n };
+    if n < 1024 {
+        return TestOutcome { p_value: 0.0 };
+    }
+    // Radix-2 FFT on ±1 input.
+    let mut re: Vec<f64> = bits[..n].iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+    let mut im = vec![0.0f64; n];
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    let threshold = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let half = n / 2;
+    let below = (0..half)
+        .filter(|&k| (re[k] * re[k] + im[k] * im[k]).sqrt() < threshold)
+        .count() as f64;
+    let expected = 0.95 * half as f64;
+    let d = (below - expected) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    TestOutcome {
+        p_value: erfc(d.abs() / std::f64::consts::SQRT_2),
+    }
+}
+
+/// Runs the whole battery with standard parameters and returns
+/// `(name, outcome)` pairs.
+pub fn run_battery(data: &[u8]) -> Vec<(&'static str, TestOutcome)> {
+    vec![
+        ("frequency", frequency(data)),
+        ("block-frequency(128)", block_frequency(data, 128)),
+        ("runs", runs(data)),
+        ("longest-run", longest_run(data)),
+        ("cumulative-sums", cumulative_sums(data)),
+        ("spectral", spectral(data)),
+        ("serial(16)", serial(data, 16)),
+        ("approx-entropy(10)", approximate_entropy(data, 10)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prng_stream(len: usize, mut seed: u64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(len);
+        while v.len() < len {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            v.extend_from_slice(&z.to_le_bytes());
+        }
+        v.truncate(len);
+        v
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-5);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn igamc_reference_values() {
+        // Q(1, x) = e^-x.
+        for x in [0.1, 1.0, 3.0] {
+            assert!((igamc(1.0, x) - (-x as f64).exp()).abs() < 1e-9, "x={x}");
+        }
+        // Q(0.5, x) = erfc(sqrt(x)).
+        for x in [0.25, 1.0, 4.0] {
+            assert!((igamc(0.5, x) - erfc(x.sqrt())).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sp800_22_frequency_example() {
+        // SP 800-22 §2.1.8 example: ε = 1100100100001111110110101010001000
+        //1000010110100011000010001101001100010011000110011000101000101110
+        // 00000011011100010011010 (first 100 binary digits of π), P ≈ 0.109599.
+        let eps = "11001001000011111101101010100010001000010110100011\
+                   00001000110100110001001100011001100010100010111000";
+        let bits: Vec<bool> = eps.chars().map(|c| c == '1').collect();
+        // Pack into bytes (length 100 bits → pad to 104, run manually).
+        let n = bits.len() as f64;
+        let s: i64 = bits.iter().map(|&b| if b { 1i64 } else { -1 }).sum();
+        let p = erfc(((s as f64).abs() / n.sqrt()) / std::f64::consts::SQRT_2);
+        assert!((p - 0.109599).abs() < 1e-4, "p={p}");
+    }
+
+    #[test]
+    fn good_stream_passes_battery() {
+        let data = prng_stream(32 * 1024, 1234);
+        for (name, outcome) in run_battery(&data) {
+            assert!(outcome.passed(), "{name} failed: p={}", outcome.p_value);
+        }
+    }
+
+    #[test]
+    fn spectral_detects_periodicity() {
+        // A strong 32-bit period that monobit/runs would partially miss.
+        let pattern = [0x35u8, 0xC9, 0x35, 0xC9];
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(16 * 1024).collect();
+        assert!(!spectral(&data).passed());
+        // Random data passes.
+        let good = prng_stream(16 * 1024, 77);
+        assert!(spectral(&good).passed());
+    }
+
+    #[test]
+    fn constant_stream_fails_battery() {
+        let data = vec![0xFFu8; 4096];
+        let results = run_battery(&data);
+        let failures = results.iter().filter(|(_, o)| !o.passed()).count();
+        assert!(failures >= 5, "only {failures} failures: {results:?}");
+    }
+
+    #[test]
+    fn alternating_stream_fails_runs() {
+        let data = vec![0b0101_0101u8; 4096];
+        assert!(!runs(&data).passed());
+        assert!(!serial(&data, 16).passed());
+        assert!(!approximate_entropy(&data, 10).passed());
+        // Monobit alone is fooled (exactly half ones).
+        assert!(frequency(&data).passed());
+    }
+
+    #[test]
+    fn biased_stream_fails_frequency() {
+        // 60% ones.
+        let data: Vec<u8> = prng_stream(16 * 1024, 9)
+            .iter()
+            .map(|&b| b | 0b1010_0000)
+            .collect();
+        assert!(!frequency(&data).passed());
+        assert!(!block_frequency(&data, 128).passed());
+    }
+}

@@ -1,0 +1,202 @@
+//! ENT-style statistical analysis (Walker's `ent` tool), the analyzer the
+//! paper quotes: "the TRNG provides 7.999996 bits of entropy per byte
+//! (measured using ENT)" (§6.6).
+
+/// Results of the five classic ENT measurements on a byte stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EntReport {
+    /// Shannon entropy in bits per byte (8.0 = ideal).
+    pub entropy_bits_per_byte: f64,
+    /// χ² statistic over the 256 byte-value bins (≈255 expected for
+    /// random data).
+    pub chi_square: f64,
+    /// Arithmetic mean of the bytes (127.5 = ideal).
+    pub mean: f64,
+    /// Monte-Carlo estimate of π from consecutive 6-byte points
+    /// (3.14159… = ideal).
+    pub monte_carlo_pi: f64,
+    /// First-order serial correlation coefficient (0.0 = ideal).
+    pub serial_correlation: f64,
+    /// Number of bytes analyzed.
+    pub len: usize,
+}
+
+impl EntReport {
+    /// Analyzes a byte stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn analyze(data: &[u8]) -> EntReport {
+        assert!(!data.is_empty(), "cannot analyze an empty stream");
+        let mut counts = [0u64; 256];
+        let mut sum = 0u64;
+        for &b in data {
+            counts[b as usize] += 1;
+            sum += b as u64;
+        }
+        let n = data.len() as f64;
+
+        // Shannon entropy.
+        let mut entropy = 0.0;
+        for &c in &counts {
+            if c > 0 {
+                let p = c as f64 / n;
+                entropy -= p * p.log2();
+            }
+        }
+
+        // Chi-square against the uniform expectation.
+        let expected = n / 256.0;
+        let chi_square = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+
+        // Monte-Carlo pi: use consecutive 6-byte (x, y) points inside the
+        // unit square, counting those inside the inscribed quarter circle.
+        let mut inside = 0u64;
+        let mut total = 0u64;
+        for chunk in data.chunks_exact(6) {
+            let x = u32::from_be_bytes([0, chunk[0], chunk[1], chunk[2]]) as f64 / 16777216.0;
+            let y = u32::from_be_bytes([0, chunk[3], chunk[4], chunk[5]]) as f64 / 16777216.0;
+            if x * x + y * y <= 1.0 {
+                inside += 1;
+            }
+            total += 1;
+        }
+        let monte_carlo_pi = if total == 0 {
+            0.0
+        } else {
+            4.0 * inside as f64 / total as f64
+        };
+
+        // Serial correlation coefficient (Knuth Vol. 2, as in ent).
+        let serial_correlation = if data.len() < 2 {
+            0.0
+        } else {
+            let mut t1 = 0.0;
+            let mut t2 = 0.0;
+            let mut t3 = 0.0;
+            for i in 0..data.len() {
+                let a = data[i] as f64;
+                let b = data[(i + 1) % data.len()] as f64;
+                t1 += a * b;
+                t2 += a;
+                t3 += a * a;
+            }
+            let num = n * t1 - t2 * t2;
+            let den = n * t3 - t2 * t2;
+            if den == 0.0 {
+                1.0 // constant stream: perfectly correlated
+            } else {
+                num / den
+            }
+        };
+
+        EntReport {
+            entropy_bits_per_byte: entropy,
+            chi_square,
+            mean: sum as f64 / n,
+            monte_carlo_pi,
+            serial_correlation,
+            len: data.len(),
+        }
+    }
+
+    /// A loose overall verdict mirroring how `ent` output is usually
+    /// read: high entropy, sane χ², centred mean, small correlation.
+    pub fn looks_random(&self) -> bool {
+        self.entropy_bits_per_byte > 7.8
+            && self.chi_square > 180.0
+            && self.chi_square < 340.0
+            && (self.mean - 127.5).abs() < 3.0
+            && self.serial_correlation.abs() < 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic high-quality PRNG stream for testing the analyzer
+    /// itself (splitmix64).
+    fn prng_stream(len: usize, mut seed: u64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(len);
+        while v.len() < len {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            v.extend_from_slice(&z.to_le_bytes());
+        }
+        v.truncate(len);
+        v
+    }
+
+    #[test]
+    fn uniform_stream_passes() {
+        let data = prng_stream(64 * 1024, 42);
+        let r = EntReport::analyze(&data);
+        assert!(r.entropy_bits_per_byte > 7.99, "{r:?}");
+        assert!((r.mean - 127.5).abs() < 1.5, "{r:?}");
+        assert!((r.monte_carlo_pi - std::f64::consts::PI).abs() < 0.1, "{r:?}");
+        assert!(r.serial_correlation.abs() < 0.02, "{r:?}");
+        assert!(r.looks_random(), "{r:?}");
+    }
+
+    #[test]
+    fn constant_stream_fails() {
+        let data = vec![0xAA; 4096];
+        let r = EntReport::analyze(&data);
+        assert!(r.entropy_bits_per_byte < 0.01);
+        assert!(!r.looks_random());
+        assert_eq!(r.mean, 170.0);
+    }
+
+    #[test]
+    fn ascii_text_fails() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .iter()
+            .copied()
+            .cycle()
+            .take(8192)
+            .collect();
+        let r = EntReport::analyze(&data);
+        assert!(r.entropy_bits_per_byte < 5.0, "{r:?}");
+        assert!(!r.looks_random());
+    }
+
+    #[test]
+    fn biased_stream_detected_by_chi_square() {
+        // 75% zeros, 25% PRNG bytes: entropy still moderately high but
+        // chi-square explodes.
+        let noise = prng_stream(16 * 1024, 7);
+        let data: Vec<u8> = noise
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i % 4 == 0 { b } else { 0 })
+            .collect();
+        let r = EntReport::analyze(&data);
+        assert!(r.chi_square > 1000.0, "{r:?}");
+        assert!(!r.looks_random());
+    }
+
+    #[test]
+    fn alternating_stream_has_strong_serial_correlation() {
+        let data: Vec<u8> = (0..4096).map(|i| if i % 2 == 0 { 0 } else { 255 }).collect();
+        let r = EntReport::analyze(&data);
+        assert!(r.serial_correlation < -0.9, "{r:?}");
+        assert!(!r.looks_random());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_stream_panics() {
+        let _ = EntReport::analyze(&[]);
+    }
+}

@@ -1,0 +1,807 @@
+//! Microcode generation for the verification function.
+//!
+//! Two schedules are supported (paper §7.1): the *optimized* schedule —
+//! interleaved IMAD/LEA.HI busy-wait pairs hiding the pseudo-random load
+//! behind both dispatch pipes, minimal stall fields, scoreboarded loads —
+//! and the *naive* ("PTXAS-style") schedule, which keeps identical
+//! semantics but waits on loads immediately, stalls conservatively, and
+//! models register spilling with shared-memory round trips plus a doubled
+//! register allocation (halving occupancy).
+
+use sage_isa::{
+    op::lut, CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg, SpecialReg,
+};
+
+use crate::{
+    layout::VfLayout,
+    params::{SmcMode, VfParams},
+    spec,
+};
+
+// Register map (32 registers per thread, paper §6.3).
+const R_ITER: Reg = Reg(2);
+const R_IDX: Reg = Reg(3);
+const R_D: Reg = Reg(4);
+const R_INNER: Reg = Reg(5);
+const R_T0: Reg = Reg(6);
+const R_T1: Reg = Reg(7);
+/// `C0..C7` live in `R8..R15`.
+const R_C0: u8 = 8;
+const R_LOOP: Reg = Reg(16);
+const R_S17: Reg = Reg(17);
+const R_WSLOT: Reg = Reg(18);
+const R_SPILL: Reg = Reg(19);
+const R_TID: Reg = Reg(20);
+const R_CTA: Reg = Reg(21);
+const R_NTID: Reg = Reg(22);
+const R_GTID: Reg = Reg(23);
+const R_CHADDR: Reg = Reg(24);
+/// Challenge words live in `R25..R28`.
+const R_CH0: u8 = 25;
+const R_RESULT: Reg = Reg(29);
+const R_ADDR: Reg = Reg(30);
+const R_INNERTGT: Reg = Reg(31);
+/// Region base register (set once in init; lets the address computation
+/// run on the FMA pipe as an IMAD).
+const R_BASE: Reg = Reg(1);
+
+const P_LOOP: PredReg = PredReg(0);
+const P_LEADER: PredReg = PredReg(1);
+const P_LANE0: PredReg = PredReg(2);
+const P_INNER: PredReg = PredReg(3);
+
+fn rc(i: usize) -> Reg {
+    Reg(R_C0 + (i % spec::NUM_C) as u8)
+}
+
+fn s4() -> CtrlInfo {
+    CtrlInfo::stall(4).with_yield()
+}
+
+fn s2() -> CtrlInfo {
+    CtrlInfo::stall(2)
+}
+
+fn s1() -> CtrlInfo {
+    CtrlInfo::stall(1)
+}
+
+/// A complete VF build: device image, layout and launch geometry.
+#[derive(Clone, Debug)]
+pub struct VfBuild {
+    /// Build parameters.
+    pub params: VfParams,
+    /// Memory layout.
+    pub layout: VfLayout,
+    /// Initial device image (length `layout.total_bytes`): code, fill,
+    /// executable copies; challenge and result areas zeroed.
+    pub image: Vec<u8>,
+    /// Fill seed used for the region tail.
+    pub fill_seed: u32,
+    /// Instructions in one loop copy (the paper's "instructions" row of
+    /// Table 1).
+    pub loop_instructions: usize,
+    /// Instruction index of the self-modifying `SHF.R` within the loop
+    /// copy, if SMC is enabled.
+    pub smc_insn_index: Option<usize>,
+}
+
+impl VfBuild {
+    /// The checksummed static region (verifier-known).
+    pub fn static_region(&self) -> &[u8] {
+        &self.image[..self.layout.data_bytes as usize]
+    }
+
+    /// Registers per thread to request at launch.
+    pub fn regs_per_thread(&self) -> u32 {
+        if self.params.naive_schedule {
+            64 // spills + pressure halve occupancy
+        } else {
+            32
+        }
+    }
+
+    /// Shared memory bytes per block (aggregation area + spill slots for
+    /// the naive schedule).
+    pub fn smem_bytes(&self) -> u32 {
+        let warps = self.params.block_threads / 32;
+        let agg = 32 * (warps + 1);
+        if self.params.naive_schedule {
+            agg + self.params.block_threads * 8
+        } else {
+            agg
+        }
+    }
+
+    /// Offset of the spill area within shared memory (the aggregation
+    /// slots come first).
+    pub fn agg_bytes(&self) -> u32 {
+        32 * (self.params.block_threads / 32 + 1)
+    }
+
+    /// Audits a dumped device image against this build: forensic
+    /// comparison used after a failed attestation to localize tampering.
+    /// Result cells and challenge slots are expected to differ (they are
+    /// runtime state); executable copies are compared against the
+    /// reference image with the self-modifying immediate slots skipped.
+    ///
+    /// Returns human-readable findings; empty means the image is
+    /// byte-identical where it must be.
+    pub fn audit_image(&self, dump: &[u8]) -> Vec<String> {
+        let l = &self.layout;
+        let mut findings = Vec::new();
+        if dump.len() != self.image.len() {
+            findings.push(format!(
+                "dump length {} != expected {}",
+                dump.len(),
+                self.image.len()
+            ));
+            return findings;
+        }
+        // Static region must match exactly.
+        for (off, (a, b)) in dump[..l.data_bytes as usize]
+            .iter()
+            .zip(&self.image[..l.data_bytes as usize])
+            .enumerate()
+        {
+            if a != b {
+                let section = if (off as u32) < l.epilog_off {
+                    "init"
+                } else if (off as u32) < l.ref_loop_off {
+                    "epilog"
+                } else if (off as u32) < l.user_off {
+                    "reference loop"
+                } else if (off as u32) < l.fill_off {
+                    "inlined kernel"
+                } else {
+                    "fill"
+                };
+                findings.push(format!(
+                    "static region tampered at offset {off:#x} ({section})"
+                ));
+                if findings.len() >= 16 {
+                    findings.push("… (truncated)".to_string());
+                    return findings;
+                }
+            }
+        }
+        // Executable copies: compare against the reference image, but
+        // skip the patchable immediate of the SMC instruction.
+        let smc_imm_range = self.smc_insn_index.map(|idx| {
+            let start = idx * 16 + sage_isa::encode::IMM_BYTE_OFFSET;
+            start..start + 4
+        });
+        for b in 0..l.num_blocks {
+            let off = (l.exec_loops_off + b * l.loop_bytes) as usize;
+            let copy = &dump[off..off + l.loop_bytes as usize];
+            let reference =
+                &self.image[l.ref_loop_off as usize..(l.ref_loop_off + l.loop_bytes) as usize];
+            for (i, (x, y)) in copy.iter().zip(reference).enumerate() {
+                if x != y {
+                    if let Some(range) = &smc_imm_range {
+                        if range.contains(&i) {
+                            continue; // legitimate self-modification
+                        }
+                    }
+                    findings.push(format!(
+                        "executable copy {b} tampered at loop offset {i:#x}"
+                    ));
+                    break;
+                }
+            }
+        }
+        findings
+    }
+
+    /// Renders a human-readable section map of the device image — what a
+    /// loader or auditor needs to navigate the buffer.
+    pub fn describe(&self) -> String {
+        use core::fmt::Write as _;
+        let l = &self.layout;
+        let mut out = String::new();
+        let _ = writeln!(out, "VF image @ {:#010x} ({} bytes)", l.base, l.total_bytes);
+        let mut row = |name: &str, off: u32, len: u32| {
+            let _ = writeln!(
+                out,
+                "  {:#010x}..{:#010x}  {:<18} {:>8} B",
+                l.base + off,
+                l.base + off + len,
+                name,
+                len
+            );
+        };
+        row("init", 0, l.epilog_off);
+        row("epilog", l.epilog_off, l.ref_loop_off - l.epilog_off);
+        row("reference loop", l.ref_loop_off, l.loop_bytes);
+        if l.user_bytes > 0 {
+            row("inlined kernel", l.user_off, l.user_bytes);
+        }
+        row("fill", l.fill_off, l.data_bytes - l.fill_off);
+        row(
+            "executable loops",
+            l.exec_loops_off,
+            l.loop_bytes * l.num_blocks,
+        );
+        row("challenges", l.challenge_off, 16 * l.num_blocks);
+        row("result cells", l.result_off, 32);
+        let _ = writeln!(
+            out,
+            "  loop: {} instructions, SMC index {:?}, {} blocks x {} threads",
+            self.loop_instructions,
+            self.smc_insn_index,
+            self.params.grid_blocks,
+            self.params.block_threads
+        );
+        out
+    }
+}
+
+struct Addrs {
+    region_base: u32,
+    epilog_abs: u32,
+    exec_loops_abs: u32,
+    loop_bytes: u32,
+    challenge_base: u32,
+    result_base: u32,
+}
+
+impl Addrs {
+    fn zero() -> Addrs {
+        Addrs {
+            region_base: 0,
+            epilog_abs: 0,
+            exec_loops_abs: 0,
+            loop_bytes: 0,
+            challenge_base: 0,
+            result_base: 0,
+        }
+    }
+}
+
+/// Builds the VF for the given parameters at device address `base`.
+///
+/// Returns an error for inconsistent parameters or if the code image does
+/// not fit in the requested static region.
+pub fn build_vf(params: &VfParams, base: u32, fill_seed: u32) -> Result<VfBuild, String> {
+    build_vf_inline(params, base, fill_seed, None)
+}
+
+/// Builds the VF with a user kernel *inlined into the checksummed
+/// region*, called by the epilog right after aggregation — the paper's
+/// TOCTOU defence (§8: "this is prevented by inlining the user kernel
+/// into the VF such that the epilog of the VF can directly call the user
+/// kernel using a function call").
+///
+/// Two properties come with inlining:
+/// - **No scheduler gap**: the kernel starts via `CAL` inside the already
+///   attested launch — an adversary kernel cannot be scheduled in
+///   between, and the VF's full resource reservation carries over.
+/// - **Code integrity for free**: the kernel bytes live inside the static
+///   region, so the checksum traversal fingerprints them; tampering the
+///   kernel changes the checksum.
+///
+/// The kernel must be compatible with the VF's launch geometry
+/// (`grid_blocks × block_threads`, 32 registers, shared memory shared
+/// with the aggregation area) and receives the launch parameter block via
+/// `R0` as usual.
+pub fn build_vf_inline(
+    params: &VfParams,
+    base: u32,
+    fill_seed: u32,
+    user_kernel: Option<&sage_isa::Program>,
+) -> Result<VfBuild, String> {
+    params.validate()?;
+    let user_bytes = user_kernel.map(|k| k.byte_len() as u32).unwrap_or(0);
+    if user_bytes % 16 != 0 {
+        return Err("user kernel must be a whole number of instructions".into());
+    }
+
+    // Pass 1: lengths (immediates do not change instruction size).
+    let probe = Addrs::zero();
+    let (loop_p, smc_idx, inner_off) = emit_loop(params, &probe);
+    let loop_bytes = loop_p.byte_len() as u32;
+    let init_len = emit_init(params, &probe, 0).byte_len() as u32;
+    let epilog_len = emit_epilog(params, &probe, user_kernel.map(|_| 0)).byte_len() as u32;
+
+    let epilog_off = init_len;
+    let ref_loop_off = epilog_off + epilog_len;
+    let user_off = ref_loop_off + loop_bytes;
+    let fill_off = user_off + user_bytes;
+    if fill_off > params.data_bytes {
+        return Err(format!(
+            "code image ({fill_off} B) exceeds the static region ({} B); \
+             increase data_bytes or shrink the loop/kernel",
+            params.data_bytes
+        ));
+    }
+    let exec_loops_off = params.data_bytes;
+    let challenge_off = exec_loops_off + params.grid_blocks * loop_bytes;
+    let result_off = challenge_off + params.grid_blocks * 16;
+    let total_bytes = result_off + 32;
+
+    let layout = VfLayout {
+        base,
+        data_bytes: params.data_bytes,
+        epilog_off,
+        ref_loop_off,
+        user_off,
+        user_bytes,
+        fill_off,
+        exec_loops_off,
+        loop_bytes,
+        num_blocks: params.grid_blocks,
+        challenge_off,
+        result_off,
+        total_bytes,
+    };
+
+    // Pass 2: real addresses.
+    let addrs = Addrs {
+        region_base: base,
+        epilog_abs: layout.epilog_addr(),
+        exec_loops_abs: layout.exec_loops_addr(),
+        loop_bytes,
+        challenge_base: base + challenge_off,
+        result_base: base + result_off,
+    };
+    let (loop_p, smc_idx2, _) = emit_loop(params, &addrs);
+    debug_assert_eq!(smc_idx, smc_idx2);
+    let init_p = emit_init(params, &addrs, inner_off);
+    let epilog_p = emit_epilog(params, &addrs, user_kernel.map(|_| base + user_off));
+    debug_assert_eq!(init_p.byte_len() as u32, init_len);
+    debug_assert_eq!(epilog_p.byte_len() as u32, epilog_len);
+    debug_assert_eq!(loop_p.byte_len() as u32, loop_bytes);
+
+    // Assemble the image.
+    let mut image = vec![0u8; total_bytes as usize];
+    image[..init_len as usize].copy_from_slice(&init_p.encode());
+    image[epilog_off as usize..(epilog_off + epilog_len) as usize]
+        .copy_from_slice(&epilog_p.encode());
+    let loop_bytes_v = loop_p.encode();
+    image[ref_loop_off as usize..user_off as usize].copy_from_slice(&loop_bytes_v);
+    if let Some(kernel) = user_kernel {
+        let mut k = kernel.clone();
+        k.relocate(base + user_off);
+        image[user_off as usize..fill_off as usize].copy_from_slice(&k.encode());
+    }
+    let fill = spec::fill_bytes(fill_seed, (params.data_bytes - fill_off) as usize);
+    image[fill_off as usize..params.data_bytes as usize].copy_from_slice(&fill);
+    for b in 0..params.grid_blocks {
+        let off = (exec_loops_off + b * loop_bytes) as usize;
+        image[off..off + loop_bytes_v.len()].copy_from_slice(&loop_bytes_v);
+    }
+
+    Ok(VfBuild {
+        params: *params,
+        layout,
+        image,
+        fill_seed,
+        loop_instructions: loop_p.len(),
+        smc_insn_index: smc_idx,
+    })
+}
+
+/// Emits one checksum step `k` (see [`spec::step_with_pattern`]).
+fn emit_step(
+    b: &mut ProgramBuilder,
+    k: usize,
+    params: &VfParams,
+    _addrs: &Addrs,
+    agg_bytes: u32,
+    last_in_pass: bool,
+) {
+    let naive = params.naive_schedule;
+    let mask = params.data_bytes / 4 - 1;
+    let j = rc(k);
+    let jprev = rc(k + spec::NUM_C - 1);
+    let jnext = rc(k + 1);
+
+    // Pseudo-random access: idx = C[j] & mask; addr = base + 4*idx; load.
+    // The address is computed with IMAD so the step's FMA/ALU pipe usage
+    // stays balanced (paper §6.3: both dispatch ports must be saturated).
+    b.ctrl(s4());
+    b.lop3(R_IDX, j, Operand::Imm(mask), Reg::RZ, lut::AND_AB);
+    b.ctrl(s4());
+    b.imad(R_ADDR, R_IDX, Operand::Imm(4), R_BASE);
+    b.ctrl(s1().with_write_bar(0));
+    b.ldg(R_D, R_ADDR, 0);
+
+    // Busy-wait pattern: IMAD (FMA pipe) / LEA.HI (ALU pipe) pairs.
+    let kmul = spec::step_kmul(k);
+    let sh1 = spec::step_s1(k);
+    for p in 0..params.pattern_pairs {
+        let ra = rc(k + 2 + (p % 6));
+        let rb = rc(k + 2 + ((p + 3) % 6));
+        let mut c_im = if naive { s4() } else { s1() };
+        if naive && p == 0 {
+            // Compiler-style: wait for the load immediately.
+            c_im = c_im.with_wait(0);
+        }
+        b.ctrl(c_im);
+        b.imad(ra, ra, Operand::Imm(kmul), ra);
+        b.ctrl(if naive { s4() } else { s1() });
+        b.lea_hi(rb, rb, rb.into(), sh1);
+    }
+
+    // Fold.
+    let sh2 = spec::step_s2(k);
+    b.ctrl(if naive { s4() } else { s2() });
+    b.shf_l(R_T0, j, Operand::Imm(sh2 as u32), j); // rotate-left via funnel
+    let mut c_x = if naive { s4() } else { s2() };
+    if !naive || params.pattern_pairs == 0 {
+        c_x = c_x.with_wait(0);
+    }
+    b.ctrl(c_x);
+    b.lop3(R_T1, R_D, jprev.into(), Reg::RZ, lut::XOR_AB);
+    b.ctrl(if naive { s4() } else { s2() });
+    // Fold the absolute data pointer (memory-copy defence), IMAD-form.
+    b.imad(jnext, jnext, Operand::Imm(1), R_ADDR);
+    // The pass-level iteration fold follows the last step directly and
+    // reads a checksum register; widen the final stall so the 4-cycle
+    // register latency is always covered regardless of `unroll % 8`.
+    b.ctrl(if naive || last_in_pass { s4() } else { s2() });
+    b.imad(j, R_T0, Operand::Imm(1), R_T1);
+
+    if naive {
+        // Spill model: round-trip C[j] through shared memory (value
+        // preserved; cost is real).
+        b.ctrl(s4().with_read_bar(1));
+        b.sts(R_SPILL, 0, j);
+        b.ctrl(s1().with_write_bar(2).with_wait(1));
+        b.lds(j, R_SPILL, 0);
+        b.ctrl(s4().with_wait(2));
+        b.nop();
+    }
+    let _ = agg_bytes;
+}
+
+/// Emits one loop copy. Returns `(program, smc instruction index,
+/// inner-loop entry offset in bytes)`.
+fn emit_loop(params: &VfParams, addrs: &Addrs) -> (Program, Option<usize>, u32) {
+    let mut b = ProgramBuilder::new();
+    let agg = 32 * (params.block_threads / 32 + 1);
+    for k in 0..params.unroll {
+        let last = params.inner.is_none() && k + 1 == params.unroll;
+        emit_step(&mut b, k, params, addrs, agg, last);
+    }
+
+    let mut inner_off = 0u32;
+    if let Some((steps, inner_iters)) = params.inner {
+        b.ctrl(s4());
+        b.mov(R_INNER, Operand::Imm(0));
+        inner_off = b.here();
+        for s in 0..steps {
+            emit_step(&mut b, params.unroll + s, params, addrs, agg, s + 1 == steps);
+        }
+        b.ctrl(s4());
+        b.iadd3(R_INNER, R_INNER, Operand::Imm(1), Reg::RZ);
+        b.ctrl(s4());
+        b.isetp(P_INNER, CmpOp::Lt, R_INNER, Operand::Imm(inner_iters));
+        b.pred(Pred::on(P_INNER));
+        b.ctrl(s1());
+        b.jmx(R_INNERTGT);
+    }
+
+    // Per-pass iteration-counter fold (spec::iter_fold).
+    b.ctrl(s4());
+    b.imad(rc(2), rc(2), Operand::Imm(1), R_ITER);
+
+    // Adversarially injected instructions (experiment 2). An adversary
+    // inserts with minimal stall; the per-iteration cost is what the
+    // timing threshold must detect.
+    for _ in 0..params.injected_nops {
+        b.ctrl(s1());
+        b.nop();
+    }
+
+    // iter++ early so the RAW distance to ISETP is covered.
+    b.ctrl(s4());
+    b.iadd3(R_ITER, R_ITER, Operand::Imm(1), Reg::RZ);
+
+    let mut smc_index = None;
+    if params.smc != SmcMode::Off {
+        // Self-modifying pair: C0 += C0 >> N; N is this SHF.R's
+        // immediate, patched below by the block leader.
+        b.ctrl(s4());
+        smc_index = Some(b.len());
+        b.shf_r(R_T0, Reg(R_C0), Operand::Imm(spec::SMC_INIT), Reg::RZ);
+        b.ctrl(s4());
+        b.iadd3(Reg(R_C0), Reg(R_C0), R_T0.into(), Reg::RZ);
+        b.bar_sync();
+        // Leader patches the immediate field with its updated C0.
+        let patch_off =
+            smc_index.expect("set above") as u32 * 16 + sage_isa::encode::IMM_BYTE_OFFSET as u32;
+        b.pred(Pred::on(P_LEADER));
+        b.ctrl(s2());
+        b.stg(R_LOOP, patch_off, Reg(R_C0));
+        if params.smc == SmcMode::Cctl {
+            b.pred(Pred::on(P_LEADER));
+            b.ctrl(s2());
+            b.cctl(R_LOOP, smc_index.expect("set above") as u32 * 16);
+        }
+        b.bar_sync();
+    }
+
+    b.ctrl(s4());
+    b.isetp(P_LOOP, CmpOp::Lt, R_ITER, Operand::Imm(params.iterations));
+    b.pred(Pred::on_not(P_LOOP));
+    b.ctrl(s1());
+    b.bra_abs(addrs.epilog_abs);
+    b.ctrl(s1());
+    b.jmx(R_LOOP);
+
+    (b.build().expect("no labels used"), smc_index, inner_off)
+}
+
+/// Emits the init section (entry point).
+fn emit_init(params: &VfParams, addrs: &Addrs, inner_off: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.ctrl(s4());
+    b.s2r(R_TID, SpecialReg::TidX);
+    b.ctrl(s4());
+    b.s2r(R_CTA, SpecialReg::CtaIdX);
+    b.ctrl(s4());
+    b.s2r(R_NTID, SpecialReg::NTidX);
+    b.ctrl(s4());
+    b.imad(R_GTID, R_CTA, R_NTID.into(), R_TID);
+    b.ctrl(s4());
+    b.lea(R_CHADDR, R_CTA, Operand::Imm(addrs.challenge_base), 4);
+    for i in 0..4u8 {
+        b.ctrl(s1().with_write_bar(i % 4));
+        b.ldg(Reg(R_CH0 + i), R_CHADDR, 4 * i as u32);
+    }
+    // Leader predicates.
+    b.ctrl(s4());
+    b.isetp(P_LEADER, CmpOp::Eq, R_TID, Operand::Imm(0));
+    b.ctrl(s4());
+    b.s2r(R_S17, SpecialReg::LaneId);
+    b.ctrl(s4());
+    b.isetp(P_LANE0, CmpOp::Eq, R_S17, Operand::Imm(0));
+
+    // Checksum state init (see spec::init_state).
+    for i in 0..spec::NUM_C {
+        b.ctrl(s4());
+        b.mov(R_T1, Operand::Imm(i as u32 + 1));
+        b.ctrl(s4());
+        b.imad(R_T0, R_GTID, Operand::Imm(8), R_T1);
+        b.ctrl(s4());
+        b.imad(R_T0, R_T0, Operand::Imm(spec::GOLD), Reg::RZ);
+        let mut c = s4();
+        if i == 0 {
+            c.wait_mask = 0b1111; // all four challenge loads
+        }
+        b.ctrl(c);
+        b.lop3(rc(i), Reg(R_CH0 + (i % 4) as u8), R_T0.into(), Reg::RZ, lut::XOR_AB);
+        b.ctrl(s4());
+        b.imad(rc(i), rc(i), Operand::Imm(spec::INIT_MIX), R_T1);
+    }
+    b.ctrl(s4());
+    b.mov(R_ITER, Operand::Imm(0));
+    b.ctrl(s4());
+    b.mov(R_LOOP, Operand::Imm(addrs.exec_loops_abs));
+    b.ctrl(s4());
+    b.imad(R_LOOP, R_CTA, Operand::Imm(addrs.loop_bytes), R_LOOP);
+    if params.inner.is_some() {
+        b.ctrl(s4());
+        b.lea(R_INNERTGT, R_LOOP, Operand::Imm(inner_off), 0);
+    }
+    b.ctrl(s4());
+    b.mov(R_BASE, Operand::Imm(addrs.region_base));
+    if params.naive_schedule {
+        let agg = 32 * (params.block_threads / 32 + 1);
+        b.ctrl(s4());
+        b.imad(R_SPILL, R_TID, Operand::Imm(8), Reg::RZ);
+        b.ctrl(s4());
+        b.iadd3(R_SPILL, R_SPILL, Operand::Imm(agg), Reg::RZ);
+    }
+    b.ctrl(s1());
+    b.jmx(R_LOOP);
+    b.build().expect("no labels used")
+}
+
+/// Emits the epilog: warp → block → grid aggregation (paper Fig. 4),
+/// then either a direct `CAL` into the inlined user kernel (TOCTOU
+/// defence) or exit.
+fn emit_epilog(params: &VfParams, addrs: &Addrs, user_abs: Option<u32>) -> Program {
+    let mut b = ProgramBuilder::new();
+    let nwarps = params.block_threads / 32;
+    let block_off = 32 * nwarps;
+
+    // Warp level: every thread adds its 8 checksums into its warp's
+    // shared-memory slots.
+    b.ctrl(s4());
+    b.s2r(R_S17, SpecialReg::WarpId);
+    b.ctrl(s4());
+    b.imad(R_WSLOT, R_S17, Operand::Imm(32), Reg::RZ);
+    for j in 0..spec::NUM_C {
+        b.ctrl(s2());
+        b.atoms_add(R_WSLOT, 4 * j as u32, rc(j));
+    }
+    b.bar_sync();
+
+    // Block level: each warp's lane 0 folds the warp slots into the block
+    // slots.
+    for j in 0..spec::NUM_C {
+        b.pred(Pred::on(P_LANE0));
+        b.ctrl(s1().with_write_bar(0));
+        b.lds(R_T0, R_WSLOT, 4 * j as u32);
+        b.pred(Pred::on(P_LANE0));
+        b.ctrl(s2().with_wait(0));
+        b.atoms_add(Reg::RZ, block_off + 4 * j as u32, R_T0);
+    }
+    b.bar_sync();
+
+    // Grid level: thread 0 folds the block slots into the global result
+    // cells.
+    b.ctrl(s4());
+    b.mov(R_RESULT, Operand::Imm(addrs.result_base));
+    for j in 0..spec::NUM_C {
+        b.pred(Pred::on(P_LEADER));
+        b.ctrl(s1().with_write_bar(0));
+        b.lds(R_T0, Reg::RZ, block_off + 4 * j as u32);
+        b.pred(Pred::on(P_LEADER));
+        b.ctrl(s2().with_wait(0));
+        b.atomg_add(R_RESULT, 4 * j as u32, R_T0);
+    }
+    if let Some(user) = user_abs {
+        // TOCTOU defence (§8): hand control to the inlined user kernel
+        // within the same, already attested launch. The barrier makes the
+        // aggregated result globally visible first.
+        b.bar_sync();
+        b.ctrl(s4());
+        b.cal_abs(user);
+    }
+    b.exit();
+    b.build().expect("no labels used")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_layout() {
+        let p = VfParams::test_tiny();
+        let build = build_vf(&p, 0x1000, 42).unwrap();
+        let l = build.layout;
+        assert_eq!(l.base, 0x1000);
+        assert!(l.epilog_off > 0);
+        assert!(l.ref_loop_off > l.epilog_off);
+        assert!(l.fill_off > l.ref_loop_off);
+        assert!(l.fill_off <= l.data_bytes);
+        assert_eq!(l.exec_loops_off, p.data_bytes);
+        assert_eq!(l.challenge_off, p.data_bytes + p.grid_blocks * l.loop_bytes);
+        assert_eq!(l.result_off, l.challenge_off + 16 * p.grid_blocks);
+        assert_eq!(l.total_bytes, l.result_off + 32);
+        assert_eq!(build.image.len(), l.total_bytes as usize);
+    }
+
+    #[test]
+    fn exec_copies_match_reference_image() {
+        let p = VfParams::test_tiny();
+        let build = build_vf(&p, 0x1000, 42).unwrap();
+        let l = build.layout;
+        let reference =
+            &build.image[l.ref_loop_off as usize..(l.ref_loop_off + l.loop_bytes) as usize];
+        for bk in 0..p.grid_blocks {
+            let off = (l.exec_loops_off + bk * l.loop_bytes) as usize;
+            assert_eq!(
+                &build.image[off..off + l.loop_bytes as usize],
+                reference,
+                "block {bk} copy differs"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_decodes_cleanly() {
+        let p = VfParams::test_tiny();
+        let build = build_vf(&p, 0, 1).unwrap();
+        let l = build.layout;
+        let bytes = &build.image[l.ref_loop_off as usize..(l.ref_loop_off + l.loop_bytes) as usize];
+        let prog = Program::decode(bytes).unwrap();
+        assert_eq!(prog.len(), build.loop_instructions);
+        // The loop ends with the back edge.
+        assert_eq!(prog.insns.last().unwrap().op, sage_isa::Opcode::Jmx);
+    }
+
+    #[test]
+    fn smc_build_places_patchable_immediate() {
+        let mut p = VfParams::test_tiny();
+        p.smc = SmcMode::Cctl;
+        let build = build_vf(&p, 0, 1).unwrap();
+        let idx = build.smc_insn_index.unwrap();
+        let l = build.layout;
+        let off = (l.ref_loop_off as usize) + idx * 16;
+        let mut word = [0u8; 16];
+        word.copy_from_slice(&build.image[off..off + 16]);
+        let insn = sage_isa::encode::decode_bytes(&word).unwrap();
+        assert_eq!(insn.op, sage_isa::Opcode::ShfR);
+        assert_eq!(insn.immediate(), Some(spec::SMC_INIT));
+    }
+
+    #[test]
+    fn region_too_small_is_an_error() {
+        let mut p = VfParams::test_tiny();
+        p.data_bytes = 1024;
+        p.unroll = 64;
+        assert!(build_vf(&p, 0, 1).is_err());
+    }
+
+    #[test]
+    fn naive_schedule_is_bigger_and_hungrier() {
+        let p = VfParams::test_tiny();
+        let opt = build_vf(&p, 0, 1).unwrap();
+        let mut pn = p;
+        pn.naive_schedule = true;
+        let naive = build_vf(&pn, 0, 1).unwrap();
+        assert!(naive.loop_instructions > opt.loop_instructions);
+        assert!(naive.regs_per_thread() > opt.regs_per_thread());
+        assert!(naive.smem_bytes() > opt.smem_bytes());
+    }
+
+    #[test]
+    fn audit_image_localizes_tampering() {
+        let mut p = VfParams::test_tiny();
+        p.smc = SmcMode::Cctl;
+        let build = build_vf(&p, 0x2000, 1).unwrap();
+
+        // Pristine dump: clean.
+        assert!(build.audit_image(&build.image).is_empty());
+
+        // Fill tamper localized.
+        let mut dump = build.image.clone();
+        dump[build.layout.fill_off as usize + 8] ^= 1;
+        let f = build.audit_image(&dump);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("fill"), "{f:?}");
+
+        // Executable-copy tamper localized.
+        let mut dump = build.image.clone();
+        dump[build.layout.exec_loops_off as usize + 3] ^= 1;
+        let f = build.audit_image(&dump);
+        assert!(f[0].contains("executable copy 0"), "{f:?}");
+
+        // A patched SMC immediate is NOT a finding.
+        let mut dump = build.image.clone();
+        let idx = build.smc_insn_index.unwrap();
+        let off = build.layout.exec_loops_off as usize
+            + idx * 16
+            + sage_isa::encode::IMM_BYTE_OFFSET;
+        dump[off..off + 4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        assert!(build.audit_image(&dump).is_empty());
+
+        // Wrong-size dump reported.
+        assert_eq!(build.audit_image(&dump[..10]).len(), 1);
+    }
+
+    #[test]
+    fn describe_lists_all_sections() {
+        let mut p = VfParams::test_tiny();
+        p.smc = SmcMode::Cctl;
+        let build = build_vf(&p, 0x2000, 1).unwrap();
+        let d = build.describe();
+        for section in [
+            "init",
+            "epilog",
+            "reference loop",
+            "fill",
+            "executable loops",
+            "challenges",
+            "result cells",
+        ] {
+            assert!(d.contains(section), "missing {section} in:\n{d}");
+        }
+        assert!(d.contains("SMC index Some"));
+    }
+
+    #[test]
+    fn loop_instruction_count_scales_with_unroll() {
+        let mut p = VfParams::test_tiny();
+        let b1 = build_vf(&p, 0, 1).unwrap();
+        p.unroll = 8;
+        p.data_bytes = 32 * 1024;
+        let b2 = build_vf(&p, 0, 1).unwrap();
+        assert!(b2.loop_instructions > b1.loop_instructions);
+    }
+}

@@ -1,0 +1,93 @@
+//! Device memory layout of the verification function.
+//!
+//! ```text
+//! base + 0                  init code                ┐
+//!      + epilog_off         epilog (aggregation)     │ checksummed
+//!      + ref_loop_off       reference loop image     │ static region
+//!      + fill_off           pseudo-random fill       ┘ (data_bytes)
+//!      + exec_loops_off     executable loop copies, one per block
+//!                           (patched by self-modifying code)
+//!      + challenge_off      per-block 16-byte challenges
+//!      + result_off         8 × u32 grid checksum cells
+//! ```
+//!
+//! The static region is what the pseudo-random checksum traversal reads
+//! (paper §7: "the beginning of the buffer contains the checksum function
+//! itself, whereas the remainder is filled with pseudo-randomly generated
+//! values"); the executable copies live outside it so that
+//! self-modifying-code patches never make the traversal input depend on
+//! cross-block timing (see crate docs).
+
+/// Offsets (relative to `base`) and sizes of one VF build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VfLayout {
+    /// Device base address of the VF buffer.
+    pub base: u32,
+    /// Size of the checksummed static region (power of two).
+    pub data_bytes: u32,
+    /// Offset of the epilog code (init starts at 0).
+    pub epilog_off: u32,
+    /// Offset of the reference loop image.
+    pub ref_loop_off: u32,
+    /// Offset of the inlined user kernel (equals `fill_off` when no
+    /// kernel is inlined).
+    pub user_off: u32,
+    /// Size of the inlined user kernel in bytes (0 when none).
+    pub user_bytes: u32,
+    /// Offset of the pseudo-random fill.
+    pub fill_off: u32,
+    /// Offset of the executable loop copies (= `data_bytes`).
+    pub exec_loops_off: u32,
+    /// Size of one loop copy in bytes.
+    pub loop_bytes: u32,
+    /// Number of thread blocks (= number of executable copies).
+    pub num_blocks: u32,
+    /// Offset of the challenge table (16 bytes per block).
+    pub challenge_off: u32,
+    /// Offset of the 8-word result cells.
+    pub result_off: u32,
+    /// Total buffer size.
+    pub total_bytes: u32,
+}
+
+impl VfLayout {
+    /// Absolute address of the init entry point.
+    pub fn entry_addr(&self) -> u32 {
+        self.base
+    }
+
+    /// Absolute address of the epilog.
+    pub fn epilog_addr(&self) -> u32 {
+        self.base + self.epilog_off
+    }
+
+    /// Absolute address of block `b`'s executable loop copy.
+    pub fn exec_loop_addr(&self, b: u32) -> u32 {
+        self.base + self.exec_loops_off + b * self.loop_bytes
+    }
+
+    /// Absolute address of the executable-copies area.
+    pub fn exec_loops_addr(&self) -> u32 {
+        self.base + self.exec_loops_off
+    }
+
+    /// Absolute address of block `b`'s challenge (16 bytes).
+    pub fn challenge_addr(&self, b: u32) -> u32 {
+        self.base + self.challenge_off + b * 16
+    }
+
+    /// Absolute address of the result cells (8 × u32).
+    pub fn result_addr(&self) -> u32 {
+        self.base + self.result_off
+    }
+
+    /// Absolute address of the reference loop image.
+    pub fn ref_loop_addr(&self) -> u32 {
+        self.base + self.ref_loop_off
+    }
+
+    /// Absolute address of the inlined user kernel, if one is present.
+    pub fn user_kernel_addr(&self) -> Option<u32> {
+        (self.user_bytes > 0).then_some(self.base + self.user_off)
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment parameters of the verification function.
+
+/// How the checksum loop includes the execution state (program counter)
+/// via self-modifying code (paper §5.2.2, §6.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmcMode {
+    /// No self-modifying code (paper experiments 1 and 2).
+    Off,
+    /// Self-modifying code; visibility relies on the loop exceeding every
+    /// instruction-cache level so lines are re-fetched each iteration
+    /// (paper experiments 3 and 4 — caller must size `unroll`
+    /// accordingly).
+    Evict,
+    /// Self-modifying code with an explicit `CCTL` instruction-cache
+    /// invalidation after each patch — the vendor-support extension the
+    /// paper proposes in §6.4/§7.5; works with small loops.
+    Cctl,
+}
+
+/// Parameters of one VF build.
+#[derive(Clone, Copy, Debug)]
+pub struct VfParams {
+    /// Size of the checksummed (static) region in bytes; must be a power
+    /// of two and large enough to hold the code image.
+    pub data_bytes: u32,
+    /// Unrolled checksum steps per loop pass (`U`).
+    pub unroll: usize,
+    /// Busy-wait pattern pairs per step (`P`): each pair is one `IMAD`
+    /// (FMA pipe) and one `LEA.HI` (ALU pipe), paper §6.5 step 3.
+    pub pattern_pairs: usize,
+    /// Outer loop iterations.
+    pub iterations: u32,
+    /// Self-modifying-code mode.
+    pub smc: SmcMode,
+    /// Optional inner loop `(steps, iterations)` per outer iteration
+    /// (paper experiment 4).
+    pub inner: Option<(usize, u32)>,
+    /// Grid blocks.
+    pub grid_blocks: u32,
+    /// Threads per block (multiple of 32).
+    pub block_threads: u32,
+    /// Emit the deliberately conservative "compiler-style" schedule
+    /// instead of the optimized microcode (paper §7.1 comparison).
+    pub naive_schedule: bool,
+    /// Adversarially injected NOPs per loop pass (paper experiment 2:
+    /// "adversarial NOP"). Zero for an honest VF; the attack harness uses
+    /// this to measure the per-instruction timing overhead an adversary
+    /// cannot avoid.
+    pub injected_nops: usize,
+}
+
+impl VfParams {
+    /// A small configuration for unit tests (fits the `sim_tiny` device).
+    pub fn test_tiny() -> VfParams {
+        VfParams {
+            data_bytes: 16 * 1024,
+            unroll: 4,
+            pattern_pairs: 4,
+            iterations: 5,
+            smc: SmcMode::Off,
+            inner: None,
+            grid_blocks: 2,
+            block_threads: 64,
+            naive_schedule: false,
+            injected_nops: 0,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.data_bytes.is_power_of_two() {
+            return Err(format!("data_bytes {} is not a power of two", self.data_bytes));
+        }
+        if self.unroll == 0 || self.iterations == 0 {
+            return Err("unroll and iterations must be positive".into());
+        }
+        if self.block_threads == 0 || self.block_threads % 32 != 0 {
+            return Err(format!(
+                "block_threads {} is not a non-zero multiple of 32",
+                self.block_threads
+            ));
+        }
+        if self.grid_blocks == 0 {
+            return Err("grid_blocks must be positive".into());
+        }
+        if let Some((steps, iters)) = self.inner {
+            if steps == 0 || iters == 0 {
+                return Err("inner loop steps and iterations must be positive".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Total checksum steps executed per thread.
+    pub fn total_steps(&self) -> u64 {
+        let per_iter = self.unroll as u64
+            + self
+                .inner
+                .map(|(steps, iters)| steps as u64 * iters as u64)
+                .unwrap_or(0);
+        per_iter * self.iterations as u64
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block_threads as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_params_valid() {
+        VfParams::test_tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = VfParams::test_tiny();
+        p.data_bytes = 3000;
+        assert!(p.validate().is_err());
+
+        let mut p = VfParams::test_tiny();
+        p.block_threads = 40;
+        assert!(p.validate().is_err());
+
+        let mut p = VfParams::test_tiny();
+        p.iterations = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = VfParams::test_tiny();
+        p.inner = Some((0, 5));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn step_accounting() {
+        let mut p = VfParams::test_tiny();
+        assert_eq!(p.total_steps(), 4 * 5);
+        p.inner = Some((3, 10));
+        assert_eq!(p.total_steps(), (4 + 30) * 5);
+        assert_eq!(p.total_threads(), 128);
+    }
+}

@@ -1,0 +1,239 @@
+//! The arithmetic specification of the checksum function — one source of
+//! truth shared by the code generator (which emits instructions with
+//! these exact semantics) and the verifier replay (which calls these
+//! functions directly).
+//!
+//! Everything here is `u32` wrapping arithmetic, mirroring the simulated
+//! ISA's `IMAD`/`LEA.HI`/`SHF`/`LOP3`/`IADD3` semantics.
+
+/// Number of running checksum registers per thread (`C0..C7`, held in
+/// `R8..R15`).
+pub const NUM_C: usize = 8;
+
+/// Golden-ratio multiplier used in state initialization.
+pub const GOLD: u32 = 0x9E37_79B9;
+
+/// Second initialization multiplier (from MurmurHash3's finalizer).
+pub const INIT_MIX: u32 = 0x85EB_CA6B;
+
+/// Initial immediate of the self-modifying `SHF.R` instruction.
+pub const SMC_INIT: u32 = 7;
+
+/// splitmix32 — used for per-step constants and for the fill pattern.
+pub fn splitmix32(x: u32) -> u32 {
+    let mut z = x.wrapping_add(0x9E37_79B9);
+    z = (z ^ (z >> 16)).wrapping_mul(0x85EB_CA6B);
+    z = (z ^ (z >> 13)).wrapping_mul(0xC2B2_AE35);
+    z ^ (z >> 16)
+}
+
+/// Odd multiplier for the busy-wait `IMAD`s of step `k`.
+pub fn step_kmul(k: usize) -> u32 {
+    splitmix32(k as u32).wrapping_mul(2).wrapping_add(1)
+}
+
+/// Shift amount of the busy-wait `LEA.HI`s of step `k` (1..=31).
+pub fn step_s1(k: usize) -> u8 {
+    (1 + (k as u32 * 7) % 31) as u8
+}
+
+/// Rotation amount of the fold of step `k` (1..=31).
+pub fn step_s2(k: usize) -> u8 {
+    (1 + (k as u32 * 13) % 31) as u8
+}
+
+/// Per-thread checksum state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ThreadState {
+    /// Running checksum registers `C0..C7`.
+    pub c: [u32; NUM_C],
+}
+
+/// Initializes the per-thread state from the block challenge and the
+/// global thread id (paper §5.2.2 "checksum initialization").
+pub fn init_state(challenge: &[u32; 4], gtid: u32) -> ThreadState {
+    let mut c = [0u32; NUM_C];
+    for (i, slot) in c.iter_mut().enumerate() {
+        let t = gtid.wrapping_mul(8).wrapping_add(i as u32 + 1);
+        let mut v = challenge[i & 3] ^ t.wrapping_mul(GOLD);
+        v = v.wrapping_mul(INIT_MIX).wrapping_add(i as u32 + 1);
+        *slot = v;
+    }
+    ThreadState { c }
+}
+
+/// Executes checksum step `k` of iteration `iter` with `pattern_pairs`
+/// busy-wait pairs against the static region (`region` is the
+/// `data_bytes`-sized checksummed image located at device address
+/// `region_base`; its length in words must be a power of two).
+///
+/// Mirrors, in order, the exact instruction sequence the code generator
+/// emits: pseudo-random load, the interleaved busy-wait pattern, and the
+/// fold (paper §6.5 steps 2–4). The fold includes the *absolute* data
+/// pointer, not the relative index — redirecting the traversal to a
+/// pristine copy of the region at a different address therefore changes
+/// the checksum (the memory-copy defence, §5.2.2 step 3 and §8).
+pub fn step_with_pattern(
+    state: &mut ThreadState,
+    region: &[u8],
+    region_base: u32,
+    k: usize,
+    iter: u32,
+    pattern_pairs: usize,
+) {
+    let words = (region.len() / 4) as u32;
+    debug_assert!(words.is_power_of_two());
+    let mask = words - 1;
+    let j = k % NUM_C;
+    let jprev = (k + NUM_C - 1) % NUM_C;
+    let jnext = (k + 1) % NUM_C;
+
+    // Pseudo-random memory access.
+    let idx = state.c[j] & mask;
+    let off = idx as usize * 4;
+    let d = u32::from_le_bytes(region[off..off + 4].try_into().expect("in bounds"));
+
+    // Busy-wait pattern. The pattern walks the six checksum registers
+    // that are not `j`/`jnext`, so its writes never sit closer than the
+    // 4-cycle register latency to the fold's reads (scheduling
+    // constraint; see the code generator).
+    let kmul = step_kmul(k);
+    let s1 = step_s1(k);
+    for p in 0..pattern_pairs {
+        let a = (k + 2 + (p % 6)) % NUM_C;
+        state.c[a] = state.c[a].wrapping_mul(kmul).wrapping_add(state.c[a]);
+        let b = (k + 2 + ((p + 3) % 6)) % NUM_C;
+        state.c[b] = (state.c[b] >> s1).wrapping_add(state.c[b]);
+    }
+
+    // Fold: strongly ordered mix of the loaded word and the data
+    // pointer (absolute address). Implemented with IMAD-form adds on the
+    // device so the FMA and ALU pipes stay balanced (the iteration
+    // counter is folded once per pass, see [`iter_fold`]).
+    let s2 = step_s2(k);
+    let addr = region_base.wrapping_add(idx.wrapping_mul(4));
+    let t0 = state.c[j].rotate_left(s2 as u32);
+    let t1 = d ^ state.c[jprev];
+    state.c[jnext] = state.c[jnext].wrapping_add(addr);
+    state.c[j] = t0.wrapping_add(t1);
+    let _ = iter;
+}
+
+/// Folds the iteration counter into the state once per outer loop pass
+/// (paper §6.5 step 4: "the current iteration index … incorporated into
+/// the checksum").
+pub fn iter_fold(state: &mut ThreadState, iter: u32) {
+    state.c[2] = state.c[2].wrapping_add(iter);
+}
+
+/// Applies the self-modifying-code pair `C0 += C0 >> (n & 31)` (paper
+/// §6.5 step 5).
+pub fn smc_update(state: &mut ThreadState, n: u32) {
+    let t = state.c[0] >> (n & 31);
+    state.c[0] = state.c[0].wrapping_add(t);
+}
+
+/// Deterministic fill byte stream for the region tail (verifier-chosen).
+pub fn fill_bytes(seed: u32, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0u32;
+    while out.len() < len {
+        let w = splitmix32(seed ^ i.wrapping_mul(0x01F3_51D7));
+        out.extend_from_slice(&w.to_le_bytes());
+        i = i.wrapping_add(1);
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_state_depends_on_challenge_and_gtid() {
+        let a = init_state(&[1, 2, 3, 4], 0);
+        let b = init_state(&[1, 2, 3, 4], 1);
+        let c = init_state(&[9, 2, 3, 4], 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // All 8 registers initialized distinctly.
+        let mut regs = a.c.to_vec();
+        regs.dedup();
+        assert_eq!(regs.len(), NUM_C);
+    }
+
+    #[test]
+    fn step_is_deterministic_and_sensitive() {
+        let region = fill_bytes(7, 4096);
+        let ch = [10, 20, 30, 40];
+        let mut s1 = init_state(&ch, 3);
+        let mut s2 = init_state(&ch, 3);
+        for k in 0..16 {
+            step_with_pattern(&mut s1, &region, 0x4000, k, 0, 4);
+            step_with_pattern(&mut s2, &region, 0x4000, k, 0, 4);
+        }
+        assert_eq!(s1, s2);
+
+        // Tampering the region changes the checksum with high probability
+        // once the traversal hits a modified word; flip a bit in every
+        // 8th word so 64 iterations of 16 steps hit one almost surely.
+        let mut tampered = region.clone();
+        for w in (0..tampered.len()).step_by(32) {
+            tampered[w] ^= 1;
+        }
+        let mut s3 = init_state(&ch, 3);
+        for iter in 0..64 {
+            for k in 0..16 {
+                step_with_pattern(&mut s3, &tampered, 0x4000, k, iter, 4);
+            }
+        }
+        let mut s4 = init_state(&ch, 3);
+        for iter in 0..64 {
+            for k in 0..16 {
+                step_with_pattern(&mut s4, &region, 0x4000, k, iter, 4);
+            }
+        }
+        assert_ne!(s3, s4);
+    }
+
+    #[test]
+    fn step_order_matters() {
+        // Strong ordering: swapping two steps changes the result.
+        let region = fill_bytes(7, 4096);
+        let ch = [1, 2, 3, 4];
+        let mut a = init_state(&ch, 0);
+        step_with_pattern(&mut a, &region, 0, 0, 0, 2);
+        step_with_pattern(&mut a, &region, 0, 1, 0, 2);
+        let mut b = init_state(&ch, 0);
+        step_with_pattern(&mut b, &region, 0, 1, 0, 2);
+        step_with_pattern(&mut b, &region, 0, 0, 0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn smc_update_semantics() {
+        let mut s = ThreadState { c: [0x80; NUM_C] };
+        smc_update(&mut s, 3);
+        assert_eq!(s.c[0], 0x80 + (0x80 >> 3));
+        // Shift is masked to 5 bits.
+        let mut s2 = ThreadState { c: [0x80; NUM_C] };
+        smc_update(&mut s2, 35);
+        assert_eq!(s2.c[0], 0x80 + (0x80 >> 3));
+    }
+
+    #[test]
+    fn fill_is_deterministic_per_seed() {
+        assert_eq!(fill_bytes(1, 100), fill_bytes(1, 100));
+        assert_ne!(fill_bytes(1, 100), fill_bytes(2, 100));
+        assert_eq!(fill_bytes(1, 33).len(), 33);
+    }
+
+    #[test]
+    fn step_constants_vary() {
+        assert_ne!(step_kmul(0), step_kmul(1));
+        assert_eq!(step_kmul(5) % 2, 1, "multiplier must be odd");
+        assert!((1..=31).contains(&step_s1(17)));
+        assert!((1..=31).contains(&step_s2(17)));
+    }
+}

@@ -1,0 +1,74 @@
+//! A tour of the instruction generation framework (paper §6.1–§6.2):
+//! assemble SASS-like text, inspect the 128-bit encoding and its control
+//! information, patch an immediate the way self-modifying code does, and
+//! emit the same program as PTX-like and CUDA-C-like text.
+//!
+//! ```text
+//! cargo run --release --example microcode_tour
+//! ```
+
+use sage_isa::{emit, encode, Program};
+use sage_vf::{build_vf, VfParams};
+
+fn main() {
+    // 1. The paper's running example (§6.2), in its own syntax.
+    let src = "\
+B------|R-|W0|Y0|S01| LDG.E R8, [R2+0x0] ;
+B0-----|R-|W-|Y1|S01| IMAD R28, R28, 0x800, R28 ;
+B------|R-|W-|Y0|S02| LEA.HI R9, R8, R28, 0x7 ;
+B------|R-|W-|Y0|S01| EXIT ;
+";
+    let prog = Program::assemble(src).unwrap();
+    println!("assembled {} instructions\n", prog.len());
+
+    // 2. Binary encoding (Fig. 6): 128 bits per instruction, scheduling
+    //    control information included.
+    for (i, insn) in prog.insns.iter().enumerate() {
+        let word = encode::encode(insn);
+        println!("#{i}: {insn}");
+        println!("      encoding: {word:032x}");
+        println!(
+            "      ctrl: wait={:06b} rd={:?} wr={:?} yield={} stall={}",
+            insn.ctrl.wait_mask,
+            insn.ctrl.read_bar,
+            insn.ctrl.write_bar,
+            insn.ctrl.yield_flag as u8,
+            insn.ctrl.stall
+        );
+    }
+
+    // 3. Patch the IMAD's immediate in the raw bytes — exactly what the
+    //    self-modifying checksum code does with an STG (§6.5 step 5).
+    let mut bytes = prog.encode();
+    let imad_off = 16; // second instruction
+    let mut word = [0u8; 16];
+    word.copy_from_slice(&bytes[imad_off..imad_off + 16]);
+    println!(
+        "\nIMAD immediate before patch: {:#x}",
+        encode::read_immediate_bytes(&word)
+    );
+    encode::patch_immediate_bytes(&mut word, 0x1F);
+    bytes[imad_off..imad_off + 16].copy_from_slice(&word);
+    let patched = Program::decode(&bytes).unwrap();
+    println!("after patch:  {}", patched.insns[1]);
+
+    // 4. The framework's other targets (§6.2): PTX-like and CUDA-like.
+    println!("\n--- PTX-like emission ---\n{}", emit::to_ptx(&prog));
+    println!("--- CUDA-C-like emission ---\n{}", emit::to_cuda(&prog));
+
+    // 5. A peek at real generated VF microcode: the first checksum step.
+    let build = build_vf(&VfParams::test_tiny(), 0x4000, 7).unwrap();
+    let l = build.layout;
+    let loop_bytes =
+        &build.image[l.ref_loop_off as usize..(l.ref_loop_off + 16 * 14) as usize];
+    let head = Program::decode(loop_bytes).unwrap();
+    println!("--- first checksum step of a generated VF ---");
+    print!("{}", head.disassemble());
+    println!(
+        "\n(loop: {} instructions total; self-modifying immediate at index {:?})",
+        build.loop_instructions, build.smc_insn_index
+    );
+
+    // 6. The section map of the whole device image.
+    println!("\n--- VF image section map ---\n{}", build.describe());
+}

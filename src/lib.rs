@@ -1,0 +1,24 @@
+//! Workspace umbrella for the SAGE reproduction: re-exports every crate
+//! so the examples and cross-crate integration tests have one import
+//! surface.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! - [`isa`] — the SASS-like instruction set and generation framework,
+//! - [`gpu`] — the Ampere-like GPU simulator,
+//! - [`crypto`] — from-scratch SHA-256 / AES / CMAC / DH,
+//! - [`trng`] — the race-condition TRNG and its statistical battery,
+//! - [`sgx`] — the enclave simulator,
+//! - [`vf`] — the verification function (codegen + replay),
+//! - [`core`] — the SAGE protocol (sessions, verifier, SAKE, channel,
+//!   user kernels),
+//! - [`attacks`] — the §8 adversary library.
+
+pub use sage as core;
+pub use sage_attacks as attacks;
+pub use sage_crypto as crypto;
+pub use sage_gpu_sim as gpu;
+pub use sage_isa as isa;
+pub use sage_sgx_sim as sgx;
+pub use sage_trng as trng;
+pub use sage_vf as vf;
