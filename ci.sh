@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 verify, simulator-perf smoke.
+#
+# Everything here runs offline (the workspace is dependency-free by
+# design — see DESIGN.md §4.5) and must pass before merge.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy -q --release --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> simperf smoke (1 iteration, 1 repeat, bit-exactness cross-checked)"
+cargo run -q --release -p sage-bench --bin simperf -- \
+    --iterations 1 --repeats 1 --out /tmp/BENCH_sim_smoke.json
+
+echo "ci.sh: all gates passed"

@@ -36,7 +36,12 @@ pub fn naive_tamper(
 
     let ch = challenge(params.grid_blocks);
     let threshold = u64::MAX; // value detection only in this variant
-    Ok(crate::classify_round(&mut session, &ch, expected, threshold))
+    Ok(crate::classify_round(
+        &mut session,
+        &ch,
+        expected,
+        threshold,
+    ))
 }
 
 /// Models the "perfect monitor" variant: the adversary redirects every

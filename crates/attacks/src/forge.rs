@@ -56,7 +56,9 @@ pub fn replay_attack(
     let dev = Device::new(cfg.clone());
     let mut session = GpuSession::install(dev, params, 0x4E94)?;
     let result_addr = session.build().layout.result_addr();
-    session.dev.install_bus_tap(Box::new(ReplayTap::new(result_addr)));
+    session
+        .dev
+        .install_bus_tap(Box::new(ReplayTap::new(result_addr)));
 
     let mut outcomes = Vec::with_capacity(rounds);
     for round in 0..rounds {
@@ -64,12 +66,7 @@ pub fn replay_attack(
             .map(|b| [(round as u8) ^ (b as u8) ^ 0x17; 16])
             .collect();
         let expected = expected_checksum(session.build(), &ch);
-        outcomes.push(crate::classify_round(
-            &mut session,
-            &ch,
-            expected,
-            u64::MAX,
-        ));
+        outcomes.push(crate::classify_round(&mut session, &ch, expected, u64::MAX));
     }
     Ok(outcomes)
 }

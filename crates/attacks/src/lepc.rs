@@ -7,9 +7,9 @@
 //! count, zero overhead. This module demonstrates that equivalence
 //! executably.
 
-use sage_gpu_sim::{Device, LaunchParams, SimError};
 #[cfg(test)]
 use sage_gpu_sim::DeviceConfig;
+use sage_gpu_sim::{Device, LaunchParams, SimError};
 use sage_isa::{CtrlInfo, Operand, Program, ProgramBuilder, Reg};
 
 /// Builds a toy "PC-including checksum": loads the PC at a known point

@@ -16,9 +16,9 @@
 
 use sage::{GpuSession, SageError};
 use sage_gpu_sim::{BusTap, Device, DeviceConfig, LaunchParams};
-use sage_isa::{encode, Opcode, INSN_BYTES};
 #[cfg(test)]
 use sage_isa::Operand;
+use sage_isa::{encode, Opcode, INSN_BYTES};
 use sage_vf::{expected_checksum, VfParams};
 
 use crate::Detection;
@@ -91,12 +91,7 @@ pub fn variant_b(cfg: &DeviceConfig, params: &VfParams) -> Result<Detection, Sag
     }));
 
     let ch = challenge(params.grid_blocks);
-    Ok(crate::classify_round(
-        &mut session,
-        &ch,
-        expected,
-        u64::MAX,
-    ))
+    Ok(crate::classify_round(&mut session, &ch, expected, u64::MAX))
 }
 
 /// Relocation info produced by [`relocate_image`].
@@ -183,9 +178,7 @@ pub fn deep_copy_attack(
     session.dev.memcpy_h2d(layout.result_addr(), &[0u8; 32])?;
     session.dev.take_bus_cycles();
     for (b, c) in ch.iter().enumerate() {
-        session
-            .dev
-            .memcpy_h2d(layout.challenge_addr(b as u32), c)?;
+        session.dev.memcpy_h2d(layout.challenge_addr(b as u32), c)?;
     }
     let (report, _) = session.dev.run_single(LaunchParams {
         ctx: session.ctx,

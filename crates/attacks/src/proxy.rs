@@ -33,7 +33,9 @@ pub fn proxy_attack(
     params: &VfParams,
     network_latency: u64,
 ) -> Result<ProxyOutcome, SageError> {
-    let ch: Vec<[u8; 16]> = (0..params.grid_blocks).map(|b| [b as u8 ^ 0x99; 16]).collect();
+    let ch: Vec<[u8; 16]> = (0..params.grid_blocks)
+        .map(|b| [b as u8 ^ 0x99; 16])
+        .collect();
 
     // Calibration on the genuine device.
     let dev = Device::new(genuine_cfg.clone());

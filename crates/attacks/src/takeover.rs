@@ -44,7 +44,9 @@ pub fn takeover_round(
 ) -> Result<(Detection, u64, u64), SageError> {
     let dev = Device::new(cfg.clone());
     let mut session = GpuSession::install(dev, params, 0x7A4E)?;
-    let ch: Vec<[u8; 16]> = (0..params.grid_blocks).map(|b| [b as u8 | 0x40; 16]).collect();
+    let ch: Vec<[u8; 16]> = (0..params.grid_blocks)
+        .map(|b| [b as u8 | 0x40; 16])
+        .collect();
     let expected = expected_checksum(session.build(), &ch);
 
     // Honest calibration.
@@ -99,8 +101,7 @@ pub fn takeover_round(
     })?;
     let report = session.dev.run()?;
     let raw = session.dev.memcpy_d2h(layout.result_addr(), 32)?;
-    let measured =
-        session.dev.take_bus_cycles() + report.launches[vf_id].completion_cycle;
+    let measured = session.dev.take_bus_cycles() + report.launches[vf_id].completion_cycle;
 
     let mut got = [0u32; 8];
     for (j, cell) in got.iter_mut().enumerate() {

@@ -27,9 +27,7 @@ fn every_value_attack_breaks_the_checksum() {
     );
     // Replay of a stale checksum against fresh challenges.
     let outcomes = forge::replay_attack(&cfg, &params(), 3).unwrap();
-    assert!(outcomes[1..]
-        .iter()
-        .all(|&o| o == Detection::WrongChecksum));
+    assert!(outcomes[1..].iter().all(|&o| o == Detection::WrongChecksum));
 }
 
 #[test]
@@ -37,8 +35,7 @@ fn every_timing_attack_breaks_the_threshold() {
     // Resource takeover.
     let mut p = params();
     p.iterations = 8;
-    let (det, _, _) =
-        takeover::takeover_round(&DeviceConfig::sim_tiny(), &p, 3000, 2).unwrap();
+    let (det, _, _) = takeover::takeover_round(&DeviceConfig::sim_tiny(), &p, 3000, 2).unwrap();
     assert_eq!(det, Detection::TooSlow);
 
     // Remote proxy.
@@ -65,10 +62,7 @@ fn image_audit_pinpoints_the_tamper_after_detection() {
         .poke(layout.base + layout.epilog_off + 32, &[0x13])
         .unwrap();
 
-    let dump = session
-        .dev
-        .peek(layout.base, layout.total_bytes)
-        .unwrap();
+    let dump = session.dev.peek(layout.base, layout.total_bytes).unwrap();
     let findings = session.build().audit_image(&dump);
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert!(findings[0].contains("epilog"), "{findings:?}");

@@ -23,7 +23,10 @@ fn main() {
         p.iterations = 25;
         p
     };
-    eprintln!("ablation sweeps on {} ({} iterations each)…", cfg.name, base.iterations);
+    eprintln!(
+        "ablation sweeps on {} ({} iterations each)…",
+        cfg.name, base.iterations
+    );
 
     // 1. Pattern length sweep.
     let mut rows = Vec::new();
@@ -75,21 +78,30 @@ fn main() {
         let m = measure(&cfg, &p, "smc-off", 2).expect("run");
         rows.push((
             "off (410-insn loop)".to_string(),
-            vec![format!("{:.0}", m.t_avg()), format!("{:.0}%", m.utilization * 100.0)],
+            vec![
+                format!("{:.0}", m.t_avg()),
+                format!("{:.0}%", m.utilization * 100.0),
+            ],
         ));
         let mut p = experiments::exp5_cctl(&cfg);
         p.iterations = 10;
         let m = measure(&cfg, &p, "smc-cctl", 2).expect("run");
         rows.push((
             "CCTL (416-insn loop)".to_string(),
-            vec![format!("{:.0}", m.t_avg()), format!("{:.0}%", m.utilization * 100.0)],
+            vec![
+                format!("{:.0}", m.t_avg()),
+                format!("{:.0}%", m.utilization * 100.0),
+            ],
         ));
         let mut p = experiments::exp3(&cfg);
         p.iterations = 2;
         let m = measure(&cfg, &p, "smc-evict", 2).expect("run");
         rows.push((
             "evict (8245-insn loop)".to_string(),
-            vec![format!("{:.0}", m.t_avg()), format!("{:.0}%", m.utilization * 100.0)],
+            vec![
+                format!("{:.0}", m.t_avg()),
+                format!("{:.0}%", m.utilization * 100.0),
+            ],
         ));
     }
     print_table(

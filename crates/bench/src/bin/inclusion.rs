@@ -6,9 +6,7 @@
 //! and the coverage of the bench VF configurations.
 
 use sage_bench::{bench_device, experiments, print_table};
-use sage_vf::coverage::{
-    monte_carlo_uncovered, never_included_probability, total_accesses,
-};
+use sage_vf::coverage::{monte_carlo_uncovered, never_included_probability, total_accesses};
 
 fn main() {
     println!("=== §7.3: inclusion probability ===\n");
@@ -30,7 +28,10 @@ fn main() {
     for accesses in [100_000u64, 500_000, 1_000_000, 2_000_000, 5_000_000] {
         rows.push((
             format!("{accesses} accesses"),
-            vec![format!("{:.6}", never_included_probability(words, accesses))],
+            vec![format!(
+                "{:.6}",
+                never_included_probability(words, accesses)
+            )],
         ));
     }
     print_table("analytic sweep (524288 words)", &["P(never)".into()], &rows);

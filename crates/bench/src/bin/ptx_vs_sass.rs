@@ -9,10 +9,15 @@ fn main() {
     let cfg = bench_device();
     eprintln!("running §7.1 schedule comparison on {} …", cfg.name);
 
-    let opt = measure(&cfg, &experiments::exp1(&cfg), "optimized microcode", 4)
-        .expect("optimized run");
-    let naive = measure(&cfg, &experiments::exp1_naive(&cfg), "compiler-style (PTX)", 3)
-        .expect("naive run");
+    let opt =
+        measure(&cfg, &experiments::exp1(&cfg), "optimized microcode", 4).expect("optimized run");
+    let naive = measure(
+        &cfg,
+        &experiments::exp1_naive(&cfg),
+        "compiler-style (PTX)",
+        3,
+    )
+    .expect("naive run");
 
     let rows = vec![
         (

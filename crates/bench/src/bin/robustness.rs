@@ -56,7 +56,10 @@ fn main() {
         &rows,
     );
 
-    println!("\nthreshold T_avg + 2.5 sigma = {} cycles", calib.threshold());
+    println!(
+        "\nthreshold T_avg + 2.5 sigma = {} cycles",
+        calib.threshold()
+    );
     println!(
         "adversarial T_min = {t_min} cycles → {}",
         if t_min > calib.threshold() {

@@ -18,8 +18,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8usize);
 
-    eprintln!("running Table 1 experiments on {} ({} SMs, {runs} runs each)…",
-        cfg.name, cfg.num_sms);
+    eprintln!(
+        "running Table 1 experiments on {} ({} SMs, {runs} runs each)…",
+        cfg.name, cfg.num_sms
+    );
 
     let exps: Vec<(&str, sage_vf::VfParams, usize)> = vec![
         ("1", experiments::exp1(&cfg), runs),
@@ -71,7 +73,9 @@ fn main() {
     ));
     rows.push((
         "verif plain [s]".into(),
-        ms.iter().map(|m| format!("{:.3}", m.verify_seconds)).collect(),
+        ms.iter()
+            .map(|m| format!("{:.3}", m.verify_seconds))
+            .collect(),
     ));
     rows.push((
         "verif SGX [s]".into(),

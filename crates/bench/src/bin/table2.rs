@@ -13,9 +13,14 @@ use sage_gpu_sim::{Device, LaunchParams};
 use sage_vf::expected_checksum;
 
 fn run_matmul(session: &mut GpuSession, n: usize) -> u64 {
-    let bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_bits().to_le_bytes()).collect() };
-    let a: Vec<f32> = (0..n * n).map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.25).collect();
-    let b: Vec<f32> = (0..n * n).map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.5).collect();
+    let bytes =
+        |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_bits().to_le_bytes()).collect() };
+    let a: Vec<f32> = (0..n * n)
+        .map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.25)
+        .collect();
+    let b: Vec<f32> = (0..n * n)
+        .map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.5)
+        .collect();
     let abuf = session.dev.alloc((4 * n * n) as u32).unwrap();
     let bbuf = session.dev.alloc((4 * n * n) as u32).unwrap();
     let cbuf = session.dev.alloc((4 * n * n) as u32).unwrap();
@@ -72,15 +77,22 @@ fn main() {
                 base_cycles.to_string(),
                 verif_cycles.to_string(),
                 sage_cycles.to_string(),
-                format!("{:.2}%", 100.0 * (sage_cycles as f64 - base_cycles as f64).abs()
-                    / base_cycles as f64),
+                format!(
+                    "{:.2}%",
+                    100.0 * (sage_cycles as f64 - base_cycles as f64).abs() / base_cycles as f64
+                ),
             ],
         ));
     }
 
     print_table(
         "Table 2: user-kernel execution (cycles)",
-        &["Base".into(), "Verif.".into(), "SAGE".into(), "|SAGE-Base|".into()],
+        &[
+            "Base".into(),
+            "Verif.".into(),
+            "SAGE".into(),
+            "|SAGE-Base|".into(),
+        ],
         &rows,
     );
     println!(

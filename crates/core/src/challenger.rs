@@ -119,11 +119,12 @@ mod tests {
         let mut session = GpuSession::install(dev, &params, 0xC4A1).unwrap();
         let platform = SgxPlatform::new([3u8; 16]);
         let enclave = platform.launch(b"sage-verifier-v1", &mut entropy(2));
-        let mut verifier =
-            Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
+        let mut verifier = Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
         verifier.calibrate(&mut session, 5).unwrap();
         let mut agent = DeviceAgent::new(Box::new(entropy(6)));
-        let outcome = verifier.establish_key(&mut session, &mut agent, None).unwrap();
+        let outcome = verifier
+            .establish_key(&mut session, &mut agent, None)
+            .unwrap();
         (verifier, outcome, platform)
     }
 

@@ -53,7 +53,7 @@ pub fn matmul_kernel() -> Program {
     b.ldg(Reg(12), Reg(9), 0); // A[row][k]
     b.ctrl(CtrlInfo::stall(1).with_write_bar(1));
     b.ldg(Reg(13), Reg(10), 0); // B[k][col]
-    // Bump pointers while the loads are in flight.
+                                // Bump pointers while the loads are in flight.
     b.ctrl(s4());
     b.iadd3(Reg(9), Reg(9), Operand::Imm(4), Reg::RZ);
     b.ctrl(s4());
@@ -114,9 +114,8 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::sim_small());
         dev.set_hazard_check(true);
         let ctx = dev.create_context();
-        let bytes = |v: &[f32]| -> Vec<u8> {
-            v.iter().flat_map(|w| w.to_bits().to_le_bytes()).collect()
-        };
+        let bytes =
+            |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|w| w.to_bits().to_le_bytes()).collect() };
         let abuf = dev.alloc((4 * n * n) as u32).unwrap();
         let bbuf = dev.alloc((4 * n * n) as u32).unwrap();
         let cbuf = dev.alloc((4 * n * n) as u32).unwrap();
@@ -144,8 +143,12 @@ mod tests {
     }
 
     fn test_matrices(n: usize) -> (Vec<f32>, Vec<f32>) {
-        let a: Vec<f32> = (0..n * n).map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.25).collect();
-        let b: Vec<f32> = (0..n * n).map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.5).collect();
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.25)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.5)
+            .collect();
         (a, b)
     }
 

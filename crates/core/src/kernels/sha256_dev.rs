@@ -18,9 +18,7 @@
 //! the stores are idempotent.
 
 use sage_crypto::sha256::{H0, K};
-use sage_isa::{
-    op::lut, CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg,
-};
+use sage_isa::{op::lut, CmpOp, CtrlInfo, Operand, Pred, PredReg, Program, ProgramBuilder, Reg};
 
 const R_MSG: Reg = Reg(1); // current block pointer
 const R_NBLK: Reg = Reg(2); // blocks remaining
@@ -138,7 +136,7 @@ pub fn sha256_kernel() -> Program {
     }
 
     // 64 unrolled rounds.
-    for r in 0..64usize {
+    for (r, &k) in K.iter().enumerate() {
         let (a, bb, cc, d, e, f, g, h) = (
             state_reg(0, r),
             state_reg(1, r),
@@ -188,7 +186,7 @@ pub fn sha256_kernel() -> Program {
         b.ctrl(s4());
         b.iadd3(R_T1, R_T1, R_T2.into(), h);
         b.ctrl(s4());
-        b.mov(R_K, Operand::Imm(K[r]));
+        b.mov(R_K, Operand::Imm(k));
         b.ctrl(s4());
         b.iadd3(R_T1, R_T1, R_K.into(), w_reg(r));
         // S0(a) into T2.

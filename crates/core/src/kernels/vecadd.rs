@@ -122,8 +122,8 @@ mod tests {
         let a: Vec<u32> = (0..64).map(|i| (i as f32 * 0.5).to_bits()).collect();
         let b: Vec<u32> = (0..64).map(|i| (i as f32 * 0.25).to_bits()).collect();
         let out = run(Elem::F32, &a, &b);
-        for i in 0..64 {
-            assert_eq!(f32::from_bits(out[i]), i as f32 * 0.75, "element {i}");
+        for (i, &word) in out.iter().enumerate() {
+            assert_eq!(f32::from_bits(word), i as f32 * 0.75, "element {i}");
         }
     }
 

@@ -166,12 +166,8 @@ mod tests {
     #[test]
     fn power_score_orders_presets() {
         assert!(power_score(&DeviceConfig::a100()) > power_score(&DeviceConfig::sim_large()));
-        assert!(
-            power_score(&DeviceConfig::sim_large()) > power_score(&DeviceConfig::sim_small())
-        );
-        assert!(
-            power_score(&DeviceConfig::sim_small()) > power_score(&DeviceConfig::sim_tiny())
-        );
+        assert!(power_score(&DeviceConfig::sim_large()) > power_score(&DeviceConfig::sim_small()));
+        assert!(power_score(&DeviceConfig::sim_small()) > power_score(&DeviceConfig::sim_tiny()));
     }
 
     #[test]

@@ -89,11 +89,7 @@ pub fn derive_challenges(v2: &[u8; 32], blocks: u32) -> Vec<[u8; 16]> {
     let iv: [u8; 16] = v2[16..].try_into().expect("16 bytes");
     let mut ctr = AesCtr::new(&key, &iv);
     (0..blocks)
-        .map(|_| {
-            ctr.keystream_bytes(16)
-                .try_into()
-                .expect("16 bytes")
-        })
+        .map(|_| ctr.keystream_bytes(16).try_into().expect("16 bytes"))
         .collect()
 }
 
@@ -214,9 +210,10 @@ impl SakeVerifier {
             return Err(SageError::ChainFailure("w0 does not hash to w1"));
         }
         // Now that w0 is known, verify the deferred MAC over k.
-        let k = self.k.clone().ok_or_else(|| {
-            SageError::Protocol("missing device public value".into())
-        })?;
+        let k = self
+            .k
+            .clone()
+            .ok_or_else(|| SageError::Protocol("missing device public value".into()))?;
         let mac_k = self.mac_k.expect("set with k");
         if !cmac_verify(&mac_key(b"dh-public", &w0), &k, &mac_k) {
             return Err(SageError::MacFailure("device DH public value"));

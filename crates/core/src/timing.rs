@@ -132,7 +132,9 @@ mod tests {
         // check the 2.5σ one-sided tail is near 0.6% (Φ(2.5) ≈ 0.9938).
         let mut state = 0x1234_5678_9ABC_DEF0u64;
         let mut next_uniform = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut draw = || {
@@ -154,9 +156,11 @@ mod tests {
 
     #[test]
     fn verification_stats() {
-        let mut s = VerificationStats::default();
-        s.accepted = 99;
-        s.timing_rejects = 1;
+        let s = VerificationStats {
+            accepted: 99,
+            timing_rejects: 1,
+            ..Default::default()
+        };
         assert!((s.timing_reject_rate() - 0.01).abs() < 1e-9);
         assert_eq!(VerificationStats::default().timing_reject_rate(), 0.0);
     }

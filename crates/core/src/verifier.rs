@@ -120,9 +120,8 @@ impl Verifier {
         if blob.len() != 32 {
             return false;
         }
-        let f = |r: core::ops::Range<usize>| {
-            f64::from_le_bytes(blob[r].try_into().expect("8 bytes"))
-        };
+        let f =
+            |r: core::ops::Range<usize>| f64::from_le_bytes(blob[r].try_into().expect("8 bytes"));
         let runs = u64::from_le_bytes(blob[24..32].try_into().expect("8 bytes"));
         self.calibration = Some(Calibration {
             t_avg: f(0..8),

@@ -32,7 +32,9 @@ fn checksum_round_through_channels() {
 
     // Upload image + challenges, launch, run, read back — all as
     // commands.
-    let challenges: Vec<[u8; 16]> = (0..params.grid_blocks).map(|b| [b as u8 ^ 0x5C; 16]).collect();
+    let challenges: Vec<[u8; 16]> = (0..params.grid_blocks)
+        .map(|b| [b as u8 ^ 0x5C; 16])
+        .collect();
     cp.submit(
         ch,
         Command::MemcpyH2D {

@@ -70,9 +70,8 @@ fn full_protocol_happy_path() {
     let n = 32usize;
     let a: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 - 6.0).collect();
     let b: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32 * 0.5).collect();
-    let to_bytes = |v: &[f32]| -> Vec<u8> {
-        v.iter().flat_map(|x| x.to_bits().to_le_bytes()).collect()
-    };
+    let to_bytes =
+        |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_bits().to_le_bytes()).collect() };
 
     let abuf = session.dev.alloc((4 * n * n) as u32).unwrap();
     let bbuf = session.dev.alloc((4 * n * n) as u32).unwrap();
@@ -133,7 +132,10 @@ fn tampered_kernel_fails_authenticity_check() {
     let device_hash = agent.measure_kernel(&mut session, &r, &tampered).unwrap();
     let mut expect_input = r.to_vec();
     expect_input.extend_from_slice(&genuine);
-    assert_ne!(device_hash.to_vec(), sage_crypto::sha256(&expect_input).to_vec());
+    assert_ne!(
+        device_hash.to_vec(),
+        sage_crypto::sha256(&expect_input).to_vec()
+    );
 }
 
 #[test]

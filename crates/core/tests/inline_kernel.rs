@@ -14,7 +14,9 @@ fn params() -> VfParams {
 }
 
 fn challenges(n: u32) -> Vec<[u8; 16]> {
-    (0..n).map(|b| [0x21u8.wrapping_add(b as u8 * 7); 16]).collect()
+    (0..n)
+        .map(|b| [0x21u8.wrapping_add(b as u8 * 7); 16])
+        .collect()
 }
 
 #[test]
@@ -22,8 +24,7 @@ fn inlined_kernel_runs_after_checksum_in_one_launch() {
     let kernel = vecadd_kernel(Elem::U32);
     let dev = Device::new(DeviceConfig::sim_tiny());
     let p = params();
-    let mut session =
-        GpuSession::install_inline(dev, &p, 0x10C7, Some(&kernel)).unwrap();
+    let mut session = GpuSession::install_inline(dev, &p, 0x10C7, Some(&kernel)).unwrap();
     assert!(session.build().layout.user_kernel_addr().is_some());
 
     // Input/output buffers for the inlined vecadd; geometry comes from
@@ -74,13 +75,12 @@ fn tampering_the_inlined_kernel_breaks_the_checksum() {
     // (e.g. to skip the range guard). Overwrite a whole word in the user
     // area.
     let off = build.layout.user_off as usize + 6 * 16;
-    let nop = sage_isa::encode::encode_bytes(&sage_isa::Instruction::new(
-        sage_isa::Opcode::Nop,
-    ));
+    let nop = sage_isa::encode::encode_bytes(&sage_isa::Instruction::new(sage_isa::Opcode::Nop));
     image[off..off + 16].copy_from_slice(&nop);
     dev.memcpy_h2d(base, &image).unwrap();
     for (b, c) in ch.iter().enumerate() {
-        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), c).unwrap();
+        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), c)
+            .unwrap();
     }
     dev.run_single(sage_gpu_sim::LaunchParams {
         ctx,
@@ -97,7 +97,10 @@ fn tampering_the_inlined_kernel_breaks_the_checksum() {
     for (j, cell) in got.iter_mut().enumerate() {
         *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().unwrap());
     }
-    assert_ne!(got, expected, "kernel tampering must surface in the checksum");
+    assert_ne!(
+        got, expected,
+        "kernel tampering must surface in the checksum"
+    );
 }
 
 #[test]

@@ -98,7 +98,7 @@ impl BigUint {
         let limb = i / 32;
         self.limbs
             .get(limb)
-            .map_or(false, |&l| l & (1 << (i % 32)) != 0)
+            .is_some_and(|&l| l & (1 << (i % 32)) != 0)
     }
 
     /// Comparison.
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not fit")]
     fn padded_too_small_panics() {
-        let _ = big(0x0102_0304_05).to_bytes_be_padded(4);
+        let _ = big(0x01_0203_0405).to_bytes_be_padded(4);
     }
 
     #[test]

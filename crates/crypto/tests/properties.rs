@@ -1,6 +1,11 @@
 //! Property-based tests of the crypto substrate: round trips, algebraic
 //! identities against wide-integer references, and tamper detection.
 
+// Entire suite gated: `proptest` is not vendored in this dependency-free
+// tree. Build with `--features proptest` after re-adding the dev-dependency
+// locally to run it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use sage_crypto::{
     chain::HashChain,

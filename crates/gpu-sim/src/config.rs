@@ -215,16 +215,14 @@ impl DeviceConfig {
         let regs_per_warp =
             (regs_per_thread * 32).div_ceil(self.reg_granularity) * self.reg_granularity;
         let by_threads = self.max_threads_per_sm / (warps * 32);
-        let by_regs = if regs_per_warp == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.regs_per_sm / (regs_per_warp * warps)
-        };
-        let by_smem = if smem == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.smem_per_sm / smem
-        };
+        let by_regs = self
+            .regs_per_sm
+            .checked_div(regs_per_warp * warps)
+            .unwrap_or(self.max_blocks_per_sm);
+        let by_smem = self
+            .smem_per_sm
+            .checked_div(smem)
+            .unwrap_or(self.max_blocks_per_sm);
         by_threads
             .min(by_regs)
             .min(by_smem)

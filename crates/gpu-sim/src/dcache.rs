@@ -49,10 +49,26 @@ impl DataCacheConfig {
     }
 }
 
+/// Sentinel for an empty way. Line addresses are always aligned to the
+/// (power-of-two, > 1) line size, so an all-ones tag can never collide.
+const EMPTY: u32 = u32::MAX;
+
 /// Tag-only set-associative LRU level.
+///
+/// Each way is one packed `u64` entry — last-use stamp in the high half,
+/// line tag in the low half — so the tag scan and the victim scan touch
+/// the same host cache line (the model's L2 tag table is megabytes and
+/// every probe of it is a host cache miss; splitting tags and stamps
+/// into two arrays costs a second miss per set). Recency is tracked by
+/// stamp update rather than by reordering entries, which is an identical
+/// hit/miss/eviction sequence to a move-to-front list: the LRU victim is
+/// exactly the minimum stamp. Stamps are 32-bit; when the tick counter
+/// saturates, all sets are re-ranked in place (order-preserving, so the
+/// eviction sequence is unchanged).
 #[derive(Clone, Debug)]
 struct TagLevel {
-    sets: Vec<Vec<u32>>, // MRU last
+    entries: Vec<u64>,
+    tick: u32,
     ways: usize,
     set_mask: u32,
     line_shift: u32,
@@ -60,10 +76,12 @@ struct TagLevel {
 
 impl TagLevel {
     fn new(bytes: u32, line: u32, ways: usize) -> TagLevel {
+        debug_assert!(line.is_power_of_two() && line > 1);
         let lines = (bytes / line).max(1) as usize;
         let sets = (lines / ways).max(1).next_power_of_two();
         TagLevel {
-            sets: vec![Vec::with_capacity(ways); sets],
+            entries: vec![EMPTY as u64; sets * ways],
+            tick: 0,
             ways,
             set_mask: sets as u32 - 1,
             line_shift: line.trailing_zeros(),
@@ -74,21 +92,64 @@ impl TagLevel {
         ((line_addr >> self.line_shift) & self.set_mask) as usize
     }
 
+    /// Prefetches the host cache lines holding the set of `line_addr`
+    /// (first and last way span the whole set). No simulated effect.
+    fn prefetch_set(&self, line_addr: u32) {
+        let base = self.set_of(line_addr) * self.ways;
+        crate::host::prefetch_read(&self.entries[base]);
+        crate::host::prefetch_read(&self.entries[base + self.ways - 1]);
+    }
+
     /// Probes and installs on miss; returns whether it was a hit.
     fn access(&mut self, line_addr: u32) -> bool {
-        let set = self.set_of(line_addr);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line_addr) {
-            ways.remove(pos);
-            ways.push(line_addr);
-            true
-        } else {
-            if ways.len() >= self.ways {
-                ways.remove(0);
-            }
-            ways.push(line_addr);
-            false
+        if self.tick == u32::MAX {
+            self.renormalize();
         }
+        self.tick += 1;
+        let stamped = ((self.tick as u64) << 32) | line_addr as u64;
+        let base = self.set_of(line_addr) * self.ways;
+        let set = &mut self.entries[base..base + self.ways];
+        // Hit or free way first. This level has no invalidate, so free
+        // ways are always packed behind the occupied ones.
+        let mut slot = None;
+        for (i, &e) in set.iter().enumerate() {
+            let tag = e as u32;
+            if tag == line_addr {
+                set[i] = stamped;
+                return true;
+            }
+            if tag == EMPTY {
+                slot = Some(i);
+                break;
+            }
+        }
+        let i = slot.unwrap_or_else(|| {
+            // Miss, set full: evict the least recently used way.
+            let mut victim = 0;
+            for i in 1..set.len() {
+                if set[i] >> 32 < set[victim] >> 32 {
+                    victim = i;
+                }
+            }
+            victim
+        });
+        set[i] = stamped;
+        false
+    }
+
+    /// Re-ranks every set's stamps to 1..=ways, preserving their relative
+    /// order (so LRU victims are unchanged), and resets the tick just
+    /// above them. Runs once per 2^32 accesses.
+    fn renormalize(&mut self) {
+        let ways = self.ways;
+        for set in self.entries.chunks_mut(ways) {
+            let mut order: Vec<usize> = (0..ways).collect();
+            order.sort_unstable_by_key(|&i| set[i] >> 32);
+            for (rank, &i) in order.iter().enumerate() {
+                set[i] = ((rank as u64 + 1) << 32) | (set[i] as u32 as u64);
+            }
+        }
+        self.tick = self.ways as u32;
     }
 }
 
@@ -119,13 +180,37 @@ impl DataCache {
         addr & !(self.cfg.line - 1)
     }
 
-    /// Latency of a warp load touching `addrs` (per-lane byte addresses).
+    /// Latency of a warp load touching `addrs` (per-lane byte addresses,
+    /// at most one per lane — this is the per-load hot path, so the line
+    /// list lives on the stack).
     pub fn load_latency(&mut self, addrs: &[u32], jitter: &mut JitterRng) -> u32 {
-        let mut lines: Vec<u32> = addrs.iter().map(|&a| self.line_of(a)).collect();
+        debug_assert!(addrs.len() <= 32);
+        let mut buf = [0u32; 32];
+        let n = addrs.len().min(32);
+        for (slot, &a) in buf.iter_mut().zip(addrs) {
+            *slot = self.line_of(a);
+        }
+        // Warm-up hints (host-side only, no simulated effect): the probes
+        // below form a serial chain of host cache misses into the
+        // multi-megabyte L2 tag table. Hinting every line now — before
+        // the sort/dedup pass — gives the misses that long to land.
+        // Duplicate hints are harmless; the (host-resident) L1 table
+        // needs none.
+        for &line in &buf[..n] {
+            self.l2.prefetch_set(line);
+        }
+        let lines = &mut buf[..n];
         lines.sort_unstable();
-        lines.dedup();
+        let mut uniq = 0;
+        for i in 0..lines.len() {
+            if i == 0 || lines[i] != lines[uniq - 1] {
+                lines[uniq] = lines[i];
+                uniq += 1;
+            }
+        }
+        let lines = &buf[..uniq];
         let mut worst = self.cfg.l1_hit;
-        for &line in &lines {
+        for &line in lines {
             let lat = if self.l1.access(line) {
                 self.cfg.l1_hit
             } else if self.l2.access(line) {

@@ -13,8 +13,8 @@ use crate::{
 /// Execution environment handed to [`execute`]: the memories and identity
 /// of the executing thread block.
 pub struct ExecEnv<'a> {
-    /// Device global memory.
-    pub gmem: &'a mut GlobalMemory,
+    /// Device global memory (shared; interior-mutable via atomics).
+    pub gmem: &'a GlobalMemory,
     /// Shared memory of the executing thread block.
     pub smem: &'a mut [u8],
     /// Physical SM identifier.
@@ -46,7 +46,7 @@ const STEP: u32 = sage_isa::INSN_BYTES as u32;
 
 fn smem_read_u32(smem: &[u8], addr: u32) -> Result<u32> {
     let a = addr as usize;
-    if addr % 4 != 0 || a + 4 > smem.len() {
+    if !addr.is_multiple_of(4) || a + 4 > smem.len() {
         return Err(SimError::MemFault {
             addr,
             width: 4,
@@ -63,7 +63,7 @@ fn smem_read_u32(smem: &[u8], addr: u32) -> Result<u32> {
 
 fn smem_write_u32(smem: &mut [u8], addr: u32, value: u32) -> Result<()> {
     let a = addr as usize;
-    if addr % 4 != 0 || a + 4 > smem.len() {
+    if !addr.is_multiple_of(4) || a + 4 > smem.len() {
         return Err(SimError::MemFault {
             addr,
             width: 4,
@@ -77,6 +77,61 @@ fn smem_write_u32(smem: &mut [u8], addr: u32, value: u32) -> Result<()> {
 #[inline]
 fn f32_of(bits: u32) -> f32 {
     f32::from_bits(bits)
+}
+
+/// A source operand resolved once per instruction (not once per lane):
+/// either a base index into the warp's register file row for the operand's
+/// register, or a broadcast immediate. `RZ` resolves to `Imm(0)`.
+#[derive(Clone, Copy)]
+enum Src {
+    Row(usize),
+    Imm(u32),
+}
+
+#[inline]
+fn resolve(s: Operand) -> Src {
+    match s {
+        Operand::Reg(r) if r.0 == 255 => Src::Imm(0),
+        Operand::Reg(r) => Src::Row(r.0 as usize * WARP_LANES as usize),
+        Operand::Imm(v) => Src::Imm(v),
+    }
+}
+
+#[inline(always)]
+fn fetch_src(warp: &Warp, s: Src, lane: usize) -> u32 {
+    match s {
+        Src::Row(base) => warp.regs[base + lane],
+        Src::Imm(v) => v,
+    }
+}
+
+/// Copies a source operand's full register row (or broadcast immediate)
+/// into a stack buffer — the no-divergence fast path reads sources as
+/// plain slices.
+#[inline(always)]
+fn gather(warp: &Warp, s: Src, out: &mut [u32; WARP_LANES as usize]) {
+    match s {
+        Src::Row(base) => out.copy_from_slice(&warp.regs[base..base + WARP_LANES as usize]),
+        Src::Imm(v) => out.fill(v),
+    }
+}
+
+/// Word-parallel LOP3: evaluates the 8-entry truth table over all 32 bits
+/// at once (one minterm per set LUT bit) instead of bit-by-bit. Branchless
+/// — each minterm is masked by the sign-extended LUT bit — so the per-lane
+/// loop it runs in vectorises.
+#[inline]
+fn lop3_word(a: u32, b: u32, c: u32, lut: u8) -> u32 {
+    let l = lut as u32;
+    let bit = |k: u32| (l >> k & 1).wrapping_neg();
+    (bit(0) & !a & !b & !c)
+        | (bit(1) & !a & !b & c)
+        | (bit(2) & !a & b & !c)
+        | (bit(3) & !a & b & c)
+        | (bit(4) & a & !b & !c)
+        | (bit(5) & a & !b & c)
+        | (bit(6) & a & b & !c)
+        | (bit(7) & a & b & c)
 }
 
 /// Executes `insn` on `warp` in `env`, updating architectural state and
@@ -183,126 +238,238 @@ pub fn execute(warp: &mut Warp, insn: &Instruction, env: &mut ExecEnv<'_>) -> Re
         _ => {}
     }
 
-    // Data instructions: per-lane over the guarded active mask.
+    // Data instructions. The opcode and operand kinds are resolved ONCE
+    // per instruction; only the per-lane arithmetic runs inside the lane
+    // loops. This is the simulator's hottest path (one call per issued
+    // instruction), so the dispatch must not be repeated 32 times.
     let [sa, sb, sc] = insn.srcs;
-    let val = |warp: &Warp, s: Operand, lane: u32| -> u32 {
-        match s {
-            Operand::Reg(r) => warp.reg(r.0, lane),
-            Operand::Imm(v) => v,
-        }
-    };
+    let (sa, sb, sc) = (resolve(sa), resolve(sb), resolve(sc));
+    let d = insn.dst.0;
     let mut effect = Effect::None;
 
-    for lane in 0..WARP_LANES {
-        if mask & (1 << lane) == 0 {
-            continue;
-        }
-        let a = val(warp, sa, lane);
-        let b = val(warp, sb, lane);
-        let c = val(warp, sc, lane);
-        let d = insn.dst.0;
-        match insn.op {
-            Opcode::Nop => {}
-            Opcode::Imad => warp.set_reg(d, lane, a.wrapping_mul(b).wrapping_add(c)),
-            Opcode::Lea => warp.set_reg(d, lane, (a << insn.shift).wrapping_add(b)),
-            Opcode::LeaHi => warp.set_reg(d, lane, (a >> insn.shift).wrapping_add(b)),
-            Opcode::ShfL => {
-                let s = b & 31;
-                let v = if s == 0 { a } else { (a << s) | (c >> (32 - s)) };
-                warp.set_reg(d, lane, v);
-            }
-            Opcode::ShfR => {
-                let s = b & 31;
-                let v = if s == 0 { a } else { (a >> s) | (c << (32 - s)) };
-                warp.set_reg(d, lane, v);
-            }
-            Opcode::Lop3 => {
-                let mut out = 0u32;
-                for bit in 0..32 {
-                    let idx = (((a >> bit) & 1) << 2) | (((b >> bit) & 1) << 1) | ((c >> bit) & 1);
-                    out |= (((insn.lut as u32) >> idx) & 1) << bit;
+    // Three-source ALU ops writing `d`: one tight loop per opcode. The
+    // no-divergence case (all 32 lanes active, real destination) gathers
+    // the source rows into stack arrays and writes the destination row as
+    // a slice — no per-lane mask tests or bounds checks, so the per-op
+    // loops vectorise. Per-lane ops read only their own lane, so snapshot
+    // sources cannot observe a destination alias differently from the
+    // lane-at-a-time path.
+    macro_rules! lanes {
+        (|$a:ident, $b:ident, $c:ident| $body:expr) => {
+            if mask == crate::warp::FULL_MASK && d != 255 {
+                let mut ra = [0u32; WARP_LANES as usize];
+                let mut rb = [0u32; WARP_LANES as usize];
+                let mut rc = [0u32; WARP_LANES as usize];
+                gather(warp, sa, &mut ra);
+                gather(warp, sb, &mut rb);
+                gather(warp, sc, &mut rc);
+                let _ = &rc;
+                let base = d as usize * WARP_LANES as usize;
+                let dst = &mut warp.regs[base..base + WARP_LANES as usize];
+                for lane in 0..WARP_LANES as usize {
+                    let $a = ra[lane];
+                    let $b = rb[lane];
+                    let $c = rc[lane];
+                    let _ = &$c;
+                    dst[lane] = $body;
                 }
-                warp.set_reg(d, lane, out);
-            }
-            Opcode::Iadd3 => warp.set_reg(d, lane, a.wrapping_add(b).wrapping_add(c)),
-            Opcode::Mov => warp.set_reg(d, lane, a),
-            Opcode::Isetp => {
-                let p = insn.dst_pred.map(|p| p.0).unwrap_or(7);
-                let r = insn.cmp.eval(a, b);
-                warp.set_pred(p, lane, r);
-            }
-            Opcode::S2r => {
-                let code = sb.imm().unwrap_or(0) as u8;
-                let v = match SpecialReg::from_code(code) {
-                    Some(SpecialReg::TidX) => warp.warp_in_block * WARP_LANES + lane,
-                    Some(SpecialReg::CtaIdX) => env.cta_id,
-                    Some(SpecialReg::NCtaIdX) => env.grid_dim,
-                    Some(SpecialReg::LaneId) => lane,
-                    Some(SpecialReg::WarpId) => warp.warp_in_block,
-                    Some(SpecialReg::SmId) => env.sm_id,
-                    Some(SpecialReg::ClockLo) => env.cycle as u32,
-                    Some(SpecialReg::NTidX) => env.block_dim,
-                    None => {
-                        return Err(SimError::IllegalInstruction {
-                            pc,
-                            what: "S2R of unknown special register",
-                        })
+            } else {
+                for lane in 0..WARP_LANES as usize {
+                    if mask & (1u32 << lane) == 0 {
+                        continue;
                     }
+                    let $a = fetch_src(warp, sa, lane);
+                    let $b = fetch_src(warp, sb, lane);
+                    let $c = fetch_src(warp, sc, lane);
+                    let _ = &$c;
+                    let v = $body;
+                    warp.set_reg(d, lane as u32, v);
+                }
+            }
+        };
+    }
+
+    match insn.op {
+        Opcode::Nop => {}
+        Opcode::Imad => lanes!(|a, b, c| a.wrapping_mul(b).wrapping_add(c)),
+        Opcode::Lea => {
+            let sh = insn.shift;
+            lanes!(|a, b, _c| (a << sh).wrapping_add(b));
+        }
+        Opcode::LeaHi => {
+            let sh = insn.shift;
+            lanes!(|a, b, _c| (a >> sh).wrapping_add(b));
+        }
+        Opcode::ShfL => lanes!(|a, b, c| {
+            let s = b & 31;
+            if s == 0 {
+                a
+            } else {
+                (a << s) | (c >> (32 - s))
+            }
+        }),
+        Opcode::ShfR => lanes!(|a, b, c| {
+            let s = b & 31;
+            if s == 0 {
+                a
+            } else {
+                (a >> s) | (c << (32 - s))
+            }
+        }),
+        Opcode::Lop3 => {
+            let lut = insn.lut;
+            lanes!(|a, b, c| lop3_word(a, b, c, lut));
+        }
+        Opcode::Iadd3 => lanes!(|a, b, c| a.wrapping_add(b).wrapping_add(c)),
+        Opcode::Mov => lanes!(|a, _b, _c| a),
+        Opcode::Ffma => lanes!(|a, b, c| f32_of(a).mul_add(f32_of(b), f32_of(c)).to_bits()),
+        Opcode::Fadd => lanes!(|a, b, _c| (f32_of(a) + f32_of(b)).to_bits()),
+        Opcode::Fmul => lanes!(|a, b, _c| (f32_of(a) * f32_of(b)).to_bits()),
+        Opcode::I2f => lanes!(|a, _b, _c| (a as i32 as f32).to_bits()),
+        Opcode::F2i => lanes!(|a, _b, _c| (f32_of(a) as i32) as u32),
+        Opcode::Lepc => lanes!(|_a, _b, _c| pc),
+        Opcode::Isetp => {
+            let p = insn.dst_pred.map(|p| p.0).unwrap_or(7);
+            let cmp = insn.cmp;
+            if mask == crate::warp::FULL_MASK && p < 7 {
+                let mut ra = [0u32; WARP_LANES as usize];
+                let mut rb = [0u32; WARP_LANES as usize];
+                gather(warp, sa, &mut ra);
+                gather(warp, sb, &mut rb);
+                let mut bits = 0u32;
+                for lane in 0..WARP_LANES as usize {
+                    bits |= (cmp.eval(ra[lane], rb[lane]) as u32) << lane;
+                }
+                warp.preds[p as usize] = bits;
+            } else {
+                for lane in 0..WARP_LANES as usize {
+                    if mask & (1u32 << lane) == 0 {
+                        continue;
+                    }
+                    let a = fetch_src(warp, sa, lane);
+                    let b = fetch_src(warp, sb, lane);
+                    warp.set_pred(p, lane as u32, cmp.eval(a, b));
+                }
+            }
+        }
+        Opcode::S2r => {
+            let code = match sb {
+                Src::Imm(v) => v as u8,
+                Src::Row(_) => 0,
+            };
+            let Some(sr) = SpecialReg::from_code(code) else {
+                return Err(SimError::IllegalInstruction {
+                    pc,
+                    what: "S2R of unknown special register",
+                });
+            };
+            for lane in 0..WARP_LANES {
+                if mask & (1 << lane) == 0 {
+                    continue;
+                }
+                let v = match sr {
+                    SpecialReg::TidX => warp.warp_in_block * WARP_LANES + lane,
+                    SpecialReg::CtaIdX => env.cta_id,
+                    SpecialReg::NCtaIdX => env.grid_dim,
+                    SpecialReg::LaneId => lane,
+                    SpecialReg::WarpId => warp.warp_in_block,
+                    SpecialReg::SmId => env.sm_id,
+                    SpecialReg::ClockLo => env.cycle as u32,
+                    SpecialReg::NTidX => env.block_dim,
                 };
                 warp.set_reg(d, lane, v);
             }
-            Opcode::Lepc => warp.set_reg(d, lane, pc),
-            Opcode::Ldg => {
-                let addr = a.wrapping_add(b);
-                let v = env.gmem.read_u32(addr)?;
-                warp.set_reg(d, lane, v);
-            }
-            Opcode::Stg => {
-                let addr = a.wrapping_add(b);
-                env.gmem.write_u32(addr, c)?;
-            }
-            Opcode::Lds => {
-                let addr = a.wrapping_add(b);
-                let v = smem_read_u32(env.smem, addr)?;
-                warp.set_reg(d, lane, v);
-            }
-            Opcode::Sts => {
-                let addr = a.wrapping_add(b);
-                smem_write_u32(env.smem, addr, c)?;
-            }
-            Opcode::AtomgAdd => {
-                let addr = a.wrapping_add(b);
-                env.gmem.atomic_add_u32(addr, c)?;
-            }
-            Opcode::AtomsAdd => {
-                let addr = a.wrapping_add(b);
-                let old = smem_read_u32(env.smem, addr)?;
-                smem_write_u32(env.smem, addr, old.wrapping_add(c))?;
-            }
-            Opcode::Cctl => {
-                // Uniform maintenance op: take the first active lane's
-                // address.
-                if matches!(effect, Effect::None) {
-                    effect = Effect::InvalidateLine(a.wrapping_add(b));
+        }
+        Opcode::Ldg => {
+            // Address generation and prefetch first, then the loads: on
+            // large working sets each lane's read is a host cache miss,
+            // and hinting all lanes up front overlaps the misses instead
+            // of serialising them through the loop.
+            let mut addrs = [0u32; WARP_LANES as usize];
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                if mask & (1u32 << lane) != 0 {
+                    *slot = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                    env.gmem.prefetch(*slot);
                 }
             }
-            Opcode::Ffma => {
-                let r = f32_of(a).mul_add(f32_of(b), f32_of(c));
-                warp.set_reg(d, lane, r.to_bits());
+            for (lane, &addr) in addrs.iter().enumerate() {
+                if mask & (1u32 << lane) == 0 {
+                    continue;
+                }
+                let v = env.gmem.read_u32(addr)?;
+                warp.set_reg(d, lane as u32, v);
             }
-            Opcode::Fadd => warp.set_reg(d, lane, (f32_of(a) + f32_of(b)).to_bits()),
-            Opcode::Fmul => warp.set_reg(d, lane, (f32_of(a) * f32_of(b)).to_bits()),
-            Opcode::I2f => warp.set_reg(d, lane, (a as i32 as f32).to_bits()),
-            Opcode::F2i => warp.set_reg(d, lane, (f32_of(a) as i32) as u32),
-            Opcode::Bra
-            | Opcode::Bssy
-            | Opcode::Bsync
-            | Opcode::BarSync
-            | Opcode::Cal
-            | Opcode::Ret
-            | Opcode::Exit
-            | Opcode::Jmx => unreachable!("control ops handled above"),
         }
+        Opcode::Stg => {
+            let mut addrs = [0u32; WARP_LANES as usize];
+            for (lane, slot) in addrs.iter_mut().enumerate() {
+                if mask & (1u32 << lane) != 0 {
+                    *slot = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                    env.gmem.prefetch(*slot);
+                }
+            }
+            for (lane, &addr) in addrs.iter().enumerate() {
+                if mask & (1u32 << lane) == 0 {
+                    continue;
+                }
+                env.gmem.write_u32(addr, fetch_src(warp, sc, lane))?;
+            }
+        }
+        Opcode::Lds => {
+            for lane in 0..WARP_LANES as usize {
+                if mask & (1u32 << lane) == 0 {
+                    continue;
+                }
+                let addr = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                let v = smem_read_u32(env.smem, addr)?;
+                warp.set_reg(d, lane as u32, v);
+            }
+        }
+        Opcode::Sts => {
+            for lane in 0..WARP_LANES as usize {
+                if mask & (1u32 << lane) == 0 {
+                    continue;
+                }
+                let addr = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                smem_write_u32(env.smem, addr, fetch_src(warp, sc, lane))?;
+            }
+        }
+        Opcode::AtomgAdd => {
+            for lane in 0..WARP_LANES as usize {
+                if mask & (1u32 << lane) == 0 {
+                    continue;
+                }
+                let addr = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                env.gmem.atomic_add_u32(addr, fetch_src(warp, sc, lane))?;
+            }
+        }
+        Opcode::AtomsAdd => {
+            for lane in 0..WARP_LANES as usize {
+                if mask & (1u32 << lane) == 0 {
+                    continue;
+                }
+                let addr = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                let old = smem_read_u32(env.smem, addr)?;
+                smem_write_u32(env.smem, addr, old.wrapping_add(fetch_src(warp, sc, lane)))?;
+            }
+        }
+        Opcode::Cctl => {
+            // Uniform maintenance op: take the first active lane's
+            // address.
+            if mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                let addr = fetch_src(warp, sa, lane).wrapping_add(fetch_src(warp, sb, lane));
+                effect = Effect::InvalidateLine(addr);
+            }
+        }
+        Opcode::Bra
+        | Opcode::Bssy
+        | Opcode::Bsync
+        | Opcode::BarSync
+        | Opcode::Cal
+        | Opcode::Ret
+        | Opcode::Exit
+        | Opcode::Jmx => unreachable!("control ops handled above"),
     }
 
     warp.pc += STEP;
@@ -312,9 +479,9 @@ pub fn execute(warp: &mut Warp, insn: &Instruction, env: &mut ExecEnv<'_>) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sage_isa::{CtrlInfo, Pred, PredReg, Reg};
+    use sage_isa::{Pred, PredReg, Reg};
 
-    fn env<'a>(gmem: &'a mut GlobalMemory, smem: &'a mut [u8]) -> ExecEnv<'a> {
+    fn env<'a>(gmem: &'a GlobalMemory, smem: &'a mut [u8]) -> ExecEnv<'a> {
         ExecEnv {
             gmem,
             smem,
@@ -327,9 +494,9 @@ mod tests {
     }
 
     fn run_one(insn: Instruction, warp: &mut Warp) -> Effect {
-        let mut gmem = GlobalMemory::new(4096);
+        let gmem = GlobalMemory::new(4096);
         let mut smem = vec![0u8; 1024];
-        let mut e = env(&mut gmem, &mut smem);
+        let mut e = env(&gmem, &mut smem);
         execute(warp, &insn, &mut e).unwrap()
     }
 
@@ -413,9 +580,9 @@ mod tests {
     #[test]
     fn special_registers() {
         let mut w = Warp::new(0, 3, 0, 8);
-        let mut gmem = GlobalMemory::new(64);
+        let gmem = GlobalMemory::new(64);
         let mut smem = vec![0u8; 64];
-        let mut e = env(&mut gmem, &mut smem);
+        let mut e = env(&gmem, &mut smem);
         let mut i = Instruction::new(Opcode::S2r);
         i.dst = Reg(0);
         i.srcs[1] = Operand::Imm(SpecialReg::TidX.code() as u32);
@@ -434,13 +601,13 @@ mod tests {
     #[test]
     fn global_and_shared_memory() {
         let mut w = Warp::new(0, 0, 0, 8);
-        let mut gmem = GlobalMemory::new(4096);
+        let gmem = GlobalMemory::new(4096);
         let mut smem = vec![0u8; 256];
         for lane in 0..32 {
             w.set_reg(1, lane, lane * 4);
             w.set_reg(2, lane, 100 + lane);
         }
-        let mut e = env(&mut gmem, &mut smem);
+        let mut e = env(&gmem, &mut smem);
         // STG [R1+0x80], R2
         let mut st = Instruction::new(Opcode::Stg);
         st.srcs = [Reg(1).into(), Operand::Imm(0x80), Reg(2).into()];
@@ -500,9 +667,9 @@ mod tests {
     #[test]
     fn mem_fault_propagates() {
         let mut w = Warp::new(0, 0, 0, 8);
-        let mut gmem = GlobalMemory::new(64);
+        let gmem = GlobalMemory::new(64);
         let mut smem = vec![0u8; 64];
-        let mut e = env(&mut gmem, &mut smem);
+        let mut e = env(&gmem, &mut smem);
         let mut ld = Instruction::new(Opcode::Ldg);
         ld.dst = Reg(3);
         ld.srcs = [Operand::Imm(4096), Operand::Imm(0), Operand::RZ];
@@ -519,9 +686,9 @@ mod tests {
 
         let mut w2 = Warp::new(0, 0, 0, 8);
         w2.active = 1; // divergent
-        let mut gmem = GlobalMemory::new(64);
+        let gmem = GlobalMemory::new(64);
         let mut smem = vec![0u8; 64];
-        let mut e = env(&mut gmem, &mut smem);
+        let mut e = env(&gmem, &mut smem);
         assert!(execute(&mut w2, &Instruction::new(Opcode::BarSync), &mut e).is_err());
     }
 

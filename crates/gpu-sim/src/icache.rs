@@ -10,7 +10,7 @@
 //! invalidates a line everywhere, modelling the instruction-cache
 //! `discard` the paper wishes vendors exposed.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sage_isa::{DecodeError, Instruction, INSN_BYTES};
 
@@ -20,8 +20,10 @@ use crate::{
     mem::GlobalMemory,
 };
 
-/// A decoded cache line: one decode result per 16-byte slot.
-type DecodedLine = Rc<[std::result::Result<Instruction, DecodeError>]>;
+/// A decoded cache line: one decode result per 16-byte slot. `Arc` (not
+/// `Rc`) so a hierarchy — and the SM that owns it — can move to a worker
+/// thread in `Device::run`.
+type DecodedLine = Arc<[std::result::Result<Instruction, DecodeError>]>;
 
 /// Where a fetch was satisfied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,10 +38,27 @@ pub enum FetchLevel {
     Memory,
 }
 
+/// Sentinel tag for an empty way. Line addresses are aligned to the
+/// (power-of-two, > 1) line size, so an all-ones tag can never collide.
+const EMPTY: u32 = u32::MAX;
+
 /// One set-associative LRU cache level.
+///
+/// Tags and decoded lines live in flat arrays (`ways` slots per set)
+/// with a monotonic last-use stamp per way. The L0 level is probed once
+/// per *issued instruction*, so recency is tracked by stamp update
+/// rather than by reordering entries — the hit path is one contiguous
+/// tag scan plus a stamp store, with no per-set heap vectors and no
+/// payload rotation. The hit/miss/eviction sequence is identical to a
+/// move-to-front list: the LRU victim is exactly the minimum stamp, and
+/// free ways (which `invalidate` may open anywhere in the set) are
+/// always filled before anything is evicted.
 #[derive(Clone, Debug)]
 struct CacheLevel {
-    sets: Vec<Vec<(u32, DecodedLine)>>, // most-recently-used last
+    tags: Vec<u32>,
+    stamps: Vec<u64>,
+    lines: Vec<Option<DecodedLine>>,
+    tick: u64,
     ways: usize,
     set_mask: u32,
     line_shift: u32,
@@ -47,10 +66,14 @@ struct CacheLevel {
 
 impl CacheLevel {
     fn new(bytes: u32, line: u32, ways: usize) -> CacheLevel {
+        debug_assert!(line.is_power_of_two() && line > 1);
         let lines = (bytes / line).max(1) as usize;
         let sets = (lines / ways).max(1).next_power_of_two();
         CacheLevel {
-            sets: vec![Vec::with_capacity(ways); sets],
+            tags: vec![EMPTY; sets * ways],
+            stamps: vec![0; sets * ways],
+            lines: vec![None; sets * ways],
+            tick: 0,
             ways,
             set_mask: sets as u32 - 1,
             line_shift: line.trailing_zeros(),
@@ -62,35 +85,81 @@ impl CacheLevel {
     }
 
     fn lookup(&mut self, line_addr: u32) -> Option<DecodedLine> {
-        let set = self.set_of(line_addr);
-        let ways = &mut self.sets[set];
-        let pos = ways.iter().position(|(tag, _)| *tag == line_addr)?;
-        let entry = ways.remove(pos);
-        let decoded = entry.1.clone();
-        ways.push(entry); // move to MRU
-        Some(decoded)
+        let base = self.set_of(line_addr) * self.ways;
+        for i in base..base + self.ways {
+            if self.tags[i] == line_addr {
+                self.tick += 1;
+                self.stamps[i] = self.tick;
+                return self.lines[i].clone();
+            }
+        }
+        None
+    }
+
+    /// Hot-path variant of [`CacheLevel::lookup`]: returns only the
+    /// requested slot of the line, skipping the `Arc` refcount
+    /// round-trip of cloning the whole line handle. Identical LRU
+    /// effect.
+    fn lookup_slot(
+        &mut self,
+        line_addr: u32,
+        slot: usize,
+    ) -> Option<std::result::Result<Instruction, DecodeError>> {
+        let base = self.set_of(line_addr) * self.ways;
+        for i in base..base + self.ways {
+            if self.tags[i] == line_addr {
+                self.tick += 1;
+                self.stamps[i] = self.tick;
+                return self.lines[i].as_ref().map(|line| line[slot]);
+            }
+        }
+        None
     }
 
     fn install(&mut self, line_addr: u32, decoded: DecodedLine) {
-        let set = self.set_of(line_addr);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|(tag, _)| *tag == line_addr) {
-            ways.remove(pos);
-        } else if ways.len() >= self.ways {
-            ways.remove(0); // evict LRU
+        self.tick += 1;
+        let base = self.set_of(line_addr) * self.ways;
+        let mut slot = None;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for i in base..base + self.ways {
+            let t = self.tags[i];
+            if t == line_addr {
+                // Re-install: refresh the payload, make MRU.
+                slot = Some(i);
+                break;
+            }
+            if t == EMPTY && slot.is_none() {
+                slot = Some(i);
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
         }
-        ways.push((line_addr, decoded));
+        let i = slot.unwrap_or(victim);
+        self.tags[i] = line_addr;
+        self.stamps[i] = self.tick;
+        self.lines[i] = Some(decoded);
     }
 
     fn invalidate(&mut self, line_addr: u32) {
-        let set = self.set_of(line_addr);
-        self.sets[set].retain(|(tag, _)| *tag != line_addr);
+        let base = self.set_of(line_addr) * self.ways;
+        for i in base..base + self.ways {
+            if self.tags[i] == line_addr {
+                self.tags[i] = EMPTY;
+                self.stamps[i] = 0;
+                self.lines[i] = None;
+                return;
+            }
+        }
     }
 
     fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(EMPTY);
+        self.stamps.fill(0);
+        self.lines.fill(None);
+        self.tick = 0;
     }
 }
 
@@ -136,44 +205,65 @@ impl IcacheHierarchy {
         pc: u32,
         mem: &GlobalMemory,
     ) -> Result<(std::result::Result<Instruction, DecodeError>, FetchLevel)> {
+        if let Some(decoded) = self.lookup_l0(partition, pc) {
+            return Ok((decoded, FetchLevel::L0));
+        }
+        self.fetch_fill(partition, pc, mem)
+    }
+
+    /// Probes only the per-partition L0i (updating its LRU state on a
+    /// hit). The SM issue path calls this once per instruction; the fill
+    /// levels are consulted separately so the hot L0-hit case is a single
+    /// contiguous tag scan.
+    pub fn lookup_l0(
+        &mut self,
+        partition: usize,
+        pc: u32,
+    ) -> Option<std::result::Result<Instruction, DecodeError>> {
+        let line_addr = self.line_of(pc);
+        let slot = ((pc - line_addr) / INSN_BYTES as u32) as usize;
+        self.l0[partition].lookup_slot(line_addr, slot)
+    }
+
+    /// Satisfies an L0 miss from L1 → L2 → device memory, installing the
+    /// line at every level on the way in (inclusive hierarchy). Callers
+    /// must have missed in L0 first (an L0 miss leaves no LRU trace, so
+    /// skipping the re-probe here is semantics-preserving).
+    pub fn fetch_fill(
+        &mut self,
+        partition: usize,
+        pc: u32,
+        mem: &GlobalMemory,
+    ) -> Result<(std::result::Result<Instruction, DecodeError>, FetchLevel)> {
         let line_addr = self.line_of(pc);
         let slot = ((pc - line_addr) / INSN_BYTES as u32) as usize;
 
-        if let Some(line) = self.l0[partition].lookup(line_addr) {
-            return Ok((line[slot].clone(), FetchLevel::L0));
-        }
         if let Some(line) = self.l1.lookup(line_addr) {
             self.l0[partition].install(line_addr, line.clone());
-            return Ok((line[slot].clone(), FetchLevel::L1));
+            return Ok((line[slot], FetchLevel::L1));
         }
         if let Some(line) = self.l2.lookup(line_addr) {
             self.l1.install(line_addr, line.clone());
             self.l0[partition].install(line_addr, line.clone());
-            return Ok((line[slot].clone(), FetchLevel::L2));
+            return Ok((line[slot], FetchLevel::L2));
         }
-        // Fill from device memory, decoding a snapshot of the bytes.
+        // Fill from device memory, pre-decoding a snapshot of the bytes:
+        // every slot of the line is decoded once at install time and the
+        // decoded form is what hits return until the line is evicted.
         let bytes = mem.read_bytes(line_addr, self.line_bytes)?;
-        let decoded: DecodedLine = bytes
-            .chunks_exact(INSN_BYTES)
-            .map(|chunk| {
-                let mut word = [0u8; INSN_BYTES];
-                word.copy_from_slice(chunk);
-                sage_isa::encode::decode_bytes(&word)
-            })
-            .collect::<Vec<_>>()
-            .into();
+        let decoded: DecodedLine = sage_isa::encode::decode_line(&bytes).into();
         self.l2.install(line_addr, decoded.clone());
         self.l1.install(line_addr, decoded.clone());
         self.l0[partition].install(line_addr, decoded.clone());
-        Ok((decoded[slot].clone(), FetchLevel::Memory))
+        Ok((decoded[slot], FetchLevel::Memory))
     }
 
     /// Returns whether `line_addr` is present in partition `p`'s L0
     /// (does not touch LRU state).
     pub fn peek_l0(&self, partition: usize, line_addr: u32) -> bool {
         let l0 = &self.l0[partition];
-        let set = l0.set_of(line_addr);
-        l0.sets[set].iter().any(|(tag, _)| *tag == line_addr)
+        let base = l0.set_of(line_addr) * l0.ways;
+        l0.tags[base..base + l0.ways].contains(&line_addr)
     }
 
     /// Invalidates the line containing `addr` at every level (`CCTL`).
@@ -212,7 +302,7 @@ mod tests {
 
     fn setup(cfg: &DeviceConfig, code: &str, base: u32) -> (IcacheHierarchy, GlobalMemory) {
         let prog = Program::assemble(code).unwrap();
-        let mut mem = GlobalMemory::new(cfg.gmem_bytes);
+        let mem = GlobalMemory::new(cfg.gmem_bytes);
         mem.write_bytes(base, &prog.encode()).unwrap();
         (IcacheHierarchy::new(cfg), mem)
     }
@@ -231,7 +321,7 @@ mod tests {
     fn l1_shared_between_partitions() {
         let cfg = DeviceConfig::sim_tiny();
         let (mut ic, mem) = setup(&cfg, "NOP ;\nEXIT ;", 0);
-        ic.fetch(0, 0, &mem).unwrap();
+        ic.fetch(0, 0, &mem).unwrap().0.unwrap();
         let (_, lvl) = ic.fetch(1, 0, &mem).unwrap();
         assert_eq!(lvl, FetchLevel::L1); // partition 1's L0 missed, L1 hit
     }
@@ -239,13 +329,13 @@ mod tests {
     #[test]
     fn stores_are_not_coherent_until_eviction() {
         let cfg = DeviceConfig::sim_tiny();
-        let (mut ic, mut mem) = setup(&cfg, "IMAD R4, R4, 0x11, R5 ;\nEXIT ;", 0);
+        let (mut ic, mem) = setup(&cfg, "IMAD R4, R4, 0x11, R5 ;\nEXIT ;", 0);
         let (insn, _) = ic.fetch(0, 0, &mem).unwrap();
         assert_eq!(insn.unwrap().immediate(), Some(0x11));
 
         // Patch the immediate in memory (self-modifying store).
         let mut word = [0u8; 16];
-        word.copy_from_slice(mem.read_bytes(0, 16).unwrap());
+        word.copy_from_slice(&mem.read_bytes(0, 16).unwrap());
         sage_isa::encode::patch_immediate_bytes(&mut word, 0x99);
         mem.write_bytes(0, &word).unwrap();
 
@@ -266,7 +356,7 @@ mod tests {
         // A loop larger than every cache level forces re-fetch from
         // memory — the paper's eviction-by-overflow strategy (§6.4).
         let cfg = DeviceConfig::sim_tiny(); // L2i = 4 KiB
-        let mut mem = GlobalMemory::new(cfg.gmem_bytes);
+        let mem = GlobalMemory::new(cfg.gmem_bytes);
         let mut ic = IcacheHierarchy::new(&cfg);
 
         // Fill 8 KiB of code (2x the L2i) with IMADs.
@@ -277,11 +367,11 @@ mod tests {
 
         // First pass: fetch all lines.
         for i in 0..n {
-            ic.fetch(0, (i * 16) as u32, &mem).unwrap();
+            ic.fetch(0, (i * 16) as u32, &mem).unwrap().0.unwrap();
         }
         // Patch instruction 0 in memory.
         let mut word = [0u8; 16];
-        word.copy_from_slice(mem.read_bytes(0, 16).unwrap());
+        word.copy_from_slice(&mem.read_bytes(0, 16).unwrap());
         sage_isa::encode::patch_immediate_bytes(&mut word, 0x77);
         mem.write_bytes(0, &word).unwrap();
 
@@ -296,7 +386,7 @@ mod tests {
     fn flush_clears_everything() {
         let cfg = DeviceConfig::sim_tiny();
         let (mut ic, mem) = setup(&cfg, "NOP ;\nEXIT ;", 0);
-        ic.fetch(0, 0, &mem).unwrap();
+        ic.fetch(0, 0, &mem).unwrap().0.unwrap();
         ic.flush();
         let (_, lvl) = ic.fetch(0, 0, &mem).unwrap();
         assert_eq!(lvl, FetchLevel::Memory);
@@ -305,7 +395,7 @@ mod tests {
     #[test]
     fn data_bytes_decode_lazily_to_faults() {
         let cfg = DeviceConfig::sim_tiny();
-        let mut mem = GlobalMemory::new(cfg.gmem_bytes);
+        let mem = GlobalMemory::new(cfg.gmem_bytes);
         // All-ones is an invalid opcode.
         mem.write_bytes(0, &[0xFF; 16]).unwrap();
         let mut ic = IcacheHierarchy::new(&cfg);

@@ -76,8 +76,25 @@ pub mod warp;
 pub use channel::{ChannelId, Command, CommandProcessor, Completion};
 pub use config::{DeviceConfig, Latencies};
 pub use dcache::{DataCache, DataCacheConfig};
-pub use device::{BusTap, ContextId, Device, LaunchParams, LaunchReport, RunReport};
+pub use device::{BusTap, ContextId, Device, ExecMode, LaunchParams, LaunchReport, RunReport};
 pub use error::{Result, SimError};
 pub use mem::GlobalMemory;
 pub use stats::{KernelStats, StallReason};
 pub use trace::{TraceBuffer, TraceRecord};
+
+/// Host-side simulation-performance helpers (no simulated effect).
+pub(crate) mod host {
+    /// Read-prefetch hint for the host cache line at `p`. The simulator's
+    /// big flat tables (device memory words, cache-model tag arrays) are
+    /// probed at data-dependent addresses; hinting a batch of independent
+    /// lines before a dependent walk lets the host overlap the misses.
+    #[inline]
+    pub fn prefetch_read<T>(p: *const T) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = p;
+    }
+}

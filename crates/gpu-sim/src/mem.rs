@@ -4,39 +4,67 @@
 //! on the GPUs the paper targets "there is no isolation between contexts
 //! that prevents them from accessing each other's resources" (§2), which
 //! is exactly the attack surface the adversary crate exercises.
+//!
+//! Storage is a word array of `AtomicU32` so that every accessor takes
+//! `&self` and the memory can be shared by the per-SM worker threads
+//! (`Device::run` scopes one thread per SM). All orderings are `Relaxed`:
+//! the only *racing* cross-SM accesses the simulated programs perform are
+//! commutative `ATOMG.ADD`s (a single `fetch_add`), which need no
+//! ordering; everything else is either SM-private or separated by the
+//! thread join at the end of a launch, which synchronizes.
+
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::error::{Result, SimError};
 
 /// Flat device memory with bounds- and alignment-checked accessors.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct GlobalMemory {
-    data: Vec<u8>,
+    /// Backing words, little-endian byte order within each word.
+    words: Box<[AtomicU32]>,
+    /// Logical size in bytes (may be smaller than `4 * words.len()`).
+    bytes: u32,
+}
+
+impl Clone for GlobalMemory {
+    fn clone(&self) -> GlobalMemory {
+        GlobalMemory {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU32::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            bytes: self.bytes,
+        }
+    }
 }
 
 impl GlobalMemory {
     /// Allocates a zeroed memory of `bytes` bytes.
     pub fn new(bytes: u32) -> GlobalMemory {
+        let words = (bytes as usize).div_ceil(4);
         GlobalMemory {
-            data: vec![0; bytes as usize],
+            words: (0..words).map(|_| AtomicU32::new(0)).collect(),
+            bytes,
         }
     }
 
     /// Memory size in bytes.
     pub fn len(&self) -> u32 {
-        self.data.len() as u32
+        self.bytes
     }
 
     /// Returns `true` if the memory has zero size.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.bytes == 0
     }
 
     fn check(&self, addr: u32, width: u32, kind: &'static str) -> Result<usize> {
         let end = addr as u64 + width as u64;
-        if end > self.data.len() as u64 {
+        if end > self.bytes as u64 {
             return Err(SimError::MemFault { addr, width, kind });
         }
-        if width > 1 && addr % width != 0 {
+        if width > 1 && !addr.is_multiple_of(width) {
             return Err(SimError::MemFault { addr, width, kind });
         }
         Ok(addr as usize)
@@ -45,53 +73,87 @@ impl GlobalMemory {
     /// Reads an aligned 32-bit word.
     pub fn read_u32(&self, addr: u32) -> Result<u32> {
         let a = self.check(addr, 4, "load")?;
-        Ok(u32::from_le_bytes([
-            self.data[a],
-            self.data[a + 1],
-            self.data[a + 2],
-            self.data[a + 3],
-        ]))
+        Ok(self.words[a / 4].load(Ordering::Relaxed))
     }
 
     /// Writes an aligned 32-bit word.
-    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<()> {
+    pub fn write_u32(&self, addr: u32, value: u32) -> Result<()> {
         let a = self.check(addr, 4, "store")?;
-        self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        self.words[a / 4].store(value, Ordering::Relaxed);
         Ok(())
     }
 
+    /// Prefetch hint for the host cache line backing `addr` (functional
+    /// no-op; out-of-range addresses are ignored — the real access will
+    /// fault them). Used by the warp load/store paths to overlap the
+    /// per-lane host misses of divergent accesses.
+    #[inline]
+    pub fn prefetch(&self, addr: u32) {
+        let i = addr as usize / 4;
+        if i < self.words.len() {
+            crate::host::prefetch_read(&self.words[i]);
+        }
+    }
+
     /// Atomic add on an aligned 32-bit word; returns the previous value.
-    pub fn atomic_add_u32(&mut self, addr: u32, value: u32) -> Result<u32> {
-        let old = self.read_u32(addr)?;
-        self.write_u32(addr, old.wrapping_add(value))?;
-        Ok(old)
+    /// Wrapping, and genuinely atomic across the per-SM worker threads.
+    pub fn atomic_add_u32(&self, addr: u32, value: u32) -> Result<u32> {
+        let a = self.check(addr, 4, "atomic")?;
+        Ok(self.words[a / 4].fetch_add(value, Ordering::Relaxed))
+    }
+
+    fn check_range(&self, addr: u32, len: u32, kind: &'static str) -> Result<()> {
+        let end = addr as u64 + len as u64;
+        if end > self.bytes as u64 {
+            return Err(SimError::MemFault {
+                addr,
+                width: len,
+                kind,
+            });
+        }
+        Ok(())
     }
 
     /// Reads a byte range (DMA / instruction fetch). Only bounds are
     /// checked; block transfers have no alignment requirement.
-    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8]> {
-        let end = addr as u64 + len as u64;
-        if end > self.data.len() as u64 {
-            return Err(SimError::MemFault {
-                addr,
-                width: len,
-                kind: "block read",
-            });
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>> {
+        self.check_range(addr, len, "block read")?;
+        let mut out = Vec::with_capacity(len as usize);
+        let (mut a, end) = (addr as usize, (addr + len) as usize);
+        while a < end {
+            let word = self.words[a / 4].load(Ordering::Relaxed).to_le_bytes();
+            let lo = a % 4;
+            let hi = (end - (a - lo)).min(4);
+            out.extend_from_slice(&word[lo..hi]);
+            a += hi - lo;
         }
-        Ok(&self.data[addr as usize..addr as usize + len as usize])
+        Ok(out)
     }
 
-    /// Writes a byte range (DMA).
-    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<()> {
-        let end = addr as u64 + bytes.len() as u64;
-        if end > self.data.len() as u64 {
-            return Err(SimError::MemFault {
-                addr,
-                width: bytes.len() as u32,
-                kind: "block write",
-            });
+    /// Writes a byte range (DMA). Partial boundary words are read-modified-
+    /// written; DMA only runs at command-processor boundaries, never
+    /// concurrently with SM stores to the same word.
+    pub fn write_bytes(&self, addr: u32, bytes: &[u8]) -> Result<()> {
+        self.check_range(addr, bytes.len() as u32, "block write")?;
+        let mut a = addr as usize;
+        let mut src = bytes;
+        while !src.is_empty() {
+            let lo = a % 4;
+            let n = (4 - lo).min(src.len());
+            let slot = &self.words[a / 4];
+            if n == 4 {
+                slot.store(
+                    u32::from_le_bytes([src[0], src[1], src[2], src[3]]),
+                    Ordering::Relaxed,
+                );
+            } else {
+                let mut word = slot.load(Ordering::Relaxed).to_le_bytes();
+                word[lo..lo + n].copy_from_slice(&src[..n]);
+                slot.store(u32::from_le_bytes(word), Ordering::Relaxed);
+            }
+            a += n;
+            src = &src[n..];
         }
-        self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
 }
@@ -102,7 +164,7 @@ mod tests {
 
     #[test]
     fn read_write_round_trip() {
-        let mut m = GlobalMemory::new(64);
+        let m = GlobalMemory::new(64);
         m.write_u32(8, 0xDEAD_BEEF).unwrap();
         assert_eq!(m.read_u32(8).unwrap(), 0xDEAD_BEEF);
         assert_eq!(m.read_u32(12).unwrap(), 0);
@@ -110,7 +172,7 @@ mod tests {
 
     #[test]
     fn misaligned_access_faults() {
-        let mut m = GlobalMemory::new(64);
+        let m = GlobalMemory::new(64);
         assert!(matches!(
             m.read_u32(2),
             Err(SimError::MemFault { addr: 2, .. })
@@ -120,7 +182,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_faults() {
-        let mut m = GlobalMemory::new(16);
+        let m = GlobalMemory::new(16);
         assert!(m.read_u32(16).is_err());
         assert!(m.write_u32(12, 1).is_ok());
         assert!(m.write_u32(16, 1).is_err());
@@ -130,7 +192,7 @@ mod tests {
 
     #[test]
     fn atomic_add_returns_previous() {
-        let mut m = GlobalMemory::new(16);
+        let m = GlobalMemory::new(16);
         m.write_u32(0, 10).unwrap();
         assert_eq!(m.atomic_add_u32(0, 5).unwrap(), 10);
         assert_eq!(m.read_u32(0).unwrap(), 15);
@@ -142,8 +204,41 @@ mod tests {
 
     #[test]
     fn byte_ranges() {
-        let mut m = GlobalMemory::new(32);
+        let m = GlobalMemory::new(32);
         m.write_bytes(4, &[1, 2, 3, 4, 5]).unwrap();
         assert_eq!(m.read_bytes(4, 5).unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unaligned_byte_ranges_cross_words() {
+        let m = GlobalMemory::new(32);
+        let data: Vec<u8> = (1..=11).collect();
+        m.write_bytes(3, &data).unwrap();
+        assert_eq!(m.read_bytes(3, 11).unwrap(), data);
+        // Bytes outside the range are untouched.
+        assert_eq!(m.read_bytes(0, 3).unwrap(), &[0, 0, 0]);
+        assert_eq!(m.read_bytes(14, 2).unwrap(), &[0, 0]);
+        // Word-level view agrees with the byte writes.
+        assert_eq!(m.read_u32(4).unwrap(), u32::from_le_bytes([2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn non_word_sized_memory() {
+        let m = GlobalMemory::new(10);
+        assert_eq!(m.len(), 10);
+        m.write_bytes(8, &[7, 9]).unwrap();
+        assert_eq!(m.read_bytes(8, 2).unwrap(), &[7, 9]);
+        assert!(m.read_bytes(8, 3).is_err());
+        assert!(m.read_u32(8).is_err()); // word would spill past len
+    }
+
+    #[test]
+    fn clone_snapshots_contents() {
+        let m = GlobalMemory::new(16);
+        m.write_u32(0, 42).unwrap();
+        let c = m.clone();
+        m.write_u32(0, 43).unwrap();
+        assert_eq!(c.read_u32(0).unwrap(), 42);
+        assert_eq!(m.read_u32(0).unwrap(), 43);
     }
 }

@@ -163,12 +163,16 @@ pub struct Sm<'a> {
     smem_used: u32,
     blocks_resident: u32,
     stats: KernelStats,
-    launches: HashMap<usize, LaunchLocal>,
+    /// Per-launch accounting, keyed by launch id. A `Vec` scanned
+    /// linearly: it is touched once per issued instruction and holds a
+    /// handful of entries at most, where a hash lookup would dominate.
+    launches: Vec<(usize, LaunchLocal)>,
     jitter: JitterRng,
     hazard_check: bool,
     last_reason: Vec<StallReason>,
     dcache: Option<crate::dcache::DataCache>,
     trace: Option<crate::trace::TraceBuffer>,
+    fast_forward: bool,
 }
 
 impl<'a> Sm<'a> {
@@ -196,15 +200,25 @@ impl<'a> Sm<'a> {
             smem_used: 0,
             blocks_resident: 0,
             stats: KernelStats::default(),
-            launches: HashMap::new(),
-            jitter: JitterRng::new(timing_seed ^ (sm_id as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+            launches: Vec::new(),
+            jitter: JitterRng::new(
+                timing_seed ^ (sm_id as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            ),
             hazard_check,
             last_reason: vec![StallReason::NoWarp; cfg.partitions_per_sm as usize],
             dcache: cfg
                 .dcache
                 .map(|dc| crate::dcache::DataCache::new(dc, cfg.lat.gmem_min, cfg.lat.gmem_jitter)),
             trace: None,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables stall fast-forwarding (on by default). With it
+    /// off the SM ticks every cycle — the slow reference mode used to
+    /// validate that fast-forwarding is bit-exact.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Enables issue tracing with the given ring-buffer capacity.
@@ -219,8 +233,8 @@ impl<'a> Sm<'a> {
 
     fn block_fits(&self, pb: &PendingBlock) -> bool {
         let warps = pb.block_dim.div_ceil(32);
-        let regs_per_warp = (pb.regs_per_thread * 32).div_ceil(self.cfg.reg_granularity)
-            * self.cfg.reg_granularity;
+        let regs_per_warp =
+            (pb.regs_per_thread * 32).div_ceil(self.cfg.reg_granularity) * self.cfg.reg_granularity;
         self.threads_used + pb.block_dim <= self.cfg.max_threads_per_sm
             && self.regs_used + regs_per_warp * warps <= self.cfg.regs_per_sm
             && self.smem_used + pb.smem_bytes <= self.cfg.smem_per_sm
@@ -258,8 +272,7 @@ impl<'a> Sm<'a> {
                 self.warps.push(warp);
                 self.fetched.push(None);
             }
-            let entry = self.launches.entry(pb.launch_id).or_default();
-            entry.blocks += 1;
+            self.launch_entry(pb.launch_id).blocks += 1;
             self.blocks.push(Some(BlockState {
                 launch_id: pb.launch_id,
                 cta_id: pb.cta_id,
@@ -278,23 +291,40 @@ impl<'a> Sm<'a> {
         self.pending.is_empty() && self.blocks.iter().all(Option::is_none)
     }
 
+    /// The accounting entry for `launch_id`, created on first use.
+    fn launch_entry(&mut self, launch_id: usize) -> &mut LaunchLocal {
+        if let Some(i) = self.launches.iter().position(|(l, _)| *l == launch_id) {
+            return &mut self.launches[i].1;
+        }
+        self.launches.push((launch_id, LaunchLocal::default()));
+        &mut self.launches.last_mut().expect("just pushed").1
+    }
+
     /// Result latency of `insn` for warp `widx` (data-cache-aware for
     /// global accesses when a cache model is configured).
-    fn op_latency(&mut self, widx: usize, insn: &Instruction) -> u32 {
+    fn op_latency(&mut self, widx: usize, insn: &Instruction, gmem: &GlobalMemory) -> u32 {
         let lat = &self.cfg.lat;
         match insn.op {
             Opcode::Ldg => match &mut self.dcache {
                 Some(dc) => {
-                    let addrs = self.warps[widx].effective_addresses(insn);
-                    dc.load_latency(&addrs, &mut self.jitter)
+                    let mut addrs = [0u32; 32];
+                    let n = self.warps[widx].effective_addresses(insn, &mut addrs);
+                    // Hint the functional reads `execute` is about to do
+                    // with these same addresses — the model probes below
+                    // give the host time to pull the lines in.
+                    for &a in &addrs[..n] {
+                        gmem.prefetch(a);
+                    }
+                    dc.load_latency(&addrs[..n], &mut self.jitter)
                 }
                 None => lat.gmem_min + self.jitter.below(lat.gmem_jitter),
             },
             Opcode::Lds => lat.smem,
             Opcode::AtomgAdd => match &mut self.dcache {
                 Some(dc) => {
-                    let addrs = self.warps[widx].effective_addresses(insn);
-                    dc.atomic_latency(&addrs, &mut self.jitter)
+                    let mut addrs = [0u32; 32];
+                    let n = self.warps[widx].effective_addresses(insn, &mut addrs);
+                    dc.atomic_latency(&addrs[..n], &mut self.jitter)
                 }
                 None => lat.atomic_global + self.jitter.below(lat.gmem_jitter / 4),
             },
@@ -304,12 +334,7 @@ impl<'a> Sm<'a> {
     }
 
     /// Attempts to issue one instruction on partition `p` at `cycle`.
-    fn try_issue(
-        &mut self,
-        p: usize,
-        cycle: u64,
-        gmem: &mut GlobalMemory,
-    ) -> Result<SlotOutcome> {
+    fn try_issue(&mut self, p: usize, cycle: u64, gmem: &GlobalMemory) -> Result<SlotOutcome> {
         let n = self.partitions[p].warp_ids.len();
         if n == 0 {
             return Ok(SlotOutcome::Empty);
@@ -345,17 +370,26 @@ impl<'a> Sm<'a> {
             }
             // Ensure the instruction at the current PC is fetched.
             let pc = warp.pc;
-            if self.fetched[widx].map_or(true, |(fpc, _)| fpc != pc) {
-                // A non-L0 fetch occupies the partition's fill slot; if
-                // it is busy, the warp must wait for the current fill.
-                let line = self.icache.line_of(pc);
-                let in_l0 = self.icache.peek_l0(p, line);
-                if !in_l0 && self.partitions[p].fill_busy_until > cycle {
-                    best_reason = pick(best_reason, StallReason::InstructionFetch);
-                    bump(self.partitions[p].fill_busy_until, &mut next_ready);
-                    continue;
-                }
-                let (decoded, level) = self.icache.fetch(p, pc, gmem)?;
+            if self.fetched[widx]
+                .as_ref()
+                .is_none_or(|&(fpc, _)| fpc != pc)
+            {
+                // One L0 probe in the hot case; a miss leaves no LRU
+                // trace, so checking the fill slot after it is
+                // equivalent to the peek-then-fetch it replaces. A
+                // non-L0 fetch occupies the partition's fill slot; if
+                // that is busy, the warp must wait for the current fill.
+                let (decoded, level) = match self.icache.lookup_l0(p, pc) {
+                    Some(decoded) => (decoded, FetchLevel::L0),
+                    None => {
+                        if self.partitions[p].fill_busy_until > cycle {
+                            best_reason = pick(best_reason, StallReason::InstructionFetch);
+                            bump(self.partitions[p].fill_busy_until, &mut next_ready);
+                            continue;
+                        }
+                        self.icache.fetch_fill(p, pc, gmem)?
+                    }
+                };
                 let insn = crate::icache::decoded_or_fault(decoded, pc)?;
                 self.fetched[widx] = Some((pc, insn));
                 let penalty = match level {
@@ -384,11 +418,14 @@ impl<'a> Sm<'a> {
                     continue;
                 }
             }
-            let (_, insn) = self.fetched[widx].expect("fetched above");
+            // Borrow the decoded instruction for the stall checks; it is
+            // copied out only when this attempt actually issues.
+            let insn = &self.fetched[widx].as_ref().expect("fetched above").1;
             let warp = &self.warps[widx];
             if !warp.scoreboard_ready(insn.ctrl.wait_mask, cycle) {
+                let ready_at = warp.scoreboard_ready_at(insn.ctrl.wait_mask);
                 best_reason = pick(best_reason, StallReason::Scoreboard);
-                bump(warp.scoreboard_ready_at(insn.ctrl.wait_mask), &mut next_ready);
+                bump(ready_at, &mut next_ready);
                 continue;
             }
             let pipe = insn.op.pipeline();
@@ -398,6 +435,7 @@ impl<'a> Sm<'a> {
                 bump(port_at, &mut next_ready);
                 continue;
             }
+            let insn = *insn;
 
             // Issue.
             self.issue(p, scan, widx, &insn, cycle, gmem)?;
@@ -417,7 +455,7 @@ impl<'a> Sm<'a> {
         widx: usize,
         insn: &Instruction,
         cycle: u64,
-        gmem: &mut GlobalMemory,
+        gmem: &GlobalMemory,
     ) -> Result<()> {
         let pipe = insn.op.pipeline();
         self.stats.record_issue(pipe);
@@ -443,7 +481,7 @@ impl<'a> Sm<'a> {
         // Optional register-hazard validation (the hardware trusts the
         // control info, like real Volta+; the checker reports code that
         // would mis-execute on silicon).
-        let result_latency = self.op_latency(widx, insn);
+        let result_latency = self.op_latency(widx, insn, gmem);
         let hazard_check = self.hazard_check;
         let fixed_alu = self.cfg.lat.fixed_alu;
         if hazard_check {
@@ -455,11 +493,7 @@ impl<'a> Sm<'a> {
             if violated {
                 self.stats.hazard_violations += 1;
                 if std::env::var_os("SAGE_HAZARD_DEBUG").is_some() {
-                    eprintln!(
-                        "hazard: pc={:#x} {}",
-                        warp.pc,
-                        insn.body()
-                    );
+                    eprintln!("hazard: pc={:#x} {}", warp.pc, insn.body());
                 }
             }
         }
@@ -515,7 +549,7 @@ impl<'a> Sm<'a> {
                     warp.reg_ready_at[insn.dst.index()] = cycle + lat as u64;
                 }
             }
-            if let Some(e) = launches.get_mut(&launch_id) {
+            if let Some((_, e)) = launches.iter_mut().find(|(l, _)| *l == launch_id) {
                 e.issued += 1;
             }
 
@@ -560,9 +594,7 @@ impl<'a> Sm<'a> {
 
         self.fetched[widx] = None; // PC moved; the next fetch re-checks L0.
         let dispatch = match pipe {
-            Pipeline::Fma | Pipeline::Alu | Pipeline::Mem => {
-                self.cfg.lat.dispatch_interval as u64
-            }
+            Pipeline::Fma | Pipeline::Alu | Pipeline::Mem => self.cfg.lat.dispatch_interval as u64,
             Pipeline::Control => 1,
         };
         let part = &mut self.partitions[p];
@@ -590,7 +622,7 @@ impl<'a> Sm<'a> {
         self.regs_used -= regs_per_warp * warps_n;
         self.smem_used -= block.smem.len() as u32;
         self.blocks_resident -= 1;
-        let entry = self.launches.entry(block.launch_id).or_default();
+        let entry = self.launch_entry(block.launch_id);
         entry.completion = entry.completion.max(cycle + 1);
         // Remove retired warps from partition lists to keep scans short.
         let Sm {
@@ -603,7 +635,11 @@ impl<'a> Sm<'a> {
     }
 
     /// Runs the SM until all blocks complete (or `cycle_limit` trips).
-    pub fn run(mut self, gmem: &mut GlobalMemory, cycle_limit: u64) -> Result<SmReport> {
+    ///
+    /// `gmem` is a shared reference: all functional accesses go through
+    /// [`GlobalMemory`]'s interior-mutable (atomic) accessors, so several
+    /// SMs may run concurrently on worker threads.
+    pub fn run(mut self, gmem: &GlobalMemory, cycle_limit: u64) -> Result<SmReport> {
         let mut cycle: u64 = 0;
         loop {
             self.place_blocks(cycle);
@@ -639,16 +675,29 @@ impl<'a> Sm<'a> {
                 return Err(SimError::CycleLimit { limit: cycle_limit });
             }
             if !any_issued {
-                // Nothing issued: fast-forward to the next event, keeping
-                // the stall accounting exact.
+                // Nothing issued: every blocking condition is timed (and
+                // expires no earlier than `next_event`) or untimed (needs
+                // an issue to clear), so SM state is frozen until the next
+                // event. A block waiting in the queue becomes schedulable
+                // at its submit cycle if it would fit right now, which is
+                // an event too — residency cannot change while nothing
+                // issues, so `block_fits` is stable over the window.
                 if let Some(pb) = self.pending.front() {
-                    if self.blocks.iter().all(Option::is_none) && pb.submit_cycle > cycle {
-                        let t = pb.submit_cycle;
+                    if self.block_fits(pb) {
+                        // `cycle` was already advanced above, so a block
+                        // with submit_cycle <= cycle is placed at the next
+                        // loop top — clamp the event to `cycle` so it is
+                        // never mistaken for a deadlock.
+                        let t = pb.submit_cycle.max(cycle);
                         next_event = Some(next_event.map_or(t, |c: u64| c.min(t)));
                     }
                 }
                 match next_event {
-                    Some(t) if t > cycle => {
+                    Some(t) if t > cycle && self.fast_forward => {
+                        // Jump to the event, charging every skipped cycle
+                        // to the stall reason each partition just reported
+                        // — re-scanning would report the same reason, so
+                        // the stall breakdown matches tick-mode exactly.
                         let skip = t - cycle;
                         for p in 0..self.partitions.len() {
                             if self.last_reason[p] != StallReason::NoWarp {
@@ -671,7 +720,7 @@ impl<'a> Sm<'a> {
         self.stats.cycles = cycle;
         Ok(SmReport {
             stats: self.stats,
-            launches: self.launches,
+            launches: self.launches.into_iter().collect(),
             trace: self.trace,
         })
     }

@@ -213,10 +213,12 @@ mod tests {
 
     #[test]
     fn utilization_math() {
-        let mut s = KernelStats::default();
-        s.slot_cycles = 100;
-        s.issued_fma = 40;
-        s.issued_alu = 35;
+        let s = KernelStats {
+            slot_cycles: 100,
+            issued_fma: 40,
+            issued_alu: 35,
+            ..Default::default()
+        };
         assert!((s.utilization() - 0.75).abs() < 1e-12);
         assert_eq!(s.issued_total(), 75);
     }
@@ -254,13 +256,15 @@ mod tests {
 
     #[test]
     fn report_mentions_the_load_bearing_numbers() {
-        let mut s = KernelStats::default();
-        s.cycles = 1000;
-        s.slot_cycles = 4000;
-        s.issued_fma = 1500;
-        s.issued_alu = 1500;
+        let mut s = KernelStats {
+            cycles: 1000,
+            slot_cycles: 4000,
+            issued_fma: 1500,
+            issued_alu: 1500,
+            icache_hits: [10, 5, 2],
+            ..Default::default()
+        };
         s.record_stall(StallReason::InstructionFetch);
-        s.icache_hits = [10, 5, 2];
         let r = s.report();
         assert!(r.contains("75.0%"), "{r}");
         assert!(r.contains("ifetch"), "{r}");

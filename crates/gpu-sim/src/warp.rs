@@ -119,7 +119,11 @@ impl Warp {
 
     /// The lane mask for which guard predicate `(reg, neg)` holds.
     pub fn guard_mask(&self, reg: u8, neg: bool) -> u32 {
-        let base = if reg >= 7 { FULL_MASK } else { self.preds[reg as usize] };
+        let base = if reg >= 7 {
+            FULL_MASK
+        } else {
+            self.preds[reg as usize]
+        };
         if neg {
             !base
         } else {
@@ -134,22 +138,38 @@ impl Warp {
 
     /// The effective per-lane byte addresses of a memory instruction
     /// (`base register + immediate offset`), for the active lanes under
-    /// the instruction's guard. Used by the data-cache timing model.
-    pub fn effective_addresses(&self, insn: &sage_isa::Instruction) -> Vec<u32> {
+    /// the instruction's guard, written into `buf` (returns the count).
+    /// Used by the data-cache timing model on every global access — the
+    /// caller supplies the buffer so the hot path never allocates.
+    pub fn effective_addresses(&self, insn: &sage_isa::Instruction, buf: &mut [u32; 32]) -> usize {
         let guard = self.guard_mask(insn.pred.reg.0, insn.pred.neg);
         let mask = self.active & guard;
         let off = insn.srcs[1].imm().unwrap_or(0);
         let base = insn.srcs[0];
-        (0..WARP_LANES)
-            .filter(|lane| mask & (1 << lane) != 0)
-            .map(|lane| {
+        if let (FULL_MASK, sage_isa::Operand::Reg(r)) = (mask, base) {
+            if r.0 != 255 {
+                // No divergence, register base: one bounds check and a
+                // vectorisable add over the whole row.
+                let row = r.0 as usize * WARP_LANES as usize;
+                let row = &self.regs[row..row + WARP_LANES as usize];
+                for (slot, &b) in buf.iter_mut().zip(row) {
+                    *slot = b.wrapping_add(off);
+                }
+                return WARP_LANES as usize;
+            }
+        }
+        let mut n = 0;
+        for lane in 0..WARP_LANES {
+            if mask & (1 << lane) != 0 {
                 let b = match base {
                     sage_isa::Operand::Reg(r) => self.reg(r.0, lane),
                     sage_isa::Operand::Imm(v) => v,
                 };
-                b.wrapping_add(off)
-            })
-            .collect()
+                buf[n] = b.wrapping_add(off);
+                n += 1;
+            }
+        }
+        n
     }
 
     /// The earliest cycle at which the `wait_mask` slots complete.

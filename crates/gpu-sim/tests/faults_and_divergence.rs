@@ -261,6 +261,9 @@ fn smem_out_of_bounds_faults() {
     let entry = load(&mut dev, &b.build().unwrap());
     assert!(matches!(
         launch(&mut dev, entry, vec![]),
-        Err(SimError::MemFault { kind: "shared store", .. })
+        Err(SimError::MemFault {
+            kind: "shared store",
+            ..
+        })
     ));
 }

@@ -126,12 +126,10 @@ fn parse_line(raw: &str, lineno: usize) -> Result<Line, AsmError> {
             Some(r) => (true, r),
             None => (false, rest),
         };
-        let end = rest
-            .find(char::is_whitespace)
-            .ok_or_else(|| AsmError {
-                line: lineno,
-                msg: "predicate guard without instruction".into(),
-            })?;
+        let end = rest.find(char::is_whitespace).ok_or_else(|| AsmError {
+            line: lineno,
+            msg: "predicate guard without instruction".into(),
+        })?;
         let preg = parse_pred_reg(&rest[..end], lineno)?;
         pred = Pred { reg: preg, neg };
         s = rest[end..].trim_start();
@@ -255,10 +253,7 @@ fn parse_imm(s: &str, lineno: usize) -> Result<u32, AsmError> {
     } else {
         s.parse::<u32>().ok()
     };
-    v.map_or_else(
-        || err(lineno, format!("invalid immediate `{s}`")),
-        Ok,
-    )
+    v.map_or_else(|| err(lineno, format!("invalid immediate `{s}`")), Ok)
 }
 
 /// Register or immediate operand.
@@ -345,11 +340,7 @@ fn parse_insn(
     let mut label_ref = None;
 
     match op {
-        Opcode::Nop
-        | Opcode::BarSync
-        | Opcode::Bsync
-        | Opcode::Ret
-        | Opcode::Exit => {
+        Opcode::Nop | Opcode::BarSync | Opcode::Bsync | Opcode::Ret | Opcode::Exit => {
             expect_n(&ops, 0, mnemonic, lineno)?;
         }
         Opcode::Imad | Opcode::Iadd3 | Opcode::Ffma => {
@@ -553,7 +544,13 @@ mod tests {
     #[test]
     fn s2r_special_registers() {
         let (insns, _) = assemble("S2R R0, SR_TID.X ;\nS2R R1, SR_SMID ;").unwrap();
-        assert_eq!(insns[0].srcs[1], Operand::Imm(SpecialReg::TidX.code() as u32));
-        assert_eq!(insns[1].srcs[1], Operand::Imm(SpecialReg::SmId.code() as u32));
+        assert_eq!(
+            insns[0].srcs[1],
+            Operand::Imm(SpecialReg::TidX.code() as u32)
+        );
+        assert_eq!(
+            insns[1].srcs[1],
+            Operand::Imm(SpecialReg::SmId.code() as u32)
+        );
     }
 }

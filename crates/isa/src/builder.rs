@@ -207,7 +207,11 @@ impl ProgramBuilder {
 
     /// Global load: `d = [base + off]`.
     pub fn ldg(&mut self, d: Reg, base: Reg, off: u32) -> &mut Self {
-        self.emit(Opcode::Ldg, d, [base.into(), Operand::Imm(off), Operand::RZ])
+        self.emit(
+            Opcode::Ldg,
+            d,
+            [base.into(), Operand::Imm(off), Operand::RZ],
+        )
     }
 
     /// Global store: `[base + off] = v`.
@@ -221,7 +225,11 @@ impl ProgramBuilder {
 
     /// Shared load: `d = [base + off]`.
     pub fn lds(&mut self, d: Reg, base: Reg, off: u32) -> &mut Self {
-        self.emit(Opcode::Lds, d, [base.into(), Operand::Imm(off), Operand::RZ])
+        self.emit(
+            Opcode::Lds,
+            d,
+            [base.into(), Operand::Imm(off), Operand::RZ],
+        )
     }
 
     /// Shared store: `[base + off] = v`.
@@ -253,7 +261,11 @@ impl ProgramBuilder {
 
     /// Indirect branch to the warp-uniform address in `target`.
     pub fn jmx(&mut self, target: Reg) -> &mut Self {
-        self.emit(Opcode::Jmx, Reg::RZ, [target.into(), Operand::RZ, Operand::RZ])
+        self.emit(
+            Opcode::Jmx,
+            Reg::RZ,
+            [target.into(), Operand::RZ, Operand::RZ],
+        )
     }
 
     /// Instruction-cache maintenance on the line containing `base + off`.

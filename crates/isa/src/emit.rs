@@ -9,12 +9,7 @@
 
 use std::fmt::Write as _;
 
-use crate::{
-    insn::Operand,
-    op::Opcode,
-    program::Program,
-    reg::SpecialReg,
-};
+use crate::{insn::Operand, op::Opcode, program::Program, reg::SpecialReg};
 
 /// Target language of the emitter.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -280,7 +275,12 @@ mod tests {
         b.lop3(Reg(1), Reg(2), Reg(3).into(), Reg(4), 0x96);
         b.iadd3(Reg(1), Reg(2), Reg(3).into(), Reg(4));
         b.mov(Reg(1), 7u32.into());
-        b.isetp(crate::reg::PredReg(0), crate::op::CmpOp::Ne, Reg(1), 0u32.into());
+        b.isetp(
+            crate::reg::PredReg(0),
+            crate::op::CmpOp::Ne,
+            Reg(1),
+            0u32.into(),
+        );
         b.s2r(Reg(1), SpecialReg::SmId);
         b.lepc(Reg(1));
         b.ldg(Reg(1), Reg(2), 0);

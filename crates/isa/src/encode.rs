@@ -150,7 +150,11 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
         },
         op,
         dst: Reg(((w >> DST_SHIFT) & 0xFF) as u8),
-        dst_pred: if dpred == 7 { None } else { Some(PredReg(dpred)) },
+        dst_pred: if dpred == 7 {
+            None
+        } else {
+            Some(PredReg(dpred))
+        },
         srcs,
         shift: ((w >> SHIFTMOD_SHIFT) & 0x1F) as u8,
         lut: ((w >> LUT_SHIFT) & 0xFF) as u8,
@@ -167,6 +171,22 @@ pub fn encode_bytes(i: &Instruction) -> [u8; 16] {
 /// Decodes an instruction from 16 little-endian bytes.
 pub fn decode_bytes(b: &[u8; 16]) -> Result<Instruction, DecodeError> {
     decode(u128::from_le_bytes(*b))
+}
+
+/// Decodes a whole cache line (any multiple of 16 bytes) into per-slot
+/// decode results. This is the pre-decode step the simulator's
+/// instruction caches run at line-install time: decode errors are kept
+/// per slot (not propagated) so data bytes that happen to share a line
+/// with code only fault if they are actually fetched as instructions.
+pub fn decode_line(bytes: &[u8]) -> Vec<Result<Instruction, DecodeError>> {
+    bytes
+        .chunks_exact(crate::INSN_BYTES)
+        .map(|chunk| {
+            let mut word = [0u8; crate::INSN_BYTES];
+            word.copy_from_slice(chunk);
+            decode_bytes(&word)
+        })
+        .collect()
 }
 
 /// Patches the 32-bit immediate field inside an encoded 16-byte

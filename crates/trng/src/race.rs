@@ -61,8 +61,11 @@ pub struct RaceTrng {
 impl RaceTrng {
     /// Spawns the racing workers and returns a generator.
     pub fn start(cfg: RaceTrngConfig) -> RaceTrng {
-        let cells: Arc<Vec<AtomicU64>> =
-            Arc::new((0..cfg.cells.max(1)).map(|i| AtomicU64::new(i as u64)).collect());
+        let cells: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..cfg.cells.max(1))
+                .map(|i| AtomicU64::new(i as u64))
+                .collect(),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let workers = (0..cfg.workers.max(1))
             .map(|w| {
@@ -104,7 +107,7 @@ impl RaceTrng {
                 .wrapping_add(cell.load(Ordering::Relaxed));
         }
         // Briefly yield so workers interleave even on few cores.
-        if self.counter % 64 == 0 {
+        if self.counter.is_multiple_of(64) {
             std::thread::yield_now();
         }
         acc

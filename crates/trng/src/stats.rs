@@ -144,7 +144,10 @@ mod tests {
         let r = EntReport::analyze(&data);
         assert!(r.entropy_bits_per_byte > 7.99, "{r:?}");
         assert!((r.mean - 127.5).abs() < 1.5, "{r:?}");
-        assert!((r.monte_carlo_pi - std::f64::consts::PI).abs() < 0.1, "{r:?}");
+        assert!(
+            (r.monte_carlo_pi - std::f64::consts::PI).abs() < 0.1,
+            "{r:?}"
+        );
         assert!(r.serial_correlation.abs() < 0.02, "{r:?}");
         assert!(r.looks_random(), "{r:?}");
     }
@@ -188,7 +191,9 @@ mod tests {
 
     #[test]
     fn alternating_stream_has_strong_serial_correlation() {
-        let data: Vec<u8> = (0..4096).map(|i| if i % 2 == 0 { 0 } else { 255 }).collect();
+        let data: Vec<u8> = (0..4096)
+            .map(|i| if i % 2 == 0 { 0 } else { 255 })
+            .collect();
         let r = EntReport::analyze(&data);
         assert!(r.serial_correlation < -0.9, "{r:?}");
         assert!(!r.looks_random());

@@ -292,7 +292,7 @@ pub fn build_vf_inline(
 ) -> Result<VfBuild, String> {
     params.validate()?;
     let user_bytes = user_kernel.map(|k| k.byte_len() as u32).unwrap_or(0);
-    if user_bytes % 16 != 0 {
+    if !user_bytes.is_multiple_of(16) {
         return Err("user kernel must be a whole number of instructions".into());
     }
 
@@ -471,7 +471,14 @@ fn emit_loop(params: &VfParams, addrs: &Addrs) -> (Program, Option<usize>, u32) 
         b.mov(R_INNER, Operand::Imm(0));
         inner_off = b.here();
         for s in 0..steps {
-            emit_step(&mut b, params.unroll + s, params, addrs, agg, s + 1 == steps);
+            emit_step(
+                &mut b,
+                params.unroll + s,
+                params,
+                addrs,
+                agg,
+                s + 1 == steps,
+            );
         }
         b.ctrl(s4());
         b.iadd3(R_INNER, R_INNER, Operand::Imm(1), Reg::RZ);
@@ -571,7 +578,13 @@ fn emit_init(params: &VfParams, addrs: &Addrs, inner_off: u32) -> Program {
             c.wait_mask = 0b1111; // all four challenge loads
         }
         b.ctrl(c);
-        b.lop3(rc(i), Reg(R_CH0 + (i % 4) as u8), R_T0.into(), Reg::RZ, lut::XOR_AB);
+        b.lop3(
+            rc(i),
+            Reg(R_CH0 + (i % 4) as u8),
+            R_T0.into(),
+            Reg::RZ,
+            lut::XOR_AB,
+        );
         b.ctrl(s4());
         b.imad(rc(i), rc(i), Operand::Imm(spec::INIT_MIX), R_T1);
     }
@@ -765,9 +778,8 @@ mod tests {
         // A patched SMC immediate is NOT a finding.
         let mut dump = build.image.clone();
         let idx = build.smc_insn_index.unwrap();
-        let off = build.layout.exec_loops_off as usize
-            + idx * 16
-            + sage_isa::encode::IMM_BYTE_OFFSET;
+        let off =
+            build.layout.exec_loops_off as usize + idx * 16 + sage_isa::encode::IMM_BYTE_OFFSET;
         dump[off..off + 4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
         assert!(build.audit_image(&dump).is_empty());
 

@@ -17,8 +17,8 @@
 //!   deliberately conservative "PTXAS-style" schedule used for the §7.1
 //!   comparison;
 //! - [`replay`] — the verifier's bit-exact recomputation of the expected
-//!   checksum (parallelized with crossbeam, as the paper's multi-core
-//!   verification hosts);
+//!   checksum (parallelized with scoped std threads, as the paper's
+//!   multi-core verification hosts);
 //! - [`coverage`] — the §7.3 memory-region inclusion-probability
 //!   analysis.
 //!

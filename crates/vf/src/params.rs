@@ -69,12 +69,15 @@ impl VfParams {
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if !self.data_bytes.is_power_of_two() {
-            return Err(format!("data_bytes {} is not a power of two", self.data_bytes));
+            return Err(format!(
+                "data_bytes {} is not a power of two",
+                self.data_bytes
+            ));
         }
         if self.unroll == 0 || self.iterations == 0 {
             return Err("unroll and iterations must be positive".into());
         }
-        if self.block_threads == 0 || self.block_threads % 32 != 0 {
+        if self.block_threads == 0 || !self.block_threads.is_multiple_of(32) {
             return Err(format!(
                 "block_threads {} is not a non-zero multiple of 32",
                 self.block_threads

@@ -4,8 +4,8 @@
 //! region bytes (it built them), the challenges (it chose them), and the
 //! launch geometry. Replaying the [`crate::spec`] semantics yields
 //! the expected 8-word grid checksum, parallelized over thread blocks
-//! with crossbeam (the paper's verification hosts are many-core CPUs —
-//! Table 1 "verification (AMD/Intel)" rows).
+//! with scoped std threads (the paper's verification hosts are many-core
+//! CPUs — Table 1 "verification (AMD/Intel)" rows).
 
 use crate::{
     codegen::VfBuild,
@@ -58,8 +58,8 @@ pub fn replay_block(build: &VfBuild, challenge: &[u8; 16], block: u32) -> [u32; 
                 for iter in 0..p.iterations {
                     run_iteration(&mut st, iter);
                 }
-                for j in 0..8 {
-                    sums[j] = sums[j].wrapping_add(st.c[j]);
+                for (sum, &c) in sums.iter_mut().zip(&st.c) {
+                    *sum = sum.wrapping_add(c);
                 }
             }
         }
@@ -79,8 +79,8 @@ pub fn replay_block(build: &VfBuild, challenge: &[u8; 16], block: u32) -> [u32; 
                 n = states[0].c[0];
             }
             for st in &states {
-                for j in 0..8 {
-                    sums[j] = sums[j].wrapping_add(st.c[j]);
+                for (sum, &c) in sums.iter_mut().zip(&st.c) {
+                    *sum = sum.wrapping_add(c);
                 }
             }
         }
@@ -113,23 +113,29 @@ pub fn expected_checksum(build: &VfBuild, challenges: &[[u8; 16]]) -> [u32; 8] {
             .unwrap_or(4)
             .min(blocks as usize);
         let next = std::sync::atomic::AtomicU32::new(0);
-        let partial_slots: Vec<std::sync::Mutex<[u32; 8]>> =
-            (0..blocks).map(|_| std::sync::Mutex::new([0u32; 8])).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if b >= blocks {
-                        break;
-                    }
-                    let sums = replay_block(build, &challenges[b as usize], b);
-                    *partial_slots[b as usize].lock().expect("no poisoning") = sums;
-                });
-            }
-        })
-        .expect("replay worker panicked");
-        for (b, slot) in partial_slots.iter().enumerate() {
-            partials[b] = *slot.lock().expect("no poisoning");
+        let done: Vec<(u32, [u32; 8])> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if b >= blocks {
+                                break;
+                            }
+                            local.push((b, replay_block(build, &challenges[b as usize], b)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("replay worker panicked"))
+                .collect()
+        });
+        for (b, sums) in done {
+            partials[b as usize] = sums;
         }
     } else {
         for b in 0..blocks {
@@ -212,7 +218,7 @@ mod tests {
     #[test]
     fn parallel_path_matches_sequential() {
         let mut p = VfParams::test_tiny();
-        p.grid_blocks = 6; // exercises the crossbeam path
+        p.grid_blocks = 6; // exercises the scoped-thread path
         p.iterations = 3;
         let build = build_vf(&p, 0x1000, 7).unwrap();
         let ch = challenges(p.grid_blocks, 3);

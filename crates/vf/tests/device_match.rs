@@ -19,7 +19,8 @@ fn run_on_device(
     assert_eq!(base, build.layout.base, "build must target the alloc base");
     dev.memcpy_h2d(base, &build.image).unwrap();
     for (b, ch) in challenges.iter().enumerate() {
-        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), ch).unwrap();
+        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), ch)
+            .unwrap();
     }
     let (report, stats) = dev
         .run_single(LaunchParams {
@@ -36,9 +37,7 @@ fn run_on_device(
         stats.hazard_violations, 0,
         "generated code must be hazard-free"
     );
-    let raw = dev
-        .memcpy_d2h(build.layout.result_addr(), 32)
-        .unwrap();
+    let raw = dev.memcpy_d2h(build.layout.result_addr(), 32).unwrap();
     let mut cells = [0u32; 8];
     for (j, cell) in cells.iter_mut().enumerate() {
         *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().unwrap());
@@ -199,7 +198,8 @@ fn tampered_code_changes_checksum() {
     image[off] ^= 0x80;
     dev.memcpy_h2d(base, &image).unwrap();
     for (b, c) in ch.iter().enumerate() {
-        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), c).unwrap();
+        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), c)
+            .unwrap();
     }
     dev.run_single(LaunchParams {
         ctx,

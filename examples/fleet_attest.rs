@@ -52,8 +52,7 @@ fn main() {
         platform.launch(b"fleet-verifier", &mut demo_entropy(launch_seed))
     };
 
-    let (outcome, fleet) =
-        attest_fleet(&mut factory, DhGroup::test_group(), members, 8).unwrap();
+    let (outcome, fleet) = attest_fleet(&mut factory, DhGroup::test_group(), members, 8).unwrap();
 
     println!("\nattestation order (descending power, per §3.2):");
     for (name, att) in &outcome.attested {

@@ -23,7 +23,12 @@ fn demo_entropy(seed: u8) -> impl EntropySource {
 }
 
 fn hex(bytes: &[u8], n: usize) -> String {
-    bytes.iter().take(n).map(|b| format!("{b:02x}")).collect::<String>() + "…"
+    bytes
+        .iter()
+        .take(n)
+        .map(|b| format!("{b:02x}"))
+        .collect::<String>()
+        + "…"
 }
 
 fn main() {
@@ -42,7 +47,10 @@ fn main() {
     let mut narrate = |step: usize, msg: &mut SakeMessage| {
         let line = match msg {
             SakeMessage::Challenge { v2 } => {
-                format!("[t0] V → D : v2 = {}            (checksum challenge seed)", hex(v2, 8))
+                format!(
+                    "[t0] V → D : v2 = {}            (checksum challenge seed)",
+                    hex(v2, 8)
+                )
             }
             SakeMessage::Commit { w2, mac } => format!(
                 "[t1] D → V : w2 = {}, MAC_c(w2) = {}  (checksum-keyed commitment)",
@@ -50,7 +58,10 @@ fn main() {
                 hex(mac, 8)
             ),
             SakeMessage::RevealV1 { v1 } => {
-                format!("     V → D : v1 = {}            (chain reveal; D checks H(v1)=v2)", hex(v1, 8))
+                format!(
+                    "     V → D : v1 = {}            (chain reveal; D checks H(v1)=v2)",
+                    hex(v1, 8)
+                )
             }
             SakeMessage::DeviceReveal1 { w1, k, mac_k } => format!(
                 "     D → V : w1 = {}, k = g^b = {}, MAC(k) = {}",
@@ -59,10 +70,16 @@ fn main() {
                 hex(mac_k, 8)
             ),
             SakeMessage::RevealV0 { v0 } => {
-                format!("     V → D : v0 = g^a = {}      (final chain link = DH public)", hex(v0, 8))
+                format!(
+                    "     V → D : v0 = g^a = {}      (final chain link = DH public)",
+                    hex(v0, 8)
+                )
             }
             SakeMessage::DeviceReveal0 { w0 } => {
-                format!("     D → V : w0 = H(c‖r) = {}   (root; validates deferred MAC)", hex(w0, 8))
+                format!(
+                    "     D → V : w0 = H(c‖r) = {}   (root; validates deferred MAC)",
+                    hex(w0, 8)
+                )
             }
         };
         println!("step {step}: {line}");

@@ -59,8 +59,7 @@ B------|R-|W-|Y0|S01| EXIT ;
     // 5. A peek at real generated VF microcode: the first checksum step.
     let build = build_vf(&VfParams::test_tiny(), 0x4000, 7).unwrap();
     let l = build.layout;
-    let loop_bytes =
-        &build.image[l.ref_loop_off as usize..(l.ref_loop_off + 16 * 14) as usize];
+    let loop_bytes = &build.image[l.ref_loop_off as usize..(l.ref_loop_off + 16 * 14) as usize];
     let head = Program::decode(loop_bytes).unwrap();
     println!("--- first checksum step of a generated VF ---");
     print!("{}", head.disassemble());

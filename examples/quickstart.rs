@@ -38,10 +38,12 @@ fn main() {
     let mut params = VfParams::test_tiny();
     params.iterations = 20;
     let mut session = sage::GpuSession::install(device, &params, 0xC0DE).unwrap();
-    println!("installed VF: {} loop instructions, {} blocks x {} threads",
+    println!(
+        "installed VF: {} loop instructions, {} blocks x {} threads",
         session.build().loop_instructions,
         params.grid_blocks,
-        params.block_threads);
+        params.block_threads
+    );
 
     // 2. The verifier runs in an enclave on the host.
     let platform = SgxPlatform::new([0x42; 16]);
@@ -59,7 +61,9 @@ fn main() {
 
     // 4. Establish the dynamic root of trust and the session key (SAKE).
     let mut agent = DeviceAgent::new(Box::new(demo_entropy(7)));
-    let outcome = verifier.establish_key(&mut session, &mut agent, None).unwrap();
+    let outcome = verifier
+        .establish_key(&mut session, &mut agent, None)
+        .unwrap();
     println!(
         "attested: checksum exchange took {} cycles (threshold {}), session key established",
         outcome.measured_cycles, outcome.threshold_cycles

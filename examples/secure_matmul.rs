@@ -67,7 +67,9 @@ fn main() {
     verifier.calibrate(&mut session, 8).unwrap();
 
     let mut agent = DeviceAgent::new(Box::new(demo_entropy(9)));
-    let outcome = verifier.establish_key(&mut session, &mut agent, None).unwrap();
+    let outcome = verifier
+        .establish_key(&mut session, &mut agent, None)
+        .unwrap();
     println!("root of trust established; key exchanged");
 
     // Kernel integrity first…
@@ -119,9 +121,7 @@ fn main() {
     let captured = captured.lock().expect("no poisoning");
     let plain_a = to_bytes(&a);
     let window = &plain_a[..64];
-    let leaked = captured
-        .windows(window.len())
-        .any(|w| w == window);
+    let leaked = captured.windows(window.len()).any(|w| w == window);
     println!(
         "bus eavesdropper captured {} bytes; plaintext inputs visible: {}",
         captured.len(),

@@ -12,7 +12,8 @@ fn device_cells(params: &VfParams, challenges: &[[u8; 16]]) -> [u32; 8] {
     let build = build_vf(params, base, 0xA99A).unwrap();
     dev.memcpy_h2d(base, &build.image).unwrap();
     for (b, ch) in challenges.iter().enumerate() {
-        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), ch).unwrap();
+        dev.memcpy_h2d(build.layout.challenge_addr(b as u32), ch)
+            .unwrap();
     }
     dev.run_single(LaunchParams {
         ctx,
@@ -52,7 +53,10 @@ fn grid_cells_equal_sum_of_block_partials() {
             manual[j] = manual[j].wrapping_add(part[j]);
         }
     }
-    assert_eq!(device, manual, "Fig. 4 aggregation tree must equal Σ threads");
+    assert_eq!(
+        device, manual,
+        "Fig. 4 aggregation tree must equal Σ threads"
+    );
 }
 
 #[test]

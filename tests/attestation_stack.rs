@@ -38,7 +38,9 @@ fn attestation_on_sim_small_with_smc() {
     let mut verifier = Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
     verifier.calibrate(&mut session, 8).unwrap();
     let mut agent = DeviceAgent::new(Box::new(entropy(4)));
-    let outcome = verifier.establish_key(&mut session, &mut agent, None).unwrap();
+    let outcome = verifier
+        .establish_key(&mut session, &mut agent, None)
+        .unwrap();
 
     // External challenger path.
     let quote = verifier.quote_attestation(&outcome);
@@ -46,7 +48,9 @@ fn attestation_on_sim_small_with_smc() {
 
     // Kernel measurement on the device with the real SHA-256 microcode.
     let code = kernels::vecadd_kernel(kernels::vecadd::Elem::F32).encode();
-    verifier.verify_user_kernel(&mut session, &mut agent, &code).unwrap();
+    verifier
+        .verify_user_kernel(&mut session, &mut agent, &code)
+        .unwrap();
 }
 
 #[test]
@@ -85,7 +89,9 @@ fn sake_key_establishment_fails_fast_when_uncalibrated() {
     let enclave = platform.launch(b"verifier", &mut entropy(2));
     let mut verifier = Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
     let mut agent = DeviceAgent::new(Box::new(entropy(4)));
-    assert!(verifier.establish_key(&mut session, &mut agent, None).is_err());
+    assert!(verifier
+        .establish_key(&mut session, &mut agent, None)
+        .is_err());
 }
 
 #[test]
@@ -96,11 +102,12 @@ fn two_devices_yield_distinct_session_keys() {
         let mut session = GpuSession::install(device, &mid_params(), 0x51AC).unwrap();
         let platform = SgxPlatform::new([1u8; 16]);
         let enclave = platform.launch(b"verifier", &mut entropy(seed));
-        let mut verifier =
-            Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
+        let mut verifier = Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
         verifier.calibrate(&mut session, 6).unwrap();
         let mut agent = DeviceAgent::new(Box::new(entropy(seed + 1)));
-        let outcome = verifier.establish_key(&mut session, &mut agent, None).unwrap();
+        let outcome = verifier
+            .establish_key(&mut session, &mut agent, None)
+            .unwrap();
         keys.push(outcome.session_key);
     }
     assert_ne!(keys[0], keys[1]);

