@@ -16,8 +16,16 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> service fleet integration (fault injection across seeds)"
+cargo test -q --test service_fleet
+
 echo "==> simperf smoke (1 iteration, 1 repeat, bit-exactness cross-checked)"
 cargo run -q --release -p sage-bench --bin simperf -- \
     --iterations 1 --repeats 1 --out /tmp/BENCH_sim_smoke.json
+
+echo "==> svcperf smoke (fixed seed, snapshot asserted non-empty)"
+cargo run -q --release -p sage-bench --bin svcperf -- \
+    --devices 2 --rounds 2 --seed 7 --out /tmp/BENCH_svc_smoke.json
+test -s /tmp/BENCH_svc_smoke.json
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,155 @@
+//! Attestation-service throughput harness.
+//!
+//! Drives a fleet of honest simulated devices through the full control
+//! plane — framed wire codec, simulated network, per-device lifecycle
+//! state machine — until every device has passed a target number of
+//! re-attestation rounds, and reports:
+//!
+//! * wall-clock rounds/second (the service's steady-state attestation
+//!   throughput, the figure a fleet operator sizes the verifier host by),
+//! * virtual ticks consumed and virtual-ticks-per-round,
+//! * the service's own snapshot: per-device final state and the full
+//!   event-counter block.
+//!
+//! Everything is seeded, so a fixed `--seed` reproduces the identical
+//! fleet history (same round outcomes, same counters); only the
+//! wall-clock figures vary between machines. Results go to
+//! `BENCH_svc.json` for CI trend tracking.
+//!
+//! Usage:
+//!   svcperf [--devices N] [--rounds N] [--seed N] [--out PATH]
+
+use std::time::Instant;
+
+use sage::agent::DeviceAgent;
+use sage::multi::FleetMember;
+use sage::GpuSession;
+use sage_crypto::DhGroup;
+use sage_gpu_sim::{Device, DeviceConfig};
+use sage_service::{AttestationService, DeviceState, LinkProfile, ServiceConfig, SimNet};
+use sage_sgx_sim::SgxPlatform;
+use sage_vf::VfParams;
+
+fn entropy(seed: u8) -> impl FnMut(&mut [u8]) {
+    let mut state = seed;
+    move |buf: &mut [u8]| {
+        for b in buf {
+            state = state.wrapping_mul(181).wrapping_add(101);
+            *b = state;
+        }
+    }
+}
+
+fn member(index: usize, seed: u64) -> FleetMember {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 5;
+    let session = GpuSession::install(Device::new(DeviceConfig::sim_tiny()), &params, 0xF1EE7)
+        .expect("install");
+    let agent_seed = (seed as u8).wrapping_add(index as u8).wrapping_mul(3) | 1;
+    let mut m = FleetMember::new(session, DeviceAgent::new(Box::new(entropy(agent_seed))));
+    m.name = format!("gpu-{index:02}");
+    m
+}
+
+fn main() {
+    let mut devices = 4usize;
+    let mut rounds = 10u64;
+    let mut seed = 7u64;
+    let mut out_path = String::from("BENCH_svc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--devices" => {
+                devices = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--devices N")
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds N")
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: svcperf [--devices N] [--rounds N] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        devices > 0 && rounds > 0,
+        "need at least one device and round"
+    );
+
+    let net = SimNet::new(
+        seed,
+        LinkProfile {
+            latency: 100,
+            jitter: 25,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        },
+    );
+    let cfg = ServiceConfig::default();
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
+
+    eprintln!("svcperf: {devices} devices x {rounds} rounds, seed {seed}");
+    let platform = SgxPlatform::new([7u8; 16]);
+    let t0 = Instant::now();
+    for i in 0..devices {
+        let enclave_seed = (seed as u8).wrapping_add(i as u8).wrapping_mul(5) | 1;
+        let enclave = platform.launch(b"svcperf-verifier", &mut entropy(enclave_seed));
+        svc.join(member(i, seed), enclave);
+    }
+    let enroll_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut windows = 0u64;
+    while svc.statuses().iter().any(|s| s.rounds_passed < rounds) {
+        svc.run_for(cfg.reattest_interval);
+        windows += 1;
+        assert!(
+            windows <= rounds * 4 + 8,
+            "fleet failed to converge: {}",
+            svc.snapshot_json()
+        );
+    }
+    let steady_wall = t1.elapsed().as_secs_f64();
+
+    for s in svc.statuses() {
+        assert_eq!(s.state, DeviceState::Trusted, "{} not trusted", s.name);
+        assert!(s.rounds_passed >= rounds);
+    }
+    let total_rounds = svc.log().counters().rounds_passed;
+    let rounds_per_sec = total_rounds as f64 / steady_wall.max(1e-9);
+    let virtual_ticks = svc.now();
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"devices\": {devices},\n  \"target_rounds\": {rounds},\n  \"seed\": {seed},\n"
+    ));
+    out.push_str(&format!(
+        "  \"enroll_wall_seconds\": {enroll_wall:.6},\n  \"steady_wall_seconds\": {steady_wall:.6},\n"
+    ));
+    out.push_str(&format!(
+        "  \"rounds_passed_total\": {total_rounds},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n"
+    ));
+    out.push_str(&format!(
+        "  \"virtual_ticks\": {virtual_ticks},\n  \"virtual_ticks_per_round\": {:.1},\n",
+        virtual_ticks as f64 / total_rounds.max(1) as f64
+    ));
+    out.push_str("  \"snapshot\": ");
+    // snapshot_json() ends with a newline; splice it in indented.
+    out.push_str(svc.snapshot_json().trim_end());
+    out.push_str("\n}\n");
+    std::fs::write(&out_path, out).expect("write BENCH_svc.json");
+
+    println!(
+        "{devices} devices, {total_rounds} rounds in {steady_wall:.3}s  ({rounds_per_sec:.1} rounds/s, {virtual_ticks} virtual ticks)"
+    );
+    println!("wrote {out_path}");
+}

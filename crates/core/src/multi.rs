@@ -52,60 +52,137 @@ impl FleetMember {
     }
 }
 
+/// The protocol phase a fleet attestation failed in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FleetPhase {
+    /// Timing calibration of a new device.
+    Calibrate,
+    /// Key establishment (modified SAKE) on a new device.
+    Establish,
+    /// Re-verification of an already established root of trust.
+    Maintain,
+}
+
+/// A mid-fleet failure: which device failed, in which phase, and why.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FleetFailure {
+    /// The device the failure occurred on.
+    pub device: String,
+    /// The phase it failed in.
+    pub phase: FleetPhase,
+    /// The underlying protocol error.
+    pub error: SageError,
+}
+
+impl std::fmt::Display for FleetFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device {} failed during {:?}: {}",
+            self.device, self.phase, self.error
+        )
+    }
+}
+
 /// The outcome of a fleet attestation.
+///
+/// On failure the already-attested prefix is *kept*: `attested` holds
+/// every device whose root of trust was established before the failure,
+/// and `failure` names the device that broke the sequence and why.
 pub struct FleetOutcome {
     /// Per-device results, in the order the devices were attested
     /// (descending power).
     pub attested: Vec<(String, AttestationOutcome)>,
+    /// The first failure, if the sequence did not complete.
+    pub failure: Option<FleetFailure>,
+}
+
+impl FleetOutcome {
+    /// Whether every submitted device was attested.
+    pub fn is_complete(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Converts to a `Result`, discarding the partial prefix on failure
+    /// (the pre-partial-results behaviour).
+    pub fn into_result(self) -> Result<Vec<(String, AttestationOutcome)>> {
+        match self.failure {
+            None => Ok(self.attested),
+            Some(f) => Err(SageError::Protocol(f.to_string())),
+        }
+    }
+}
+
+/// Sorts members most-powerful-first (paper §3.2), breaking equal
+/// [`power_score`]s deterministically by device name so fleets with
+/// identical hardware attest in a stable order across runs.
+pub fn sort_most_powerful_first(members: &mut [FleetMember]) {
+    members.sort_by(|a, b| {
+        power_score(&b.session.dev.cfg)
+            .cmp(&power_score(&a.session.dev.cfg))
+            .then_with(|| a.name.cmp(&b.name))
+    });
 }
 
 /// Attests every fleet member in descending power order, re-verifying all
 /// previously attested members after each new establishment.
 ///
 /// `calibration_runs` timed exchanges are used per device to establish
-/// its threshold. Returns the per-device outcomes or the first failure
-/// (naming the device in the error).
+/// its threshold. Always returns the per-device outcomes for the attested
+/// prefix together with the established sessions; a mid-fleet failure is
+/// reported in [`FleetOutcome::failure`] rather than discarding the
+/// devices already attested.
 pub fn attest_fleet(
     enclave_factory: &mut dyn FnMut() -> Enclave,
     group: DhGroup,
     mut members: Vec<FleetMember>,
     calibration_runs: usize,
-) -> Result<(FleetOutcome, Vec<(FleetMember, Verifier)>)> {
-    // Most powerful first (paper §3.2).
-    members.sort_by_key(|m| std::cmp::Reverse(power_score(&m.session.dev.cfg)));
+) -> (FleetOutcome, Vec<(FleetMember, Verifier)>) {
+    sort_most_powerful_first(&mut members);
 
     let mut attested: Vec<(String, AttestationOutcome)> = Vec::new();
     let mut done: Vec<(FleetMember, Verifier)> = Vec::new();
+    let mut failure = None;
 
-    for mut member in members {
+    'fleet: for mut member in members {
         let mut verifier = Verifier::new(
             enclave_factory(),
             member.session.build().clone(),
             group.clone(),
         );
-        verifier
-            .calibrate(&mut member.session, calibration_runs)
-            .map_err(|e| named(&member.name, e))?;
-        let outcome = verifier
-            .establish_key(&mut member.session, &mut member.agent, None)
-            .map_err(|e| named(&member.name, e))?;
+        if let Err(e) = verifier.calibrate(&mut member.session, calibration_runs) {
+            failure = Some(fail(&member.name, FleetPhase::Calibrate, e));
+            break;
+        }
+        let outcome = match verifier.establish_key(&mut member.session, &mut member.agent, None) {
+            Ok(o) => o,
+            Err(e) => {
+                failure = Some(fail(&member.name, FleetPhase::Establish, e));
+                break;
+            }
+        };
         attested.push((member.name.clone(), outcome));
         done.push((member, verifier));
 
         // Actively maintain the RoTs established so far: one fresh
         // verification round per earlier device.
         for (earlier, earlier_verifier) in done.iter_mut() {
-            earlier_verifier
-                .verify_once(&mut earlier.session)
-                .map_err(|e| named(&earlier.name, e))?;
+            if let Err(e) = earlier_verifier.verify_once(&mut earlier.session) {
+                failure = Some(fail(&earlier.name, FleetPhase::Maintain, e));
+                break 'fleet;
+            }
         }
     }
 
-    Ok((FleetOutcome { attested }, done))
+    (FleetOutcome { attested, failure }, done)
 }
 
-fn named(name: &str, e: SageError) -> SageError {
-    SageError::Protocol(format!("device {name}: {e}"))
+fn fail(name: &str, phase: FleetPhase, error: SageError) -> FleetFailure {
+    FleetFailure {
+        device: name.to_string(),
+        phase,
+        error,
+    }
 }
 
 #[cfg(test)]
@@ -133,8 +210,17 @@ mod tests {
         FleetMember::new(session, DeviceAgent::new(Box::new(entropy(seed))))
     }
 
-    fn run_fleet(cfgs: Vec<DeviceConfig>) -> Result<FleetOutcome> {
+    fn fleet_of(members: Vec<FleetMember>) -> (FleetOutcome, Vec<(FleetMember, Verifier)>) {
         let platform = SgxPlatform::new([7u8; 16]);
+        let mut launch_seed = 60u8;
+        let mut factory = move || {
+            launch_seed += 1;
+            platform.launch(b"fleet-verifier", &mut entropy(launch_seed))
+        };
+        attest_fleet(&mut factory, DhGroup::test_group(), members, 5)
+    }
+
+    fn run_fleet(cfgs: Vec<DeviceConfig>) -> FleetOutcome {
         let mut seed = 40u8;
         let members = cfgs
             .into_iter()
@@ -143,12 +229,7 @@ mod tests {
                 member(c, seed)
             })
             .collect();
-        let mut launch_seed = 60u8;
-        let mut factory = move || {
-            launch_seed += 1;
-            platform.launch(b"fleet-verifier", &mut entropy(launch_seed))
-        };
-        attest_fleet(&mut factory, DhGroup::test_group(), members, 5).map(|(o, _)| o)
+        fleet_of(members).0
     }
 
     #[test]
@@ -156,8 +237,8 @@ mod tests {
         let outcome = run_fleet(vec![
             DeviceConfig::sim_tiny(),  // 1 SM
             DeviceConfig::sim_small(), // 2 SMs — more powerful
-        ])
-        .unwrap();
+        ]);
+        assert!(outcome.is_complete());
         assert_eq!(outcome.attested.len(), 2);
         assert_eq!(outcome.attested[0].0, "SIM-SMALL");
         assert_eq!(outcome.attested[1].0, "SIM-TINY");
@@ -172,7 +253,47 @@ mod tests {
 
     #[test]
     fn single_device_fleet_works() {
-        let outcome = run_fleet(vec![DeviceConfig::sim_tiny()]).unwrap();
+        let outcome = run_fleet(vec![DeviceConfig::sim_tiny()]);
+        assert!(outcome.is_complete());
         assert_eq!(outcome.attested.len(), 1);
+        assert_eq!(outcome.into_result().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn equal_power_ties_break_on_name() {
+        // Two identical devices: power scores tie, so the deterministic
+        // name tie-break decides the attestation order.
+        let mut a = member(DeviceConfig::sim_tiny(), 41);
+        a.name = "tiny-b".into();
+        let mut b = member(DeviceConfig::sim_tiny(), 42);
+        b.name = "tiny-a".into();
+        let (outcome, _) = fleet_of(vec![a, b]);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.attested[0].0, "tiny-a");
+        assert_eq!(outcome.attested[1].0, "tiny-b");
+    }
+
+    #[test]
+    fn mid_fleet_failure_keeps_attested_prefix() {
+        // The weaker device's static checksum data is corrupted, so its
+        // calibration fails — but the stronger device, attested first,
+        // must survive in the outcome with its established session.
+        let strong = member(DeviceConfig::sim_small(), 43);
+        let mut weak = member(DeviceConfig::sim_tiny(), 44);
+        let layout = weak.session.build().layout;
+        weak.session
+            .dev
+            .poke(layout.base + layout.fill_off + 16, &[0xFF; 4])
+            .unwrap();
+        let (outcome, done) = fleet_of(vec![strong, weak]);
+
+        assert_eq!(outcome.attested.len(), 1);
+        assert_eq!(outcome.attested[0].0, "SIM-SMALL");
+        assert_eq!(done.len(), 1);
+        let failure = outcome.failure.as_ref().expect("weak device must fail");
+        assert_eq!(failure.device, "SIM-TINY");
+        assert_eq!(failure.phase, FleetPhase::Calibrate);
+        assert!(matches!(failure.error, SageError::ChecksumMismatch { .. }));
+        assert!(outcome.into_result().is_err());
     }
 }

@@ -36,7 +36,24 @@ impl Calibration {
     ///
     /// Panics if `samples` is empty.
     pub fn from_samples_k(samples: &[u64], k_sigma: f64) -> Calibration {
-        assert!(!samples.is_empty(), "calibration requires samples");
+        Calibration::try_from_samples_k(samples, k_sigma).expect("calibration requires samples")
+    }
+
+    /// Fallible variant of [`Calibration::from_samples`]: returns
+    /// [`SageError::Protocol`] on empty input instead of panicking, so
+    /// long-running layers (the attestation service) can degrade
+    /// gracefully when a device yields no usable samples.
+    pub fn try_from_samples(samples: &[u64]) -> crate::error::Result<Calibration> {
+        Calibration::try_from_samples_k(samples, 2.5)
+    }
+
+    /// Fallible variant of [`Calibration::from_samples_k`].
+    pub fn try_from_samples_k(samples: &[u64], k_sigma: f64) -> crate::error::Result<Calibration> {
+        if samples.is_empty() {
+            return Err(crate::error::SageError::Protocol(
+                "calibration requires samples".into(),
+            ));
+        }
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
         let var = samples
@@ -47,12 +64,12 @@ impl Calibration {
             })
             .sum::<f64>()
             / n;
-        Calibration {
+        Ok(Calibration {
             t_avg: mean,
             sigma: var.sqrt(),
             runs: samples.len(),
             k_sigma,
-        }
+        })
     }
 
     /// The detection threshold `T_avg + k·σ`, in cycles (rounded up).
@@ -169,5 +186,15 @@ mod tests {
     #[should_panic(expected = "requires samples")]
     fn empty_samples_panic() {
         let _ = Calibration::from_samples(&[]);
+    }
+
+    #[test]
+    fn try_from_samples_reports_empty_input() {
+        assert!(matches!(
+            Calibration::try_from_samples(&[]),
+            Err(crate::error::SageError::Protocol(_))
+        ));
+        let c = Calibration::try_from_samples(&[100, 102, 98, 100]).unwrap();
+        assert_eq!(c, Calibration::from_samples(&[100, 102, 98, 100]));
     }
 }

@@ -77,7 +77,7 @@ impl Verifier {
             }
             samples.push(measured);
         }
-        let calibration = Calibration::from_samples(&samples);
+        let calibration = Calibration::try_from_samples(&samples)?;
         self.calibration = Some(calibration);
         Ok(calibration)
     }
@@ -146,19 +146,42 @@ impl Verifier {
         Ok(calibration.threshold())
     }
 
+    /// The calibrated detection threshold (`T_avg + k·σ`), if calibrated.
+    pub fn threshold(&self) -> Option<u64> {
+        self.calibration.map(|c| c.threshold())
+    }
+
+    /// Judges a checksum response that was produced elsewhere (e.g.
+    /// received over a transport): replays the expected value for
+    /// `challenges`, then applies the value and timing verdicts. Returns
+    /// the threshold the measurement was checked against.
+    ///
+    /// This is the remote-verification hook the attestation service layer
+    /// uses — [`Verifier::verify_once`] is the local, session-driving
+    /// equivalent.
+    pub fn check_response(
+        &mut self,
+        challenges: &[[u8; 16]],
+        got: [u32; 8],
+        measured: u64,
+    ) -> Result<u64> {
+        let expected = self.expected(challenges);
+        if got != expected {
+            self.stats.value_rejects += 1;
+            return Err(SageError::ChecksumMismatch { got, expected });
+        }
+        let threshold = self.check_timing(measured)?;
+        self.stats.accepted += 1;
+        Ok(threshold)
+    }
+
     /// One challenge–response verification round: fresh challenges, timed
     /// run, value and timing verdicts (the repeated invocation of Fig. 3,
     /// step 4).
     pub fn verify_once(&mut self, session: &mut GpuSession) -> Result<u64> {
         let ch = self.generate_challenges();
         let (got, measured) = session.run_checksum(&ch)?;
-        let expected = self.expected(&ch);
-        if got != expected {
-            self.stats.value_rejects += 1;
-            return Err(SageError::ChecksumMismatch { got, expected });
-        }
-        self.check_timing(measured)?;
-        self.stats.accepted += 1;
+        self.check_response(&ch, got, measured)?;
         Ok(measured)
     }
 

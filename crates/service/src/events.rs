@@ -1,0 +1,300 @@
+//! Structured event log and counters — the control plane's observability
+//! surface, exported as JSON for dashboards and the `svcperf` benchmark.
+
+use crate::service::DeviceState;
+
+/// Why a round failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailReason {
+    /// The checksum value did not match the verifier's replay.
+    WrongValue,
+    /// The reported exchange time exceeded `T_avg + k·σ`.
+    TooSlow,
+    /// No response arrived before the round deadline.
+    Timeout,
+}
+
+impl FailReason {
+    /// Stable string tag used in the JSON export.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailReason::WrongValue => "wrong_value",
+            FailReason::TooSlow => "too_slow",
+            FailReason::Timeout => "timeout",
+        }
+    }
+}
+
+/// One lifecycle event of a managed device.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EventKind {
+    /// The device joined the fleet.
+    Joined,
+    /// Timing calibration failed during enrollment.
+    CalibrationFailed,
+    /// Key establishment failed during enrollment.
+    EstablishFailed,
+    /// The device transitioned between lifecycle states.
+    StateChanged {
+        /// Previous state.
+        from: DeviceState,
+        /// New state.
+        to: DeviceState,
+    },
+    /// A re-attestation round was dispatched.
+    RoundStarted {
+        /// Round number.
+        round: u64,
+    },
+    /// A round passed both verdicts.
+    RoundPassed {
+        /// Round number.
+        round: u64,
+        /// Measured exchange time in cycles.
+        measured: u64,
+    },
+    /// A round failed.
+    RoundFailed {
+        /// Round number.
+        round: u64,
+        /// Failure classification.
+        reason: FailReason,
+    },
+    /// A timing-only reject was answered with a restart (the paper's
+    /// false-positive rule).
+    Restarted {
+        /// Round number that was restarted.
+        round: u64,
+    },
+    /// A response arrived for a round that is no longer outstanding
+    /// (late, duplicated, or replayed) and was ignored.
+    LateResponse {
+        /// The round number the response claimed.
+        round: u64,
+    },
+    /// The device left the fleet (operator revocation).
+    Left,
+}
+
+/// A timestamped, per-device event.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Event {
+    /// Virtual time the event occurred at.
+    pub at: u64,
+    /// Device name.
+    pub device: String,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Aggregate counters, maintained as events are recorded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Devices that joined.
+    pub joins: u64,
+    /// Devices that left.
+    pub leaves: u64,
+    /// Rounds dispatched.
+    pub rounds_started: u64,
+    /// Rounds that passed.
+    pub rounds_passed: u64,
+    /// Rounds rejected on checksum value.
+    pub value_rejects: u64,
+    /// Rounds rejected on timing.
+    pub timing_rejects: u64,
+    /// Rounds that timed out.
+    pub timeouts: u64,
+    /// False-positive restarts issued.
+    pub restarts: u64,
+    /// Late/duplicate/replayed responses ignored.
+    pub late_responses: u64,
+    /// Devices quarantined.
+    pub quarantines: u64,
+    /// Enrollment calibration failures.
+    pub calibration_failures: u64,
+}
+
+/// The append-only event log.
+#[derive(Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+    counters: Counters,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends an event and updates the derived counters.
+    pub fn record(&mut self, at: u64, device: &str, kind: EventKind) {
+        match &kind {
+            EventKind::Joined => self.counters.joins += 1,
+            EventKind::Left => self.counters.leaves += 1,
+            EventKind::CalibrationFailed => self.counters.calibration_failures += 1,
+            EventKind::EstablishFailed => {}
+            EventKind::StateChanged { to, .. } => {
+                if *to == DeviceState::Quarantined {
+                    self.counters.quarantines += 1;
+                }
+            }
+            EventKind::RoundStarted { .. } => self.counters.rounds_started += 1,
+            EventKind::RoundPassed { .. } => self.counters.rounds_passed += 1,
+            EventKind::RoundFailed { reason, .. } => match reason {
+                FailReason::WrongValue => self.counters.value_rejects += 1,
+                FailReason::TooSlow => self.counters.timing_rejects += 1,
+                FailReason::Timeout => self.counters.timeouts += 1,
+            },
+            EventKind::Restarted { .. } => self.counters.restarts += 1,
+            EventKind::LateResponse { .. } => self.counters.late_responses += 1,
+        }
+        self.events.push(Event {
+            at,
+            device: device.to_string(),
+            kind,
+        });
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Current counter snapshot.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Renders the counters as a JSON object (no trailing newline).
+    pub fn counters_json(&self) -> String {
+        let c = self.counters;
+        format!(
+            concat!(
+                "{{\"joins\": {}, \"leaves\": {}, \"rounds_started\": {}, ",
+                "\"rounds_passed\": {}, \"value_rejects\": {}, \"timing_rejects\": {}, ",
+                "\"timeouts\": {}, \"restarts\": {}, \"late_responses\": {}, ",
+                "\"quarantines\": {}, \"calibration_failures\": {}}}"
+            ),
+            c.joins,
+            c.leaves,
+            c.rounds_started,
+            c.rounds_passed,
+            c.value_rejects,
+            c.timing_rejects,
+            c.timeouts,
+            c.restarts,
+            c.late_responses,
+            c.quarantines,
+            c.calibration_failures,
+        )
+    }
+
+    /// Renders the full log (counters + events) as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": ");
+        out.push_str(&self.counters_json());
+        out.push_str(",\n  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"at\": {}, \"device\": \"{}\", {}}}{}\n",
+                e.at,
+                json_str(&e.device),
+                kind_json(&e.kind),
+                if i + 1 == self.events.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Asserts a string needs no JSON escaping (device names are plain
+/// identifiers throughout the tree) and passes it through.
+pub fn json_str(s: &str) -> &str {
+    assert!(
+        !s.contains('"') && !s.contains('\\') && !s.chars().any(|c| c.is_control()),
+        "unescapable string: {s:?}"
+    );
+    s
+}
+
+fn kind_json(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Joined => "\"kind\": \"joined\"".into(),
+        EventKind::CalibrationFailed => "\"kind\": \"calibration_failed\"".into(),
+        EventKind::EstablishFailed => "\"kind\": \"establish_failed\"".into(),
+        EventKind::StateChanged { from, to } => format!(
+            "\"kind\": \"state_changed\", \"from\": \"{}\", \"to\": \"{}\"",
+            from.as_str(),
+            to.as_str()
+        ),
+        EventKind::RoundStarted { round } => {
+            format!("\"kind\": \"round_started\", \"round\": {round}")
+        }
+        EventKind::RoundPassed { round, measured } => {
+            format!("\"kind\": \"round_passed\", \"round\": {round}, \"measured\": {measured}")
+        }
+        EventKind::RoundFailed { round, reason } => format!(
+            "\"kind\": \"round_failed\", \"round\": {round}, \"reason\": \"{}\"",
+            reason.as_str()
+        ),
+        EventKind::Restarted { round } => format!("\"kind\": \"restarted\", \"round\": {round}"),
+        EventKind::LateResponse { round } => {
+            format!("\"kind\": \"late_response\", \"round\": {round}")
+        }
+        EventKind::Left => "\"kind\": \"left\"".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_events() {
+        let mut log = EventLog::new();
+        log.record(0, "a", EventKind::Joined);
+        log.record(1, "a", EventKind::RoundStarted { round: 1 });
+        log.record(
+            2,
+            "a",
+            EventKind::RoundFailed {
+                round: 1,
+                reason: FailReason::Timeout,
+            },
+        );
+        log.record(
+            3,
+            "a",
+            EventKind::StateChanged {
+                from: DeviceState::Trusted,
+                to: DeviceState::Quarantined,
+            },
+        );
+        let c = log.counters();
+        assert_eq!(c.joins, 1);
+        assert_eq!(c.rounds_started, 1);
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.quarantines, 1);
+        assert_eq!(log.events().len(), 4);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut log = EventLog::new();
+        log.record(
+            5,
+            "dev-1",
+            EventKind::RoundPassed {
+                round: 2,
+                measured: 123,
+            },
+        );
+        let j = log.to_json();
+        assert!(j.contains("\"round_passed\""));
+        assert!(j.contains("\"rounds_passed\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

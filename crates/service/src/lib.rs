@@ -1,0 +1,49 @@
+//! Fleet attestation control plane (the service layer above the SAGE
+//! protocol core).
+//!
+//! The paper's protocol (§3.2, §7.2, §8) assumes a verifier that
+//! *continuously maintains* roots of trust across a heterogeneous GPU
+//! fleet. The protocol core (`sage`) gives one-shot primitives; this
+//! crate adds the long-running layer production GPU-validation systems
+//! are built from:
+//!
+//! - [`wire`] — a framed, versioned codec for verifier↔agent SAKE
+//!   messages, secure-channel [`sage::channel::Wire`] data, and the
+//!   service's own challenge/response frames;
+//! - [`net`] — the [`net::Transport`] trait plus [`net::SimNet`], a
+//!   seeded virtual-clock network with latency, jitter, drop and
+//!   duplication, and targeted per-link fault injection;
+//! - [`node`] — the device-side endpoint answering re-attestation
+//!   challenges (with a post-enrollment compromise knob for tests);
+//! - [`policy`] — quarantine budget, timing-restart allowance (the
+//!   paper's 0.5% false-positive rule) and exponential backoff;
+//! - [`events`] — the structured event log and counters, exported as
+//!   JSON;
+//! - [`service`] — [`service::AttestationService`]: the per-device
+//!   lifecycle state machine (`Enrolled → Attesting → Trusted →
+//!   Degraded → Quarantined/Revoked`), deadline-driven re-attestation
+//!   scheduling, and most-powerful-first roster maintenance across
+//!   join/leave.
+//!
+//! Everything is deterministic: one seed fixes the network, the device
+//! timing and therefore the entire fleet history, which is what lets the
+//! integration tests (`tests/service_fleet.rs` at the workspace root)
+//! assert exact lifecycle outcomes under fault injection, and what makes
+//! `svcperf` runs reproducible.
+//!
+//! See DESIGN.md §5 for the architecture and EXPERIMENTS.md for the
+//! walkthrough (`examples/attestation_service.rs`).
+
+pub mod events;
+pub mod net;
+pub mod node;
+pub mod policy;
+pub mod service;
+pub mod wire;
+
+pub use events::{Counters, Event, EventKind, EventLog, FailReason};
+pub use net::{Envelope, Fault, LinkProfile, NetStats, NodeId, SimNet, SplitMix64, Transport};
+pub use node::DeviceNode;
+pub use policy::Policy;
+pub use service::{AttestationService, DeviceState, DeviceStatus, ServiceConfig, VERIFIER_NODE};
+pub use wire::{CodecError, Frame};

@@ -1,0 +1,415 @@
+//! The transport abstraction and its deterministic in-process
+//! implementation.
+//!
+//! The control plane never talks to a device directly: every byte crosses
+//! a [`Transport`], so the same service loop can later be bound to a real
+//! socket. The in-tree implementation, [`SimNet`], is a virtual-clock
+//! message switch with *seeded* latency, jitter, drop and duplication —
+//! the whole fleet simulation is reproducible from one `u64` seed, which
+//! is what lets the integration tests assert exact lifecycle outcomes
+//! across fault injection.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A node address on the control-plane network. The verifier is
+/// conventionally node 0; devices get ascending ids as they join.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct NodeId(pub u16);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An addressed, encoded frame in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Encoded frame bytes (see [`crate::wire`]).
+    pub bytes: Vec<u8>,
+}
+
+/// A message transport driven by the service's virtual clock.
+pub trait Transport {
+    /// Hands an envelope to the network at virtual time `now` (a future
+    /// `now` models a sender that finishes composing the message later,
+    /// e.g. a device still running its checksum).
+    fn send(&mut self, now: u64, env: Envelope);
+
+    /// Takes the next envelope that has arrived at `node` by time `now`,
+    /// in arrival order.
+    fn poll(&mut self, now: u64, node: NodeId) -> Option<Envelope>;
+
+    /// The earliest virtual time at which new work exists: a queued
+    /// arrival, or an already-delivered envelope waiting in an inbox.
+    fn next_event_at(&self) -> Option<u64>;
+}
+
+/// SplitMix64 — the crate's only randomness source, seeded and
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n = 0` returns 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Bernoulli draw with probability `pm`/1000.
+    pub fn per_mille(&mut self, pm: u16) -> bool {
+        self.below(1000) < pm as u64
+    }
+}
+
+/// Per-link delivery characteristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Base one-way latency in virtual ticks.
+    pub latency: u64,
+    /// Uniform jitter added on top (`0..=jitter`).
+    pub jitter: u64,
+    /// Probability (per mille) that a frame is silently dropped.
+    pub drop_per_mille: u16,
+    /// Probability (per mille) that a frame is delivered twice.
+    pub dup_per_mille: u16,
+}
+
+impl Default for LinkProfile {
+    fn default() -> LinkProfile {
+        LinkProfile {
+            latency: 100,
+            jitter: 25,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        }
+    }
+}
+
+impl LinkProfile {
+    /// The worst-case one-way delay this profile can produce (absent
+    /// targeted faults) — what a deadline budget must cover.
+    pub fn worst_case_delay(&self) -> u64 {
+        self.latency + self.jitter
+    }
+}
+
+/// A targeted, deterministic fault on one directed link — the scripted
+/// counterpart to the profile's random loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop the next `remaining` frames sent from `src` to `dst`.
+    DropNext {
+        /// Sending node to match.
+        src: NodeId,
+        /// Destination node to match.
+        dst: NodeId,
+        /// How many frames to drop.
+        remaining: u32,
+    },
+    /// Delay the next `remaining` frames from `src` to `dst` by `extra`
+    /// ticks beyond the profile's latency.
+    DelayNext {
+        /// Sending node to match.
+        src: NodeId,
+        /// Destination node to match.
+        dst: NodeId,
+        /// Extra delay in ticks.
+        extra: u64,
+        /// How many frames to delay.
+        remaining: u32,
+    },
+}
+
+/// Delivery counters for observability and test assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to `send`.
+    pub sent: u64,
+    /// Frames that reached an inbox (duplicates count).
+    pub delivered: u64,
+    /// Frames dropped by the random loss profile.
+    pub dropped: u64,
+    /// Extra copies scheduled by the duplication profile.
+    pub duplicated: u64,
+    /// Frames dropped by a targeted [`Fault::DropNext`].
+    pub fault_dropped: u64,
+    /// Frames delayed by a targeted [`Fault::DelayNext`].
+    pub fault_delayed: u64,
+}
+
+/// The deterministic in-process network.
+pub struct SimNet {
+    rng: SplitMix64,
+    profile: LinkProfile,
+    link_overrides: BTreeMap<(NodeId, NodeId), LinkProfile>,
+    // Keyed by (delivery time, submission sequence): BTreeMap iteration
+    // order IS the delivery order, so ties break deterministically.
+    in_flight: BTreeMap<(u64, u64), Envelope>,
+    seq: u64,
+    inboxes: BTreeMap<NodeId, VecDeque<Envelope>>,
+    faults: Vec<Fault>,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Creates a network with one default profile for every link.
+    pub fn new(seed: u64, profile: LinkProfile) -> SimNet {
+        SimNet {
+            rng: SplitMix64::new(seed),
+            profile,
+            link_overrides: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            seq: 0,
+            inboxes: BTreeMap::new(),
+            faults: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Overrides the profile of one directed link.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, profile: LinkProfile) {
+        self.link_overrides.insert((src, dst), profile);
+    }
+
+    /// The profile a `src → dst` frame would use.
+    pub fn profile_for(&self, src: NodeId, dst: NodeId) -> LinkProfile {
+        *self
+            .link_overrides
+            .get(&(src, dst))
+            .unwrap_or(&self.profile)
+    }
+
+    /// Arms a targeted fault.
+    pub fn inject(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn take_drop_fault(&mut self, src: NodeId, dst: NodeId) -> bool {
+        for f in &mut self.faults {
+            if let Fault::DropNext {
+                src: s,
+                dst: d,
+                remaining,
+            } = f
+            {
+                if *s == src && *d == dst && *remaining > 0 {
+                    *remaining -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn take_delay_fault(&mut self, src: NodeId, dst: NodeId) -> u64 {
+        for f in &mut self.faults {
+            if let Fault::DelayNext {
+                src: s,
+                dst: d,
+                extra,
+                remaining,
+            } = f
+            {
+                if *s == src && *d == dst && *remaining > 0 {
+                    *remaining -= 1;
+                    return *extra;
+                }
+            }
+        }
+        0
+    }
+
+    fn enqueue(&mut self, at: u64, env: Envelope) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.in_flight.insert(key, env);
+    }
+
+    fn deliver_due(&mut self, now: u64) {
+        while let Some((&(at, seq), _)) = self.in_flight.iter().next() {
+            if at > now {
+                break;
+            }
+            let env = self.in_flight.remove(&(at, seq)).expect("present");
+            self.stats.delivered += 1;
+            self.inboxes.entry(env.dst).or_default().push_back(env);
+        }
+    }
+}
+
+impl Transport for SimNet {
+    fn send(&mut self, now: u64, env: Envelope) {
+        self.stats.sent += 1;
+        if self.take_drop_fault(env.src, env.dst) {
+            self.stats.fault_dropped += 1;
+            return;
+        }
+        let extra = self.take_delay_fault(env.src, env.dst);
+        if extra > 0 {
+            self.stats.fault_delayed += 1;
+        }
+        let profile = self.profile_for(env.src, env.dst);
+        if self.rng.per_mille(profile.drop_per_mille) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let at = now + extra + profile.latency + self.rng.below(profile.jitter + 1);
+        if self.rng.per_mille(profile.dup_per_mille) {
+            self.stats.duplicated += 1;
+            let dup_at = at + 1 + self.rng.below(profile.jitter + 1);
+            self.enqueue(dup_at, env.clone());
+        }
+        self.enqueue(at, env);
+    }
+
+    fn poll(&mut self, now: u64, node: NodeId) -> Option<Envelope> {
+        self.deliver_due(now);
+        self.inboxes.get_mut(&node)?.pop_front()
+    }
+
+    fn next_event_at(&self) -> Option<u64> {
+        if self.inboxes.values().any(|q| !q.is_empty()) {
+            return Some(0); // pending work is immediate
+        }
+        self.in_flight.keys().next().map(|&(at, _)| at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: u16, dst: u16, tag: u8) -> Envelope {
+        Envelope {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bytes: vec![tag],
+        }
+    }
+
+    fn drain(net: &mut SimNet, now: u64, node: NodeId) -> Vec<u8> {
+        let mut tags = Vec::new();
+        while let Some(e) = net.poll(now, node) {
+            tags.push(e.bytes[0]);
+        }
+        tags
+    }
+
+    #[test]
+    fn delivery_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = SimNet::new(
+                seed,
+                LinkProfile {
+                    jitter: 50,
+                    ..LinkProfile::default()
+                },
+            );
+            for tag in 0..10u8 {
+                net.send(u64::from(tag), env(1, 2, tag));
+            }
+            drain(&mut net, 10_000, NodeId(2))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should reorder");
+    }
+
+    #[test]
+    fn frames_arrive_in_latency_order() {
+        let mut net = SimNet::new(
+            1,
+            LinkProfile {
+                latency: 10,
+                jitter: 0,
+                ..LinkProfile::default()
+            },
+        );
+        net.send(0, env(1, 2, 0));
+        net.send(5, env(1, 2, 1));
+        assert_eq!(net.next_event_at(), Some(10));
+        assert!(net.poll(9, NodeId(2)).is_none());
+        assert_eq!(drain(&mut net, 15, NodeId(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn random_drop_and_duplication_follow_profile() {
+        let mut net = SimNet::new(
+            3,
+            LinkProfile {
+                latency: 1,
+                jitter: 0,
+                drop_per_mille: 500,
+                dup_per_mille: 0,
+            },
+        );
+        for i in 0..1000u64 {
+            net.send(i, env(1, 2, 0));
+        }
+        let got = drain(&mut net, 1_000_000, NodeId(2)).len();
+        assert!((300..700).contains(&got), "~half should survive, got {got}");
+
+        let mut net = SimNet::new(
+            4,
+            LinkProfile {
+                latency: 1,
+                jitter: 0,
+                drop_per_mille: 0,
+                dup_per_mille: 1000,
+            },
+        );
+        net.send(0, env(1, 2, 9));
+        assert_eq!(drain(&mut net, 1_000, NodeId(2)), vec![9, 9]);
+    }
+
+    #[test]
+    fn targeted_faults_hit_only_their_link() {
+        let mut net = SimNet::new(5, LinkProfile::default());
+        net.inject(Fault::DropNext {
+            src: NodeId(1),
+            dst: NodeId(2),
+            remaining: 1,
+        });
+        net.inject(Fault::DelayNext {
+            src: NodeId(3),
+            dst: NodeId(2),
+            extra: 10_000,
+            remaining: 1,
+        });
+        net.send(0, env(1, 2, 0)); // dropped by fault
+        net.send(0, env(1, 2, 1)); // unaffected
+        net.send(0, env(3, 2, 2)); // delayed by fault
+        assert_eq!(drain(&mut net, 500, NodeId(2)), vec![1]);
+        assert_eq!(drain(&mut net, 20_000, NodeId(2)), vec![2]);
+        let stats = net.stats();
+        assert_eq!(stats.fault_dropped, 1);
+        assert_eq!(stats.fault_delayed, 1);
+    }
+}

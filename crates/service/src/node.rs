@@ -1,0 +1,58 @@
+//! The device-side endpoint of the control plane: owns the GPU session
+//! and answers re-attestation challenges arriving over the transport.
+
+use sage::multi::FleetMember;
+
+use crate::net::NodeId;
+use crate::wire::Frame;
+
+/// A fleet device as seen from the network: the installed session plus
+/// its transport address.
+pub struct DeviceNode {
+    /// The device's session, agent and name.
+    pub member: FleetMember,
+    /// Transport address.
+    pub id: NodeId,
+    /// Extra cycles added to every checksum run — models a device that
+    /// genuinely became slower after enrollment (e.g. a proxy relaying
+    /// the exchange, paper §8). Zero for honest devices.
+    pub extra_compute: u64,
+}
+
+impl DeviceNode {
+    /// Wraps a fleet member as a network node.
+    pub fn new(member: FleetMember, id: NodeId) -> DeviceNode {
+        DeviceNode {
+            member,
+            id,
+            extra_compute: 0,
+        }
+    }
+
+    /// Handles one decoded frame arriving at virtual time `at`. Returns
+    /// the reply and the time it leaves the device (arrival plus the
+    /// checksum runtime — the device is busy while the VF runs).
+    ///
+    /// A faulting device returns `None` (it goes silent; the verifier's
+    /// deadline converts that into a timeout).
+    pub fn handle(&mut self, at: u64, frame: &Frame) -> Option<(u64, Frame)> {
+        match frame {
+            Frame::Challenge { round, challenges } => {
+                let (checksum, measured) = self.member.session.run_checksum(challenges).ok()?;
+                let measured = measured + self.extra_compute;
+                Some((
+                    at + measured,
+                    Frame::Response {
+                        round: *round,
+                        checksum,
+                        measured_cycles: measured,
+                    },
+                ))
+            }
+            // SAKE and data-channel frames are handled by the agent
+            // during enrollment and data transfer; the steady-state loop
+            // ignores them here.
+            _ => None,
+        }
+    }
+}

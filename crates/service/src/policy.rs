@@ -1,0 +1,67 @@
+//! The quarantine and retry policy (the paper's §7.2 robustness rules,
+//! turned into control-plane knobs).
+
+/// Policy knobs governing how the service reacts to failed rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Policy {
+    /// Consecutive hard failures (wrong checksum, exhausted restarts, or
+    /// timeouts) after which a device is quarantined.
+    pub quarantine_after: u32,
+    /// How many consecutive timing-only rejects are treated as the
+    /// paper's ≈0.5% false positive and answered with an immediate
+    /// restart ("in which case the verification process is restarted")
+    /// before they start counting as hard failures.
+    pub max_timing_restarts: u32,
+    /// Base retry delay after a hard failure, in virtual ticks. Doubles
+    /// per consecutive failure.
+    pub backoff_base: u64,
+    /// Upper bound on the exponential backoff delay.
+    pub backoff_cap: u64,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            quarantine_after: 4,
+            max_timing_restarts: 2,
+            backoff_base: 2_000,
+            backoff_cap: 64_000,
+        }
+    }
+}
+
+impl Policy {
+    /// The retry delay after the `consecutive_failures`-th consecutive
+    /// failure: `backoff_base · 2^(n−1)`, capped at `backoff_cap`.
+    pub fn backoff_delay(&self, consecutive_failures: u32) -> u64 {
+        let shift = consecutive_failures.saturating_sub(1).min(32);
+        self.backoff_base
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = Policy {
+            backoff_base: 1_000,
+            backoff_cap: 6_000,
+            ..Policy::default()
+        };
+        assert_eq!(p.backoff_delay(1), 1_000);
+        assert_eq!(p.backoff_delay(2), 2_000);
+        assert_eq!(p.backoff_delay(3), 4_000);
+        assert_eq!(p.backoff_delay(4), 6_000); // capped
+        assert_eq!(p.backoff_delay(40), 6_000); // shift clamp, no overflow
+    }
+
+    #[test]
+    fn zero_failures_still_positive() {
+        assert!(Policy::default().backoff_delay(0) >= 1);
+    }
+}

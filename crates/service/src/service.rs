@@ -1,0 +1,577 @@
+//! The long-running verifier service: per-device lifecycle state
+//! machines, re-attestation scheduling, and the quarantine policy,
+//! all driven by one deterministic virtual clock.
+//!
+//! ```text
+//!            join            calibrate + SAKE        round passes
+//! (operator) ───► Enrolled ─────► Attesting ──────────► Trusted ◄──┐
+//!                     │                │                   │       │
+//!                     │ calibration /  │ budget            │ round │ round
+//!                     │ establishment  │ exhausted         │ fails │ passes
+//!                     ▼ fails          ▼                   ▼       │
+//!                 Quarantined ◄──────────────────────── Degraded ──┘
+//!                                 budget exhausted
+//!
+//!  any state ───leave()───► Revoked
+//! ```
+//!
+//! Scheduling is event-driven: the service hops the virtual clock to the
+//! next due instant (a message arrival, a round deadline, or a scheduled
+//! re-attestation) rather than ticking one unit at a time, the same
+//! stall-skipping idea the simulator core uses.
+
+use sage::multi::{power_score, FleetMember};
+use sage::sake::SakeMessage;
+use sage::verifier::Verifier;
+use sage::{GpuSession, SageError};
+use sage_crypto::DhGroup;
+use sage_sgx_sim::Enclave;
+
+use crate::events::{EventKind, EventLog, FailReason};
+use crate::net::{Envelope, NodeId, Transport};
+use crate::node::DeviceNode;
+use crate::policy::Policy;
+use crate::wire::{self, Frame};
+
+/// The verifier's transport address.
+pub const VERIFIER_NODE: NodeId = NodeId(0);
+
+/// Lifecycle state of a managed device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceState {
+    /// Joined, enrollment not yet attempted.
+    Enrolled,
+    /// Calibration/key establishment done, first round not yet passed.
+    Attesting,
+    /// Root of trust established and holding.
+    Trusted,
+    /// One or more consecutive failures; retrying under backoff.
+    Degraded,
+    /// Failure budget exhausted; no longer scheduled.
+    Quarantined,
+    /// Removed by the operator; no longer scheduled.
+    Revoked,
+}
+
+impl DeviceState {
+    /// Stable string tag used in JSON exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeviceState::Enrolled => "enrolled",
+            DeviceState::Attesting => "attesting",
+            DeviceState::Trusted => "trusted",
+            DeviceState::Degraded => "degraded",
+            DeviceState::Quarantined => "quarantined",
+            DeviceState::Revoked => "revoked",
+        }
+    }
+}
+
+impl core::fmt::Display for DeviceState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Service-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Virtual ticks between successful rounds on one device.
+    pub reattest_interval: u64,
+    /// One-way network budget the round deadline allows (should cover
+    /// the link profile's worst-case delay).
+    pub latency_budget: u64,
+    /// Additional slack added to the round deadline.
+    pub deadline_slack: u64,
+    /// Timed exchanges used to calibrate each joining device.
+    pub calibration_runs: usize,
+    /// Failure-handling policy.
+    pub policy: Policy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            reattest_interval: 50_000,
+            latency_budget: 200,
+            deadline_slack: 1_000,
+            calibration_runs: 5,
+            policy: Policy::default(),
+        }
+    }
+}
+
+struct Outstanding {
+    round: u64,
+    challenges: Vec<[u8; 16]>,
+    deadline: u64,
+}
+
+struct ManagedDevice {
+    node: DeviceNode,
+    verifier: Verifier,
+    state: DeviceState,
+    round: u64,
+    rounds_passed: u64,
+    consecutive_failures: u32,
+    consecutive_restarts: u32,
+    outstanding: Option<Outstanding>,
+    next_action_at: Option<u64>,
+}
+
+/// A point-in-time summary of one managed device.
+#[derive(Clone, Debug)]
+pub struct DeviceStatus {
+    /// Device name.
+    pub name: String,
+    /// Transport address.
+    pub node: NodeId,
+    /// Lifecycle state.
+    pub state: DeviceState,
+    /// Rounds passed since joining.
+    pub rounds_passed: u64,
+    /// Current consecutive-failure count.
+    pub consecutive_failures: u32,
+    /// Compute-power score (ordering key).
+    pub power: u128,
+}
+
+/// The attestation control plane.
+pub struct AttestationService<T: Transport> {
+    cfg: ServiceConfig,
+    group: DhGroup,
+    net: T,
+    now: u64,
+    devices: Vec<ManagedDevice>,
+    log: EventLog,
+    next_node: u16,
+}
+
+impl<T: Transport> AttestationService<T> {
+    /// Creates a service over a transport.
+    pub fn new(cfg: ServiceConfig, group: DhGroup, net: T) -> AttestationService<T> {
+        AttestationService {
+            cfg,
+            group,
+            net,
+            now: 0,
+            devices: Vec::new(),
+            log: EventLog::new(),
+            next_node: 1,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The underlying transport (delivery counters).
+    pub fn transport(&self) -> &T {
+        &self.net
+    }
+
+    /// Mutable transport access (fault injection in tests/benches).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.net
+    }
+
+    /// The structured event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Per-device summaries, in roster (most-powerful-first) order.
+    pub fn statuses(&self) -> Vec<DeviceStatus> {
+        self.devices
+            .iter()
+            .map(|d| DeviceStatus {
+                name: d.node.member.name.clone(),
+                node: d.node.id,
+                state: d.state,
+                rounds_passed: d.rounds_passed,
+                consecutive_failures: d.consecutive_failures,
+                power: power_score(&d.node.member.session.dev.cfg),
+            })
+            .collect()
+    }
+
+    /// The lifecycle state of a device, if managed.
+    pub fn state_of(&self, name: &str) -> Option<DeviceState> {
+        self.devices
+            .iter()
+            .find(|d| d.node.member.name == name)
+            .map(|d| d.state)
+    }
+
+    /// The calibrated detection threshold of a device, in cycles.
+    pub fn threshold_of(&self, name: &str) -> Option<u64> {
+        self.devices
+            .iter()
+            .find(|d| d.node.member.name == name)
+            .and_then(|d| d.verifier.threshold())
+    }
+
+    /// Mutable access to a device's network node — the hook fault
+    /// injectors and the attack harness use to compromise a device
+    /// *after* enrollment.
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut DeviceNode> {
+        self.devices
+            .iter_mut()
+            .find(|d| d.node.member.name == name)
+            .map(|d| &mut d.node)
+    }
+
+    /// Mutable access to a device's GPU session (shorthand over
+    /// [`AttestationService::node_mut`]).
+    pub fn session_mut(&mut self, name: &str) -> Option<&mut GpuSession> {
+        self.node_mut(name).map(|n| &mut n.member.session)
+    }
+
+    /// Enrolls a device: calibrates its timing threshold, establishes the
+    /// SAKE key (every protocol message passes through the wire codec, as
+    /// it would on a real link), and schedules its first remote round.
+    ///
+    /// Enrollment failures do not abort the service: the device lands in
+    /// `Quarantined` with the failure recorded, and the rest of the fleet
+    /// keeps running — the graceful-degradation contract a long-running
+    /// control plane needs.
+    pub fn join(&mut self, mut member: FleetMember, enclave: Enclave) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let name = member.name.clone();
+        self.log.record(self.now, &name, EventKind::Joined);
+
+        let mut verifier =
+            Verifier::new(enclave, member.session.build().clone(), self.group.clone());
+
+        let mut state = DeviceState::Enrolled;
+        let mut record_state = |log: &mut EventLog, now: u64, to: DeviceState| {
+            log.record(now, &name, EventKind::StateChanged { from: state, to });
+            state = to;
+        };
+
+        record_state(&mut self.log, self.now, DeviceState::Attesting);
+        let enrolled = match verifier.calibrate(&mut member.session, self.cfg.calibration_runs) {
+            Err(_) => {
+                self.log
+                    .record(self.now, &name, EventKind::CalibrationFailed);
+                false
+            }
+            Ok(_) => {
+                // Serialization boundary: each SAKE message is encoded
+                // and re-decoded through the versioned codec, exactly as
+                // it would cross the wire.
+                let mut tap = |_step: usize, msg: &mut SakeMessage| {
+                    let bytes = wire::encode(&Frame::Sake(msg.clone()));
+                    match wire::decode(&bytes) {
+                        Ok(Frame::Sake(decoded)) => *msg = decoded,
+                        other => panic!("SAKE codec roundtrip failed: {other:?}"),
+                    }
+                };
+                match verifier.establish_key(&mut member.session, &mut member.agent, Some(&mut tap))
+                {
+                    Ok(_) => true,
+                    Err(_) => {
+                        self.log.record(self.now, &name, EventKind::EstablishFailed);
+                        false
+                    }
+                }
+            }
+        };
+        if !enrolled {
+            record_state(&mut self.log, self.now, DeviceState::Quarantined);
+        }
+
+        let next_action_at = enrolled.then_some(self.now + 1);
+        self.devices.push(ManagedDevice {
+            node: DeviceNode::new(member, id),
+            verifier,
+            state,
+            round: 0,
+            rounds_passed: 0,
+            consecutive_failures: 0,
+            consecutive_restarts: 0,
+            outstanding: None,
+            next_action_at,
+        });
+        self.sort_roster();
+        id
+    }
+
+    /// Revokes a device: it is no longer scheduled and its outstanding
+    /// round (if any) is abandoned. Returns `false` if unknown.
+    pub fn leave(&mut self, name: &str) -> bool {
+        let Some(d) = self.devices.iter_mut().find(|d| d.node.member.name == name) else {
+            return false;
+        };
+        let from = d.state;
+        d.state = DeviceState::Revoked;
+        d.outstanding = None;
+        d.next_action_at = None;
+        let dev = d.node.member.name.clone();
+        self.log.record(
+            self.now,
+            &dev,
+            EventKind::StateChanged {
+                from,
+                to: DeviceState::Revoked,
+            },
+        );
+        self.log.record(self.now, &dev, EventKind::Left);
+        true
+    }
+
+    /// Keeps the roster most-powerful-first across join/leave (paper
+    /// §3.2), with the deterministic name tie-break shared with
+    /// [`sage::multi`].
+    fn sort_roster(&mut self) {
+        self.devices.sort_by(|a, b| {
+            power_score(&b.node.member.session.dev.cfg)
+                .cmp(&power_score(&a.node.member.session.dev.cfg))
+                .then_with(|| a.node.member.name.cmp(&b.node.member.name))
+        });
+    }
+
+    /// The earliest virtual time at which the service has work.
+    pub fn next_event_at(&self) -> Option<u64> {
+        let mut next: Option<u64> = self.net.next_event_at().map(|t| t.max(self.now));
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
+        for d in &self.devices {
+            if let Some(t) = d.next_action_at {
+                fold(t);
+            }
+            if let Some(o) = &d.outstanding {
+                fold(o.deadline);
+            }
+        }
+        next
+    }
+
+    /// Runs the event loop until virtual time `t` (inclusive).
+    pub fn run_until(&mut self, t: u64) {
+        while let Some(e) = self.next_event_at() {
+            if e > t {
+                break;
+            }
+            self.now = self.now.max(e);
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs the event loop for `ticks` more virtual ticks.
+    pub fn run_for(&mut self, ticks: u64) {
+        self.run_until(self.now + ticks);
+    }
+
+    /// Processes everything due at the current virtual time.
+    fn step(&mut self) {
+        self.pump_device_inboxes();
+        self.pump_verifier_inbox();
+        self.expire_deadlines();
+        self.start_due_rounds();
+    }
+
+    /// Delivers frames to device nodes and forwards their replies
+    /// (roster order: most powerful first).
+    fn pump_device_inboxes(&mut self) {
+        for i in 0..self.devices.len() {
+            let id = self.devices[i].node.id;
+            while let Some(env) = self.net.poll(self.now, id) {
+                if self.devices[i].state == DeviceState::Revoked {
+                    continue; // a revoked device is off the network
+                }
+                let Ok(frame) = wire::decode(&env.bytes) else {
+                    continue; // corrupt frame: fail closed, deadline covers it
+                };
+                if let Some((send_at, reply)) = self.devices[i].node.handle(self.now, &frame) {
+                    self.net.send(
+                        send_at,
+                        Envelope {
+                            src: id,
+                            dst: VERIFIER_NODE,
+                            bytes: wire::encode(&reply),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn pump_verifier_inbox(&mut self) {
+        while let Some(env) = self.net.poll(self.now, VERIFIER_NODE) {
+            let Ok(Frame::Response {
+                round,
+                checksum,
+                measured_cycles,
+            }) = wire::decode(&env.bytes)
+            else {
+                continue;
+            };
+            let Some(i) = self.devices.iter().position(|d| d.node.id == env.src) else {
+                continue;
+            };
+            let name = self.devices[i].node.member.name.clone();
+            let d = &mut self.devices[i];
+            let matches_round = d.outstanding.as_ref().is_some_and(|o| o.round == round);
+            if !matches_round {
+                self.log
+                    .record(self.now, &name, EventKind::LateResponse { round });
+                continue;
+            }
+            let o = d.outstanding.take().expect("matched above");
+            match d
+                .verifier
+                .check_response(&o.challenges, checksum, measured_cycles)
+            {
+                Ok(_) => self.round_passed(i, round, measured_cycles),
+                Err(SageError::TimingExceeded { .. }) => {
+                    self.round_failed(i, round, FailReason::TooSlow)
+                }
+                Err(_) => self.round_failed(i, round, FailReason::WrongValue),
+            }
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        for i in 0..self.devices.len() {
+            let due = self.devices[i]
+                .outstanding
+                .as_ref()
+                .is_some_and(|o| o.deadline <= self.now);
+            if due {
+                let round = self.devices[i].outstanding.take().expect("due").round;
+                self.round_failed(i, round, FailReason::Timeout);
+            }
+        }
+    }
+
+    fn start_due_rounds(&mut self) {
+        for i in 0..self.devices.len() {
+            let d = &self.devices[i];
+            if d.next_action_at.is_some_and(|t| t <= self.now) {
+                self.start_round(i);
+            }
+        }
+    }
+
+    fn start_round(&mut self, i: usize) {
+        let now = self.now;
+        let d = &mut self.devices[i];
+        d.next_action_at = None;
+        if !matches!(
+            d.state,
+            DeviceState::Attesting | DeviceState::Trusted | DeviceState::Degraded
+        ) {
+            return;
+        }
+        let Some(threshold) = d.verifier.threshold() else {
+            return; // uncalibrated devices never get here (join quarantines them)
+        };
+        d.round += 1;
+        let challenges = d.verifier.generate_challenges();
+        // The round must complete within: challenge flight + the
+        // calibrated worst-case checksum time + response flight + slack.
+        let deadline = now + 2 * self.cfg.latency_budget + threshold + self.cfg.deadline_slack;
+        d.outstanding = Some(Outstanding {
+            round: d.round,
+            challenges: challenges.clone(),
+            deadline,
+        });
+        let round = d.round;
+        let dst = d.node.id;
+        let name = d.node.member.name.clone();
+        self.log
+            .record(now, &name, EventKind::RoundStarted { round });
+        self.net.send(
+            now,
+            Envelope {
+                src: VERIFIER_NODE,
+                dst,
+                bytes: wire::encode(&Frame::Challenge { round, challenges }),
+            },
+        );
+    }
+
+    fn round_passed(&mut self, i: usize, round: u64, measured: u64) {
+        let now = self.now;
+        let interval = self.cfg.reattest_interval;
+        let d = &mut self.devices[i];
+        d.rounds_passed += 1;
+        d.consecutive_failures = 0;
+        d.consecutive_restarts = 0;
+        d.next_action_at = Some(now + interval);
+        let name = d.node.member.name.clone();
+        self.log
+            .record(now, &name, EventKind::RoundPassed { round, measured });
+        if matches!(d.state, DeviceState::Attesting | DeviceState::Degraded) {
+            self.set_state(i, DeviceState::Trusted);
+        }
+    }
+
+    fn round_failed(&mut self, i: usize, round: u64, reason: FailReason) {
+        let now = self.now;
+        let policy = self.cfg.policy;
+        let name = self.devices[i].node.member.name.clone();
+        self.log
+            .record(now, &name, EventKind::RoundFailed { round, reason });
+
+        let d = &mut self.devices[i];
+        if reason == FailReason::TooSlow && d.consecutive_restarts < policy.max_timing_restarts {
+            // Paper §7.2: a timing-only reject is ≈0.5% likely on an
+            // honest device — restart the verification instead of
+            // counting it against the failure budget.
+            d.consecutive_restarts += 1;
+            d.next_action_at = Some(now + policy.backoff_base);
+            self.log.record(now, &name, EventKind::Restarted { round });
+            return;
+        }
+        d.consecutive_failures += 1;
+        if d.consecutive_failures >= policy.quarantine_after {
+            d.next_action_at = None;
+            self.set_state(i, DeviceState::Quarantined);
+        } else {
+            let delay = policy.backoff_delay(d.consecutive_failures);
+            d.next_action_at = Some(now + delay);
+            if d.state != DeviceState::Degraded {
+                self.set_state(i, DeviceState::Degraded);
+            }
+        }
+    }
+
+    fn set_state(&mut self, i: usize, to: DeviceState) {
+        let d = &mut self.devices[i];
+        if d.state == to {
+            return;
+        }
+        let from = d.state;
+        d.state = to;
+        let name = d.node.member.name.clone();
+        self.log
+            .record(self.now, &name, EventKind::StateChanged { from, to });
+    }
+
+    /// Renders a service snapshot (time, per-device status, counters) as
+    /// JSON — the `svcperf` benchmark embeds this in `BENCH_svc.json`.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"virtual_time\": {},\n", self.now));
+        out.push_str("  \"devices\": [\n");
+        let statuses = self.statuses();
+        for (i, s) in statuses.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"state\": \"{}\", \"rounds_passed\": {}, \"consecutive_failures\": {}}}{}\n",
+                crate::events::json_str(&s.name),
+                s.state.as_str(),
+                s.rounds_passed,
+                s.consecutive_failures,
+                if i + 1 == statuses.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"counters\": ");
+        out.push_str(&self.log.counters_json());
+        out.push_str("\n}\n");
+        out
+    }
+}

@@ -1,0 +1,459 @@
+//! Framed, versioned wire codec for the verifier↔agent traffic.
+//!
+//! Everything the control plane puts on a (simulated) network link is one
+//! self-describing frame:
+//!
+//! ```text
+//! ┌────────┬─────────┬──────┬──────────┬───────────────┐
+//! │ magic  │ version │ kind │ len (LE) │ payload…      │
+//! │ u16 LE │ u8      │ u8   │ u32      │ `len` bytes   │
+//! └────────┴─────────┴──────┴──────────┴───────────────┘
+//! ```
+//!
+//! Frame kinds cover the three protocol families the service carries:
+//! the six modified-SAKE key-establishment messages
+//! ([`sage::sake::SakeMessage`]), sealed [`sage::channel::Wire`] data
+//! messages, and the service's own re-attestation challenge/response
+//! pair. Decoding is strict: unknown magic, versions, kinds, truncated
+//! buffers, oversized length fields and trailing bytes are all rejected
+//! with a typed [`CodecError`] — a lossy or adversarial link can corrupt
+//! frames, and the state machine must fail closed rather than
+//! misinterpret them.
+
+use core::fmt;
+
+use sage::channel::Wire;
+use sage::sake::SakeMessage;
+
+/// Frame magic ("SAGE service", arbitrary but fixed).
+pub const MAGIC: u16 = 0x5AE5;
+/// Current wire-format version. Decoders reject everything else.
+pub const VERSION: u8 = 1;
+/// Upper bound on a payload length field; larger values are rejected
+/// before any allocation happens.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+const HEADER_BYTES: usize = 8;
+
+// Frame kinds. SAKE messages occupy 0x01–0x06 in flow order; data-channel
+// and service frames live in separate ranges so new kinds never collide.
+const K_SAKE_CHALLENGE: u8 = 0x01;
+const K_SAKE_COMMIT: u8 = 0x02;
+const K_SAKE_REVEAL_V1: u8 = 0x03;
+const K_SAKE_DEV_REVEAL1: u8 = 0x04;
+const K_SAKE_REVEAL_V0: u8 = 0x05;
+const K_SAKE_DEV_REVEAL0: u8 = 0x06;
+const K_CHANNEL: u8 = 0x10;
+const K_CHALLENGE: u8 = 0x20;
+const K_RESPONSE: u8 = 0x21;
+
+/// A decoded control-plane frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A modified-SAKE key-establishment message.
+    Sake(SakeMessage),
+    /// A sealed secure-channel data message.
+    Channel(Wire),
+    /// Verifier → device: one re-attestation round's fresh per-block
+    /// challenges.
+    Challenge {
+        /// Monotonic per-device round number.
+        round: u64,
+        /// Per-block 16-byte challenges.
+        challenges: Vec<[u8; 16]>,
+    },
+    /// Device → verifier: the checksum answer for a round.
+    Response {
+        /// Echoed round number.
+        round: u64,
+        /// The 8-word grid checksum.
+        checksum: [u32; 8],
+        /// Measured exchange time in device cycles.
+        measured_cycles: u64,
+    },
+}
+
+/// Decoding failures (all fail closed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Fewer bytes than a header or a declared field requires.
+    Truncated,
+    /// The magic bytes did not match.
+    BadMagic(u16),
+    /// The version is not [`VERSION`].
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// A length field exceeded [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// Bytes left over after the payload was fully parsed.
+    Trailing(usize),
+    /// A field held a value outside its domain.
+    BadField(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            CodecError::Oversize(n) => write!(f, "length field {n} exceeds maximum"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            CodecError::BadField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a frame into its wire representation.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let (kind, payload) = match frame {
+        Frame::Sake(msg) => encode_sake(msg),
+        Frame::Channel(wire) => (K_CHANNEL, encode_channel(wire)),
+        Frame::Challenge { round, challenges } => {
+            let mut p = Vec::with_capacity(12 + challenges.len() * 16);
+            p.extend_from_slice(&round.to_le_bytes());
+            p.extend_from_slice(&(challenges.len() as u32).to_le_bytes());
+            for c in challenges {
+                p.extend_from_slice(c);
+            }
+            (K_CHALLENGE, p)
+        }
+        Frame::Response {
+            round,
+            checksum,
+            measured_cycles,
+        } => {
+            let mut p = Vec::with_capacity(48);
+            p.extend_from_slice(&round.to_le_bytes());
+            for w in checksum {
+                p.extend_from_slice(&w.to_le_bytes());
+            }
+            p.extend_from_slice(&measured_cycles.to_le_bytes());
+            (K_RESPONSE, p)
+        }
+    };
+    assert!(
+        payload.len() as u32 <= MAX_PAYLOAD,
+        "frame payload too large"
+    );
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_sake(msg: &SakeMessage) -> (u8, Vec<u8>) {
+    match msg {
+        SakeMessage::Challenge { v2 } => (K_SAKE_CHALLENGE, v2.to_vec()),
+        SakeMessage::Commit { w2, mac } => {
+            let mut p = Vec::with_capacity(48);
+            p.extend_from_slice(w2);
+            p.extend_from_slice(mac);
+            (K_SAKE_COMMIT, p)
+        }
+        SakeMessage::RevealV1 { v1 } => (K_SAKE_REVEAL_V1, v1.to_vec()),
+        SakeMessage::DeviceReveal1 { w1, k, mac_k } => {
+            let mut p = Vec::with_capacity(52 + k.len());
+            p.extend_from_slice(w1);
+            p.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            p.extend_from_slice(k);
+            p.extend_from_slice(mac_k);
+            (K_SAKE_DEV_REVEAL1, p)
+        }
+        SakeMessage::RevealV0 { v0 } => {
+            let mut p = Vec::with_capacity(4 + v0.len());
+            p.extend_from_slice(&(v0.len() as u32).to_le_bytes());
+            p.extend_from_slice(v0);
+            (K_SAKE_REVEAL_V0, p)
+        }
+        SakeMessage::DeviceReveal0 { w0 } => (K_SAKE_DEV_REVEAL0, w0.to_vec()),
+    }
+}
+
+fn encode_channel(wire: &Wire) -> Vec<u8> {
+    let mut p = Vec::with_capacity(33 + wire.body.len());
+    p.extend_from_slice(&wire.seq.to_le_bytes());
+    p.extend_from_slice(&wire.addr.to_le_bytes());
+    p.push(wire.confidential as u8);
+    p.extend_from_slice(&wire.mac);
+    p.extend_from_slice(&(wire.body.len() as u32).to_le_bytes());
+    p.extend_from_slice(&wire.body);
+    p
+}
+
+/// Decodes a wire buffer back into a frame.
+pub fn decode(bytes: &[u8]) -> Result<Frame, CodecError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u16()?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    let len = r.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(CodecError::Oversize(len));
+    }
+    if r.remaining() != len as usize {
+        // Either truncated relative to the declared length, or carrying
+        // trailing garbage past it.
+        return if r.remaining() < len as usize {
+            Err(CodecError::Truncated)
+        } else {
+            Err(CodecError::Trailing(r.remaining() - len as usize))
+        };
+    }
+    let frame = match kind {
+        K_SAKE_CHALLENGE => Frame::Sake(SakeMessage::Challenge { v2: r.arr32()? }),
+        K_SAKE_COMMIT => Frame::Sake(SakeMessage::Commit {
+            w2: r.arr32()?,
+            mac: r.arr16()?,
+        }),
+        K_SAKE_REVEAL_V1 => Frame::Sake(SakeMessage::RevealV1 { v1: r.arr32()? }),
+        K_SAKE_DEV_REVEAL1 => {
+            let w1 = r.arr32()?;
+            let klen = r.u32()?;
+            if klen > MAX_PAYLOAD {
+                return Err(CodecError::Oversize(klen));
+            }
+            let k = r.take(klen as usize)?.to_vec();
+            let mac_k = r.arr16()?;
+            Frame::Sake(SakeMessage::DeviceReveal1 { w1, k, mac_k })
+        }
+        K_SAKE_REVEAL_V0 => {
+            let vlen = r.u32()?;
+            if vlen > MAX_PAYLOAD {
+                return Err(CodecError::Oversize(vlen));
+            }
+            Frame::Sake(SakeMessage::RevealV0 {
+                v0: r.take(vlen as usize)?.to_vec(),
+            })
+        }
+        K_SAKE_DEV_REVEAL0 => Frame::Sake(SakeMessage::DeviceReveal0 { w0: r.arr32()? }),
+        K_CHANNEL => {
+            let seq = r.u64()?;
+            let addr = r.u32()?;
+            let confidential = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::BadField("confidential flag")),
+            };
+            let mac = r.arr16()?;
+            let blen = r.u32()?;
+            if blen > MAX_PAYLOAD {
+                return Err(CodecError::Oversize(blen));
+            }
+            let body = r.take(blen as usize)?.to_vec();
+            Frame::Channel(Wire {
+                seq,
+                addr,
+                body,
+                confidential,
+                mac,
+            })
+        }
+        K_CHALLENGE => {
+            let round = r.u64()?;
+            let count = r.u32()?;
+            if count > MAX_PAYLOAD / 16 {
+                return Err(CodecError::Oversize(count));
+            }
+            let mut challenges = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                challenges.push(r.arr16()?);
+            }
+            Frame::Challenge { round, challenges }
+        }
+        K_RESPONSE => {
+            let round = r.u64()?;
+            let mut checksum = [0u32; 8];
+            for w in &mut checksum {
+                *w = r.u32()?;
+            }
+            Frame::Response {
+                round,
+                checksum,
+                measured_cycles: r.u64()?,
+            }
+        }
+        other => return Err(CodecError::BadKind(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn arr16(&mut self) -> Result<[u8; 16], CodecError> {
+        Ok(self.take(16)?.try_into().expect("16"))
+    }
+
+    fn arr32(&mut self) -> Result<[u8; 32], CodecError> {
+        Ok(self.take(32)?.try_into().expect("32"))
+    }
+
+    fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Trailing(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode(&frame);
+        assert_eq!(decode(&bytes).unwrap(), frame, "roundtrip {frame:?}");
+    }
+
+    #[test]
+    fn all_sake_messages_roundtrip() {
+        roundtrip(Frame::Sake(SakeMessage::Challenge { v2: [1; 32] }));
+        roundtrip(Frame::Sake(SakeMessage::Commit {
+            w2: [2; 32],
+            mac: [3; 16],
+        }));
+        roundtrip(Frame::Sake(SakeMessage::RevealV1 { v1: [4; 32] }));
+        roundtrip(Frame::Sake(SakeMessage::DeviceReveal1 {
+            w1: [5; 32],
+            k: vec![6, 7, 8],
+            mac_k: [9; 16],
+        }));
+        roundtrip(Frame::Sake(SakeMessage::RevealV0 { v0: vec![] }));
+        roundtrip(Frame::Sake(SakeMessage::DeviceReveal0 { w0: [10; 32] }));
+    }
+
+    #[test]
+    fn channel_and_service_frames_roundtrip() {
+        roundtrip(Frame::Channel(Wire {
+            seq: 7,
+            addr: 0x1000,
+            body: b"ciphertext".to_vec(),
+            confidential: true,
+            mac: [0xAB; 16],
+        }));
+        roundtrip(Frame::Challenge {
+            round: 3,
+            challenges: vec![[1; 16], [2; 16]],
+        });
+        roundtrip(Frame::Challenge {
+            round: 0,
+            challenges: vec![],
+        });
+        roundtrip(Frame::Response {
+            round: 3,
+            checksum: [1, 2, 3, 4, 5, 6, 7, 8],
+            measured_cycles: 12345,
+        });
+    }
+
+    #[test]
+    fn bad_magic_version_kind_rejected() {
+        let mut bytes = encode(&Frame::Sake(SakeMessage::Challenge { v2: [0; 32] }));
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode(&bad), Err(CodecError::BadMagic(_))));
+        let mut bad = bytes.clone();
+        bad[2] = 9;
+        assert_eq!(decode(&bad), Err(CodecError::BadVersion(9)));
+        bytes[3] = 0x7F;
+        assert_eq!(decode(&bytes), Err(CodecError::BadKind(0x7F)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_rejected() {
+        let bytes = encode(&Frame::Response {
+            round: 1,
+            checksum: [0; 8],
+            measured_cycles: 2,
+        });
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode(&long), Err(CodecError::Trailing(1)));
+    }
+
+    #[test]
+    fn oversize_length_fields_rejected_before_allocation() {
+        // A DeviceReveal1 whose inner k-length claims 256 MiB.
+        let mut bytes = encode(&Frame::Sake(SakeMessage::DeviceReveal1 {
+            w1: [0; 32],
+            k: vec![1, 2, 3, 4],
+            mac_k: [0; 16],
+        }));
+        let klen_off = HEADER_BYTES + 32;
+        bytes[klen_off..klen_off + 4].copy_from_slice(&(256u32 << 20).to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CodecError::Oversize(_))));
+    }
+
+    #[test]
+    fn bad_confidential_flag_rejected() {
+        let mut bytes = encode(&Frame::Channel(Wire {
+            seq: 0,
+            addr: 0,
+            body: vec![],
+            confidential: false,
+            mac: [0; 16],
+        }));
+        bytes[HEADER_BYTES + 12] = 2;
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::BadField("confidential flag"))
+        );
+    }
+}

@@ -52,7 +52,11 @@ fn main() {
         platform.launch(b"fleet-verifier", &mut demo_entropy(launch_seed))
     };
 
-    let (outcome, fleet) = attest_fleet(&mut factory, DhGroup::test_group(), members, 8).unwrap();
+    let (outcome, fleet) = attest_fleet(&mut factory, DhGroup::test_group(), members, 8);
+    if let Some(failure) = &outcome.failure {
+        eprintln!("fleet attestation incomplete: {failure}");
+        std::process::exit(1);
+    }
 
     println!("\nattestation order (descending power, per §3.2):");
     for (name, att) in &outcome.attested {

@@ -12,13 +12,16 @@
 //! - [`vf`] — the verification function (codegen + replay),
 //! - [`core`] — the SAGE protocol (sessions, verifier, SAKE, channel,
 //!   user kernels),
-//! - [`attacks`] — the §8 adversary library.
+//! - [`attacks`] — the §8 adversary library,
+//! - [`service`] — the fleet attestation control plane (wire codec,
+//!   simulated transport, lifecycle state machine, policy engine).
 
 pub use sage as core;
 pub use sage_attacks as attacks;
 pub use sage_crypto as crypto;
 pub use sage_gpu_sim as gpu;
 pub use sage_isa as isa;
+pub use sage_service as service;
 pub use sage_sgx_sim as sgx;
 pub use sage_trng as trng;
 pub use sage_vf as vf;

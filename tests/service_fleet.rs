@@ -1,0 +1,278 @@
+//! Fleet-level attestation service scenarios: a four-device fleet run
+//! through churn and fault injection over the simulated network. Honest
+//! devices must hold `Trusted` across many re-attestation rounds while a
+//! device compromised after enrollment (replayed checksums, borrowed from
+//! the §8 attack library) is driven into `Quarantined` — deterministically,
+//! across several seeds.
+
+use sage_repro::attacks::forge::ReplayTap;
+use sage_repro::core::{agent::DeviceAgent, multi::FleetMember, GpuSession};
+use sage_repro::crypto::{DhGroup, EntropySource};
+use sage_repro::gpu::{Device, DeviceConfig};
+use sage_repro::service::{
+    AttestationService, DeviceState, Fault, LinkProfile, Policy, ServiceConfig, SimNet,
+    VERIFIER_NODE,
+};
+use sage_repro::sgx::{Enclave, SgxPlatform};
+use sage_repro::vf::VfParams;
+
+fn entropy(seed: u8) -> impl EntropySource {
+    let mut state = seed;
+    move |buf: &mut [u8]| {
+        for b in buf {
+            state = state.wrapping_mul(181).wrapping_add(101);
+            *b = state;
+        }
+    }
+}
+
+fn member(name: &str, cfg: DeviceConfig, seed: u8) -> FleetMember {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 5;
+    let session = GpuSession::install(Device::new(cfg), &params, 0xF1EE7).unwrap();
+    let mut m = FleetMember::new(session, DeviceAgent::new(Box::new(entropy(seed))));
+    m.name = name.to_string();
+    m
+}
+
+fn enclave(seed: u8) -> Enclave {
+    SgxPlatform::new([7u8; 16]).launch(b"svc-verifier", &mut entropy(seed))
+}
+
+fn perfect_net(seed: u64) -> SimNet {
+    SimNet::new(
+        seed,
+        LinkProfile {
+            latency: 100,
+            jitter: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        },
+    )
+}
+
+/// Installs the §8 replay tap on an enrolled device: from now on the
+/// first checksum readback is recorded and substituted into every later
+/// round — fresh challenges make that a wrong answer every time.
+fn compromise_with_replay(svc: &mut AttestationService<SimNet>, name: &str) {
+    let session = svc.session_mut(name).expect("device is managed");
+    let result_addr = session.build().layout.result_addr();
+    session
+        .dev
+        .install_bus_tap(Box::new(ReplayTap::new(result_addr)));
+}
+
+#[test]
+fn fleet_survives_churn_and_quarantines_replay_attacker() {
+    // The acceptance scenario, run across three seeds: same outcome each
+    // time even though each seed draws different jitter/drop sequences.
+    for seed in [1u64, 2, 3] {
+        let net = SimNet::new(
+            seed,
+            LinkProfile {
+                latency: 100,
+                jitter: 25,
+                drop_per_mille: 20,
+                dup_per_mille: 10,
+            },
+        );
+        let cfg = ServiceConfig {
+            reattest_interval: 50_000,
+            latency_budget: 200,
+            deadline_slack: 2_000,
+            calibration_runs: 8,
+            policy: Policy::default(),
+        };
+        let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
+
+        let names = ["gpu-a", "gpu-b", "gpu-c", "gpu-evil"];
+        let mut ids = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let m = member(name, DeviceConfig::sim_tiny(), 41 + i as u8);
+            ids.push(svc.join(m, enclave(61 + i as u8)));
+        }
+
+        // Settle: every device passes its first remote round.
+        svc.run_for(45_000);
+        for name in names {
+            assert_eq!(
+                svc.state_of(name),
+                Some(DeviceState::Trusted),
+                "seed {seed}: {name} after settling"
+            );
+        }
+
+        // Post-enrollment compromise of gpu-evil, plus targeted network
+        // faults against two honest devices: a dropped challenge and a
+        // response delayed far past the deadline.
+        compromise_with_replay(&mut svc, "gpu-evil");
+        svc.transport_mut().inject(Fault::DropNext {
+            src: VERIFIER_NODE,
+            dst: ids[1],
+            remaining: 1,
+        });
+        svc.transport_mut().inject(Fault::DelayNext {
+            src: ids[2],
+            dst: VERIFIER_NODE,
+            extra: 300_000,
+            remaining: 1,
+        });
+
+        // Run until the fleet reaches the expected steady state: honest
+        // devices Trusted with a deep round history, the attacker
+        // quarantined. The iteration cap keeps a regression from hanging.
+        let mut settled = false;
+        for _ in 0..400 {
+            svc.run_for(50_000);
+            let honest_ok = names[..3].iter().all(|n| {
+                svc.statuses().iter().any(|s| {
+                    s.name == *n && s.state == DeviceState::Trusted && s.rounds_passed >= 12
+                })
+            });
+            if honest_ok && svc.state_of("gpu-evil") == Some(DeviceState::Quarantined) {
+                settled = true;
+                break;
+            }
+        }
+        assert!(settled, "seed {seed}: fleet did not settle");
+
+        let counters = svc.log().counters();
+        assert!(
+            counters.timeouts >= 1,
+            "seed {seed}: the delayed response must register as a timeout"
+        );
+        assert_eq!(counters.quarantines, 1, "seed {seed}");
+        let evil = svc
+            .statuses()
+            .into_iter()
+            .find(|s| s.name == "gpu-evil")
+            .unwrap();
+        // The tap's recording round may pass; everything after replays a
+        // stale answer against a fresh challenge and fails.
+        assert!(
+            evil.rounds_passed <= 2,
+            "seed {seed}: attacker banked {} rounds",
+            evil.rounds_passed
+        );
+        assert!(counters.value_rejects >= u64::from(cfg.policy.quarantine_after));
+    }
+}
+
+#[test]
+fn roster_stays_most_powerful_first_across_join_and_leave() {
+    let cfg = ServiceConfig::default();
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), perfect_net(5));
+    svc.join(member("gpu-a", DeviceConfig::sim_tiny(), 45), enclave(65));
+    svc.join(member("gpu-b", DeviceConfig::sim_tiny(), 46), enclave(66));
+    svc.run_for(10_000);
+
+    // A more powerful device joining mid-run moves to the head of the
+    // roster (paper §3.2: most powerful first).
+    svc.join(
+        member("gpu-big", DeviceConfig::sim_small(), 47),
+        enclave(67),
+    );
+    let statuses = svc.statuses();
+    assert_eq!(statuses[0].name, "gpu-big");
+    assert!(statuses[0].power > statuses[1].power);
+    // Equal-power devices stay name-ordered behind it.
+    assert_eq!(statuses[1].name, "gpu-a");
+    assert_eq!(statuses[2].name, "gpu-b");
+
+    svc.run_for(60_000);
+    for s in svc.statuses() {
+        assert_eq!(s.state, DeviceState::Trusted, "{}", s.name);
+    }
+
+    // Leaving revokes: the device is unscheduled and its round counter
+    // freezes while the rest of the fleet keeps attesting.
+    assert!(svc.leave("gpu-a"));
+    assert!(!svc.leave("gpu-a-typo"));
+    let frozen = svc
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "gpu-a")
+        .unwrap()
+        .rounds_passed;
+    svc.run_for(200_000);
+    let after = svc
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "gpu-a")
+        .unwrap();
+    assert_eq!(after.state, DeviceState::Revoked);
+    assert_eq!(after.rounds_passed, frozen);
+    let big = svc
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "gpu-big")
+        .unwrap();
+    assert!(big.rounds_passed > frozen);
+    assert_eq!(svc.log().counters().leaves, 1);
+}
+
+#[test]
+fn slow_proxy_burns_restart_budget_then_quarantines() {
+    // A device that genuinely became slower after enrollment (a proxy
+    // relaying the exchange, paper §8): answers are *correct* but exceed
+    // the calibrated threshold. The policy first spends the timing-restart
+    // budget (the §7.2 false-positive allowance), then counts failures.
+    let cfg = ServiceConfig {
+        deadline_slack: 4_000, // let slow-but-correct answers arrive
+        ..ServiceConfig::default()
+    };
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), perfect_net(9));
+    svc.join(member("gpu-p", DeviceConfig::sim_tiny(), 48), enclave(68));
+    svc.join(member("gpu-q", DeviceConfig::sim_tiny(), 49), enclave(69));
+    // One checksum run is ~38k virtual ticks at this VF scale, so the
+    // first round needs a generous settling window.
+    svc.run_for(45_000);
+    assert_eq!(svc.state_of("gpu-p"), Some(DeviceState::Trusted));
+
+    // +3000 cycles: far past T_avg + 2.5σ (σ is a few hundred cycles at
+    // this VF scale) yet within the deadline slack.
+    svc.node_mut("gpu-p").unwrap().extra_compute = 3_000;
+    for _ in 0..40 {
+        svc.run_for(50_000);
+        if svc.state_of("gpu-p") == Some(DeviceState::Quarantined) {
+            break;
+        }
+    }
+
+    assert_eq!(svc.state_of("gpu-p"), Some(DeviceState::Quarantined));
+    assert_eq!(svc.state_of("gpu-q"), Some(DeviceState::Trusted));
+    let counters = svc.log().counters();
+    let policy = Policy::default();
+    assert_eq!(counters.restarts, u64::from(policy.max_timing_restarts));
+    // Every reject on this path is a timing reject, never a wrong value:
+    // restart budget + quarantine budget.
+    assert_eq!(
+        counters.timing_rejects,
+        u64::from(policy.max_timing_restarts) + u64::from(policy.quarantine_after)
+    );
+    assert_eq!(counters.value_rejects, 0);
+    assert_eq!(counters.timeouts, 0);
+}
+
+#[test]
+fn enrollment_failure_quarantines_without_stopping_the_service() {
+    // calibration_runs = 0 gives the threshold estimator an empty sample
+    // set; the Result-returning constructor turns that into a recorded
+    // enrollment failure instead of a panic, and the rest of the fleet
+    // keeps attesting.
+    let cfg = ServiceConfig {
+        calibration_runs: 0,
+        ..ServiceConfig::default()
+    };
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), perfect_net(3));
+    svc.join(member("gpu-x", DeviceConfig::sim_tiny(), 50), enclave(70));
+    assert_eq!(svc.state_of("gpu-x"), Some(DeviceState::Quarantined));
+    assert_eq!(svc.log().counters().calibration_failures, 1);
+
+    // A properly calibrated device joining the same service still works.
+    let good_cfg = ServiceConfig::default();
+    let mut good = AttestationService::new(good_cfg, DhGroup::test_group(), perfect_net(4));
+    good.join(member("gpu-y", DeviceConfig::sim_tiny(), 51), enclave(71));
+    good.run_for(45_000);
+    assert_eq!(good.state_of("gpu-y"), Some(DeviceState::Trusted));
+}
