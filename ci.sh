@@ -28,4 +28,13 @@ cargo run -q --release -p sage-bench --bin svcperf -- \
     --devices 2 --rounds 2 --seed 7 --out /tmp/BENCH_svc_smoke.json
 test -s /tmp/BENCH_svc_smoke.json
 
+echo "==> modpow suite (Montgomery vs reference oracle, seeded)"
+cargo test -q --release -p sage-crypto montgomery
+
+echo "==> fastpath smoke (fixed seed, speedup gates active)"
+cargo run -q --release -p sage-bench --bin fastpath -- \
+    --rounds 4 --iterations 12 --calib-runs 20 --seed 7 \
+    --out /tmp/BENCH_fastpath_smoke.json
+test -s /tmp/BENCH_fastpath_smoke.json
+
 echo "ci.sh: all gates passed"

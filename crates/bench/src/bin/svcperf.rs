@@ -7,6 +7,10 @@
 //!
 //! * wall-clock rounds/second (the service's steady-state attestation
 //!   throughput, the figure a fleet operator sizes the verifier host by),
+//! * enrollment throughput (devices/second through calibrate + SAKE),
+//! * the round-latency distribution in virtual ticks — p50/p90/p99 over
+//!   every passed round, from the event log's started→passed deltas
+//!   (deterministic for a fixed seed),
 //! * virtual ticks consumed and virtual-ticks-per-round,
 //! * the service's own snapshot: per-device final state and the full
 //!   event-counter block.
@@ -126,17 +130,26 @@ fn main() {
     }
     let total_rounds = svc.log().counters().rounds_passed;
     let rounds_per_sec = total_rounds as f64 / steady_wall.max(1e-9);
+    let enroll_per_sec = devices as f64 / enroll_wall.max(1e-9);
     let virtual_ticks = svc.now();
+    let lat = svc
+        .log()
+        .latency_percentiles()
+        .expect("at least one passed round");
 
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"devices\": {devices},\n  \"target_rounds\": {rounds},\n  \"seed\": {seed},\n"
     ));
     out.push_str(&format!(
-        "  \"enroll_wall_seconds\": {enroll_wall:.6},\n  \"steady_wall_seconds\": {steady_wall:.6},\n"
+        "  \"enroll_wall_seconds\": {enroll_wall:.6},\n  \"enroll_devices_per_sec\": {enroll_per_sec:.2},\n  \"steady_wall_seconds\": {steady_wall:.6},\n"
     ));
     out.push_str(&format!(
         "  \"rounds_passed_total\": {total_rounds},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n"
+    ));
+    out.push_str(&format!(
+        "  \"round_latency_ticks\": {{\"samples\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
+        lat.samples, lat.p50, lat.p90, lat.p99
     ));
     out.push_str(&format!(
         "  \"virtual_ticks\": {virtual_ticks},\n  \"virtual_ticks_per_round\": {:.1},\n",
@@ -150,6 +163,10 @@ fn main() {
 
     println!(
         "{devices} devices, {total_rounds} rounds in {steady_wall:.3}s  ({rounds_per_sec:.1} rounds/s, {virtual_ticks} virtual ticks)"
+    );
+    println!(
+        "round latency ticks: p50 {} / p90 {} / p99 {} over {} rounds; enroll {enroll_per_sec:.2} devices/s",
+        lat.p50, lat.p90, lat.p99, lat.samples
     );
     println!("wrote {out_path}");
 }

@@ -84,12 +84,21 @@ pub enum SakeMessage {
 
 /// Derives the per-block checksum challenges from the chain head `v₂`
 /// (AES-CTR expansion; both sides compute this identically).
+///
+/// The whole multi-block keystream is produced in one batched
+/// [`AesCtr::keystream_into`] call (whole-block fast path, no per-16-byte
+/// buffer management) — bit-exact with the former one-call-per-block
+/// derivation, since CTR keystream bytes do not depend on how they are
+/// chunked.
 pub fn derive_challenges(v2: &[u8; 32], blocks: u32) -> Vec<[u8; 16]> {
     let key: [u8; 16] = v2[..16].try_into().expect("16 bytes");
     let iv: [u8; 16] = v2[16..].try_into().expect("16 bytes");
     let mut ctr = AesCtr::new(&key, &iv);
-    (0..blocks)
-        .map(|_| ctr.keystream_bytes(16).try_into().expect("16 bytes"))
+    let mut stream = vec![0u8; blocks as usize * 16];
+    ctr.keystream_into(&mut stream);
+    stream
+        .chunks_exact(16)
+        .map(|c| c.try_into().expect("16 bytes"))
         .collect()
 }
 
@@ -505,5 +514,21 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.len(), 4);
         assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn batched_derivation_matches_per_block_keystream() {
+        // The batched keystream_into derivation must be bit-exact with
+        // the original one-call-per-block expansion.
+        let v2 = [0x5au8; 32];
+        let blocks = 7u32;
+        let derived = derive_challenges(&v2, blocks);
+        let key: [u8; 16] = v2[..16].try_into().unwrap();
+        let iv: [u8; 16] = v2[16..].try_into().unwrap();
+        let mut ctr = AesCtr::new(&key, &iv);
+        let reference: Vec<[u8; 16]> = (0..blocks)
+            .map(|_| ctr.keystream_bytes(16).try_into().unwrap())
+            .collect();
+        assert_eq!(derived, reference);
     }
 }

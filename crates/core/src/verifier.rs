@@ -3,7 +3,9 @@
 
 use sage_crypto::DhGroup;
 use sage_sgx_sim::{Enclave, Quote};
-use sage_vf::{codegen::VfBuild, expected_checksum};
+use sage_vf::{
+    codegen::VfBuild, expected_checksum, BankConfig, BankCounters, ChallengeBank, Fingerprint,
+};
 
 use crate::{
     agent::DeviceAgent,
@@ -34,20 +36,25 @@ pub struct Verifier {
     /// The hosting enclave (nonce source, sealing, quotes).
     pub enclave: Enclave,
     build: VfBuild,
+    fingerprint: Fingerprint,
     group: DhGroup,
     calibration: Option<Calibration>,
     stats: VerificationStats,
+    bank: Option<ChallengeBank>,
 }
 
 impl Verifier {
     /// Creates a verifier for an installed VF build.
     pub fn new(enclave: Enclave, build: VfBuild, group: DhGroup) -> Verifier {
+        let fingerprint = build.fingerprint();
         Verifier {
             enclave,
             build,
+            fingerprint,
             group,
             calibration: None,
             stats: VerificationStats::default(),
+            bank: None,
         }
     }
 
@@ -58,6 +65,78 @@ impl Verifier {
             .collect()
     }
 
+    /// Turns on the precomputed-round fast path: a [`ChallengeBank`]
+    /// stocked by `cfg.workers` background threads (or synchronously when
+    /// `cfg.workers == 0` — the deterministic mode). Challenge bytes come
+    /// from an AES-CTR generator seeded once from the enclave DRBG, so
+    /// randomness still originates inside the enclave.
+    ///
+    /// After this, [`Verifier::prepare_round`] serves `(challenges,
+    /// expected)` pairs whose replay already happened off the critical
+    /// path; rounds that hit the bank skip replay entirely.
+    pub fn enable_fast_path(&mut self, cfg: BankConfig) {
+        let seed = self.enclave.random(32);
+        let key: [u8; 16] = seed[..16].try_into().expect("16 bytes");
+        let iv: [u8; 16] = seed[16..].try_into().expect("16 bytes");
+        let mut ctr = sage_crypto::AesCtr::new(&key, &iv);
+        let gen = Box::new(move |c: &mut [u8; 16]| ctr.keystream_into(c));
+        self.bank = Some(ChallengeBank::new(self.build.clone(), cfg, gen));
+    }
+
+    /// Whether the precomputed fast path is active.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.bank.is_some()
+    }
+
+    /// Bank hit/miss/refill counters, when the fast path is enabled.
+    pub fn bank_counters(&self) -> Option<BankCounters> {
+        self.bank.as_ref().map(|b| b.counters())
+    }
+
+    /// Synchronously precomputes up to `n` rounds into the bank (no-op
+    /// without the fast path). With `workers == 0` this is the only way
+    /// stock appears — deterministic tests and the offline phase of
+    /// benchmarks use it.
+    pub fn prefill_rounds(&mut self, n: usize) {
+        if let Some(bank) = &self.bank {
+            bank.fill(n);
+        }
+    }
+
+    /// The fingerprint of this verifier's VF build.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Challenges for the next round, with the expected checksum attached
+    /// when the bank had stock (`None` means the caller verifies via the
+    /// replay path). Without the fast path — or when the bank is
+    /// momentarily empty — this transparently degrades to
+    /// [`Verifier::generate_challenges`]; no round is ever delayed.
+    pub fn prepare_round(&mut self) -> (Vec<[u8; 16]>, Option<[u32; 8]>) {
+        if let Some(bank) = &self.bank {
+            if let Ok(Some(round)) = bank.take(&self.fingerprint) {
+                return (round.challenges, Some(round.expected));
+            }
+        }
+        (self.generate_challenges(), None)
+    }
+
+    /// Like [`Verifier::prepare_round`], but waits for (or synchronously
+    /// computes) bank stock instead of falling back, so the expected
+    /// checksum is always attached when the fast path is enabled. This
+    /// keeps the consumed challenge sequence deterministic regardless of
+    /// refill-worker timing — the property the service layer and
+    /// calibration rely on for reproducible runs.
+    pub fn prepare_round_blocking(&mut self) -> (Vec<[u8; 16]>, Option<[u32; 8]>) {
+        if let Some(bank) = &self.bank {
+            if let Ok(round) = bank.take_blocking(&self.fingerprint) {
+                return (round.challenges, Some(round.expected));
+            }
+        }
+        (self.generate_challenges(), None)
+    }
+
     /// The expected checksum for a challenge set (bit-exact replay).
     pub fn expected(&self, challenges: &[[u8; 16]]) -> [u32; 8] {
         expected_checksum(&self.build, challenges)
@@ -65,13 +144,16 @@ impl Verifier {
 
     /// Calibrates the timing threshold over `runs` checksum exchanges on
     /// a known-good device (paper §7.2: 100 runs, threshold
-    /// `T_avg + 2.5σ`). Each run's checksum is also verified.
+    /// `T_avg + 2.5σ`). Each run's checksum is also verified. With the
+    /// fast path enabled, expected checksums are drawn from the bank
+    /// (replay overlaps the device runs instead of serializing with
+    /// them).
     pub fn calibrate(&mut self, session: &mut GpuSession, runs: usize) -> Result<Calibration> {
         let mut samples = Vec::with_capacity(runs);
         for _ in 0..runs {
-            let ch = self.generate_challenges();
+            let (ch, precomputed) = self.prepare_round_blocking();
             let (got, measured) = session.run_checksum(&ch)?;
-            let expected = self.expected(&ch);
+            let expected = precomputed.unwrap_or_else(|| self.expected(&ch));
             if got != expected {
                 return Err(SageError::ChecksumMismatch { got, expected });
             }
@@ -166,6 +248,19 @@ impl Verifier {
         measured: u64,
     ) -> Result<u64> {
         let expected = self.expected(challenges);
+        self.check_response_precomputed(expected, got, measured)
+    }
+
+    /// Judges a response against an already-known expected checksum (a
+    /// bank hit): compare and timing check only, zero replay on the
+    /// online critical path. This is the fast-path counterpart of
+    /// [`Verifier::check_response`]; the verdicts are identical.
+    pub fn check_response_precomputed(
+        &mut self,
+        expected: [u32; 8],
+        got: [u32; 8],
+        measured: u64,
+    ) -> Result<u64> {
         if got != expected {
             self.stats.value_rejects += 1;
             return Err(SageError::ChecksumMismatch { got, expected });
@@ -177,11 +272,15 @@ impl Verifier {
 
     /// One challenge–response verification round: fresh challenges, timed
     /// run, value and timing verdicts (the repeated invocation of Fig. 3,
-    /// step 4).
+    /// step 4). Uses a precomputed bank round when one is in stock,
+    /// falling back to online replay transparently.
     pub fn verify_once(&mut self, session: &mut GpuSession) -> Result<u64> {
-        let ch = self.generate_challenges();
+        let (ch, precomputed) = self.prepare_round();
         let (got, measured) = session.run_checksum(&ch)?;
-        self.check_response(&ch, got, measured)?;
+        match precomputed {
+            Some(expected) => self.check_response_precomputed(expected, got, measured)?,
+            None => self.check_response(&ch, got, measured)?,
+        };
         Ok(measured)
     }
 

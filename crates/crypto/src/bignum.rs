@@ -85,6 +85,23 @@ impl BigUint {
         self.limbs.is_empty()
     }
 
+    /// The little-endian `u32` limbs (canonical: no trailing zeros).
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Builds a value from little-endian limbs (trailing zeros allowed).
+    pub fn from_limbs(limbs: Vec<u32>) -> BigUint {
+        let mut b = BigUint { limbs };
+        b.normalize();
+        b
+    }
+
+    /// `true` if the lowest bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
+    }
+
     /// Number of significant bits.
     pub fn bits(&self) -> usize {
         match self.limbs.last() {

@@ -29,25 +29,64 @@ impl AesCtr {
 
     fn refill(&mut self) {
         self.keystream = self.cipher.encrypt(&self.counter);
-        // Increment the counter block as a 128-bit big-endian integer.
+        self.bump_counter();
+        self.used = 0;
+    }
+
+    /// Increments the counter block as a 128-bit big-endian integer.
+    fn bump_counter(&mut self) {
         for i in (0..16).rev() {
             self.counter[i] = self.counter[i].wrapping_add(1);
             if self.counter[i] != 0 {
                 break;
             }
         }
-        self.used = 0;
     }
 
     /// XORs the keystream into `data` (encrypt == decrypt).
+    ///
+    /// Block-aligned middle sections are processed a full AES block at a
+    /// time (no per-byte refill checks, no buffered-keystream copies);
+    /// the ragged head and tail go through the buffered path. Bit-exact
+    /// with the byte-at-a-time implementation for every split.
     pub fn apply(&mut self, data: &mut [u8]) {
-        for b in data.iter_mut() {
-            if self.used == 16 {
-                self.refill();
+        let mut data = data;
+        // Head: drain the buffered keystream remainder.
+        if self.used < 16 {
+            let take = (16 - self.used).min(data.len());
+            let (head, rest) = data.split_at_mut(take);
+            for b in head.iter_mut() {
+                *b ^= self.keystream[self.used];
+                self.used += 1;
             }
-            *b ^= self.keystream[self.used];
-            self.used += 1;
+            data = rest;
         }
+        // Middle: whole blocks straight from the cipher.
+        let mut chunks = data.chunks_exact_mut(16);
+        for chunk in &mut chunks {
+            let ks = self.cipher.encrypt(&self.counter);
+            self.bump_counter();
+            for (b, k) in chunk.iter_mut().zip(&ks) {
+                *b ^= k;
+            }
+        }
+        // Tail: buffer one more block and use part of it.
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            self.refill();
+            for b in tail.iter_mut() {
+                *b ^= self.keystream[self.used];
+                self.used += 1;
+            }
+        }
+    }
+
+    /// Fills `out` with keystream bytes — the multi-message batching
+    /// entry point: one call generates the keystream for any number of
+    /// back-to-back 16-byte challenges without intermediate allocation.
+    pub fn keystream_into(&mut self, out: &mut [u8]) {
+        out.fill(0);
+        self.apply(out);
     }
 
     /// Returns `n` keystream bytes (a deterministic random generator when
@@ -138,6 +177,17 @@ mod tests {
         iv[15] = 0xFF; // next increment carries into byte 14
         let mut ctr = AesCtr::new(&key, &iv);
         let _ = ctr.keystream_bytes(48); // consumes 3 blocks without panic
+    }
+
+    #[test]
+    fn keystream_into_matches_keystream_bytes() {
+        let key = [7u8; 16];
+        let iv = [1u8; 16];
+        let mut a = AesCtr::new(&key, &iv);
+        let mut b = AesCtr::new(&key, &iv);
+        let mut batched = vec![0xAAu8; 6 * 16 + 5]; // pre-fill ignored
+        a.keystream_into(&mut batched);
+        assert_eq!(batched, b.keystream_bytes(6 * 16 + 5));
     }
 
     #[test]

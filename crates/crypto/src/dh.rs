@@ -3,6 +3,7 @@
 
 use crate::{
     bignum::BigUint,
+    montgomery::Montgomery,
     sha256::{sha256, Sha256},
     EntropySource,
 };
@@ -16,6 +17,9 @@ pub struct DhGroup {
     pub g: BigUint,
     /// Private-exponent length in bytes.
     pub exponent_bytes: usize,
+    /// Montgomery context for `p`, precomputed once per group. `None`
+    /// only for degenerate even moduli (never a valid MODP prime).
+    mont: Option<Montgomery>,
 }
 
 /// RFC 3526 group 14 (2048-bit MODP) prime, big-endian.
@@ -42,21 +46,40 @@ impl DhGroup {
     /// RFC 3526 group 14: 2048-bit MODP, generator 2 — the production
     /// group.
     pub fn modp_2048() -> DhGroup {
-        DhGroup {
-            p: BigUint::from_bytes_be(&MODP_2048_P),
-            g: BigUint::from_u64(2),
-            exponent_bytes: 32, // 256-bit exponents
-        }
+        DhGroup::from_parts(
+            BigUint::from_bytes_be(&MODP_2048_P),
+            BigUint::from_u64(2),
+            32, // 256-bit exponents
+        )
     }
 
     /// A small (127-bit Mersenne prime `2¹²⁷ − 1`) group for fast tests.
     /// Functionally identical protocol flow; no security claim.
     pub fn test_group() -> DhGroup {
         let p = BigUint::from_bytes_be(&((1u128 << 127) - 1).to_be_bytes());
+        DhGroup::from_parts(p, BigUint::from_u64(3), 16)
+    }
+
+    /// Builds a group from explicit parameters, precomputing the
+    /// Montgomery context for the modulus.
+    pub fn from_parts(p: BigUint, g: BigUint, exponent_bytes: usize) -> DhGroup {
+        let mont = Montgomery::new(&p);
         DhGroup {
             p,
-            g: BigUint::from_u64(3),
-            exponent_bytes: 16,
+            g,
+            exponent_bytes,
+            mont,
+        }
+    }
+
+    /// `base^exp mod p` on the group's hot path: the precomputed
+    /// Montgomery context when it still matches `p`, the reference
+    /// square-and-multiply otherwise (even modulus, or a caller that
+    /// mutated the public `p` field after construction).
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        match &self.mont {
+            Some(ctx) if ctx.modulus_matches(&self.p) => ctx.modpow(base, exp),
+            _ => base.modpow_fast(exp, &self.p),
         }
     }
 
@@ -73,13 +96,13 @@ impl DhGroup {
                 break candidate;
             }
         };
-        let public = self.g.modpow(&private, &self.p);
+        let public = self.modpow(&self.g, &private);
         DhKeyPair { private, public }
     }
 
     /// Computes the shared secret `peer_public ^ private mod p`.
     pub fn shared_secret(&self, keys: &DhKeyPair, peer_public: &BigUint) -> BigUint {
-        peer_public.modpow(&keys.private, &self.p)
+        self.modpow(peer_public, &keys.private)
     }
 
     /// Derives a 128-bit symmetric key from the shared secret:
@@ -174,8 +197,10 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "slow: full 2048-bit exchange (~seconds in release); run with --ignored"]
     fn modp_2048_exchange() {
+        // Was ignored as "slow (~seconds)" under the schoolbook path;
+        // Montgomery exponentiation brings the full exchange to
+        // milliseconds, so it now runs in tier-1.
         let g = DhGroup::modp_2048();
         let alice = g.generate(&mut CountingEntropy(1));
         let bob = g.generate(&mut CountingEntropy(2));
@@ -183,6 +208,27 @@ mod tests {
             g.shared_secret(&alice, &bob.public),
             g.shared_secret(&bob, &alice.public)
         );
+    }
+
+    #[test]
+    fn group_modpow_matches_reference_oracle() {
+        // The group's Montgomery fast path must be bit-exact with the
+        // retained square-and-multiply reference.
+        let g = DhGroup::test_group();
+        let base = BigUint::from_u64(0xDEAD_BEEF_0BAD_F00D);
+        let exp = BigUint::from_u64(0x1234_5678_9ABC);
+        assert_eq!(g.modpow(&base, &exp), base.modpow(&exp, &g.p));
+    }
+
+    #[test]
+    fn mutated_modulus_falls_back_safely() {
+        // The public `p` field can be reassigned; the stale Montgomery
+        // context must not be used.
+        let mut g = DhGroup::test_group();
+        g.p = BigUint::from_u64(1_000_003);
+        let base = BigUint::from_u64(3);
+        let exp = BigUint::from_u64(200);
+        assert_eq!(g.modpow(&base, &exp), base.modpow(&exp, &g.p));
     }
 
     #[test]

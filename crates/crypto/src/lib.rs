@@ -28,6 +28,7 @@ pub mod cmac;
 pub mod ct;
 pub mod ctr;
 pub mod dh;
+pub mod montgomery;
 pub mod sha256;
 
 pub use aes::Aes128;
@@ -37,6 +38,7 @@ pub use cmac::cmac_aes128;
 pub use ct::ct_eq;
 pub use ctr::AesCtr;
 pub use dh::{DhGroup, DhKeyPair};
+pub use montgomery::Montgomery;
 pub use sha256::{sha256, Sha256};
 
 /// A source of random bytes, injected by callers (the enclave DRBG or the

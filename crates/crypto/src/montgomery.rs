@@ -1,0 +1,305 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! The SAKE enrollment cost is dominated by 2048-bit modular
+//! exponentiation. The reference [`crate::BigUint::modpow`] pays a full
+//! schoolbook multiply *plus* a shift-subtract reduction per exponent
+//! bit; Montgomery reduction replaces the reduction with one extra pass
+//! of word-level multiply-accumulates (CIOS — coarsely integrated
+//! operand scanning), and a 4-bit fixed window cuts the number of
+//! multiplies by ~4×. The reference implementation stays compiled and
+//! serves as the test oracle; every result here is bit-exact against it.
+//!
+//! All MODP group moduli are odd primes, so the odd-modulus restriction
+//! costs nothing in practice; callers fall back to the reference path
+//! for even moduli (see [`crate::BigUint::modpow_fast`]).
+
+use crate::bignum::BigUint;
+
+/// Precomputed Montgomery context for one odd modulus.
+///
+/// Holds the modulus limbs, `n0' = -m⁻¹ mod 2³²` and `R² mod m` where
+/// `R = 2^(32·n)` for an `n`-limb modulus. Reusable across any number of
+/// multiplications and exponentiations mod the same modulus.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// Modulus limbs, little-endian, top limb non-zero.
+    m: Vec<u32>,
+    /// `-m[0]⁻¹ mod 2³²`.
+    n0: u32,
+    /// `R² mod m`, Montgomery form of `R`.
+    r2: Vec<u32>,
+    /// `R mod m` — the Montgomery representation of 1.
+    r1: Vec<u32>,
+}
+
+impl Montgomery {
+    /// Builds a context for `m`. Returns `None` if `m` is even or zero
+    /// (Montgomery reduction requires `gcd(m, 2³²) = 1`).
+    pub fn new(m: &BigUint) -> Option<Montgomery> {
+        if m.is_zero() || !m.is_odd() {
+            return None;
+        }
+        let limbs = m.limbs().to_vec();
+        let n = limbs.len();
+        // Newton–Hensel iteration: each step doubles the valid bits of
+        // the inverse of m[0] mod 2³² (5 steps cover 32 bits).
+        let mut inv: u32 = limbs[0];
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(limbs[0].wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+        // R mod m and R² mod m via the (slow, one-time) reference path.
+        let r = BigUint::one().shl(32 * n).rem(m);
+        let r2 = r.mul(&r).rem(m);
+        Some(Montgomery {
+            n0,
+            r1: pad_limbs(&r, n),
+            r2: pad_limbs(&r2, n),
+            m: limbs,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.m.clone())
+    }
+
+    /// `true` if this context was built for exactly `m` — a cheap guard
+    /// for callers that cache a context next to a mutable modulus.
+    pub fn modulus_matches(&self, m: &BigUint) -> bool {
+        self.m == m.limbs()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod m`.
+    /// Both inputs must be `< m` (n-limb, zero-padded); the result is
+    /// `< m`.
+    fn mont_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let n = self.m.len();
+        let mut t = vec![0u32; n + 2];
+        for &ai in a.iter().take(n) {
+            // t += ai * b
+            let mut carry = 0u64;
+            for j in 0..n {
+                let s = t[j] as u64 + ai as u64 * b[j] as u64 + carry;
+                t[j] = s as u32;
+                carry = s >> 32;
+            }
+            let s = t[n] as u64 + carry;
+            t[n] = s as u32;
+            t[n + 1] = (s >> 32) as u32;
+            // t = (t + mu*m) / 2³², exact because mu kills the low limb.
+            let mu = t[0].wrapping_mul(self.n0);
+            let mut carry = (t[0] as u64 + mu as u64 * self.m[0] as u64) >> 32;
+            for j in 1..n {
+                let s = t[j] as u64 + mu as u64 * self.m[j] as u64 + carry;
+                t[j - 1] = s as u32;
+                carry = s >> 32;
+            }
+            let s = t[n] as u64 + carry;
+            t[n - 1] = s as u32;
+            t[n] = t[n + 1] + (s >> 32) as u32;
+            t[n + 1] = 0;
+        }
+        // Conditional final subtraction brings t into [0, m).
+        if t[n] != 0 || ge(&t[..n], &self.m) {
+            sub_in_place(&mut t, &self.m);
+        }
+        t.truncate(n);
+        t
+    }
+
+    /// Converts into Montgomery form: `x·R mod m` (requires `x < m`).
+    pub fn to_mont(&self, x: &BigUint) -> Vec<u32> {
+        self.mont_mul(&pad_limbs(x, self.m.len()), &self.r2)
+    }
+
+    /// Converts out of Montgomery form: `x·R⁻¹ mod m`.
+    // Conventional crypto name: "from Montgomery form", not a constructor.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn from_mont(&self, x: &[u32]) -> BigUint {
+        let mut one = vec![0u32; self.m.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// `a·b mod m` through Montgomery form.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem(&self.modulus()));
+        let bm = self.to_mont(&b.rem(&self.modulus()));
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod m` by fixed 4-bit-window exponentiation over
+    /// Montgomery products. Bit-exact with [`BigUint::modpow`].
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let m_big = self.modulus();
+        if m_big.cmp_big(&BigUint::one()) == core::cmp::Ordering::Equal {
+            return BigUint::zero();
+        }
+        let base_m = self.to_mont(&base.rem(&m_big));
+        // table[w] = base^w in Montgomery form, w = 0..16.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(base_m.clone());
+        for w in 2..16 {
+            table.push(self.mont_mul(&table[w - 1], &base_m));
+        }
+        let nbits = exp.bits();
+        let windows = nbits.div_ceil(4);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            if w + 1 != windows {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                if exp.bit(w * 4 + b) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+impl BigUint {
+    /// `self^exp mod m`, using Montgomery arithmetic when `m` is odd and
+    /// the slow reference path otherwise. Bit-exact with
+    /// [`BigUint::modpow`] in all cases.
+    pub fn modpow_fast(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        match Montgomery::new(m) {
+            Some(ctx) => ctx.modpow(self, exp),
+            None => self.modpow(exp, m),
+        }
+    }
+}
+
+/// `x`'s limbs zero-padded to `n` (x must fit).
+fn pad_limbs(x: &BigUint, n: usize) -> Vec<u32> {
+    let mut v = x.limbs().to_vec();
+    assert!(v.len() <= n, "operand wider than modulus");
+    v.resize(n, 0);
+    v
+}
+
+/// `a >= b` over equal-length little-endian limb slices.
+fn ge(a: &[u32], b: &[u32]) -> bool {
+    for i in (0..b.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `t -= m` over limb slices (`t` at least as long as `m`; no final
+/// borrow may remain by caller contract).
+fn sub_in_place(t: &mut [u32], m: &[u32]) {
+    let mut borrow = 0i64;
+    for i in 0..t.len() {
+        let sub = if i < m.len() { m[i] as i64 } else { 0 };
+        let mut d = t[i] as i64 - sub - borrow;
+        if d < 0 {
+            d += 1 << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        t[i] = d as u32;
+    }
+    debug_assert_eq!(borrow, 0, "montgomery subtraction underflow");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    /// Deterministic pseudo-random bytes (xorshift64*).
+    fn rng(seed: u64) -> impl FnMut(usize) -> Vec<u8> {
+        let mut s = seed | 1;
+        move |n| {
+            (0..n)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn rejects_even_and_zero_moduli() {
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&big(4096)).is_none());
+        assert!(Montgomery::new(&big(3)).is_some());
+    }
+
+    #[test]
+    fn n0_inverse_identity() {
+        let ctx = Montgomery::new(&big(0x1_0000_0001)).unwrap();
+        // n0 = -m[0]^{-1}: m[0]*(-n0) ≡ 1 (mod 2^32).
+        assert_eq!(ctx.m[0].wrapping_mul(ctx.n0.wrapping_neg()), 1);
+    }
+
+    #[test]
+    fn mul_mod_matches_reference() {
+        let m = big(0xFFFF_FFFF_FFFF_FFC5); // largest 64-bit prime
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = big(0x1234_5678_9ABC_DEF0);
+        let b = big(0x0FED_CBA9_8765_4321);
+        assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn modpow_matches_reference_small() {
+        for (b, e, m) in [(5u64, 117u64, 19u64), (4, 13, 497), (2, 0, 7), (7, 1, 13)] {
+            let (b, e, m) = (big(b), big(e), big(m));
+            assert_eq!(
+                Montgomery::new(&m).unwrap().modpow(&b, &e),
+                b.modpow(&e, &m)
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_mod_one_is_zero() {
+        let ctx = Montgomery::new(&BigUint::one()).unwrap();
+        assert_eq!(ctx.modpow(&big(5), &big(3)), BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_fast_handles_even_modulus() {
+        let (b, e, m) = (big(7), big(22), big(100));
+        assert_eq!(b.modpow_fast(&e, &m), b.modpow(&e, &m));
+    }
+
+    #[test]
+    fn modpow_matches_reference_wide_random() {
+        let mut r = rng(0xC0FFEE);
+        for bits in [64usize, 160, 256, 521, 1024, 2048] {
+            let nbytes = bits / 8 + 1;
+            let mut m = BigUint::from_bytes_be(&r(nbytes));
+            if !m.is_odd() {
+                m = m.add(&BigUint::one());
+            }
+            let base = BigUint::from_bytes_be(&r(nbytes + 3));
+            let exp = BigUint::from_bytes_be(&r(16));
+            assert_eq!(
+                base.modpow_fast(&exp, &m),
+                base.modpow(&exp, &m),
+                "bits={bits}"
+            );
+        }
+    }
+}

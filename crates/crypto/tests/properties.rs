@@ -10,8 +10,18 @@ use proptest::prelude::*;
 use sage_crypto::{
     chain::HashChain,
     cmac::{cmac_aes128, cmac_verify},
-    AesCtr, BigUint, Sha256,
+    AesCtr, BigUint, DhGroup, Montgomery, Sha256,
 };
+
+/// An arbitrary odd modulus of 64–2048 bits (Montgomery's domain).
+fn odd_modulus() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u8>(), 8..=256).prop_map(|mut bytes| {
+        bytes[0] |= 0x80; // pin the width
+        let n = bytes.len();
+        bytes[n - 1] |= 1; // odd
+        BigUint::from_bytes_be(&bytes)
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -154,5 +164,88 @@ proptest! {
     fn ct_eq_agrees_with_eq(a in prop::collection::vec(any::<u8>(), 0..64),
                             b in prop::collection::vec(any::<u8>(), 0..64)) {
         prop_assert_eq!(sage_crypto::ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn montgomery_mul_matches_reference(
+        m in odd_modulus(),
+        a_bytes in prop::collection::vec(any::<u8>(), 1..=256),
+        b_bytes in prop::collection::vec(any::<u8>(), 1..=256),
+    ) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let a = BigUint::from_bytes_be(&a_bytes).rem(&m);
+        let b = BigUint::from_bytes_be(&b_bytes).rem(&m);
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_reference(
+        m in odd_modulus(),
+        base_bytes in prop::collection::vec(any::<u8>(), 1..=256),
+        exp_bytes in prop::collection::vec(any::<u8>(), 1..=32),
+    ) {
+        // The pre-Montgomery square-and-multiply modpow is kept compiled
+        // exactly as the oracle for this property.
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let base = BigUint::from_bytes_be(&base_bytes).rem(&m);
+        let exp = BigUint::from_bytes_be(&exp_bytes);
+        prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow(&exp, &m));
+    }
+
+    #[test]
+    fn montgomery_form_round_trips(
+        m in odd_modulus(),
+        a_bytes in prop::collection::vec(any::<u8>(), 1..=256),
+    ) {
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let a = BigUint::from_bytes_be(&a_bytes).rem(&m);
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a);
+    }
+
+    #[test]
+    fn modpow_fast_dispatch_is_transparent(
+        m_bytes in prop::collection::vec(any::<u8>(), 8..=64),
+        base_bytes in prop::collection::vec(any::<u8>(), 1..=64),
+        exp_bytes in prop::collection::vec(any::<u8>(), 1..=16),
+    ) {
+        // Even moduli must fall back to the reference path, odd ones
+        // take Montgomery; both agree with the oracle.
+        let m = {
+            let mut b = m_bytes;
+            b[0] |= 0x80;
+            BigUint::from_bytes_be(&b)
+        };
+        prop_assume!(!m.is_zero());
+        let base = BigUint::from_bytes_be(&base_bytes);
+        let exp = BigUint::from_bytes_be(&exp_bytes);
+        prop_assert_eq!(base.modpow_fast(&exp, &m), base.modpow(&exp, &m));
+    }
+
+    #[test]
+    fn dh_shared_secret_round_trips_with_montgomery(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        // Both parties' exponentiations run through the group's
+        // Montgomery context; the DH identity (g^a)^b == (g^b)^a must
+        // keep holding.
+        let group = DhGroup::test_group();
+        let mut ea = {
+            let mut s = seed_a | 1;
+            move |buf: &mut [u8]| for b in buf.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (s >> 56) as u8;
+            }
+        };
+        let mut eb = {
+            let mut s = seed_b | 3;
+            move |buf: &mut [u8]| for b in buf.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (s >> 56) as u8;
+            }
+        };
+        let ka = group.generate(&mut ea);
+        let kb = group.generate(&mut eb);
+        prop_assert_eq!(
+            group.shared_secret(&ka, &kb.public),
+            group.shared_secret(&kb, &ka.public)
+        );
     }
 }

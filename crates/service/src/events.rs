@@ -114,6 +114,20 @@ pub struct Counters {
     pub calibration_failures: u64,
 }
 
+/// Round-latency distribution over passed rounds, in virtual ticks
+/// (nearest-rank percentiles — reproducible for a fixed seed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Passed rounds measured.
+    pub samples: usize,
+    /// Median round latency.
+    pub p50: u64,
+    /// 90th-percentile round latency.
+    pub p90: u64,
+    /// 99th-percentile round latency.
+    pub p99: u64,
+}
+
 /// The append-only event log.
 #[derive(Default)]
 pub struct EventLog {
@@ -159,6 +173,55 @@ impl EventLog {
     /// All recorded events, in order.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Virtual-tick latency of every passed round: the delta between a
+    /// device's `RoundStarted` and the matching `RoundPassed`, in event
+    /// order. Rounds that failed, restarted, or are still outstanding
+    /// contribute nothing.
+    pub fn round_latencies(&self) -> Vec<u64> {
+        let mut open: Vec<(&str, u64, u64)> = Vec::new(); // (device, round, at)
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::RoundStarted { round } => {
+                    open.push((&e.device, round, e.at));
+                }
+                EventKind::RoundPassed { round, .. } => {
+                    if let Some(i) = open
+                        .iter()
+                        .position(|&(d, r, _)| d == e.device && r == round)
+                    {
+                        let (_, _, started) = open.swap_remove(i);
+                        out.push(e.at - started);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// p50/p90/p99 of the passed-round latencies (nearest-rank on the
+    /// sorted samples — deterministic, no interpolation). `None` until at
+    /// least one round has passed.
+    pub fn latency_percentiles(&self) -> Option<LatencyPercentiles> {
+        let mut lat = self.round_latencies();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        let rank = |q: f64| {
+            let n = lat.len();
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            lat[idx]
+        };
+        Some(LatencyPercentiles {
+            samples: lat.len(),
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        })
     }
 
     /// Current counter snapshot.
@@ -278,6 +341,56 @@ mod tests {
         assert_eq!(c.timeouts, 1);
         assert_eq!(c.quarantines, 1);
         assert_eq!(log.events().len(), 4);
+    }
+
+    #[test]
+    fn latency_percentiles_match_started_passed_pairs() {
+        let mut log = EventLog::new();
+        // Device a: rounds taking 10, 30, 20 ticks; device b: one round
+        // of 40 ticks interleaved; one failed round contributes nothing.
+        let pairs = [("a", 1, 0, 10), ("a", 2, 100, 130), ("a", 3, 200, 220)];
+        log.record(50, "b", EventKind::RoundStarted { round: 1 });
+        for (dev, round, start, end) in pairs {
+            log.record(start, dev, EventKind::RoundStarted { round });
+            log.record(
+                end,
+                dev,
+                EventKind::RoundPassed {
+                    round,
+                    measured: 99,
+                },
+            );
+        }
+        log.record(
+            90,
+            "b",
+            EventKind::RoundPassed {
+                round: 1,
+                measured: 99,
+            },
+        );
+        log.record(300, "a", EventKind::RoundStarted { round: 4 });
+        log.record(
+            310,
+            "a",
+            EventKind::RoundFailed {
+                round: 4,
+                reason: FailReason::TooSlow,
+            },
+        );
+        assert_eq!(log.round_latencies(), vec![10, 30, 20, 40]);
+        let p = log.latency_percentiles().unwrap();
+        assert_eq!(p.samples, 4);
+        assert_eq!(p.p50, 20);
+        assert_eq!(p.p90, 40);
+        assert_eq!(p.p99, 40);
+    }
+
+    #[test]
+    fn latency_percentiles_empty_without_passes() {
+        let mut log = EventLog::new();
+        log.record(0, "a", EventKind::RoundStarted { round: 1 });
+        assert!(log.latency_percentiles().is_none());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod policy;
 pub mod service;
 pub mod wire;
 
-pub use events::{Counters, Event, EventKind, EventLog, FailReason};
+pub use events::{Counters, Event, EventKind, EventLog, FailReason, LatencyPercentiles};
 pub use net::{Envelope, Fault, LinkProfile, NetStats, NodeId, SimNet, SplitMix64, Transport};
 pub use node::DeviceNode;
 pub use policy::Policy;

@@ -87,6 +87,14 @@ pub struct ServiceConfig {
     pub calibration_runs: usize,
     /// Failure-handling policy.
     pub policy: Policy,
+    /// Precomputed rounds held per device (`0` disables the fast path:
+    /// every round replays online).
+    pub bank_capacity: usize,
+    /// Background refill threads per device bank. Keep at `1` (the
+    /// default) for deterministic runs: a single producer pushes rounds
+    /// in generator order, so the consumed challenge sequence does not
+    /// depend on thread scheduling. `0` refills synchronously on take.
+    pub bank_workers: usize,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +105,8 @@ impl Default for ServiceConfig {
             deadline_slack: 1_000,
             calibration_runs: 5,
             policy: Policy::default(),
+            bank_capacity: 2,
+            bank_workers: 1,
         }
     }
 }
@@ -104,6 +114,9 @@ impl Default for ServiceConfig {
 struct Outstanding {
     round: u64,
     challenges: Vec<[u8; 16]>,
+    /// Bank-precomputed expected checksum; `None` means this round
+    /// verifies via online replay.
+    expected: Option<[u32; 8]>,
     deadline: u64,
 }
 
@@ -244,6 +257,15 @@ impl<T: Transport> AttestationService<T> {
 
         let mut verifier =
             Verifier::new(enclave, member.session.build().clone(), self.group.clone());
+        if self.cfg.bank_capacity > 0 {
+            // Fast path: precompute (challenges, expected) pairs off the
+            // round critical path. Enabled before calibration so the
+            // calibration replays already overlap the device runs.
+            verifier.enable_fast_path(sage_vf::BankConfig {
+                capacity: self.cfg.bank_capacity,
+                workers: self.cfg.bank_workers,
+            });
+        }
 
         let mut state = DeviceState::Enrolled;
         let mut record_state = |log: &mut EventLog, now: u64, to: DeviceState| {
@@ -421,10 +443,18 @@ impl<T: Transport> AttestationService<T> {
                 continue;
             }
             let o = d.outstanding.take().expect("matched above");
-            match d
-                .verifier
-                .check_response(&o.challenges, checksum, measured_cycles)
-            {
+            // A bank hit carries its precomputed expected checksum: the
+            // verdict is a compare + timing check, zero replay online.
+            let verdict = match o.expected {
+                Some(expected) => {
+                    d.verifier
+                        .check_response_precomputed(expected, checksum, measured_cycles)
+                }
+                None => d
+                    .verifier
+                    .check_response(&o.challenges, checksum, measured_cycles),
+            };
+            match verdict {
                 Ok(_) => self.round_passed(i, round, measured_cycles),
                 Err(SageError::TimingExceeded { .. }) => {
                     self.round_failed(i, round, FailReason::TooSlow)
@@ -470,13 +500,18 @@ impl<T: Transport> AttestationService<T> {
             return; // uncalibrated devices never get here (join quarantines them)
         };
         d.round += 1;
-        let challenges = d.verifier.generate_challenges();
+        // Blocking take keeps the consumed challenge sequence
+        // deterministic (the bank's single producer draws in generator
+        // order); the wait is bounded by one background replay and only
+        // ever happens when rounds outpace the refill workers.
+        let (challenges, expected) = d.verifier.prepare_round_blocking();
         // The round must complete within: challenge flight + the
         // calibrated worst-case checksum time + response flight + slack.
         let deadline = now + 2 * self.cfg.latency_budget + threshold + self.cfg.deadline_slack;
         d.outstanding = Some(Outstanding {
             round: d.round,
             challenges: challenges.clone(),
+            expected,
             deadline,
         });
         let round = d.round;

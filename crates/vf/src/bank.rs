@@ -1,0 +1,473 @@
+//! Precomputed challenge bank — the verifier's online fast path.
+//!
+//! SAGE's verifier is meant to be cheap *online* (paper §5.1: the
+//! enclave can precompute expected checksums, leaving only a compare and
+//! a timing check in the challenge–response round — the standard
+//! verifier-side precomputation trick of SWATT/Pioneer-style protocols).
+//! The bank realizes that: a bounded queue of
+//! `(challenges, expected_checksum)` pairs, filled by background worker
+//! threads *between* rounds, so a round that hits the bank does **zero**
+//! replay on its critical path.
+//!
+//! Safety-relevant invariants:
+//!
+//! - **Keyed by build fingerprint.** Every pair is valid only for the
+//!   exact [`VfBuild`] it was computed against; [`ChallengeBank::take`]
+//!   refuses a caller presenting a different fingerprint.
+//! - **Single-use.** Pairs leave the queue on take and are never
+//!   re-issued — challenges stay one-shot, exactly as in the
+//!   replay-online protocol.
+//! - **Caller-supplied randomness.** The bank draws challenge bytes from
+//!   an injected generator (the verifier seeds it from the enclave
+//!   DRBG), so precomputation does not change where randomness comes
+//!   from.
+//!
+//! With `workers == 0` the bank spawns nothing: stock appears only via
+//! the synchronous [`ChallengeBank::fill`] / blocking-take refill, in
+//! generator order — the deterministic mode tests use.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::{codegen::VfBuild, replay::expected_checksum};
+
+/// Identity of one exact VF build (see [`VfBuild::fingerprint`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fingerprint(pub [u8; 32]);
+
+/// Bank sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BankConfig {
+    /// Maximum precomputed pairs held in stock.
+    pub capacity: usize,
+    /// Background refill threads; `0` disables background refill
+    /// entirely (deterministic synchronous mode).
+    pub workers: usize,
+}
+
+impl Default for BankConfig {
+    fn default() -> BankConfig {
+        BankConfig {
+            capacity: 4,
+            workers: 1,
+        }
+    }
+}
+
+/// One ready-to-issue round: per-block challenges and the replayed
+/// expected checksum.
+#[derive(Clone, Debug)]
+pub struct PrecomputedRound {
+    /// One 16-byte challenge per grid block.
+    pub challenges: Vec<[u8; 16]>,
+    /// The bit-exact expected grid checksum for those challenges.
+    pub expected: [u32; 8],
+}
+
+/// Bank effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BankCounters {
+    /// Takes served from stock.
+    pub hits: u64,
+    /// Takes that found the bank empty.
+    pub misses: u64,
+    /// Pairs precomputed (background or synchronous).
+    pub refills: u64,
+    /// Takes refused for a foreign build fingerprint.
+    pub fingerprint_rejects: u64,
+}
+
+/// The challenge source: fills one 16-byte challenge per call.
+pub type ChallengeFn = Box<dyn FnMut(&mut [u8; 16]) + Send>;
+
+struct BankState {
+    queue: VecDeque<PrecomputedRound>,
+    gen: ChallengeFn,
+    stop: bool,
+}
+
+struct Inner {
+    build: VfBuild,
+    fingerprint: Fingerprint,
+    capacity: usize,
+    state: Mutex<BankState>,
+    /// Signalled when queue space frees up (or on stop) — refillers wait.
+    space: Condvar,
+    /// Signalled when stock arrives — blocking takers wait.
+    stock: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    refills: AtomicU64,
+    fingerprint_rejects: AtomicU64,
+}
+
+/// A bounded, fingerprint-keyed queue of precomputed rounds.
+pub struct ChallengeBank {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Inner {
+    /// Draws one challenge set under the state lock (keeps the generator
+    /// sequence well-ordered) without touching the queue.
+    fn draw_challenges(state: &mut BankState, blocks: usize) -> Vec<[u8; 16]> {
+        (0..blocks)
+            .map(|_| {
+                let mut c = [0u8; 16];
+                (state.gen)(&mut c);
+                c
+            })
+            .collect()
+    }
+
+    /// Computes one pair synchronously — under the lock, deliberately:
+    /// this is the deterministic path (`fill` / workers-0 blocking take),
+    /// where the caller wants the pair ready before proceeding anyway.
+    /// Background workers use [`worker_loop`], which replays unlocked.
+    fn refill_once(&self, state: &mut MutexGuard<'_, BankState>) {
+        let blocks = self.build.params.grid_blocks as usize;
+        let challenges = Self::draw_challenges(state, blocks);
+        let expected = expected_checksum(&self.build, &challenges);
+        state.queue.push_back(PrecomputedRound {
+            challenges,
+            expected,
+        });
+        self.refills.fetch_add(1, Ordering::Relaxed);
+        self.stock.notify_all();
+    }
+}
+
+impl ChallengeBank {
+    /// Creates a bank for one build, drawing challenge bytes from `gen`.
+    pub fn new(build: VfBuild, cfg: BankConfig, gen: ChallengeFn) -> ChallengeBank {
+        let fingerprint = build.fingerprint();
+        let inner = Arc::new(Inner {
+            build,
+            fingerprint,
+            capacity: cfg.capacity.max(1),
+            state: Mutex::new(BankState {
+                queue: VecDeque::new(),
+                gen,
+                stop: false,
+            }),
+            space: Condvar::new(),
+            stock: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            refills: AtomicU64::new(0),
+            fingerprint_rejects: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sage-bank-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn bank worker")
+            })
+            .collect();
+        ChallengeBank { inner, workers }
+    }
+
+    /// The fingerprint of the build this bank precomputes for.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.inner.fingerprint
+    }
+
+    /// Current stock level.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner.state).queue.len()
+    }
+
+    /// `true` if no stock is available right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum stock.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> BankCounters {
+        BankCounters {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            refills: self.inner.refills.load(Ordering::Relaxed),
+            fingerprint_rejects: self.inner.fingerprint_rejects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Non-blocking take: `Ok(Some(_))` on a hit, `Ok(None)` when the
+    /// bank is out of stock (the caller falls back to online replay),
+    /// `Err(())` when `fp` names a different build than this bank serves
+    /// — stock computed for build A is never issued for build B.
+    #[allow(clippy::result_unit_err)]
+    pub fn take(&self, fp: &Fingerprint) -> Result<Option<PrecomputedRound>, ()> {
+        if *fp != self.inner.fingerprint {
+            self.inner
+                .fingerprint_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(());
+        }
+        let mut state = lock_unpoisoned(&self.inner.state);
+        match state.queue.pop_front() {
+            Some(pair) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.space.notify_all();
+                Ok(Some(pair))
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Blocking take: always returns a pair for a matching fingerprint.
+    /// With background workers the caller waits for stock (counted as a
+    /// miss when it had to wait); with `workers == 0` an empty bank is
+    /// refilled synchronously on the calling thread, preserving the
+    /// deterministic generator order.
+    #[allow(clippy::result_unit_err)]
+    pub fn take_blocking(&self, fp: &Fingerprint) -> Result<PrecomputedRound, ()> {
+        if *fp != self.inner.fingerprint {
+            self.inner
+                .fingerprint_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(());
+        }
+        let mut state = lock_unpoisoned(&self.inner.state);
+        if state.queue.is_empty() {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+            if self.workers.is_empty() {
+                self.inner.refill_once(&mut state);
+            } else {
+                while state.queue.is_empty() {
+                    state = self
+                        .inner
+                        .stock
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        } else {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let pair = state.queue.pop_front().expect("stock present");
+        self.inner.space.notify_all();
+        Ok(pair)
+    }
+
+    /// Synchronously precomputes up to `n` pairs (bounded by remaining
+    /// capacity) on the calling thread. Deterministic: pairs enter the
+    /// queue in generator order.
+    pub fn fill(&self, n: usize) {
+        let mut state = lock_unpoisoned(&self.inner.state);
+        for _ in 0..n {
+            if state.queue.len() >= self.inner.capacity {
+                break;
+            }
+            self.inner.refill_once(&mut state);
+        }
+    }
+}
+
+impl Drop for ChallengeBank {
+    fn drop(&mut self) {
+        lock_unpoisoned(&self.inner.state).stop = true;
+        self.inner.space.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Claim work: draw the next challenge set while below capacity.
+        let challenges = {
+            let mut state = lock_unpoisoned(&inner.state);
+            loop {
+                if state.stop {
+                    return;
+                }
+                if state.queue.len() < inner.capacity {
+                    let blocks = inner.build.params.grid_blocks as usize;
+                    break Inner::draw_challenges(&mut state, blocks);
+                }
+                state = inner.space.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // The expensive replay happens with the lock released.
+        let expected = expected_checksum(&inner.build, &challenges);
+        let mut state = lock_unpoisoned(&inner.state);
+        if state.stop {
+            return;
+        }
+        state.queue.push_back(PrecomputedRound {
+            challenges,
+            expected,
+        });
+        inner.refills.fetch_add(1, Ordering::Relaxed);
+        inner.stock.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_vf, params::VfParams};
+
+    /// A deterministic challenge source: a byte counter stream.
+    fn counter_gen(seed: u8) -> ChallengeFn {
+        let mut next = seed;
+        Box::new(move |c: &mut [u8; 16]| {
+            for byte in c.iter_mut() {
+                *byte = next;
+                next = next.wrapping_add(1);
+            }
+        })
+    }
+
+    fn tiny_build(fill_seed: u32) -> VfBuild {
+        build_vf(&VfParams::test_tiny(), 0x1000, fill_seed).unwrap()
+    }
+
+    fn sync_bank(fill_seed: u32, capacity: usize, gen_seed: u8) -> ChallengeBank {
+        ChallengeBank::new(
+            tiny_build(fill_seed),
+            BankConfig {
+                capacity,
+                workers: 0,
+            },
+            counter_gen(gen_seed),
+        )
+    }
+
+    #[test]
+    fn zero_worker_bank_is_deterministic() {
+        // Two banks over the same build and generator seed must issue
+        // byte-identical rounds in the same order.
+        let a = sync_bank(7, 4, 3);
+        let b = sync_bank(7, 4, 3);
+        a.fill(3);
+        b.fill(3);
+        let fp = a.fingerprint();
+        for _ in 0..3 {
+            let ra = a.take(&fp).unwrap().expect("stock");
+            let rb = b.take(&fp).unwrap().expect("stock");
+            assert_eq!(ra.challenges, rb.challenges);
+            assert_eq!(ra.expected, rb.expected);
+        }
+    }
+
+    #[test]
+    fn pairs_are_bit_exact_against_direct_replay() {
+        let bank = sync_bank(7, 2, 9);
+        bank.fill(2);
+        let build = tiny_build(7);
+        let fp = bank.fingerprint();
+        while let Some(round) = bank.take(&fp).unwrap() {
+            assert_eq!(round.expected, expected_checksum(&build, &round.challenges));
+        }
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_stock() {
+        let bank = sync_bank(7, 2, 1);
+        bank.fill(2);
+        let fp = bank.fingerprint();
+        assert!(bank.take(&fp).unwrap().is_some());
+        assert!(bank.take(&fp).unwrap().is_some());
+        // Empty: the non-blocking take signals the caller to replay
+        // online instead.
+        assert!(bank.take(&fp).unwrap().is_none());
+        let c = bank.counters();
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.refills, 2);
+    }
+
+    #[test]
+    fn refill_after_drain_restocks() {
+        let bank = sync_bank(7, 2, 1);
+        bank.fill(2);
+        let fp = bank.fingerprint();
+        let first = bank.take(&fp).unwrap().expect("stock");
+        let _ = bank.take(&fp).unwrap().expect("stock");
+        assert!(bank.is_empty());
+        bank.fill(2);
+        assert_eq!(bank.len(), 2);
+        let third = bank.take(&fp).unwrap().expect("restocked");
+        // The generator stream continues — restocked rounds are fresh,
+        // never re-issues.
+        assert_ne!(first.challenges, third.challenges);
+        assert_eq!(bank.counters().refills, 4);
+    }
+
+    #[test]
+    fn fill_respects_capacity() {
+        let bank = sync_bank(7, 2, 1);
+        bank.fill(10);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.counters().refills, 2);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_refused() {
+        let bank = sync_bank(7, 2, 1);
+        bank.fill(1);
+        // Same params, different fill seed → different image → different
+        // fingerprint. Stock for build A must never be issued for B.
+        let other_fp = tiny_build(8).fingerprint();
+        assert_ne!(other_fp, bank.fingerprint());
+        assert!(bank.take(&other_fp).is_err());
+        assert!(bank.take_blocking(&other_fp).is_err());
+        assert_eq!(bank.counters().fingerprint_rejects, 2);
+        // The stock itself is untouched.
+        assert_eq!(bank.len(), 1);
+    }
+
+    #[test]
+    fn blocking_take_refills_inline_without_workers() {
+        let bank = sync_bank(7, 2, 5);
+        let fp = bank.fingerprint();
+        // Empty bank, zero workers: the blocking take computes the pair
+        // synchronously on this thread.
+        let round = bank.take_blocking(&fp).unwrap();
+        let build = tiny_build(7);
+        assert_eq!(round.expected, expected_checksum(&build, &round.challenges));
+        let c = bank.counters();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.refills, 1);
+    }
+
+    #[test]
+    fn background_workers_stock_the_bank() {
+        let bank = ChallengeBank::new(
+            tiny_build(7),
+            BankConfig {
+                capacity: 2,
+                workers: 1,
+            },
+            counter_gen(1),
+        );
+        let fp = bank.fingerprint();
+        // The worker fills asynchronously; blocking takes always succeed.
+        for _ in 0..4 {
+            let round = bank.take_blocking(&fp).unwrap();
+            assert_eq!(round.challenges.len(), 2); // test_tiny: 2 blocks
+        }
+        let c = bank.counters();
+        assert_eq!(c.hits + c.misses, 4);
+        assert!(c.refills >= 4);
+    }
+}

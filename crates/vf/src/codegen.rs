@@ -92,6 +92,36 @@ impl VfBuild {
         &self.image[..self.layout.data_bytes as usize]
     }
 
+    /// A stable identity for this exact build: SHA-256 over the
+    /// parameters, base address, fill seed and full device image. Two
+    /// builds agree on every expected checksum iff their fingerprints
+    /// match, so precomputed challenge banks key their stock by it.
+    pub fn fingerprint(&self) -> crate::bank::Fingerprint {
+        let p = &self.params;
+        let mut h = sage_crypto::Sha256::new();
+        h.update(b"sage-vf-build:");
+        h.update(&p.data_bytes.to_le_bytes());
+        h.update(&(p.unroll as u64).to_le_bytes());
+        h.update(&(p.pattern_pairs as u64).to_le_bytes());
+        h.update(&p.iterations.to_le_bytes());
+        h.update(&[match p.smc {
+            SmcMode::Off => 0u8,
+            SmcMode::Evict => 1,
+            SmcMode::Cctl => 2,
+        }]);
+        let (inner_steps, inner_iters) = p.inner.unwrap_or((0, 0));
+        h.update(&(inner_steps as u64).to_le_bytes());
+        h.update(&inner_iters.to_le_bytes());
+        h.update(&p.grid_blocks.to_le_bytes());
+        h.update(&p.block_threads.to_le_bytes());
+        h.update(&[p.naive_schedule as u8]);
+        h.update(&(p.injected_nops as u64).to_le_bytes());
+        h.update(&self.layout.base.to_le_bytes());
+        h.update(&self.fill_seed.to_le_bytes());
+        h.update(&self.image);
+        crate::bank::Fingerprint(h.finalize())
+    }
+
     /// Registers per thread to request at launch.
     pub fn regs_per_thread(&self) -> u32 {
         if self.params.naive_schedule {

@@ -32,14 +32,18 @@
 //! self-modifying immediate), while keeping the traversal independent of
 //! cross-block timing so the verifier can replay it exactly.
 
+pub mod bank;
 pub mod codegen;
 pub mod coverage;
 pub mod layout;
 pub mod params;
+pub mod pool;
 pub mod replay;
 pub mod spec;
 
+pub use bank::{BankConfig, BankCounters, ChallengeBank, Fingerprint, PrecomputedRound};
 pub use codegen::{build_vf, build_vf_inline};
 pub use layout::VfLayout;
 pub use params::{SmcMode, VfParams};
-pub use replay::expected_checksum;
+pub use pool::ReplayPool;
+pub use replay::{expected_checksum, expected_checksum_unpooled, expected_checksum_with_pool};

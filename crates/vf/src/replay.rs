@@ -4,12 +4,16 @@
 //! region bytes (it built them), the challenges (it chose them), and the
 //! launch geometry. Replaying the [`crate::spec`] semantics yields
 //! the expected 8-word grid checksum, parallelized over thread blocks
-//! with scoped std threads (the paper's verification hosts are many-core
-//! CPUs — Table 1 "verification (AMD/Intel)" rows).
+//! on the persistent [`crate::pool::ReplayPool`] (the paper's
+//! verification hosts are many-core CPUs — Table 1 "verification
+//! (AMD/Intel)" rows).
+
+use std::sync::Mutex;
 
 use crate::{
     codegen::VfBuild,
     params::SmcMode,
+    pool::ReplayPool,
     spec::{self, ThreadState},
 };
 
@@ -92,12 +96,52 @@ pub fn replay_block(build: &VfBuild, challenge: &[u8; 16], block: u32) -> [u32; 
 /// cells after a faithful run): the wrapping sum over every thread's
 /// final checksum registers.
 ///
+/// Blocks are replayed on the shared persistent [`ReplayPool`] — no
+/// threads are created per call, so tight verification loops
+/// (calibration, fleet rounds) pay only the replay itself.
+///
 /// `challenges` must hold one 16-byte challenge per block.
 ///
 /// # Panics
 ///
 /// Panics if `challenges.len() != grid_blocks`.
 pub fn expected_checksum(build: &VfBuild, challenges: &[[u8; 16]]) -> [u32; 8] {
+    expected_checksum_with_pool(build, challenges, ReplayPool::global())
+}
+
+/// [`expected_checksum`] on an explicit pool — tests pass
+/// [`ReplayPool::serial`] for a deterministic, thread-free replay.
+pub fn expected_checksum_with_pool(
+    build: &VfBuild,
+    challenges: &[[u8; 16]],
+    pool: &ReplayPool,
+) -> [u32; 8] {
+    assert_eq!(
+        challenges.len(),
+        build.params.grid_blocks as usize,
+        "one challenge per block required"
+    );
+    let blocks = build.params.grid_blocks as usize;
+    let partials = Mutex::new(vec![[0u32; 8]; blocks]);
+    pool.run_scoped(blocks, &|b| {
+        let sums = replay_block(build, &challenges[b], b as u32);
+        partials.lock().expect("replay partials")[b] = sums;
+    });
+    let mut out = [0u32; 8];
+    for part in partials.into_inner().expect("replay partials") {
+        for j in 0..8 {
+            out[j] = out[j].wrapping_add(part[j]);
+        }
+    }
+    out
+}
+
+/// The pre-pool implementation, spawning fresh scoped threads per call.
+///
+/// Retained as the oracle the pooled path is tested against and as the
+/// before-baseline of the `fastpath` benchmark's calibration-loop
+/// comparison; not used on any production path.
+pub fn expected_checksum_unpooled(build: &VfBuild, challenges: &[[u8; 16]]) -> [u32; 8] {
     assert_eq!(
         challenges.len(),
         build.params.grid_blocks as usize,
@@ -231,6 +275,31 @@ mod tests {
             }
         }
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn pooled_matches_unpooled_oracle() {
+        let mut p = VfParams::test_tiny();
+        p.grid_blocks = 6;
+        p.iterations = 3;
+        let build = build_vf(&p, 0x1000, 7).unwrap();
+        let ch = challenges(p.grid_blocks, 9);
+        assert_eq!(
+            expected_checksum(&build, &ch),
+            expected_checksum_unpooled(&build, &ch)
+        );
+    }
+
+    #[test]
+    fn serial_pool_is_deterministic_and_exact() {
+        let p = VfParams::test_tiny();
+        let build = build_vf(&p, 0x1000, 7).unwrap();
+        let ch = challenges(p.grid_blocks, 5);
+        let serial = ReplayPool::serial();
+        let a = expected_checksum_with_pool(&build, &ch, &serial);
+        let b = expected_checksum_with_pool(&build, &ch, &serial);
+        assert_eq!(a, b);
+        assert_eq!(a, expected_checksum(&build, &ch));
     }
 
     #[test]

@@ -82,6 +82,7 @@ fn fleet_survives_churn_and_quarantines_replay_attacker() {
             deadline_slack: 2_000,
             calibration_runs: 8,
             policy: Policy::default(),
+            ..ServiceConfig::default()
         };
         let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
 
