@@ -37,4 +37,10 @@ cargo run -q --release -p sage-bench --bin fastpath -- \
     --out /tmp/BENCH_fastpath_smoke.json
 test -s /tmp/BENCH_fastpath_smoke.json
 
+echo "==> chaos soak smoke (3 seeds, crash+restore, zero-false-accept gate)"
+cargo run -q --release -p sage-bench --bin soak -- \
+    --seeds 5,6,7 --ticks 400000 --devices 2 \
+    --out /tmp/BENCH_soak_smoke.json
+test -s /tmp/BENCH_soak_smoke.json
+
 echo "ci.sh: all gates passed"

@@ -103,6 +103,19 @@ impl Verifier {
         }
     }
 
+    /// Chaos hook: corrupts the stocked bank pair at `index` the way a
+    /// host-memory fault would (payload changes, integrity tag doesn't).
+    /// The bank detects the mismatch at take time and the round falls
+    /// back to online replay — this hook exists so tests and the chaos
+    /// soak can prove that. Returns `false` without the fast path or
+    /// when no pair sits at `index`.
+    pub fn corrupt_bank_stock(&self, index: usize) -> bool {
+        self.bank
+            .as_ref()
+            .map(|b| b.corrupt_stock(index))
+            .unwrap_or(false)
+    }
+
     /// The fingerprint of this verifier's VF build.
     pub fn fingerprint(&self) -> Fingerprint {
         self.fingerprint

@@ -128,3 +128,59 @@ fn tampered_response_rejected_on_the_fast_path() {
         .is_err());
     assert_eq!(verifier.stats().value_rejects, 1);
 }
+
+#[test]
+fn poisoned_bank_stock_falls_back_to_online_replay() {
+    let (mut verifier, mut session) = setup();
+    verifier.calibrate(&mut session, 6).unwrap();
+    verifier.enable_fast_path(BankConfig {
+        capacity: 2,
+        workers: 0,
+    });
+    verifier.prefill_rounds(2);
+    // A host-memory fault flips a bit in both stocked pairs: payload
+    // changes, integrity tag doesn't.
+    assert!(verifier.corrupt_bank_stock(0));
+    assert!(verifier.corrupt_bank_stock(1));
+    // The round must discard the poisoned stock, degrade to the online
+    // replay path, and still verify the honest device — the corrupted
+    // expected value is never compared against anything.
+    let (ch, expected) = verifier.prepare_round();
+    assert!(expected.is_none(), "poisoned stock must not be issued");
+    let (got, measured) = session.run_checksum(&ch).unwrap();
+    verifier.check_response(&ch, got, measured).unwrap();
+    // And the online expected value is bit-exact with the unpooled
+    // oracle — fallback does not change verdict semantics.
+    assert_eq!(
+        verifier.expected(&ch),
+        sage_vf::replay::expected_checksum_unpooled(session.build(), &ch)
+    );
+    let c = verifier.bank_counters().unwrap();
+    assert_eq!(c.poisoned, 2, "both corrupted pairs recorded");
+    assert_eq!(c.misses, 1, "the fallback round recorded a miss");
+    assert_eq!(c.hits, 0);
+    assert_eq!(verifier.stats().accepted, 1);
+    assert_eq!(verifier.stats().value_rejects, 0, "no false reject");
+}
+
+#[test]
+fn wrong_answer_still_rejected_after_poison_fallback() {
+    let (mut verifier, mut session) = setup();
+    verifier.calibrate(&mut session, 6).unwrap();
+    verifier.enable_fast_path(BankConfig {
+        capacity: 1,
+        workers: 0,
+    });
+    verifier.prefill_rounds(1);
+    assert!(verifier.corrupt_bank_stock(0));
+    let (ch, expected) = verifier.prepare_round();
+    assert!(expected.is_none());
+    // A device that happens to answer with the *corrupted* expected
+    // value must still be rejected: the poisoned pair is gone, the
+    // verifier replays the true expectation online.
+    let (mut got, measured) = session.run_checksum(&ch).unwrap();
+    got[0] ^= 1 << 17; // the exact corruption corrupt_bank_stock applies
+    assert!(verifier.check_response(&ch, got, measured).is_err());
+    assert_eq!(verifier.stats().value_rejects, 1);
+    assert_eq!(verifier.stats().accepted, 0, "zero false accepts");
+}

@@ -12,6 +12,7 @@
 use crate::{
     config::DeviceConfig,
     error::{Result, SimError},
+    fault::{FaultHook, RunEffects},
     mem::GlobalMemory,
     sm::{JitterRng, PendingBlock, Sm, SmReport},
     stats::KernelStats,
@@ -120,6 +121,8 @@ pub struct Device {
     contexts: Vec<ContextInfo>,
     queued: Vec<LaunchParams>,
     bus_tap: Option<Box<dyn BusTap>>,
+    fault_hook: Option<Box<dyn FaultHook>>,
+    fault_runs: u64,
     timing_seed: u64,
     hazard_check: bool,
     /// Cycles spent on bus transfers since the last [`Device::take_bus_cycles`].
@@ -140,6 +143,8 @@ impl Device {
             contexts: Vec::new(),
             queued: Vec::new(),
             bus_tap: None,
+            fault_hook: None,
+            fault_runs: 0,
             timing_seed: 0x5AEE_D001,
             hazard_check: false,
             bus_cycles: 0,
@@ -192,6 +197,33 @@ impl Device {
     /// Removes the bus interposer.
     pub fn remove_bus_tap(&mut self) -> Option<Box<dyn BusTap>> {
         self.bus_tap.take()
+    }
+
+    /// Installs a fault-injection hook (chaos engine), returning any
+    /// previous one. Absent by default; when absent, [`Device::run`]
+    /// pays a single `Option` check.
+    pub fn install_fault_hook(&mut self, hook: Box<dyn FaultHook>) -> Option<Box<dyn FaultHook>> {
+        self.fault_hook.replace(hook)
+    }
+
+    /// Removes the fault-injection hook.
+    pub fn remove_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        self.fault_hook.take()
+    }
+
+    /// Counters of faults the installed hook has applied so far (zeros
+    /// when no hook is installed).
+    pub fn faults_applied(&self) -> crate::fault::FaultCounters {
+        self.fault_hook
+            .as_ref()
+            .map(|h| h.applied())
+            .unwrap_or_default()
+    }
+
+    /// Number of non-empty [`Device::run`]s so far (the run index the
+    /// fault hook is keyed by).
+    pub fn fault_run_index(&self) -> u64 {
+        self.fault_runs
     }
 
     /// Creates a new context. Contexts have no memory isolation from each
@@ -326,6 +358,23 @@ impl Device {
             }
         }
 
+        // Chaos engine: consult the fault hook once per run, after all
+        // parameter DMA and before any SM starts. Memory faults (bit
+        // flips) land now — corrupting code regions also corrupts the
+        // icache lines decoded from them this run — while timing faults
+        // come back as effects folded into the merge below.
+        let effects: RunEffects = match self.fault_hook.as_mut() {
+            Some(hook) => {
+                let run_index = self.fault_runs;
+                self.fault_runs += 1;
+                hook.on_run(run_index, &self.mem)
+            }
+            None => {
+                self.fault_runs += 1;
+                RunEffects::default()
+            }
+        };
+
         // One job per SM that received blocks. All DMA (parameter blocks)
         // is done above, before any SM starts — the command-processor
         // boundary the worker threads synchronise at.
@@ -423,7 +472,12 @@ impl Device {
         let mut per_sm_stats = Vec::new();
         for entry in results {
             let (sm_id, report) = entry.expect("every job produced a report");
-            let report = report?;
+            let mut report = report?;
+            // Injected SM stall: the whole SM finishes `stall` cycles
+            // later, so its cycle count and every launch completion it
+            // contributed to move together.
+            let stall = effects.stall_for(sm_id);
+            report.stats.cycles += stall;
             total_cycles = total_cycles.max(report.stats.cycles);
             per_sm_stats.push((sm_id, report.stats.clone()));
             stats.merge(&report.stats);
@@ -432,9 +486,17 @@ impl Device {
             }
             for (launch_id, local) in report.launches {
                 let lr = &mut launches[launch_id];
-                lr.completion_cycle = lr.completion_cycle.max(local.completion);
+                lr.completion_cycle = lr.completion_cycle.max(local.completion + stall);
                 lr.issued += local.issued;
                 lr.blocks += local.blocks;
+            }
+        }
+        // Injected clock skew: every completion the host observes is
+        // shifted by the same amount (the device counter itself lies).
+        if effects.clock_skew > 0 {
+            total_cycles += effects.clock_skew;
+            for lr in launches.iter_mut().filter(|lr| lr.blocks > 0) {
+                lr.completion_cycle += effects.clock_skew;
             }
         }
         stats.cycles = total_cycles;

@@ -1,0 +1,348 @@
+//! Device-level fault injection: the chaos engine's lowest layer.
+//!
+//! A [`FaultHook`] is the device-side analogue of [`crate::BusTap`]: an
+//! optional, config-gated injection point consulted once per
+//! [`Device::run`](crate::Device::run). When no hook is installed the
+//! cost is a single `Option` check — the hot simulation loops never see
+//! it. When one is installed it may
+//!
+//! * flip bits in global memory (DRAM upsets; flips inside a code region
+//!   corrupt the icache lines decoded from it on the next fetch, since
+//!   lines are installed from memory at miss time),
+//! * stall a chosen SM for N cycles (a stuck warp scheduler / thermal
+//!   throttle on one partition), and
+//! * skew the device clock (the completion counter the verifier's timing
+//!   channel ultimately observes).
+//!
+//! Faults are *scheduled*, not sampled at run time: a [`FaultPlan`] is a
+//! sorted `(run_index, fault)` list, optionally generated from a seed via
+//! [`FaultPlan::seeded`], so every chaos experiment is reproducible from
+//! a single `u64`. Bit flips are XOR — self-inverse — so a transient
+//! fault is simply the same flip scheduled twice
+//! ([`FaultPlan::transient_flip`]).
+
+use crate::mem::GlobalMemory;
+
+/// One injectable device fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// XOR bit `bit` (0..8) of the byte at `addr` in global memory.
+    /// Self-inverse: scheduling the same flip twice restores the byte.
+    FlipBit {
+        /// Byte address in device global memory.
+        addr: u32,
+        /// Bit index within the byte, 0..8.
+        bit: u8,
+    },
+    /// Add `cycles` of stall to every block resident on SM `sm_id`
+    /// during this run (reflected in that SM's cycle count and in the
+    /// completion cycle of every launch it participated in).
+    StallSm {
+        /// Target SM.
+        sm_id: u32,
+        /// Extra cycles.
+        cycles: u64,
+    },
+    /// Skew the device clock: every completion reported by this run is
+    /// `cycles` larger than the true figure.
+    ClockSkew {
+        /// Extra cycles added to every reported completion.
+        cycles: u64,
+    },
+}
+
+/// Timing effects a hook asks the device to apply to one run's report.
+/// Memory effects (bit flips) are applied directly by the hook.
+#[derive(Clone, Debug, Default)]
+pub struct RunEffects {
+    /// `(sm_id, extra_cycles)` stalls; multiple entries for one SM add.
+    pub sm_stalls: Vec<(u32, u64)>,
+    /// Extra cycles added to every reported completion (clock skew).
+    pub clock_skew: u64,
+}
+
+impl RunEffects {
+    /// Total extra stall cycles charged to `sm_id` this run.
+    pub fn stall_for(&self, sm_id: u32) -> u64 {
+        self.sm_stalls
+            .iter()
+            .filter(|(s, _)| *s == sm_id)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// True when the run is unaffected (no stalls, no skew).
+    pub fn is_empty(&self) -> bool {
+        self.sm_stalls.is_empty() && self.clock_skew == 0
+    }
+}
+
+/// Counters of faults actually applied so far (for reports/assertions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Bit flips applied to global memory.
+    pub flips: u64,
+    /// SM stalls applied.
+    pub stalls: u64,
+    /// Clock skews applied.
+    pub skews: u64,
+}
+
+impl FaultCounters {
+    /// Total faults applied.
+    pub fn total(&self) -> u64 {
+        self.flips + self.stalls + self.skews
+    }
+}
+
+/// Per-run fault injection point. Installed on a
+/// [`Device`](crate::Device) via
+/// [`install_fault_hook`](crate::Device::install_fault_hook); absent by
+/// default and free when absent.
+pub trait FaultHook {
+    /// Called once per non-empty [`Device::run`](crate::Device::run),
+    /// after launch parameter DMA and before any SM executes.
+    ///
+    /// `run_index` counts the device's non-empty runs (0-based) so
+    /// schedules line up with attestation rounds. The hook may mutate
+    /// `mem` directly (bit flips) and returns the timing effects the
+    /// device should fold into the run's report.
+    fn on_run(&mut self, run_index: u64, mem: &GlobalMemory) -> RunEffects;
+
+    /// Counters of faults applied so far (reports/assertions).
+    fn applied(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+}
+
+/// A deterministic fault schedule: a sorted `(run_index, fault)` list.
+///
+/// Entries fire the first run whose index is `>=` their scheduled run
+/// (exactly their run when the device runs every index, which attestation
+/// rounds do). Build one by hand with [`at`](FaultPlan::at) /
+/// [`transient_flip`](FaultPlan::transient_flip), or generate a whole
+/// campaign from a seed with [`seeded`](FaultPlan::seeded).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    entries: Vec<(u64, DeviceFault)>,
+    cursor: usize,
+    applied: FaultCounters,
+}
+
+/// Parameters for [`FaultPlan::seeded`]: how many of each fault class to
+/// scatter over a run horizon, and where flips may land.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSpec {
+    /// Schedule horizon: faults land on run indices `0..runs`.
+    pub runs: u64,
+    /// Byte region `(base, len)` eligible for bit flips.
+    pub flip_region: (u32, u32),
+    /// Number of *transient* flip pairs (each is flip + unflip 1–3 runs
+    /// later).
+    pub transient_flips: u32,
+    /// Number of persistent flips (never undone by the plan).
+    pub persistent_flips: u32,
+    /// Number of SM stalls.
+    pub stalls: u32,
+    /// SM ids are drawn from `0..num_sms`.
+    pub num_sms: u32,
+    /// Stall lengths are drawn from `1..=max_stall`.
+    pub max_stall: u64,
+    /// Number of clock skews.
+    pub skews: u32,
+    /// Skew magnitudes are drawn from `1..=max_skew`.
+    pub max_skew: u64,
+}
+
+/// SplitMix64 step (same generator the service net layer uses; kept
+/// local so `gpu-sim` stays dependency-free).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` for run `run` (builder style).
+    pub fn at(mut self, run: u64, fault: DeviceFault) -> FaultPlan {
+        self.entries.push((run, fault));
+        self.entries.sort_by_key(|(r, _)| *r);
+        self
+    }
+
+    /// Schedules a *transient* bit flip: flipped at `run`, restored at
+    /// `clear_run` (XOR is self-inverse).
+    pub fn transient_flip(self, run: u64, clear_run: u64, addr: u32, bit: u8) -> FaultPlan {
+        self.at(run, DeviceFault::FlipBit { addr, bit })
+            .at(clear_run, DeviceFault::FlipBit { addr, bit })
+    }
+
+    /// Generates a reproducible schedule from `seed`: same seed and spec
+    /// ⇒ identical plan, bit for bit.
+    pub fn seeded(seed: u64, spec: &ChaosSpec) -> FaultPlan {
+        let mut s = seed ^ 0xC4A0_5FA1_7ED0_11CE;
+        let mut plan = FaultPlan::new();
+        let runs = spec.runs.max(1);
+        let (base, len) = spec.flip_region;
+        let len = len.max(1);
+        for _ in 0..spec.transient_flips {
+            let run = splitmix(&mut s) % runs;
+            let clear = run + 1 + splitmix(&mut s) % 3;
+            let addr = base + (splitmix(&mut s) % len as u64) as u32;
+            let bit = (splitmix(&mut s) % 8) as u8;
+            plan = plan.transient_flip(run, clear, addr, bit);
+        }
+        for _ in 0..spec.persistent_flips {
+            let run = splitmix(&mut s) % runs;
+            let addr = base + (splitmix(&mut s) % len as u64) as u32;
+            let bit = (splitmix(&mut s) % 8) as u8;
+            plan = plan.at(run, DeviceFault::FlipBit { addr, bit });
+        }
+        for _ in 0..spec.stalls {
+            let run = splitmix(&mut s) % runs;
+            let sm_id = (splitmix(&mut s) % u64::from(spec.num_sms.max(1))) as u32;
+            let cycles = 1 + splitmix(&mut s) % spec.max_stall.max(1);
+            plan = plan.at(run, DeviceFault::StallSm { sm_id, cycles });
+        }
+        for _ in 0..spec.skews {
+            let run = splitmix(&mut s) % runs;
+            let cycles = 1 + splitmix(&mut s) % spec.max_skew.max(1);
+            plan = plan.at(run, DeviceFault::ClockSkew { cycles });
+        }
+        plan
+    }
+
+    /// Shifts every scheduled run by `delta` (builder style), so a
+    /// seeded campaign generated over `0..runs` can be parked after a
+    /// settle window on a live device.
+    pub fn offset(mut self, delta: u64) -> FaultPlan {
+        for (r, _) in &mut self.entries {
+            *r += delta;
+        }
+        self
+    }
+
+    /// Scheduled entries (sorted by run index).
+    pub fn entries(&self) -> &[(u64, DeviceFault)] {
+        &self.entries
+    }
+
+    /// Number of entries not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.entries.len() - self.cursor
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn on_run(&mut self, run_index: u64, mem: &GlobalMemory) -> RunEffects {
+        let mut effects = RunEffects::default();
+        while self.cursor < self.entries.len() && self.entries[self.cursor].0 <= run_index {
+            let (_, fault) = self.entries[self.cursor];
+            self.cursor += 1;
+            match fault {
+                DeviceFault::FlipBit { addr, bit } => {
+                    // Word-aligned RMW; a flip outside the memory is a
+                    // no-op (the plan was generated for a larger device).
+                    let word_addr = addr & !3;
+                    if let Ok(word) = mem.read_u32(word_addr) {
+                        let shift = (addr & 3) * 8 + u32::from(bit & 7);
+                        if mem.write_u32(word_addr, word ^ (1 << shift)).is_ok() {
+                            self.applied.flips += 1;
+                        }
+                    }
+                }
+                DeviceFault::StallSm { sm_id, cycles } => {
+                    effects.sm_stalls.push((sm_id, cycles));
+                    self.applied.stalls += 1;
+                }
+                DeviceFault::ClockSkew { cycles } => {
+                    effects.clock_skew += cycles;
+                    self.applied.skews += 1;
+                }
+            }
+        }
+        effects
+    }
+
+    fn applied(&self) -> FaultCounters {
+        self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let spec = ChaosSpec {
+            runs: 100,
+            flip_region: (4096, 1024),
+            transient_flips: 4,
+            persistent_flips: 2,
+            stalls: 3,
+            num_sms: 4,
+            max_stall: 500,
+            skews: 2,
+            max_skew: 300,
+        };
+        let a = FaultPlan::seeded(42, &spec);
+        let b = FaultPlan::seeded(42, &spec);
+        let c = FaultPlan::seeded(43, &spec);
+        assert_eq!(a.entries(), b.entries());
+        assert_ne!(a.entries(), c.entries());
+        // 4 transient pairs (8 entries) + 2 + 3 + 2.
+        assert_eq!(a.entries().len(), 15);
+    }
+
+    #[test]
+    fn transient_flip_round_trips_memory() {
+        let mem = GlobalMemory::new(64);
+        mem.write_u32(8, 0xDEAD_BEEF).unwrap();
+        let mut plan = FaultPlan::new().transient_flip(0, 1, 9, 3);
+        let eff = plan.on_run(0, &mem);
+        assert!(eff.is_empty());
+        assert_eq!(mem.read_u32(8).unwrap(), 0xDEAD_BEEF ^ (1 << 11));
+        plan.on_run(1, &mem);
+        assert_eq!(mem.read_u32(8).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(plan.applied().flips, 2);
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn late_entries_fire_on_first_subsequent_run() {
+        let mem = GlobalMemory::new(64);
+        let mut plan = FaultPlan::new().at(3, DeviceFault::ClockSkew { cycles: 7 });
+        assert!(plan.on_run(1, &mem).is_empty());
+        // Run 3 was skipped; the entry fires at run 5.
+        let eff = plan.on_run(5, &mem);
+        assert_eq!(eff.clock_skew, 7);
+        assert_eq!(plan.applied().skews, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_flip_is_a_noop() {
+        let mem = GlobalMemory::new(16);
+        let mut plan = FaultPlan::new().at(0, DeviceFault::FlipBit { addr: 9999, bit: 0 });
+        plan.on_run(0, &mem);
+        assert_eq!(plan.applied().flips, 0);
+    }
+
+    #[test]
+    fn stall_accumulates_per_sm() {
+        let eff = RunEffects {
+            sm_stalls: vec![(0, 10), (1, 5), (0, 7)],
+            clock_skew: 0,
+        };
+        assert_eq!(eff.stall_for(0), 17);
+        assert_eq!(eff.stall_for(1), 5);
+        assert_eq!(eff.stall_for(2), 0);
+    }
+}

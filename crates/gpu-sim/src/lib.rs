@@ -66,6 +66,7 @@ pub mod dcache;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod icache;
 pub mod mem;
 pub mod sm;
@@ -78,6 +79,7 @@ pub use config::{DeviceConfig, Latencies};
 pub use dcache::{DataCache, DataCacheConfig};
 pub use device::{BusTap, ContextId, Device, ExecMode, LaunchParams, LaunchReport, RunReport};
 pub use error::{Result, SimError};
+pub use fault::{ChaosSpec, DeviceFault, FaultCounters, FaultHook, FaultPlan, RunEffects};
 pub use mem::GlobalMemory;
 pub use stats::{KernelStats, StallReason};
 pub use trace::{TraceBuffer, TraceRecord};

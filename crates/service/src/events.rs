@@ -141,6 +141,18 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// Rebuilds a log from a previously exported event stream, replaying
+    /// each event through [`EventLog::record`] so the derived counters
+    /// are recomputed — a restored log is indistinguishable from one
+    /// that never stopped.
+    pub fn restore(events: Vec<Event>) -> EventLog {
+        let mut log = EventLog::new();
+        for e in events {
+            log.record(e.at, &e.device, e.kind);
+        }
+        log
+    }
+
     /// Appends an event and updates the derived counters.
     pub fn record(&mut self, at: u64, device: &str, kind: EventKind) {
         match &kind {
@@ -272,14 +284,26 @@ impl EventLog {
     }
 }
 
-/// Asserts a string needs no JSON escaping (device names are plain
-/// identifiers throughout the tree) and passes it through.
-pub fn json_str(s: &str) -> &str {
-    assert!(
-        !s.contains('"') && !s.contains('\\') && !s.chars().any(|c| c.is_control()),
-        "unescapable string: {s:?}"
-    );
-    s
+/// Escapes a string for embedding in a JSON string literal. Device
+/// names are plain identifiers throughout the tree, but names arrive
+/// from operators — a hostile or merely odd name must never panic the
+/// control plane, so anything beyond the plain subset is escaped.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn kind_json(kind: &EventKind) -> String {

@@ -23,7 +23,11 @@
 //!   lifecycle state machine (`Enrolled → Attesting → Trusted →
 //!   Degraded → Quarantined/Revoked`), deadline-driven re-attestation
 //!   scheduling, and most-powerful-first roster maintenance across
-//!   join/leave.
+//!   join/leave;
+//! - [`snapshot`] — crash-safe recovery: a versioned binary snapshot of
+//!   the scheduler state plus [`snapshot::Endpoint`] hand-back, so a
+//!   restarted control plane resumes mid-schedule with a bit-identical
+//!   subsequent event history.
 //!
 //! Everything is deterministic: one seed fixes the network, the device
 //! timing and therefore the entire fleet history, which is what lets the
@@ -39,11 +43,15 @@ pub mod net;
 pub mod node;
 pub mod policy;
 pub mod service;
+pub mod snapshot;
 pub mod wire;
 
 pub use events::{Counters, Event, EventKind, EventLog, FailReason, LatencyPercentiles};
 pub use net::{Envelope, Fault, LinkProfile, NetStats, NodeId, SimNet, SplitMix64, Transport};
 pub use node::DeviceNode;
 pub use policy::Policy;
-pub use service::{AttestationService, DeviceState, DeviceStatus, ServiceConfig, VERIFIER_NODE};
+pub use service::{
+    AttestationService, DeviceHealth, DeviceState, DeviceStatus, ServiceConfig, VERIFIER_NODE,
+};
+pub use snapshot::{Endpoint, SnapshotError};
 pub use wire::{CodecError, Frame};

@@ -141,6 +141,55 @@ pub enum Fault {
         /// How many frames to delay.
         remaining: u32,
     },
+    /// A *recurring* outage on one directed link: from `start` until
+    /// `until`, the link misbehaves during the first `open_for` ticks of
+    /// every `period`-tick cycle. Frames sent inside an open window are
+    /// dropped when `extra` is 0, otherwise delayed by `extra` ticks —
+    /// the chaos-engine model of a flapping switch port or a periodic
+    /// congestion burst. Build a reproducibly-phased one with
+    /// [`Fault::seeded_window`].
+    Window {
+        /// Sending node to match.
+        src: NodeId,
+        /// Destination node to match.
+        dst: NodeId,
+        /// First tick of the first window.
+        start: u64,
+        /// Cycle length in ticks (clamped to ≥ 1).
+        period: u64,
+        /// Open (faulty) span at the head of each cycle.
+        open_for: u64,
+        /// `0` = drop frames in the window; otherwise delay by this much.
+        extra: u64,
+        /// Tick at which the schedule ends (`u64::MAX` = never).
+        until: u64,
+    },
+}
+
+impl Fault {
+    /// A [`Fault::Window`] whose phase (`start` within the first period)
+    /// is drawn from `seed`, so chaos campaigns get link outages that
+    /// differ per seed but replay bit-for-bit.
+    pub fn seeded_window(
+        seed: u64,
+        src: NodeId,
+        dst: NodeId,
+        period: u64,
+        open_for: u64,
+        extra: u64,
+        until: u64,
+    ) -> Fault {
+        let mut rng = SplitMix64::new(seed ^ 0x57A6_E77F_0A11_D00F);
+        Fault::Window {
+            src,
+            dst,
+            start: rng.below(period.max(1)),
+            period,
+            open_for,
+            extra,
+            until,
+        }
+    }
 }
 
 /// Delivery counters for observability and test assertions.
@@ -158,6 +207,10 @@ pub struct NetStats {
     pub fault_dropped: u64,
     /// Frames delayed by a targeted [`Fault::DelayNext`].
     pub fault_delayed: u64,
+    /// Frames dropped inside a recurring [`Fault::Window`].
+    pub window_dropped: u64,
+    /// Frames delayed inside a recurring [`Fault::Window`].
+    pub window_delayed: u64,
 }
 
 /// The deterministic in-process network.
@@ -247,6 +300,33 @@ impl SimNet {
         0
     }
 
+    /// The window fault (if any) open on `src → dst` at `now`:
+    /// `Some(0)` = drop, `Some(extra)` = delay.
+    fn window_fault(&self, now: u64, src: NodeId, dst: NodeId) -> Option<u64> {
+        for f in &self.faults {
+            if let Fault::Window {
+                src: s,
+                dst: d,
+                start,
+                period,
+                open_for,
+                extra,
+                until,
+            } = f
+            {
+                if *s == src
+                    && *d == dst
+                    && now >= *start
+                    && now < *until
+                    && (now - *start) % (*period).max(1) < *open_for
+                {
+                    return Some(*extra);
+                }
+            }
+        }
+        None
+    }
+
     fn enqueue(&mut self, at: u64, env: Envelope) {
         let key = (at, self.seq);
         self.seq += 1;
@@ -254,11 +334,14 @@ impl SimNet {
     }
 
     fn deliver_due(&mut self, now: u64) {
-        while let Some((&(at, seq), _)) = self.in_flight.iter().next() {
-            if at > now {
+        while self
+            .in_flight
+            .first_key_value()
+            .is_some_and(|(&(at, _), _)| at <= now)
+        {
+            let Some((_, env)) = self.in_flight.pop_first() else {
                 break;
-            }
-            let env = self.in_flight.remove(&(at, seq)).expect("present");
+            };
             self.stats.delivered += 1;
             self.inboxes.entry(env.dst).or_default().push_back(env);
         }
@@ -272,9 +355,20 @@ impl Transport for SimNet {
             self.stats.fault_dropped += 1;
             return;
         }
-        let extra = self.take_delay_fault(env.src, env.dst);
+        let mut extra = self.take_delay_fault(env.src, env.dst);
         if extra > 0 {
             self.stats.fault_delayed += 1;
+        }
+        match self.window_fault(now, env.src, env.dst) {
+            Some(0) => {
+                self.stats.window_dropped += 1;
+                return;
+            }
+            Some(wx) => {
+                self.stats.window_delayed += 1;
+                extra += wx;
+            }
+            None => {}
         }
         let profile = self.profile_for(env.src, env.dst);
         if self.rng.per_mille(profile.drop_per_mille) {
@@ -387,6 +481,86 @@ mod tests {
         );
         net.send(0, env(1, 2, 9));
         assert_eq!(drain(&mut net, 1_000, NodeId(2)), vec![9, 9]);
+    }
+
+    #[test]
+    fn recurring_window_drops_only_inside_open_spans() {
+        let mut net = SimNet::new(
+            9,
+            LinkProfile {
+                latency: 1,
+                jitter: 0,
+                drop_per_mille: 0,
+                dup_per_mille: 0,
+            },
+        );
+        // Open for the first 10 ticks of every 100, from t=100 to t=350:
+        // windows are [100,110), [200,210), [300,310).
+        net.inject(Fault::Window {
+            src: NodeId(1),
+            dst: NodeId(2),
+            start: 100,
+            period: 100,
+            open_for: 10,
+            extra: 0,
+            until: 350,
+        });
+        for t in [0u64, 99, 105, 150, 200, 209, 210, 305, 399, 405] {
+            net.send(t, env(1, 2, (t / 10) as u8));
+            net.send(t, env(3, 2, 200)); // other link: never affected
+        }
+        let got = drain(&mut net, 10_000, NodeId(2));
+        let from_link1: Vec<u8> = got.iter().copied().filter(|&t| t != 200).collect();
+        // 105, 200, 209 and 305 fall inside open windows; 399/405 are
+        // past `until` even though 405 would be inside a window.
+        assert_eq!(from_link1, vec![0, 9, 15, 21, 39, 40]);
+        assert_eq!(got.iter().filter(|&&t| t == 200).count(), 10);
+        assert_eq!(net.stats().window_dropped, 4);
+    }
+
+    #[test]
+    fn delay_window_postpones_instead_of_dropping() {
+        let mut net = SimNet::new(
+            10,
+            LinkProfile {
+                latency: 1,
+                jitter: 0,
+                drop_per_mille: 0,
+                dup_per_mille: 0,
+            },
+        );
+        net.inject(Fault::Window {
+            src: NodeId(1),
+            dst: NodeId(2),
+            start: 0,
+            period: 50,
+            open_for: 5,
+            extra: 1_000,
+            until: u64::MAX,
+        });
+        net.send(2, env(1, 2, 7)); // inside window: arrives at 2+1000+1
+        net.send(20, env(1, 2, 8)); // outside: arrives at 21
+        assert_eq!(drain(&mut net, 900, NodeId(2)), vec![8]);
+        assert_eq!(drain(&mut net, 1_003, NodeId(2)), vec![7]);
+        assert_eq!(net.stats().window_delayed, 1);
+        assert_eq!(net.stats().window_dropped, 0);
+    }
+
+    #[test]
+    fn seeded_window_is_reproducible_and_phase_varies() {
+        let w = |seed| Fault::seeded_window(seed, NodeId(0), NodeId(1), 1_000, 50, 0, u64::MAX);
+        assert_eq!(w(1), w(1));
+        let phases: Vec<u64> = (0..16)
+            .map(|s| match w(s) {
+                Fault::Window { start, .. } => start,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(phases.iter().all(|&p| p < 1_000));
+        assert!(
+            phases.windows(2).any(|p| p[0] != p[1]),
+            "all 16 seeds produced the same phase"
+        );
     }
 
     #[test]

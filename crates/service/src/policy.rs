@@ -17,6 +17,23 @@ pub struct Policy {
     pub backoff_base: u64,
     /// Upper bound on the exponential backoff delay.
     pub backoff_cap: u64,
+    /// Consecutive *wrong-checksum* failures after which a device is
+    /// quarantined, independent of [`Policy::quarantine_after`]. Wrong
+    /// values are the one failure class an honest device can never
+    /// produce (the checksum is deterministic), so operators running a
+    /// fault-tolerant fleet set this below `quarantine_after`: transient
+    /// faults (timeouts, slow rounds) burn the larger budget and recover,
+    /// persistent corruption hits this budget and quarantines. The
+    /// default equals `quarantine_after`, which leaves the historical
+    /// single-budget behaviour unchanged.
+    pub value_quarantine_after: u32,
+    /// When `true`, a round that times out is granted the same §7.2
+    /// restart allowance as a timing-only reject (shared
+    /// `max_timing_restarts` budget): the watchdog bounds a hung device,
+    /// but a transiently-unreachable one gets restarted instead of
+    /// burning hard failures. Default `false` (historical behaviour:
+    /// timeouts count as hard failures immediately).
+    pub restart_on_timeout: bool,
 }
 
 impl Default for Policy {
@@ -26,6 +43,8 @@ impl Default for Policy {
             max_timing_restarts: 2,
             backoff_base: 2_000,
             backoff_cap: 64_000,
+            value_quarantine_after: 4,
+            restart_on_timeout: false,
         }
     }
 }

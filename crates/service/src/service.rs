@@ -111,25 +111,52 @@ impl Default for ServiceConfig {
     }
 }
 
-struct Outstanding {
-    round: u64,
-    challenges: Vec<[u8; 16]>,
+pub(crate) struct Outstanding {
+    pub(crate) round: u64,
+    pub(crate) challenges: Vec<[u8; 16]>,
     /// Bank-precomputed expected checksum; `None` means this round
     /// verifies via online replay.
-    expected: Option<[u32; 8]>,
-    deadline: u64,
+    pub(crate) expected: Option<[u32; 8]>,
+    pub(crate) deadline: u64,
 }
 
-struct ManagedDevice {
-    node: DeviceNode,
-    verifier: Verifier,
-    state: DeviceState,
-    round: u64,
-    rounds_passed: u64,
-    consecutive_failures: u32,
-    consecutive_restarts: u32,
-    outstanding: Option<Outstanding>,
-    next_action_at: Option<u64>,
+pub(crate) struct ManagedDevice {
+    pub(crate) node: DeviceNode,
+    pub(crate) verifier: Verifier,
+    pub(crate) state: DeviceState,
+    pub(crate) round: u64,
+    pub(crate) rounds_passed: u64,
+    pub(crate) consecutive_failures: u32,
+    /// Consecutive wrong-checksum failures — the persistent-fault
+    /// signal; reset on any passed round, untouched by timeouts or
+    /// timing rejects (network noise must not mask corruption).
+    pub(crate) consecutive_value_failures: u32,
+    pub(crate) consecutive_restarts: u32,
+    pub(crate) outstanding: Option<Outstanding>,
+    pub(crate) next_action_at: Option<u64>,
+}
+
+/// One device's health, derived from its lifecycle counters. The score
+/// separates the two failure families the chaos engine exercises:
+/// transient faults (timeouts, slow rounds — recoverable, lightly
+/// penalized) and wrong checksums (unforgeable evidence of corruption or
+/// compromise — heavily penalized).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceHealth {
+    /// Device name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: DeviceState,
+    /// 0–100. `Quarantined`/`Revoked` pin it to 0; a clean `Trusted`
+    /// device sits at 100; consecutive transient failures cost 15 each,
+    /// consecutive wrong values 35 each.
+    pub score: u8,
+    /// Current consecutive-failure streak (any reason).
+    pub consecutive_failures: u32,
+    /// Current consecutive wrong-checksum streak.
+    pub consecutive_value_failures: u32,
+    /// §7.2 restarts consumed in the current streak.
+    pub consecutive_restarts: u32,
 }
 
 /// A point-in-time summary of one managed device.
@@ -151,13 +178,13 @@ pub struct DeviceStatus {
 
 /// The attestation control plane.
 pub struct AttestationService<T: Transport> {
-    cfg: ServiceConfig,
-    group: DhGroup,
-    net: T,
-    now: u64,
-    devices: Vec<ManagedDevice>,
-    log: EventLog,
-    next_node: u16,
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) group: DhGroup,
+    pub(crate) net: T,
+    pub(crate) now: u64,
+    pub(crate) devices: Vec<ManagedDevice>,
+    pub(crate) log: EventLog,
+    pub(crate) next_node: u16,
 }
 
 impl<T: Transport> AttestationService<T> {
@@ -215,6 +242,36 @@ impl<T: Transport> AttestationService<T> {
             .iter()
             .find(|d| d.node.member.name == name)
             .map(|d| d.state)
+    }
+
+    /// The derived health of a device, if managed. See [`DeviceHealth`]
+    /// for the scoring rule.
+    pub fn health_of(&self, name: &str) -> Option<DeviceHealth> {
+        self.devices
+            .iter()
+            .find(|d| d.node.member.name == name)
+            .map(|d| {
+                let score = match d.state {
+                    DeviceState::Quarantined | DeviceState::Revoked => 0u8,
+                    _ => {
+                        let transient = d
+                            .consecutive_failures
+                            .saturating_sub(d.consecutive_value_failures);
+                        100u32
+                            .saturating_sub(transient.saturating_mul(15))
+                            .saturating_sub(d.consecutive_value_failures.saturating_mul(35))
+                            as u8
+                    }
+                };
+                DeviceHealth {
+                    name: d.node.member.name.clone(),
+                    state: d.state,
+                    score,
+                    consecutive_failures: d.consecutive_failures,
+                    consecutive_value_failures: d.consecutive_value_failures,
+                    consecutive_restarts: d.consecutive_restarts,
+                }
+            })
     }
 
     /// The calibrated detection threshold of a device, in cycles.
@@ -283,18 +340,22 @@ impl<T: Transport> AttestationService<T> {
             Ok(_) => {
                 // Serialization boundary: each SAKE message is encoded
                 // and re-decoded through the versioned codec, exactly as
-                // it would cross the wire.
+                // it would cross the wire. A roundtrip failure is a codec
+                // bug, but it must not panic the control plane: the
+                // message is left untouched, the failure is remembered,
+                // and the enrollment is refused below.
+                let mut codec_ok = true;
                 let mut tap = |_step: usize, msg: &mut SakeMessage| {
                     let bytes = wire::encode(&Frame::Sake(msg.clone()));
                     match wire::decode(&bytes) {
                         Ok(Frame::Sake(decoded)) => *msg = decoded,
-                        other => panic!("SAKE codec roundtrip failed: {other:?}"),
+                        _ => codec_ok = false,
                     }
                 };
                 match verifier.establish_key(&mut member.session, &mut member.agent, Some(&mut tap))
                 {
-                    Ok(_) => true,
-                    Err(_) => {
+                    Ok(_) if codec_ok => true,
+                    _ => {
                         self.log.record(self.now, &name, EventKind::EstablishFailed);
                         false
                     }
@@ -313,6 +374,7 @@ impl<T: Transport> AttestationService<T> {
             round: 0,
             rounds_passed: 0,
             consecutive_failures: 0,
+            consecutive_value_failures: 0,
             consecutive_restarts: 0,
             outstanding: None,
             next_action_at,
@@ -347,7 +409,7 @@ impl<T: Transport> AttestationService<T> {
     /// Keeps the roster most-powerful-first across join/leave (paper
     /// §3.2), with the deterministic name tie-break shared with
     /// [`sage::multi`].
-    fn sort_roster(&mut self) {
+    pub(crate) fn sort_roster(&mut self) {
         self.devices.sort_by(|a, b| {
             power_score(&b.node.member.session.dev.cfg)
                 .cmp(&power_score(&a.node.member.session.dev.cfg))
@@ -436,13 +498,17 @@ impl<T: Transport> AttestationService<T> {
             };
             let name = self.devices[i].node.member.name.clone();
             let d = &mut self.devices[i];
-            let matches_round = d.outstanding.as_ref().is_some_and(|o| o.round == round);
-            if !matches_round {
-                self.log
-                    .record(self.now, &name, EventKind::LateResponse { round });
-                continue;
-            }
-            let o = d.outstanding.take().expect("matched above");
+            let o = match d.outstanding.take() {
+                Some(o) if o.round == round => o,
+                other => {
+                    // Late, duplicated, or replayed response: ignore it
+                    // and put any genuinely outstanding round back.
+                    d.outstanding = other;
+                    self.log
+                        .record(self.now, &name, EventKind::LateResponse { round });
+                    continue;
+                }
+            };
             // A bank hit carries its precomputed expected checksum: the
             // verdict is a compare + timing check, zero replay online.
             let verdict = match o.expected {
@@ -471,8 +537,9 @@ impl<T: Transport> AttestationService<T> {
                 .as_ref()
                 .is_some_and(|o| o.deadline <= self.now);
             if due {
-                let round = self.devices[i].outstanding.take().expect("due").round;
-                self.round_failed(i, round, FailReason::Timeout);
+                if let Some(o) = self.devices[i].outstanding.take() {
+                    self.round_failed(i, o.round, FailReason::Timeout);
+                }
             }
         }
     }
@@ -535,6 +602,7 @@ impl<T: Transport> AttestationService<T> {
         let d = &mut self.devices[i];
         d.rounds_passed += 1;
         d.consecutive_failures = 0;
+        d.consecutive_value_failures = 0;
         d.consecutive_restarts = 0;
         d.next_action_at = Some(now + interval);
         let name = d.node.member.name.clone();
@@ -553,17 +621,32 @@ impl<T: Transport> AttestationService<T> {
             .record(now, &name, EventKind::RoundFailed { round, reason });
 
         let d = &mut self.devices[i];
-        if reason == FailReason::TooSlow && d.consecutive_restarts < policy.max_timing_restarts {
-            // Paper §7.2: a timing-only reject is ≈0.5% likely on an
-            // honest device — restart the verification instead of
-            // counting it against the failure budget.
+        // Paper §7.2: a timing-only reject is ≈0.5% likely on an honest
+        // device — restart the verification instead of counting it
+        // against the failure budget. With `restart_on_timeout` the
+        // watchdog extends the same allowance to expired deadlines (a
+        // transiently-unreachable device), sharing the restart budget.
+        let restartable = match reason {
+            FailReason::TooSlow => true,
+            FailReason::Timeout => policy.restart_on_timeout,
+            FailReason::WrongValue => false,
+        };
+        if restartable && d.consecutive_restarts < policy.max_timing_restarts {
             d.consecutive_restarts += 1;
             d.next_action_at = Some(now + policy.backoff_base);
             self.log.record(now, &name, EventKind::Restarted { round });
             return;
         }
         d.consecutive_failures += 1;
-        if d.consecutive_failures >= policy.quarantine_after {
+        if reason == FailReason::WrongValue {
+            d.consecutive_value_failures += 1;
+        }
+        // Two quarantine budgets: the general one for any consecutive
+        // failures, and a (usually tighter) one for wrong checksums —
+        // the signal no honest device can emit.
+        if d.consecutive_failures >= policy.quarantine_after
+            || d.consecutive_value_failures >= policy.value_quarantine_after
+        {
             d.next_action_at = None;
             self.set_state(i, DeviceState::Quarantined);
         } else {

@@ -1,0 +1,611 @@
+//! Crash-safe control-plane state: a versioned binary snapshot of
+//! everything the scheduler needs to resume mid-schedule.
+//!
+//! The crash model: the *control-plane process* dies — its scheduler
+//! state (virtual clock, per-device lifecycle, outstanding rounds,
+//! backoff timers, the event log) is lost unless snapshotted — while the
+//! long-lived endpoints survive: the devices themselves, their transport,
+//! and the enclave-resident verifiers (whose calibration is additionally
+//! re-imposed from the snapshot, mirroring the enclave's own sealing
+//! path). [`AttestationService::snapshot`] serializes the scheduler
+//! state; [`AttestationService::into_endpoints`] surrenders the
+//! survivors; [`AttestationService::restore`] marries the two back into
+//! a service whose *subsequent* event history is bit-identical to a run
+//! that never crashed — the keystone invariant the soak harness asserts.
+//!
+//! The format is hand-rolled little-endian (the workspace is
+//! dependency-free by design), magic-tagged and versioned like the wire
+//! codec, and every decode error is typed — a truncated or tampered
+//! snapshot can never panic the control plane.
+
+use sage::verifier::Verifier;
+use sage::Calibration;
+use sage_crypto::DhGroup;
+
+use crate::events::{Event, EventKind, EventLog, FailReason};
+use crate::net::{NodeId, Transport};
+use crate::node::DeviceNode;
+use crate::service::{AttestationService, DeviceState, ManagedDevice, Outstanding, ServiceConfig};
+
+/// Snapshot magic: "SAGE snap".
+const MAGIC: u32 = 0x5A6E_A950;
+/// Current snapshot format version.
+const VERSION: u16 = 1;
+
+/// Why a snapshot could not be decoded or re-married to its endpoints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// The byte stream ended before the structure did.
+    Truncated,
+    /// The leading magic was not a snapshot's.
+    BadMagic,
+    /// A snapshot from an unknown format version.
+    BadVersion(u16),
+    /// An enum tag held an out-of-range value.
+    BadTag {
+        /// Which field the tag belongs to.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+    /// A device name in the snapshot was not valid UTF-8.
+    BadName,
+    /// Bytes remained after the structure ended.
+    TrailingBytes,
+    /// The snapshot names a device no provided endpoint serves.
+    MissingEndpoint(String),
+    /// An endpoint was provided for a device the snapshot doesn't know.
+    UnknownDevice(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a service snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadTag { field, value } => {
+                write!(f, "bad {field} tag {value} in snapshot")
+            }
+            SnapshotError::BadName => write!(f, "device name in snapshot is not UTF-8"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+            SnapshotError::MissingEndpoint(n) => {
+                write!(f, "snapshot device {n:?} has no surviving endpoint")
+            }
+            SnapshotError::UnknownDevice(n) => {
+                write!(f, "endpoint {n:?} is not in the snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A surviving device endpoint: the network-facing node (session, agent,
+/// transport address) and its enclave-resident verifier. Produced by
+/// [`AttestationService::into_endpoints`], consumed by
+/// [`AttestationService::restore`].
+pub struct Endpoint {
+    /// The device node (session + agent + transport address).
+    pub node: DeviceNode,
+    /// The verifier enclave paired with this device.
+    pub verifier: Verifier,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    put_u16(out, bytes.len().min(u16::MAX as usize) as u16);
+    out.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+}
+
+fn state_tag(s: DeviceState) -> u8 {
+    match s {
+        DeviceState::Enrolled => 0,
+        DeviceState::Attesting => 1,
+        DeviceState::Trusted => 2,
+        DeviceState::Degraded => 3,
+        DeviceState::Quarantined => 4,
+        DeviceState::Revoked => 5,
+    }
+}
+
+fn reason_tag(r: FailReason) -> u8 {
+    match r {
+        FailReason::WrongValue => 0,
+        FailReason::TooSlow => 1,
+        FailReason::Timeout => 2,
+    }
+}
+
+fn put_event(out: &mut Vec<u8>, e: &Event) {
+    put_u64(out, e.at);
+    put_str(out, &e.device);
+    match &e.kind {
+        EventKind::Joined => out.push(0),
+        EventKind::CalibrationFailed => out.push(1),
+        EventKind::EstablishFailed => out.push(2),
+        EventKind::StateChanged { from, to } => {
+            out.push(3);
+            out.push(state_tag(*from));
+            out.push(state_tag(*to));
+        }
+        EventKind::RoundStarted { round } => {
+            out.push(4);
+            put_u64(out, *round);
+        }
+        EventKind::RoundPassed { round, measured } => {
+            out.push(5);
+            put_u64(out, *round);
+            put_u64(out, *measured);
+        }
+        EventKind::RoundFailed { round, reason } => {
+            out.push(6);
+            put_u64(out, *round);
+            out.push(reason_tag(*reason));
+        }
+        EventKind::Restarted { round } => {
+            out.push(7);
+            put_u64(out, *round);
+        }
+        EventKind::LateResponse { round } => {
+            out.push(8);
+            put_u64(out, *round);
+        }
+        EventKind::Left => out.push(9),
+    }
+}
+
+pub(crate) fn encode<T: Transport>(svc: &AttestationService<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    put_u32(&mut out, MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u64(&mut out, svc.now);
+    put_u16(&mut out, svc.next_node);
+    put_u32(&mut out, svc.devices.len() as u32);
+    for d in &svc.devices {
+        put_str(&mut out, &d.node.member.name);
+        put_u16(&mut out, d.node.id.0);
+        out.push(state_tag(d.state));
+        put_u64(&mut out, d.round);
+        put_u64(&mut out, d.rounds_passed);
+        put_u32(&mut out, d.consecutive_failures);
+        put_u32(&mut out, d.consecutive_value_failures);
+        put_u32(&mut out, d.consecutive_restarts);
+        match d.next_action_at {
+            Some(t) => {
+                out.push(1);
+                put_u64(&mut out, t);
+            }
+            None => out.push(0),
+        }
+        match &d.outstanding {
+            Some(o) => {
+                out.push(1);
+                put_u64(&mut out, o.round);
+                put_u64(&mut out, o.deadline);
+                match o.expected {
+                    Some(words) => {
+                        out.push(1);
+                        for w in words {
+                            put_u32(&mut out, w);
+                        }
+                    }
+                    None => out.push(0),
+                }
+                put_u32(&mut out, o.challenges.len() as u32);
+                for c in &o.challenges {
+                    out.extend_from_slice(c);
+                }
+            }
+            None => out.push(0),
+        }
+        match d.verifier.calibration() {
+            Some(c) => {
+                out.push(1);
+                put_f64(&mut out, c.t_avg);
+                put_f64(&mut out, c.sigma);
+                put_f64(&mut out, c.k_sigma);
+                put_u64(&mut out, c.runs as u64);
+            }
+            None => out.push(0),
+        }
+    }
+    let events = svc.log.events();
+    put_u32(&mut out, events.len() as u32);
+    for e in events {
+        put_event(&mut out, e);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u16()? as usize;
+        let b = self.bytes(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| SnapshotError::BadName)
+    }
+
+    fn state(&mut self) -> Result<DeviceState, SnapshotError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => DeviceState::Enrolled,
+            1 => DeviceState::Attesting,
+            2 => DeviceState::Trusted,
+            3 => DeviceState::Degraded,
+            4 => DeviceState::Quarantined,
+            5 => DeviceState::Revoked,
+            value => {
+                return Err(SnapshotError::BadTag {
+                    field: "device state",
+                    value,
+                })
+            }
+        })
+    }
+
+    fn reason(&mut self) -> Result<FailReason, SnapshotError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => FailReason::WrongValue,
+            1 => FailReason::TooSlow,
+            2 => FailReason::Timeout,
+            value => {
+                return Err(SnapshotError::BadTag {
+                    field: "fail reason",
+                    value,
+                })
+            }
+        })
+    }
+
+    fn flag(&mut self, field: &'static str) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(SnapshotError::BadTag { field, value }),
+        }
+    }
+}
+
+/// Scheduler-side state of one device, decoded from a snapshot.
+struct DeviceRecord {
+    name: String,
+    node: NodeId,
+    state: DeviceState,
+    round: u64,
+    rounds_passed: u64,
+    consecutive_failures: u32,
+    consecutive_value_failures: u32,
+    consecutive_restarts: u32,
+    next_action_at: Option<u64>,
+    outstanding: Option<Outstanding>,
+    calibration: Option<Calibration>,
+}
+
+struct Decoded {
+    now: u64,
+    next_node: u16,
+    devices: Vec<DeviceRecord>,
+    events: Vec<Event>,
+}
+
+fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let now = r.u64()?;
+    let next_node = r.u16()?;
+    let n_devices = r.u32()? as usize;
+    let mut devices = Vec::new();
+    for _ in 0..n_devices {
+        let name = r.str()?;
+        let node = NodeId(r.u16()?);
+        let state = r.state()?;
+        let round = r.u64()?;
+        let rounds_passed = r.u64()?;
+        let consecutive_failures = r.u32()?;
+        let consecutive_value_failures = r.u32()?;
+        let consecutive_restarts = r.u32()?;
+        let next_action_at = r.flag("next_action_at")?.then(|| r.u64()).transpose()?;
+        let outstanding = if r.flag("outstanding")? {
+            let o_round = r.u64()?;
+            let deadline = r.u64()?;
+            let expected = if r.flag("expected")? {
+                let mut words = [0u32; 8];
+                for w in &mut words {
+                    *w = r.u32()?;
+                }
+                Some(words)
+            } else {
+                None
+            };
+            let n_ch = r.u32()? as usize;
+            let mut challenges = Vec::new();
+            for _ in 0..n_ch {
+                let mut c = [0u8; 16];
+                c.copy_from_slice(r.bytes(16)?);
+                challenges.push(c);
+            }
+            Some(Outstanding {
+                round: o_round,
+                challenges,
+                expected,
+                deadline,
+            })
+        } else {
+            None
+        };
+        let calibration = if r.flag("calibration")? {
+            Some(Calibration {
+                t_avg: r.f64()?,
+                sigma: r.f64()?,
+                k_sigma: r.f64()?,
+                runs: r.u64()? as usize,
+            })
+        } else {
+            None
+        };
+        devices.push(DeviceRecord {
+            name,
+            node,
+            state,
+            round,
+            rounds_passed,
+            consecutive_failures,
+            consecutive_value_failures,
+            consecutive_restarts,
+            next_action_at,
+            outstanding,
+            calibration,
+        });
+    }
+    let n_events = r.u32()? as usize;
+    let mut events = Vec::new();
+    for _ in 0..n_events {
+        let at = r.u64()?;
+        let device = r.str()?;
+        let tag = r.u8()?;
+        let kind = match tag {
+            0 => EventKind::Joined,
+            1 => EventKind::CalibrationFailed,
+            2 => EventKind::EstablishFailed,
+            3 => EventKind::StateChanged {
+                from: r.state()?,
+                to: r.state()?,
+            },
+            4 => EventKind::RoundStarted { round: r.u64()? },
+            5 => EventKind::RoundPassed {
+                round: r.u64()?,
+                measured: r.u64()?,
+            },
+            6 => EventKind::RoundFailed {
+                round: r.u64()?,
+                reason: r.reason()?,
+            },
+            7 => EventKind::Restarted { round: r.u64()? },
+            8 => EventKind::LateResponse { round: r.u64()? },
+            9 => EventKind::Left,
+            value => {
+                return Err(SnapshotError::BadTag {
+                    field: "event kind",
+                    value,
+                })
+            }
+        };
+        events.push(Event { at, device, kind });
+    }
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    Ok(Decoded {
+        now,
+        next_node,
+        devices,
+        events,
+    })
+}
+
+pub(crate) fn restore<T: Transport>(
+    cfg: ServiceConfig,
+    group: DhGroup,
+    net: T,
+    bytes: &[u8],
+    endpoints: Vec<Endpoint>,
+) -> Result<AttestationService<T>, SnapshotError> {
+    let decoded = decode(bytes)?;
+    // Re-marry scheduler records with surviving endpoints by device
+    // name. Every record needs its endpoint and vice versa — a partial
+    // fleet is a different deployment, not a restart.
+    let mut pool: Vec<Option<Endpoint>> = endpoints.into_iter().map(Some).collect();
+    let mut devices = Vec::with_capacity(decoded.devices.len());
+    for rec in decoded.devices {
+        let pos = pool
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.node.member.name == rec.name))
+            .ok_or_else(|| SnapshotError::MissingEndpoint(rec.name.clone()))?;
+        let mut ep = pool[pos]
+            .take()
+            .ok_or_else(|| SnapshotError::MissingEndpoint(rec.name.clone()))?;
+        // The scheduler's view is authoritative for addressing and
+        // calibration (the latter mirrors the enclave's sealed copy).
+        ep.node.id = rec.node;
+        if let Some(c) = rec.calibration {
+            ep.verifier.set_calibration(c);
+        }
+        devices.push(ManagedDevice {
+            node: ep.node,
+            verifier: ep.verifier,
+            state: rec.state,
+            round: rec.round,
+            rounds_passed: rec.rounds_passed,
+            consecutive_failures: rec.consecutive_failures,
+            consecutive_value_failures: rec.consecutive_value_failures,
+            consecutive_restarts: rec.consecutive_restarts,
+            outstanding: rec.outstanding,
+            next_action_at: rec.next_action_at,
+        });
+    }
+    if let Some(extra) = pool.into_iter().flatten().next() {
+        return Err(SnapshotError::UnknownDevice(extra.node.member.name.clone()));
+    }
+    let mut svc = AttestationService {
+        cfg,
+        group,
+        net,
+        now: decoded.now,
+        devices,
+        log: EventLog::restore(decoded.events),
+        next_node: decoded.next_node,
+    };
+    svc.sort_roster();
+    Ok(svc)
+}
+
+impl<T: Transport> AttestationService<T> {
+    /// Serializes the control plane's scheduler state — virtual clock,
+    /// per-device lifecycle and backoff, outstanding rounds, verifier
+    /// calibrations, and the full event log — into a versioned binary
+    /// snapshot. Device endpoints (sessions, agents, transport) are NOT
+    /// in the snapshot; they survive the crash and are recovered via
+    /// [`AttestationService::into_endpoints`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        encode(self)
+    }
+
+    /// Consumes the service, surrendering the parts that survive a
+    /// control-plane crash: the transport and each device's
+    /// node + verifier pair.
+    pub fn into_endpoints(self) -> (T, Vec<Endpoint>) {
+        let endpoints = self
+            .devices
+            .into_iter()
+            .map(|d| Endpoint {
+                node: d.node,
+                verifier: d.verifier,
+            })
+            .collect();
+        (self.net, endpoints)
+    }
+
+    /// Rebuilds a service from a [`AttestationService::snapshot`] plus
+    /// the surviving endpoints. Endpoints are matched to snapshot
+    /// records by device name; every record must find its endpoint and
+    /// no endpoint may be left over. The restored service resumes
+    /// mid-schedule: with the same transport state, its subsequent event
+    /// history is bit-identical to a run that never crashed.
+    pub fn restore(
+        cfg: ServiceConfig,
+        group: DhGroup,
+        net: T,
+        bytes: &[u8],
+        endpoints: Vec<Endpoint>,
+    ) -> Result<AttestationService<T>, SnapshotError> {
+        restore(cfg, group, net, bytes, endpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_and_tampered_snapshots_are_typed_errors() {
+        assert_eq!(decode(&[]).err(), Some(SnapshotError::Truncated));
+        let mut bogus = Vec::new();
+        put_u32(&mut bogus, 0xDEAD_BEEF);
+        put_u16(&mut bogus, VERSION);
+        assert_eq!(decode(&bogus).err(), Some(SnapshotError::BadMagic));
+        let mut vers = Vec::new();
+        put_u32(&mut vers, MAGIC);
+        put_u16(&mut vers, 99);
+        assert_eq!(decode(&vers).err(), Some(SnapshotError::BadVersion(99)));
+    }
+
+    #[test]
+    fn empty_service_round_trips() {
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u16(&mut out, VERSION);
+        put_u64(&mut out, 1234);
+        put_u16(&mut out, 7);
+        put_u32(&mut out, 0); // devices
+        put_u32(&mut out, 0); // events
+        let d = decode(&out).unwrap();
+        assert_eq!(d.now, 1234);
+        assert_eq!(d.next_node, 7);
+        assert!(d.devices.is_empty());
+        assert!(d.events.is_empty());
+        // Trailing garbage is rejected, not ignored.
+        out.push(0);
+        assert_eq!(decode(&out).err(), Some(SnapshotError::TrailingBytes));
+    }
+}

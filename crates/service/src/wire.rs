@@ -320,23 +320,28 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        self.take(8)?
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| CodecError::Truncated)
     }
 
     fn arr16(&mut self) -> Result<[u8; 16], CodecError> {
-        Ok(self.take(16)?.try_into().expect("16"))
+        self.take(16)?.try_into().map_err(|_| CodecError::Truncated)
     }
 
     fn arr32(&mut self) -> Result<[u8; 32], CodecError> {
-        Ok(self.take(32)?.try_into().expect("32"))
+        self.take(32)?.try_into().map_err(|_| CodecError::Truncated)
     }
 
     fn finish(&self) -> Result<(), CodecError> {

@@ -22,6 +22,13 @@
 //!   DRBG), so precomputation does not change where randomness comes
 //!   from.
 //!
+//! - **Guarded against poisoning.** Every pair carries an integrity tag
+//!   computed when it entered the queue; a pair whose tag no longer
+//!   matches at take time (bit rot, a fault-injection campaign, or an
+//!   adversary reaching the verifier host's heap) is *discarded and
+//!   counted*, never issued — the round falls back to online replay, so
+//!   a poisoned bank can cost latency but never a false accept.
+//!
 //! With `workers == 0` the bank spawns nothing: stock appears only via
 //! the synchronous [`ChallengeBank::fill`] / blocking-take refill, in
 //! generator order — the deterministic mode tests use.
@@ -36,6 +43,26 @@ use crate::{codegen::VfBuild, replay::expected_checksum};
 /// Identity of one exact VF build (see [`VfBuild::fingerprint`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Fingerprint(pub [u8; 32]);
+
+/// Why a bank claim was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BankError {
+    /// The caller presented a fingerprint for a different build than
+    /// this bank precomputes for.
+    ForeignFingerprint,
+}
+
+impl std::fmt::Display for BankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BankError::ForeignFingerprint => {
+                write!(f, "bank stock requested for a foreign build fingerprint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BankError {}
 
 /// Bank sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -77,13 +104,48 @@ pub struct BankCounters {
     pub refills: u64,
     /// Takes refused for a foreign build fingerprint.
     pub fingerprint_rejects: u64,
+    /// Stocked pairs discarded because their integrity tag no longer
+    /// matched at take time (poisoned stock is never issued).
+    pub poisoned: u64,
 }
 
 /// The challenge source: fills one 16-byte challenge per call.
 pub type ChallengeFn = Box<dyn FnMut(&mut [u8; 16]) + Send>;
 
+/// A stocked pair plus the integrity tag computed when it was enqueued.
+/// The tag is re-checked at take time: any divergence (a flipped bit in
+/// the challenges or the expected checksum while the pair sat in the
+/// queue) disqualifies the pair.
+struct Stocked {
+    round: PrecomputedRound,
+    guard: u64,
+}
+
+/// FNV-1a over the challenge bytes and the expected checksum words — a
+/// cheap integrity tag, not a MAC: it defends against faults (bit rot,
+/// chaos campaigns), while an adversary with write access to verifier
+/// memory is outside SAGE's threat model (the enclave holds the secrets).
+fn guard_tag(round: &PrecomputedRound) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for c in &round.challenges {
+        for &b in c {
+            eat(b);
+        }
+    }
+    for w in round.expected {
+        for b in w.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
 struct BankState {
-    queue: VecDeque<PrecomputedRound>,
+    queue: VecDeque<Stocked>,
     gen: ChallengeFn,
     stop: bool,
 }
@@ -101,6 +163,7 @@ struct Inner {
     misses: AtomicU64,
     refills: AtomicU64,
     fingerprint_rejects: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 /// A bounded, fingerprint-keyed queue of precomputed rounds.
@@ -134,12 +197,28 @@ impl Inner {
         let blocks = self.build.params.grid_blocks as usize;
         let challenges = Self::draw_challenges(state, blocks);
         let expected = expected_checksum(&self.build, &challenges);
-        state.queue.push_back(PrecomputedRound {
+        let round = PrecomputedRound {
             challenges,
             expected,
-        });
+        };
+        let guard = guard_tag(&round);
+        state.queue.push_back(Stocked { round, guard });
         self.refills.fetch_add(1, Ordering::Relaxed);
         self.stock.notify_all();
+    }
+
+    /// Pops stock until a pair with an intact integrity tag surfaces.
+    /// Poisoned pairs are discarded and counted; their queue slots are
+    /// handed back to refillers.
+    fn pop_valid(&self, state: &mut MutexGuard<'_, BankState>) -> Option<PrecomputedRound> {
+        while let Some(stocked) = state.queue.pop_front() {
+            self.space.notify_all();
+            if stocked.guard == guard_tag(&stocked.round) {
+                return Some(stocked.round);
+            }
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+        }
+        None
     }
 }
 
@@ -162,16 +241,23 @@ impl ChallengeBank {
             misses: AtomicU64::new(0),
             refills: AtomicU64::new(0),
             fingerprint_rejects: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         });
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("sage-bank-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn bank worker")
-            })
-            .collect();
+        // Failure to spawn a worker (thread exhaustion on the verifier
+        // host) degrades the bank to fewer — possibly zero — background
+        // refillers instead of panicking: blocking takes still refill
+        // synchronously when no worker exists.
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let inner = Arc::clone(&inner);
+            match std::thread::Builder::new()
+                .name(format!("sage-bank-{i}"))
+                .spawn(move || worker_loop(&inner))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(_) => break,
+            }
+        }
         ChallengeBank { inner, workers }
     }
 
@@ -202,26 +288,27 @@ impl ChallengeBank {
             misses: self.inner.misses.load(Ordering::Relaxed),
             refills: self.inner.refills.load(Ordering::Relaxed),
             fingerprint_rejects: self.inner.fingerprint_rejects.load(Ordering::Relaxed),
+            poisoned: self.inner.poisoned.load(Ordering::Relaxed),
         }
     }
 
     /// Non-blocking take: `Ok(Some(_))` on a hit, `Ok(None)` when the
-    /// bank is out of stock (the caller falls back to online replay),
-    /// `Err(())` when `fp` names a different build than this bank serves
-    /// — stock computed for build A is never issued for build B.
-    #[allow(clippy::result_unit_err)]
-    pub fn take(&self, fp: &Fingerprint) -> Result<Option<PrecomputedRound>, ()> {
+    /// bank has no *valid* stock (the caller falls back to online
+    /// replay — poisoned pairs are discarded, never issued), or
+    /// [`BankError::ForeignFingerprint`] when `fp` names a different
+    /// build than this bank serves — stock computed for build A is never
+    /// issued for build B.
+    pub fn take(&self, fp: &Fingerprint) -> Result<Option<PrecomputedRound>, BankError> {
         if *fp != self.inner.fingerprint {
             self.inner
                 .fingerprint_rejects
                 .fetch_add(1, Ordering::Relaxed);
-            return Err(());
+            return Err(BankError::ForeignFingerprint);
         }
         let mut state = lock_unpoisoned(&self.inner.state);
-        match state.queue.pop_front() {
+        match self.inner.pop_valid(&mut state) {
             Some(pair) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                self.inner.space.notify_all();
                 Ok(Some(pair))
             }
             None => {
@@ -231,39 +318,56 @@ impl ChallengeBank {
         }
     }
 
-    /// Blocking take: always returns a pair for a matching fingerprint.
-    /// With background workers the caller waits for stock (counted as a
-    /// miss when it had to wait); with `workers == 0` an empty bank is
-    /// refilled synchronously on the calling thread, preserving the
-    /// deterministic generator order.
-    #[allow(clippy::result_unit_err)]
-    pub fn take_blocking(&self, fp: &Fingerprint) -> Result<PrecomputedRound, ()> {
+    /// Blocking take: always returns a *valid* pair for a matching
+    /// fingerprint. With background workers the caller waits for stock
+    /// (counted as a miss when it had to wait); with `workers == 0` an
+    /// empty — or fully poisoned — bank is refilled synchronously on the
+    /// calling thread, preserving the deterministic generator order.
+    pub fn take_blocking(&self, fp: &Fingerprint) -> Result<PrecomputedRound, BankError> {
         if *fp != self.inner.fingerprint {
             self.inner
                 .fingerprint_rejects
                 .fetch_add(1, Ordering::Relaxed);
-            return Err(());
+            return Err(BankError::ForeignFingerprint);
         }
         let mut state = lock_unpoisoned(&self.inner.state);
-        if state.queue.is_empty() {
-            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let mut first_attempt = true;
+        loop {
+            if let Some(pair) = self.inner.pop_valid(&mut state) {
+                if first_attempt {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(pair);
+            }
+            if first_attempt {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                first_attempt = false;
+            }
             if self.workers.is_empty() {
                 self.inner.refill_once(&mut state);
             } else {
-                while state.queue.is_empty() {
-                    state = self
-                        .inner
-                        .stock
-                        .wait(state)
-                        .unwrap_or_else(|e| e.into_inner());
-                }
+                state = self
+                    .inner
+                    .stock
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
             }
-        } else {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
         }
-        let pair = state.queue.pop_front().expect("stock present");
-        self.inner.space.notify_all();
-        Ok(pair)
+    }
+
+    /// Chaos hook: flips one bit of the expected checksum of the stocked
+    /// pair at `index` *without* updating its integrity tag — exactly
+    /// what a DRAM fault on the verifier host would do. Returns `false`
+    /// when no pair sits at that index. Test/fault-injection API.
+    pub fn corrupt_stock(&self, index: usize) -> bool {
+        let mut state = lock_unpoisoned(&self.inner.state);
+        match state.queue.get_mut(index) {
+            Some(stocked) => {
+                stocked.round.expected[0] ^= 1 << 17;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Synchronously precomputes up to `n` pairs (bounded by remaining
@@ -312,10 +416,12 @@ fn worker_loop(inner: &Inner) {
         if state.stop {
             return;
         }
-        state.queue.push_back(PrecomputedRound {
+        let round = PrecomputedRound {
             challenges,
             expected,
-        });
+        };
+        let guard = guard_tag(&round);
+        state.queue.push_back(Stocked { round, guard });
         inner.refills.fetch_add(1, Ordering::Relaxed);
         inner.stock.notify_all();
     }
@@ -448,6 +554,70 @@ mod tests {
         let c = bank.counters();
         assert_eq!(c.misses, 1);
         assert_eq!(c.refills, 1);
+    }
+
+    #[test]
+    fn poisoned_stock_is_discarded_never_issued() {
+        let bank = sync_bank(7, 4, 3);
+        bank.fill(2);
+        let fp = bank.fingerprint();
+        // Corrupt the front pair the way a DRAM fault would: payload
+        // changes, integrity tag doesn't.
+        assert!(bank.corrupt_stock(0));
+        let round = bank.take(&fp).unwrap().expect("second pair is intact");
+        // The issued pair must be the *second* one — bit-exact against
+        // the oracle, so the corrupted expected value can never be the
+        // basis of an accept.
+        let build = tiny_build(7);
+        assert_eq!(
+            round.expected,
+            crate::replay::expected_checksum_unpooled(&build, &round.challenges)
+        );
+        let c = bank.counters();
+        assert_eq!(c.poisoned, 1);
+        assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn fully_poisoned_bank_reports_out_of_stock() {
+        let bank = sync_bank(7, 4, 3);
+        bank.fill(2);
+        assert!(bank.corrupt_stock(0));
+        assert!(bank.corrupt_stock(1));
+        let fp = bank.fingerprint();
+        // Every pair is poisoned: the non-blocking take reports a miss,
+        // which sends the verifier down the online-replay path.
+        assert!(bank.take(&fp).unwrap().is_none());
+        let c = bank.counters();
+        assert_eq!(c.poisoned, 2);
+        assert_eq!(c.hits, 0);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn blocking_take_refills_past_poisoned_stock() {
+        let bank = sync_bank(7, 4, 3);
+        bank.fill(1);
+        assert!(bank.corrupt_stock(0));
+        let fp = bank.fingerprint();
+        // Zero workers: the poisoned pair is discarded and a fresh one
+        // computed synchronously — the caller always gets a valid pair.
+        let round = bank.take_blocking(&fp).unwrap();
+        let build = tiny_build(7);
+        assert_eq!(
+            round.expected,
+            crate::replay::expected_checksum_unpooled(&build, &round.challenges)
+        );
+        let c = bank.counters();
+        assert_eq!(c.poisoned, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.refills, 2);
+    }
+
+    #[test]
+    fn corrupt_stock_out_of_range_is_reported() {
+        let bank = sync_bank(7, 2, 3);
+        assert!(!bank.corrupt_stock(0));
     }
 
     #[test]

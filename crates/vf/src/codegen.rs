@@ -328,10 +328,10 @@ pub fn build_vf_inline(
 
     // Pass 1: lengths (immediates do not change instruction size).
     let probe = Addrs::zero();
-    let (loop_p, smc_idx, inner_off) = emit_loop(params, &probe);
+    let (loop_p, smc_idx, inner_off) = emit_loop(params, &probe)?;
     let loop_bytes = loop_p.byte_len() as u32;
-    let init_len = emit_init(params, &probe, 0).byte_len() as u32;
-    let epilog_len = emit_epilog(params, &probe, user_kernel.map(|_| 0)).byte_len() as u32;
+    let init_len = emit_init(params, &probe, 0)?.byte_len() as u32;
+    let epilog_len = emit_epilog(params, &probe, user_kernel.map(|_| 0))?.byte_len() as u32;
 
     let epilog_off = init_len;
     let ref_loop_off = epilog_off + epilog_len;
@@ -374,10 +374,10 @@ pub fn build_vf_inline(
         challenge_base: base + challenge_off,
         result_base: base + result_off,
     };
-    let (loop_p, smc_idx2, _) = emit_loop(params, &addrs);
+    let (loop_p, smc_idx2, _) = emit_loop(params, &addrs)?;
     debug_assert_eq!(smc_idx, smc_idx2);
-    let init_p = emit_init(params, &addrs, inner_off);
-    let epilog_p = emit_epilog(params, &addrs, user_kernel.map(|_| base + user_off));
+    let init_p = emit_init(params, &addrs, inner_off)?;
+    let epilog_p = emit_epilog(params, &addrs, user_kernel.map(|_| base + user_off))?;
     debug_assert_eq!(init_p.byte_len() as u32, init_len);
     debug_assert_eq!(epilog_p.byte_len() as u32, epilog_len);
     debug_assert_eq!(loop_p.byte_len() as u32, loop_bytes);
@@ -487,7 +487,7 @@ fn emit_step(
 
 /// Emits one loop copy. Returns `(program, smc instruction index,
 /// inner-loop entry offset in bytes)`.
-fn emit_loop(params: &VfParams, addrs: &Addrs) -> (Program, Option<usize>, u32) {
+fn emit_loop(params: &VfParams, addrs: &Addrs) -> Result<(Program, Option<usize>, u32), String> {
     let mut b = ProgramBuilder::new();
     let agg = 32 * (params.block_threads / 32 + 1);
     for k in 0..params.unroll {
@@ -540,21 +540,21 @@ fn emit_loop(params: &VfParams, addrs: &Addrs) -> (Program, Option<usize>, u32) 
         // Self-modifying pair: C0 += C0 >> N; N is this SHF.R's
         // immediate, patched below by the block leader.
         b.ctrl(s4());
-        smc_index = Some(b.len());
+        let idx = b.len();
+        smc_index = Some(idx);
         b.shf_r(R_T0, Reg(R_C0), Operand::Imm(spec::SMC_INIT), Reg::RZ);
         b.ctrl(s4());
         b.iadd3(Reg(R_C0), Reg(R_C0), R_T0.into(), Reg::RZ);
         b.bar_sync();
         // Leader patches the immediate field with its updated C0.
-        let patch_off =
-            smc_index.expect("set above") as u32 * 16 + sage_isa::encode::IMM_BYTE_OFFSET as u32;
+        let patch_off = idx as u32 * 16 + sage_isa::encode::IMM_BYTE_OFFSET as u32;
         b.pred(Pred::on(P_LEADER));
         b.ctrl(s2());
         b.stg(R_LOOP, patch_off, Reg(R_C0));
         if params.smc == SmcMode::Cctl {
             b.pred(Pred::on(P_LEADER));
             b.ctrl(s2());
-            b.cctl(R_LOOP, smc_index.expect("set above") as u32 * 16);
+            b.cctl(R_LOOP, idx as u32 * 16);
         }
         b.bar_sync();
     }
@@ -567,11 +567,14 @@ fn emit_loop(params: &VfParams, addrs: &Addrs) -> (Program, Option<usize>, u32) 
     b.ctrl(s1());
     b.jmx(R_LOOP);
 
-    (b.build().expect("no labels used"), smc_index, inner_off)
+    let program = b
+        .build()
+        .map_err(|e| format!("loop codegen left an unresolved label: {e:?}"))?;
+    Ok((program, smc_index, inner_off))
 }
 
 /// Emits the init section (entry point).
-fn emit_init(params: &VfParams, addrs: &Addrs, inner_off: u32) -> Program {
+fn emit_init(params: &VfParams, addrs: &Addrs, inner_off: u32) -> Result<Program, String> {
     let mut b = ProgramBuilder::new();
     b.ctrl(s4());
     b.s2r(R_TID, SpecialReg::TidX);
@@ -639,13 +642,14 @@ fn emit_init(params: &VfParams, addrs: &Addrs, inner_off: u32) -> Program {
     }
     b.ctrl(s1());
     b.jmx(R_LOOP);
-    b.build().expect("no labels used")
+    b.build()
+        .map_err(|e| format!("codegen left an unresolved label: {e:?}"))
 }
 
 /// Emits the epilog: warp → block → grid aggregation (paper Fig. 4),
 /// then either a direct `CAL` into the inlined user kernel (TOCTOU
 /// defence) or exit.
-fn emit_epilog(params: &VfParams, addrs: &Addrs, user_abs: Option<u32>) -> Program {
+fn emit_epilog(params: &VfParams, addrs: &Addrs, user_abs: Option<u32>) -> Result<Program, String> {
     let mut b = ProgramBuilder::new();
     let nwarps = params.block_threads / 32;
     let block_off = 32 * nwarps;
@@ -695,7 +699,8 @@ fn emit_epilog(params: &VfParams, addrs: &Addrs, user_abs: Option<u32>) -> Progr
         b.cal_abs(user);
     }
     b.exit();
-    b.build().expect("no labels used")
+    b.build()
+        .map_err(|e| format!("codegen left an unresolved label: {e:?}"))
 }
 
 #[cfg(test)]

@@ -56,15 +56,20 @@ impl ReplayPool {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let handles = (0..threads)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sage-replay-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn replay worker")
-            })
-            .collect();
+        // Spawn failure (resource exhaustion) degrades to fewer workers —
+        // run_scoped falls back to inline execution when none spawned —
+        // rather than panicking the verifier.
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("sage-replay-{i}"))
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(h) => handles.push(h),
+                Err(_) => break,
+            }
+        }
         ReplayPool { shared, handles }
     }
 

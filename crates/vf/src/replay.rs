@@ -23,12 +23,15 @@ pub fn replay_block(build: &VfBuild, challenge: &[u8; 16], block: u32) -> [u32; 
     let p = &build.params;
     let region = build.static_region();
     let region_base = build.layout.base;
-    let ch = [
-        u32::from_le_bytes(challenge[0..4].try_into().expect("4 bytes")),
-        u32::from_le_bytes(challenge[4..8].try_into().expect("4 bytes")),
-        u32::from_le_bytes(challenge[8..12].try_into().expect("4 bytes")),
-        u32::from_le_bytes(challenge[12..16].try_into().expect("4 bytes")),
-    ];
+    let word = |i: usize| {
+        u32::from_le_bytes([
+            challenge[i],
+            challenge[i + 1],
+            challenge[i + 2],
+            challenge[i + 3],
+        ])
+    };
+    let ch = [word(0), word(4), word(8), word(12)];
     let threads = p.block_threads;
     let mut sums = [0u32; 8];
 

@@ -91,7 +91,12 @@ pub fn step_with_pattern(
     // Pseudo-random memory access.
     let idx = state.c[j] & mask;
     let off = idx as usize * 4;
-    let d = u32::from_le_bytes(region[off..off + 4].try_into().expect("in bounds"));
+    // A malformed region (too short for the drawn index) contributes a
+    // zero word instead of panicking the verifier: the checksum comes out
+    // wrong and the round is rejected — fail closed, never fall over.
+    let d = region
+        .get(off..off + 4)
+        .map_or(0, |b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
 
     // Busy-wait pattern. The pattern walks the six checksum registers
     // that are not `j`/`jnext`, so its writes never sit closer than the

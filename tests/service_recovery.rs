@@ -1,0 +1,374 @@
+//! Crash-safe recovery and device-level chaos at the service layer.
+//!
+//! Three properties the chaos engine must never break:
+//!
+//! 1. **Crash-restart determinism** — killing the control plane
+//!    mid-schedule (even with a round in flight) and restoring from a
+//!    snapshot plus the surviving endpoints yields a subsequent event
+//!    history bit-identical to a run that never crashed.
+//! 2. **Restore is strict** — a snapshot only marries the exact fleet it
+//!    was taken over; missing or foreign endpoints are typed errors, and
+//!    tampered bytes never panic.
+//! 3. **Faults are detected, never absorbed** — a transient device fault
+//!    costs the device `Trusted` for exactly the backoff window and then
+//!    reconverges; a persistent corruption burns the wrong-value budget
+//!    into `Quarantined`; neither ever produces a false accept.
+
+use sage_repro::core::{agent::DeviceAgent, multi::FleetMember, GpuSession};
+use sage_repro::crypto::{DhGroup, EntropySource};
+use sage_repro::gpu::{Device, DeviceConfig, DeviceFault, FaultPlan};
+use sage_repro::service::{
+    AttestationService, DeviceState, EventKind, FailReason, LinkProfile, Policy, ServiceConfig,
+    SimNet, SnapshotError,
+};
+use sage_repro::sgx::{Enclave, SgxPlatform};
+use sage_repro::vf::VfParams;
+
+fn entropy(seed: u8) -> impl EntropySource {
+    let mut state = seed;
+    move |buf: &mut [u8]| {
+        for b in buf {
+            state = state.wrapping_mul(181).wrapping_add(101);
+            *b = state;
+        }
+    }
+}
+
+fn member(name: &str, seed: u8) -> FleetMember {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 5;
+    let session =
+        GpuSession::install(Device::new(DeviceConfig::sim_tiny()), &params, 0xF1EE7).unwrap();
+    let mut m = FleetMember::new(session, DeviceAgent::new(Box::new(entropy(seed))));
+    m.name = name.to_string();
+    m
+}
+
+fn enclave(seed: u8) -> Enclave {
+    SgxPlatform::new([7u8; 16]).launch(b"svc-verifier", &mut entropy(seed))
+}
+
+fn jittery_net(seed: u64) -> SimNet {
+    SimNet::new(
+        seed,
+        LinkProfile {
+            latency: 100,
+            jitter: 25,
+            drop_per_mille: 10,
+            dup_per_mille: 0,
+        },
+    )
+}
+
+fn perfect_net(seed: u64) -> SimNet {
+    SimNet::new(
+        seed,
+        LinkProfile {
+            latency: 100,
+            jitter: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        },
+    )
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        reattest_interval: 50_000,
+        latency_budget: 200,
+        deadline_slack: 2_000,
+        calibration_runs: 5,
+        policy: Policy::default(),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Builds the reference two-device fleet for a given seed. Identical
+/// inputs ⇒ identical universes, which is what lets the crash test
+/// compare an interrupted run against an uninterrupted twin.
+fn two_device_fleet(seed: u64) -> AttestationService<SimNet> {
+    let mut svc = AttestationService::new(cfg(), DhGroup::test_group(), jittery_net(seed));
+    svc.join(member("gpu-a", 41), enclave(61));
+    svc.join(member("gpu-b", 42), enclave(62));
+    svc
+}
+
+/// Advances the service event-by-event until a challenge round has just
+/// been issued (a `RoundStarted` with the response still in flight) —
+/// the most awkward possible moment to crash.
+fn run_to_inflight_round(svc: &mut AttestationService<SimNet>) -> u64 {
+    loop {
+        let next = svc
+            .next_event_at()
+            .expect("fleet always has a next event while devices are live");
+        svc.run_until(next);
+        if matches!(
+            svc.log().events().last().map(|e| &e.kind),
+            Some(EventKind::RoundStarted { .. })
+        ) && svc.now() > 10_000
+        {
+            return svc.now();
+        }
+        assert!(
+            svc.now() < 1_000_000,
+            "no in-flight round found within 1M ticks"
+        );
+    }
+}
+
+#[test]
+fn crash_restart_resumes_with_identical_history() {
+    for seed in [11u64, 12, 13] {
+        // Scout: find a crash point with a round in flight.
+        let mut scout = two_device_fleet(seed);
+        let crash_at = run_to_inflight_round(&mut scout);
+        let end_at = crash_at + 150_000;
+
+        // Universe A: never crashes.
+        let mut a = two_device_fleet(seed);
+        a.run_until(end_at);
+
+        // Universe B: identical twin, crashed at `crash_at` and restored
+        // from the snapshot plus the surviving endpoints.
+        let mut b = two_device_fleet(seed);
+        b.run_until(crash_at);
+        let snap = b.snapshot();
+        let (net, endpoints) = b.into_endpoints(); // control plane dies here
+        let mut b =
+            AttestationService::restore(cfg(), DhGroup::test_group(), net, &snap, endpoints)
+                .expect("snapshot restores against its own endpoints");
+        assert_eq!(b.now(), crash_at, "seed {seed}: clock resumes");
+        b.run_until(end_at);
+
+        assert_eq!(
+            a.snapshot_json(),
+            b.snapshot_json(),
+            "seed {seed}: crash-restart diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            a.snapshot(),
+            b.snapshot(),
+            "seed {seed}: binary state diverged after crash-restart"
+        );
+        // The crash bridged live work: both universes made progress
+        // after the crash point.
+        assert!(
+            a.log().events().iter().any(|e| e.at > crash_at),
+            "seed {seed}: no activity after the crash point — test is vacuous"
+        );
+    }
+}
+
+#[test]
+fn snapshot_survives_a_second_crash() {
+    // Crash twice in one schedule: restore must itself be
+    // snapshot-clean, not a one-shot.
+    let seed = 21u64;
+    let mut a = two_device_fleet(seed);
+    a.run_until(200_000);
+
+    let mut b = two_device_fleet(seed);
+    b.run_until(70_000);
+    let snap = b.snapshot();
+    let (net, eps) = b.into_endpoints();
+    let mut b = AttestationService::restore(cfg(), DhGroup::test_group(), net, &snap, eps).unwrap();
+    b.run_until(140_000);
+    let snap = b.snapshot();
+    let (net, eps) = b.into_endpoints();
+    let mut b = AttestationService::restore(cfg(), DhGroup::test_group(), net, &snap, eps).unwrap();
+    b.run_until(200_000);
+
+    assert_eq!(a.snapshot(), b.snapshot(), "double crash-restart diverged");
+}
+
+#[test]
+fn restore_rejects_mismatched_endpoints_and_garbage() {
+    let mut svc = two_device_fleet(31);
+    svc.run_until(60_000);
+    let snap = svc.snapshot();
+    let (net, mut endpoints) = svc.into_endpoints();
+
+    // Garbage bytes: typed errors, never a panic.
+    assert_eq!(
+        AttestationService::restore(
+            cfg(),
+            DhGroup::test_group(),
+            perfect_net(1),
+            &[],
+            Vec::new()
+        )
+        .err(),
+        Some(SnapshotError::Truncated),
+    );
+    assert!(matches!(
+        AttestationService::restore(
+            cfg(),
+            DhGroup::test_group(),
+            perfect_net(1),
+            b"not a snapshot at all",
+            Vec::new()
+        ),
+        Err(SnapshotError::BadMagic)
+    ));
+    let mut truncated = snap.clone();
+    truncated.truncate(snap.len() - 3);
+    assert!(matches!(
+        AttestationService::restore(
+            cfg(),
+            DhGroup::test_group(),
+            perfect_net(1),
+            &truncated,
+            Vec::new()
+        ),
+        Err(SnapshotError::Truncated)
+    ));
+
+    // A lost endpoint is a different fleet, not a restart.
+    let dropped = endpoints.pop().expect("two endpoints");
+    let dropped_name = dropped.node.member.name.clone();
+    match AttestationService::restore(cfg(), DhGroup::test_group(), net, &snap, endpoints) {
+        Err(SnapshotError::MissingEndpoint(name)) => assert_eq!(name, dropped_name),
+        other => panic!(
+            "expected MissingEndpoint, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
+    }
+
+    // A foreign endpoint the snapshot doesn't know is rejected too.
+    let mut one = AttestationService::new(cfg(), DhGroup::test_group(), perfect_net(2));
+    one.join(member("gpu-a", 41), enclave(61));
+    one.run_until(60_000);
+    let one_snap = one.snapshot();
+    let mut two = two_device_fleet(32);
+    two.run_until(60_000);
+    let (net2, eps2) = two.into_endpoints();
+    assert!(matches!(
+        AttestationService::restore(cfg(), DhGroup::test_group(), net2, &one_snap, eps2),
+        Err(SnapshotError::UnknownDevice(name)) if name == "gpu-b"
+    ));
+}
+
+/// Returns (rounds passed, rounds failed, wrong-value failures) for one
+/// device after a given virtual time.
+fn tally_after(svc: &AttestationService<SimNet>, name: &str, after: u64) -> (u32, u32, u32) {
+    let mut passed = 0;
+    let mut failed = 0;
+    let mut wrong = 0;
+    for e in svc.log().events() {
+        if e.at <= after || e.device != name {
+            continue;
+        }
+        match &e.kind {
+            EventKind::RoundPassed { .. } => passed += 1,
+            EventKind::RoundFailed { reason, .. } => {
+                failed += 1;
+                if *reason == FailReason::WrongValue {
+                    wrong += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (passed, failed, wrong)
+}
+
+#[test]
+fn transient_fault_degrades_then_reconverges_persistent_fault_quarantines() {
+    // Two honest devices on a perfect network; the chaos engine injects
+    // a transient fault into one and a persistent fault into the other.
+    let mut svc = AttestationService::new(cfg(), DhGroup::test_group(), perfect_net(77));
+    svc.join(member("gpu-flaky", 41), enclave(61));
+    svc.join(member("gpu-rotten", 42), enclave(62));
+    svc.run_for(45_000);
+    for name in ["gpu-flaky", "gpu-rotten"] {
+        assert_eq!(svc.state_of(name), Some(DeviceState::Trusted), "{name}");
+    }
+    let fault_at = svc.now();
+
+    // gpu-flaky: one bit of the next round's challenge flips in device
+    // memory after the DMA — the checksum is honest but over the wrong
+    // challenge. The round after that, a fresh challenge is written and
+    // the fault is gone: a classic transient.
+    {
+        let session = svc.session_mut("gpu-flaky").unwrap();
+        let addr = session.build().layout.challenge_addr(0);
+        let next_run = session.dev.fault_run_index();
+        session.dev.install_fault_hook(Box::new(
+            FaultPlan::new().at(next_run, DeviceFault::FlipBit { addr, bit: 3 }),
+        ));
+    }
+    // gpu-rotten: a stuck bit on the challenge DMA path — the same flip
+    // fires on every run from now on, so every round computes an honest
+    // checksum over a corrupted challenge: a persistent fault that is
+    // detected deterministically. (A single flip in the pseudo-random
+    // fill is also persistent but only *probabilistically* detected with
+    // test-tiny parameters — the §7 coverage argument — so the stuck
+    // line is the deterministic persistent fixture.)
+    {
+        let session = svc.session_mut("gpu-rotten").unwrap();
+        let addr = session.build().layout.challenge_addr(0);
+        let next_run = session.dev.fault_run_index();
+        let plan = (0..64).fold(FaultPlan::new(), |p, i| {
+            p.at(next_run + i, DeviceFault::FlipBit { addr, bit: 6 })
+        });
+        session.dev.install_fault_hook(Box::new(plan));
+    }
+
+    // One full re-attest interval: both faulted rounds must FAIL — a
+    // pass here would be a false accept.
+    svc.run_for(60_000);
+    let (flaky_passed, flaky_failed, flaky_wrong) = tally_after(&svc, "gpu-flaky", fault_at);
+    assert_eq!(
+        flaky_failed, 1,
+        "transient fault must cost exactly one round"
+    );
+    assert_eq!(
+        flaky_wrong, 1,
+        "transient flip is detected as a wrong value"
+    );
+    let _ = flaky_passed;
+
+    // Long horizon: the transient device reconverges to Trusted inside
+    // its backoff budget; the corrupted one burns the wrong-value budget
+    // into Quarantined with zero false accepts along the way.
+    svc.run_for(400_000);
+    assert_eq!(svc.state_of("gpu-flaky"), Some(DeviceState::Trusted));
+    let flaky = svc.health_of("gpu-flaky").unwrap();
+    assert_eq!(flaky.score, 100, "recovered device is fully healthy again");
+    let (passed_later, _, _) = tally_after(&svc, "gpu-flaky", fault_at);
+    assert!(passed_later >= 2, "flaky device passes rounds again");
+
+    assert_eq!(svc.state_of("gpu-rotten"), Some(DeviceState::Quarantined));
+    let rotten = svc.health_of("gpu-rotten").unwrap();
+    assert_eq!(rotten.score, 0, "quarantined device scores zero");
+    let (rotten_passed, rotten_failed, rotten_wrong) = tally_after(&svc, "gpu-rotten", fault_at);
+    assert_eq!(
+        rotten_passed, 0,
+        "FALSE ACCEPT: corrupted device passed a round"
+    );
+    assert!(rotten_failed >= 1);
+    assert_eq!(
+        rotten_wrong, rotten_failed,
+        "persistent corruption fails as wrong value every time"
+    );
+
+    // The device-side fault engine agrees with the control plane's view:
+    // one injected flip cost gpu-flaky one round; every round gpu-rotten
+    // failed carried one stuck-bit flip.
+    assert_eq!(
+        svc.session_mut("gpu-flaky")
+            .unwrap()
+            .dev
+            .faults_applied()
+            .flips,
+        1
+    );
+    assert_eq!(
+        svc.session_mut("gpu-rotten")
+            .unwrap()
+            .dev
+            .faults_applied()
+            .flips,
+        rotten_failed as u64
+    );
+}
