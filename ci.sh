@@ -19,6 +19,12 @@ cargo test -q
 echo "==> service fleet integration (fault injection across seeds)"
 cargo test -q --test service_fleet
 
+echo "==> telemetry core (counters, histograms, spans, exporters)"
+cargo test -q -p sage-telemetry
+
+echo "==> attack matrix (7 attacks x classic + precomputed verdict paths)"
+cargo test -q --test attack_matrix
+
 echo "==> simperf smoke (1 iteration, 1 repeat, bit-exactness cross-checked)"
 cargo run -q --release -p sage-bench --bin simperf -- \
     --iterations 1 --repeats 1 --out /tmp/BENCH_sim_smoke.json
@@ -36,6 +42,12 @@ cargo run -q --release -p sage-bench --bin fastpath -- \
     --rounds 4 --iterations 12 --calib-runs 20 --seed 7 \
     --out /tmp/BENCH_fastpath_smoke.json
 test -s /tmp/BENCH_fastpath_smoke.json
+
+echo "==> telemetry overhead smoke (bank-hit fast path, <=1.10x gate)"
+cargo run -q --release -p sage-bench --bin telemperf -- \
+    --rounds 64 --reps 7 --seed 7 --max-ratio 1.10 \
+    --out /tmp/BENCH_telemetry_smoke.json
+test -s /tmp/BENCH_telemetry_smoke.json
 
 echo "==> chaos soak smoke (3 seeds, crash+restore, zero-false-accept gate)"
 cargo run -q --release -p sage-bench --bin soak -- \

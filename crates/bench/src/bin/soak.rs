@@ -39,6 +39,7 @@ use sage_service::{
     VERIFIER_NODE,
 };
 use sage_sgx_sim::SgxPlatform;
+use sage_telemetry::{MetricValue, Registry};
 use sage_vf::VfParams;
 
 /// Virtual ticks the fleet gets to settle to `Trusted` before chaos.
@@ -151,6 +152,31 @@ fn history_hash(svc: &AttestationService<SimNet>) -> u64 {
 struct SoakRun {
     svc: AttestationService<SimNet>,
     tally: Tally,
+    reg: Registry,
+}
+
+/// The exported total of every series named `name`, across label sets.
+fn counter_total(reg: &Registry, name: &str) -> u64 {
+    reg.collect()
+        .iter()
+        .filter(|(n, _, _)| n == name)
+        .map(|(_, _, v)| match v {
+            MetricValue::Counter(c) => *c,
+            MetricValue::Histogram(_) => panic!("{name} is not a counter"),
+        })
+        .sum()
+}
+
+/// Prometheus export with the `vf_bank_*` family dropped. Bank stock is
+/// ephemeral by design — it lives outside the snapshot and is recomputed
+/// after a restore — so its effectiveness counters legitimately restart
+/// at a crash; every other family must survive one byte-identically.
+fn durable_prom(reg: &Registry) -> String {
+    reg.to_prometheus()
+        .lines()
+        .filter(|l| !l.contains("vf_bank_"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// One soak universe: settle, unleash chaos, drive event-by-event with
@@ -261,7 +287,13 @@ fn run_soak(seed: u64, devices: usize, ticks: u64, crash: bool) -> SoakRun {
         tally.stalls += counters.stalls;
         tally.skews += counters.skews;
     }
-    SoakRun { svc, tally }
+    // Attached after the horizon: the event log replays its full
+    // history into the registry, so the `service_*` series describe the
+    // whole universe — including, in the crash twin, everything from
+    // before the restore.
+    let reg = Registry::new();
+    svc.attach_telemetry(&reg);
+    SoakRun { svc, tally, reg }
 }
 
 fn main() {
@@ -302,6 +334,7 @@ fn main() {
         seeds.len()
     );
     let mut reports = Vec::new();
+    let mut last_prom = String::new();
     for &seed in &seeds {
         let t0 = Instant::now();
         let baseline = run_soak(seed, devices, ticks, false);
@@ -337,6 +370,22 @@ fn main() {
         let c = baseline.svc.log().counters();
         let hash = history_hash(&baseline.svc);
         assert_eq!(hash, history_hash(&crashed.svc));
+
+        // The telemetry layer must be crash-safe too: replaying the
+        // restored history into a fresh registry yields the same
+        // export as in the universe that never crashed (minus the
+        // deliberately ephemeral bank family — see `durable_prom`).
+        assert_eq!(
+            durable_prom(&baseline.reg),
+            durable_prom(&crashed.reg),
+            "seed {seed}: telemetry exports diverged across crash-restore"
+        );
+        assert_eq!(
+            counter_total(&baseline.reg, "service_rounds_passed_total"),
+            c.rounds_passed,
+            "seed {seed}: telemetry rounds-passed diverged from the event log"
+        );
+        last_prom = baseline.reg.to_prometheus();
         eprintln!(
             "seed {seed}: {} passed / {} value-rejects / {} timing-rejects / {} timeouts / {} restarts, {} flips {} stalls {} skews, hash {hash:016x}, crash ok ({wall:.2}s)",
             c.rounds_passed,
@@ -349,7 +398,7 @@ fn main() {
             baseline.tally.skews,
         );
         reports.push(format!(
-            "    {{\"seed\": {seed}, \"rounds_passed\": {}, \"value_rejects\": {}, \"timing_rejects\": {}, \"timeouts\": {}, \"restarts\": {}, \"quarantines\": {}, \"faults\": {{\"flips\": {}, \"stalls\": {}, \"skews\": {}}}, \"false_accepts\": 0, \"reconverged\": true, \"crash_restart_identical\": true, \"history_hash\": \"{hash:016x}\", \"wall_seconds\": {wall:.3}}}",
+            "    {{\"seed\": {seed}, \"rounds_passed\": {}, \"value_rejects\": {}, \"timing_rejects\": {}, \"timeouts\": {}, \"restarts\": {}, \"quarantines\": {}, \"faults\": {{\"flips\": {}, \"stalls\": {}, \"skews\": {}}}, \"false_accepts\": 0, \"reconverged\": true, \"crash_restart_identical\": true, \"telemetry_durable_after_crash\": true, \"history_hash\": \"{hash:016x}\", \"wall_seconds\": {wall:.3}}}",
             c.rounds_passed,
             c.value_rejects,
             c.timing_rejects,
@@ -367,9 +416,16 @@ fn main() {
         reports.join(",\n")
     );
     std::fs::write(&out_path, out).expect("write BENCH_soak.json");
+    // The last seed's uninterrupted-universe registry in scrape form,
+    // next to the JSON artifact.
+    let prom_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.prom"),
+        None => format!("{out_path}.prom"),
+    };
+    std::fs::write(&prom_path, last_prom).expect("write Prometheus export");
     println!(
-        "soak: {} seed(s) clean — zero false accepts, full reconvergence, crash-restart byte-identical",
+        "soak: {} seed(s) clean — zero false accepts, full reconvergence, crash-restart byte-identical (telemetry included)",
         seeds.len()
     );
-    println!("wrote {out_path}");
+    println!("wrote {out_path} and {prom_path}");
 }

@@ -32,7 +32,20 @@ use sage_crypto::DhGroup;
 use sage_gpu_sim::{Device, DeviceConfig};
 use sage_service::{AttestationService, DeviceState, LinkProfile, ServiceConfig, SimNet};
 use sage_sgx_sim::SgxPlatform;
+use sage_telemetry::{MetricValue, Registry};
 use sage_vf::VfParams;
+
+/// The exported total of every series named `name`, across label sets.
+fn counter_total(reg: &Registry, name: &str) -> u64 {
+    reg.collect()
+        .iter()
+        .filter(|(n, _, _)| n == name)
+        .map(|(_, _, v)| match v {
+            MetricValue::Counter(c) => *c,
+            MetricValue::Histogram(_) => panic!("{name} is not a counter"),
+        })
+        .sum()
+}
 
 fn entropy(seed: u8) -> impl FnMut(&mut [u8]) {
     let mut state = seed;
@@ -100,6 +113,10 @@ fn main() {
     );
     let cfg = ServiceConfig::default();
     let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
+    // Attached before any join, so every device's verifier, bank and
+    // simulator series cover the whole run.
+    let reg = Registry::new();
+    svc.attach_telemetry(&reg);
 
     eprintln!("svcperf: {devices} devices x {rounds} rounds, seed {seed}");
     let platform = SgxPlatform::new([7u8; 16]);
@@ -137,6 +154,20 @@ fn main() {
         .latency_percentiles()
         .expect("at least one passed round");
 
+    // The unified telemetry layer must agree with the event log's own
+    // books — an end-to-end consistency check every bench run gets for
+    // free.
+    assert_eq!(
+        counter_total(&reg, "service_rounds_passed_total"),
+        total_rounds,
+        "telemetry rounds-passed diverged from the event log"
+    );
+    assert_eq!(
+        counter_total(&reg, "service_devices_joined_total"),
+        devices as u64,
+        "telemetry join count diverged from the roster"
+    );
+
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"devices\": {devices},\n  \"target_rounds\": {rounds},\n  \"seed\": {seed},\n"
@@ -158,8 +189,17 @@ fn main() {
     out.push_str("  \"snapshot\": ");
     // snapshot_json() ends with a newline; splice it in indented.
     out.push_str(svc.snapshot_json().trim_end());
+    out.push_str(",\n  \"telemetry\": ");
+    out.push_str(reg.to_json().trim_end());
     out.push_str("\n}\n");
     std::fs::write(&out_path, out).expect("write BENCH_svc.json");
+
+    // The same registry in scrape form, next to the JSON artifact.
+    let prom_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.prom"),
+        None => format!("{out_path}.prom"),
+    };
+    std::fs::write(&prom_path, reg.to_prometheus()).expect("write Prometheus export");
 
     println!(
         "{devices} devices, {total_rounds} rounds in {steady_wall:.3}s  ({rounds_per_sec:.1} rounds/s, {virtual_ticks} virtual ticks)"
@@ -168,5 +208,5 @@ fn main() {
         "round latency ticks: p50 {} / p90 {} / p99 {} over {} rounds; enroll {enroll_per_sec:.2} devices/s",
         lat.p50, lat.p90, lat.p99, lat.samples
     );
-    println!("wrote {out_path}");
+    println!("wrote {out_path} and {prom_path}");
 }

@@ -3,6 +3,7 @@
 
 use sage_crypto::DhGroup;
 use sage_sgx_sim::{Enclave, Quote};
+use sage_telemetry::{Counter, Histogram, Registry};
 use sage_vf::{
     codegen::VfBuild, expected_checksum, BankConfig, BankCounters, ChallengeBank, Fingerprint,
 };
@@ -31,6 +32,90 @@ pub struct AttestationOutcome {
 /// harness: called with the flow step index and the in-flight message.
 pub type MessageTap<'a> = &'a mut dyn FnMut(usize, &mut SakeMessage);
 
+/// Which verification path judged a response: the classic online-replay
+/// path ([`Verifier::check_response`]) or the precomputed bank-hit fast
+/// path ([`Verifier::check_response_precomputed`]). Telemetry labels
+/// verdicts with this so the attack matrix can assert both paths reject.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VerdictPath {
+    Classic,
+    Precomputed,
+}
+
+impl VerdictPath {
+    const ALL: [VerdictPath; 2] = [VerdictPath::Classic, VerdictPath::Precomputed];
+
+    fn label(self) -> &'static str {
+        match self {
+            VerdictPath::Classic => "classic",
+            VerdictPath::Precomputed => "precomputed",
+        }
+    }
+}
+
+/// Reject-cause labels, mirroring [`crate::error::SageError`]'s two
+/// verdict failures.
+const REJECT_CAUSES: [&str; 2] = ["wrong_value", "too_slow"];
+
+/// Per-verifier telemetry instruments (cause × path labeled verdicts
+/// plus the measured-cycles distribution).
+struct VerifierTelemetry {
+    /// Accepts by path.
+    accepts: [Counter; 2],
+    /// Rejects by `[cause][path]` (cause 0 = wrong_value, 1 = too_slow).
+    rejects: [[Counter; 2]; 2],
+    /// Every measured exchange time judged, accept or reject (cycles).
+    measured: Histogram,
+    /// Kept so a bank enabled *after* attachment still gets registered
+    /// (see [`Verifier::enable_fast_path`]).
+    registry: Registry,
+    labels: Vec<(String, String)>,
+}
+
+impl VerifierTelemetry {
+    fn new(reg: &Registry, labels: &[(&str, &str)]) -> VerifierTelemetry {
+        let with = |extra: &[(&str, &str)]| -> Vec<(String, String)> {
+            labels
+                .iter()
+                .chain(extra)
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        };
+        fn as_refs(owned: &[(String, String)]) -> Vec<(&str, &str)> {
+            owned
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect()
+        }
+        let counter = |name: &str, extra: &[(&str, &str)]| {
+            let owned = with(extra);
+            reg.counter(name, &as_refs(&owned))
+        };
+        VerifierTelemetry {
+            accepts: VerdictPath::ALL
+                .map(|p| counter("verifier_accepts_total", &[("path", p.label())])),
+            rejects: REJECT_CAUSES.map(|cause| {
+                VerdictPath::ALL.map(|p| {
+                    counter(
+                        "verifier_rejects_total",
+                        &[("cause", cause), ("path", p.label())],
+                    )
+                })
+            }),
+            measured: reg.histogram("verifier_measured_cycles", labels),
+            registry: reg.clone(),
+            labels: with(&[]),
+        }
+    }
+
+    fn label_refs(&self) -> Vec<(&str, &str)> {
+        self.labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+}
+
 /// The SAGE verifier, running inside the (simulated) enclave.
 pub struct Verifier {
     /// The hosting enclave (nonce source, sealing, quotes).
@@ -41,6 +126,7 @@ pub struct Verifier {
     calibration: Option<Calibration>,
     stats: VerificationStats,
     bank: Option<ChallengeBank>,
+    telemetry: Option<VerifierTelemetry>,
 }
 
 impl Verifier {
@@ -55,6 +141,21 @@ impl Verifier {
             calibration: None,
             stats: VerificationStats::default(),
             bank: None,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches this verifier to a telemetry registry: verdicts are
+    /// exported as `verifier_accepts_total{path}` /
+    /// `verifier_rejects_total{cause, path}` counters (cause ∈
+    /// `wrong_value` | `too_slow`, path ∈ `classic` | `precomputed`)
+    /// plus a `verifier_measured_cycles` histogram over every judged
+    /// exchange time. When the fast path is enabled, the bank's
+    /// counters are registered under the same labels too.
+    pub fn attach_telemetry(&mut self, reg: &Registry, labels: &[(&str, &str)]) {
+        self.telemetry = Some(VerifierTelemetry::new(reg, labels));
+        if let Some(bank) = &self.bank {
+            bank.register_telemetry(reg, labels);
         }
     }
 
@@ -80,7 +181,11 @@ impl Verifier {
         let iv: [u8; 16] = seed[16..].try_into().expect("16 bytes");
         let mut ctr = sage_crypto::AesCtr::new(&key, &iv);
         let gen = Box::new(move |c: &mut [u8; 16]| ctr.keystream_into(c));
-        self.bank = Some(ChallengeBank::new(self.build.clone(), cfg, gen));
+        let bank = ChallengeBank::new(self.build.clone(), cfg, gen);
+        if let Some(t) = &self.telemetry {
+            bank.register_telemetry(&t.registry, &t.label_refs());
+        }
+        self.bank = Some(bank);
     }
 
     /// Whether the precomputed fast path is active.
@@ -227,12 +332,15 @@ impl Verifier {
         true
     }
 
-    fn check_timing(&mut self, measured: u64) -> Result<u64> {
+    fn check_timing(&mut self, measured: u64, path: VerdictPath) -> Result<u64> {
         let calibration = self
             .calibration
             .ok_or_else(|| SageError::Protocol("verifier not calibrated".into()))?;
         if !calibration.accepts(measured) {
             self.stats.timing_rejects += 1;
+            if let Some(t) = &self.telemetry {
+                t.rejects[1][path as usize].inc();
+            }
             return Err(SageError::TimingExceeded {
                 measured,
                 threshold: calibration.threshold(),
@@ -261,7 +369,7 @@ impl Verifier {
         measured: u64,
     ) -> Result<u64> {
         let expected = self.expected(challenges);
-        self.check_response_precomputed(expected, got, measured)
+        self.judge(expected, got, measured, VerdictPath::Classic)
     }
 
     /// Judges a response against an already-known expected checksum (a
@@ -274,12 +382,35 @@ impl Verifier {
         got: [u32; 8],
         measured: u64,
     ) -> Result<u64> {
+        self.judge(expected, got, measured, VerdictPath::Precomputed)
+    }
+
+    /// The shared verdict core: value compare, then timing check. Both
+    /// public entry points funnel here so classic and precomputed
+    /// verdicts are identical by construction — only the telemetry
+    /// `path` label differs.
+    fn judge(
+        &mut self,
+        expected: [u32; 8],
+        got: [u32; 8],
+        measured: u64,
+        path: VerdictPath,
+    ) -> Result<u64> {
+        if let Some(t) = &self.telemetry {
+            t.measured.record(measured);
+        }
         if got != expected {
             self.stats.value_rejects += 1;
+            if let Some(t) = &self.telemetry {
+                t.rejects[0][path as usize].inc();
+            }
             return Err(SageError::ChecksumMismatch { got, expected });
         }
-        let threshold = self.check_timing(measured)?;
+        let threshold = self.check_timing(measured, path)?;
         self.stats.accepted += 1;
+        if let Some(t) = &self.telemetry {
+            t.accepts[path as usize].inc();
+        }
         Ok(threshold)
     }
 
@@ -336,7 +467,7 @@ impl Verifier {
         touch(1, &mut commit);
         let challenges = derive_challenges(&v2, self.build.params.grid_blocks);
         sake.set_expected_checksum(self.expected(&challenges));
-        let threshold = self.check_timing(measured)?;
+        let threshold = self.check_timing(measured, VerdictPath::Classic)?;
 
         let SakeMessage::Commit { w2, mac } = commit else {
             return Err(SageError::Protocol("bad flow: commit".into()));

@@ -131,6 +131,7 @@ pub struct Device {
     cycle_limit: u64,
     trace_capacity: Option<usize>,
     exec_mode: ExecMode,
+    telemetry: Option<crate::telemetry::SimTelemetry>,
 }
 
 impl Device {
@@ -152,8 +153,18 @@ impl Device {
             cycle_limit: 20_000_000_000,
             trace_capacity: None,
             exec_mode: ExecMode::default(),
+            telemetry: None,
             cfg,
         }
+    }
+
+    /// Attaches this device to a telemetry registry: every subsequent
+    /// non-empty [`Device::run`] folds its aggregate issue/stall/cache
+    /// stats and fault-hook applications into `sim_*` series labeled
+    /// with `labels`. The per-cycle SM loops are untouched — the cost is
+    /// a few relaxed `fetch_add`s per run.
+    pub fn install_telemetry(&mut self, reg: &sage_telemetry::Registry, labels: &[(&str, &str)]) {
+        self.telemetry = Some(crate::telemetry::SimTelemetry::new(reg, labels));
     }
 
     /// Selects how [`Device::run`] executes SMs (parallel + fast-forward
@@ -501,6 +512,14 @@ impl Device {
         }
         stats.cycles = total_cycles;
         self.launch_counter = 0;
+        if let Some(t) = self.telemetry.as_mut() {
+            let faults = self
+                .fault_hook
+                .as_ref()
+                .map(|h| h.applied())
+                .unwrap_or_default();
+            t.observe_run(&stats, faults);
+        }
         Ok(RunReport {
             stats,
             launches,

@@ -71,6 +71,7 @@ pub mod icache;
 pub mod mem;
 pub mod sm;
 pub mod stats;
+pub(crate) mod telemetry;
 pub mod trace;
 pub mod warp;
 

@@ -1,6 +1,8 @@
 //! Structured event log and counters — the control plane's observability
 //! surface, exported as JSON for dashboards and the `svcperf` benchmark.
 
+use sage_telemetry::{Counter, Histogram, Registry};
+
 use crate::service::DeviceState;
 
 /// Why a round failed.
@@ -128,11 +130,87 @@ pub struct LatencyPercentiles {
     pub p99: u64,
 }
 
+/// The telemetry sink mirroring [`Counters`] into registry series,
+/// plus a virtual-tick round-latency histogram fed by pairing each
+/// `RoundStarted` with its `RoundPassed` (the same pairing
+/// [`EventLog::round_latencies`] computes after the fact).
+struct LogTelemetry {
+    joins: Counter,
+    leaves: Counter,
+    rounds_started: Counter,
+    rounds_passed: Counter,
+    /// Failures by [`FailReason`] discriminant order.
+    round_failed: [Counter; 3],
+    restarts: Counter,
+    late_responses: Counter,
+    quarantines: Counter,
+    calibration_failures: Counter,
+    round_latency: Histogram,
+    /// Rounds started but not yet passed: `(device, round, started_at)`.
+    open_rounds: Vec<(String, u64, u64)>,
+}
+
+impl LogTelemetry {
+    fn new(reg: &Registry) -> LogTelemetry {
+        LogTelemetry {
+            joins: reg.counter("service_devices_joined_total", &[]),
+            leaves: reg.counter("service_devices_left_total", &[]),
+            rounds_started: reg.counter("service_rounds_started_total", &[]),
+            rounds_passed: reg.counter("service_rounds_passed_total", &[]),
+            round_failed: [
+                FailReason::WrongValue,
+                FailReason::TooSlow,
+                FailReason::Timeout,
+            ]
+            .map(|r| reg.counter("service_rounds_failed_total", &[("reason", r.as_str())])),
+            restarts: reg.counter("service_restarts_total", &[]),
+            late_responses: reg.counter("service_late_responses_total", &[]),
+            quarantines: reg.counter("service_quarantines_total", &[]),
+            calibration_failures: reg.counter("service_calibration_failures_total", &[]),
+            round_latency: reg.histogram("service_round_latency_ticks", &[]),
+            open_rounds: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, at: u64, device: &str, kind: &EventKind) {
+        match kind {
+            EventKind::Joined => self.joins.inc(),
+            EventKind::Left => self.leaves.inc(),
+            EventKind::CalibrationFailed => self.calibration_failures.inc(),
+            EventKind::EstablishFailed => {}
+            EventKind::StateChanged { to, .. } => {
+                if *to == DeviceState::Quarantined {
+                    self.quarantines.inc();
+                }
+            }
+            EventKind::RoundStarted { round } => {
+                self.rounds_started.inc();
+                self.open_rounds.push((device.to_string(), *round, at));
+            }
+            EventKind::RoundPassed { round, .. } => {
+                self.rounds_passed.inc();
+                if let Some(i) = self
+                    .open_rounds
+                    .iter()
+                    .position(|(d, r, _)| d == device && r == round)
+                {
+                    let (_, _, started) = self.open_rounds.swap_remove(i);
+                    self.round_latency.record(at - started);
+                }
+            }
+            EventKind::RoundFailed { reason, .. } => self.round_failed[*reason as usize].inc(),
+            EventKind::Restarted { .. } => self.restarts.inc(),
+            EventKind::LateResponse { .. } => self.late_responses.inc(),
+        }
+    }
+}
+
 /// The append-only event log.
 #[derive(Default)]
 pub struct EventLog {
     events: Vec<Event>,
     counters: Counters,
+    sink: Option<LogTelemetry>,
 }
 
 impl EventLog {
@@ -153,8 +231,25 @@ impl EventLog {
         log
     }
 
+    /// Attaches the log to a telemetry registry: counters are exported
+    /// as `service_*_total` series and passed-round latencies feed a
+    /// `service_round_latency_ticks` histogram (virtual ticks —
+    /// deterministic for a fixed seed). Events already in the log are
+    /// replayed through the sink first, so attaching after a
+    /// crash-restore produces the same series as never having stopped.
+    pub fn attach_telemetry(&mut self, reg: &Registry) {
+        let mut sink = LogTelemetry::new(reg);
+        for e in &self.events {
+            sink.observe(e.at, &e.device, &e.kind);
+        }
+        self.sink = Some(sink);
+    }
+
     /// Appends an event and updates the derived counters.
     pub fn record(&mut self, at: u64, device: &str, kind: EventKind) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.observe(at, device, &kind);
+        }
         match &kind {
             EventKind::Joined => self.counters.joins += 1,
             EventKind::Left => self.counters.leaves += 1,
@@ -412,9 +507,93 @@ mod tests {
 
     #[test]
     fn latency_percentiles_empty_without_passes() {
+        assert!(EventLog::new().latency_percentiles().is_none());
         let mut log = EventLog::new();
         log.record(0, "a", EventKind::RoundStarted { round: 1 });
         assert!(log.latency_percentiles().is_none());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut log = EventLog::new();
+        log.record(10, "a", EventKind::RoundStarted { round: 1 });
+        log.record(
+            17,
+            "a",
+            EventKind::RoundPassed {
+                round: 1,
+                measured: 1,
+            },
+        );
+        let p = log.latency_percentiles().unwrap();
+        assert_eq!(p.samples, 1);
+        assert_eq!((p.p50, p.p90, p.p99), (7, 7, 7));
+    }
+
+    /// Hand-computed nearest-rank oracle over ten known samples:
+    /// ranks ⌈0.50·10⌉ = 5, ⌈0.90·10⌉ = 9, ⌈0.99·10⌉ = 10.
+    #[test]
+    fn ten_sample_nearest_rank_oracle() {
+        let latencies = [31u64, 2, 19, 7, 43, 11, 5, 23, 13, 3];
+        let mut log = EventLog::new();
+        for (i, lat) in latencies.iter().enumerate() {
+            let round = i as u64 + 1;
+            let start = i as u64 * 1000;
+            log.record(start, "a", EventKind::RoundStarted { round });
+            log.record(
+                start + lat,
+                "a",
+                EventKind::RoundPassed { round, measured: 1 },
+            );
+        }
+        // Sorted: [2, 3, 5, 7, 11, 13, 19, 23, 31, 43].
+        let p = log.latency_percentiles().unwrap();
+        assert_eq!(p.samples, 10);
+        assert_eq!(p.p50, 11, "rank 5 of the sorted samples");
+        assert_eq!(p.p90, 31, "rank 9 of the sorted samples");
+        assert_eq!(p.p99, 43, "rank 10 of the sorted samples");
+    }
+
+    /// The attached telemetry histogram answers the same percentile
+    /// queries with the containing log2 bucket's upper bound: exact ≤
+    /// reported, within the same bucket (≤ 2× relative error).
+    #[test]
+    fn telemetry_histogram_agrees_within_one_bucket() {
+        use sage_telemetry::{bucket_index, MetricValue, Registry};
+
+        let latencies = [31u64, 2, 19, 7, 43, 11, 5, 23, 13, 3];
+        let reg = Registry::new();
+        let mut log = EventLog::new();
+        log.attach_telemetry(&reg);
+        for (i, lat) in latencies.iter().enumerate() {
+            let round = i as u64 + 1;
+            let start = i as u64 * 1000;
+            log.record(start, "a", EventKind::RoundStarted { round });
+            log.record(
+                start + lat,
+                "a",
+                EventKind::RoundPassed { round, measured: 1 },
+            );
+        }
+        let exact = log.latency_percentiles().unwrap();
+        let snap = reg
+            .collect()
+            .into_iter()
+            .find_map(|(name, _, v)| match (name.as_str(), v) {
+                ("service_round_latency_ticks", MetricValue::Histogram(s)) => Some(s),
+                _ => None,
+            })
+            .expect("latency histogram registered");
+        assert_eq!(snap.count(), 10);
+        for (q, exact) in [(0.50, exact.p50), (0.90, exact.p90), (0.99, exact.p99)] {
+            let reported = snap.percentile(q).unwrap();
+            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+            assert_eq!(
+                bucket_index(reported),
+                bucket_index(exact),
+                "q={q}: reported {reported} must share exact {exact}'s bucket"
+            );
+        }
     }
 
     #[test]

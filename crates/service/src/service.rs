@@ -26,6 +26,7 @@ use sage::verifier::Verifier;
 use sage::{GpuSession, SageError};
 use sage_crypto::DhGroup;
 use sage_sgx_sim::Enclave;
+use sage_telemetry::Registry;
 
 use crate::events::{EventKind, EventLog, FailReason};
 use crate::net::{Envelope, NodeId, Transport};
@@ -185,6 +186,7 @@ pub struct AttestationService<T: Transport> {
     pub(crate) devices: Vec<ManagedDevice>,
     pub(crate) log: EventLog,
     pub(crate) next_node: u16,
+    pub(crate) registry: Option<Registry>,
 }
 
 impl<T: Transport> AttestationService<T> {
@@ -198,7 +200,31 @@ impl<T: Transport> AttestationService<T> {
             devices: Vec::new(),
             log: EventLog::new(),
             next_node: 1,
+            registry: None,
         }
+    }
+
+    /// Attaches the whole service to a telemetry registry: the event
+    /// log's round-lifecycle counters and latency histogram
+    /// (`service_*`), every enrolled device's verifier verdicts
+    /// (`verifier_*{device, cause, path}`), challenge-bank counters
+    /// (`vf_bank_*{device}`) and simulator stats (`sim_*{device}`).
+    /// Devices joining later are attached automatically. Attaching
+    /// after a crash-restore replays the restored event history into
+    /// the sink first, so the series match a service that never
+    /// stopped.
+    pub fn attach_telemetry(&mut self, reg: &Registry) {
+        self.log.attach_telemetry(reg);
+        for d in &mut self.devices {
+            let name = d.node.member.name.clone();
+            d.verifier.attach_telemetry(reg, &[("device", &name)]);
+            d.node
+                .member
+                .session
+                .dev
+                .install_telemetry(reg, &[("device", &name)]);
+        }
+        self.registry = Some(reg.clone());
     }
 
     /// Current virtual time.
@@ -322,6 +348,13 @@ impl<T: Transport> AttestationService<T> {
                 capacity: self.cfg.bank_capacity,
                 workers: self.cfg.bank_workers,
             });
+        }
+        if let Some(reg) = &self.registry {
+            verifier.attach_telemetry(reg, &[("device", &name)]);
+            member
+                .session
+                .dev
+                .install_telemetry(reg, &[("device", &name)]);
         }
 
         let mut state = DeviceState::Enrolled;

@@ -525,6 +525,7 @@ pub(crate) fn restore<T: Transport>(
         devices,
         log: EventLog::restore(decoded.events),
         next_node: decoded.next_node,
+        registry: None,
     };
     svc.sort_roster();
     Ok(svc)

@@ -1,0 +1,110 @@
+//! Lightweight spans: a start/stop pair that records its duration into
+//! a [`Histogram`].
+//!
+//! Two clocks exist in this tree. Benchmarks and thread pools live on
+//! the wall clock ([`WallSpan`], nanoseconds); the attestation service
+//! lives on its own deterministic virtual clock ([`VirtualSpan`],
+//! ticks) — golden tests only ever pin virtual-clock histograms,
+//! because wall-clock durations are inherently nondeterministic.
+
+use std::time::Instant;
+
+use crate::hist::Histogram;
+
+/// Times a region on the wall clock; records elapsed nanoseconds on
+/// [`WallSpan::finish`] or on drop, whichever comes first.
+pub struct WallSpan {
+    hist: Histogram,
+    start: Instant,
+    done: bool,
+}
+
+impl WallSpan {
+    /// Starts the span now.
+    pub fn start(hist: &Histogram) -> WallSpan {
+        WallSpan {
+            hist: hist.clone(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Stops the span, records it, and returns the elapsed nanoseconds
+    /// (saturated to `u64`).
+    pub fn finish(mut self) -> u64 {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        self.done = true;
+        ns
+    }
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        if !self.done {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+}
+
+/// Times a region on a caller-supplied virtual clock (the service
+/// layer's tick counter). Purely data — deterministic for a fixed
+/// event schedule.
+pub struct VirtualSpan {
+    hist: Histogram,
+    start: u64,
+}
+
+impl VirtualSpan {
+    /// Starts the span at virtual time `now`.
+    pub fn start(hist: &Histogram, now: u64) -> VirtualSpan {
+        VirtualSpan {
+            hist: hist.clone(),
+            start: now,
+        }
+    }
+
+    /// Stops the span at virtual time `now`, recording the tick delta
+    /// (saturating — a skewed clock must not panic telemetry).
+    pub fn finish(self, now: u64) -> u64 {
+        let ticks = now.saturating_sub(self.start);
+        self.hist.record(ticks);
+        ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_span_records_once_on_finish() {
+        let h = Histogram::new();
+        let span = WallSpan::start(&h);
+        let ns = span.finish();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.sum, ns);
+    }
+
+    #[test]
+    fn wall_span_records_on_drop() {
+        let h = Histogram::new();
+        drop(WallSpan::start(&h));
+        assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn virtual_span_records_tick_delta() {
+        let h = Histogram::new();
+        let span = VirtualSpan::start(&h, 100);
+        assert_eq!(span.finish(140), 40);
+        // A skewed (backwards) clock saturates to zero.
+        let span = VirtualSpan::start(&h, 100);
+        assert_eq!(span.finish(90), 0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum, 40);
+    }
+}

@@ -1,0 +1,181 @@
+//! Seeded deterministic fuzz of the log2 histogram — the algebraic
+//! properties the exporters and the merge-based aggregation rely on,
+//! checked over a few hundred pseudo-random workloads in every
+//! `cargo test`. A proptest-shaped twin with shrinking lives in
+//! `hist_properties.rs` behind the `proptest` feature gate.
+
+use sage_telemetry::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+
+/// splitmix64: tiny, seedable, good-enough dispersion for fuzz inputs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws a value whose magnitude is itself random (uniform draws would
+/// almost never land in the low buckets).
+fn skewed_value(state: &mut u64) -> u64 {
+    let bits = splitmix64(state) % 65;
+    if bits == 0 {
+        return 0;
+    }
+    splitmix64(state) >> (64 - bits)
+}
+
+fn random_snapshot(state: &mut u64, samples: usize) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for _ in 0..samples {
+        h.record(skewed_value(state));
+    }
+    h.snapshot()
+}
+
+#[test]
+fn recorded_values_land_within_their_buckets_bounds() {
+    let mut state = 0xD1CE;
+    for _ in 0..2000 {
+        let v = skewed_value(&mut state);
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        assert!(
+            lo <= v && v <= hi,
+            "value {v} outside bucket {i} bounds [{lo}, {hi}]"
+        );
+
+        let h = Histogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[i], 1, "value {v} must land in bucket {i}");
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum, v);
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    let mut state = 0xC0FF;
+    for round in 0..100 {
+        let a = random_snapshot(&mut state, (round % 17) * 3);
+        let b = random_snapshot(&mut state, (round % 13) * 5);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "round {round}: a∪b != b∪a");
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    let mut state = 0xA550;
+    for round in 0..100 {
+        let a = random_snapshot(&mut state, (round % 7) * 4);
+        let b = random_snapshot(&mut state, (round % 11) * 2);
+        let c = random_snapshot(&mut state, (round % 5) * 6);
+        let mut left = a; // (a ∪ b) ∪ c
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b; // a ∪ (b ∪ c)
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "round {round}: merge not associative");
+    }
+}
+
+#[test]
+fn merge_agrees_with_recording_the_union() {
+    let mut state = 0x11E6;
+    for round in 0..50 {
+        let mut values = Vec::new();
+        for _ in 0..(round % 19) * 3 + 1 {
+            values.push(skewed_value(&mut state));
+        }
+        let split = values.len() / 2;
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &values[..split] {
+            ha.record(v);
+        }
+        for &v in &values[split..] {
+            hb.record(v);
+        }
+        for &v in &values {
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        assert_eq!(merged, hall.snapshot(), "round {round}");
+    }
+}
+
+#[test]
+fn percentiles_are_monotone_in_q() {
+    let mut state = 0x9E7C;
+    for round in 0..100 {
+        let snap = random_snapshot(&mut state, (round % 29) * 4 + 1);
+        let qs = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
+        let ps: Vec<u64> = qs.iter().map(|&q| snap.percentile(q).unwrap()).collect();
+        for w in ps.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "round {round}: percentiles not monotone {ps:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_brackets_the_exact_nearest_rank() {
+    // The histogram answers with the containing bucket's upper bound:
+    // exact_nearest_rank <= reported < 2 * exact (same log2 bucket).
+    let mut state = 0xBEEF;
+    for round in 0..50 {
+        let n = (round % 23) * 4 + 1;
+        let mut values = Vec::with_capacity(n);
+        let h = Histogram::new();
+        for _ in 0..n {
+            let v = skewed_value(&mut state);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.50, 0.90, 0.99] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let reported = snap.percentile(q).unwrap();
+            assert!(
+                reported >= exact,
+                "round {round} q={q}: reported {reported} < exact {exact}"
+            );
+            assert_eq!(
+                bucket_index(reported),
+                bucket_index(exact),
+                "round {round} q={q}: reported {reported} not in exact's bucket ({exact})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_bounds_partition_the_u64_range() {
+    let mut expected_lo = 0u64;
+    for i in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(
+            lo,
+            expected_lo,
+            "bucket {i} must start where {} ended",
+            i.max(1) - 1
+        );
+        assert!(lo <= hi);
+        if i + 1 < BUCKETS {
+            expected_lo = hi + 1;
+        } else {
+            assert_eq!(hi, u64::MAX, "last bucket must close the range");
+        }
+    }
+}

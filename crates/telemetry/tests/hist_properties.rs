@@ -1,0 +1,105 @@
+//! Property-based histogram suite — the same algebra `hist_fuzz.rs`
+//! checks with a seeded PRNG, restated as proptest strategies so
+//! failures shrink to minimal counterexamples.
+//!
+// Entire suite gated: `proptest` is not vendored in this dependency-free
+// tree. Build with `--features proptest` after re-adding the dev-dependency
+// to run it.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use sage_telemetry::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Magnitude-skewed values so every bucket is reachable.
+fn value() -> impl Strategy<Value = u64> {
+    (0u32..65).prop_flat_map(|bits| {
+        if bits == 0 {
+            Just(0u64).boxed()
+        } else {
+            (0u64..=u64::MAX >> (64 - bits)).boxed()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn recorded_value_within_reported_bucket(v in value()) {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi);
+        let snap = snapshot_of(&[v]);
+        prop_assert_eq!(snap.buckets[i], 1);
+        prop_assert_eq!(snap.sum, v);
+    }
+
+    #[test]
+    fn merge_commutes(a in prop::collection::vec(value(), 0..64),
+                      b in prop::collection::vec(value(), 0..64)) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_associates(a in prop::collection::vec(value(), 0..32),
+                        b in prop::collection::vec(value(), 0..32),
+                        c in prop::collection::vec(value(), 0..32)) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_union(values in prop::collection::vec(value(), 1..128),
+                          split in 0usize..128) {
+        let split = split % values.len();
+        let mut merged = snapshot_of(&values[..split]);
+        merged.merge(&snapshot_of(&values[split..]));
+        prop_assert_eq!(merged, snapshot_of(&values));
+    }
+
+    #[test]
+    fn percentiles_monotone(values in prop::collection::vec(value(), 1..128),
+                            mut qs in prop::collection::vec(0.001f64..=1.0, 2..8)) {
+        let snap = snapshot_of(&values);
+        qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let ps: Vec<u64> = qs.iter().map(|&q| snap.percentile(q).unwrap()).collect();
+        for w in ps.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles not monotone: {:?}", ps);
+        }
+    }
+
+    #[test]
+    fn percentile_brackets_exact(values in prop::collection::vec(value(), 1..128)) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        for q in [0.50, 0.90, 0.99] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let reported = snap.percentile(q).unwrap();
+            prop_assert!(reported >= exact);
+            prop_assert_eq!(bucket_index(reported), bucket_index(exact));
+        }
+    }
+}

@@ -34,9 +34,10 @@
 //! generator order — the deterministic mode tests use.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+use sage_telemetry::{Counter, Registry};
 
 use crate::{codegen::VfBuild, replay::expected_checksum};
 
@@ -159,11 +160,14 @@ struct Inner {
     space: Condvar,
     /// Signalled when stock arrives — blocking takers wait.
     stock: Condvar,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    refills: AtomicU64,
-    fingerprint_rejects: AtomicU64,
-    poisoned: AtomicU64,
+    /// Effectiveness counters, shared telemetry instruments so a
+    /// registry sees the live values (see
+    /// [`ChallengeBank::register_telemetry`]).
+    hits: Counter,
+    misses: Counter,
+    refills: Counter,
+    fingerprint_rejects: Counter,
+    poisoned: Counter,
 }
 
 /// A bounded, fingerprint-keyed queue of precomputed rounds.
@@ -203,7 +207,7 @@ impl Inner {
         };
         let guard = guard_tag(&round);
         state.queue.push_back(Stocked { round, guard });
-        self.refills.fetch_add(1, Ordering::Relaxed);
+        self.refills.inc();
         self.stock.notify_all();
     }
 
@@ -216,7 +220,7 @@ impl Inner {
             if stocked.guard == guard_tag(&stocked.round) {
                 return Some(stocked.round);
             }
-            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            self.poisoned.inc();
         }
         None
     }
@@ -237,11 +241,11 @@ impl ChallengeBank {
             }),
             space: Condvar::new(),
             stock: Condvar::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            refills: AtomicU64::new(0),
-            fingerprint_rejects: AtomicU64::new(0),
-            poisoned: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            refills: Counter::new(),
+            fingerprint_rejects: Counter::new(),
+            poisoned: Counter::new(),
         });
         // Failure to spawn a worker (thread exhaustion on the verifier
         // host) degrades the bank to fewer — possibly zero — background
@@ -281,14 +285,34 @@ impl ChallengeBank {
         self.inner.capacity
     }
 
+    /// Exposes the live effectiveness counters through a telemetry
+    /// registry as `vf_bank_*_total{labels}` series. The registered
+    /// instruments *are* the bank's own counters (shared state), so the
+    /// registry always exports current values with no polling adapter.
+    pub fn register_telemetry(&self, reg: &Registry, labels: &[(&str, &str)]) {
+        reg.register_counter("vf_bank_hits_total", labels, self.inner.hits.clone());
+        reg.register_counter("vf_bank_misses_total", labels, self.inner.misses.clone());
+        reg.register_counter("vf_bank_refills_total", labels, self.inner.refills.clone());
+        reg.register_counter(
+            "vf_bank_fingerprint_rejects_total",
+            labels,
+            self.inner.fingerprint_rejects.clone(),
+        );
+        reg.register_counter(
+            "vf_bank_poisoned_total",
+            labels,
+            self.inner.poisoned.clone(),
+        );
+    }
+
     /// Counter snapshot.
     pub fn counters(&self) -> BankCounters {
         BankCounters {
-            hits: self.inner.hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
-            refills: self.inner.refills.load(Ordering::Relaxed),
-            fingerprint_rejects: self.inner.fingerprint_rejects.load(Ordering::Relaxed),
-            poisoned: self.inner.poisoned.load(Ordering::Relaxed),
+            hits: self.inner.hits.get(),
+            misses: self.inner.misses.get(),
+            refills: self.inner.refills.get(),
+            fingerprint_rejects: self.inner.fingerprint_rejects.get(),
+            poisoned: self.inner.poisoned.get(),
         }
     }
 
@@ -300,19 +324,17 @@ impl ChallengeBank {
     /// issued for build B.
     pub fn take(&self, fp: &Fingerprint) -> Result<Option<PrecomputedRound>, BankError> {
         if *fp != self.inner.fingerprint {
-            self.inner
-                .fingerprint_rejects
-                .fetch_add(1, Ordering::Relaxed);
+            self.inner.fingerprint_rejects.inc();
             return Err(BankError::ForeignFingerprint);
         }
         let mut state = lock_unpoisoned(&self.inner.state);
         match self.inner.pop_valid(&mut state) {
             Some(pair) => {
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.hits.inc();
                 Ok(Some(pair))
             }
             None => {
-                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.misses.inc();
                 Ok(None)
             }
         }
@@ -325,9 +347,7 @@ impl ChallengeBank {
     /// calling thread, preserving the deterministic generator order.
     pub fn take_blocking(&self, fp: &Fingerprint) -> Result<PrecomputedRound, BankError> {
         if *fp != self.inner.fingerprint {
-            self.inner
-                .fingerprint_rejects
-                .fetch_add(1, Ordering::Relaxed);
+            self.inner.fingerprint_rejects.inc();
             return Err(BankError::ForeignFingerprint);
         }
         let mut state = lock_unpoisoned(&self.inner.state);
@@ -335,12 +355,12 @@ impl ChallengeBank {
         loop {
             if let Some(pair) = self.inner.pop_valid(&mut state) {
                 if first_attempt {
-                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.hits.inc();
                 }
                 return Ok(pair);
             }
             if first_attempt {
-                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.misses.inc();
                 first_attempt = false;
             }
             if self.workers.is_empty() {
@@ -422,7 +442,7 @@ fn worker_loop(inner: &Inner) {
         };
         let guard = guard_tag(&round);
         state.queue.push_back(Stocked { round, guard });
-        inner.refills.fetch_add(1, Ordering::Relaxed);
+        inner.refills.inc();
         inner.stock.notify_all();
     }
 }

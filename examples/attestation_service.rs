@@ -21,6 +21,7 @@ use sage_service::{
     AttestationService, DeviceState, Fault, LinkProfile, ServiceConfig, SimNet, VERIFIER_NODE,
 };
 use sage_sgx_sim::SgxPlatform;
+use sage_telemetry::Registry;
 use sage_vf::VfParams;
 
 fn demo_entropy(seed: u8) -> impl EntropySource {
@@ -56,6 +57,11 @@ fn main() {
     );
     let cfg = ServiceConfig::default();
     let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
+    // One registry for the whole control plane: attached before any
+    // join, so every verifier verdict, bank take and simulator run of
+    // the demo lands in it.
+    let reg = Registry::new();
+    svc.attach_telemetry(&reg);
 
     println!("== enrollment (calibrate + SAKE over the wire codec) ==");
     let platform = SgxPlatform::new([0x42; 16]);
@@ -143,6 +149,16 @@ fn main() {
         "network: {} sent, {} delivered, {} dropped, {} fault-delayed",
         stats.sent, stats.delivered, stats.dropped, stats.fault_delayed
     );
+
+    // The unified telemetry view of the same story: the scrape-ready
+    // round-lifecycle and verdict series (the full export also carries
+    // per-device bank and simulator families — see DESIGN.md §8).
+    println!("\n== telemetry (service_* / verifier_* scrape excerpt) ==");
+    for line in reg.to_prometheus().lines() {
+        if line.starts_with("service_") || line.starts_with("verifier_rejects_total") {
+            println!("  {line}");
+        }
+    }
 
     assert_eq!(svc.state_of("gpu-evil"), Some(DeviceState::Quarantined));
     assert_eq!(svc.state_of("gpu-big"), Some(DeviceState::Trusted));

@@ -14,7 +14,9 @@
 //!   user kernels),
 //! - [`attacks`] — the §8 adversary library,
 //! - [`service`] — the fleet attestation control plane (wire codec,
-//!   simulated transport, lifecycle state machine, policy engine).
+//!   simulated transport, lifecycle state machine, policy engine),
+//! - [`telemetry`] — the dependency-free observability core (counters,
+//!   histograms, spans, stable-schema exporters).
 
 pub use sage as core;
 pub use sage_attacks as attacks;
@@ -23,5 +25,6 @@ pub use sage_gpu_sim as gpu;
 pub use sage_isa as isa;
 pub use sage_service as service;
 pub use sage_sgx_sim as sgx;
+pub use sage_telemetry as telemetry;
 pub use sage_trng as trng;
 pub use sage_vf as vf;

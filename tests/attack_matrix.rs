@@ -1,0 +1,513 @@
+//! The attack-matrix conformance suite: every adversary module from
+//! `crates/attacks` (paper §8) is mounted against a calibrated,
+//! telemetry-attached [`Verifier`] and must be rejected on **both**
+//! verdict paths — the classic online-replay path
+//! ([`Verifier::check_response`]) and the PR-3 bank-hit fast path
+//! ([`Verifier::check_response_precomputed`] fed from a stocked
+//! [`ChallengeBank`]). 7 attacks × 2 paths = 14 rejection cases, each
+//! asserting the error variant *and* the
+//! `verifier_rejects_total{cause, path}` telemetry label, so the
+//! observability layer is conformance-tested against the security
+//! model, not just against happy-path accounting.
+//!
+//! | Module     | Mount                                        | Cause       |
+//! |------------|----------------------------------------------|-------------|
+//! | `datasub`  | tampered fill byte in the checksummed region | wrong_value |
+//! | `forge`    | PCIe [`ReplayTap`] replays a stale result    | wrong_value |
+//! | `lepc`     | constant substitution in checksummed code    | wrong_value |
+//! | `memcopy`  | variant (b): traversal redirect to a copy    | wrong_value |
+//! | `nop`      | injected instructions inflate the loop       | too_slow    |
+//! | `proxy`    | faster remote GPU + 2× network latency       | too_slow    |
+//! | `takeover` | co-dispatched spin kernel steals SM slots    | too_slow    |
+
+use sage_repro::attacks::{
+    datasub, forge::ReplayTap, lepc, memcopy::patch_immediates, nop, proxy::faster_gpu,
+    takeover::spin_kernel, Detection,
+};
+use sage_repro::core::{timing::Calibration, GpuSession, SageError, Verifier};
+use sage_repro::crypto::{DhGroup, EntropySource};
+use sage_repro::gpu::{BusTap, Device, DeviceConfig, LaunchParams};
+use sage_repro::isa::Opcode;
+use sage_repro::sgx::SgxPlatform;
+use sage_repro::telemetry::{MetricValue, Registry};
+use sage_repro::vf::{BankConfig, VfParams};
+
+/// Which rejection the attack must produce, mirroring the telemetry
+/// `cause` label values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Cause {
+    WrongValue,
+    TooSlow,
+}
+
+impl Cause {
+    fn label(self) -> &'static str {
+        match self {
+            Cause::WrongValue => "wrong_value",
+            Cause::TooSlow => "too_slow",
+        }
+    }
+}
+
+/// An attack mounted and ready to be judged: a calibrated verifier plus
+/// the attacked device's response to one fresh-challenge round.
+/// `respond` returns `Some(got)` for the value actually read back from
+/// the device, or `None` when the adversary preserves the correct value
+/// (timing-only attacks — the harness substitutes the expected
+/// checksum); the second element is the measured exchange time.
+/// A device's answer to one round: `Some(got)` for the value actually
+/// read back, `None` when the adversary preserves the correct value;
+/// plus the measured exchange time.
+type Response = (Option<[u32; 8]>, u64);
+/// The attacked device, as the harness drives it: challenges in,
+/// response out.
+type Responder = Box<dyn FnMut(&[[u8; 16]]) -> Response>;
+
+struct Scenario {
+    verifier: Verifier,
+    respond: Responder,
+    cause: Cause,
+}
+
+fn entropy(seed: u8) -> impl EntropySource {
+    let mut state = seed;
+    move |buf: &mut [u8]| {
+        for b in buf {
+            state = state.wrapping_mul(181).wrapping_add(101);
+            *b = state;
+        }
+    }
+}
+
+/// Installs a session and calibrates a fresh verifier on it while the
+/// device is still honest (attacks are mounted afterwards).
+fn calibrated(
+    cfg: &DeviceConfig,
+    params: &VfParams,
+    fill_seed: u32,
+    cal_runs: usize,
+    seed: u8,
+) -> (GpuSession, Verifier) {
+    let dev = Device::new(cfg.clone());
+    let mut session = GpuSession::install(dev, params, fill_seed).unwrap();
+    let enclave = SgxPlatform::new([seed; 16]).launch(b"verifier", &mut entropy(seed));
+    let mut verifier = Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
+    verifier.calibrate(&mut session, cal_runs).unwrap();
+    (session, verifier)
+}
+
+/// Reads one counter series out of the registry, by exact label match.
+fn counter_value(reg: &Registry, name: &str, labels: &[(&str, &str)]) -> u64 {
+    for (n, ls, v) in reg.collect() {
+        let same = n == name
+            && ls.len() == labels.len()
+            && ls
+                .iter()
+                .zip(labels)
+                .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2);
+        if same {
+            match v {
+                MetricValue::Counter(c) => return c,
+                other => panic!("{name} is not a counter: {other:?}"),
+            }
+        }
+    }
+    panic!("series {name}{labels:?} not found");
+}
+
+fn assert_cause(attack: &str, path: &str, err: &SageError, cause: Cause) {
+    let ok = matches!(
+        (cause, err),
+        (Cause::WrongValue, SageError::ChecksumMismatch { .. })
+            | (Cause::TooSlow, SageError::TimingExceeded { .. })
+    );
+    assert!(ok, "{attack}/{path}: expected {cause:?}, got {err:?}");
+}
+
+/// Judges the mounted attack on both verdict paths and asserts the
+/// rejection plus its telemetry labels. This is the shared core of all
+/// 14 matrix cases.
+fn assert_rejected_on_both_paths(attack: &'static str, mut sc: Scenario) {
+    let reg = Registry::new();
+    sc.verifier.attach_telemetry(&reg, &[("attack", attack)]);
+    let cause = sc.cause.label();
+
+    // Classic path: fresh challenges, online replay inside the verdict.
+    let ch = sc.verifier.generate_challenges();
+    let (got, measured) = (sc.respond)(&ch);
+    let got = got.unwrap_or_else(|| sc.verifier.expected(&ch));
+    let err = sc.verifier.check_response(&ch, got, measured).unwrap_err();
+    assert_cause(attack, "classic", &err, sc.cause);
+    assert_eq!(
+        counter_value(
+            &reg,
+            "verifier_rejects_total",
+            &[("attack", attack), ("cause", cause), ("path", "classic")],
+        ),
+        1,
+        "{attack}: classic reject must be labeled cause={cause}",
+    );
+
+    // PR-3 bank-hit fast path: the expected checksum comes out of a
+    // synchronously stocked bank (workers = 0, deterministic), so the
+    // judged round does zero replay.
+    sc.verifier.enable_fast_path(BankConfig {
+        capacity: 4,
+        workers: 0,
+    });
+    sc.verifier.prefill_rounds(2);
+    let (ch, precomputed) = sc.verifier.prepare_round();
+    let expected = precomputed.expect("prefilled workers=0 bank must hit");
+    let (got, measured) = (sc.respond)(&ch);
+    let got = got.unwrap_or(expected);
+    let err = sc
+        .verifier
+        .check_response_precomputed(expected, got, measured)
+        .unwrap_err();
+    assert_cause(attack, "precomputed", &err, sc.cause);
+    assert_eq!(
+        counter_value(
+            &reg,
+            "verifier_rejects_total",
+            &[
+                ("attack", attack),
+                ("cause", cause),
+                ("path", "precomputed")
+            ],
+        ),
+        1,
+        "{attack}: fast-path reject must be labeled cause={cause}",
+    );
+
+    // The bank round that fed the fast path is visible under the same
+    // attack label, and neither path accepted anything.
+    assert!(counter_value(&reg, "vf_bank_hits_total", &[("attack", attack)]) >= 1);
+    for path in ["classic", "precomputed"] {
+        assert_eq!(
+            counter_value(
+                &reg,
+                "verifier_accepts_total",
+                &[("attack", attack), ("path", path)],
+            ),
+            0,
+            "{attack}: no accept may leak through on the {path} path",
+        );
+    }
+}
+
+/// Data substitution (§8): one tampered byte in the checksummed fill.
+/// `iterations = 40` gives the pseudo-random traversal the same
+/// near-certain coverage the module's own experiment uses.
+#[test]
+fn datasub_rejected_on_both_paths() {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 40;
+
+    // Module-level conformance: the packaged mount agrees on the cause.
+    assert_eq!(
+        datasub::naive_tamper(&DeviceConfig::sim_tiny(), &params, 256).unwrap(),
+        Detection::WrongChecksum
+    );
+
+    let (mut session, verifier) = calibrated(&DeviceConfig::sim_tiny(), &params, 0xDA7A, 5, 11);
+    let layout = session.build().layout;
+    let addr = layout.base + layout.fill_off + 256;
+    let orig = session.dev.peek(addr, 1).unwrap()[0];
+    session.dev.poke(addr, &[orig ^ 0x3C]).unwrap();
+
+    assert_rejected_on_both_paths(
+        "datasub",
+        Scenario {
+            verifier,
+            respond: Box::new(move |ch| {
+                let (got, measured) = session.run_checksum(ch).unwrap();
+                (Some(got), measured)
+            }),
+            cause: Cause::WrongValue,
+        },
+    );
+}
+
+/// Pre-computation / replay (§8): a PCIe interposer records the first
+/// result readback and substitutes it into every later round. Fresh
+/// challenges make the stale answer wrong.
+#[test]
+fn forge_rejected_on_both_paths() {
+    let params = VfParams::test_tiny();
+    let (mut session, verifier) = calibrated(&DeviceConfig::sim_tiny(), &params, 0x4E94, 5, 23);
+    let result_addr = session.build().layout.result_addr();
+    session
+        .dev
+        .install_bus_tap(Box::new(ReplayTap::new(result_addr)));
+
+    // Recording round: the tap captures this (honest) result and will
+    // replay it against every fresh challenge the harness issues.
+    let recorded_ch: Vec<[u8; 16]> = (0..params.grid_blocks)
+        .map(|b| [b as u8 ^ 0x17; 16])
+        .collect();
+    session.run_checksum(&recorded_ch).unwrap();
+
+    assert_rejected_on_both_paths(
+        "forge",
+        Scenario {
+            verifier,
+            respond: Box::new(move |ch| {
+                let (got, measured) = session.run_checksum(ch).unwrap();
+                (Some(got), measured)
+            }),
+            cause: Cause::WrongValue,
+        },
+    );
+}
+
+/// LEPC constant substitution (§5.2.2). First the module's premise,
+/// executably: a `MOV` of the forged PC reproduces `LEPC` bit-exactly.
+/// Then the consequence for SAGE: the substituted constant lives in
+/// checksummed bytes (here the reference loop image's absolute epilog
+/// branch target), so the traversal folds the forgery into the value.
+#[test]
+fn lepc_rejected_on_both_paths() {
+    // Premise: constant substitution perfectly forges a PC-folding
+    // checksum (why folding LEPC alone is not a defence).
+    let mut dev = Device::new(DeviceConfig::sim_tiny());
+    let out = dev.alloc(4).unwrap();
+    let base = dev.alloc(1024).unwrap();
+    let genuine = lepc::pc_checksum_kernel(out, true, 0);
+    let (honest_value, _) = lepc::run_at(&mut dev, &genuine, base, out).unwrap();
+    let base2 = dev.alloc(1024).unwrap();
+    let forged = lepc::pc_checksum_kernel(out, false, base + 16);
+    let (forged_value, _) = lepc::run_at(&mut dev, &forged, base2, out).unwrap();
+    assert_eq!(forged_value, honest_value, "LEPC forged bit-exactly");
+
+    // Consequence on the real VF: substitute the absolute epilog-branch
+    // immediate inside the (checksummed, never-executed) reference loop
+    // image — the same edit a relocating adversary needs — and the
+    // value verdict catches it.
+    let mut params = VfParams::test_tiny();
+    params.iterations = 40;
+    let (mut session, verifier) = calibrated(&DeviceConfig::sim_tiny(), &params, 0x1E9C, 5, 31);
+    let layout = session.build().layout;
+    let ref_addr = layout.base + layout.ref_loop_off;
+    let mut ref_img = session.dev.peek(ref_addr, layout.loop_bytes).unwrap();
+    let patched = patch_immediates(
+        &mut ref_img,
+        Opcode::Bra,
+        layout.base + layout.epilog_off,
+        layout.base + layout.epilog_off + 64,
+    );
+    assert!(
+        patched >= 1,
+        "reference loop must carry the absolute target"
+    );
+    session.dev.poke(ref_addr, &ref_img).unwrap();
+
+    assert_rejected_on_both_paths(
+        "lepc",
+        Scenario {
+            verifier,
+            respond: Box::new(move |ch| {
+                let (got, measured) = session.run_checksum(ch).unwrap();
+                (Some(got), measured)
+            }),
+            cause: Cause::WrongValue,
+        },
+    );
+}
+
+/// Bus tap for the memory-copy mount: rewrites the traversal-base
+/// immediates in every upload of the executable loop copies, exactly as
+/// the module's variant (b) does (the adversary's persistent in-line
+/// patch survives the driver's per-round repair upload).
+struct LeaRedirect {
+    exec_base: u32,
+    exec_len: u32,
+    old: u32,
+    new: u32,
+}
+
+impl BusTap for LeaRedirect {
+    fn on_h2d(&mut self, addr: u32, data: &mut Vec<u8>) {
+        if addr >= self.exec_base && addr < self.exec_base + self.exec_len {
+            patch_immediates(data, Opcode::Lea, self.old, self.new);
+        }
+    }
+}
+
+/// Memory copy, variant (b) (§8, Fig. 7): tamper the original region and
+/// redirect the traversal to a pristine copy. The fold includes the
+/// absolute data pointer, so the redirect itself flips the value.
+#[test]
+fn memcopy_rejected_on_both_paths() {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 10;
+    let (mut session, verifier) = calibrated(&DeviceConfig::sim_tiny(), &params, 0xB00B, 5, 41);
+    let layout = session.build().layout;
+
+    let copy_base = session.dev.alloc(layout.data_bytes).unwrap();
+    let pristine = session.dev.peek(layout.base, layout.data_bytes).unwrap();
+    session.dev.poke(copy_base, &pristine).unwrap();
+    let t = layout.base + layout.fill_off + 128;
+    session.dev.poke(t, &[0xEE]).unwrap();
+    session.dev.install_bus_tap(Box::new(LeaRedirect {
+        exec_base: layout.base + layout.exec_loops_off,
+        exec_len: layout.loop_bytes * layout.num_blocks,
+        old: layout.base,
+        new: copy_base,
+    }));
+
+    assert_rejected_on_both_paths(
+        "memcopy",
+        Scenario {
+            verifier,
+            respond: Box::new(move |ch| {
+                let (got, measured) = session.run_checksum(ch).unwrap();
+                (Some(got), measured)
+            }),
+            cause: Cause::WrongValue,
+        },
+    );
+}
+
+/// Instruction injection (§7.2, experiment 2): the injected VF computes
+/// the correct value but every loop pass pays for the extra
+/// instructions. The verifier's calibration comes from genuine runs of
+/// the same configuration; the injected measurements must always exceed
+/// the threshold.
+#[test]
+fn nop_rejected_on_both_paths() {
+    let (cfg, mut params) = nop::timing_test_setup();
+    params.iterations = 50;
+    let genuine = nop::timing_samples(&cfg, &params, 0x5EED, 4).unwrap();
+    let calibration = Calibration::from_samples(&genuine);
+
+    let mut injected_params = params;
+    injected_params.injected_nops = 16;
+    let mut injected = nop::timing_samples(&cfg, &injected_params, 0x5EED, 2).unwrap();
+    assert!(
+        injected.iter().min().unwrap() > &calibration.threshold(),
+        "injected runs must separate from the genuine threshold"
+    );
+
+    // The verifier replays the genuine build; the adversary's responses
+    // carry the correct value (None) but the injected timings.
+    let dev = Device::new(cfg.clone());
+    let session = GpuSession::install(dev, &params, 0x5EED).unwrap();
+    let enclave = SgxPlatform::new([7u8; 16]).launch(b"verifier", &mut entropy(53));
+    let mut verifier = Verifier::new(enclave, session.build().clone(), DhGroup::test_group());
+    verifier.set_calibration(calibration);
+
+    assert_rejected_on_both_paths(
+        "nop",
+        Scenario {
+            verifier,
+            respond: Box::new(move |_ch| (None, injected.pop().expect("one sample per round"))),
+            cause: Cause::TooSlow,
+        },
+    );
+}
+
+/// Proxy attack (§8): a faster remote GPU computes the correct value,
+/// but the answer crosses the network twice. Same build (same params,
+/// fill seed and allocation order), so only the timing verdict fires.
+#[test]
+fn proxy_rejected_on_both_paths() {
+    const NETWORK_LATENCY: u64 = 70_000;
+    let params = VfParams::test_tiny();
+    let cfg = DeviceConfig::sim_tiny();
+    let (_genuine_session, verifier) = calibrated(&cfg, &params, 0x9409, 6, 61);
+
+    let proxy_dev = Device::new(faster_gpu(&cfg));
+    let mut proxy_session = GpuSession::install(proxy_dev, &params, 0x9409).unwrap();
+
+    assert_rejected_on_both_paths(
+        "proxy",
+        Scenario {
+            verifier,
+            respond: Box::new(move |ch| {
+                let (got, cycles) = proxy_session.run_checksum(ch).unwrap();
+                (Some(got), cycles + 2 * NETWORK_LATENCY)
+            }),
+            cause: Cause::TooSlow,
+        },
+    );
+}
+
+/// Resource takeover (§8): the adversary queues a spin kernel ahead of
+/// the VF. The VF occupies every SM at full occupancy, so the stolen
+/// slots delay the checksum visibly — value correct, time over budget.
+#[test]
+fn takeover_rejected_on_both_paths() {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 8;
+    let (mut session, verifier) = calibrated(&DeviceConfig::sim_tiny(), &params, 0x7A4E, 6, 71);
+
+    let mut spin = spin_kernel(3000);
+    let spin_base = session.dev.alloc(spin.byte_len() as u32).unwrap();
+    spin.relocate(spin_base);
+    session.dev.poke(spin_base, &spin.encode()).unwrap();
+
+    let respond = Box::new(move |ch: &[[u8; 16]]| {
+        // Malicious host runtime: replicate the driver's restore flow,
+        // then dispatch the spin kernel *before* the VF.
+        let layout = session.build().layout;
+        let exec_off = layout.exec_loops_off as usize;
+        let exec_len = (layout.loop_bytes * layout.num_blocks) as usize;
+        let exec_img = session.build().image[exec_off..exec_off + exec_len].to_vec();
+        session
+            .dev
+            .memcpy_h2d(layout.base + layout.exec_loops_off, &exec_img)
+            .unwrap();
+        session
+            .dev
+            .memcpy_h2d(layout.result_addr(), &[0u8; 32])
+            .unwrap();
+        session.dev.take_bus_cycles();
+        for (b, c) in ch.iter().enumerate() {
+            session
+                .dev
+                .memcpy_h2d(layout.challenge_addr(b as u32), c)
+                .unwrap();
+        }
+        session
+            .dev
+            .launch(LaunchParams {
+                ctx: session.ctx,
+                entry_pc: spin_base,
+                grid_dim: 2,
+                block_dim: 256,
+                regs_per_thread: 16,
+                smem_bytes: 0,
+                params: vec![],
+            })
+            .unwrap();
+        let vf_id = session
+            .dev
+            .launch(LaunchParams {
+                ctx: session.ctx,
+                entry_pc: layout.entry_addr(),
+                grid_dim: params.grid_blocks,
+                block_dim: params.block_threads,
+                regs_per_thread: session.build().regs_per_thread(),
+                smem_bytes: session.build().smem_bytes(),
+                params: vec![],
+            })
+            .unwrap();
+        let report = session.dev.run().unwrap();
+        let raw = session.dev.memcpy_d2h(layout.result_addr(), 32).unwrap();
+        let measured = session.dev.take_bus_cycles() + report.launches[vf_id].completion_cycle;
+        let mut got = [0u32; 8];
+        for (j, cell) in got.iter_mut().enumerate() {
+            *cell = u32::from_le_bytes(raw[j * 4..j * 4 + 4].try_into().expect("4 bytes"));
+        }
+        (Some(got), measured)
+    });
+
+    assert_rejected_on_both_paths(
+        "takeover",
+        Scenario {
+            verifier,
+            respond,
+            cause: Cause::TooSlow,
+        },
+    );
+}
