@@ -25,9 +25,10 @@ cargo test -q -p sage-telemetry
 echo "==> attack matrix (7 attacks x classic + precomputed verdict paths)"
 cargo test -q --test attack_matrix
 
-echo "==> simperf smoke (1 iteration, 1 repeat, bit-exactness cross-checked)"
+echo "==> simperf smoke (1 iteration, 1 repeat, >=3x parallel-mode gate)"
 cargo run -q --release -p sage-bench --bin simperf -- \
-    --iterations 1 --repeats 1 --out /tmp/BENCH_sim_smoke.json
+    --iterations 1 --repeats 1 --min-speedup 3 \
+    --out /tmp/BENCH_sim_smoke.json
 
 echo "==> svcperf smoke (fixed seed, snapshot asserted non-empty)"
 cargo run -q --release -p sage-bench --bin svcperf -- \
@@ -37,7 +38,7 @@ test -s /tmp/BENCH_svc_smoke.json
 echo "==> modpow suite (Montgomery vs reference oracle, seeded)"
 cargo test -q --release -p sage-crypto montgomery
 
-echo "==> fastpath smoke (fixed seed, speedup gates active)"
+echo "==> fastpath smoke (fixed seed, round/modpow/refill speedup gates active)"
 cargo run -q --release -p sage-bench --bin fastpath -- \
     --rounds 4 --iterations 12 --calib-runs 20 --seed 7 \
     --out /tmp/BENCH_fastpath_smoke.json

@@ -166,6 +166,33 @@ fn main() {
     verifier.prefill_rounds(rounds);
     let prefill_wall = t.elapsed().as_secs_f64();
 
+    // Scalar-oracle refill arm: the same number of rounds recomputed
+    // with the per-lane scalar engine the batched SoA engine replaced
+    // (kept in-tree as the oracle, same thread-per-core parallelism the
+    // seed refill path had). The within-run ratio against the pooled
+    // batched prefill above isolates the engine change, so the CI gate
+    // on it is host-independent.
+    let scalar_transcript: Vec<Vec<[u8; 16]>> = (0..rounds)
+        .map(|_| verifier.generate_challenges())
+        .collect();
+    let t = Instant::now();
+    let scalar_sums: Vec<[u32; 8]> = scalar_transcript
+        .iter()
+        .map(|ch| expected_checksum_unpooled(&build, ch))
+        .collect();
+    let scalar_refill_wall = t.elapsed().as_secs_f64();
+    for (ch, scalar) in scalar_transcript.iter().zip(&scalar_sums) {
+        assert_eq!(
+            *scalar,
+            expected_checksum(&build, ch),
+            "batched engine diverged from the scalar oracle"
+        );
+    }
+    let refill_speedup = scalar_refill_wall / prefill_wall.max(1e-12);
+    eprintln!(
+        "refill: batched prefill {prefill_wall:.3}s vs scalar oracle {scalar_refill_wall:.3}s for {rounds} rounds  ({refill_speedup:.1}x)"
+    );
+
     // The replay arm's challenge/response transcript, produced untimed:
     // an honest device's response equals the replayed expected value.
     let replay_transcript: Vec<(Vec<[u8; 16]>, [u32; 8])> = (0..rounds)
@@ -280,15 +307,20 @@ fn main() {
             modpow_speedup >= 3.0,
             "Montgomery modpow only {modpow_speedup:.1}x faster than reference (need >= 3x)"
         );
+        assert!(
+            refill_speedup >= 5.0,
+            "batched bank refill only {refill_speedup:.1}x faster than the scalar oracle (need >= 5x)"
+        );
     }
 
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host\": {},\n", sage_bench::host_stanza()));
     out.push_str(&format!(
         "  \"seed\": {seed},\n  \"vf\": {{\"grid_blocks\": {}, \"block_threads\": {}, \"iterations\": {}}},\n",
         params.grid_blocks, params.block_threads, params.iterations
     ));
     out.push_str(&format!(
-        "  \"rounds\": {{\"count\": {rounds}, \"prefill_wall_seconds\": {prefill_wall:.6}, \"bank_wall_seconds\": {bank_wall:.6}, \"replay_wall_seconds\": {replay_wall:.6}, \"speedup\": {round_speedup:.2}, \"bit_exact\": true}},\n"
+        "  \"rounds\": {{\"count\": {rounds}, \"prefill_wall_seconds\": {prefill_wall:.6}, \"scalar_refill_wall_seconds\": {scalar_refill_wall:.6}, \"refill_speedup\": {refill_speedup:.2}, \"bank_wall_seconds\": {bank_wall:.6}, \"replay_wall_seconds\": {replay_wall:.6}, \"speedup\": {round_speedup:.2}, \"bit_exact\": true}},\n"
     ));
     out.push_str(&format!(
         "  \"modpow_2048\": {{\"reps\": {reps}, \"reference_wall_seconds\": {old_wall:.6}, \"montgomery_wall_seconds\": {mont_wall:.6}, \"speedup\": {modpow_speedup:.2}, \"bit_exact\": true}},\n"

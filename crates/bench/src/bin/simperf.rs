@@ -25,6 +25,7 @@
 //!
 //! Usage:
 //!   simperf [--sequential] [--iterations N] [--repeats N] [--out PATH]
+//!           [--min-speedup X]
 //!
 //! `--sequential` measures only the reference mode (no speedup figures);
 //! the default measures both and reports parallel-over-sequential
@@ -32,7 +33,10 @@
 //! (default 2; CI smoke uses 1). Each mode is run `--repeats` times
 //! (default 5) and the best wall-clock is reported — the minimum is the
 //! standard noise-robust estimator for a deterministic workload on a
-//! shared machine.
+//! shared machine. `--min-speedup X` (CI gate) exits non-zero unless the
+//! ptx-naive workload's parallel-over-sequential speedup is at least
+//! `X` — a within-run ratio, so the gate holds regardless of how fast
+//! the host itself is.
 
 use std::time::Instant;
 
@@ -221,6 +225,7 @@ fn json_escape_free(s: &str) -> &str {
 
 fn write_json(path: &str, cfg: &DeviceConfig, iterations: u32, workloads: &[WorkloadResult]) {
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host\": {},\n", sage_bench::host_stanza()));
     out.push_str(&format!(
         "  \"device\": \"{}\",\n  \"num_sms\": {},\n",
         json_escape_free(cfg.name),
@@ -264,6 +269,7 @@ fn main() {
     let mut sequential_only = false;
     let mut iterations = 2u32;
     let mut repeats = 5u32;
+    let mut min_speedup = 0.0f64;
     let mut out_path = String::from("BENCH_sim.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -281,11 +287,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--repeats N");
             }
+            "--min-speedup" => {
+                min_speedup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-speedup X");
+            }
             "--out" => out_path = args.next().expect("--out PATH"),
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: simperf [--sequential] [--iterations N] [--repeats N] [--out PATH]"
+                    "usage: simperf [--sequential] [--iterations N] [--repeats N] [--out PATH] [--min-speedup X]"
                 );
                 std::process::exit(2);
             }
@@ -335,4 +347,17 @@ fn main() {
         }
     }
     println!("wrote {out_path}");
+
+    if min_speedup > 0.0 {
+        let gated = workloads
+            .iter()
+            .find(|w| w.label == "ptx-naive")
+            .and_then(|w| w.speedup)
+            .expect("--min-speedup needs the two-mode ptx-naive measurement");
+        assert!(
+            gated >= min_speedup,
+            "ptx-naive parallel mode only {gated:.2}x over sequential (need >= {min_speedup}x)"
+        );
+        eprintln!("gate: ptx-naive speedup {gated:.2}x >= {min_speedup}x — ok");
+    }
 }

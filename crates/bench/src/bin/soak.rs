@@ -412,7 +412,8 @@ fn main() {
     }
 
     let out = format!(
-        "{{\n  \"devices\": {devices},\n  \"ticks\": {ticks},\n  \"chaos_runs\": {CHAOS_RUNS},\n  \"seeds\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"host\": {},\n  \"devices\": {devices},\n  \"ticks\": {ticks},\n  \"chaos_runs\": {CHAOS_RUNS},\n  \"seeds\": [\n{}\n  ]\n}}\n",
+        sage_bench::host_stanza(),
         reports.join(",\n")
     );
     std::fs::write(&out_path, out).expect("write BENCH_soak.json");

@@ -211,6 +211,7 @@ fn main() {
     }
 
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host\": {},\n", sage_bench::host_stanza()));
     out.push_str(&format!(
         "  \"seed\": {seed},\n  \"rounds_per_rep\": {rounds},\n  \"reps\": {reps},\n  \"vf_blocks\": {blocks},\n  \"vf_iterations\": {iterations},\n"
     ));

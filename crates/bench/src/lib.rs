@@ -226,6 +226,27 @@ pub fn measure(
     })
 }
 
+/// The shared `host` stanza every `BENCH_*.json` artifact embeds, so a
+/// recorded number can always be traced to the machine that produced it
+/// (wall-clock figures are meaningless across hosts otherwise). Returns
+/// a JSON object: `{"cores": N, "rustc": "rustc 1.x.y (…)"}`.
+pub fn host_stanza() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    format!(
+        "{{\"cores\": {cores}, \"rustc\": \"{}\"}}",
+        rustc.escape_default()
+    )
+}
+
 /// Renders a list of `(row label, values per column)` as an aligned text
 /// table.
 pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<String>)]) {

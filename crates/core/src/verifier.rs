@@ -6,6 +6,7 @@ use sage_sgx_sim::{Enclave, Quote};
 use sage_telemetry::{Counter, Histogram, Registry};
 use sage_vf::{
     codegen::VfBuild, expected_checksum, BankConfig, BankCounters, ChallengeBank, Fingerprint,
+    ReplayPool,
 };
 
 use crate::{
@@ -202,9 +203,15 @@ impl Verifier {
     /// without the fast path). With `workers == 0` this is the only way
     /// stock appears — deterministic tests and the offline phase of
     /// benchmarks use it.
+    ///
+    /// Every `(round, block)` replay is scheduled on the shared
+    /// [`ReplayPool`] as one flat job list ([`ChallengeBank::fill_parallel`]),
+    /// so prefill saturates the verifier host's cores instead of
+    /// parallelizing only within one round at a time. The stocked
+    /// sequence is identical to the round-serial fill.
     pub fn prefill_rounds(&mut self, n: usize) {
         if let Some(bank) = &self.bank {
-            bank.fill(n);
+            bank.fill_parallel(n, ReplayPool::global());
         }
     }
 

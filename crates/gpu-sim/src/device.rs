@@ -132,6 +132,24 @@ pub struct Device {
     trace_capacity: Option<usize>,
     exec_mode: ExecMode,
     telemetry: Option<crate::telemetry::SimTelemetry>,
+    /// Bump arena for per-run transient device state (launch parameter
+    /// blocks): carved out of device memory lazily on first use, then
+    /// *reset* — not reallocated — at every run, so a long-lived device
+    /// no longer leaks address space one parameter block per launch.
+    param_arena: Option<ParamArena>,
+    /// Reusable host staging buffer for parameter-block DMA.
+    param_stage: Vec<u8>,
+}
+
+/// The per-run parameter-block arena. [`Device::run`] rewinds `cursor`
+/// to zero at entry and bumps it per launch; when a run needs more than
+/// `capacity`, a larger region is carved and the old one is abandoned
+/// (device memory is a bump allocator with no free, so growth is the
+/// rare path and steady state allocates nothing).
+struct ParamArena {
+    base: u32,
+    capacity: u32,
+    cursor: u32,
 }
 
 impl Device {
@@ -154,6 +172,8 @@ impl Device {
             trace_capacity: None,
             exec_mode: ExecMode::default(),
             telemetry: None,
+            param_arena: None,
+            param_stage: Vec::new(),
             cfg,
         }
     }
@@ -258,6 +278,14 @@ impl Device {
         Ok(base)
     }
 
+    /// Device-memory allocation watermark: the address the next
+    /// [`Device::alloc`] would return. Steady-state runs keep this flat
+    /// (per-run parameter blocks come from a reused arena); growth
+    /// means genuinely new allocations.
+    pub fn alloc_watermark(&self) -> u32 {
+        self.alloc_next
+    }
+
     /// Copies host bytes to device memory over the (tappable) bus.
     pub fn memcpy_h2d(&mut self, addr: u32, data: &[u8]) -> Result<()> {
         let mut buf = data.to_vec();
@@ -344,12 +372,38 @@ impl Device {
         }
         let mut per_sm: Vec<Vec<PendingBlock>> = vec![Vec::new(); self.cfg.num_sms as usize];
         let mut launches: Vec<LaunchReport> = vec![LaunchReport::default(); queued.len()];
+
+        // Rewind (or grow) the parameter-block arena for this run. Sizing
+        // up front keeps the hot path a pure cursor bump per launch.
+        let needed: u32 = queued
+            .iter()
+            .map(|lp| (lp.params.len() as u32 * 4).max(4).div_ceil(16) * 16)
+            .sum();
+        match &mut self.param_arena {
+            Some(a) if a.capacity >= needed => a.cursor = 0,
+            _ => {
+                let base = self.alloc(needed)?;
+                self.param_arena = Some(ParamArena {
+                    base,
+                    capacity: needed,
+                    cursor: 0,
+                });
+            }
+        }
+
         let mut rr = 0usize;
         for (launch_id, lp) in queued.iter().enumerate() {
-            // Parameter block.
-            let param_base = self.alloc((lp.params.len() as u32 * 4).max(4))?;
-            let bytes: Vec<u8> = lp.params.iter().flat_map(|w| w.to_le_bytes()).collect();
-            self.mem.write_bytes(param_base, &bytes)?;
+            // Parameter block: bump-allocated from the per-run arena.
+            let param_base = {
+                let a = self.param_arena.as_mut().expect("arena sized above");
+                let base = a.base + a.cursor;
+                a.cursor += (lp.params.len() as u32 * 4).max(4).div_ceil(16) * 16;
+                base
+            };
+            self.param_stage.clear();
+            self.param_stage
+                .extend(lp.params.iter().flat_map(|w| w.to_le_bytes()));
+            self.mem.write_bytes(param_base, &self.param_stage)?;
             let submit_cycle = self.cfg.lat.pcie as u64 * (self.launch_counter as u64 + 1);
             self.launch_counter += 1;
             for cta in 0..lp.grid_dim {
@@ -607,6 +661,44 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_fold_exports_opcode_dispatch_mix() {
+        let mut dev = device();
+        let reg = sage_telemetry::Registry::new();
+        dev.install_telemetry(&reg, &[("device", "t0")]);
+        let ctx = dev.create_context();
+        let (code, out) = simple_kernel(&mut dev);
+        dev.run_single(LaunchParams {
+            ctx,
+            entry_pc: code,
+            grid_dim: 4,
+            block_dim: 64,
+            regs_per_thread: 8,
+            smem_bytes: 0,
+            params: vec![out],
+        })
+        .unwrap();
+        let series = reg.collect();
+        let opcode_series: Vec<_> = series
+            .iter()
+            .filter(|(name, _, _)| name == "sim_opcode_issues_total")
+            .collect();
+        // The kernel issues IMAD, S2R, LDG, STG, LEA, EXIT — all within
+        // the top-8 cut, each a distinct labeled series.
+        assert!(
+            opcode_series.len() >= 5,
+            "expected a dispatch mix, got {opcode_series:?}"
+        );
+        let imad = opcode_series
+            .iter()
+            .find(|(_, labels, _)| labels.iter().any(|(k, v)| k == "opcode" && v == "IMAD"))
+            .expect("IMAD series present");
+        match imad.2 {
+            sage_telemetry::MetricValue::Counter(n) => assert!(n > 0),
+            ref v => panic!("unexpected metric value {v:?}"),
+        }
+    }
+
+    #[test]
     fn launch_validation() {
         let mut dev = device();
         let ctx = dev.create_context();
@@ -640,6 +732,32 @@ mod tests {
         assert!(b >= a + 100);
         assert_eq!(b % 16, 0);
         assert!(dev.alloc(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_param_arena() {
+        let mut dev = device();
+        let ctx = dev.create_context();
+        let (code, out) = simple_kernel(&mut dev);
+        let lp = || LaunchParams {
+            ctx,
+            entry_pc: code,
+            grid_dim: 2,
+            block_dim: 32,
+            regs_per_thread: 8,
+            smem_bytes: 0,
+            params: vec![out],
+        };
+        dev.run_single(lp()).unwrap();
+        let after_first = dev.alloc_watermark();
+        for _ in 0..5 {
+            dev.run_single(lp()).unwrap();
+        }
+        assert_eq!(
+            dev.alloc_watermark(),
+            after_first,
+            "steady-state runs must not grow device memory (arena reuse)"
+        );
     }
 
     #[test]

@@ -137,8 +137,39 @@ fn lop3_word(a: u32, b: u32, c: u32, lut: u8) -> u32 {
 /// Executes `insn` on `warp` in `env`, updating architectural state and
 /// advancing the PC. Scheduling (stalls, scoreboards, ports) is the SM's
 /// job; this function is purely functional semantics.
-#[allow(clippy::too_many_lines)]
+///
+/// On x86-64 hosts with AVX2 this dispatches to a
+/// `#[target_feature(enable = "avx2")]` clone of the interpreter body:
+/// the baseline x86-64 target (SSE2) cannot vectorize the 32-lane
+/// integer-multiply rows (`IMAD` etc. — no packed 32-bit multiply), so
+/// only the AVX2 clone gets SIMD lane loops. Lane semantics are
+/// value-identical on both paths (wrapping integer ops; the float ops
+/// are IEEE-exact scalar-or-vector), so dispatch cannot change
+/// architectural state.
 pub fn execute(warp: &mut Warp, insn: &Instruction, env: &mut ExecEnv<'_>) -> Result<Effect> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { execute_avx2(warp, insn, env) };
+    }
+    execute_impl(warp, insn, env)
+}
+
+/// AVX2-enabled clone of [`execute_impl`]; the attribute lets LLVM use
+/// 256-bit integer ops for the lane loops inlined below.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn execute_avx2(
+    warp: &mut Warp,
+    insn: &Instruction,
+    env: &mut ExecEnv<'_>,
+) -> Result<Effect> {
+    execute_impl(warp, insn, env)
+}
+
+#[allow(clippy::too_many_lines)]
+#[inline(always)]
+fn execute_impl(warp: &mut Warp, insn: &Instruction, env: &mut ExecEnv<'_>) -> Result<Effect> {
     let guard = warp.guard_mask(insn.pred.reg.0, insn.pred.neg);
     let mask = warp.active & guard;
     let pc = warp.pc;

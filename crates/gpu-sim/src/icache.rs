@@ -10,7 +10,8 @@
 //! invalidates a line everywhere, modelling the instruction-cache
 //! `discard` the paper wishes vendors exposed.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sage_isa::{DecodeError, Instruction, INSN_BYTES};
 
@@ -23,7 +24,32 @@ use crate::{
 /// A decoded cache line: one decode result per 16-byte slot. `Arc` (not
 /// `Rc`) so a hierarchy — and the SM that owns it — can move to a worker
 /// thread in `Device::run`.
-type DecodedLine = Arc<[std::result::Result<Instruction, DecodeError>]>;
+pub type DecodedLine = Arc<[std::result::Result<Instruction, DecodeError>]>;
+
+/// Upper bound on the process-wide content-addressed decode cache. SMC
+/// workloads mint a fresh line content per patch, so the cache must be
+/// bounded; on overflow it is simply cleared (decode is a pure function
+/// of the bytes, so dropping entries only costs re-decodes).
+const DECODE_CACHE_MAX: usize = 1 << 16;
+
+/// Decodes a line's bytes through the process-wide content-addressed
+/// cache: identical bytes decode once per process, no matter how many
+/// SMs, devices or runs fetch them. Sound because decoding is a pure
+/// function of the bytes.
+fn decode_line_cached(bytes: &[u8]) -> DecodedLine {
+    static CACHE: OnceLock<Mutex<HashMap<Box<[u8]>, DecodedLine>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(line) = map.get(bytes) {
+        return line.clone();
+    }
+    let line: DecodedLine = sage_isa::encode::decode_line(bytes).into();
+    if map.len() >= DECODE_CACHE_MAX {
+        map.clear();
+    }
+    map.insert(bytes.into(), line.clone());
+    line
+}
 
 /// Where a fetch was satisfied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -171,6 +197,15 @@ pub struct IcacheHierarchy {
     l1: CacheLevel,
     l2: CacheLevel,
     line_bytes: u32,
+    /// Decode-once cache: line address → (memory write generation at
+    /// decode time, decoded line). Purely a host-side optimization — the
+    /// modelled hierarchy above still misses, fills and evicts exactly as
+    /// before; this only skips re-running the decoder when a memory fill
+    /// re-reads bytes that provably have not changed (same page
+    /// generation). Self-modifying code invalidates naturally: the store
+    /// bumps the page generation, so the next fill after eviction
+    /// re-decodes and observes the patch.
+    decoded: HashMap<u32, (u64, DecodedLine)>,
 }
 
 impl IcacheHierarchy {
@@ -184,6 +219,7 @@ impl IcacheHierarchy {
             l1: CacheLevel::new(cfg.l1i_bytes, line, 4),
             l2: CacheLevel::new(cfg.l2i_bytes, line, 8),
             line_bytes: line,
+            decoded: HashMap::new(),
         }
     }
 
@@ -225,6 +261,16 @@ impl IcacheHierarchy {
         self.l0[partition].lookup_slot(line_addr, slot)
     }
 
+    /// Probes the per-partition L0i for a whole line (updating LRU state
+    /// on a hit) and returns a handle to it. The superblock fast path
+    /// uses this to consume several consecutive slots off one probe;
+    /// collapsing back-to-back touches of the same line into one is
+    /// LRU-equivalent because victim selection only compares the *order*
+    /// of last uses, which such a collapse preserves.
+    pub fn lookup_l0_line(&mut self, partition: usize, line_addr: u32) -> Option<DecodedLine> {
+        self.l0[partition].lookup(line_addr)
+    }
+
     /// Satisfies an L0 miss from L1 → L2 → device memory, installing the
     /// line at every level on the way in (inclusive hierarchy). Callers
     /// must have missed in L0 first (an L0 miss leaves no LRU trace, so
@@ -250,8 +296,20 @@ impl IcacheHierarchy {
         // Fill from device memory, pre-decoding a snapshot of the bytes:
         // every slot of the line is decoded once at install time and the
         // decoded form is what hits return until the line is evicted.
-        let bytes = mem.read_bytes(line_addr, self.line_bytes)?;
-        let decoded: DecodedLine = sage_isa::encode::decode_line(&bytes).into();
+        // The generation must be loaded *before* the bytes: a racing
+        // store can then at worst leave a stale generation paired with
+        // fresh bytes (re-decoded needlessly on the next fill), never
+        // the reverse.
+        let generation = mem.write_generation(line_addr);
+        let decoded: DecodedLine = match self.decoded.get(&line_addr) {
+            Some((gen, line)) if *gen == generation => line.clone(),
+            _ => {
+                let bytes = mem.read_bytes(line_addr, self.line_bytes)?;
+                let line = decode_line_cached(&bytes);
+                self.decoded.insert(line_addr, (generation, line.clone()));
+                line
+            }
+        };
         self.l2.install(line_addr, decoded.clone());
         self.l1.install(line_addr, decoded.clone());
         self.l0[partition].install(line_addr, decoded.clone());

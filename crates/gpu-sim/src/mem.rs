@@ -13,15 +13,26 @@
 //! ordering; everything else is either SM-private or separated by the
 //! thread join at the end of a launch, which synchronizes.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::error::{Result, SimError};
+
+/// Bytes covered by one write-generation counter (must be a power of
+/// two, and at least as large as any icache line so a line never spans
+/// two pages).
+const GEN_PAGE_BYTES: u32 = 4096;
 
 /// Flat device memory with bounds- and alignment-checked accessors.
 #[derive(Debug)]
 pub struct GlobalMemory {
     /// Backing words, little-endian byte order within each word.
     words: Box<[AtomicU32]>,
+    /// Per-page write-generation counters. Every store bumps the counter
+    /// of each page it touches *after* the data lands (release), so a
+    /// reader that loads a generation (acquire) and then the bytes can
+    /// cache derived state (e.g. a decoded icache line) keyed by that
+    /// generation: any later store invalidates the key.
+    generations: Box<[AtomicU64]>,
     /// Logical size in bytes (may be smaller than `4 * words.len()`).
     bytes: u32,
 }
@@ -34,6 +45,11 @@ impl Clone for GlobalMemory {
                 .iter()
                 .map(|w| AtomicU32::new(w.load(Ordering::Relaxed)))
                 .collect(),
+            generations: self
+                .generations
+                .iter()
+                .map(|g| AtomicU64::new(g.load(Ordering::Relaxed)))
+                .collect(),
             bytes: self.bytes,
         }
     }
@@ -43,9 +59,31 @@ impl GlobalMemory {
     /// Allocates a zeroed memory of `bytes` bytes.
     pub fn new(bytes: u32) -> GlobalMemory {
         let words = (bytes as usize).div_ceil(4);
+        let pages = (bytes as usize).div_ceil(GEN_PAGE_BYTES as usize).max(1);
         GlobalMemory {
             words: (0..words).map(|_| AtomicU32::new(0)).collect(),
+            generations: (0..pages).map(|_| AtomicU64::new(0)).collect(),
             bytes,
+        }
+    }
+
+    #[inline]
+    fn bump_generation(&self, addr: u32) {
+        let page = (addr / GEN_PAGE_BYTES) as usize;
+        self.generations[page].fetch_add(1, Ordering::Release);
+    }
+
+    /// Current write generation of the page containing `addr`. Two equal
+    /// generations bracket a window with no stores to that page, so any
+    /// pure function of the page's bytes (an instruction decode, say) may
+    /// be reused across the window. Load this *before* reading the bytes
+    /// it guards.
+    #[inline]
+    pub fn write_generation(&self, addr: u32) -> u64 {
+        let page = (addr / GEN_PAGE_BYTES) as usize;
+        match self.generations.get(page) {
+            Some(g) => g.load(Ordering::Acquire),
+            None => 0,
         }
     }
 
@@ -80,6 +118,7 @@ impl GlobalMemory {
     pub fn write_u32(&self, addr: u32, value: u32) -> Result<()> {
         let a = self.check(addr, 4, "store")?;
         self.words[a / 4].store(value, Ordering::Relaxed);
+        self.bump_generation(addr);
         Ok(())
     }
 
@@ -99,7 +138,9 @@ impl GlobalMemory {
     /// Wrapping, and genuinely atomic across the per-SM worker threads.
     pub fn atomic_add_u32(&self, addr: u32, value: u32) -> Result<u32> {
         let a = self.check(addr, 4, "atomic")?;
-        Ok(self.words[a / 4].fetch_add(value, Ordering::Relaxed))
+        let prev = self.words[a / 4].fetch_add(value, Ordering::Relaxed);
+        self.bump_generation(addr);
+        Ok(prev)
     }
 
     fn check_range(&self, addr: u32, len: u32, kind: &'static str) -> Result<()> {
@@ -153,6 +194,12 @@ impl GlobalMemory {
             }
             a += n;
             src = &src[n..];
+        }
+        let mut page = addr & !(GEN_PAGE_BYTES - 1);
+        let end = addr + bytes.len() as u32;
+        while page < end {
+            self.bump_generation(page);
+            page += GEN_PAGE_BYTES;
         }
         Ok(())
     }

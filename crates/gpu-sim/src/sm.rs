@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use sage_isa::{Instruction, Opcode, Operand, Pipeline};
+use sage_isa::{Instruction, Opcode, Operand, Pipeline, INSN_BYTES};
 
 use crate::{
     config::DeviceConfig,
@@ -458,7 +458,7 @@ impl<'a> Sm<'a> {
         gmem: &GlobalMemory,
     ) -> Result<()> {
         let pipe = insn.op.pipeline();
-        self.stats.record_issue(pipe);
+        self.stats.record_issue(insn.op);
         if let Some(trace) = &mut self.trace {
             trace.record(crate::trace::TraceRecord {
                 cycle,
@@ -634,6 +634,297 @@ impl<'a> Sm<'a> {
         }
     }
 
+    /// Finds the single live, non-barriered warp on the SM, if exactly
+    /// one warp is live — the shape the attestation workloads run (one
+    /// 32-thread block per SM). Returns its partition and warp index.
+    fn single_live_warp(&self) -> Option<(usize, usize)> {
+        let mut found: Option<(usize, usize)> = None;
+        for (p, part) in self.partitions.iter().enumerate() {
+            for &w in &part.warp_ids {
+                if self.warps[w].done {
+                    continue;
+                }
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((p, w));
+            }
+        }
+        found.filter(|&(_, w)| !self.warps[w].at_barrier)
+    }
+
+    /// Superblock fast path: issues instructions back-to-back for a lone
+    /// live warp without re-scanning the other (empty or retired)
+    /// partitions every cycle, and consumes consecutive slots of an
+    /// L0-resident line off a single probe. This replicates the general
+    /// loop's scan order exactly — same stall reasons and windows, same
+    /// fast-forward charging, same icache/jitter/stat updates, in the
+    /// same order — so it is bit-exact against tick mode; it only skips
+    /// work that provably cannot observe or produce state changes
+    /// (partitions with no live warps, `place_blocks` with an empty
+    /// queue, repeated L0 probes of a line nothing can evict mid-run).
+    ///
+    /// Returns when the warp retires, hits a barrier, or faults; the
+    /// caller re-evaluates SM state.
+    fn drain_single_warp(
+        &mut self,
+        p: usize,
+        widx: usize,
+        cycle: &mut u64,
+        gmem: &GlobalMemory,
+        cycle_limit: u64,
+    ) -> Result<()> {
+        let scan = self.partitions[p]
+            .warp_ids
+            .iter()
+            .position(|&w| w == widx)
+            .expect("warp is resident in partition");
+        'outer: loop {
+            {
+                let warp = &self.warps[widx];
+                if warp.done || warp.at_barrier {
+                    return Ok(());
+                }
+                // First failing check decides the stall reason and its
+                // expiry, exactly as the general scan would.
+                if warp.stall_until > *cycle {
+                    let t = warp.stall_until;
+                    self.charge_stall_window(StallReason::StallField, t, cycle, cycle_limit)?;
+                    continue 'outer;
+                }
+                if warp.fetch_ready_at > *cycle {
+                    let t = warp.fetch_ready_at;
+                    self.charge_stall_window(StallReason::InstructionFetch, t, cycle, cycle_limit)?;
+                    continue 'outer;
+                }
+            }
+            let pc = self.warps[widx].pc;
+            // An instruction already fetched (a memory fill that just
+            // retired): issue it without touching the L0 — tick mode
+            // would not re-probe either.
+            if let Some(&(fpc, insn)) = self.fetched[widx].as_ref() {
+                if fpc == pc {
+                    self.wait_ready(p, widx, &insn, cycle, cycle_limit)?;
+                    self.issue(p, scan, widx, &insn, *cycle, gmem)?;
+                    self.stats.slot_cycles += 1;
+                    *cycle += 1;
+                    if *cycle > cycle_limit {
+                        return Err(SimError::CycleLimit { limit: cycle_limit });
+                    }
+                    continue 'outer;
+                }
+            }
+            let line_addr = self.icache.line_of(pc);
+            let Some(line) = self.icache.lookup_l0_line(p, line_addr) else {
+                // L0 miss: replicate the fill path (busy slot, fill,
+                // penalty) and let the next outer iteration pick the
+                // fetched instruction up.
+                if self.partitions[p].fill_busy_until > *cycle {
+                    let t = self.partitions[p].fill_busy_until;
+                    self.charge_stall_window(StallReason::InstructionFetch, t, cycle, cycle_limit)?;
+                    continue 'outer;
+                }
+                let (decoded, level) = self.icache.fetch_fill(p, pc, gmem)?;
+                let insn = crate::icache::decoded_or_fault(decoded, pc)?;
+                self.fetched[widx] = Some((pc, insn));
+                let penalty = match level {
+                    FetchLevel::L0 => {
+                        self.stats.icache_hits[0] += 1;
+                        0
+                    }
+                    FetchLevel::L1 => {
+                        self.stats.icache_hits[1] += 1;
+                        self.cfg.lat.ifetch_l1
+                    }
+                    FetchLevel::L2 => {
+                        self.stats.icache_hits[2] += 1;
+                        self.cfg.lat.ifetch_l2
+                    }
+                    FetchLevel::Memory => {
+                        self.stats.icache_mem_fills += 1;
+                        self.cfg.lat.ifetch_mem
+                    }
+                };
+                if penalty > 0 {
+                    let t = *cycle + penalty as u64;
+                    self.warps[widx].fetch_ready_at = t;
+                    self.partitions[p].fill_busy_until = t;
+                    self.charge_stall_window(StallReason::InstructionFetch, t, cycle, cycle_limit)?;
+                }
+                continue 'outer;
+            };
+            // Line run: consume consecutive slots while control flow
+            // stays straight-line and the ops are simple ALU work. Any
+            // complex op (memory, control, `CCTL`, `S2R`) goes through
+            // the general `issue` and forces a re-probe, because it may
+            // move the PC or invalidate the line under us.
+            let mut slot = ((pc - line_addr) / INSN_BYTES as u32) as usize;
+            while slot < line.len() {
+                let wpc = self.warps[widx].pc;
+                let insn = crate::icache::decoded_or_fault(line[slot], wpc)?;
+                self.stats.icache_hits[0] += 1;
+                self.wait_ready(p, widx, &insn, cycle, cycle_limit)?;
+                if is_simple_alu(insn.op) {
+                    self.issue_simple(p, scan, widx, &insn, *cycle, gmem)?;
+                } else {
+                    self.issue(p, scan, widx, &insn, *cycle, gmem)?;
+                }
+                self.stats.slot_cycles += 1;
+                *cycle += 1;
+                if *cycle > cycle_limit {
+                    return Err(SimError::CycleLimit { limit: cycle_limit });
+                }
+                if is_simple_alu(insn.op) {
+                    slot += 1;
+                } else {
+                    continue 'outer;
+                }
+            }
+        }
+    }
+
+    /// Blocks the drained warp until `insn` can issue, charging scan
+    /// cycles and fast-forward windows to the same reasons, in the same
+    /// priority order, as the general loop: stall field, then
+    /// scoreboard, then dispatch port.
+    fn wait_ready(
+        &mut self,
+        p: usize,
+        widx: usize,
+        insn: &Instruction,
+        cycle: &mut u64,
+        cycle_limit: u64,
+    ) -> Result<()> {
+        loop {
+            let warp = &self.warps[widx];
+            debug_assert!(warp.fetch_ready_at <= *cycle);
+            if warp.stall_until > *cycle {
+                let t = warp.stall_until;
+                self.charge_stall_window(StallReason::StallField, t, cycle, cycle_limit)?;
+                continue;
+            }
+            if !warp.scoreboard_ready(insn.ctrl.wait_mask, *cycle) {
+                let t = warp.scoreboard_ready_at(insn.ctrl.wait_mask);
+                self.charge_stall_window(StallReason::Scoreboard, t, cycle, cycle_limit)?;
+                continue;
+            }
+            let port_at = self.partitions[p].port_free[pipe_index(insn.op.pipeline())];
+            if port_at > *cycle {
+                self.charge_stall_window(StallReason::PortBusy, port_at, cycle, cycle_limit)?;
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    /// One scanned stall cycle, then a fast-forward jump to `t` charged
+    /// to the same reason — identical to the general loop's
+    /// `record_stall` + skip accounting for a single active partition.
+    fn charge_stall_window(
+        &mut self,
+        reason: StallReason,
+        t: u64,
+        cycle: &mut u64,
+        cycle_limit: u64,
+    ) -> Result<()> {
+        self.stats.record_stall(reason);
+        self.stats.slot_cycles += 1;
+        *cycle += 1;
+        if *cycle > cycle_limit {
+            return Err(SimError::CycleLimit { limit: cycle_limit });
+        }
+        if t > *cycle {
+            let skip = t - *cycle;
+            self.stats.stalls[reason as usize] += skip;
+            self.stats.slot_cycles += skip;
+            *cycle = t;
+        }
+        Ok(())
+    }
+
+    /// Specialized `issue` for the simple ALU opcodes on the superblock
+    /// fast path: same architectural and accounting effects, minus the
+    /// dispatch that cannot apply (no memory stats, no variable latency,
+    /// no effects, no trace — the caller guarantees tracing is off).
+    fn issue_simple(
+        &mut self,
+        p: usize,
+        scan: usize,
+        widx: usize,
+        insn: &Instruction,
+        cycle: u64,
+        gmem: &GlobalMemory,
+    ) -> Result<()> {
+        let pipe = insn.op.pipeline();
+        self.stats.record_issue(insn.op);
+        let fixed_alu = self.cfg.lat.fixed_alu;
+        let hazard_check = self.hazard_check;
+        if hazard_check {
+            let warp = &self.warps[widx];
+            let violated = insn.srcs.iter().any(|s| {
+                matches!(s, Operand::Reg(r)
+                    if !r.is_zero() && warp.reg_ready_at[r.index()] > cycle)
+            });
+            if violated {
+                self.stats.hazard_violations += 1;
+                if std::env::var_os("SAGE_HAZARD_DEBUG").is_some() {
+                    eprintln!("hazard: pc={:#x} {}", self.warps[widx].pc, insn.body());
+                }
+            }
+        }
+        let launch_id;
+        {
+            let Sm {
+                warps,
+                blocks,
+                sm_id,
+                ..
+            } = self;
+            let warp = &mut warps[widx];
+            let block = blocks[warp.block_slot]
+                .as_mut()
+                .expect("warp's block is resident");
+            launch_id = block.launch_id;
+            let mut env = ExecEnv {
+                gmem,
+                smem: &mut block.smem,
+                sm_id: *sm_id,
+                cycle,
+                block_dim: block.block_dim,
+                cta_id: block.cta_id,
+                grid_dim: block.grid_dim,
+            };
+            let effect = execute(warp, insn, &mut env)?;
+            debug_assert!(matches!(effect, Effect::None));
+            warp.issued += 1;
+            warp.stall_until = cycle + insn.ctrl.stall.max(1) as u64;
+            if let Some(slot) = insn.ctrl.write_bar {
+                warp.scoreboard[slot as usize] = cycle + fixed_alu as u64;
+            }
+            if let Some(slot) = insn.ctrl.read_bar {
+                warp.scoreboard[slot as usize] = cycle + 2;
+            }
+            if hazard_check && insn.op.writes_dst() && !insn.dst.is_zero() {
+                warp.reg_ready_at[insn.dst.index()] = cycle + fixed_alu as u64;
+            }
+        }
+        if let Some((_, e)) = self.launches.iter_mut().find(|(l, _)| *l == launch_id) {
+            e.issued += 1;
+        }
+        let dispatch = match pipe {
+            Pipeline::Fma | Pipeline::Alu | Pipeline::Mem => self.cfg.lat.dispatch_interval as u64,
+            Pipeline::Control => 1,
+        };
+        let part = &mut self.partitions[p];
+        part.port_free[pipe_index(pipe)] = cycle + dispatch;
+        part.rr = if insn.ctrl.yield_flag {
+            (scan + 1) % part.warp_ids.len()
+        } else {
+            scan
+        };
+        Ok(())
+    }
+
     /// Runs the SM until all blocks complete (or `cycle_limit` trips).
     ///
     /// `gmem` is a shared reference: all functional accesses go through
@@ -645,6 +936,15 @@ impl<'a> Sm<'a> {
             self.place_blocks(cycle);
             if self.all_done() {
                 break;
+            }
+            // Superblock fast path: with every queued block resident and a
+            // single live warp, no event outside that warp can change SM
+            // state, so the per-warp drain is exact (see its doc comment).
+            if self.fast_forward && self.trace.is_none() && self.pending.is_empty() {
+                if let Some((p, widx)) = self.single_live_warp() {
+                    self.drain_single_warp(p, widx, &mut cycle, gmem, cycle_limit)?;
+                    continue;
+                }
             }
             let mut any_issued = false;
             let mut next_event: Option<u64> = None;
@@ -724,6 +1024,33 @@ impl<'a> Sm<'a> {
             trace: self.trace,
         })
     }
+}
+
+/// Opcodes eligible for the superblock fast path's `issue_simple`:
+/// fixed-latency ALU/FMA work that always returns `Effect::None`,
+/// advances the PC by one instruction, touches no memory stats and takes
+/// no jitter draw. Memory, control, `S2R` and `CCTL` stay on the general
+/// `issue` path.
+fn is_simple_alu(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Nop
+            | Opcode::Imad
+            | Opcode::Lea
+            | Opcode::LeaHi
+            | Opcode::ShfL
+            | Opcode::ShfR
+            | Opcode::Lop3
+            | Opcode::Iadd3
+            | Opcode::Mov
+            | Opcode::Ffma
+            | Opcode::Fadd
+            | Opcode::Fmul
+            | Opcode::I2f
+            | Opcode::F2i
+            | Opcode::Lepc
+            | Opcode::Isetp
+    )
 }
 
 fn pick(current: StallReason, candidate: StallReason) -> StallReason {

@@ -5,7 +5,7 @@
 //! breakdown ("99% of all pipeline stalls … caused by the fact that no
 //! instructions are available in the instruction cache", §7.1).
 
-use sage_isa::Pipeline;
+use sage_isa::{Opcode, Pipeline};
 
 /// Why a scheduler slot went unused for one cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -84,6 +84,10 @@ pub struct KernelStats {
     /// Register read-after-write hazard violations detected by the
     /// validation checker (0 for correctly scheduled code).
     pub hazard_violations: u64,
+    /// Instructions issued per opcode, indexed by opcode encoding
+    /// (`Opcode::ALL` order) — the dispatch mix the telemetry fold
+    /// exports as the top-issued opcodes.
+    pub opcode_issues: [u64; 32],
 }
 
 impl KernelStats {
@@ -128,14 +132,29 @@ impl KernelStats {
         }
     }
 
-    /// Records an issue to the given pipeline.
-    pub fn record_issue(&mut self, pipe: Pipeline) {
-        match pipe {
+    /// Records an issue of `op`: bumps both its pipeline's counter and
+    /// the per-opcode dispatch counter.
+    pub fn record_issue(&mut self, op: Opcode) {
+        match op.pipeline() {
             Pipeline::Fma => self.issued_fma += 1,
             Pipeline::Alu => self.issued_alu += 1,
             Pipeline::Mem => self.issued_mem += 1,
             Pipeline::Control => self.issued_control += 1,
         }
+        self.opcode_issues[op as usize] += 1;
+    }
+
+    /// The `k` most-issued opcodes, descending by count (ties broken by
+    /// encoding order); opcodes never issued are omitted.
+    pub fn top_opcodes(&self, k: usize) -> Vec<(Opcode, u64)> {
+        let mut v: Vec<(Opcode, u64)> = Opcode::ALL
+            .iter()
+            .map(|&op| (op, self.opcode_issues[op as usize]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then((a.0 as u8).cmp(&(b.0 as u8))));
+        v.truncate(k);
+        v
     }
 
     /// Renders a profiler-style report (the "speed of light" summary a
@@ -204,6 +223,9 @@ impl KernelStats {
         self.smem_accesses += other.smem_accesses;
         self.barriers += other.barriers;
         self.hazard_violations += other.hazard_violations;
+        for k in 0..self.opcode_issues.len() {
+            self.opcode_issues[k] += other.opcode_issues[k];
+        }
     }
 }
 
@@ -276,5 +298,33 @@ mod tests {
         let s = KernelStats::default();
         assert_eq!(s.utilization(), 0.0);
         assert_eq!(s.stall_fraction(StallReason::Barrier), 0.0);
+        assert!(s.top_opcodes(8).is_empty());
+    }
+
+    #[test]
+    fn opcode_dispatch_counts_rank_and_merge() {
+        let mut a = KernelStats::default();
+        for _ in 0..5 {
+            a.record_issue(Opcode::Imad);
+        }
+        for _ in 0..3 {
+            a.record_issue(Opcode::Lop3);
+        }
+        a.record_issue(Opcode::Bra);
+        // Pipeline counters stay consistent with the opcode counters.
+        assert_eq!(a.issued_fma, 5);
+        assert_eq!(a.issued_alu, 3);
+        assert_eq!(a.issued_control, 1);
+        assert_eq!(a.top_opcodes(2), vec![(Opcode::Imad, 5), (Opcode::Lop3, 3)]);
+        let mut b = KernelStats::default();
+        for _ in 0..4 {
+            b.record_issue(Opcode::Lop3);
+        }
+        a.merge(&b);
+        // After the merge LOP3 (7) overtakes IMAD (5).
+        assert_eq!(
+            a.top_opcodes(8),
+            vec![(Opcode::Lop3, 7), (Opcode::Imad, 5), (Opcode::Bra, 1)]
+        );
     }
 }

@@ -43,7 +43,15 @@ pub(crate) struct SimTelemetry {
     /// Cumulative fault counters at the previous observation, for
     /// delta export.
     last_faults: FaultCounters,
+    /// Registry handle and owned labels for series whose label set is
+    /// only known at fold time (the per-opcode dispatch counters).
+    reg: Registry,
+    labels: Vec<(String, String)>,
 }
+
+/// How many of a run's most-issued opcodes are exported as labeled
+/// `sim_opcode_issues_total` counters at each fold.
+const TOP_OPCODES: usize = 8;
 
 impl SimTelemetry {
     /// Mints the device's series under `labels` (callers add a
@@ -77,6 +85,11 @@ impl SimTelemetry {
             faults: FAULT_KINDS
                 .map(|k| reg.counter("sim_faults_applied_total", &with(labels, ("kind", k)))),
             last_faults: FaultCounters::default(),
+            reg: reg.clone(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
         }
     }
 
@@ -110,6 +123,19 @@ impl SimTelemetry {
         }
         self.smem.add(stats.smem_accesses);
         self.barriers.add(stats.barriers);
+        // Per-opcode dispatch mix: the run's top-issued opcodes, as
+        // labeled counters. Minted lazily (get-or-create) because the
+        // label set depends on the workload; the registry dedupes, so a
+        // stable mix costs no new series after the first run.
+        for (op, n) in stats.top_opcodes(TOP_OPCODES) {
+            let mut labels: Vec<(&str, &str)> = self
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            labels.push(("opcode", op.mnemonic()));
+            self.reg.counter("sim_opcode_issues_total", &labels).add(n);
+        }
         for (c, (now, before)) in self.faults.iter().zip([
             (faults.flips, self.last_faults.flips),
             (faults.stalls, self.last_faults.stalls),

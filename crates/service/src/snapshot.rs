@@ -526,6 +526,7 @@ pub(crate) fn restore<T: Transport>(
         log: EventLog::restore(decoded.events),
         next_node: decoded.next_node,
         registry: None,
+        prefill_wall: core::time::Duration::ZERO,
     };
     svc.sort_roster();
     Ok(svc)

@@ -39,7 +39,12 @@ use std::thread::JoinHandle;
 
 use sage_telemetry::{Counter, Registry};
 
-use crate::{codegen::VfBuild, replay::expected_checksum};
+use crate::{
+    batch::{replay_block_batched, StepTrace},
+    codegen::VfBuild,
+    pool::ReplayPool,
+    replay::expected_checksum,
+};
 
 /// Identity of one exact VF build (see [`VfBuild::fingerprint`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -402,6 +407,105 @@ impl ChallengeBank {
             self.inner.refill_once(&mut state);
         }
     }
+
+    /// Precomputes up to `n` pairs with every `(round, block)` replay
+    /// scheduled on `pool` at once — see [`prefill_banks`], of which
+    /// this is the single-bank case.
+    pub fn fill_parallel(&self, n: usize, pool: &ReplayPool) {
+        prefill_banks(&[self], n, pool);
+    }
+}
+
+/// Precomputes up to `n` rounds into **each** bank, scheduling every
+/// single `(fingerprint, round, block)` replay on `pool` as one flat
+/// work-stealing job list.
+///
+/// [`ChallengeBank::fill`] is round-serial: each round's replay
+/// parallelizes over its own grid blocks, but rounds — and banks —
+/// proceed one after another, so a grid smaller than the machine leaves
+/// cores idle at every round boundary and a fleet of fingerprints
+/// serializes entirely. Here the pool's claim loop steals the next
+/// un-replayed *block* wherever it lives, keeping every core busy until
+/// all banks are stocked.
+///
+/// Determinism is preserved: challenge sets are drawn under each bank's
+/// state lock in generator order before any replay starts, and rounds
+/// enter each queue in that same draw order — only the replay
+/// *computation* is reordered, and block checksums are combined with the
+/// same wrapping sums as the serial path.
+pub fn prefill_banks(banks: &[&ChallengeBank], n: usize, pool: &ReplayPool) {
+    // Phase 1: draw challenges (generator order) and size the job list.
+    let mut drawn: Vec<Vec<Vec<[u8; 16]>>> = Vec::with_capacity(banks.len());
+    for bank in banks {
+        let mut state = lock_unpoisoned(&bank.inner.state);
+        let room = bank.inner.capacity.saturating_sub(state.queue.len()).min(n);
+        let blocks = bank.inner.build.params.grid_blocks as usize;
+        let sets: Vec<Vec<[u8; 16]>> = (0..room)
+            .map(|_| Inner::draw_challenges(&mut state, blocks))
+            .collect();
+        drawn.push(sets);
+    }
+
+    // Phase 2: one flat (bank, round, block) job list over the pool.
+    let traces: Vec<StepTrace> = banks
+        .iter()
+        .map(|b| StepTrace::new(&b.inner.build))
+        .collect();
+    let partials: Vec<Vec<Vec<Mutex<[u32; 8]>>>> = banks
+        .iter()
+        .zip(&drawn)
+        .map(|(bank, sets)| {
+            let blocks = bank.inner.build.params.grid_blocks as usize;
+            sets.iter()
+                .map(|_| (0..blocks).map(|_| Mutex::new([0u32; 8])).collect())
+                .collect()
+        })
+        .collect();
+    // (bank index, round index, block) triples — the flat job list.
+    let mut jobs: Vec<(usize, usize, u32)> = Vec::new();
+    for (i, bank) in banks.iter().enumerate() {
+        let blocks = bank.inner.build.params.grid_blocks;
+        for r in 0..drawn[i].len() {
+            for b in 0..blocks {
+                jobs.push((i, r, b));
+            }
+        }
+    }
+    pool.run_scoped(jobs.len(), &|idx| {
+        let (i, r, b) = jobs[idx];
+        let sums = replay_block_batched(
+            &banks[i].inner.build,
+            &traces[i],
+            &drawn[i][r][b as usize],
+            b,
+        );
+        *lock_unpoisoned(&partials[i][r][b as usize]) = sums;
+    });
+
+    // Phase 3: reduce and enqueue, per bank, in draw order.
+    for ((bank, sets), parts) in banks.iter().zip(drawn).zip(partials) {
+        let mut state = lock_unpoisoned(&bank.inner.state);
+        if state.stop {
+            continue;
+        }
+        for (challenges, blocks) in sets.into_iter().zip(parts) {
+            let mut expected = [0u32; 8];
+            for cell in blocks {
+                let part = lock_unpoisoned(&cell);
+                for j in 0..8 {
+                    expected[j] = expected[j].wrapping_add(part[j]);
+                }
+            }
+            let round = PrecomputedRound {
+                challenges,
+                expected,
+            };
+            let guard = guard_tag(&round);
+            state.queue.push_back(Stocked { round, guard });
+            bank.inner.refills.inc();
+        }
+        bank.inner.stock.notify_all();
+    }
 }
 
 impl Drop for ChallengeBank {
@@ -504,6 +608,54 @@ mod tests {
         while let Some(round) = bank.take(&fp).unwrap() {
             assert_eq!(round.expected, expected_checksum(&build, &round.challenges));
         }
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial_fill() {
+        // Same generator seed → the work-stealing prefill must stock the
+        // same rounds, in the same order, with the same checksums as the
+        // round-serial fill.
+        let serial = sync_bank(7, 4, 3);
+        serial.fill(4);
+        for pool in [ReplayPool::serial(), ReplayPool::new(3)] {
+            let parallel = sync_bank(7, 4, 3);
+            parallel.fill_parallel(4, &pool);
+            let fp = serial.fingerprint();
+            assert_eq!(parallel.len(), serial.len());
+            let reference = sync_bank(7, 4, 3);
+            reference.fill(4);
+            for _ in 0..4 {
+                let a = reference.take(&fp).unwrap().expect("stock");
+                let b = parallel.take(&fp).unwrap().expect("stock");
+                assert_eq!(a.challenges, b.challenges);
+                assert_eq!(a.expected, b.expected);
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_banks_stocks_every_fingerprint() {
+        // Three banks over distinct builds, one flat job list: every bank
+        // ends up stocked with pairs bit-exact against direct replay.
+        let banks = [sync_bank(7, 2, 1), sync_bank(8, 2, 2), sync_bank(9, 2, 3)];
+        let refs: Vec<&ChallengeBank> = banks.iter().collect();
+        let pool = ReplayPool::new(2);
+        prefill_banks(&refs, 2, &pool);
+        for (bank, fill_seed) in banks.iter().zip([7u32, 8, 9]) {
+            assert_eq!(bank.len(), 2);
+            let build = tiny_build(fill_seed);
+            let fp = bank.fingerprint();
+            while let Some(round) = bank.take(&fp).unwrap() {
+                assert_eq!(round.expected, expected_checksum(&build, &round.challenges));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_respects_capacity() {
+        let bank = sync_bank(7, 2, 5);
+        bank.fill_parallel(10, &ReplayPool::serial());
+        assert_eq!(bank.len(), 2);
     }
 
     #[test]

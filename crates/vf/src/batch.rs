@@ -1,0 +1,433 @@
+//! Batched structure-of-arrays replay engine.
+//!
+//! The scalar replay in [`crate::replay`] walks one thread at a time and
+//! re-derives every per-step constant (`step_kmul`, `step_s1`, shift and
+//! register indices) once per thread per iteration, even though those
+//! constants depend only on the step index. For a production-sized VF
+//! (1024 threads × 60 iterations × ~300 steps) that is hundreds of
+//! millions of redundant `splitmix32` evaluations — and the per-thread
+//! walk defeats vectorization, because the compiler sees one dependent
+//! scalar chain instead of 32 independent ones.
+//!
+//! This module fixes both structurally:
+//!
+//! 1. **Pre-traced steps.** The per-step constants are computed once per
+//!    replay into a [`StepTrace`] — the flat op-stream the checksum
+//!    actually executes — and shared by every thread and iteration.
+//! 2. **SoA thread batches.** Threads are processed in batches of
+//!    [`LANES`]; the checksum registers live as `c[reg][lane]` rows, so
+//!    the busy-wait pattern and the fold become tight loops over
+//!    independent lanes that the compiler auto-vectorizes, and the
+//!    pseudo-random region gathers of a whole batch issue together
+//!    (memory-level parallelism instead of one serialized miss per
+//!    step).
+//!
+//! Everything is `u32` wrapping arithmetic on independent lanes, so the
+//! result is bit-exact against the scalar spec by construction; the
+//! differential suites in `replay.rs` and `tests/batch_exactness.rs`
+//! enforce it.
+
+use crate::{
+    codegen::VfBuild,
+    params::SmcMode,
+    spec::{self, NUM_C},
+};
+
+/// Threads per SoA batch. Matches the warp width of the device the
+/// checksum runs on — and 32 × 4-byte lanes is two AVX2 / one AVX-512
+/// vector per row operation.
+pub const LANES: usize = 32;
+
+/// Constants of one checksum step, derived once from the step index.
+#[derive(Clone, Debug)]
+struct StepDesc {
+    /// Checksum register indices: `k % 8`, its predecessor and successor.
+    j: u8,
+    jprev: u8,
+    jnext: u8,
+    /// Busy-wait multiplier (`step_kmul`).
+    kmul: u32,
+    /// Busy-wait shift (`step_s1`).
+    s1: u8,
+    /// Fold rotation (`step_s2`).
+    s2: u8,
+    /// Busy-wait pattern: the (mul-register, shift-register) index pair
+    /// of each pattern step, pre-resolved.
+    pairs: Vec<(u8, u8)>,
+}
+
+fn step_desc(k: usize, pattern_pairs: usize) -> StepDesc {
+    StepDesc {
+        j: (k % NUM_C) as u8,
+        jprev: ((k + NUM_C - 1) % NUM_C) as u8,
+        jnext: ((k + 1) % NUM_C) as u8,
+        kmul: spec::step_kmul(k),
+        s1: spec::step_s1(k),
+        s2: spec::step_s2(k),
+        pairs: (0..pattern_pairs)
+            .map(|p| {
+                let a = ((k + 2 + (p % 6)) % NUM_C) as u8;
+                let b = ((k + 2 + ((p + 3) % 6)) % NUM_C) as u8;
+                (a, b)
+            })
+            .collect(),
+    }
+}
+
+/// The pre-traced step stream of one checksum iteration: the main
+/// unrolled body plus the optional inner loop, exactly as
+/// `replay::replay_block`'s `run_iteration` walks them — plus the
+/// static region re-laid-out as whole `u32` words, so the per-step
+/// gather is one indexed word load instead of a 4-byte slice decode.
+pub struct StepTrace {
+    main: Vec<StepDesc>,
+    inner: Vec<StepDesc>,
+    inner_iters: u32,
+    /// The build's static region as little-endian words. A trailing
+    /// partial word (impossible for power-of-two regions, but the scalar
+    /// spec tolerates it) is dropped, which matches the scalar
+    /// fail-closed read: an index past the last whole word yields 0.
+    words: Vec<u32>,
+}
+
+impl StepTrace {
+    /// Builds the trace for `build`'s parameters. Cost is one
+    /// `splitmix32` per *step*, instead of one per step × thread ×
+    /// iteration.
+    pub fn new(build: &VfBuild) -> StepTrace {
+        let p = &build.params;
+        let (inner_steps, inner_iters) = p.inner.unwrap_or((0, 0));
+        StepTrace {
+            main: (0..p.unroll)
+                .map(|k| step_desc(k, p.pattern_pairs))
+                .collect(),
+            inner: (0..inner_steps)
+                .map(|s| step_desc(p.unroll + s, p.pattern_pairs))
+                .collect(),
+            inner_iters,
+            words: build
+                .static_region()
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        }
+    }
+}
+
+/// One batch of exactly [`LANES`] threads in structure-of-arrays
+/// layout: `c[reg][lane]`.
+///
+/// Partial batches cannot arise: `VfParams::validate` requires
+/// `block_threads` to be a non-zero multiple of the warp width, so a
+/// block always splits into whole batches. Keeping the lane count a
+/// compile-time constant matters — every lane loop below has a fixed
+/// trip count over a fixed-size array, which is what lets LLVM drop
+/// the bounds checks and emit straight-line SIMD.
+struct Batch {
+    c: [[u32; LANES]; NUM_C],
+}
+
+impl Batch {
+    fn init(challenge: &[u32; 4], first_gtid: u32) -> Batch {
+        let mut b = Batch {
+            c: [[0; LANES]; NUM_C],
+        };
+        for lane in 0..LANES {
+            let st = spec::init_state(challenge, first_gtid + lane as u32);
+            for r in 0..NUM_C {
+                b.c[r][lane] = st.c[r];
+            }
+        }
+        b
+    }
+
+    /// Executes one checksum step over the batch. Same per-lane
+    /// operation order as `spec::step_with_pattern`: gather, busy-wait
+    /// pattern, fold. Each phase is a whole-row loop over independent
+    /// `u32` lanes, so regrouping the work by row cannot change any
+    /// lane's value — the register indices `j`/`jprev`/`jnext` of one
+    /// step are pairwise distinct (consecutive residues mod 8), so the
+    /// split fold below touches disjoint rows.
+    ///
+    /// All row indices are masked with `& 7` (`NUM_C - 1`): they are
+    /// already reduced mod 8 by construction, and the mask is what
+    /// proves in-bounds access to the compiler so the row loops
+    /// vectorize instead of carrying per-access panic branches.
+    // Indexed fixed-trip loops (not iterators) are load-bearing here:
+    // they are the shape LLVM's vectorizer recognises across the whole
+    // function (see module docs), so the range-loop lint is off.
+    #[allow(clippy::needless_range_loop)]
+    #[inline(always)]
+    fn step(&mut self, d: &StepDesc, words: &[u32], region_base: u32, mask: u32) {
+        let (j, jprev, jnext) = (
+            d.j as usize & (NUM_C - 1),
+            d.jprev as usize & (NUM_C - 1),
+            d.jnext as usize & (NUM_C - 1),
+        );
+
+        // Pseudo-random gather: the per-lane region word and its index.
+        // All lane indices are computed before the loads, so the
+        // out-of-order core overlaps the (likely cold) region misses.
+        let mut idx = [0u32; LANES];
+        let mut data = [0u32; LANES];
+        for l in 0..LANES {
+            idx[l] = self.c[j][l] & mask;
+        }
+        for l in 0..LANES {
+            // Fail closed like the scalar spec: a region too short for
+            // the drawn index contributes a zero word.
+            data[l] = words.get(idx[l] as usize).copied().unwrap_or(0);
+        }
+
+        // Busy-wait pattern: each half-pair is one whole-row operation
+        // with a shared constant — exactly the SIMD-friendly shape.
+        let kmul = d.kmul;
+        let s1 = d.s1 as u32;
+        for &(a, b) in &d.pairs {
+            let row = &mut self.c[a as usize & (NUM_C - 1)];
+            for v in row.iter_mut() {
+                *v = v.wrapping_mul(kmul).wrapping_add(*v);
+            }
+            let row = &mut self.c[b as usize & (NUM_C - 1)];
+            for v in row.iter_mut() {
+                *v = (*v >> s1).wrapping_add(*v);
+            }
+        }
+
+        // Fold, row by row in scalar order: the address into `jnext`,
+        // then the rotate-xor mix into `j` (reading `jprev` after the
+        // pattern). The rows are distinct, so splitting the per-lane
+        // fold into three whole-row loops is value-identical.
+        let s2 = d.s2 as u32;
+        {
+            let row = &mut self.c[jnext];
+            for l in 0..LANES {
+                let addr = region_base.wrapping_add(idx[l].wrapping_mul(4));
+                row[l] = row[l].wrapping_add(addr);
+            }
+        }
+        for l in 0..LANES {
+            data[l] ^= self.c[jprev][l];
+        }
+        {
+            let row = &mut self.c[j];
+            for l in 0..LANES {
+                row[l] = row[l].rotate_left(s2).wrapping_add(data[l]);
+            }
+        }
+    }
+
+    /// Runs one full checksum iteration (main body, inner loop, iteration
+    /// fold) over the batch.
+    #[inline(always)]
+    fn run_iteration(&mut self, trace: &StepTrace, region_base: u32, iter: u32) {
+        let nwords = trace.words.len() as u32;
+        debug_assert!(nwords.is_power_of_two());
+        let mask = nwords - 1;
+        for d in &trace.main {
+            self.step(d, &trace.words, region_base, mask);
+        }
+        for _ in 0..trace.inner_iters {
+            for d in &trace.inner {
+                self.step(d, &trace.words, region_base, mask);
+            }
+        }
+        // iter_fold: c[2] += iter, every lane.
+        for l in 0..LANES {
+            self.c[2][l] = self.c[2][l].wrapping_add(iter);
+        }
+    }
+
+    /// Applies the self-modifying-code update `C0 += C0 >> (n & 31)`.
+    #[inline(always)]
+    fn smc_update(&mut self, n: u32) {
+        let sh = n & 31;
+        for l in 0..LANES {
+            let t = self.c[0][l] >> sh;
+            self.c[0][l] = self.c[0][l].wrapping_add(t);
+        }
+    }
+
+    /// Accumulates every lane's final registers into `sums`.
+    #[allow(clippy::needless_range_loop)]
+    fn accumulate(&self, sums: &mut [u32; NUM_C]) {
+        for r in 0..NUM_C {
+            let mut s = 0u32;
+            for l in 0..LANES {
+                s = s.wrapping_add(self.c[r][l]);
+            }
+            sums[r] = sums[r].wrapping_add(s);
+        }
+    }
+}
+
+/// Batched-engine equivalent of [`crate::replay::replay_block`]: replays
+/// one thread block and returns the per-register sums of all its
+/// threads' final checksum states. Bit-exact against the scalar replay
+/// (`replay_block` is retained as the oracle).
+///
+/// On x86-64 hosts with AVX2 the whole replay is dispatched to a
+/// `#[target_feature(enable = "avx2")]` clone of the engine: the SoA
+/// lane loops are plain safe code either way, but the baseline x86-64
+/// target (SSE2) has no packed 32-bit multiply, so the busy-wait
+/// pattern rows only vectorize in the AVX2 clone. Integer wrapping
+/// arithmetic is value-identical across the two code paths, so the
+/// dispatch cannot change the checksum.
+pub fn replay_block_batched(
+    build: &VfBuild,
+    trace: &StepTrace,
+    challenge: &[u8; 16],
+    block: u32,
+) -> [u32; NUM_C] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { replay_block_batched_avx2(build, trace, challenge, block) };
+    }
+    replay_block_batched_impl(build, trace, challenge, block)
+}
+
+/// AVX2-enabled clone of [`replay_block_batched_impl`]. The attribute
+/// lets LLVM use 256-bit integer ops for every lane loop inlined below.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn replay_block_batched_avx2(
+    build: &VfBuild,
+    trace: &StepTrace,
+    challenge: &[u8; 16],
+    block: u32,
+) -> [u32; NUM_C] {
+    replay_block_batched_impl(build, trace, challenge, block)
+}
+
+#[inline(always)]
+fn replay_block_batched_impl(
+    build: &VfBuild,
+    trace: &StepTrace,
+    challenge: &[u8; 16],
+    block: u32,
+) -> [u32; NUM_C] {
+    let p = &build.params;
+    let region_base = build.layout.base;
+    let word = |i: usize| {
+        u32::from_le_bytes([
+            challenge[i],
+            challenge[i + 1],
+            challenge[i + 2],
+            challenge[i + 3],
+        ])
+    };
+    let ch = [word(0), word(4), word(8), word(12)];
+    let threads = p.block_threads as usize;
+    // Guaranteed by `VfParams::validate`; a partial batch would fold
+    // garbage lanes into the sums.
+    assert!(
+        threads.is_multiple_of(LANES),
+        "block_threads must be a multiple of the batch width"
+    );
+    let mut sums = [0u32; NUM_C];
+
+    match p.smc {
+        SmcMode::Off => {
+            // Threads are independent: one batch at a time, all its
+            // iterations back to back (best register-row locality).
+            for t in (0..threads).step_by(LANES) {
+                let mut batch = Batch::init(&ch, block * p.block_threads + t as u32);
+                for iter in 0..p.iterations {
+                    batch.run_iteration(trace, region_base, iter);
+                }
+                batch.accumulate(&mut sums);
+            }
+        }
+        SmcMode::Evict | SmcMode::Cctl => {
+            // The self-modifying immediate couples the block's threads:
+            // every thread uses the same `n` within an iteration, and
+            // thread 0's post-update C0 becomes the next `n`. All
+            // batches therefore advance in iteration lockstep.
+            let mut batches: Vec<Batch> = (0..threads)
+                .step_by(LANES)
+                .map(|t| Batch::init(&ch, block * p.block_threads + t as u32))
+                .collect();
+            let mut n = spec::SMC_INIT;
+            for iter in 0..p.iterations {
+                for batch in batches.iter_mut() {
+                    batch.run_iteration(trace, region_base, iter);
+                    batch.smc_update(n);
+                }
+                n = batches[0].c[0][0];
+            }
+            for batch in &batches {
+                batch.accumulate(&mut sums);
+            }
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_vf, replay::replay_block, SmcMode, VfParams};
+
+    fn challenges(n: u32, seed: u8) -> Vec<[u8; 16]> {
+        (0..n)
+            .map(|b| {
+                let mut c = [0u8; 16];
+                for (i, byte) in c.iter_mut().enumerate() {
+                    *byte = seed
+                        .wrapping_mul(29)
+                        .wrapping_add(b as u8 * 13)
+                        .wrapping_add(i as u8 * 7);
+                }
+                c
+            })
+            .collect()
+    }
+
+    fn assert_batched_matches_scalar(p: &VfParams, seed: u8) {
+        let build = build_vf(p, 0x1000, 7).unwrap();
+        let trace = StepTrace::new(&build);
+        for (b, ch) in challenges(p.grid_blocks, seed).iter().enumerate() {
+            assert_eq!(
+                replay_block_batched(&build, &trace, ch, b as u32),
+                replay_block(&build, ch, b as u32),
+                "block {b} diverged (smc {:?}, threads {})",
+                p.smc,
+                p.block_threads,
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scalar_smc_off() {
+        let mut p = VfParams::test_tiny();
+        p.smc = SmcMode::Off;
+        assert_batched_matches_scalar(&p, 3);
+    }
+
+    #[test]
+    fn matches_scalar_smc_evict() {
+        let mut p = VfParams::test_tiny();
+        p.smc = SmcMode::Evict;
+        assert_batched_matches_scalar(&p, 5);
+    }
+
+    #[test]
+    fn matches_scalar_across_batch_counts() {
+        // One batch, and several batches advancing in SMC lockstep
+        // (`block_threads` must be a multiple of the warp width, so a
+        // partial batch cannot arise from a valid build).
+        for threads in [32, 64, 96] {
+            let mut p = VfParams::test_tiny();
+            p.block_threads = threads;
+            assert_batched_matches_scalar(&p, 9);
+        }
+    }
+
+    #[test]
+    fn matches_scalar_with_inner_loop() {
+        let mut p = VfParams::test_tiny();
+        p.inner = Some((3, 2));
+        assert_batched_matches_scalar(&p, 11);
+    }
+}

@@ -33,6 +33,7 @@
 //! cross-block timing so the verifier can replay it exactly.
 
 pub mod bank;
+pub mod batch;
 pub mod codegen;
 pub mod coverage;
 pub mod layout;
@@ -41,7 +42,10 @@ pub mod pool;
 pub mod replay;
 pub mod spec;
 
-pub use bank::{BankConfig, BankCounters, ChallengeBank, Fingerprint, PrecomputedRound};
+pub use bank::{
+    prefill_banks, BankConfig, BankCounters, ChallengeBank, Fingerprint, PrecomputedRound,
+};
+pub use batch::{replay_block_batched, StepTrace};
 pub use codegen::{build_vf, build_vf_inline};
 pub use layout::VfLayout;
 pub use params::{SmcMode, VfParams};

@@ -11,6 +11,7 @@
 use std::sync::Mutex;
 
 use crate::{
+    batch::{replay_block_batched, StepTrace},
     codegen::VfBuild,
     params::SmcMode,
     pool::ReplayPool,
@@ -99,9 +100,11 @@ pub fn replay_block(build: &VfBuild, challenge: &[u8; 16], block: u32) -> [u32; 
 /// cells after a faithful run): the wrapping sum over every thread's
 /// final checksum registers.
 ///
-/// Blocks are replayed on the shared persistent [`ReplayPool`] — no
-/// threads are created per call, so tight verification loops
-/// (calibration, fleet rounds) pay only the replay itself.
+/// Blocks are replayed with the batched SoA engine
+/// ([`crate::batch::replay_block_batched`]) on the shared persistent
+/// [`ReplayPool`] — no threads are created per call, so tight
+/// verification loops (calibration, fleet rounds) pay only the replay
+/// itself.
 ///
 /// `challenges` must hold one 16-byte challenge per block.
 ///
@@ -125,9 +128,13 @@ pub fn expected_checksum_with_pool(
         "one challenge per block required"
     );
     let blocks = build.params.grid_blocks as usize;
+    // The step trace is shared by every block (it depends only on the
+    // build parameters), so it is computed once out here rather than
+    // per block on the pool.
+    let trace = StepTrace::new(build);
     let partials = Mutex::new(vec![[0u32; 8]; blocks]);
     pool.run_scoped(blocks, &|b| {
-        let sums = replay_block(build, &challenges[b], b as u32);
+        let sums = replay_block_batched(build, &trace, &challenges[b], b as u32);
         partials.lock().expect("replay partials")[b] = sums;
     });
     let mut out = [0u32; 8];

@@ -74,6 +74,7 @@ fn deterministic_registry() -> Registry {
         // challenge sequence — and with it every counter and histogram
         // below — is a pure function of the seeds.
         bank_workers: 0,
+        prefill_rounds: 0,
     };
     let reg = Registry::new();
     let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
