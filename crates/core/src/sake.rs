@@ -112,6 +112,17 @@ pub fn mac_key(label: &[u8], secret: &[u8]) -> [u8; 16] {
     d[..16].try_into().expect("16 bytes")
 }
 
+/// Public fingerprint of an established session key:
+/// `SHA-256("sage-key-fp:" ‖ key)[..8]`. Safe to log or embed in
+/// evidence — it identifies the key epoch without revealing key bits.
+pub fn key_fingerprint(key: &[u8; 16]) -> [u8; 8] {
+    let mut h = sage_crypto::Sha256::new();
+    h.update(b"sage-key-fp:");
+    h.update(key);
+    let d = h.finalize();
+    d[..8].try_into().expect("8 bytes")
+}
+
 /// Serializes a checksum result for hashing/MACing.
 pub fn checksum_bytes(c: &[u32; 8]) -> [u8; 32] {
     let mut out = [0u8; 32];

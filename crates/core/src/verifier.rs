@@ -526,16 +526,26 @@ impl Verifier {
         agent: &mut DeviceAgent,
         code: &[u8],
     ) -> Result<()> {
+        self.verify_user_kernel_hash(session, agent, code)
+            .map(|_| ())
+    }
+
+    /// Like [`Verifier::verify_user_kernel`], but returns the verified
+    /// measurement `H(r ‖ code)` so callers (the evidence layer) can
+    /// record what was checked, not just that it passed.
+    pub fn verify_user_kernel_hash(
+        &mut self,
+        session: &mut GpuSession,
+        agent: &mut DeviceAgent,
+        code: &[u8],
+    ) -> Result<[u8; 32]> {
         let r = self.enclave.nonce32();
         let device_hash = agent.measure_kernel(session, &r, code)?;
-        let mut expect_input = Vec::with_capacity(32 + code.len());
-        expect_input.extend_from_slice(&r);
-        expect_input.extend_from_slice(code);
-        let expected = sage_crypto::sha256(&expect_input);
+        let expected = sage_crypto::sha256::sha256_concat(&r, code);
         if !sage_crypto::ct_eq(&device_hash, &expected) {
             return Err(SageError::KernelHashMismatch);
         }
-        Ok(())
+        Ok(expected)
     }
 
     /// Produces an enclave quote binding the attestation transcript for

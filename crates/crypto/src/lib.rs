@@ -16,6 +16,8 @@
 //!   MODP Diffie-Hellman (RFC 3526 group 14, plus a small test group),
 //! - [`chain`] — Guy-Fawkes-style hash chains (SAKE's `v₂/v₁/v₀`,
 //!   `w₂/w₁/w₀`),
+//! - [`canon`] — canonical little-endian encoding helpers for hashed
+//!   and MACed structures (the evidence layer's byte discipline),
 //! - [`ct`] — constant-time comparison.
 //!
 //! None of this is intended for production use outside the reproduction;
@@ -23,6 +25,7 @@
 
 pub mod aes;
 pub mod bignum;
+pub mod canon;
 pub mod chain;
 pub mod cmac;
 pub mod ct;
@@ -33,6 +36,7 @@ pub mod sha256;
 
 pub use aes::Aes128;
 pub use bignum::BigUint;
+pub use canon::CanonError;
 pub use chain::HashChain;
 pub use cmac::cmac_aes128;
 pub use ct::ct_eq;

@@ -105,6 +105,21 @@ impl Sha256 {
         out
     }
 
+    /// Finishes the current message and resets the hasher to a fresh
+    /// state, keeping the allocation-free struct reusable. Equivalent to
+    /// `finalize()` followed by `*self = Sha256::new()` — the loops that
+    /// hash many short messages back to back (evidence-chain appends,
+    /// Merkle epoch seals) use this so each link costs zero re-buffering
+    /// and zero construction. The one-shot [`sha256`] stays the oracle
+    /// the tests compare against.
+    pub fn finalize_reset(&mut self) -> [u8; 32] {
+        let out = self.clone().finalize();
+        self.state = H0;
+        self.buf_len = 0;
+        self.total_len = 0;
+        out
+    }
+
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
@@ -220,5 +235,21 @@ mod tests {
     #[test]
     fn concat_helper() {
         assert_eq!(sha256_concat(b"ab", b"c"), sha256(b"abc"));
+    }
+
+    #[test]
+    fn finalize_reset_matches_oneshot_oracle_across_reuses() {
+        let messages: [&[u8]; 4] = [b"", b"abc", &[0xA5; 200], b"tail"];
+        let mut h = Sha256::new();
+        for msg in messages {
+            h.update(msg);
+            assert_eq!(h.finalize_reset(), sha256(msg), "reused hasher diverged");
+        }
+        // The reset state is indistinguishable from a fresh hasher even
+        // mid-buffer: absorb a non-block-aligned prefix, reset, reuse.
+        h.update(&[1, 2, 3]);
+        let _ = h.finalize_reset();
+        h.update(b"after reset");
+        assert_eq!(h.finalize_reset(), sha256(b"after reset"));
     }
 }

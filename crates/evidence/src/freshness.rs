@@ -1,0 +1,195 @@
+//! Freshness-driven trust decay: a device's trust level is a function
+//! of how long ago it last passed an attestation stage, under a
+//! configurable policy.
+
+use sage_crypto::canon::{self, CanonError, Reader};
+
+/// A device's trust level under a freshness policy. Ordered: later
+/// variants are *less* trusted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Freshness {
+    /// Attested within the policy's trusted window.
+    Trusted,
+    /// Past the trusted window but not yet degraded — schedule
+    /// re-attestation.
+    Stale,
+    /// Past the degraded window — treat as unattested until it passes
+    /// again.
+    Degraded,
+}
+
+impl Freshness {
+    /// Stable string tag (telemetry labels, JSON, event log).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Freshness::Trusted => "trusted",
+            Freshness::Stale => "stale",
+            Freshness::Degraded => "degraded",
+        }
+    }
+
+    /// Canonical tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            Freshness::Trusted => 0,
+            Freshness::Stale => 1,
+            Freshness::Degraded => 2,
+        }
+    }
+
+    /// Decodes a tag byte.
+    pub fn from_tag(value: u8) -> Result<Freshness, CanonError> {
+        Ok(match value {
+            0 => Freshness::Trusted,
+            1 => Freshness::Stale,
+            2 => Freshness::Degraded,
+            value => {
+                return Err(CanonError::BadTag {
+                    field: "freshness",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// How fast trust decays without re-attestation, in virtual-clock units.
+///
+/// The default ([`FreshnessPolicy::disabled`]) never decays, so fleets
+/// that predate the evidence layer keep their exact behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FreshnessPolicy {
+    /// A device becomes [`Freshness::Stale`] once `now - last_pass`
+    /// reaches this many units (0 disables decay entirely).
+    pub stale_after: u64,
+    /// …and [`Freshness::Degraded`] once it reaches this many. Must be
+    /// ≥ `stale_after`; 0 disables the degraded transition.
+    pub degraded_after: u64,
+}
+
+impl Default for FreshnessPolicy {
+    fn default() -> FreshnessPolicy {
+        FreshnessPolicy::disabled()
+    }
+}
+
+impl FreshnessPolicy {
+    /// A policy that never decays (the compatibility default).
+    pub fn disabled() -> FreshnessPolicy {
+        FreshnessPolicy {
+            stale_after: 0,
+            degraded_after: 0,
+        }
+    }
+
+    /// Whether any decay is configured.
+    pub fn is_enabled(&self) -> bool {
+        self.stale_after != 0 || self.degraded_after != 0
+    }
+
+    /// The trust level at virtual time `now` for a device whose last
+    /// passing stage concluded at `last_pass` (`None` = never attested,
+    /// which is `Degraded` under an enabled policy).
+    pub fn level(&self, last_pass: Option<u64>, now: u64) -> Freshness {
+        if !self.is_enabled() {
+            return Freshness::Trusted;
+        }
+        let last = match last_pass {
+            Some(t) => t,
+            None => return Freshness::Degraded,
+        };
+        let age = now.saturating_sub(last);
+        if self.degraded_after != 0 && age >= self.degraded_after {
+            Freshness::Degraded
+        } else if self.stale_after != 0 && age >= self.stale_after {
+            Freshness::Stale
+        } else {
+            Freshness::Trusted
+        }
+    }
+
+    /// The earliest virtual time strictly after `now` at which the level
+    /// could change without a new passing stage — the service's decay
+    /// timer. `None` when no further decay is possible.
+    pub fn next_transition_at(&self, last_pass: Option<u64>, now: u64) -> Option<u64> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let last = last_pass?;
+        let mut next = None;
+        for bound in [self.stale_after, self.degraded_after] {
+            if bound == 0 {
+                continue;
+            }
+            let at = last.saturating_add(bound);
+            if at > now {
+                next = Some(next.map_or(at, |n: u64| n.min(at)));
+            }
+        }
+        next
+    }
+
+    /// Canonical encoding (carried inside a report's freshness claim).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        canon::put_u64(out, self.stale_after);
+        canon::put_u64(out, self.degraded_after);
+    }
+
+    /// Decodes a policy from a [`Reader`].
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<FreshnessPolicy, CanonError> {
+        Ok(FreshnessPolicy {
+            stale_after: r.u64()?,
+            degraded_after: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: FreshnessPolicy = FreshnessPolicy {
+        stale_after: 100,
+        degraded_after: 250,
+    };
+
+    #[test]
+    fn decay_walks_the_ladder() {
+        assert_eq!(POLICY.level(Some(1000), 1000), Freshness::Trusted);
+        assert_eq!(POLICY.level(Some(1000), 1099), Freshness::Trusted);
+        assert_eq!(POLICY.level(Some(1000), 1100), Freshness::Stale);
+        assert_eq!(POLICY.level(Some(1000), 1249), Freshness::Stale);
+        assert_eq!(POLICY.level(Some(1000), 1250), Freshness::Degraded);
+        assert_eq!(POLICY.level(None, 0), Freshness::Degraded);
+    }
+
+    #[test]
+    fn reattestation_reverses_decay() {
+        assert_eq!(POLICY.level(Some(1000), 1300), Freshness::Degraded);
+        // A new passing stage at t=1300 resets the anchor.
+        assert_eq!(POLICY.level(Some(1300), 1300), Freshness::Trusted);
+    }
+
+    #[test]
+    fn disabled_policy_never_decays() {
+        let p = FreshnessPolicy::disabled();
+        assert!(!p.is_enabled());
+        assert_eq!(p.level(None, u64::MAX), Freshness::Trusted);
+        assert_eq!(p.next_transition_at(Some(0), 0), None);
+    }
+
+    #[test]
+    fn next_transition_tracks_the_nearest_boundary() {
+        assert_eq!(POLICY.next_transition_at(Some(1000), 1000), Some(1100));
+        assert_eq!(POLICY.next_transition_at(Some(1000), 1100), Some(1250));
+        assert_eq!(POLICY.next_transition_at(Some(1000), 1250), None);
+        // Never-attested devices are already fully decayed: no timer.
+        assert_eq!(POLICY.next_transition_at(None, 0), None);
+    }
+
+    #[test]
+    fn ordering_reflects_trust() {
+        assert!(Freshness::Trusted < Freshness::Stale);
+        assert!(Freshness::Stale < Freshness::Degraded);
+    }
+}

@@ -1,0 +1,429 @@
+//! One link of a device's evidence chain: a canonically-encoded,
+//! hash-linked, CMAC-authenticated record of one attestation stage.
+
+use sage_crypto::canon::{self, CanonError, Reader};
+use sage_crypto::cmac::{cmac_aes128, cmac_verify};
+use sage_crypto::Sha256;
+
+/// Evidence format version (bumped on any canonical-encoding change —
+/// the version byte is itself covered by the hash and the MAC).
+pub const EVIDENCE_VERSION: u8 = 1;
+
+/// How a judged attestation stage came out. Mirrors the verifier's
+/// verdict taxonomy (`sage::SageError`) plus the service's timeout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageVerdict {
+    /// The stage passed both the value and the timing checks.
+    Pass,
+    /// The computed value (checksum / kernel hash) was wrong.
+    WrongValue,
+    /// The measured exchange time exceeded the calibrated threshold.
+    TooSlow,
+    /// No response arrived before the deadline.
+    Timeout,
+}
+
+impl StageVerdict {
+    /// Stable string tag (JSON exports, telemetry labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StageVerdict::Pass => "pass",
+            StageVerdict::WrongValue => "wrong_value",
+            StageVerdict::TooSlow => "too_slow",
+            StageVerdict::Timeout => "timeout",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            StageVerdict::Pass => 0,
+            StageVerdict::WrongValue => 1,
+            StageVerdict::TooSlow => 2,
+            StageVerdict::Timeout => 3,
+        }
+    }
+
+    fn from_tag(value: u8) -> Result<StageVerdict, CanonError> {
+        Ok(match value {
+            0 => StageVerdict::Pass,
+            1 => StageVerdict::WrongValue,
+            2 => StageVerdict::TooSlow,
+            3 => StageVerdict::Timeout,
+            value => {
+                return Err(CanonError::BadTag {
+                    field: "stage verdict",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// Which verification path produced a checksum verdict: the classic
+/// online-replay path or the precomputed bank-hit fast path. Carried in
+/// the evidence so an auditor can see which machinery judged each round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvidencePath {
+    /// Online replay inside the verdict ([`check_response`]-style).
+    Classic,
+    /// Precomputed expected checksum (bank hit).
+    Precomputed,
+}
+
+impl EvidencePath {
+    /// Stable string tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EvidencePath::Classic => "classic",
+            EvidencePath::Precomputed => "precomputed",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            EvidencePath::Classic => 0,
+            EvidencePath::Precomputed => 1,
+        }
+    }
+
+    fn from_tag(value: u8) -> Result<EvidencePath, CanonError> {
+        Ok(match value {
+            0 => EvidencePath::Classic,
+            1 => EvidencePath::Precomputed,
+            value => {
+                return Err(CanonError::BadTag {
+                    field: "evidence path",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// What one evidence record attests — one stage of the continuous
+/// attestation pipeline (root-of-trust round → SAKE key confirmation →
+/// kernel-hash check → channel liveness).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvidencePayload {
+    /// SAKE key establishment completed and the session key was
+    /// confirmed (the chain's MAC key is derived from that key, so every
+    /// later record implicitly re-confirms it).
+    SakeConfirmed {
+        /// Public fingerprint of the established session key
+        /// (`SHA-256("sage-key-fp:" ‖ key)[..8]`) — identifies the key
+        /// epoch without revealing the key.
+        key_fingerprint: [u8; 8],
+        /// Measured checksum exchange time of the establishment round.
+        measured_cycles: u64,
+        /// The calibrated threshold it was judged against.
+        threshold_cycles: u64,
+    },
+    /// One challenge–response checksum round (the paper's repeated
+    /// Fig. 3 step 4), with the timing budget it was judged under.
+    ChecksumRound {
+        /// Service round number.
+        round: u64,
+        /// Measured exchange time in cycles (0 for a timeout).
+        measured_cycles: u64,
+        /// The calibrated threshold.
+        threshold_cycles: u64,
+        /// How the round was judged.
+        verdict: StageVerdict,
+        /// Which verification path judged it.
+        path: EvidencePath,
+    },
+    /// A user-kernel authenticity check (`H(r ‖ code)`, paper Eq. 9).
+    KernelHash {
+        /// The verified kernel measurement.
+        hash: [u8; 32],
+        /// Whether the device's measurement matched.
+        verdict: StageVerdict,
+    },
+    /// A secure-channel liveness probe (MAC'd echo over the SAKE-keyed
+    /// channel).
+    ChannelLiveness {
+        /// Probe nonce.
+        nonce: u64,
+        /// Whether the authenticated echo came back intact.
+        verdict: StageVerdict,
+    },
+}
+
+impl EvidencePayload {
+    /// Stable stage name (telemetry labels, JSON).
+    pub fn stage(&self) -> &'static str {
+        match self {
+            EvidencePayload::SakeConfirmed { .. } => "sake",
+            EvidencePayload::ChecksumRound { .. } => "checksum",
+            EvidencePayload::KernelHash { .. } => "kernel_hash",
+            EvidencePayload::ChannelLiveness { .. } => "liveness",
+        }
+    }
+
+    /// The stage's verdict (SAKE confirmation records only exist for
+    /// successful establishments, so they are always `Pass`).
+    pub fn verdict(&self) -> StageVerdict {
+        match self {
+            EvidencePayload::SakeConfirmed { .. } => StageVerdict::Pass,
+            EvidencePayload::ChecksumRound { verdict, .. }
+            | EvidencePayload::KernelHash { verdict, .. }
+            | EvidencePayload::ChannelLiveness { verdict, .. } => *verdict,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EvidencePayload::SakeConfirmed {
+                key_fingerprint,
+                measured_cycles,
+                threshold_cycles,
+            } => {
+                canon::put_u8(out, 0);
+                canon::put_fixed(out, key_fingerprint);
+                canon::put_u64(out, *measured_cycles);
+                canon::put_u64(out, *threshold_cycles);
+            }
+            EvidencePayload::ChecksumRound {
+                round,
+                measured_cycles,
+                threshold_cycles,
+                verdict,
+                path,
+            } => {
+                canon::put_u8(out, 1);
+                canon::put_u64(out, *round);
+                canon::put_u64(out, *measured_cycles);
+                canon::put_u64(out, *threshold_cycles);
+                canon::put_u8(out, verdict.tag());
+                canon::put_u8(out, path.tag());
+            }
+            EvidencePayload::KernelHash { hash, verdict } => {
+                canon::put_u8(out, 2);
+                canon::put_fixed(out, hash);
+                canon::put_u8(out, verdict.tag());
+            }
+            EvidencePayload::ChannelLiveness { nonce, verdict } => {
+                canon::put_u8(out, 3);
+                canon::put_u64(out, *nonce);
+                canon::put_u8(out, verdict.tag());
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<EvidencePayload, CanonError> {
+        Ok(match r.u8()? {
+            0 => EvidencePayload::SakeConfirmed {
+                key_fingerprint: r.fixed::<8>()?,
+                measured_cycles: r.u64()?,
+                threshold_cycles: r.u64()?,
+            },
+            1 => EvidencePayload::ChecksumRound {
+                round: r.u64()?,
+                measured_cycles: r.u64()?,
+                threshold_cycles: r.u64()?,
+                verdict: StageVerdict::from_tag(r.u8()?)?,
+                path: EvidencePath::from_tag(r.u8()?)?,
+            },
+            2 => EvidencePayload::KernelHash {
+                hash: r.fixed::<32>()?,
+                verdict: StageVerdict::from_tag(r.u8()?)?,
+            },
+            3 => EvidencePayload::ChannelLiveness {
+                nonce: r.u64()?,
+                verdict: StageVerdict::from_tag(r.u8()?)?,
+            },
+            value => {
+                return Err(CanonError::BadTag {
+                    field: "evidence payload",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// One hash-chained, MAC-authenticated evidence record.
+///
+/// The canonical encoding (version, sequence, time, payload, previous
+/// head) is what the AES-CMAC tag covers; the record's *link hash* — the
+/// value the next record's `prev` commits to and the Merkle epoch seals —
+/// is the SHA-256 of the canonical bytes *including* the tag, so a
+/// forged tag breaks the chain even before MAC verification runs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EvidenceRecord {
+    /// Position in the device's chain (the genesis record has `seq` 1).
+    pub seq: u64,
+    /// Virtual time the stage concluded at.
+    pub at: u64,
+    /// What the record attests.
+    pub payload: EvidencePayload,
+    /// Link hash of the previous record (the chain's genesis head for
+    /// `seq` 1).
+    pub prev: [u8; 32],
+    /// AES-CMAC over the canonical bytes, keyed from the device's SAKE
+    /// session key (see [`crate::chain::derive_evidence_key`]).
+    pub tag: [u8; 16],
+}
+
+impl EvidenceRecord {
+    /// The canonical bytes the MAC covers (everything but the tag).
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        canon::put_u8(&mut out, EVIDENCE_VERSION);
+        canon::put_u64(&mut out, self.seq);
+        canon::put_u64(&mut out, self.at);
+        self.payload.encode(&mut out);
+        canon::put_fixed(&mut out, &self.prev);
+        out
+    }
+
+    /// The full canonical encoding (signed bytes plus the tag) — the
+    /// transport form, and the preimage of [`EvidenceRecord::link_hash`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.signed_bytes();
+        canon::put_fixed(&mut out, &self.tag);
+        out
+    }
+
+    /// Decodes one record from a [`Reader`] (composable into streams).
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<EvidenceRecord, CanonError> {
+        let version = r.u8()?;
+        if version != EVIDENCE_VERSION {
+            return Err(CanonError::BadTag {
+                field: "evidence version",
+                value: version,
+            });
+        }
+        Ok(EvidenceRecord {
+            seq: r.u64()?,
+            at: r.u64()?,
+            payload: EvidencePayload::decode(r)?,
+            prev: r.fixed::<32>()?,
+            tag: r.fixed::<16>()?,
+        })
+    }
+
+    /// Decodes a standalone record (the input must be exactly one
+    /// canonical record).
+    pub fn decode(bytes: &[u8]) -> Result<EvidenceRecord, CanonError> {
+        let mut r = Reader::new(bytes);
+        let rec = EvidenceRecord::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(rec)
+    }
+
+    /// Builds and authenticates a record under `key`.
+    pub fn seal(
+        seq: u64,
+        at: u64,
+        payload: EvidencePayload,
+        prev: [u8; 32],
+        key: &[u8; 16],
+    ) -> EvidenceRecord {
+        let mut rec = EvidenceRecord {
+            seq,
+            at,
+            payload,
+            prev,
+            tag: [0u8; 16],
+        };
+        rec.tag = cmac_aes128(key, &rec.signed_bytes());
+        rec
+    }
+
+    /// Verifies the CMAC tag under `key` (constant-time compare).
+    pub fn verify_tag(&self, key: &[u8; 16]) -> bool {
+        cmac_verify(key, &self.signed_bytes(), &self.tag)
+    }
+
+    /// The record's link hash: SHA-256 of the full canonical encoding.
+    /// Computed with the streaming hasher so the encoding is absorbed
+    /// without an intermediate concatenation buffer.
+    pub fn link_hash(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.encode());
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payloads() -> Vec<EvidencePayload> {
+        vec![
+            EvidencePayload::SakeConfirmed {
+                key_fingerprint: [1, 2, 3, 4, 5, 6, 7, 8],
+                measured_cycles: 1234,
+                threshold_cycles: 2000,
+            },
+            EvidencePayload::ChecksumRound {
+                round: 7,
+                measured_cycles: 999,
+                threshold_cycles: 1500,
+                verdict: StageVerdict::Pass,
+                path: EvidencePath::Precomputed,
+            },
+            EvidencePayload::KernelHash {
+                hash: [9u8; 32],
+                verdict: StageVerdict::WrongValue,
+            },
+            EvidencePayload::ChannelLiveness {
+                nonce: 42,
+                verdict: StageVerdict::Timeout,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_payload_kind_round_trips() {
+        let key = [7u8; 16];
+        for (i, payload) in sample_payloads().into_iter().enumerate() {
+            let rec =
+                EvidenceRecord::seal(i as u64 + 1, 100 + i as u64, payload, [i as u8; 32], &key);
+            let decoded = EvidenceRecord::decode(&rec.encode()).unwrap();
+            assert_eq!(decoded, rec);
+            assert!(decoded.verify_tag(&key));
+        }
+    }
+
+    #[test]
+    fn tag_covers_every_signed_byte() {
+        let key = [7u8; 16];
+        let rec = EvidenceRecord::seal(
+            1,
+            50,
+            EvidencePayload::ChannelLiveness {
+                nonce: 1,
+                verdict: StageVerdict::Pass,
+            },
+            [0u8; 32],
+            &key,
+        );
+        let bytes = rec.encode();
+        // Flip each signed byte in turn: the decoded record must fail
+        // tag verification (the tag bytes themselves are the last 16).
+        for i in 0..bytes.len() - 16 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1;
+            // Structural damage (a decode error) is fine too.
+            if let Ok(m) = EvidenceRecord::decode(&mutated) {
+                assert!(!m.verify_tag(&key), "byte {i} not covered by the tag");
+            }
+        }
+        assert!(!rec.verify_tag(&[8u8; 16]), "wrong key must fail");
+    }
+
+    #[test]
+    fn link_hash_changes_with_the_tag() {
+        let key_a = [1u8; 16];
+        let key_b = [2u8; 16];
+        let payload = EvidencePayload::ChannelLiveness {
+            nonce: 5,
+            verdict: StageVerdict::Pass,
+        };
+        let a = EvidenceRecord::seal(1, 10, payload.clone(), [0u8; 32], &key_a);
+        let b = EvidenceRecord::seal(1, 10, payload, [0u8; 32], &key_b);
+        assert_ne!(a.link_hash(), b.link_hash(), "tag must be in the link hash");
+    }
+}

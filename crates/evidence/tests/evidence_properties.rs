@@ -1,0 +1,151 @@
+//! Property-based evidence-codec checks: arbitrary byte strings never
+//! panic any decoder, every representable record round-trips through
+//! encode → decode unchanged, and inclusion proofs reject every
+//! single-bit mutation. The always-on seeded twin of this suite lives in
+//! `evidence_fuzz.rs`; this file adds proptest's shrinking on top.
+
+// Entire suite gated: `proptest` is not vendored in this dependency-free
+// tree. Build with `--features proptest` after re-adding the dev-dependency
+// locally to run it.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use sage_crypto::canon::Reader;
+use sage_evidence::chain::decode_records;
+use sage_evidence::merkle::{epoch_root, prove_inclusion, verify_inclusion};
+use sage_evidence::{
+    DeviceReport, EpochLeaf, EvidencePath, EvidencePayload, EvidenceRecord, InclusionProof,
+    StageVerdict,
+};
+
+fn arb_verdict() -> impl Strategy<Value = StageVerdict> {
+    prop_oneof![
+        Just(StageVerdict::Pass),
+        Just(StageVerdict::WrongValue),
+        Just(StageVerdict::TooSlow),
+        Just(StageVerdict::Timeout),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = EvidencePayload> {
+    prop_oneof![
+        (any::<[u8; 8]>(), any::<u64>(), any::<u64>()).prop_map(
+            |(key_fingerprint, measured_cycles, threshold_cycles)| {
+                EvidencePayload::SakeConfirmed {
+                    key_fingerprint,
+                    measured_cycles,
+                    threshold_cycles,
+                }
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_verdict(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(round, measured_cycles, threshold_cycles, verdict, fast)| {
+                    EvidencePayload::ChecksumRound {
+                        round,
+                        measured_cycles,
+                        threshold_cycles,
+                        verdict,
+                        path: if fast {
+                            EvidencePath::Precomputed
+                        } else {
+                            EvidencePath::Classic
+                        },
+                    }
+                }
+            ),
+        (any::<[u8; 32]>(), arb_verdict())
+            .prop_map(|(hash, verdict)| EvidencePayload::KernelHash { hash, verdict }),
+        (any::<u64>(), arb_verdict())
+            .prop_map(|(nonce, verdict)| EvidencePayload::ChannelLiveness { nonce, verdict }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = EvidenceRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        arb_payload(),
+        any::<[u8; 32]>(),
+        any::<[u8; 16]>(),
+    )
+        .prop_map(|(seq, at, payload, prev, key)| {
+            EvidenceRecord::seal(seq, at, payload, prev, &key)
+        })
+}
+
+fn arb_leaves() -> impl Strategy<Value = Vec<EpochLeaf>> {
+    prop::collection::vec((any::<[u8; 32]>(), any::<u64>()), 1..9).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (head, seq))| EpochLeaf {
+                device: format!("gpu-{i}"),
+                head,
+                seq,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn decoders_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = EvidenceRecord::decode(&bytes);
+        let _ = DeviceReport::decode(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = decode_records(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = InclusionProof::decode_from(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = EpochLeaf::decode_from(&mut r);
+    }
+
+    #[test]
+    fn records_round_trip(rec in arb_record()) {
+        prop_assert_eq!(EvidenceRecord::decode(&rec.encode()).as_ref(), Ok(&rec));
+    }
+
+    #[test]
+    fn mutated_records_stay_total(
+        rec in arb_record(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut buf = rec.encode();
+        let i = idx.index(buf.len());
+        buf[i] ^= 1 << bit;
+        if let Ok(redecoded) = EvidenceRecord::decode(&buf) {
+            prop_assert_eq!(EvidenceRecord::decode(&redecoded.encode()).as_ref(), Ok(&redecoded));
+        }
+    }
+
+    #[test]
+    fn inclusion_proof_rejects_bit_flips(
+        leaves in arb_leaves(),
+        pick in any::<prop::sample::Index>(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let index = pick.index(leaves.len());
+        let root = epoch_root(&leaves);
+        let proof = prove_inclusion(&leaves, index);
+        prop_assert!(verify_inclusion(&leaves[index], &proof, &root));
+
+        let mut buf = Vec::new();
+        proof.encode(&mut buf);
+        let i = idx.index(buf.len());
+        buf[i] ^= 1 << bit;
+        let mut r = Reader::new(&buf);
+        let verified = InclusionProof::decode_from(&mut r)
+            .ok()
+            .filter(|_| r.finish().is_ok())
+            .is_some_and(|p| verify_inclusion(&leaves[index], &p, &root));
+        prop_assert!(!verified);
+    }
+}

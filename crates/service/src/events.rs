@@ -1,6 +1,7 @@
 //! Structured event log and counters — the control plane's observability
 //! surface, exported as JSON for dashboards and the `svcperf` benchmark.
 
+use sage_evidence::Freshness;
 use sage_telemetry::{Counter, Histogram, Registry};
 
 use crate::service::DeviceState;
@@ -76,6 +77,23 @@ pub enum EventKind {
     },
     /// The device left the fleet (operator revocation).
     Left,
+    /// The device's freshness level changed (decay without
+    /// re-attestation, or recovery when a stage passed again).
+    FreshnessChanged {
+        /// Previous level.
+        from: Freshness,
+        /// New level.
+        to: Freshness,
+    },
+    /// A fleet evidence epoch was sealed: a Merkle root over every
+    /// device's chain head (recorded under the synthetic device name
+    /// `"fleet"`).
+    EpochSealed {
+        /// Epoch index (first sealed epoch is 1).
+        epoch: u64,
+        /// The sealed Merkle root.
+        root: [u8; 32],
+    },
 }
 
 /// A timestamped, per-device event.
@@ -114,6 +132,10 @@ pub struct Counters {
     pub quarantines: u64,
     /// Enrollment calibration failures.
     pub calibration_failures: u64,
+    /// Freshness-level transitions (decay or recovery).
+    pub freshness_transitions: u64,
+    /// Fleet evidence epochs sealed.
+    pub epochs_sealed: u64,
 }
 
 /// Round-latency distribution over passed rounds, in virtual ticks
@@ -145,6 +167,10 @@ struct LogTelemetry {
     late_responses: Counter,
     quarantines: Counter,
     calibration_failures: Counter,
+    /// Freshness transitions by destination level ([`Freshness`]
+    /// discriminant order: trusted, stale, degraded).
+    freshness_transitions: [Counter; 3],
+    epochs_sealed: Counter,
     round_latency: Histogram,
     /// Rounds started but not yet passed: `(device, round, started_at)`.
     open_rounds: Vec<(String, u64, u64)>,
@@ -167,6 +193,9 @@ impl LogTelemetry {
             late_responses: reg.counter("service_late_responses_total", &[]),
             quarantines: reg.counter("service_quarantines_total", &[]),
             calibration_failures: reg.counter("service_calibration_failures_total", &[]),
+            freshness_transitions: [Freshness::Trusted, Freshness::Stale, Freshness::Degraded]
+                .map(|l| reg.counter("service_freshness_transitions_total", &[("to", l.as_str())])),
+            epochs_sealed: reg.counter("service_epochs_sealed_total", &[]),
             round_latency: reg.histogram("service_round_latency_ticks", &[]),
             open_rounds: Vec::new(),
         }
@@ -201,6 +230,10 @@ impl LogTelemetry {
             EventKind::RoundFailed { reason, .. } => self.round_failed[*reason as usize].inc(),
             EventKind::Restarted { .. } => self.restarts.inc(),
             EventKind::LateResponse { .. } => self.late_responses.inc(),
+            EventKind::FreshnessChanged { to, .. } => {
+                self.freshness_transitions[to.tag() as usize].inc()
+            }
+            EventKind::EpochSealed { .. } => self.epochs_sealed.inc(),
         }
     }
 }
@@ -269,6 +302,8 @@ impl EventLog {
             },
             EventKind::Restarted { .. } => self.counters.restarts += 1,
             EventKind::LateResponse { .. } => self.counters.late_responses += 1,
+            EventKind::FreshnessChanged { .. } => self.counters.freshness_transitions += 1,
+            EventKind::EpochSealed { .. } => self.counters.epochs_sealed += 1,
         }
         self.events.push(Event {
             at,
@@ -344,7 +379,8 @@ impl EventLog {
                 "{{\"joins\": {}, \"leaves\": {}, \"rounds_started\": {}, ",
                 "\"rounds_passed\": {}, \"value_rejects\": {}, \"timing_rejects\": {}, ",
                 "\"timeouts\": {}, \"restarts\": {}, \"late_responses\": {}, ",
-                "\"quarantines\": {}, \"calibration_failures\": {}}}"
+                "\"quarantines\": {}, \"calibration_failures\": {}, ",
+                "\"freshness_transitions\": {}, \"epochs_sealed\": {}}}"
             ),
             c.joins,
             c.leaves,
@@ -357,6 +393,8 @@ impl EventLog {
             c.late_responses,
             c.quarantines,
             c.calibration_failures,
+            c.freshness_transitions,
+            c.epochs_sealed,
         )
     }
 
@@ -426,6 +464,15 @@ fn kind_json(kind: &EventKind) -> String {
             format!("\"kind\": \"late_response\", \"round\": {round}")
         }
         EventKind::Left => "\"kind\": \"left\"".into(),
+        EventKind::FreshnessChanged { from, to } => format!(
+            "\"kind\": \"freshness_changed\", \"from\": \"{}\", \"to\": \"{}\"",
+            from.as_str(),
+            to.as_str()
+        ),
+        EventKind::EpochSealed { epoch, root } => {
+            let hex: String = root.iter().map(|b| format!("{b:02x}")).collect();
+            format!("\"kind\": \"epoch_sealed\", \"epoch\": {epoch}, \"root\": \"{hex}\"")
+        }
     }
 }
 

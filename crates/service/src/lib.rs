@@ -51,7 +51,8 @@ pub use net::{Envelope, Fault, LinkProfile, NetStats, NodeId, SimNet, SplitMix64
 pub use node::DeviceNode;
 pub use policy::Policy;
 pub use service::{
-    AttestationService, DeviceHealth, DeviceState, DeviceStatus, ServiceConfig, VERIFIER_NODE,
+    AttestationService, DeviceHealth, DeviceState, DeviceStatus, SealedEpoch, ServiceConfig,
+    VERIFIER_NODE,
 };
 pub use snapshot::{Endpoint, SnapshotError};
 pub use wire::{CodecError, Frame};

@@ -1,6 +1,7 @@
 //! The device-side endpoint of the control plane: owns the GPU session
 //! and answers re-attestation challenges arriving over the transport.
 
+use sage::channel::{Role, SecureChannel, Wire};
 use sage::multi::FleetMember;
 
 use crate::net::NodeId;
@@ -17,6 +18,13 @@ pub struct DeviceNode {
     /// genuinely became slower after enrollment (e.g. a proxy relaying
     /// the exchange, paper §8). Zero for honest devices.
     pub extra_compute: u64,
+    /// The SAKE session key held by the device-resident trusted code
+    /// (installed after establishment; the device end of liveness
+    /// probes). Survives a control-plane crash with the endpoint.
+    pub session_key: Option<[u8; 16]>,
+    /// When `true`, the device ignores liveness probes (models a hung or
+    /// unplugged device for tests; challenge rounds are unaffected).
+    pub mute_liveness: bool,
 }
 
 impl DeviceNode {
@@ -26,7 +34,21 @@ impl DeviceNode {
             member,
             id,
             extra_compute: 0,
+            session_key: None,
+            mute_liveness: false,
         }
+    }
+
+    /// Answers an authenticated liveness probe with the SAKE-keyed echo,
+    /// or `None` if no key is installed, the probe fails to open, or the
+    /// device is muted.
+    pub fn answer_liveness(&mut self, probe: &Wire) -> Option<Wire> {
+        if self.mute_liveness {
+            return None;
+        }
+        let sk = self.session_key?;
+        let mut ch = SecureChannel::new(sk, Role::Device);
+        ch.answer_liveness(probe).ok()
     }
 
     /// Handles one decoded frame arriving at virtual time `at`. Returns

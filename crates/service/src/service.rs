@@ -20,11 +20,15 @@
 //! re-attestation) rather than ticking one unit at a time, the same
 //! stall-skipping idea the simulator core uses.
 
+use sage::channel::{Role, SecureChannel};
 use sage::multi::{power_score, FleetMember};
-use sage::sake::SakeMessage;
+use sage::sake::{key_fingerprint, SakeMessage};
 use sage::verifier::Verifier;
 use sage::{GpuSession, SageError};
 use sage_crypto::DhGroup;
+use sage_evidence::merkle::{epoch_root, prove_inclusion, EpochLeaf};
+use sage_evidence::report::{DeviceReport, FreshnessClaim};
+use sage_evidence::{EvidenceChain, EvidencePath, EvidencePayload, Freshness, StageVerdict};
 use sage_sgx_sim::Enclave;
 use sage_telemetry::Registry;
 
@@ -104,6 +108,13 @@ pub struct ServiceConfig {
     /// spent here is accounted separately — see
     /// [`AttestationService::prefill_wall_seconds`].
     pub prefill_rounds: usize,
+    /// Virtual ticks between fleet evidence epochs: every interval, a
+    /// Merkle root over all device chain heads is sealed and logged.
+    /// `0` (the default) disables epoch sealing.
+    pub epoch_interval: u64,
+    /// Freshness-driven trust decay. Disabled by default (devices never
+    /// decay), preserving the historical lifecycle exactly.
+    pub freshness: sage_evidence::FreshnessPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +128,8 @@ impl Default for ServiceConfig {
             bank_capacity: 2,
             bank_workers: 1,
             prefill_rounds: 0,
+            epoch_interval: 0,
+            freshness: sage_evidence::FreshnessPolicy::disabled(),
         }
     }
 }
@@ -144,6 +157,32 @@ pub(crate) struct ManagedDevice {
     pub(crate) consecutive_restarts: u32,
     pub(crate) outstanding: Option<Outstanding>,
     pub(crate) next_action_at: Option<u64>,
+    /// The SAKE session key (verifier side), kept to open liveness
+    /// channels and derive the evidence key after a restore.
+    pub(crate) session_key: Option<[u8; 16]>,
+    /// The device's evidence chain (present once SAKE established).
+    pub(crate) evidence: Option<EvidenceChain>,
+    /// Virtual time of the newest passing attestation stage — the
+    /// freshness anchor. Mirrors the chain's newest `Pass` record.
+    pub(crate) last_attested: Option<u64>,
+    /// Current freshness level under the configured policy.
+    pub(crate) freshness: Freshness,
+}
+
+/// One sealed fleet evidence epoch: the Merkle root over every device's
+/// chain head at the seal instant, plus the leaves (so inclusion proofs
+/// stay recomputable after the fact).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SealedEpoch {
+    /// Epoch index (the first sealed epoch is 1).
+    pub index: u64,
+    /// Virtual time the epoch was sealed.
+    pub at: u64,
+    /// Merkle root over `leaves`.
+    pub root: [u8; 32],
+    /// Per-device leaves, sorted by device name (the canonical order the
+    /// root commits to).
+    pub leaves: Vec<EpochLeaf>,
 }
 
 /// One device's health, derived from its lifecycle counters. The score
@@ -199,6 +238,10 @@ pub struct AttestationService<T: Transport> {
     /// Wall-clock time spent in pooled bank prefill across every join,
     /// kept out of the enrollment figure benchmarks report.
     pub(crate) prefill_wall: core::time::Duration,
+    /// Sealed fleet evidence epochs, oldest first.
+    pub(crate) sealed_epochs: Vec<SealedEpoch>,
+    /// When the next epoch seals (`None` while epochs are disabled).
+    pub(crate) next_seal_at: Option<u64>,
 }
 
 impl<T: Transport> AttestationService<T> {
@@ -214,6 +257,8 @@ impl<T: Transport> AttestationService<T> {
             next_node: 1,
             registry: None,
             prefill_wall: core::time::Duration::ZERO,
+            sealed_epochs: Vec::new(),
+            next_seal_at: (cfg.epoch_interval > 0).then_some(cfg.epoch_interval),
         }
     }
 
@@ -396,11 +441,11 @@ impl<T: Transport> AttestationService<T> {
         };
 
         record_state(&mut self.log, self.now, DeviceState::Attesting);
-        let enrolled = match verifier.calibrate(&mut member.session, self.cfg.calibration_runs) {
+        let outcome = match verifier.calibrate(&mut member.session, self.cfg.calibration_runs) {
             Err(_) => {
                 self.log
                     .record(self.now, &name, EventKind::CalibrationFailed);
-                false
+                None
             }
             Ok(_) => {
                 // Serialization boundary: each SAKE message is encoded
@@ -419,21 +464,41 @@ impl<T: Transport> AttestationService<T> {
                 };
                 match verifier.establish_key(&mut member.session, &mut member.agent, Some(&mut tap))
                 {
-                    Ok(_) if codec_ok => true,
+                    Ok(o) if codec_ok => Some(o),
                     _ => {
                         self.log.record(self.now, &name, EventKind::EstablishFailed);
-                        false
+                        None
                     }
                 }
             }
         };
-        if !enrolled {
+        if outcome.is_none() {
             record_state(&mut self.log, self.now, DeviceState::Quarantined);
         }
 
-        let next_action_at = enrolled.then_some(self.now + 1);
+        let next_action_at = outcome.is_some().then_some(self.now + 1);
+        let mut node = DeviceNode::new(member, id);
+        // An established key opens the device's evidence chain: its first
+        // record attests the SAKE confirmation (key fingerprint plus the
+        // timed establishment round the key's trust rests on).
+        let (session_key, evidence, last_attested) = match outcome {
+            Some(o) => {
+                node.session_key = Some(o.session_key);
+                let mut chain = EvidenceChain::new(&name, &o.session_key);
+                chain.append(
+                    self.now,
+                    EvidencePayload::SakeConfirmed {
+                        key_fingerprint: key_fingerprint(&o.session_key),
+                        measured_cycles: o.measured_cycles,
+                        threshold_cycles: o.threshold_cycles,
+                    },
+                );
+                (Some(o.session_key), Some(chain), Some(self.now))
+            }
+            None => (None, None, None),
+        };
         self.devices.push(ManagedDevice {
-            node: DeviceNode::new(member, id),
+            node,
             verifier,
             state,
             round: 0,
@@ -443,6 +508,10 @@ impl<T: Transport> AttestationService<T> {
             consecutive_restarts: 0,
             outstanding: None,
             next_action_at,
+            session_key,
+            evidence,
+            last_attested,
+            freshness: Freshness::Trusted,
         });
         self.sort_roster();
         id
@@ -493,6 +562,24 @@ impl<T: Transport> AttestationService<T> {
             if let Some(o) = &d.outstanding {
                 fold(o.deadline);
             }
+            // Freshness decay is an event too: the clock must land on
+            // the transition boundary so the level change is observable
+            // at the exact tick the policy names.
+            if self.cfg.freshness.is_enabled()
+                && d.evidence.is_some()
+                && d.state != DeviceState::Revoked
+            {
+                if let Some(t) = self
+                    .cfg
+                    .freshness
+                    .next_transition_at(d.last_attested, self.now)
+                {
+                    fold(t);
+                }
+            }
+        }
+        if let Some(t) = self.next_seal_at {
+            fold(t);
         }
         next
     }
@@ -520,6 +607,8 @@ impl<T: Transport> AttestationService<T> {
         self.pump_verifier_inbox();
         self.expire_deadlines();
         self.start_due_rounds();
+        self.seal_due_epochs();
+        self.apply_freshness_decay();
     }
 
     /// Delivers frames to device nodes and forwards their replies
@@ -585,12 +674,18 @@ impl<T: Transport> AttestationService<T> {
                     .verifier
                     .check_response(&o.challenges, checksum, measured_cycles),
             };
+            let path = match o.expected {
+                Some(_) => EvidencePath::Precomputed,
+                None => EvidencePath::Classic,
+            };
             match verdict {
-                Ok(_) => self.round_passed(i, round, measured_cycles),
+                Ok(_) => self.round_passed(i, round, measured_cycles, path),
                 Err(SageError::TimingExceeded { .. }) => {
-                    self.round_failed(i, round, FailReason::TooSlow)
+                    self.round_failed(i, round, FailReason::TooSlow, measured_cycles, path)
                 }
-                Err(_) => self.round_failed(i, round, FailReason::WrongValue),
+                Err(_) => {
+                    self.round_failed(i, round, FailReason::WrongValue, measured_cycles, path)
+                }
             }
         }
     }
@@ -603,7 +698,11 @@ impl<T: Transport> AttestationService<T> {
                 .is_some_and(|o| o.deadline <= self.now);
             if due {
                 if let Some(o) = self.devices[i].outstanding.take() {
-                    self.round_failed(i, o.round, FailReason::Timeout);
+                    let path = match o.expected {
+                        Some(_) => EvidencePath::Precomputed,
+                        None => EvidencePath::Classic,
+                    };
+                    self.round_failed(i, o.round, FailReason::Timeout, 0, path);
                 }
             }
         }
@@ -661,7 +760,7 @@ impl<T: Transport> AttestationService<T> {
         );
     }
 
-    fn round_passed(&mut self, i: usize, round: u64, measured: u64) {
+    fn round_passed(&mut self, i: usize, round: u64, measured: u64, path: EvidencePath) {
         let now = self.now;
         let interval = self.cfg.reattest_interval;
         let d = &mut self.devices[i];
@@ -671,19 +770,56 @@ impl<T: Transport> AttestationService<T> {
         d.consecutive_restarts = 0;
         d.next_action_at = Some(now + interval);
         let name = d.node.member.name.clone();
+        let threshold = d.verifier.threshold().unwrap_or(0);
         self.log
             .record(now, &name, EventKind::RoundPassed { round, measured });
-        if matches!(d.state, DeviceState::Attesting | DeviceState::Degraded) {
+        self.append_evidence(
+            i,
+            EvidencePayload::ChecksumRound {
+                round,
+                measured_cycles: measured,
+                threshold_cycles: threshold,
+                verdict: StageVerdict::Pass,
+                path,
+            },
+        );
+        if matches!(
+            self.devices[i].state,
+            DeviceState::Attesting | DeviceState::Degraded
+        ) {
             self.set_state(i, DeviceState::Trusted);
         }
     }
 
-    fn round_failed(&mut self, i: usize, round: u64, reason: FailReason) {
+    fn round_failed(
+        &mut self,
+        i: usize,
+        round: u64,
+        reason: FailReason,
+        measured: u64,
+        path: EvidencePath,
+    ) {
         let now = self.now;
         let policy = self.cfg.policy;
         let name = self.devices[i].node.member.name.clone();
         self.log
             .record(now, &name, EventKind::RoundFailed { round, reason });
+        let verdict = match reason {
+            FailReason::WrongValue => StageVerdict::WrongValue,
+            FailReason::TooSlow => StageVerdict::TooSlow,
+            FailReason::Timeout => StageVerdict::Timeout,
+        };
+        let threshold = self.devices[i].verifier.threshold().unwrap_or(0);
+        self.append_evidence(
+            i,
+            EvidencePayload::ChecksumRound {
+                round,
+                measured_cycles: measured,
+                threshold_cycles: threshold,
+                verdict,
+                path,
+            },
+        );
 
         let d = &mut self.devices[i];
         // Paper §7.2: a timing-only reject is ≈0.5% likely on an honest
@@ -733,6 +869,217 @@ impl<T: Transport> AttestationService<T> {
         let name = d.node.member.name.clone();
         self.log
             .record(self.now, &name, EventKind::StateChanged { from, to });
+    }
+
+    /// Appends one attestation-stage record to a device's evidence chain
+    /// (a no-op for devices whose SAKE establishment failed — they have
+    /// no chain and no key to authenticate records under). A passing
+    /// stage advances the freshness anchor.
+    fn append_evidence(&mut self, i: usize, payload: EvidencePayload) {
+        let now = self.now;
+        let d = &mut self.devices[i];
+        let Some(chain) = d.evidence.as_mut() else {
+            return;
+        };
+        let passed = payload.verdict() == StageVerdict::Pass;
+        chain.append(now, payload);
+        if passed {
+            d.last_attested = Some(now);
+        }
+        self.refresh_freshness(i);
+    }
+
+    /// Re-evaluates one device's freshness level under the configured
+    /// policy and logs the transition if it changed.
+    fn refresh_freshness(&mut self, i: usize) {
+        let now = self.now;
+        let d = &mut self.devices[i];
+        if d.evidence.is_none() || d.state == DeviceState::Revoked {
+            return;
+        }
+        let to = self.cfg.freshness.level(d.last_attested, now);
+        if to == d.freshness {
+            return;
+        }
+        let from = d.freshness;
+        d.freshness = to;
+        let name = d.node.member.name.clone();
+        self.log
+            .record(now, &name, EventKind::FreshnessChanged { from, to });
+    }
+
+    /// Applies freshness decay across the fleet (event-loop hook; the
+    /// clock lands exactly on transition boundaries via
+    /// [`AttestationService::next_event_at`]).
+    fn apply_freshness_decay(&mut self) {
+        if !self.cfg.freshness.is_enabled() {
+            return;
+        }
+        for i in 0..self.devices.len() {
+            self.refresh_freshness(i);
+        }
+    }
+
+    /// Seals every epoch due at the current time (a catch-up loop, so a
+    /// long clock hop seals each missed boundary in order).
+    fn seal_due_epochs(&mut self) {
+        while let Some(t) = self.next_seal_at {
+            if t > self.now {
+                break;
+            }
+            self.next_seal_at = Some(t + self.cfg.epoch_interval);
+            let mut leaves: Vec<EpochLeaf> = self
+                .devices
+                .iter()
+                .filter_map(|d| {
+                    d.evidence.as_ref().map(|c| EpochLeaf {
+                        device: d.node.member.name.clone(),
+                        head: c.head(),
+                        seq: c.seq(),
+                    })
+                })
+                .collect();
+            // Name order is the canonical leaf order the root commits to
+            // (the roster itself is power-ordered and churns).
+            leaves.sort_by(|a, b| a.device.cmp(&b.device));
+            let root = epoch_root(&leaves);
+            let index = self.sealed_epochs.last().map_or(1, |e| e.index + 1);
+            self.log
+                .record(t, "fleet", EventKind::EpochSealed { epoch: index, root });
+            self.sealed_epochs.push(SealedEpoch {
+                index,
+                at: t,
+                root,
+                leaves,
+            });
+        }
+    }
+
+    /// Sends one authenticated liveness probe to a device over a channel
+    /// keyed by its SAKE session key, and records the outcome as
+    /// evidence. Returns `None` for unknown devices or devices without
+    /// an established key; otherwise whether the echo verified.
+    pub fn probe_device(&mut self, name: &str) -> Option<bool> {
+        let i = self
+            .devices
+            .iter()
+            .position(|d| d.node.member.name == name)?;
+        let sk = self.devices[i].session_key?;
+        let seq = self.devices[i].evidence.as_ref()?.seq();
+        // Deterministic per-probe nonce: a splitmix64 finalizer over the
+        // (time, chain position) pair — unique per probe, reproducible
+        // across runs.
+        let mut nonce = self.now ^ seq.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+        nonce = (nonce ^ (nonce >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        nonce = (nonce ^ (nonce >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        nonce ^= nonce >> 31;
+        let mut host = SecureChannel::new(sk, Role::Host);
+        let probe = host.probe_liveness(nonce);
+        let ok = self.devices[i]
+            .node
+            .answer_liveness(&probe)
+            .is_some_and(|echo| host.confirm_liveness(nonce, &echo).is_ok());
+        let verdict = if ok {
+            StageVerdict::Pass
+        } else {
+            StageVerdict::Timeout
+        };
+        self.append_evidence(i, EvidencePayload::ChannelLiveness { nonce, verdict });
+        Some(ok)
+    }
+
+    /// Checks a user kernel's measured hash on a device (paper §5.2.3)
+    /// and records the measurement as evidence. Returns `None` for
+    /// unknown or never-established devices; otherwise whether the
+    /// measured hash matched.
+    pub fn verify_kernel(&mut self, name: &str, code: &[u8]) -> Option<bool> {
+        let i = self
+            .devices
+            .iter()
+            .position(|d| d.node.member.name == name)?;
+        self.devices[i].evidence.as_ref()?;
+        let d = &mut self.devices[i];
+        let outcome = d.verifier.verify_user_kernel_hash(
+            &mut d.node.member.session,
+            &mut d.node.member.agent,
+            code,
+        );
+        let (ok, payload) = match outcome {
+            Ok(hash) => (
+                true,
+                EvidencePayload::KernelHash {
+                    hash,
+                    verdict: StageVerdict::Pass,
+                },
+            ),
+            Err(_) => (
+                false,
+                EvidencePayload::KernelHash {
+                    hash: [0u8; 32],
+                    verdict: StageVerdict::WrongValue,
+                },
+            ),
+        };
+        self.append_evidence(i, payload);
+        Some(ok)
+    }
+
+    /// Builds a self-contained [`DeviceReport`] for one device, anchored
+    /// at the newest sealed epoch: the device's leaf and inclusion
+    /// proof, every chain record appended since the seal, and the
+    /// freshness claim at the current clock — all under the device's
+    /// evidence-key CMAC. `None` until an epoch sealed with the device
+    /// in it.
+    pub fn report_for(&self, name: &str) -> Option<DeviceReport> {
+        let d = self.devices.iter().find(|d| d.node.member.name == name)?;
+        let chain = d.evidence.as_ref()?;
+        let epoch = self.sealed_epochs.last()?;
+        let pos = epoch.leaves.iter().position(|l| l.device == name)?;
+        let leaf = epoch.leaves[pos].clone();
+        let proof = prove_inclusion(&epoch.leaves, pos);
+        let suffix = chain.suffix(leaf.seq);
+        let claim = FreshnessClaim {
+            policy: self.cfg.freshness,
+            last_pass_at: d.last_attested,
+            asserted_at: self.now,
+            level: self.cfg.freshness.level(d.last_attested, self.now),
+        };
+        Some(DeviceReport::seal(
+            epoch.index,
+            leaf,
+            epoch.root,
+            proof,
+            suffix,
+            claim,
+            &chain.evidence_key(),
+        ))
+    }
+
+    /// Every sealed fleet epoch, oldest first.
+    pub fn sealed_epochs(&self) -> &[SealedEpoch] {
+        &self.sealed_epochs
+    }
+
+    /// A device's evidence chain, if SAKE establishment succeeded.
+    pub fn evidence_of(&self, name: &str) -> Option<&EvidenceChain> {
+        self.devices
+            .iter()
+            .find(|d| d.node.member.name == name)
+            .and_then(|d| d.evidence.as_ref())
+    }
+
+    /// A device's evidence key (what a relying party needs, alongside a
+    /// trusted epoch root, to verify its reports out of band).
+    pub fn evidence_key_of(&self, name: &str) -> Option<[u8; 16]> {
+        self.evidence_of(name).map(|c| c.evidence_key())
+    }
+
+    /// A device's current freshness level.
+    pub fn freshness_of(&self, name: &str) -> Option<Freshness> {
+        self.devices
+            .iter()
+            .find(|d| d.node.member.name == name)
+            .map(|d| d.freshness)
     }
 
     /// Renders a service snapshot (time, per-device status, counters) as

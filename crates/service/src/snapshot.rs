@@ -21,16 +21,24 @@
 use sage::verifier::Verifier;
 use sage::Calibration;
 use sage_crypto::DhGroup;
+use sage_evidence::chain::{decode_records, encode_records};
+use sage_evidence::merkle::EpochLeaf;
+use sage_evidence::record::EvidenceRecord;
+use sage_evidence::{derive_evidence_key, EvidenceChain, Freshness};
 
 use crate::events::{Event, EventKind, EventLog, FailReason};
 use crate::net::{NodeId, Transport};
 use crate::node::DeviceNode;
-use crate::service::{AttestationService, DeviceState, ManagedDevice, Outstanding, ServiceConfig};
+use crate::service::{
+    AttestationService, DeviceState, ManagedDevice, Outstanding, SealedEpoch, ServiceConfig,
+};
 
 /// Snapshot magic: "SAGE snap".
 const MAGIC: u32 = 0x5A6E_A950;
-/// Current snapshot format version.
-const VERSION: u16 = 1;
+/// Current snapshot format version. Version 2 added the evidence layer:
+/// per-device session keys, evidence chains, freshness anchors, and the
+/// service's sealed fleet epochs.
+const VERSION: u16 = 2;
 
 /// Why a snapshot could not be decoded or re-married to its endpoints.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -56,6 +64,9 @@ pub enum SnapshotError {
     MissingEndpoint(String),
     /// An endpoint was provided for a device the snapshot doesn't know.
     UnknownDevice(String),
+    /// A device's evidence blob does not decode, or its records fail
+    /// re-verification (the chain must re-hash to the recorded heads).
+    BadEvidence(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -74,6 +85,9 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::UnknownDevice(n) => {
                 write!(f, "endpoint {n:?} is not in the snapshot")
+            }
+            SnapshotError::BadEvidence(n) => {
+                write!(f, "evidence chain for device {n:?} fails re-verification")
             }
         }
     }
@@ -168,6 +182,16 @@ fn put_event(out: &mut Vec<u8>, e: &Event) {
             put_u64(out, *round);
         }
         EventKind::Left => out.push(9),
+        EventKind::FreshnessChanged { from, to } => {
+            out.push(10);
+            out.push(from.tag());
+            out.push(to.tag());
+        }
+        EventKind::EpochSealed { epoch, root } => {
+            out.push(11);
+            put_u64(out, *epoch);
+            out.extend_from_slice(root);
+        }
     }
 }
 
@@ -224,6 +248,49 @@ pub(crate) fn encode<T: Transport>(svc: &AttestationService<T>) -> Vec<u8> {
                 put_u64(&mut out, c.runs as u64);
             }
             None => out.push(0),
+        }
+        match d.session_key {
+            Some(sk) => {
+                out.push(1);
+                out.extend_from_slice(&sk);
+            }
+            None => out.push(0),
+        }
+        match &d.evidence {
+            Some(chain) => {
+                out.push(1);
+                let blob = encode_records(chain.records());
+                put_u32(&mut out, blob.len() as u32);
+                out.extend_from_slice(&blob);
+            }
+            None => out.push(0),
+        }
+        match d.last_attested {
+            Some(t) => {
+                out.push(1);
+                put_u64(&mut out, t);
+            }
+            None => out.push(0),
+        }
+        out.push(d.freshness.tag());
+    }
+    match svc.next_seal_at {
+        Some(t) => {
+            out.push(1);
+            put_u64(&mut out, t);
+        }
+        None => out.push(0),
+    }
+    put_u32(&mut out, svc.sealed_epochs.len() as u32);
+    for e in &svc.sealed_epochs {
+        put_u64(&mut out, e.index);
+        put_u64(&mut out, e.at);
+        out.extend_from_slice(&e.root);
+        put_u32(&mut out, e.leaves.len() as u32);
+        for l in &e.leaves {
+            put_str(&mut out, &l.device);
+            out.extend_from_slice(&l.head);
+            put_u64(&mut out, l.seq);
         }
     }
     let events = svc.log.events();
@@ -329,6 +396,20 @@ impl<'a> Reader<'a> {
             value => Err(SnapshotError::BadTag { field, value }),
         }
     }
+
+    fn fixed<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.bytes(N)?);
+        Ok(a)
+    }
+
+    fn freshness(&mut self) -> Result<Freshness, SnapshotError> {
+        let value = self.u8()?;
+        Freshness::from_tag(value).map_err(|_| SnapshotError::BadTag {
+            field: "freshness",
+            value,
+        })
+    }
 }
 
 /// Scheduler-side state of one device, decoded from a snapshot.
@@ -344,12 +425,18 @@ struct DeviceRecord {
     next_action_at: Option<u64>,
     outstanding: Option<Outstanding>,
     calibration: Option<Calibration>,
+    session_key: Option<[u8; 16]>,
+    evidence: Option<Vec<EvidenceRecord>>,
+    last_attested: Option<u64>,
+    freshness: Freshness,
 }
 
 struct Decoded {
     now: u64,
     next_node: u16,
     devices: Vec<DeviceRecord>,
+    next_seal_at: Option<u64>,
+    sealed_epochs: Vec<SealedEpoch>,
     events: Vec<Event>,
 }
 
@@ -414,6 +501,23 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         } else {
             None
         };
+        let session_key = r
+            .flag("session_key")?
+            .then(|| r.fixed::<16>())
+            .transpose()?;
+        let evidence = if r.flag("evidence")? {
+            let len = r.u32()? as usize;
+            let blob = r.bytes(len)?;
+            let mut cr = sage_crypto::canon::Reader::new(blob);
+            let records = decode_records(&mut cr)
+                .and_then(|recs| cr.finish().map(|_| recs))
+                .map_err(|_| SnapshotError::BadEvidence(name.clone()))?;
+            Some(records)
+        } else {
+            None
+        };
+        let last_attested = r.flag("last_attested")?.then(|| r.u64()).transpose()?;
+        let freshness = r.freshness()?;
         devices.push(DeviceRecord {
             name,
             node,
@@ -426,6 +530,33 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
             next_action_at,
             outstanding,
             calibration,
+            session_key,
+            evidence,
+            last_attested,
+            freshness,
+        });
+    }
+    let next_seal_at = r.flag("next_seal_at")?.then(|| r.u64()).transpose()?;
+    let n_epochs = r.u32()? as usize;
+    let mut sealed_epochs = Vec::new();
+    for _ in 0..n_epochs {
+        let index = r.u64()?;
+        let at = r.u64()?;
+        let root = r.fixed::<32>()?;
+        let n_leaves = r.u32()? as usize;
+        let mut leaves = Vec::new();
+        for _ in 0..n_leaves {
+            leaves.push(EpochLeaf {
+                device: r.str()?,
+                head: r.fixed::<32>()?,
+                seq: r.u64()?,
+            });
+        }
+        sealed_epochs.push(SealedEpoch {
+            index,
+            at,
+            root,
+            leaves,
         });
     }
     let n_events = r.u32()? as usize;
@@ -454,6 +585,14 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
             7 => EventKind::Restarted { round: r.u64()? },
             8 => EventKind::LateResponse { round: r.u64()? },
             9 => EventKind::Left,
+            10 => EventKind::FreshnessChanged {
+                from: r.freshness()?,
+                to: r.freshness()?,
+            },
+            11 => EventKind::EpochSealed {
+                epoch: r.u64()?,
+                root: r.fixed::<32>()?,
+            },
             value => {
                 return Err(SnapshotError::BadTag {
                     field: "event kind",
@@ -470,6 +609,8 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         now,
         next_node,
         devices,
+        next_seal_at,
+        sealed_epochs,
         events,
     })
 }
@@ -501,6 +642,18 @@ pub(crate) fn restore<T: Transport>(
         if let Some(c) = rec.calibration {
             ep.verifier.set_calibration(c);
         }
+        // The evidence chain is rebuilt from its records and re-verified
+        // link by link — a snapshot whose records do not re-hash to the
+        // recorded structure is rejected, and the restored head is
+        // byte-identical to the pre-crash head by construction.
+        let evidence = match (&rec.session_key, rec.evidence) {
+            (Some(sk), Some(records)) => Some(
+                EvidenceChain::restore(&rec.name, derive_evidence_key(sk), records)
+                    .map_err(|_| SnapshotError::BadEvidence(rec.name.clone()))?,
+            ),
+            (None, Some(_)) => return Err(SnapshotError::BadEvidence(rec.name.clone())),
+            _ => None,
+        };
         devices.push(ManagedDevice {
             node: ep.node,
             verifier: ep.verifier,
@@ -512,6 +665,10 @@ pub(crate) fn restore<T: Transport>(
             consecutive_restarts: rec.consecutive_restarts,
             outstanding: rec.outstanding,
             next_action_at: rec.next_action_at,
+            session_key: rec.session_key,
+            evidence,
+            last_attested: rec.last_attested,
+            freshness: rec.freshness,
         });
     }
     if let Some(extra) = pool.into_iter().flatten().next() {
@@ -527,6 +684,8 @@ pub(crate) fn restore<T: Transport>(
         next_node: decoded.next_node,
         registry: None,
         prefill_wall: core::time::Duration::ZERO,
+        sealed_epochs: decoded.sealed_epochs,
+        next_seal_at: decoded.next_seal_at,
     };
     svc.sort_roster();
     Ok(svc)
@@ -600,6 +759,8 @@ mod tests {
         put_u64(&mut out, 1234);
         put_u16(&mut out, 7);
         put_u32(&mut out, 0); // devices
+        out.push(0); // next_seal_at
+        put_u32(&mut out, 0); // sealed epochs
         put_u32(&mut out, 0); // events
         let d = decode(&out).unwrap();
         assert_eq!(d.now, 1234);

@@ -16,6 +16,7 @@ use sage::multi::FleetMember;
 use sage::GpuSession;
 use sage_attacks::forge::ReplayTap;
 use sage_crypto::{DhGroup, EntropySource};
+use sage_evidence::{verify_report, DeviceReport, FreshnessPolicy};
 use sage_gpu_sim::{Device, DeviceConfig};
 use sage_service::{
     AttestationService, DeviceState, Fault, LinkProfile, ServiceConfig, SimNet, VERIFIER_NODE,
@@ -23,6 +24,10 @@ use sage_service::{
 use sage_sgx_sim::SgxPlatform;
 use sage_telemetry::Registry;
 use sage_vf::VfParams;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
 
 fn demo_entropy(seed: u8) -> impl EntropySource {
     let mut state = seed;
@@ -55,7 +60,18 @@ fn main() {
             dup_per_mille: 0,
         },
     );
-    let cfg = ServiceConfig::default();
+    // Evidence layer on: seal a fleet Merkle epoch every 100k ticks and
+    // decay trust for devices that stop re-attesting (the windows sit
+    // well above the 50k re-attest interval, so honest devices never
+    // decay).
+    let cfg = ServiceConfig {
+        epoch_interval: 100_000,
+        freshness: FreshnessPolicy {
+            stale_after: 400_000,
+            degraded_after: 800_000,
+        },
+        ..ServiceConfig::default()
+    };
     let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
     // One registry for the whole control plane: attached before any
     // join, so every verifier verdict, bank take and simulator run of
@@ -159,6 +175,47 @@ fn main() {
             println!("  {line}");
         }
     }
+
+    // The evidence layer's view: a self-contained DeviceReport for an
+    // honest device, then verified *independently* — decoded from bytes
+    // and checked with only the sealed epoch root and the device's
+    // evidence key, exactly what a relying party outside the control
+    // plane would hold (DESIGN.md §10).
+    println!("\n== verifiable device report (gpu-big) ==");
+    let report = svc.report_for("gpu-big").expect("an epoch has sealed");
+    let epoch = svc.sealed_epochs().last().unwrap();
+    println!(
+        "  epoch {} sealed at t={} over {} devices, root {}…",
+        epoch.index,
+        epoch.at,
+        epoch.leaves.len(),
+        &hex(&epoch.root)[..16]
+    );
+    let encoded = report.encode();
+    println!(
+        "  report: {} bytes, {} proof steps, {} suffix records, claims {} (anchored at t={:?})",
+        encoded.len(),
+        report.proof.steps.len(),
+        report.suffix.len(),
+        report.claim.level.as_str(),
+        report.claim.last_pass_at,
+    );
+    let trusted_root = epoch.root; // from the fleet ledger
+    let evidence_key = svc.evidence_key_of("gpu-big").unwrap(); // over a confidential channel
+    let independent = DeviceReport::decode(&encoded).expect("canonical bytes round-trip");
+    let level = verify_report(&independent, &trusted_root, &evidence_key, svc.now())
+        .expect("honest report verifies standalone");
+    println!(
+        "  independently verified from bytes: gpu-big is {} at t={} — no event log consulted",
+        level.as_str(),
+        svc.now()
+    );
+    // The same machinery rejects tampering: flip one claim field and the
+    // envelope MAC fails before anything else is even looked at.
+    let mut doctored = independent.clone();
+    doctored.claim.asserted_at += 1;
+    let err = verify_report(&doctored, &trusted_root, &evidence_key, svc.now()).unwrap_err();
+    println!("  doctored twin rejected: {err} (cause: {})", err.cause());
 
     assert_eq!(svc.state_of("gpu-evil"), Some(DeviceState::Quarantined));
     assert_eq!(svc.state_of("gpu-big"), Some(DeviceState::Trusted));

@@ -13,6 +13,8 @@
 //! - [`core`] — the SAGE protocol (sessions, verifier, SAKE, channel,
 //!   user kernels),
 //! - [`attacks`] — the §8 adversary library,
+//! - [`evidence`] — hash-chained attestation evidence, Merkle fleet
+//!   epochs, freshness decay and verifiable device reports,
 //! - [`service`] — the fleet attestation control plane (wire codec,
 //!   simulated transport, lifecycle state machine, policy engine),
 //! - [`telemetry`] — the dependency-free observability core (counters,
@@ -21,6 +23,7 @@
 pub use sage as core;
 pub use sage_attacks as attacks;
 pub use sage_crypto as crypto;
+pub use sage_evidence as evidence;
 pub use sage_gpu_sim as gpu;
 pub use sage_isa as isa;
 pub use sage_service as service;

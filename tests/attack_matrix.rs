@@ -19,15 +19,32 @@
 //! | `nop`      | injected instructions inflate the loop       | too_slow    |
 //! | `proxy`    | faster remote GPU + 2× network latency       | too_slow    |
 //! | `takeover` | co-dispatched spin kernel steals SM slots    | too_slow    |
+//!
+//! The evidence-tampering campaigns at the bottom extend the matrix to
+//! the PR-7 evidence layer: a [`DeviceReport`] minted by an honest fleet
+//! run is doctored per campaign (forked chain, reordered records,
+//! stale-evidence replay, wrong-key CMACs, foreign root, clipped proof,
+//! inflated claim) and [`verify_report`] must reject each with its exact
+//! cause — on histories produced by *both* verdict paths (classic
+//! online-replay and the precomputed bank-hit fast path), with the
+//! honest report accepted on both (zero false accepts, zero false
+//! rejects).
 
 use sage_repro::attacks::{
     datasub, forge::ReplayTap, lepc, memcopy::patch_immediates, nop, proxy::faster_gpu,
     takeover::spin_kernel, Detection,
 };
-use sage_repro::core::{timing::Calibration, GpuSession, SageError, Verifier};
+use sage_repro::core::{
+    agent::DeviceAgent, multi::FleetMember, timing::Calibration, GpuSession, SageError, Verifier,
+};
 use sage_repro::crypto::{DhGroup, EntropySource};
+use sage_repro::evidence::{
+    verify_report, DeviceReport, EvidencePath, EvidencePayload, EvidenceRecord, Freshness,
+    FreshnessPolicy, ReportError,
+};
 use sage_repro::gpu::{BusTap, Device, DeviceConfig, LaunchParams};
 use sage_repro::isa::Opcode;
+use sage_repro::service::{AttestationService, LinkProfile, Policy, ServiceConfig, SimNet};
 use sage_repro::sgx::SgxPlatform;
 use sage_repro::telemetry::{MetricValue, Registry};
 use sage_repro::vf::{BankConfig, VfParams};
@@ -510,4 +527,308 @@ fn takeover_rejected_on_both_paths() {
             cause: Cause::TooSlow,
         },
     );
+}
+
+// ---------------------------------------------------------------------
+// Evidence-tampering campaigns (PR-7): doctored DeviceReports against
+// verify_report, on histories from both verdict paths.
+// ---------------------------------------------------------------------
+
+/// An honest fleet history's verifiable artifacts: the minted report,
+/// the trusted epoch root, the device's evidence key, and the service
+/// clock the report was asserted at.
+struct HonestReport {
+    report: DeviceReport,
+    root: [u8; 32],
+    key: [u8; 16],
+    now: u64,
+}
+
+/// Drives a deterministic two-device fleet (perfect links, synchronous
+/// bank refills) long enough to seal two epochs and leave a non-trivial
+/// chain suffix — one checksum round plus two liveness probes — then
+/// mints gpu-a's report. `bank_capacity = 0` forces every verdict down
+/// the classic online-replay path; `> 0` keeps them all on the
+/// precomputed bank-hit fast path, and the recorded per-round
+/// [`EvidencePath`] is asserted to prove which path produced the
+/// history.
+fn honest_fleet_report(bank_capacity: usize, expected_path: EvidencePath) -> HonestReport {
+    fn fleet_member(name: &str, seed: u8) -> FleetMember {
+        let mut params = VfParams::test_tiny();
+        params.iterations = 5;
+        let session =
+            GpuSession::install(Device::new(DeviceConfig::sim_tiny()), &params, 0xF1EE7).unwrap();
+        let mut m = FleetMember::new(session, DeviceAgent::new(Box::new(entropy(seed))));
+        m.name = name.to_string();
+        m
+    }
+
+    let net = SimNet::new(
+        42,
+        LinkProfile {
+            latency: 100,
+            jitter: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        },
+    );
+    let cfg = ServiceConfig {
+        reattest_interval: 20_000,
+        latency_budget: 200,
+        deadline_slack: 2_000,
+        calibration_runs: 5,
+        policy: Policy::default(),
+        bank_capacity,
+        bank_workers: 0,
+        prefill_rounds: 0,
+        epoch_interval: 30_000,
+        freshness: FreshnessPolicy {
+            stale_after: 60_000,
+            degraded_after: 120_000,
+        },
+    };
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
+    svc.join(
+        fleet_member("gpu-a", 41),
+        SgxPlatform::new([7u8; 16]).launch(b"svc-verifier", &mut entropy(61)),
+    );
+    svc.join(
+        fleet_member("gpu-b", 42),
+        SgxPlatform::new([7u8; 16]).launch(b"svc-verifier", &mut entropy(62)),
+    );
+    svc.run_for(82_000);
+    assert!(svc.probe_device("gpu-a").unwrap(), "liveness probe answers");
+    assert!(svc.probe_device("gpu-a").unwrap(), "second probe answers");
+
+    // The history really came from the path under test.
+    let rounds: Vec<EvidencePath> = svc
+        .evidence_of("gpu-a")
+        .unwrap()
+        .records()
+        .iter()
+        .filter_map(|r| match r.payload {
+            EvidencePayload::ChecksumRound { path, .. } => Some(path),
+            _ => None,
+        })
+        .collect();
+    assert!(!rounds.is_empty(), "fleet run must record checksum rounds");
+    assert!(
+        rounds.iter().all(|p| *p == expected_path),
+        "bank_capacity={bank_capacity}: rounds must ride the {expected_path:?} path, got {rounds:?}"
+    );
+
+    let report = svc.report_for("gpu-a").expect("epoch sealed with gpu-a");
+    assert!(
+        report.suffix.len() >= 3,
+        "campaigns need a reorderable suffix, got {}",
+        report.suffix.len()
+    );
+    HonestReport {
+        root: svc.sealed_epochs().last().unwrap().root,
+        key: svc.evidence_key_of("gpu-a").unwrap(),
+        now: report.claim.asserted_at,
+        report,
+    }
+}
+
+/// Re-seals a doctored report under the device's own evidence key, so
+/// verification penetrates past the envelope MAC to the inner check the
+/// campaign targets (an attacker holding the key still cannot rewrite
+/// history).
+fn reseal(r: DeviceReport, key: &[u8; 16]) -> DeviceReport {
+    DeviceReport::seal(
+        r.epoch,
+        r.leaf,
+        r.epoch_root,
+        r.proof,
+        r.suffix,
+        r.claim,
+        key,
+    )
+}
+
+/// Runs every evidence-tampering campaign against one honest history
+/// and asserts the exact reject cause for each — plus that the honest
+/// report itself still verifies at its own clock (no false rejects) and
+/// that nothing doctored ever comes back `Ok` (no false accepts).
+fn assert_campaigns_rejected(h: &HonestReport) {
+    assert_eq!(
+        verify_report(&h.report, &h.root, &h.key, h.now),
+        Ok(Freshness::Trusted),
+        "the honest report must verify at its own clock"
+    );
+
+    // Campaign: forked chain. A valid prefix, then history diverges —
+    // suffix[1] is re-signed (correct key, correct back-link) with a
+    // doctored payload, so suffix[2]'s stored `prev` no longer matches.
+    let mut forked = h.report.clone();
+    let fork_at = forked.suffix[1].clone();
+    let doctored = match fork_at.payload {
+        EvidencePayload::ChannelLiveness { nonce, verdict } => EvidencePayload::ChannelLiveness {
+            nonce: nonce ^ 1,
+            verdict,
+        },
+        EvidencePayload::ChecksumRound {
+            round,
+            measured_cycles,
+            threshold_cycles,
+            verdict,
+            path,
+        } => EvidencePayload::ChecksumRound {
+            round,
+            measured_cycles: measured_cycles.wrapping_add(1),
+            threshold_cycles,
+            verdict,
+            path,
+        },
+        other => other,
+    };
+    forked.suffix[1] =
+        EvidenceRecord::seal(fork_at.seq, fork_at.at, doctored, fork_at.prev, &h.key);
+    let broken_seq = forked.suffix[2].seq;
+    assert_eq!(
+        verify_report(&reseal(forked, &h.key), &h.root, &h.key, h.now),
+        Err(ReportError::BrokenLink { seq: broken_seq }),
+        "forked chain must be rejected as broken_link"
+    );
+
+    // Campaign: reordered records. Swapping two suffix records breaks
+    // the sequence before anything else.
+    let mut reordered = h.report.clone();
+    reordered.suffix.swap(0, 1);
+    let expected_seq = h.report.suffix[0].seq;
+    let got_seq = h.report.suffix[1].seq;
+    assert_eq!(
+        verify_report(&reseal(reordered, &h.key), &h.root, &h.key, h.now),
+        Err(ReportError::BadSeq {
+            expected: expected_seq,
+            got: got_seq,
+        }),
+        "reordered records must be rejected as bad_seq"
+    );
+
+    // Campaign: stale-evidence replay. The untouched report presented
+    // after the degraded window claims a trust level the policy no
+    // longer yields.
+    let replay_at = h.now + h.report.claim.policy.degraded_after;
+    assert_eq!(
+        verify_report(&h.report, &h.root, &h.key, replay_at),
+        Err(ReportError::StaleEvidence {
+            claimed: Freshness::Trusted,
+            recomputed: Freshness::Degraded,
+        }),
+        "replayed stale report must be rejected as stale_evidence"
+    );
+
+    // Campaign: wrong-key CMAC, envelope level — a relying party holding
+    // the real key sees a report MAC'd under any other key fail first.
+    let foreign = DeviceReport::seal(
+        h.report.epoch,
+        h.report.leaf.clone(),
+        h.report.epoch_root,
+        h.report.proof.clone(),
+        h.report.suffix.clone(),
+        h.report.claim,
+        &[0x5C; 16],
+    );
+    assert_eq!(
+        verify_report(&foreign, &h.root, &h.key, h.now),
+        Err(ReportError::BadReportTag),
+        "re-keyed envelope must be rejected as bad_report_tag"
+    );
+
+    // Campaign: wrong-key CMAC, record level — one suffix record
+    // re-signed under a foreign key inside a correctly sealed envelope.
+    let mut rekeyed = h.report.clone();
+    let rec = rekeyed.suffix[0].clone();
+    rekeyed.suffix[0] = EvidenceRecord::seal(rec.seq, rec.at, rec.payload, rec.prev, &[0x5C; 16]);
+    assert_eq!(
+        verify_report(&reseal(rekeyed, &h.key), &h.root, &h.key, h.now),
+        Err(ReportError::BadTag { seq: rec.seq }),
+        "re-keyed record must be rejected as bad_tag"
+    );
+
+    // Campaign: foreign epoch root — the report anchors to an epoch the
+    // relying party does not trust.
+    let mut wrong_root = h.root;
+    wrong_root[0] ^= 0x80;
+    assert_eq!(
+        verify_report(&h.report, &wrong_root, &h.key, h.now),
+        Err(ReportError::BadEpochRoot),
+        "mismatched trusted root must be rejected as bad_epoch_root"
+    );
+
+    // Campaign: clipped inclusion proof — drop the sibling step so the
+    // leaf no longer reaches the root.
+    let mut clipped = h.report.clone();
+    assert!(
+        !clipped.proof.steps.is_empty(),
+        "two-device proof has a step"
+    );
+    clipped.proof.steps.clear();
+    assert_eq!(
+        verify_report(&reseal(clipped, &h.key), &h.root, &h.key, h.now),
+        Err(ReportError::BadProof),
+        "clipped proof must be rejected as bad_proof"
+    );
+
+    // Campaign: inflated freshness claim — the anchor is pushed past the
+    // newest evidenced pass, contradicting the carried records.
+    let mut inflated = h.report.clone();
+    inflated.claim.last_pass_at = inflated.claim.last_pass_at.map(|t| t + 1);
+    inflated.claim.level = inflated
+        .claim
+        .policy
+        .level(inflated.claim.last_pass_at, inflated.claim.asserted_at);
+    assert_eq!(
+        verify_report(&reseal(inflated, &h.key), &h.root, &h.key, h.now),
+        Err(ReportError::InconsistentClaim),
+        "inflated claim must be rejected as inconsistent_claim"
+    );
+}
+
+/// All eight campaigns against a history whose every verdict came down
+/// the classic online-replay path.
+#[test]
+fn evidence_tampering_rejected_on_classic_path_history() {
+    let h = honest_fleet_report(0, EvidencePath::Classic);
+    assert_campaigns_rejected(&h);
+}
+
+/// The same eight campaigns against a history whose every verdict came
+/// out of the precomputed challenge bank.
+#[test]
+fn evidence_tampering_rejected_on_precomputed_path_history() {
+    let h = honest_fleet_report(2, EvidencePath::Precomputed);
+    assert_campaigns_rejected(&h);
+}
+
+/// The reject causes are what the matrix table says they are — the
+/// stable `cause()` labels a fleet operator would alert on.
+#[test]
+fn evidence_reject_causes_have_stable_labels() {
+    for (err, label) in [
+        (ReportError::BadReportTag, "bad_report_tag"),
+        (ReportError::BadEpochRoot, "bad_epoch_root"),
+        (ReportError::BadProof, "bad_proof"),
+        (
+            ReportError::BadSeq {
+                expected: 1,
+                got: 2,
+            },
+            "bad_seq",
+        ),
+        (ReportError::BadTag { seq: 1 }, "bad_tag"),
+        (ReportError::BrokenLink { seq: 1 }, "broken_link"),
+        (ReportError::InconsistentClaim, "inconsistent_claim"),
+        (
+            ReportError::StaleEvidence {
+                claimed: Freshness::Trusted,
+                recomputed: Freshness::Stale,
+            },
+            "stale_evidence",
+        ),
+    ] {
+        assert_eq!(err.cause(), label);
+    }
 }

@@ -8,12 +8,14 @@
 use sage_repro::attacks::forge::ReplayTap;
 use sage_repro::core::{agent::DeviceAgent, multi::FleetMember, GpuSession};
 use sage_repro::crypto::{DhGroup, EntropySource};
+use sage_repro::evidence::{Freshness, FreshnessPolicy};
 use sage_repro::gpu::{Device, DeviceConfig};
 use sage_repro::service::{
-    AttestationService, DeviceState, Fault, LinkProfile, Policy, ServiceConfig, SimNet,
+    AttestationService, DeviceState, EventKind, Fault, LinkProfile, Policy, ServiceConfig, SimNet,
     VERIFIER_NODE,
 };
 use sage_repro::sgx::{Enclave, SgxPlatform};
+use sage_repro::telemetry::{MetricValue, Registry};
 use sage_repro::vf::VfParams;
 
 fn entropy(seed: u8) -> impl EntropySource {
@@ -276,4 +278,126 @@ fn enrollment_failure_quarantines_without_stopping_the_service() {
     good.join(member("gpu-y", DeviceConfig::sim_tiny(), 51), enclave(71));
     good.run_for(45_000);
     assert_eq!(good.state_of("gpu-y"), Some(DeviceState::Trusted));
+}
+
+/// Reads one counter series out of the registry, by exact label match.
+fn counter_value(reg: &Registry, name: &str, labels: &[(&str, &str)]) -> u64 {
+    for (n, ls, v) in reg.collect() {
+        let same = n == name
+            && ls.len() == labels.len()
+            && ls
+                .iter()
+                .zip(labels)
+                .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2);
+        if same {
+            match v {
+                MetricValue::Counter(c) => return c,
+                other => panic!("{name} is not a counter: {other:?}"),
+            }
+        }
+    }
+    panic!("series {name}{labels:?} not found");
+}
+
+/// The PR-7 acceptance scenario for freshness decay: with the re-attest
+/// interval stretched past the decay windows, both devices walk
+/// `Trusted → Stale → Degraded` on pure clock advance, the scheduled
+/// re-attestation round reverses the decay back to `Trusted`, and every
+/// transition is visible in both the event log and the telemetry
+/// counters.
+#[test]
+fn freshness_decays_without_reattestation_and_reverses_on_a_pass() {
+    let names = ["gpu-a", "gpu-b"];
+    let cfg = ServiceConfig {
+        // Re-attestation comes *after* full decay: the device must go
+        // stale and degraded first, then be rescued by the next round.
+        reattest_interval: 200_000,
+        latency_budget: 200,
+        deadline_slack: 2_000,
+        calibration_runs: 5,
+        policy: Policy::default(),
+        epoch_interval: 50_000,
+        freshness: FreshnessPolicy {
+            stale_after: 60_000,
+            degraded_after: 120_000,
+        },
+        ..ServiceConfig::default()
+    };
+    let reg = Registry::new();
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), perfect_net(9));
+    svc.attach_telemetry(&reg);
+    svc.join(member("gpu-a", DeviceConfig::sim_tiny(), 41), enclave(61));
+    svc.join(member("gpu-b", DeviceConfig::sim_tiny(), 42), enclave(62));
+
+    // Inside the trusted window: enrollment passed, nothing decayed.
+    svc.run_for(50_000);
+    for name in names {
+        assert_eq!(svc.state_of(name), Some(DeviceState::Trusted), "{name}");
+        assert_eq!(svc.freshness_of(name), Some(Freshness::Trusted), "{name}");
+    }
+
+    // Past stale_after with no round in between.
+    svc.run_for(50_000); // now ≈ 100k
+    for name in names {
+        assert_eq!(svc.freshness_of(name), Some(Freshness::Stale), "{name}");
+    }
+
+    // Past degraded_after.
+    svc.run_for(70_000); // now ≈ 170k
+    for name in names {
+        assert_eq!(svc.freshness_of(name), Some(Freshness::Degraded), "{name}");
+    }
+
+    // The next re-attestation round (one interval after the first pass
+    // at ≈13.6k, so starting ≈213.6k and passing ≈227k) reverses the
+    // decay.
+    svc.run_for(70_000); // now ≈ 240k
+    for name in names {
+        assert_eq!(svc.state_of(name), Some(DeviceState::Trusted), "{name}");
+        assert_eq!(svc.freshness_of(name), Some(Freshness::Trusted), "{name}");
+    }
+
+    // The event log shows the exact ladder per device: decay down, one
+    // recovery up.
+    for name in names {
+        let ladder: Vec<(Freshness, Freshness)> = svc
+            .log()
+            .events()
+            .iter()
+            .filter(|e| e.device == name)
+            .filter_map(|e| match e.kind {
+                EventKind::FreshnessChanged { from, to } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ladder,
+            vec![
+                (Freshness::Trusted, Freshness::Stale),
+                (Freshness::Stale, Freshness::Degraded),
+                (Freshness::Degraded, Freshness::Trusted),
+            ],
+            "{name}: unexpected freshness ladder"
+        );
+    }
+
+    // And telemetry carries the same transitions, one per device per
+    // rung, under the stable series name.
+    for (to, want) in [("stale", 2), ("degraded", 2), ("trusted", 2)] {
+        assert_eq!(
+            counter_value(&reg, "service_freshness_transitions_total", &[("to", to)]),
+            want,
+            "transition counter to={to}"
+        );
+    }
+    assert_eq!(svc.log().counters().freshness_transitions, 6);
+
+    // Epochs sealed on schedule throughout (50k cadence, now ≈ 210k),
+    // also visible in telemetry.
+    assert_eq!(svc.sealed_epochs().len(), 4);
+    assert_eq!(
+        counter_value(&reg, "service_epochs_sealed_total", &[]),
+        4,
+        "sealed-epoch counter"
+    );
 }

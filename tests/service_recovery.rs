@@ -13,9 +13,14 @@
 //!    costs the device `Trusted` for exactly the backoff window and then
 //!    reconverges; a persistent corruption burns the wrong-value budget
 //!    into `Quarantined`; neither ever produces a false accept.
+//! 4. **Evidence survives the crash** — a snapshot taken mid-epoch
+//!    carries every device's chain head byte-identically across the
+//!    restore, and the next sealed epoch root matches the uninterrupted
+//!    twin bit for bit.
 
 use sage_repro::core::{agent::DeviceAgent, multi::FleetMember, GpuSession};
 use sage_repro::crypto::{DhGroup, EntropySource};
+use sage_repro::evidence::{verify_report, FreshnessPolicy};
 use sage_repro::gpu::{Device, DeviceConfig, DeviceFault, FaultPlan};
 use sage_repro::service::{
     AttestationService, DeviceState, EventKind, FailReason, LinkProfile, Policy, ServiceConfig,
@@ -246,6 +251,103 @@ fn restore_rejects_mismatched_endpoints_and_garbage() {
         AttestationService::restore(cfg(), DhGroup::test_group(), net2, &one_snap, eps2),
         Err(SnapshotError::UnknownDevice(name)) if name == "gpu-b"
     ));
+}
+
+/// The recovery fleet with the PR-7 evidence layer switched on: epochs
+/// seal every 60k ticks and freshness decays, so a crash has chain
+/// heads, sealed roots and decay timers to lose.
+fn evidence_cfg() -> ServiceConfig {
+    ServiceConfig {
+        epoch_interval: 60_000,
+        freshness: FreshnessPolicy {
+            stale_after: 120_000,
+            degraded_after: 240_000,
+        },
+        ..cfg()
+    }
+}
+
+fn evidence_fleet(seed: u64) -> AttestationService<SimNet> {
+    let mut svc = AttestationService::new(evidence_cfg(), DhGroup::test_group(), jittery_net(seed));
+    svc.join(member("gpu-a", 41), enclave(61));
+    svc.join(member("gpu-b", 42), enclave(62));
+    svc
+}
+
+#[test]
+fn mid_epoch_crash_preserves_chain_heads_and_epoch_roots() {
+    for seed in [51u64, 52] {
+        // Crash inside the second epoch: after the 60k seal, before the
+        // 120k one, with evidence appended since the seal.
+        let crash_at = 90_000;
+        let end_at = 250_000;
+
+        // Universe A: never crashes.
+        let mut a = evidence_fleet(seed);
+        a.run_until(end_at);
+
+        // Universe B: crashes mid-epoch and restores from the snapshot.
+        let mut b = evidence_fleet(seed);
+        b.run_until(crash_at);
+        assert_eq!(
+            b.sealed_epochs().len(),
+            1,
+            "seed {seed}: the crash point must be mid-epoch, one seal in"
+        );
+        let heads: Vec<(&str, [u8; 32], u64)> = ["gpu-a", "gpu-b"]
+            .iter()
+            .map(|n| {
+                let c = b.evidence_of(n).expect("chain established");
+                assert!(
+                    c.seq() > b.sealed_epochs()[0].leaves[0].seq,
+                    "seed {seed}: {n} must have evidence newer than the seal"
+                );
+                (*n, c.head(), c.seq())
+            })
+            .collect();
+        let snap = b.snapshot();
+        let (net, eps) = b.into_endpoints(); // control plane dies here
+        let mut b =
+            AttestationService::restore(evidence_cfg(), DhGroup::test_group(), net, &snap, eps)
+                .expect("mid-epoch snapshot restores");
+
+        // Chain heads cross the crash byte-identically.
+        for (name, head, seq) in &heads {
+            let c = b.evidence_of(name).expect("chain restored");
+            assert_eq!(
+                c.head(),
+                *head,
+                "seed {seed}: {name} chain head changed across restore"
+            );
+            assert_eq!(c.seq(), *seq, "seed {seed}: {name} chain length changed");
+        }
+
+        b.run_until(end_at);
+
+        // The next sealed root (and every one after) is bit-identical to
+        // the uninterrupted twin's.
+        assert!(
+            a.sealed_epochs().iter().any(|e| e.at > crash_at),
+            "seed {seed}: horizon must seal an epoch after the crash point"
+        );
+        assert_eq!(
+            a.sealed_epochs(),
+            b.sealed_epochs(),
+            "seed {seed}: sealed epochs diverged across the crash"
+        );
+        assert_eq!(
+            a.snapshot(),
+            b.snapshot(),
+            "seed {seed}: binary state diverged after mid-epoch crash"
+        );
+
+        // And the restored control plane still mints verifiable reports.
+        let report = b.report_for("gpu-a").expect("epoch sealed with gpu-a");
+        let root = b.sealed_epochs().last().unwrap().root;
+        let key = b.evidence_key_of("gpu-a").unwrap();
+        verify_report(&report, &root, &key, b.now())
+            .expect("post-restore report verifies standalone");
+    }
 }
 
 /// Returns (rounds passed, rounds failed, wrong-value failures) for one

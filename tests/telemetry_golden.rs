@@ -75,6 +75,7 @@ fn deterministic_registry() -> Registry {
         // below — is a pure function of the seeds.
         bank_workers: 0,
         prefill_rounds: 0,
+        ..ServiceConfig::default()
     };
     let reg = Registry::new();
     let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
