@@ -31,6 +31,9 @@ cargo test -q -p sage-evidence
 echo "==> crash recovery incl. mid-epoch evidence preservation"
 cargo test -q --test service_recovery
 
+echo "==> sharded determinism matrix ({shards 1,4,16} x {workers 0,2,8})"
+cargo test -q --release --test service_sharded
+
 # The parallel-mode speedup needs real cores to show up; on a 1-2 core
 # runner the run still asserts bit-exactness but the ratio gate is moot.
 CORES="$(nproc 2>/dev/null || echo 1)"
@@ -44,6 +47,12 @@ echo "==> svcperf smoke (fixed seed, snapshot asserted non-empty)"
 cargo run -q --release -p sage-bench --bin svcperf -- \
     --devices 2 --rounds 2 --seed 7 --out /tmp/BENCH_svc_smoke.json
 test -s /tmp/BENCH_svc_smoke.json
+
+echo "==> fleetperf gate (10k modeled devices, core-scaled rounds/sec floor)"
+cargo run -q --release -p sage-bench --bin fleetperf -- \
+    --devices 10000 --rounds 3 --seed 7 --gate \
+    --out /tmp/BENCH_fleet_smoke.json
+test -s /tmp/BENCH_fleet_smoke.json
 
 echo "==> modpow suite (Montgomery vs reference oracle, seeded)"
 cargo test -q --release -p sage-crypto montgomery

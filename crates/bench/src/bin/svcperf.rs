@@ -35,7 +35,9 @@ use sage::multi::FleetMember;
 use sage::GpuSession;
 use sage_crypto::DhGroup;
 use sage_gpu_sim::{Device, DeviceConfig};
-use sage_service::{AttestationService, DeviceState, LinkProfile, ServiceConfig, SimNet};
+use sage_service::{
+    AttestationService, DeviceState, LinkProfile, ServiceConfig, SimNet, SplitMix64, TimerWheel,
+};
 use sage_sgx_sim::SgxPlatform;
 use sage_telemetry::{MetricValue, Registry};
 use sage_vf::VfParams;
@@ -71,6 +73,67 @@ fn member(index: usize, seed: u64) -> FleetMember {
     let mut m = FleetMember::new(session, DeviceAgent::new(Box::new(entropy(agent_seed))));
     m.name = format!("gpu-{index:02}");
     m
+}
+
+/// Micro-arm: the cost of popping the earliest of ~1k queued timers,
+/// timer wheel against the linear scan-for-min it replaced (the old
+/// transport walked every in-flight frame once to find the next due
+/// tick and once more to deliver it). Steady state: each iteration
+/// pops the earliest batch and re-inserts one entry per popped entry
+/// at a pseudo-random future offset, so queue depth holds at `queued`.
+/// Both arms consume the identical offset stream, pop in the identical
+/// order, and return average nanoseconds per popped entry.
+fn timer_micro_ns(queued: usize, ops: usize) -> (f64, f64, usize) {
+    let mut rng = SplitMix64::new(0x7133_D0C5);
+    let offsets: Vec<u64> = (0..queued + ops + 64)
+        .map(|_| 1 + rng.below(2_048))
+        .collect();
+
+    // Wheel arm.
+    let mut wheel = TimerWheel::new();
+    let mut feed = offsets.iter().copied();
+    for _ in 0..queued {
+        wheel.insert(feed.next().expect("offset stream"), 0u32);
+    }
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    let mut wheel_pops = 0usize;
+    let t = Instant::now();
+    while wheel_pops < ops {
+        let due = wheel.next_due().expect("queue never drains");
+        out.clear();
+        wheel.pop_due(due, &mut out);
+        wheel_pops += out.len();
+        for _ in 0..out.len() {
+            wheel.insert(due + feed.next().unwrap_or(97), 0u32);
+        }
+    }
+    let wheel_ns = t.elapsed().as_nanos() as f64 / wheel_pops as f64;
+
+    // Linear arm: one scan to find the earliest due, one pass to pull
+    // every entry at it — the shape of the replaced implementation.
+    let mut lin: Vec<u64> = Vec::with_capacity(queued + 1);
+    let mut feed = offsets.iter().copied();
+    for _ in 0..queued {
+        lin.push(feed.next().expect("offset stream"));
+    }
+    let mut lin_pops = 0usize;
+    let t = Instant::now();
+    while lin_pops < ops {
+        let due = *lin.iter().min().expect("queue never drains");
+        let before = lin.len();
+        lin.retain(|&d| d != due);
+        let popped = before - lin.len();
+        lin_pops += popped;
+        for _ in 0..popped {
+            lin.push(due + feed.next().unwrap_or(97));
+        }
+    }
+    let linear_ns = t.elapsed().as_nanos() as f64 / lin_pops as f64;
+    assert_eq!(
+        wheel_pops, lin_pops,
+        "arms diverged: identical streams must pop identical counts"
+    );
+    (wheel_ns, linear_ns, wheel_pops)
 }
 
 fn main() {
@@ -189,6 +252,10 @@ fn main() {
     let prefill_pairs = devices * cfg.prefill_rounds;
     let prefill_pairs_per_sec = prefill_pairs as f64 / prefill_wall.max(1e-9);
 
+    // Timer micro-arm: 1k queued frames, the wheel against the linear
+    // scan it replaced.
+    let (wheel_ns, linear_ns, micro_pops) = timer_micro_ns(1_000, 100_000);
+
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"host\": {},\n", sage_bench::host_stanza()));
     out.push_str(&format!(
@@ -211,6 +278,10 @@ fn main() {
     out.push_str(&format!(
         "  \"virtual_ticks\": {virtual_ticks},\n  \"virtual_ticks_per_round\": {:.1},\n",
         virtual_ticks as f64 / total_rounds.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "  \"timer_micro\": {{\"queued\": 1000, \"pops\": {micro_pops}, \"wheel_ns_per_pop\": {wheel_ns:.1}, \"linear_ns_per_pop\": {linear_ns:.1}, \"speedup\": {:.1}}},\n",
+        linear_ns / wheel_ns.max(1e-9)
     ));
     out.push_str("  \"snapshot\": ");
     // snapshot_json() ends with a newline; splice it in indented.
@@ -236,6 +307,10 @@ fn main() {
     );
     println!(
         "bank prefill: {prefill_pairs} pairs in {prefill_wall:.3}s pooled ({prefill_pairs_per_sec:.1} pairs/s), outside the enroll figure"
+    );
+    println!(
+        "timer micro (1k queued): wheel {wheel_ns:.1} ns/pop vs linear scan {linear_ns:.1} ns/pop ({:.1}x)",
+        linear_ns / wheel_ns.max(1e-9)
     );
     println!("wrote {out_path} and {prom_path}");
 }

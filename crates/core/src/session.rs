@@ -2,9 +2,22 @@
 //! runs.
 
 use sage_gpu_sim::{ContextId, Device, LaunchParams};
-use sage_vf::{codegen::VfBuild, VfParams};
+use sage_vf::{codegen::VfBuild, replay_block_batched, StepTrace, VfParams};
 
 use crate::error::Result;
+
+/// Host-side model of a checksum run, for fleet-scale benchmarks where
+/// cycle-accurate simulation of every device would dominate the very
+/// control-plane cost being measured. The checksum is computed with the
+/// verifier's own batched replay engine against a cached step trace
+/// (bit-exact by construction, so rounds pass), and the exchange time is
+/// synthesized deterministically from the run counter.
+struct ModeledGpu {
+    /// Per-step trace shared by every run (depends only on the build).
+    trace: StepTrace,
+    /// Baseline exchange time in device cycles.
+    base_cycles: u64,
+}
 
 /// A device with an installed verification function.
 ///
@@ -21,6 +34,7 @@ pub struct GpuSession {
     pub ctx: ContextId,
     build: VfBuild,
     run_counter: u64,
+    modeled: Option<ModeledGpu>,
 }
 
 impl GpuSession {
@@ -53,7 +67,34 @@ impl GpuSession {
             ctx,
             build,
             run_counter: 0,
+            modeled: None,
         })
+    }
+
+    /// Like [`GpuSession::install`], but every subsequent checksum run is
+    /// *modeled* instead of simulated: the checksum comes from the host
+    /// replay engine and the measured exchange time is synthesized as
+    /// `base_cycles` plus a small deterministic run-to-run spread (five
+    /// distinct offsets, so calibration sees real variance yet the
+    /// derived threshold always clears the maximum — a modeled honest
+    /// device never trips the timing check).
+    ///
+    /// The VF image is still built and uploaded, so the device remains
+    /// inspectable (`peek`/`poke`, power score) — only `run_checksum`
+    /// short-circuits. Intended for fleet-scale control-plane
+    /// benchmarks; attack harnesses use the simulated path.
+    pub fn install_modeled(
+        dev: Device,
+        params: &VfParams,
+        fill_seed: u32,
+        base_cycles: u64,
+    ) -> Result<GpuSession> {
+        let mut s = GpuSession::install(dev, params, fill_seed)?;
+        s.modeled = Some(ModeledGpu {
+            trace: StepTrace::new(&s.build),
+            base_cycles,
+        });
+        Ok(s)
     }
 
     /// The installed VF build (layout, params, image).
@@ -77,6 +118,22 @@ impl GpuSession {
         challenges: &[[u8; 16]],
         kernel_params: Vec<u32>,
     ) -> Result<([u32; 8], u64)> {
+        if let Some(m) = &self.modeled {
+            // Modeled run: bit-exact checksum from the batched replay
+            // engine, no device traffic. `kernel_params` would only
+            // reach an inlined user kernel, which the modeled path does
+            // not support.
+            self.run_counter += 1;
+            let mut cells = [0u32; 8];
+            for (b, ch) in challenges.iter().enumerate() {
+                let sums = replay_block_batched(&self.build, &m.trace, ch, b as u32);
+                for (cell, s) in cells.iter_mut().zip(&sums) {
+                    *cell = cell.wrapping_add(*s);
+                }
+            }
+            let measured = m.base_cycles + (self.run_counter % 5) * 2;
+            return Ok((cells, measured));
+        }
         let layout = self.build.layout;
         // Each run sees fresh environmental timing conditions.
         self.run_counter += 1;
@@ -164,6 +221,33 @@ mod tests {
             let (got, _) = s.run_checksum(&ch).unwrap();
             assert_eq!(got, expected_checksum(s.build(), &ch), "run {seed}");
         }
+    }
+
+    #[test]
+    fn modeled_runs_match_replay_and_synthesize_timing() {
+        let dev = Device::new(DeviceConfig::sim_nano());
+        let params = VfParams::fleet_tiny();
+        let mut s = GpuSession::install_modeled(dev, &params, 0xF1EE7, 10_000).unwrap();
+        let ch = chs(1, params.grid_blocks);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5 {
+            let (got, measured) = s.run_checksum(&ch).unwrap();
+            assert_eq!(got, expected_checksum(s.build(), &ch));
+            assert!((10_000..=10_008).contains(&measured));
+            seen.insert(measured);
+        }
+        assert_eq!(seen.len(), 5, "five distinct deterministic offsets");
+        // The same session replays the same sequence: a second modeled
+        // session is cycle-identical run for run.
+        let mut t = GpuSession::install_modeled(
+            Device::new(DeviceConfig::sim_nano()),
+            &params,
+            0xF1EE7,
+            10_000,
+        )
+        .unwrap();
+        let (_, m1) = t.run_checksum(&ch).unwrap();
+        assert_eq!(m1, 10_002);
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub use montgomery::Montgomery;
 pub use sha256::{sha256, Sha256};
 
 /// A source of random bytes, injected by callers (the enclave DRBG or the
-/// race-condition TRNG).
-pub trait EntropySource {
+/// race-condition TRNG). `Send` so device-side state holding a boxed
+/// source can migrate across the service's worker threads.
+pub trait EntropySource: Send {
     /// Fills `buf` with random bytes.
     fn fill(&mut self, buf: &mut [u8]);
 
@@ -59,7 +60,7 @@ pub trait EntropySource {
     }
 }
 
-impl<F: FnMut(&mut [u8])> EntropySource for F {
+impl<F: FnMut(&mut [u8]) + Send> EntropySource for F {
     fn fill(&mut self, buf: &mut [u8]) {
         self(buf)
     }

@@ -175,6 +175,21 @@ impl DeviceConfig {
         }
     }
 
+    /// The smallest device, for fleet-scale control-plane benchmarks
+    /// that instantiate tens of thousands: one SM and just enough
+    /// global memory for a `fleet_tiny` VF image. Fleet members built
+    /// on it run *modeled* rounds (the session computes the checksum on
+    /// the host and synthesizes timing), so the device exists to give
+    /// each member a coherent identity — config, memory, bus — at
+    /// minimal resident cost, not to execute kernels.
+    pub fn sim_nano() -> DeviceConfig {
+        DeviceConfig {
+            name: "SIM-NANO",
+            gmem_bytes: 16 * 1024,
+            ..DeviceConfig::sim_tiny()
+        }
+    }
+
     /// Maximum resident warps per SM.
     pub fn max_warps_per_sm(&self) -> u32 {
         self.max_threads_per_sm / 32

@@ -61,7 +61,9 @@ pub struct LaunchParams {
 
 /// A PCIe interposer: observes and may tamper with every bus-level
 /// operation. Installed by the adversary harness (`sage-attacks`).
-pub trait BusTap {
+/// `Send` so a tapped device can migrate across the attestation
+/// service's worker threads.
+pub trait BusTap: Send {
     /// Host-to-device copy about to be written at `addr`.
     fn on_h2d(&mut self, addr: u32, data: &mut Vec<u8>) {
         let _ = (addr, data);

@@ -99,7 +99,7 @@ impl FaultCounters {
 /// [`Device`](crate::Device) via
 /// [`install_fault_hook`](crate::Device::install_fault_hook); absent by
 /// default and free when absent.
-pub trait FaultHook {
+pub trait FaultHook: Send {
     /// Called once per non-empty [`Device::run`](crate::Device::run),
     /// after launch parameter DMA and before any SM executes.
     ///

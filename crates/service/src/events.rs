@@ -171,6 +171,8 @@ struct LogTelemetry {
     /// discriminant order: trusted, stale, degraded).
     freshness_transitions: [Counter; 3],
     epochs_sealed: Counter,
+    /// Events evicted from the bounded in-memory ring.
+    events_dropped: Counter,
     round_latency: Histogram,
     /// Rounds started but not yet passed: `(device, round, started_at)`.
     open_rounds: Vec<(String, u64, u64)>,
@@ -196,6 +198,7 @@ impl LogTelemetry {
             freshness_transitions: [Freshness::Trusted, Freshness::Stale, Freshness::Degraded]
                 .map(|l| reg.counter("service_freshness_transitions_total", &[("to", l.as_str())])),
             epochs_sealed: reg.counter("service_epochs_sealed_total", &[]),
+            events_dropped: reg.counter("service_events_dropped_total", &[]),
             round_latency: reg.histogram("service_round_latency_ticks", &[]),
             open_rounds: Vec::new(),
         }
@@ -238,18 +241,36 @@ impl LogTelemetry {
     }
 }
 
-/// The append-only event log.
+/// The event log: append-order events plus derived counters. With a
+/// capacity set it becomes a ring — only the most recent `capacity`
+/// events stay resident (a 10k-device fleet would otherwise grow the
+/// log without bound), while the counters keep counting everything.
 #[derive(Default)]
 pub struct EventLog {
     events: Vec<Event>,
     counters: Counters,
     sink: Option<LogTelemetry>,
+    /// Retained-event bound; `0` = unbounded (the historical default).
+    capacity: usize,
+    /// Events evicted by the ring so far.
+    events_dropped: u64,
 }
 
 impl EventLog {
-    /// Creates an empty log.
+    /// Creates an empty, unbounded log.
     pub fn new() -> EventLog {
         EventLog::default()
+    }
+
+    /// Creates an empty log retaining at most `capacity` events
+    /// (`0` = unbounded). Eviction is amortized O(1): the buffer grows
+    /// to `2 × capacity`, then the oldest half is dropped in one
+    /// `drain`, so [`EventLog::events`] stays a plain slice.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            capacity,
+            ..EventLog::default()
+        }
     }
 
     /// Rebuilds a log from a previously exported event stream, replaying
@@ -264,6 +285,26 @@ impl EventLog {
         log
     }
 
+    /// Rebuilds a log from snapshot parts: the retained event window
+    /// plus the authoritative counters and drop count. Unlike
+    /// [`EventLog::restore`], nothing is replayed — when the ring has
+    /// wrapped, the retained window no longer determines the counters,
+    /// so they must be carried explicitly.
+    pub fn restore_parts(
+        events: Vec<Event>,
+        counters: Counters,
+        events_dropped: u64,
+        capacity: usize,
+    ) -> EventLog {
+        EventLog {
+            events,
+            counters,
+            sink: None,
+            capacity,
+            events_dropped,
+        }
+    }
+
     /// Attaches the log to a telemetry registry: counters are exported
     /// as `service_*_total` series and passed-round latencies feed a
     /// `service_round_latency_ticks` histogram (virtual ticks —
@@ -275,6 +316,7 @@ impl EventLog {
         for e in &self.events {
             sink.observe(e.at, &e.device, &e.kind);
         }
+        sink.events_dropped.add(self.events_dropped);
         self.sink = Some(sink);
     }
 
@@ -310,11 +352,33 @@ impl EventLog {
             device: device.to_string(),
             kind,
         });
+        if self.capacity > 0 && self.events.len() >= self.capacity * 2 {
+            let drop = self.events.len() - self.capacity;
+            self.events.drain(..drop);
+            self.events_dropped += drop as u64;
+            if let Some(sink) = self.sink.as_mut() {
+                sink.events_dropped.add(drop as u64);
+            }
+        }
     }
 
-    /// All recorded events, in order.
+    /// All retained events, in order. With a capacity set this is the
+    /// most recent window; [`EventLog::events_dropped`] counts what the
+    /// ring evicted before it.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Events evicted by the bounded ring (0 while unbounded or not yet
+    /// wrapped). Exported as `service_events_dropped_total` when
+    /// telemetry is attached.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// The configured retained-event bound (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Virtual-tick latency of every passed round: the delta between a
@@ -347,7 +411,29 @@ impl EventLog {
     /// p50/p90/p99 of the passed-round latencies (nearest-rank on the
     /// sorted samples — deterministic, no interpolation). `None` until at
     /// least one round has passed.
+    ///
+    /// Once the bounded ring has wrapped, the retained events no longer
+    /// cover every passed round, so the exact per-event computation
+    /// would silently report a recent-window artifact. With telemetry
+    /// attached the query falls back to the registry's
+    /// `service_round_latency_ticks` histogram, which observed every
+    /// round (interpolated log2-bucket percentiles); without a sink it
+    /// degrades to the retained window.
     pub fn latency_percentiles(&self) -> Option<LatencyPercentiles> {
+        if self.events_dropped > 0 {
+            if let Some(sink) = &self.sink {
+                let snap = sink.round_latency.snapshot();
+                if snap.count() == 0 {
+                    return None;
+                }
+                return Some(LatencyPercentiles {
+                    samples: snap.count() as usize,
+                    p50: snap.percentile(0.50)?,
+                    p90: snap.percentile(0.90)?,
+                    p99: snap.percentile(0.99)?,
+                });
+            }
+        }
         let mut lat = self.round_latencies();
         if lat.is_empty() {
             return None;
@@ -602,11 +688,12 @@ mod tests {
     }
 
     /// The attached telemetry histogram answers the same percentile
-    /// queries with the containing log2 bucket's upper bound: exact ≤
-    /// reported, within the same bucket (≤ 2× relative error).
+    /// queries interpolated within the containing log2 bucket: the
+    /// reported value shares the exact answer's bucket (≤ 2× relative
+    /// error), it just sits elsewhere inside it.
     #[test]
     fn telemetry_histogram_agrees_within_one_bucket() {
-        use sage_telemetry::{bucket_index, MetricValue, Registry};
+        use sage_telemetry::{bucket_bounds, bucket_index, MetricValue, Registry};
 
         let latencies = [31u64, 2, 19, 7, 43, 11, 5, 23, 13, 3];
         let reg = Registry::new();
@@ -634,13 +721,107 @@ mod tests {
         assert_eq!(snap.count(), 10);
         for (q, exact) in [(0.50, exact.p50), (0.90, exact.p90), (0.99, exact.p99)] {
             let reported = snap.percentile(q).unwrap();
-            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
-            assert_eq!(
-                bucket_index(reported),
-                bucket_index(exact),
-                "q={q}: reported {reported} must share exact {exact}'s bucket"
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            assert!(
+                (lo..=hi).contains(&reported),
+                "q={q}: reported {reported} outside exact {exact}'s bucket [{lo},{hi}]"
             );
         }
+    }
+
+    #[test]
+    fn ring_caps_retained_events_and_counts_drops() {
+        let mut log = EventLog::with_capacity(4);
+        for round in 1..=12u64 {
+            log.record(round, "a", EventKind::RoundStarted { round });
+        }
+        // Counters see everything; the ring keeps at most 2×capacity−1
+        // and never fewer than `capacity` events.
+        assert_eq!(log.counters().rounds_started, 12);
+        assert!(log.events().len() >= 4 && log.events().len() < 8);
+        assert_eq!(log.events_dropped() + log.events().len() as u64, 12);
+        // The retained window is the most recent suffix, in order.
+        let rounds: Vec<u64> = log
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::RoundStarted { round } => round,
+                _ => unreachable!(),
+            })
+            .collect();
+        let first = rounds[0];
+        assert_eq!(
+            rounds,
+            (first..=12).collect::<Vec<u64>>(),
+            "window must be a contiguous recent suffix"
+        );
+    }
+
+    #[test]
+    fn unbounded_log_never_drops() {
+        let mut log = EventLog::new();
+        for round in 1..=100u64 {
+            log.record(round, "a", EventKind::RoundStarted { round });
+        }
+        assert_eq!(log.events().len(), 100);
+        assert_eq!(log.events_dropped(), 0);
+    }
+
+    /// After the ring wraps, exact per-event percentiles are a window
+    /// artifact — the query must fall back to the attached telemetry
+    /// histogram, which observed every round.
+    #[test]
+    fn wrapped_log_falls_back_to_telemetry_histogram() {
+        use sage_telemetry::{bucket_bounds, bucket_index, Registry};
+
+        let reg = Registry::new();
+        let mut log = EventLog::with_capacity(6);
+        log.attach_telemetry(&reg);
+        // 50 rounds of latency 10, then 1 of 1000; the ring retains only
+        // a tail slice of them.
+        for i in 0..51u64 {
+            let round = i + 1;
+            let lat = if i < 50 { 10 } else { 1000 };
+            log.record(i * 100, "a", EventKind::RoundStarted { round });
+            log.record(
+                i * 100 + lat,
+                "a",
+                EventKind::RoundPassed { round, measured: 1 },
+            );
+        }
+        assert!(log.events_dropped() > 0, "ring must have wrapped");
+        let p = log.latency_percentiles().unwrap();
+        // The fallback sees all 51 samples, not just the retained tail.
+        assert_eq!(p.samples, 51);
+        let (lo, hi) = bucket_bounds(bucket_index(10));
+        assert!(
+            (lo..=hi).contains(&p.p50),
+            "p50 {} outside [{lo},{hi}]",
+            p.p50
+        );
+        let (lo, hi) = bucket_bounds(bucket_index(1000));
+        assert!(
+            (lo..=hi).contains(&p.p99),
+            "p99 {} outside [{lo},{hi}]",
+            p.p99
+        );
+    }
+
+    #[test]
+    fn restore_parts_carries_counters_and_drops() {
+        let mut log = EventLog::with_capacity(3);
+        for round in 1..=10u64 {
+            log.record(round, "a", EventKind::RoundStarted { round });
+        }
+        let restored = EventLog::restore_parts(
+            log.events().to_vec(),
+            log.counters(),
+            log.events_dropped(),
+            log.capacity(),
+        );
+        assert_eq!(restored.counters(), log.counters());
+        assert_eq!(restored.events_dropped(), log.events_dropped());
+        assert_eq!(restored.events(), log.events());
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod net;
 pub mod node;
 pub mod policy;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
+pub mod wheel;
 pub mod wire;
 
 pub use events::{Counters, Event, EventKind, EventLog, FailReason, LatencyPercentiles};
@@ -54,5 +56,7 @@ pub use service::{
     AttestationService, DeviceHealth, DeviceState, DeviceStatus, SealedEpoch, ServiceConfig,
     VERIFIER_NODE,
 };
+pub use shard::{FxBuildHasher, FxHashMap, ShardIndex};
 pub use snapshot::{Endpoint, SnapshotError};
+pub use wheel::TimerWheel;
 pub use wire::{CodecError, Frame};

@@ -11,6 +11,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use crate::wheel::TimerWheel;
+
 /// A node address on the control-plane network. The verifier is
 /// conventionally node 0; devices get ascending ids as they join.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
@@ -47,6 +49,15 @@ pub trait Transport {
     /// The earliest virtual time at which new work exists: a queued
     /// arrival, or an already-delivered envelope waiting in an inbox.
     fn next_event_at(&self) -> Option<u64>;
+
+    /// Removes and returns *every* envelope that has arrived anywhere
+    /// on the network by `now`, in delivery order (ties broken by send
+    /// order), ahead of any envelopes already sitting in per-node
+    /// inboxes (returned first, in node order). This is the batched
+    /// path the sharded service loop uses: one drain per tick instead
+    /// of one `poll` per device, so delivery cost is O(due frames)
+    /// rather than O(fleet).
+    fn drain_due(&mut self, now: u64) -> Vec<Envelope>;
 }
 
 /// SplitMix64 — the crate's only randomness source, seeded and
@@ -218,13 +229,20 @@ pub struct SimNet {
     rng: SplitMix64,
     profile: LinkProfile,
     link_overrides: BTreeMap<(NodeId, NodeId), LinkProfile>,
-    // Keyed by (delivery time, submission sequence): BTreeMap iteration
-    // order IS the delivery order, so ties break deterministically.
-    in_flight: BTreeMap<(u64, u64), Envelope>,
-    seq: u64,
+    // A hierarchical timer wheel ordered by (delivery time, submission
+    // sequence): pop order IS the delivery order, so ties break
+    // deterministically — bit-identical to the `BTreeMap<(at, seq), _>`
+    // it replaced, without the per-frame ordered-map cost.
+    in_flight: TimerWheel<Envelope>,
     inboxes: BTreeMap<NodeId, VecDeque<Envelope>>,
+    /// Total envelopes sitting in `inboxes`, so the per-step hot paths
+    /// (`next_event_at`, `drain_due`) answer "any pending?" in O(1)
+    /// instead of walking a fleet-sized map of mostly-empty queues.
+    inbox_pending: usize,
     faults: Vec<Fault>,
     stats: NetStats,
+    /// Scratch for wheel pops, reused across calls.
+    due_scratch: Vec<(u64, Envelope)>,
 }
 
 impl SimNet {
@@ -234,11 +252,12 @@ impl SimNet {
             rng: SplitMix64::new(seed),
             profile,
             link_overrides: BTreeMap::new(),
-            in_flight: BTreeMap::new(),
-            seq: 0,
+            in_flight: TimerWheel::new(),
             inboxes: BTreeMap::new(),
+            inbox_pending: 0,
             faults: Vec::new(),
             stats: NetStats::default(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -328,23 +347,19 @@ impl SimNet {
     }
 
     fn enqueue(&mut self, at: u64, env: Envelope) {
-        let key = (at, self.seq);
-        self.seq += 1;
-        self.in_flight.insert(key, env);
+        self.in_flight.insert(at, env);
     }
 
     fn deliver_due(&mut self, now: u64) {
-        while self
-            .in_flight
-            .first_key_value()
-            .is_some_and(|(&(at, _), _)| at <= now)
-        {
-            let Some((_, env)) = self.in_flight.pop_first() else {
-                break;
-            };
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.in_flight.pop_due(now, &mut due);
+        for (_, env) in due.drain(..) {
             self.stats.delivered += 1;
+            self.inbox_pending += 1;
             self.inboxes.entry(env.dst).or_default().push_back(env);
         }
+        self.due_scratch = due;
     }
 }
 
@@ -386,14 +401,39 @@ impl Transport for SimNet {
 
     fn poll(&mut self, now: u64, node: NodeId) -> Option<Envelope> {
         self.deliver_due(now);
-        self.inboxes.get_mut(&node)?.pop_front()
+        let env = self.inboxes.get_mut(&node)?.pop_front();
+        if env.is_some() {
+            self.inbox_pending -= 1;
+        }
+        env
     }
 
     fn next_event_at(&self) -> Option<u64> {
-        if self.inboxes.values().any(|q| !q.is_empty()) {
+        if self.inbox_pending > 0 {
             return Some(0); // pending work is immediate
         }
-        self.in_flight.keys().next().map(|&(at, _)| at)
+        self.in_flight.next_due()
+    }
+
+    fn drain_due(&mut self, now: u64) -> Vec<Envelope> {
+        // Leftovers from earlier `poll` use come first, in node order
+        // (the order a poll loop over the roster would see them). The
+        // walk is skipped entirely on the hot path, where the batched
+        // loop never leaves envelopes behind.
+        let mut out: Vec<Envelope> = Vec::new();
+        if self.inbox_pending > 0 {
+            for q in self.inboxes.values_mut() {
+                out.extend(q.drain(..));
+            }
+            self.inbox_pending = 0;
+        }
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.in_flight.pop_due(now, &mut due);
+        self.stats.delivered += due.len() as u64;
+        out.extend(due.drain(..).map(|(_, env)| env));
+        self.due_scratch = due;
+        out
     }
 }
 

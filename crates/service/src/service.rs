@@ -19,6 +19,44 @@
 //! next due instant (a message arrival, a round deadline, or a scheduled
 //! re-attestation) rather than ticking one unit at a time, the same
 //! stall-skipping idea the simulator core uses.
+//!
+//! # The sharded event loop
+//!
+//! The original engine scanned the whole roster four times per step
+//! (inbox pump, verdicts, deadlines, due rounds) — O(fleet) per step,
+//! which capped the control plane at a handful of devices. The engine
+//! now runs in three stages per step:
+//!
+//! 1. **Intake** — one batched [`Transport::drain_due`] empties the
+//!    network of everything due at the current tick, and a hierarchical
+//!    [`TimerWheel`] pops every due re-attestation, deadline, and
+//!    freshness timer. Both are O(due events), not O(fleet): idle
+//!    devices cost nothing. Routing a frame to its device is one
+//!    [`ShardIndex`] lookup (FxHash, O(1)) instead of a roster scan.
+//! 2. **Units** — each device touched this tick gets one *work unit*
+//!    that runs its per-device phases in the canonical order (inbound
+//!    frames, response verdicts, deadline expiry, due round start)
+//!    against its live state, buffering every externally visible effect
+//!    (events, sends, timer requests). Units for different devices are
+//!    independent, so with `workers > 0` they fan out across a
+//!    persistent [`sage_vf::ReplayPool`] — one claim-loop job per
+//!    shard, work-stolen by whichever worker is free — while
+//!    per-device ordering stays sequential by construction.
+//! 3. **Merge** — buffered effects are applied in exactly the order the
+//!    sequential engine produced them: device replies in roster order,
+//!    verdicts in global arrival order (each response is seq-stamped at
+//!    intake), deadline expiries and round starts in roster order, then
+//!    epoch seals and freshness transitions. The merge is where the
+//!    headline guarantee lives: for *any* shard/worker count the event
+//!    history, evidence chains, and snapshots are byte-identical to the
+//!    single-threaded run, because nothing nondeterministic (thread
+//!    interleaving) ever reaches shared state.
+//!
+//! Timer cancellation is lazy: a stale wheel entry (the round it was
+//! armed for already resolved) pops as a no-op because every fire is
+//! validated against the device's live schedule before it acts. A stale
+//! pop can at most cause a silent step — no events, no sends — which
+//! keeps histories identical while making cancellation O(1).
 
 use sage::channel::{Role, SecureChannel};
 use sage::multi::{power_score, FleetMember};
@@ -31,11 +69,14 @@ use sage_evidence::report::{DeviceReport, FreshnessClaim};
 use sage_evidence::{EvidenceChain, EvidencePath, EvidencePayload, Freshness, StageVerdict};
 use sage_sgx_sim::Enclave;
 use sage_telemetry::Registry;
+use sage_vf::ReplayPool;
 
 use crate::events::{EventKind, EventLog, FailReason};
 use crate::net::{Envelope, NodeId, Transport};
 use crate::node::DeviceNode;
 use crate::policy::Policy;
+use crate::shard::ShardIndex;
+use crate::wheel::TimerWheel;
 use crate::wire::{self, Frame};
 
 /// The verifier's transport address.
@@ -115,6 +156,22 @@ pub struct ServiceConfig {
     /// Freshness-driven trust decay. Disabled by default (devices never
     /// decay), preserving the historical lifecycle exactly.
     pub freshness: sage_evidence::FreshnessPolicy,
+    /// Routing-index partitions (clamped to ≥ 1). Shards are also the
+    /// unit of parallel work: each shard's due devices form one job on
+    /// the worker pool. `1` (the default) keeps the classic
+    /// single-partition layout.
+    pub shards: usize,
+    /// Worker threads for per-device round execution. `0` (the
+    /// default) runs every work unit inline on the caller's thread.
+    /// Any value yields a byte-identical event history — the merge
+    /// stage serializes effects into the canonical order — so this is
+    /// purely a throughput knob. Workers only engage when `shards > 1`.
+    pub workers: usize,
+    /// In-memory event-log bound: the log keeps at most this many most
+    /// recent events (`0` = unbounded, the historical behavior).
+    /// Dropped events still count — see
+    /// [`crate::events::EventLog::events_dropped`].
+    pub event_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +187,9 @@ impl Default for ServiceConfig {
             prefill_rounds: 0,
             epoch_interval: 0,
             freshness: sage_evidence::FreshnessPolicy::disabled(),
+            shards: 1,
+            workers: 0,
+            event_capacity: 0,
         }
     }
 }
@@ -167,6 +227,20 @@ pub(crate) struct ManagedDevice {
     pub(crate) last_attested: Option<u64>,
     /// Current freshness level under the configured policy.
     pub(crate) freshness: Freshness,
+    /// The armed freshness-decay boundary (the live wheel entry's due
+    /// time); a popped timer only fires if it still matches. Derived
+    /// state — rebuilt from `last_attested` on restore, never
+    /// snapshotted.
+    pub(crate) next_fresh_at: Option<u64>,
+}
+
+// Work units for different devices run on pool threads; the disjoint
+// `&mut ManagedDevice` handout below is only sound if the payload is
+// thread-transferable.
+fn _assert_managed_device_is_send()
+where
+    ManagedDevice: Send,
+{
 }
 
 /// One sealed fleet evidence epoch: the Merkle root over every device's
@@ -225,12 +299,99 @@ pub struct DeviceStatus {
     pub power: u128,
 }
 
+/// A scheduled wake-up in the service's timer wheel. Fires are
+/// validated against live device state, so cancellation is lazy (a
+/// stale entry pops as a no-op).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Timer {
+    /// `next_action_at` is due for the device at this slot.
+    Action(u32),
+    /// The outstanding round's deadline for the device at this slot.
+    Deadline(u32),
+    /// A freshness-decay boundary; fires only while the device's
+    /// `next_fresh_at` still equals `at`.
+    Fresh { slot: u32, at: u64 },
+}
+
+/// A timer a work unit asks to arm. Applied (and re-validated against
+/// the device's live schedule) at merge time, after every phase has
+/// run — so a same-step cascade that supersedes the request simply
+/// invalidates it.
+#[derive(Clone, Copy, Debug)]
+enum TimerReq {
+    Action(u64),
+    Deadline(u64),
+    Fresh(u64),
+}
+
+/// Effects one logical action produced: events to record (in order)
+/// and timers to arm. Buffered inside work units, flushed serially in
+/// canonical order by the merge stage.
+#[derive(Default)]
+struct Effects {
+    events: Vec<EventKind>,
+    timers: Vec<TimerReq>,
+}
+
+/// Everything one device is due to process this step, in per-device
+/// order.
+struct DevWork {
+    slot: usize,
+    shard: usize,
+    rpos: u32,
+    /// Inbound frames for the device node, arrival order.
+    frames: Vec<Envelope>,
+    /// Responses addressed to the verifier, each stamped with its
+    /// global arrival sequence (the merge key).
+    responses: Vec<(u64, Envelope)>,
+}
+
+/// The buffered output of one work unit.
+struct DevEffects {
+    slot: usize,
+    rpos: u32,
+    /// Device replies to forward, in handle order: `(send_at, env)`.
+    replies: Vec<(u64, Envelope)>,
+    /// One effect group per processed response, keyed by arrival seq.
+    verdicts: Vec<(u64, Effects)>,
+    /// The deadline-expiry effect group, if the deadline passed.
+    deadline: Option<Effects>,
+    /// The round-start effect group and the challenge to send, if a
+    /// round came due (the envelope is `None` when the start bailed —
+    /// wrong state or no threshold).
+    start: Option<(Effects, Option<Envelope>)>,
+}
+
+/// A raw base pointer that asserts cross-thread disjoint access. Used
+/// to hand each pool job exclusive `&mut` access to its own shard's
+/// devices/works/output slots. Access goes through [`SendPtr::at`] so
+/// closures capture the wrapper (which is `Sync`), not the raw field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    ///
+    /// The caller must guarantee `i` is in bounds of the underlying
+    /// allocation, the allocation outlives the use, and no other thread
+    /// touches element `i` concurrently.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
 /// The attestation control plane.
 pub struct AttestationService<T: Transport> {
     pub(crate) cfg: ServiceConfig,
     pub(crate) group: DhGroup,
     pub(crate) net: T,
     pub(crate) now: u64,
+    /// Append-only device storage: a device's index ("slot") is stable
+    /// for its lifetime, which is what lets timers and the routing
+    /// index carry bare slot numbers. Power ordering lives in
+    /// `roster`, not here.
     pub(crate) devices: Vec<ManagedDevice>,
     pub(crate) log: EventLog,
     pub(crate) next_node: u16,
@@ -242,6 +403,22 @@ pub struct AttestationService<T: Transport> {
     pub(crate) sealed_epochs: Vec<SealedEpoch>,
     /// When the next epoch seals (`None` while epochs are disabled).
     pub(crate) next_seal_at: Option<u64>,
+    /// Due re-attestations, deadlines, and freshness boundaries.
+    pub(crate) timers: TimerWheel<Timer>,
+    /// `NodeId → slot`, partitioned `fx_hash(node) % shards`.
+    pub(crate) index: ShardIndex,
+    /// Slots in most-powerful-first order (the canonical event order).
+    pub(crate) roster: Vec<u32>,
+    /// `slot → position in roster` (the per-device merge sort key).
+    pub(crate) roster_pos: Vec<u32>,
+    /// Per-slot scratch: the device's index into the current step's
+    /// work list, `u32::MAX` when absent. Reset after every step.
+    pub(crate) work_of: Vec<u32>,
+    /// Persistent worker pool for shard-parallel unit execution
+    /// (`cfg.workers > 0`).
+    pub(crate) pool: Option<ReplayPool>,
+    /// Reused pop buffer for the timer wheel.
+    pub(crate) timer_scratch: Vec<(u64, Timer)>,
 }
 
 impl<T: Transport> AttestationService<T> {
@@ -253,12 +430,19 @@ impl<T: Transport> AttestationService<T> {
             net,
             now: 0,
             devices: Vec::new(),
-            log: EventLog::new(),
+            log: EventLog::with_capacity(cfg.event_capacity),
             next_node: 1,
             registry: None,
             prefill_wall: core::time::Duration::ZERO,
             sealed_epochs: Vec::new(),
             next_seal_at: (cfg.epoch_interval > 0).then_some(cfg.epoch_interval),
+            timers: TimerWheel::new(),
+            index: ShardIndex::new(cfg.shards),
+            roster: Vec::new(),
+            roster_pos: Vec::new(),
+            work_of: Vec::new(),
+            pool: (cfg.workers > 0).then(|| ReplayPool::new(cfg.workers)),
+            timer_scratch: Vec::new(),
         }
     }
 
@@ -282,7 +466,9 @@ impl<T: Transport> AttestationService<T> {
     /// stopped.
     pub fn attach_telemetry(&mut self, reg: &Registry) {
         self.log.attach_telemetry(reg);
-        for d in &mut self.devices {
+        for i in 0..self.roster.len() {
+            let slot = self.roster[i] as usize;
+            let d = &mut self.devices[slot];
             let name = d.node.member.name.clone();
             d.verifier.attach_telemetry(reg, &[("device", &name)]);
             d.node
@@ -316,73 +502,70 @@ impl<T: Transport> AttestationService<T> {
 
     /// Per-device summaries, in roster (most-powerful-first) order.
     pub fn statuses(&self) -> Vec<DeviceStatus> {
-        self.devices
+        self.roster
             .iter()
-            .map(|d| DeviceStatus {
-                name: d.node.member.name.clone(),
-                node: d.node.id,
-                state: d.state,
-                rounds_passed: d.rounds_passed,
-                consecutive_failures: d.consecutive_failures,
-                power: power_score(&d.node.member.session.dev.cfg),
+            .map(|&slot| {
+                let d = &self.devices[slot as usize];
+                DeviceStatus {
+                    name: d.node.member.name.clone(),
+                    node: d.node.id,
+                    state: d.state,
+                    rounds_passed: d.rounds_passed,
+                    consecutive_failures: d.consecutive_failures,
+                    power: power_score(&d.node.member.session.dev.cfg),
+                }
             })
             .collect()
     }
 
+    fn find(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d.node.member.name == name)
+    }
+
     /// The lifecycle state of a device, if managed.
     pub fn state_of(&self, name: &str) -> Option<DeviceState> {
-        self.devices
-            .iter()
-            .find(|d| d.node.member.name == name)
-            .map(|d| d.state)
+        self.find(name).map(|i| self.devices[i].state)
     }
 
     /// The derived health of a device, if managed. See [`DeviceHealth`]
     /// for the scoring rule.
     pub fn health_of(&self, name: &str) -> Option<DeviceHealth> {
-        self.devices
-            .iter()
-            .find(|d| d.node.member.name == name)
-            .map(|d| {
-                let score = match d.state {
-                    DeviceState::Quarantined | DeviceState::Revoked => 0u8,
-                    _ => {
-                        let transient = d
-                            .consecutive_failures
-                            .saturating_sub(d.consecutive_value_failures);
-                        100u32
-                            .saturating_sub(transient.saturating_mul(15))
-                            .saturating_sub(d.consecutive_value_failures.saturating_mul(35))
-                            as u8
-                    }
-                };
-                DeviceHealth {
-                    name: d.node.member.name.clone(),
-                    state: d.state,
-                    score,
-                    consecutive_failures: d.consecutive_failures,
-                    consecutive_value_failures: d.consecutive_value_failures,
-                    consecutive_restarts: d.consecutive_restarts,
+        self.find(name).map(|i| {
+            let d = &self.devices[i];
+            let score = match d.state {
+                DeviceState::Quarantined | DeviceState::Revoked => 0u8,
+                _ => {
+                    let transient = d
+                        .consecutive_failures
+                        .saturating_sub(d.consecutive_value_failures);
+                    100u32
+                        .saturating_sub(transient.saturating_mul(15))
+                        .saturating_sub(d.consecutive_value_failures.saturating_mul(35))
+                        as u8
                 }
-            })
+            };
+            DeviceHealth {
+                name: d.node.member.name.clone(),
+                state: d.state,
+                score,
+                consecutive_failures: d.consecutive_failures,
+                consecutive_value_failures: d.consecutive_value_failures,
+                consecutive_restarts: d.consecutive_restarts,
+            }
+        })
     }
 
     /// The calibrated detection threshold of a device, in cycles.
     pub fn threshold_of(&self, name: &str) -> Option<u64> {
-        self.devices
-            .iter()
-            .find(|d| d.node.member.name == name)
-            .and_then(|d| d.verifier.threshold())
+        self.find(name)
+            .and_then(|i| self.devices[i].verifier.threshold())
     }
 
     /// Mutable access to a device's network node — the hook fault
     /// injectors and the attack harness use to compromise a device
     /// *after* enrollment.
     pub fn node_mut(&mut self, name: &str) -> Option<&mut DeviceNode> {
-        self.devices
-            .iter_mut()
-            .find(|d| d.node.member.name == name)
-            .map(|d| &mut d.node)
+        self.find(name).map(|i| &mut self.devices[i].node)
     }
 
     /// Mutable access to a device's GPU session (shorthand over
@@ -497,6 +680,7 @@ impl<T: Transport> AttestationService<T> {
             }
             None => (None, None, None),
         };
+        let slot = self.devices.len();
         self.devices.push(ManagedDevice {
             node,
             verifier,
@@ -512,21 +696,60 @@ impl<T: Transport> AttestationService<T> {
             evidence,
             last_attested,
             freshness: Freshness::Trusted,
+            next_fresh_at: None,
         });
-        self.sort_roster();
+        self.index.insert(id, slot);
+        self.work_of.push(u32::MAX);
+        self.insert_roster(slot);
+        if let Some(t) = next_action_at {
+            self.timers.insert(t, Timer::Action(slot as u32));
+        }
+        self.arm_freshness(slot);
         id
+    }
+
+    /// Arms (or clears) a device's freshness-decay timer from its live
+    /// `last_attested` anchor.
+    fn arm_freshness(&mut self, slot: usize) {
+        let next = {
+            let d = &self.devices[slot];
+            if self.cfg.freshness.is_enabled()
+                && d.evidence.is_some()
+                && d.state != DeviceState::Revoked
+            {
+                self.cfg
+                    .freshness
+                    .next_transition_at(d.last_attested, self.now)
+            } else {
+                None
+            }
+        };
+        self.devices[slot].next_fresh_at = next;
+        if let Some(t) = next {
+            self.timers.insert(
+                t,
+                Timer::Fresh {
+                    slot: slot as u32,
+                    at: t,
+                },
+            );
+        }
     }
 
     /// Revokes a device: it is no longer scheduled and its outstanding
     /// round (if any) is abandoned. Returns `false` if unknown.
     pub fn leave(&mut self, name: &str) -> bool {
-        let Some(d) = self.devices.iter_mut().find(|d| d.node.member.name == name) else {
+        let Some(i) = self.find(name) else {
             return false;
         };
+        let d = &mut self.devices[i];
         let from = d.state;
         d.state = DeviceState::Revoked;
         d.outstanding = None;
         d.next_action_at = None;
+        // Leave the wheel entries in place: they pop as validated
+        // no-ops (lazy cancellation).
+        d.next_fresh_at = None;
         let dev = d.node.member.name.clone();
         self.log.record(
             self.now,
@@ -540,43 +763,78 @@ impl<T: Transport> AttestationService<T> {
         true
     }
 
-    /// Keeps the roster most-powerful-first across join/leave (paper
-    /// §3.2), with the deterministic name tie-break shared with
-    /// [`sage::multi`].
-    pub(crate) fn sort_roster(&mut self) {
-        self.devices.sort_by(|a, b| {
-            power_score(&b.node.member.session.dev.cfg)
-                .cmp(&power_score(&a.node.member.session.dev.cfg))
-                .then_with(|| a.node.member.name.cmp(&b.node.member.name))
-        });
+    /// Inserts a just-pushed device slot into the power-ordered roster
+    /// (paper §3.2; name tie-break shared with [`sage::multi`]). A
+    /// binary search keeps the join path O(log n) compares + one tail
+    /// memmove instead of a full re-sort.
+    fn insert_roster(&mut self, slot: usize) {
+        let devs = &self.devices;
+        let rank = |s: usize| {
+            let d = &devs[s];
+            (
+                core::cmp::Reverse(power_score(&d.node.member.session.dev.cfg)),
+                &d.node.member.name,
+            )
+        };
+        let key = rank(slot);
+        let pos = self.roster.partition_point(|&r| rank(r as usize) < key);
+        self.roster.insert(pos, slot as u32);
+        if self.roster_pos.len() <= slot {
+            self.roster_pos.resize(slot + 1, 0);
+        }
+        for p in pos..self.roster.len() {
+            self.roster_pos[self.roster[p] as usize] = p as u32;
+        }
     }
 
-    /// The earliest virtual time at which the service has work.
+    /// Rebuilds the power-ordered roster index from scratch (restore
+    /// path; joins use [`AttestationService::insert_roster`]).
+    pub(crate) fn sort_roster(&mut self) {
+        let devs = &self.devices;
+        let mut order: Vec<u32> = (0..devs.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let (da, db) = (&devs[a as usize], &devs[b as usize]);
+            power_score(&db.node.member.session.dev.cfg)
+                .cmp(&power_score(&da.node.member.session.dev.cfg))
+                .then_with(|| da.node.member.name.cmp(&db.node.member.name))
+        });
+        self.roster = order;
+        self.roster_pos = vec![0; devs.len()];
+        for (p, &s) in self.roster.iter().enumerate() {
+            self.roster_pos[s as usize] = p as u32;
+        }
+    }
+
+    /// Rebuilds every piece of derived scheduling state — roster order,
+    /// routing index, per-step scratch, and the timer wheel — from the
+    /// devices' durable fields. The restore path calls this after
+    /// reconstructing `devices`; the wheel itself is never snapshotted.
+    pub(crate) fn rebuild_schedule(&mut self) {
+        self.sort_roster();
+        self.work_of = vec![u32::MAX; self.devices.len()];
+        self.index.clear();
+        self.timers = TimerWheel::new();
+        for slot in 0..self.devices.len() {
+            self.index.insert(self.devices[slot].node.id, slot);
+            if let Some(t) = self.devices[slot].next_action_at {
+                self.timers.insert(t, Timer::Action(slot as u32));
+            }
+            if let Some(t) = self.devices[slot].outstanding.as_ref().map(|o| o.deadline) {
+                self.timers.insert(t, Timer::Deadline(slot as u32));
+            }
+            self.arm_freshness(slot);
+        }
+    }
+
+    /// The earliest virtual time at which the service has work. O(1):
+    /// the network and the timer wheel each keep their own next-due
+    /// cursor; no roster scan. A lazily-cancelled timer can make this
+    /// conservative (early), never late — the extra step is silent.
     pub fn next_event_at(&self) -> Option<u64> {
         let mut next: Option<u64> = self.net.next_event_at().map(|t| t.max(self.now));
         let mut fold = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
-        for d in &self.devices {
-            if let Some(t) = d.next_action_at {
-                fold(t);
-            }
-            if let Some(o) = &d.outstanding {
-                fold(o.deadline);
-            }
-            // Freshness decay is an event too: the clock must land on
-            // the transition boundary so the level change is observable
-            // at the exact tick the policy names.
-            if self.cfg.freshness.is_enabled()
-                && d.evidence.is_some()
-                && d.state != DeviceState::Revoked
-            {
-                if let Some(t) = self
-                    .cfg
-                    .freshness
-                    .next_transition_at(d.last_attested, self.now)
-                {
-                    fold(t);
-                }
-            }
+        if let Some(t) = self.timers.next_due() {
+            fold(t);
         }
         if let Some(t) = self.next_seal_at {
             fold(t);
@@ -601,322 +859,210 @@ impl<T: Transport> AttestationService<T> {
         self.run_until(self.now + ticks);
     }
 
-    /// Processes everything due at the current virtual time.
+    /// Processes everything due at the current virtual time: batched
+    /// intake, per-device work units (pool-parallel when configured),
+    /// then the canonical-order merge. See the module docs for the
+    /// determinism argument.
     fn step(&mut self) {
-        self.pump_device_inboxes();
-        self.pump_verifier_inbox();
-        self.expire_deadlines();
-        self.start_due_rounds();
-        self.seal_due_epochs();
-        self.apply_freshness_decay();
-    }
-
-    /// Delivers frames to device nodes and forwards their replies
-    /// (roster order: most powerful first).
-    fn pump_device_inboxes(&mut self) {
-        for i in 0..self.devices.len() {
-            let id = self.devices[i].node.id;
-            while let Some(env) = self.net.poll(self.now, id) {
-                if self.devices[i].state == DeviceState::Revoked {
-                    continue; // a revoked device is off the network
-                }
-                let Ok(frame) = wire::decode(&env.bytes) else {
-                    continue; // corrupt frame: fail closed, deadline covers it
-                };
-                if let Some((send_at, reply)) = self.devices[i].node.handle(self.now, &frame) {
-                    self.net.send(
-                        send_at,
-                        Envelope {
-                            src: id,
-                            dst: VERIFIER_NODE,
-                            bytes: wire::encode(&reply),
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn pump_verifier_inbox(&mut self) {
-        while let Some(env) = self.net.poll(self.now, VERIFIER_NODE) {
-            let Ok(Frame::Response {
-                round,
-                checksum,
-                measured_cycles,
-            }) = wire::decode(&env.bytes)
-            else {
-                continue;
-            };
-            let Some(i) = self.devices.iter().position(|d| d.node.id == env.src) else {
-                continue;
-            };
-            let name = self.devices[i].node.member.name.clone();
-            let d = &mut self.devices[i];
-            let o = match d.outstanding.take() {
-                Some(o) if o.round == round => o,
-                other => {
-                    // Late, duplicated, or replayed response: ignore it
-                    // and put any genuinely outstanding round back.
-                    d.outstanding = other;
-                    self.log
-                        .record(self.now, &name, EventKind::LateResponse { round });
-                    continue;
-                }
-            };
-            // A bank hit carries its precomputed expected checksum: the
-            // verdict is a compare + timing check, zero replay online.
-            let verdict = match o.expected {
-                Some(expected) => {
-                    d.verifier
-                        .check_response_precomputed(expected, checksum, measured_cycles)
-                }
-                None => d
-                    .verifier
-                    .check_response(&o.challenges, checksum, measured_cycles),
-            };
-            let path = match o.expected {
-                Some(_) => EvidencePath::Precomputed,
-                None => EvidencePath::Classic,
-            };
-            match verdict {
-                Ok(_) => self.round_passed(i, round, measured_cycles, path),
-                Err(SageError::TimingExceeded { .. }) => {
-                    self.round_failed(i, round, FailReason::TooSlow, measured_cycles, path)
-                }
-                Err(_) => {
-                    self.round_failed(i, round, FailReason::WrongValue, measured_cycles, path)
-                }
-            }
-        }
-    }
-
-    fn expire_deadlines(&mut self) {
-        for i in 0..self.devices.len() {
-            let due = self.devices[i]
-                .outstanding
-                .as_ref()
-                .is_some_and(|o| o.deadline <= self.now);
-            if due {
-                if let Some(o) = self.devices[i].outstanding.take() {
-                    let path = match o.expected {
-                        Some(_) => EvidencePath::Precomputed,
-                        None => EvidencePath::Classic,
-                    };
-                    self.round_failed(i, o.round, FailReason::Timeout, 0, path);
-                }
-            }
-        }
-    }
-
-    fn start_due_rounds(&mut self) {
-        for i in 0..self.devices.len() {
-            let d = &self.devices[i];
-            if d.next_action_at.is_some_and(|t| t <= self.now) {
-                self.start_round(i);
-            }
-        }
-    }
-
-    fn start_round(&mut self, i: usize) {
         let now = self.now;
-        let d = &mut self.devices[i];
-        d.next_action_at = None;
-        if !matches!(
-            d.state,
-            DeviceState::Attesting | DeviceState::Trusted | DeviceState::Degraded
-        ) {
-            return;
-        }
-        let Some(threshold) = d.verifier.threshold() else {
-            return; // uncalibrated devices never get here (join quarantines them)
-        };
-        d.round += 1;
-        // Blocking take keeps the consumed challenge sequence
-        // deterministic (the bank's single producer draws in generator
-        // order); the wait is bounded by one background replay and only
-        // ever happens when rounds outpace the refill workers.
-        let (challenges, expected) = d.verifier.prepare_round_blocking();
-        // The round must complete within: challenge flight + the
-        // calibrated worst-case checksum time + response flight + slack.
-        let deadline = now + 2 * self.cfg.latency_budget + threshold + self.cfg.deadline_slack;
-        d.outstanding = Some(Outstanding {
-            round: d.round,
-            challenges: challenges.clone(),
-            expected,
-            deadline,
-        });
-        let round = d.round;
-        let dst = d.node.id;
-        let name = d.node.member.name.clone();
-        self.log
-            .record(now, &name, EventKind::RoundStarted { round });
-        self.net.send(
-            now,
-            Envelope {
-                src: VERIFIER_NODE,
-                dst,
-                bytes: wire::encode(&Frame::Challenge { round, challenges }),
-            },
-        );
-    }
 
-    fn round_passed(&mut self, i: usize, round: u64, measured: u64, path: EvidencePath) {
-        let now = self.now;
-        let interval = self.cfg.reattest_interval;
-        let d = &mut self.devices[i];
-        d.rounds_passed += 1;
-        d.consecutive_failures = 0;
-        d.consecutive_value_failures = 0;
-        d.consecutive_restarts = 0;
-        d.next_action_at = Some(now + interval);
-        let name = d.node.member.name.clone();
-        let threshold = d.verifier.threshold().unwrap_or(0);
-        self.log
-            .record(now, &name, EventKind::RoundPassed { round, measured });
-        self.append_evidence(
-            i,
-            EvidencePayload::ChecksumRound {
-                round,
-                measured_cycles: measured,
-                threshold_cycles: threshold,
-                verdict: StageVerdict::Pass,
-                path,
-            },
-        );
-        if matches!(
-            self.devices[i].state,
-            DeviceState::Attesting | DeviceState::Degraded
-        ) {
-            self.set_state(i, DeviceState::Trusted);
-        }
-    }
+        // ---- intake: one network drain + one wheel pop ---------------
+        let arrivals = self.net.drain_due(now);
+        let mut due = std::mem::take(&mut self.timer_scratch);
+        self.timers.pop_due(now, &mut due);
 
-    fn round_failed(
-        &mut self,
-        i: usize,
-        round: u64,
-        reason: FailReason,
-        measured: u64,
-        path: EvidencePath,
-    ) {
-        let now = self.now;
-        let policy = self.cfg.policy;
-        let name = self.devices[i].node.member.name.clone();
-        self.log
-            .record(now, &name, EventKind::RoundFailed { round, reason });
-        let verdict = match reason {
-            FailReason::WrongValue => StageVerdict::WrongValue,
-            FailReason::TooSlow => StageVerdict::TooSlow,
-            FailReason::Timeout => StageVerdict::Timeout,
-        };
-        let threshold = self.devices[i].verifier.threshold().unwrap_or(0);
-        self.append_evidence(
-            i,
-            EvidencePayload::ChecksumRound {
-                round,
-                measured_cycles: measured,
-                threshold_cycles: threshold,
-                verdict,
-                path,
-            },
-        );
+        let mut works: Vec<DevWork> = Vec::new();
+        let mut fresh_fires: Vec<u32> = Vec::new();
 
-        let d = &mut self.devices[i];
-        // Paper §7.2: a timing-only reject is ≈0.5% likely on an honest
-        // device — restart the verification instead of counting it
-        // against the failure budget. With `restart_on_timeout` the
-        // watchdog extends the same allowance to expired deadlines (a
-        // transiently-unreachable device), sharing the restart budget.
-        let restartable = match reason {
-            FailReason::TooSlow => true,
-            FailReason::Timeout => policy.restart_on_timeout,
-            FailReason::WrongValue => false,
-        };
-        if restartable && d.consecutive_restarts < policy.max_timing_restarts {
-            d.consecutive_restarts += 1;
-            d.next_action_at = Some(now + policy.backoff_base);
-            self.log.record(now, &name, EventKind::Restarted { round });
-            return;
+        // Mark-or-get the work unit for a slot (work_of doubles as the
+        // dedup map; reset below).
+        macro_rules! work_for {
+            ($slot:expr) => {{
+                let slot: usize = $slot;
+                if self.work_of[slot] == u32::MAX {
+                    self.work_of[slot] = works.len() as u32;
+                    works.push(DevWork {
+                        slot,
+                        shard: self.index.shard_of(self.devices[slot].node.id),
+                        rpos: self.roster_pos[slot],
+                        frames: Vec::new(),
+                        responses: Vec::new(),
+                    });
+                }
+                &mut works[self.work_of[slot] as usize]
+            }};
         }
-        d.consecutive_failures += 1;
-        if reason == FailReason::WrongValue {
-            d.consecutive_value_failures += 1;
+
+        // Frames route by one shard-map lookup; responses carry their
+        // global arrival seq so the merge can restore arrival order
+        // across devices. Unroutable frames (unknown node) are dropped,
+        // matching the sequential engine's fail-closed handling.
+        for (seq, env) in arrivals.into_iter().enumerate() {
+            if env.dst == VERIFIER_NODE {
+                if let Some(slot) = self.index.get(env.src) {
+                    work_for!(slot).responses.push((seq as u64, env));
+                }
+            } else if let Some(slot) = self.index.get(env.dst) {
+                work_for!(slot).frames.push(env);
+            }
         }
-        // Two quarantine budgets: the general one for any consecutive
-        // failures, and a (usually tighter) one for wrong checksums —
-        // the signal no honest device can emit.
-        if d.consecutive_failures >= policy.quarantine_after
-            || d.consecutive_value_failures >= policy.value_quarantine_after
-        {
-            d.next_action_at = None;
-            self.set_state(i, DeviceState::Quarantined);
+        for &(_, timer) in &due {
+            match timer {
+                Timer::Action(s) | Timer::Deadline(s) => {
+                    // The pop only marks the device; the unit re-checks
+                    // the live condition, so stale entries are no-ops.
+                    let _ = work_for!(s as usize);
+                }
+                Timer::Fresh { slot, at } => {
+                    let d = &mut self.devices[slot as usize];
+                    if d.next_fresh_at == Some(at) {
+                        d.next_fresh_at = None;
+                        fresh_fires.push(slot);
+                    }
+                }
+            }
+        }
+        due.clear();
+        self.timer_scratch = due;
+        for w in &works {
+            self.work_of[w.slot] = u32::MAX;
+        }
+
+        // ---- units: per-device phases, shard-parallel when pooled ----
+        let mut effs: Vec<DevEffects> = Vec::with_capacity(works.len());
+        let pooled = self.pool.is_some() && self.index.shards() > 1 && works.len() > 1;
+        if pooled {
+            let mut jobs: Vec<Vec<u32>> = vec![Vec::new(); self.index.shards()];
+            for (wi, w) in works.iter().enumerate() {
+                jobs[w.shard].push(wi as u32);
+            }
+            jobs.retain(|j| !j.is_empty());
+            let mut out: Vec<Option<DevEffects>> = works.iter().map(|_| None).collect();
+            {
+                let cfg = self.cfg;
+                let pool = self.pool.as_ref().expect("pooled implies pool");
+                let dev = SendPtr(self.devices.as_mut_ptr());
+                let wrk = SendPtr(works.as_mut_ptr());
+                let res = SendPtr(out.as_mut_ptr());
+                let jobs = &jobs;
+                pool.run_scoped(jobs.len(), &|j| {
+                    for &wi in &jobs[j] {
+                        // SAFETY: every work index appears in exactly one
+                        // job, every slot in at most one work unit (the
+                        // work_of dedup above), and out/works/devices
+                        // outlive the scoped run — so each access below
+                        // is the sole &mut to its element.
+                        unsafe {
+                            let w = wrk.at(wi as usize);
+                            let d = dev.at(w.slot);
+                            *res.at(wi as usize) = Some(run_unit(&cfg, now, d, w));
+                        }
+                    }
+                });
+            }
+            effs.extend(out.into_iter().map(|e| e.expect("every unit ran")));
         } else {
-            let delay = policy.backoff_delay(d.consecutive_failures);
-            d.next_action_at = Some(now + delay);
-            if d.state != DeviceState::Degraded {
-                self.set_state(i, DeviceState::Degraded);
+            for w in &mut works {
+                let d = &mut self.devices[w.slot];
+                effs.push(run_unit(&self.cfg, now, d, w));
             }
         }
+
+        // ---- merge: apply effects in the sequential engine's order ---
+        effs.sort_unstable_by_key(|e| e.rpos);
+
+        // Phase 1 — device replies, roster-major, frame order within a
+        // device (this fixes the transport's rng draw sequence).
+        for e in &mut effs {
+            for (at, env) in e.replies.drain(..) {
+                self.net.send(at, env);
+            }
+        }
+        // Phase 2 — response verdicts in global arrival order.
+        let mut groups: Vec<(u64, u32, u32)> = Vec::new();
+        for (ei, e) in effs.iter().enumerate() {
+            for (vi, (seq, _)) in e.verdicts.iter().enumerate() {
+                groups.push((*seq, ei as u32, vi as u32));
+            }
+        }
+        groups.sort_unstable_by_key(|g| g.0);
+        for (_, ei, vi) in groups {
+            let slot = effs[ei as usize].slot;
+            let fx = std::mem::take(&mut effs[ei as usize].verdicts[vi as usize].1);
+            self.flush_effects(slot, fx);
+        }
+        // Phase 3 — deadline expiries, roster order.
+        for e in &mut effs {
+            if let Some(fx) = e.deadline.take() {
+                let slot = e.slot;
+                self.flush_effects(slot, fx);
+            }
+        }
+        // Phase 4 — round starts, roster order; each device records its
+        // RoundStarted before its challenge hits the wire.
+        for e in &mut effs {
+            if let Some((fx, env)) = e.start.take() {
+                let slot = e.slot;
+                self.flush_effects(slot, fx);
+                if let Some(env) = env {
+                    self.net.send(now, env);
+                }
+            }
+        }
+        self.seal_due_epochs();
+        // Phase 5 — freshness boundaries, roster order.
+        fresh_fires.sort_unstable_by_key(|&s| self.roster_pos[s as usize]);
+        for slot in fresh_fires {
+            let mut fx = Effects::default();
+            {
+                let d = &mut self.devices[slot as usize];
+                core_refresh_freshness(&self.cfg, now, d, &mut fx);
+            }
+            self.flush_effects(slot as usize, fx);
+            self.arm_freshness(slot as usize);
+        }
     }
 
-    fn set_state(&mut self, i: usize, to: DeviceState) {
-        let d = &mut self.devices[i];
-        if d.state == to {
-            return;
+    /// Applies one buffered effect group: records its events under the
+    /// device's name, then arms each requested timer *if the device's
+    /// live schedule still wants it* — a request superseded by a later
+    /// phase in the same step simply fails validation, which is what
+    /// keeps lazy cancellation consistent.
+    fn flush_effects(&mut self, slot: usize, fx: Effects) {
+        if !fx.events.is_empty() {
+            let name = self.devices[slot].node.member.name.clone();
+            for ev in fx.events {
+                self.log.record(self.now, &name, ev);
+            }
         }
-        let from = d.state;
-        d.state = to;
-        let name = d.node.member.name.clone();
-        self.log
-            .record(self.now, &name, EventKind::StateChanged { from, to });
-    }
-
-    /// Appends one attestation-stage record to a device's evidence chain
-    /// (a no-op for devices whose SAKE establishment failed — they have
-    /// no chain and no key to authenticate records under). A passing
-    /// stage advances the freshness anchor.
-    fn append_evidence(&mut self, i: usize, payload: EvidencePayload) {
-        let now = self.now;
-        let d = &mut self.devices[i];
-        let Some(chain) = d.evidence.as_mut() else {
-            return;
-        };
-        let passed = payload.verdict() == StageVerdict::Pass;
-        chain.append(now, payload);
-        if passed {
-            d.last_attested = Some(now);
-        }
-        self.refresh_freshness(i);
-    }
-
-    /// Re-evaluates one device's freshness level under the configured
-    /// policy and logs the transition if it changed.
-    fn refresh_freshness(&mut self, i: usize) {
-        let now = self.now;
-        let d = &mut self.devices[i];
-        if d.evidence.is_none() || d.state == DeviceState::Revoked {
-            return;
-        }
-        let to = self.cfg.freshness.level(d.last_attested, now);
-        if to == d.freshness {
-            return;
-        }
-        let from = d.freshness;
-        d.freshness = to;
-        let name = d.node.member.name.clone();
-        self.log
-            .record(now, &name, EventKind::FreshnessChanged { from, to });
-    }
-
-    /// Applies freshness decay across the fleet (event-loop hook; the
-    /// clock lands exactly on transition boundaries via
-    /// [`AttestationService::next_event_at`]).
-    fn apply_freshness_decay(&mut self) {
-        if !self.cfg.freshness.is_enabled() {
-            return;
-        }
-        for i in 0..self.devices.len() {
-            self.refresh_freshness(i);
+        for req in fx.timers {
+            match req {
+                TimerReq::Action(t) => {
+                    if self.devices[slot].next_action_at == Some(t) {
+                        self.timers.insert(t, Timer::Action(slot as u32));
+                    }
+                }
+                TimerReq::Deadline(t) => {
+                    let live = self.devices[slot]
+                        .outstanding
+                        .as_ref()
+                        .is_some_and(|o| o.deadline == t);
+                    if live {
+                        self.timers.insert(t, Timer::Deadline(slot as u32));
+                    }
+                }
+                TimerReq::Fresh(t) => {
+                    if self.devices[slot].next_fresh_at == Some(t) {
+                        self.timers.insert(
+                            t,
+                            Timer::Fresh {
+                                slot: slot as u32,
+                                at: t,
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -960,10 +1106,7 @@ impl<T: Transport> AttestationService<T> {
     /// evidence. Returns `None` for unknown devices or devices without
     /// an established key; otherwise whether the echo verified.
     pub fn probe_device(&mut self, name: &str) -> Option<bool> {
-        let i = self
-            .devices
-            .iter()
-            .position(|d| d.node.member.name == name)?;
+        let i = self.find(name)?;
         let sk = self.devices[i].session_key?;
         let seq = self.devices[i].evidence.as_ref()?.seq();
         // Deterministic per-probe nonce: a splitmix64 finalizer over the
@@ -984,7 +1127,7 @@ impl<T: Transport> AttestationService<T> {
         } else {
             StageVerdict::Timeout
         };
-        self.append_evidence(i, EvidencePayload::ChannelLiveness { nonce, verdict });
+        self.append_evidence_now(i, EvidencePayload::ChannelLiveness { nonce, verdict });
         Some(ok)
     }
 
@@ -993,10 +1136,7 @@ impl<T: Transport> AttestationService<T> {
     /// unknown or never-established devices; otherwise whether the
     /// measured hash matched.
     pub fn verify_kernel(&mut self, name: &str, code: &[u8]) -> Option<bool> {
-        let i = self
-            .devices
-            .iter()
-            .position(|d| d.node.member.name == name)?;
+        let i = self.find(name)?;
         self.devices[i].evidence.as_ref()?;
         let d = &mut self.devices[i];
         let outcome = d.verifier.verify_user_kernel_hash(
@@ -1020,8 +1160,22 @@ impl<T: Transport> AttestationService<T> {
                 },
             ),
         };
-        self.append_evidence(i, payload);
+        self.append_evidence_now(i, payload);
         Some(ok)
+    }
+
+    /// Serial-path evidence append (probe/kernel checks): runs the core
+    /// append inline and flushes its effects immediately.
+    fn append_evidence_now(&mut self, slot: usize, payload: EvidencePayload) {
+        let mut fx = Effects::default();
+        core_append_evidence(
+            &self.cfg,
+            self.now,
+            &mut self.devices[slot],
+            payload,
+            &mut fx,
+        );
+        self.flush_effects(slot, fx);
     }
 
     /// Builds a self-contained [`DeviceReport`] for one device, anchored
@@ -1031,7 +1185,7 @@ impl<T: Transport> AttestationService<T> {
     /// evidence-key CMAC. `None` until an epoch sealed with the device
     /// in it.
     pub fn report_for(&self, name: &str) -> Option<DeviceReport> {
-        let d = self.devices.iter().find(|d| d.node.member.name == name)?;
+        let d = &self.devices[self.find(name)?];
         let chain = d.evidence.as_ref()?;
         let epoch = self.sealed_epochs.last()?;
         let pos = epoch.leaves.iter().position(|l| l.device == name)?;
@@ -1062,10 +1216,8 @@ impl<T: Transport> AttestationService<T> {
 
     /// A device's evidence chain, if SAKE establishment succeeded.
     pub fn evidence_of(&self, name: &str) -> Option<&EvidenceChain> {
-        self.devices
-            .iter()
-            .find(|d| d.node.member.name == name)
-            .and_then(|d| d.evidence.as_ref())
+        self.find(name)
+            .and_then(|i| self.devices[i].evidence.as_ref())
     }
 
     /// A device's evidence key (what a relying party needs, alongside a
@@ -1076,10 +1228,7 @@ impl<T: Transport> AttestationService<T> {
 
     /// A device's current freshness level.
     pub fn freshness_of(&self, name: &str) -> Option<Freshness> {
-        self.devices
-            .iter()
-            .find(|d| d.node.member.name == name)
-            .map(|d| d.freshness)
+        self.find(name).map(|i| self.devices[i].freshness)
     }
 
     /// Renders a service snapshot (time, per-device status, counters) as
@@ -1103,5 +1252,343 @@ impl<T: Transport> AttestationService<T> {
         out.push_str(&self.log.counters_json());
         out.push_str("\n}\n");
         out
+    }
+}
+
+/// Runs one device's due work in the canonical per-device phase order,
+/// mutating only that device and buffering every global effect. Runs on
+/// a pool thread when workers are configured — nothing here may touch
+/// shared service state.
+fn run_unit(cfg: &ServiceConfig, now: u64, d: &mut ManagedDevice, w: &mut DevWork) -> DevEffects {
+    let mut eff = DevEffects {
+        slot: w.slot,
+        rpos: w.rpos,
+        replies: Vec::new(),
+        verdicts: Vec::new(),
+        deadline: None,
+        start: None,
+    };
+    // Phase a — inbound frames, arrival order.
+    for env in w.frames.drain(..) {
+        if d.state == DeviceState::Revoked {
+            continue; // a revoked device is off the network
+        }
+        let Ok(frame) = wire::decode(&env.bytes) else {
+            continue; // corrupt frame: fail closed, deadline covers it
+        };
+        if let Some((send_at, reply)) = d.node.handle(now, &frame) {
+            eff.replies.push((
+                send_at,
+                Envelope {
+                    src: d.node.id,
+                    dst: VERIFIER_NODE,
+                    bytes: wire::encode(&reply),
+                },
+            ));
+        }
+    }
+    // Phase b — response verdicts, arrival order (the seq carries the
+    // cross-device arrival order to the merge).
+    for (seq, env) in w.responses.drain(..) {
+        let Ok(Frame::Response {
+            round,
+            checksum,
+            measured_cycles,
+        }) = wire::decode(&env.bytes)
+        else {
+            continue;
+        };
+        let mut fx = Effects::default();
+        core_verdict(cfg, now, d, round, checksum, measured_cycles, &mut fx);
+        eff.verdicts.push((seq, fx));
+    }
+    // Phase c — deadline expiry, evaluated on the live state (a verdict
+    // above may have consumed the outstanding round).
+    if d.outstanding.as_ref().is_some_and(|o| o.deadline <= now) {
+        if let Some(o) = d.outstanding.take() {
+            let path = match o.expected {
+                Some(_) => EvidencePath::Precomputed,
+                None => EvidencePath::Classic,
+            };
+            let mut fx = Effects::default();
+            core_round_failed(cfg, now, d, o.round, FailReason::Timeout, 0, path, &mut fx);
+            eff.deadline = Some(fx);
+        }
+    }
+    // Phase d — due round start, again on live state (a zero-backoff
+    // restart in phase b/c cascades into a same-step start, exactly as
+    // the sequential engine's phase ordering produced).
+    if d.next_action_at.is_some_and(|t| t <= now) {
+        let mut fx = Effects::default();
+        let env = core_start_round(cfg, now, d, &mut fx);
+        eff.start = Some((fx, env));
+    }
+    eff
+}
+
+/// Judges one response against the device's outstanding round.
+#[allow(clippy::too_many_arguments)]
+fn core_verdict(
+    cfg: &ServiceConfig,
+    now: u64,
+    d: &mut ManagedDevice,
+    round: u64,
+    checksum: [u32; 8],
+    measured: u64,
+    fx: &mut Effects,
+) {
+    let o = match d.outstanding.take() {
+        Some(o) if o.round == round => o,
+        other => {
+            // Late, duplicated, or replayed response: ignore it and put
+            // any genuinely outstanding round back.
+            d.outstanding = other;
+            fx.events.push(EventKind::LateResponse { round });
+            return;
+        }
+    };
+    // A bank hit carries its precomputed expected checksum: the verdict
+    // is a compare + timing check, zero replay online.
+    let verdict = match o.expected {
+        Some(expected) => d
+            .verifier
+            .check_response_precomputed(expected, checksum, measured),
+        None => d.verifier.check_response(&o.challenges, checksum, measured),
+    };
+    let path = match o.expected {
+        Some(_) => EvidencePath::Precomputed,
+        None => EvidencePath::Classic,
+    };
+    match verdict {
+        Ok(_) => core_round_passed(cfg, now, d, round, measured, path, fx),
+        Err(SageError::TimingExceeded { .. }) => {
+            core_round_failed(cfg, now, d, round, FailReason::TooSlow, measured, path, fx)
+        }
+        Err(_) => core_round_failed(
+            cfg,
+            now,
+            d,
+            round,
+            FailReason::WrongValue,
+            measured,
+            path,
+            fx,
+        ),
+    }
+}
+
+fn core_round_passed(
+    cfg: &ServiceConfig,
+    now: u64,
+    d: &mut ManagedDevice,
+    round: u64,
+    measured: u64,
+    path: EvidencePath,
+    fx: &mut Effects,
+) {
+    d.rounds_passed += 1;
+    d.consecutive_failures = 0;
+    d.consecutive_value_failures = 0;
+    d.consecutive_restarts = 0;
+    let at = now + cfg.reattest_interval;
+    d.next_action_at = Some(at);
+    fx.timers.push(TimerReq::Action(at));
+    let threshold = d.verifier.threshold().unwrap_or(0);
+    fx.events.push(EventKind::RoundPassed { round, measured });
+    core_append_evidence(
+        cfg,
+        now,
+        d,
+        EvidencePayload::ChecksumRound {
+            round,
+            measured_cycles: measured,
+            threshold_cycles: threshold,
+            verdict: StageVerdict::Pass,
+            path,
+        },
+        fx,
+    );
+    if matches!(d.state, DeviceState::Attesting | DeviceState::Degraded) {
+        core_set_state(d, DeviceState::Trusted, fx);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn core_round_failed(
+    cfg: &ServiceConfig,
+    now: u64,
+    d: &mut ManagedDevice,
+    round: u64,
+    reason: FailReason,
+    measured: u64,
+    path: EvidencePath,
+    fx: &mut Effects,
+) {
+    let policy = cfg.policy;
+    fx.events.push(EventKind::RoundFailed { round, reason });
+    let verdict = match reason {
+        FailReason::WrongValue => StageVerdict::WrongValue,
+        FailReason::TooSlow => StageVerdict::TooSlow,
+        FailReason::Timeout => StageVerdict::Timeout,
+    };
+    let threshold = d.verifier.threshold().unwrap_or(0);
+    core_append_evidence(
+        cfg,
+        now,
+        d,
+        EvidencePayload::ChecksumRound {
+            round,
+            measured_cycles: measured,
+            threshold_cycles: threshold,
+            verdict,
+            path,
+        },
+        fx,
+    );
+
+    // Paper §7.2: a timing-only reject is ≈0.5% likely on an honest
+    // device — restart the verification instead of counting it
+    // against the failure budget. With `restart_on_timeout` the
+    // watchdog extends the same allowance to expired deadlines (a
+    // transiently-unreachable device), sharing the restart budget.
+    let restartable = match reason {
+        FailReason::TooSlow => true,
+        FailReason::Timeout => policy.restart_on_timeout,
+        FailReason::WrongValue => false,
+    };
+    if restartable && d.consecutive_restarts < policy.max_timing_restarts {
+        d.consecutive_restarts += 1;
+        let at = now + policy.backoff_base;
+        d.next_action_at = Some(at);
+        fx.timers.push(TimerReq::Action(at));
+        fx.events.push(EventKind::Restarted { round });
+        return;
+    }
+    d.consecutive_failures += 1;
+    if reason == FailReason::WrongValue {
+        d.consecutive_value_failures += 1;
+    }
+    // Two quarantine budgets: the general one for any consecutive
+    // failures, and a (usually tighter) one for wrong checksums —
+    // the signal no honest device can emit.
+    if d.consecutive_failures >= policy.quarantine_after
+        || d.consecutive_value_failures >= policy.value_quarantine_after
+    {
+        d.next_action_at = None;
+        core_set_state(d, DeviceState::Quarantined, fx);
+    } else {
+        let delay = policy.backoff_delay(d.consecutive_failures);
+        let at = now + delay;
+        d.next_action_at = Some(at);
+        fx.timers.push(TimerReq::Action(at));
+        if d.state != DeviceState::Degraded {
+            core_set_state(d, DeviceState::Degraded, fx);
+        }
+    }
+}
+
+/// Starts the device's next round if it is still eligible; returns the
+/// challenge envelope to send (at the current tick) when it is.
+fn core_start_round(
+    cfg: &ServiceConfig,
+    now: u64,
+    d: &mut ManagedDevice,
+    fx: &mut Effects,
+) -> Option<Envelope> {
+    d.next_action_at = None;
+    if !matches!(
+        d.state,
+        DeviceState::Attesting | DeviceState::Trusted | DeviceState::Degraded
+    ) {
+        return None;
+    }
+    let threshold = d.verifier.threshold()?; // uncalibrated devices never get here (join quarantines them)
+    d.round += 1;
+    // Blocking take keeps the consumed challenge sequence
+    // deterministic (the bank's single producer draws in generator
+    // order); the wait is bounded by one background replay and only
+    // ever happens when rounds outpace the refill workers.
+    let (challenges, expected) = d.verifier.prepare_round_blocking();
+    // The round must complete within: challenge flight + the
+    // calibrated worst-case checksum time + response flight + slack.
+    let deadline = now + 2 * cfg.latency_budget + threshold + cfg.deadline_slack;
+    d.outstanding = Some(Outstanding {
+        round: d.round,
+        challenges: challenges.clone(),
+        expected,
+        deadline,
+    });
+    fx.timers.push(TimerReq::Deadline(deadline));
+    let round = d.round;
+    fx.events.push(EventKind::RoundStarted { round });
+    Some(Envelope {
+        src: VERIFIER_NODE,
+        dst: d.node.id,
+        bytes: wire::encode(&Frame::Challenge { round, challenges }),
+    })
+}
+
+fn core_set_state(d: &mut ManagedDevice, to: DeviceState, fx: &mut Effects) {
+    if d.state == to {
+        return;
+    }
+    let from = d.state;
+    d.state = to;
+    fx.events.push(EventKind::StateChanged { from, to });
+}
+
+/// Appends one attestation-stage record to a device's evidence chain
+/// (a no-op for devices whose SAKE establishment failed — they have
+/// no chain and no key to authenticate records under). A passing
+/// stage advances the freshness anchor and re-arms the decay timer.
+fn core_append_evidence(
+    cfg: &ServiceConfig,
+    now: u64,
+    d: &mut ManagedDevice,
+    payload: EvidencePayload,
+    fx: &mut Effects,
+) {
+    let Some(chain) = d.evidence.as_mut() else {
+        return;
+    };
+    let passed = payload.verdict() == StageVerdict::Pass;
+    chain.append(now, payload);
+    if passed {
+        d.last_attested = Some(now);
+    }
+    core_refresh_freshness(cfg, now, d, fx);
+    schedule_freshness(cfg, now, d, fx);
+}
+
+/// Re-evaluates one device's freshness level under the configured
+/// policy and logs the transition if it changed.
+fn core_refresh_freshness(cfg: &ServiceConfig, now: u64, d: &mut ManagedDevice, fx: &mut Effects) {
+    if d.evidence.is_none() || d.state == DeviceState::Revoked {
+        return;
+    }
+    let to = cfg.freshness.level(d.last_attested, now);
+    if to == d.freshness {
+        return;
+    }
+    let from = d.freshness;
+    d.freshness = to;
+    fx.events.push(EventKind::FreshnessChanged { from, to });
+}
+
+/// Requests the device's next freshness-decay timer from its live
+/// anchor. The boundary is strictly in the future and monotone in
+/// `last_attested`, so a superseded timer simply goes stale.
+fn schedule_freshness(cfg: &ServiceConfig, now: u64, d: &mut ManagedDevice, fx: &mut Effects) {
+    if !cfg.freshness.is_enabled() || d.evidence.is_none() || d.state == DeviceState::Revoked {
+        return;
+    }
+    match cfg.freshness.next_transition_at(d.last_attested, now) {
+        Some(t) => {
+            if d.next_fresh_at != Some(t) {
+                d.next_fresh_at = Some(t);
+                fx.timers.push(TimerReq::Fresh(t));
+            }
+        }
+        None => d.next_fresh_at = None,
     }
 }

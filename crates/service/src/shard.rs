@@ -1,0 +1,198 @@
+//! Sharded device index: an FxHash-style hasher (dependency-free) and
+//! the `NodeId → roster slot` maps the event loop routes frames with.
+//!
+//! The old `pump_verifier_inbox` located a responding device with a
+//! linear `position()` scan over the roster — O(fleet) per frame,
+//! O(fleet²) per burst, which is exactly what capped the control plane
+//! at a handful of devices. [`ShardIndex`] splits the fleet into
+//! `hash(node) % shards` partitions, each a small open-addressed map,
+//! so routing is O(1) and the per-shard partitions double as the work
+//! units the step loop fans out across the thread pool: every device
+//! lives in exactly one shard, so per-device ordering stays sequential
+//! no matter how many workers steal shards.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::net::NodeId;
+
+/// The `rustc-hash` multiply-rotate hash, reimplemented on `std` (the
+/// workspace is dependency-free by design). Not DoS-resistant —
+/// exactly the trade the compiler makes — but node ids are
+/// service-assigned sequential integers, not attacker-chosen keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx multiply-rotate hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// One standalone Fx hash of a `u64` — the shard assignment function.
+#[inline]
+pub fn fx_hash_u64(n: u64) -> u64 {
+    (0u64.rotate_left(5) ^ n).wrapping_mul(FX_SEED)
+}
+
+/// The fleet routing index: `shards` partitions of `NodeId → roster
+/// slot`, shard chosen by `fx_hash(node) % shards`. Roster slots are
+/// stable for the life of a device (the roster Vec is append-only; the
+/// power ordering lives in a separate index vector), so entries are
+/// written once at join and never move.
+#[derive(Debug)]
+pub struct ShardIndex {
+    maps: Vec<FxHashMap<NodeId, usize>>,
+}
+
+impl ShardIndex {
+    /// An empty index with `shards` partitions (clamped to ≥ 1).
+    pub fn new(shards: usize) -> ShardIndex {
+        let shards = shards.max(1);
+        ShardIndex {
+            maps: (0..shards).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn shards(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// The partition `node` routes to.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        (fx_hash_u64(node.0 as u64) % self.maps.len() as u64) as usize
+    }
+
+    /// Records `node` at roster `slot`.
+    pub fn insert(&mut self, node: NodeId, slot: usize) {
+        let s = self.shard_of(node);
+        self.maps[s].insert(node, slot);
+    }
+
+    /// The roster slot for `node`, if enrolled.
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<usize> {
+        let s = self.shard_of(node);
+        self.maps[s].get(&node).copied()
+    }
+
+    /// Drops every entry (used when rebuilding after restore).
+    pub fn clear(&mut self) {
+        for m in &mut self.maps {
+            m.clear();
+        }
+    }
+
+    /// Total enrolled entries across all partitions.
+    pub fn len(&self) -> usize {
+        self.maps.iter().map(|m| m.len()).sum()
+    }
+
+    /// True when no device is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.maps.iter().all(|m| m.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_and_resolves() {
+        let mut idx = ShardIndex::new(4);
+        for i in 0..100u16 {
+            idx.insert(NodeId(i), i as usize);
+        }
+        assert_eq!(idx.len(), 100);
+        for i in 0..100u16 {
+            assert_eq!(idx.get(NodeId(i)), Some(i as usize));
+        }
+        assert_eq!(idx.get(NodeId(1000)), None);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let idx4 = ShardIndex::new(4);
+        let idx16 = ShardIndex::new(16);
+        for i in 0..1000u16 {
+            let s4 = idx4.shard_of(NodeId(i));
+            assert!(s4 < 4);
+            assert_eq!(s4, idx4.shard_of(NodeId(i)));
+            assert!(idx16.shard_of(NodeId(i)) < 16);
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        // Fx on sequential ids must not collapse into one partition.
+        let idx = ShardIndex::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..800u16 {
+            counts[idx.shard_of(NodeId(i))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 20, "shard {s} only got {c}/800 ids");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let idx = ShardIndex::new(0);
+        assert_eq!(idx.shards(), 1);
+        assert_eq!(idx.shard_of(NodeId(42)), 0);
+    }
+
+    #[test]
+    fn fx_hashmap_works_as_std_map() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -26,19 +26,26 @@ use sage_evidence::merkle::EpochLeaf;
 use sage_evidence::record::EvidenceRecord;
 use sage_evidence::{derive_evidence_key, EvidenceChain, Freshness};
 
-use crate::events::{Event, EventKind, EventLog, FailReason};
+use sage_vf::ReplayPool;
+
+use crate::events::{Counters, Event, EventKind, EventLog, FailReason};
 use crate::net::{NodeId, Transport};
 use crate::node::DeviceNode;
 use crate::service::{
     AttestationService, DeviceState, ManagedDevice, Outstanding, SealedEpoch, ServiceConfig,
 };
+use crate::shard::ShardIndex;
+use crate::wheel::TimerWheel;
 
 /// Snapshot magic: "SAGE snap".
 const MAGIC: u32 = 0x5A6E_A950;
 /// Current snapshot format version. Version 2 added the evidence layer:
 /// per-device session keys, evidence chains, freshness anchors, and the
-/// service's sealed fleet epochs.
-const VERSION: u16 = 2;
+/// service's sealed fleet epochs. Version 3 carries the event-log
+/// counters and drop count explicitly: with a bounded log the retained
+/// event window no longer determines the counters, so replaying it on
+/// restore (the v2 scheme) would under-count.
+const VERSION: u16 = 3;
 
 /// Why a snapshot could not be decoded or re-married to its endpoints.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -298,7 +305,30 @@ pub(crate) fn encode<T: Transport>(svc: &AttestationService<T>) -> Vec<u8> {
     for e in events {
         put_event(&mut out, e);
     }
+    put_counters(&mut out, &svc.log.counters());
+    put_u64(&mut out, svc.log.events_dropped());
     out
+}
+
+/// Counters are encoded in declaration order; the decoder mirrors this.
+fn put_counters(out: &mut Vec<u8>, c: &Counters) {
+    for v in [
+        c.joins,
+        c.leaves,
+        c.rounds_started,
+        c.rounds_passed,
+        c.value_rejects,
+        c.timing_rejects,
+        c.timeouts,
+        c.restarts,
+        c.late_responses,
+        c.quarantines,
+        c.calibration_failures,
+        c.freshness_transitions,
+        c.epochs_sealed,
+    ] {
+        put_u64(out, v);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -438,6 +468,8 @@ struct Decoded {
     next_seal_at: Option<u64>,
     sealed_epochs: Vec<SealedEpoch>,
     events: Vec<Event>,
+    counters: Counters,
+    events_dropped: u64,
 }
 
 fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
@@ -602,6 +634,22 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         };
         events.push(Event { at, device, kind });
     }
+    let counters = Counters {
+        joins: r.u64()?,
+        leaves: r.u64()?,
+        rounds_started: r.u64()?,
+        rounds_passed: r.u64()?,
+        value_rejects: r.u64()?,
+        timing_rejects: r.u64()?,
+        timeouts: r.u64()?,
+        restarts: r.u64()?,
+        late_responses: r.u64()?,
+        quarantines: r.u64()?,
+        calibration_failures: r.u64()?,
+        freshness_transitions: r.u64()?,
+        epochs_sealed: r.u64()?,
+    };
+    let events_dropped = r.u64()?;
     if r.pos != bytes.len() {
         return Err(SnapshotError::TrailingBytes);
     }
@@ -612,6 +660,8 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         next_seal_at,
         sealed_epochs,
         events,
+        counters,
+        events_dropped,
     })
 }
 
@@ -626,14 +676,14 @@ pub(crate) fn restore<T: Transport>(
     // Re-marry scheduler records with surviving endpoints by device
     // name. Every record needs its endpoint and vice versa — a partial
     // fleet is a different deployment, not a restart.
-    let mut pool: Vec<Option<Endpoint>> = endpoints.into_iter().map(Some).collect();
+    let mut endpoint_pool: Vec<Option<Endpoint>> = endpoints.into_iter().map(Some).collect();
     let mut devices = Vec::with_capacity(decoded.devices.len());
     for rec in decoded.devices {
-        let pos = pool
+        let pos = endpoint_pool
             .iter()
             .position(|e| e.as_ref().is_some_and(|e| e.node.member.name == rec.name))
             .ok_or_else(|| SnapshotError::MissingEndpoint(rec.name.clone()))?;
-        let mut ep = pool[pos]
+        let mut ep = endpoint_pool[pos]
             .take()
             .ok_or_else(|| SnapshotError::MissingEndpoint(rec.name.clone()))?;
         // The scheduler's view is authoritative for addressing and
@@ -669,25 +719,48 @@ pub(crate) fn restore<T: Transport>(
             evidence,
             last_attested: rec.last_attested,
             freshness: rec.freshness,
+            // Derived from `last_attested` by `rebuild_schedule` below;
+            // never snapshotted.
+            next_fresh_at: None,
         });
     }
-    if let Some(extra) = pool.into_iter().flatten().next() {
+    if let Some(extra) = endpoint_pool.into_iter().flatten().next() {
         return Err(SnapshotError::UnknownDevice(extra.node.member.name.clone()));
     }
+    // Every scheduling structure below `devices` — roster order, the
+    // node→slot routing index, the timer wheel, worker scratch — is
+    // derived state: it is rebuilt from the durable per-device fields
+    // rather than snapshotted, so the restored wheel is exactly the
+    // wheel a crash-free run would hold at `now`.
+    let index = ShardIndex::new(cfg.shards);
+    let worker_pool = (cfg.workers > 0).then(|| ReplayPool::new(cfg.workers));
+    let log = EventLog::restore_parts(
+        decoded.events,
+        decoded.counters,
+        decoded.events_dropped,
+        cfg.event_capacity,
+    );
     let mut svc = AttestationService {
         cfg,
         group,
         net,
         now: decoded.now,
         devices,
-        log: EventLog::restore(decoded.events),
+        log,
         next_node: decoded.next_node,
         registry: None,
         prefill_wall: core::time::Duration::ZERO,
         sealed_epochs: decoded.sealed_epochs,
         next_seal_at: decoded.next_seal_at,
+        timers: TimerWheel::new(),
+        index,
+        roster: Vec::new(),
+        roster_pos: Vec::new(),
+        work_of: Vec::new(),
+        pool: worker_pool,
+        timer_scratch: Vec::new(),
     };
-    svc.sort_roster();
+    svc.rebuild_schedule();
     Ok(svc)
 }
 
@@ -762,11 +835,15 @@ mod tests {
         out.push(0); // next_seal_at
         put_u32(&mut out, 0); // sealed epochs
         put_u32(&mut out, 0); // events
+        put_counters(&mut out, &Counters::default());
+        put_u64(&mut out, 0); // events_dropped
         let d = decode(&out).unwrap();
         assert_eq!(d.now, 1234);
         assert_eq!(d.next_node, 7);
         assert!(d.devices.is_empty());
         assert!(d.events.is_empty());
+        assert_eq!(d.counters, Counters::default());
+        assert_eq!(d.events_dropped, 0);
         // Trailing garbage is rejected, not ignored.
         out.push(0);
         assert_eq!(decode(&out).err(), Some(SnapshotError::TrailingBytes));

@@ -1,0 +1,438 @@
+//! Hierarchical timer wheel for virtual-clock due events.
+//!
+//! The control plane schedules three kinds of future work — frame
+//! deliveries, re-attestation actions, and round deadlines — and the
+//! old implementation found the next one by scanning every in-flight
+//! frame and every roster entry on every step (O(fleet) per event).
+//! This wheel makes `insert` O(1), `next_due` O(levels) and `pop_due`
+//! amortized O(1) per expired entry, which is what lets one virtual
+//! clock drive a 10k-device fleet.
+//!
+//! # Layout
+//!
+//! Eight levels of 64 slots each. Level `k` has slot granularity
+//! `64^k` ticks, so the wheel covers `64^8 = 2^48` ticks of horizon;
+//! entries beyond that (never hit by the simulated fleet, whose clocks
+//! stay far below 2^48) overflow into a small `far` vector that is
+//! re-homed as the cursor advances. An entry due `delta` ticks ahead
+//! lands in the lowest level whose window still contains it, at slot
+//! `(due >> 6k) & 63`. When the cursor crosses a level-`k` boundary
+//! (a multiple of `64^k`), that level's current slot *cascades*: its
+//! entries re-insert at lower levels, and by the time a due tick is
+//! reached every entry due at it sits in the level-0 slot `due & 63`.
+//!
+//! Each level keeps a 64-bit occupancy mask so the cursor can jump
+//! across empty regions without visiting each tick, and `next_due` can
+//! find the earliest entry by rotating masks instead of scanning slots.
+//!
+//! # Determinism
+//!
+//! Entries are stamped with an insertion sequence number; `pop_due`
+//! yields expired entries ordered by `(due, seq)` — exactly the
+//! iteration order of the `BTreeMap<(at, seq), _>` the wheel replaces,
+//! so frame delivery order (and with it every downstream RNG draw) is
+//! bit-identical to the scan-based implementation.
+//!
+//! # Lazy cancellation
+//!
+//! There is no `remove`. Schedulers that reschedule (backoff moved, a
+//! deadline superseded) simply insert a new entry and let the stale one
+//! pop as a no-op: the service validates every popped timer against
+//! current device state, so a stale pop costs one comparison. This
+//! keeps the hot path allocation-free and branch-light.
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 8;
+/// Ticks of horizon the wheel proper covers: `64^LEVELS`.
+const HORIZON: u64 = 1u64 << (SLOT_BITS * LEVELS as u32); // 2^48
+
+#[derive(Debug)]
+struct Entry<T> {
+    due: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A hierarchical timer wheel over a virtual `u64` clock.
+///
+/// `pop_due` never yields an entry before its due time, and yields
+/// expired entries in `(due, insertion order)` order. Entries inserted
+/// in the past (due < current wheel time) are clamped to fire at the
+/// current time — the caller's clock is authoritative.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// `levels[k][slot]`; level `k` slot granularity is `64^k` ticks.
+    slots: Vec<Vec<Entry<T>>>,
+    /// Per-level occupancy bitmask (bit `s` set ⇔ slot `s` non-empty).
+    occupancy: [u64; LEVELS],
+    /// Entries due ≥ `time + HORIZON` at insert time.
+    far: Vec<Entry<T>>,
+    /// Current cursor: every held entry is due at or after this.
+    time: u64,
+    len: usize,
+    seq: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel with its cursor at tick 0.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            far: Vec::new(),
+            time: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current cursor position.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Schedules `item` at tick `due` (clamped to the cursor if in the
+    /// past). Returns the entry's sequence stamp, which orders
+    /// same-tick pops.
+    pub fn insert(&mut self, due: u64, item: T) -> u64 {
+        let due = due.max(self.time);
+        let seq = self.seq;
+        self.seq += 1;
+        self.place(Entry { due, seq, item });
+        self.len += 1;
+        seq
+    }
+
+    fn place(&mut self, e: Entry<T>) {
+        let delta = e.due - self.time;
+        if delta >= HORIZON {
+            self.far.push(e);
+            return;
+        }
+        // Lowest level whose window still contains `due`.
+        let mut level = 0;
+        while delta >= (SLOTS as u64) << (SLOT_BITS * level as u32) {
+            level += 1;
+        }
+        let slot = ((e.due >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(e);
+        self.occupancy[level] |= 1u64 << slot;
+    }
+
+    /// The earliest pending due tick, if any.
+    pub fn next_due(&self) -> Option<u64> {
+        let mut best: Option<u64> = self.far.iter().map(|e| e.due).min();
+        for level in 0..LEVELS {
+            let mask = self.occupancy[level];
+            if mask == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let cur = ((self.time >> shift) & (SLOTS as u64 - 1)) as u32;
+            // Rotate the mask so the cursor's slot is bit 0, then take
+            // the first set bit in cyclic order. At level 0 the cursor
+            // slot itself can hold entries due exactly now; at higher
+            // levels the current window was already cascaded away, so
+            // its slot only holds next-cycle entries and cyclic order
+            // from `cur` still ranks it correctly (farthest ≈ +64
+            // windows, strictly beyond any other slot's window).
+            let rot = mask.rotate_right(cur);
+            let off = rot.trailing_zeros() as u64;
+            let slot = ((cur as u64 + off) & (SLOTS as u64 - 1)) as usize;
+            let cand = if level == 0 {
+                // All entries in a level-0 slot share the unique tick
+                // ≥ time congruent to the slot index (proved by the
+                // placement rule), so the slot index alone is exact.
+                self.time + off
+            } else {
+                // One slot scan: entries in it share a 64^level window
+                // but not a tick.
+                self.slots[level * SLOTS + slot]
+                    .iter()
+                    .map(|e| e.due)
+                    .min()
+                    .expect("occupancy bit set for empty slot")
+            };
+            best = Some(best.map_or(cand, |b| b.min(cand)));
+        }
+        best
+    }
+
+    /// Pops every entry due at or before `now` into `out` as
+    /// `(due, item)` pairs ordered by `(due, seq)`, advancing the
+    /// cursor to `now`.
+    pub fn pop_due(&mut self, now: u64, out: &mut Vec<(u64, T)>) {
+        if now < self.time && self.len == 0 {
+            return;
+        }
+        while let Some(due) = self.next_due() {
+            if due > now {
+                break;
+            }
+            self.advance_to(due);
+            // After advancing, everything due at `due` sits in the
+            // level-0 slot `due & 63` (cascades pulled higher levels
+            // down at each window boundary).
+            let slot = (due & (SLOTS as u64 - 1)) as usize;
+            let bucket = &mut self.slots[slot];
+            debug_assert!(bucket.iter().all(|e| e.due == due));
+            // Appends during cascade can interleave entries inserted at
+            // different times; restore insertion order.
+            bucket.sort_unstable_by_key(|e| e.seq);
+            self.len -= bucket.len();
+            out.extend(bucket.drain(..).map(|e| (e.due, e.item)));
+            self.occupancy[0] &= !(1u64 << slot);
+            // Re-home far entries that the cursor has pulled within
+            // horizon (cannot fire before `now` anyway: they were ≥
+            // time + 2^48 when parked).
+            self.rehome_far();
+        }
+        if now > self.time {
+            self.advance_to(now);
+        }
+    }
+
+    fn rehome_far(&mut self) {
+        if self.far.is_empty() {
+            return;
+        }
+        let time = self.time;
+        if self.far.iter().all(|e| e.due - time >= HORIZON) {
+            return;
+        }
+        let far = std::mem::take(&mut self.far);
+        for e in far {
+            if e.due - time < HORIZON {
+                self.place(e);
+            } else {
+                self.far.push(e);
+            }
+        }
+    }
+
+    /// Moves the cursor to `target`, cascading higher-level slots down
+    /// as their window boundaries are crossed. Caller guarantees no
+    /// entry is due in `(self.time, target)` — `pop_due` only advances
+    /// to due ticks it is about to drain.
+    fn advance_to(&mut self, target: u64) {
+        while self.time < target {
+            let Some(level) = (0..LEVELS).find(|&k| self.occupancy[k] != 0) else {
+                // Nothing below `far`; jump straight there.
+                self.time = target;
+                return;
+            };
+            // Next boundary at which something can cascade: level `k`
+            // pulls its current slot when time crosses a multiple of
+            // 64^k. Lower (empty) levels have no boundaries to honor.
+            let gran = 1u64 << (SLOT_BITS * level as u32);
+            let boundary = (self.time | (gran - 1)) + 1;
+            if target < boundary {
+                self.time = target;
+            } else {
+                self.time = boundary;
+                self.cascade();
+            }
+        }
+    }
+
+    /// At a window boundary: pull every level whose window just rolled
+    /// over down into lower levels.
+    fn cascade(&mut self) {
+        for level in 1..LEVELS {
+            let gran = 1u64 << (SLOT_BITS * level as u32);
+            if self.time & (gran - 1) != 0 {
+                break;
+            }
+            let slot = ((self.time >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            if self.occupancy[level] & (1u64 << slot) == 0 {
+                continue;
+            }
+            let entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            self.occupancy[level] &= !(1u64 << slot);
+            for e in entries {
+                debug_assert!(e.due >= self.time);
+                self.place(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Deterministic xorshift for the oracle fuzz below.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn pops_in_due_then_insertion_order() {
+        let mut w = TimerWheel::new();
+        w.insert(5, "b");
+        w.insert(3, "a");
+        w.insert(5, "c");
+        w.insert(900_000, "z");
+        let mut out = Vec::new();
+        w.pop_due(10, &mut out);
+        assert_eq!(out, vec![(3, "a"), (5, "b"), (5, "c")]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_due(), Some(900_000));
+        out.clear();
+        w.pop_due(900_000, &mut out);
+        assert_eq!(out, vec![(900_000, "z")]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_inserts_clamp_to_cursor() {
+        let mut w = TimerWheel::new();
+        let mut out = Vec::new();
+        w.pop_due(100, &mut out);
+        w.insert(7, "late");
+        assert_eq!(w.next_due(), Some(100));
+        w.pop_due(100, &mut out);
+        assert_eq!(out, vec![(100, "late")]);
+    }
+
+    #[test]
+    fn same_tick_insert_after_pop_fires_same_tick() {
+        // The service schedules zero-backoff retries at the current
+        // tick; they must be visible to a second pop at the same time.
+        let mut w = TimerWheel::new();
+        let mut out = Vec::new();
+        w.insert(50, 1u32);
+        w.pop_due(50, &mut out);
+        assert_eq!(out, vec![(50, 1)]);
+        w.insert(50, 2u32);
+        assert_eq!(w.next_due(), Some(50));
+        out.clear();
+        w.pop_due(50, &mut out);
+        assert_eq!(out, vec![(50, 2)]);
+    }
+
+    #[test]
+    fn cascades_across_level_boundaries() {
+        let mut w = TimerWheel::new();
+        // One entry per level's window.
+        let dues = [1u64, 63, 64, 4095, 4096, 262_143, 262_144, 1 << 30];
+        for (i, &d) in dues.iter().enumerate() {
+            w.insert(d, i);
+        }
+        let mut out = Vec::new();
+        w.pop_due(1 << 30, &mut out);
+        let got: Vec<u64> = out.iter().map(|&(d, _)| d).collect();
+        assert_eq!(got, dues.to_vec());
+        let ids: Vec<usize> = out.iter().map(|&(_, i)| i).collect();
+        assert_eq!(ids, (0..dues.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_pops_match_big_pop() {
+        let mut a = TimerWheel::new();
+        let mut b = TimerWheel::new();
+        let mut rng = Rng(0xDEADBEEF);
+        for i in 0..500u32 {
+            let due = rng.next() % 10_000;
+            a.insert(due, i);
+            b.insert(due, i);
+        }
+        let mut big = Vec::new();
+        a.pop_due(10_000, &mut big);
+        let mut inc = Vec::new();
+        let mut t = 0;
+        while t < 10_000 {
+            t += 1 + rng.next() % 997;
+            b.pop_due(t.min(10_000), &mut inc);
+        }
+        b.pop_due(10_000, &mut inc);
+        assert_eq!(big, inc);
+    }
+
+    #[test]
+    fn oracle_fuzz_against_btreemap() {
+        // Random interleaved inserts and pops must match the
+        // BTreeMap<(due, seq), _> the wheel replaced, including order.
+        for seed in 1..=5u64 {
+            let mut rng = Rng(seed * 0x9E37_79B9);
+            let mut wheel = TimerWheel::new();
+            let mut oracle: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for i in 0..3_000u32 {
+                if rng.next().is_multiple_of(4) {
+                    // Pop everything due at a jumped-forward clock.
+                    now += rng.next() % 300;
+                    let mut got = Vec::new();
+                    wheel.pop_due(now, &mut got);
+                    let mut want = Vec::new();
+                    while let Some((&(due, s), _)) = oracle.iter().next() {
+                        if due > now {
+                            break;
+                        }
+                        want.push((due, oracle.remove(&(due, s)).unwrap()));
+                    }
+                    assert_eq!(got, want, "seed {seed} step {i} now {now}");
+                } else {
+                    // Mix of near, mid and far horizons.
+                    let due = now
+                        + match rng.next() % 10 {
+                            0..=5 => rng.next() % 128,
+                            6..=8 => rng.next() % 100_000,
+                            _ => rng.next() % (1 << 34),
+                        };
+                    wheel.insert(due, i);
+                    oracle.insert((due, seq), i);
+                    seq += 1;
+                }
+            }
+            // Drain the rest.
+            let mut got = Vec::new();
+            wheel.pop_due(u64::MAX - HORIZON, &mut got);
+            let want: Vec<(u64, u32)> = oracle.iter().map(|(&(d, _), &v)| (d, v)).collect();
+            assert_eq!(got, want, "seed {seed} final drain");
+            assert!(wheel.is_empty());
+        }
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_pops() {
+        let mut w = TimerWheel::new();
+        for i in 0..100u64 {
+            w.insert(i * 3, i);
+        }
+        assert_eq!(w.len(), 100);
+        let mut out = Vec::new();
+        w.pop_due(150, &mut out);
+        assert_eq!(w.len(), 100 - out.len());
+        w.pop_due(10_000, &mut out);
+        assert_eq!(out.len(), 100);
+        assert!(w.is_empty());
+    }
+}

@@ -9,9 +9,13 @@
 //! budget the overhead gate enforces (see `BENCH_telemetry.json`).
 //!
 //! Percentile queries run on [`HistogramSnapshot`]s, nearest-rank over
-//! the cumulative bucket counts, answering with the containing
-//! bucket's upper bound — a deterministic over-estimate whose relative
-//! error is bounded by the bucket width (at most 2×).
+//! the cumulative bucket counts, answering with a linear interpolation
+//! of the ranked observation's position *within* its bucket — so a
+//! distribution whose samples all land in one log2 bucket still
+//! resolves distinct p50/p90/p99 instead of saturating at the bucket's
+//! upper bound. The answer is deterministic (integer arithmetic only)
+//! and never leaves the containing bucket, so the relative error stays
+//! bounded by the bucket width (at most 2×).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -148,9 +152,12 @@ impl HistogramSnapshot {
         self.sum = self.sum.wrapping_add(other.sum);
     }
 
-    /// Nearest-rank percentile (`q` in `(0, 1]`), answered as the upper
-    /// bound of the bucket holding the ranked observation. `None` when
-    /// the histogram is empty.
+    /// Nearest-rank percentile (`q` in `(0, 1]`), linearly interpolated
+    /// within the bucket holding the ranked observation: rank `p` of the
+    /// bucket's `c` observations answers `lo + (hi−lo)·p/c` (integer
+    /// arithmetic, widened so the 64-bit edge buckets cannot overflow).
+    /// `q = 1.0` still answers the top bucket's upper bound. `None`
+    /// when the histogram is empty.
     pub fn percentile(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
@@ -159,10 +166,16 @@ impl HistogramSnapshot {
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(bucket_bounds(i).1);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let p = rank - seen; // position within this bucket, 1..=c
+                let span = (hi - lo) as u128;
+                return Some(lo + (span * p as u128 / c as u128) as u64);
+            }
+            seen += c;
         }
         // Unreachable: cumulative count reaches n >= rank.
         None
@@ -219,10 +232,47 @@ mod tests {
         }
         h.record(1000);
         let s = h.snapshot();
-        assert_eq!(s.percentile(0.50), Some(15));
+        // p50: rank 5 of the 9 observations in [8,15] → 8 + 7·5/9 = 11.
+        assert_eq!(s.percentile(0.50), Some(11));
+        // p90: rank 9 of 9 in [8,15] → the bucket's upper bound.
         assert_eq!(s.percentile(0.90), Some(15));
+        // p99: rank 10 → sole observation in [512,1023] → upper bound.
         assert_eq!(s.percentile(0.99), Some(1023));
         assert_eq!(s.percentile(1.0), Some(1023));
+    }
+
+    /// The saturation fix: 100 samples in one log2 bucket must resolve
+    /// distinct, monotone p50/p90/p99 instead of one shared upper bound.
+    #[test]
+    fn interpolation_resolves_within_one_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(10_000); // bucket [8192, 16383]
+        }
+        let s = h.snapshot();
+        let (lo, hi) = bucket_bounds(bucket_index(10_000));
+        let p50 = s.percentile(0.50).unwrap();
+        let p90 = s.percentile(0.90).unwrap();
+        let p99 = s.percentile(0.99).unwrap();
+        assert_eq!(p50, lo + (hi - lo) * 50 / 100);
+        assert_eq!(p90, lo + (hi - lo) * 90 / 100);
+        assert_eq!(p99, lo + (hi - lo) * 99 / 100);
+        assert!(p50 < p90 && p90 < p99, "{p50} {p90} {p99}");
+        assert_eq!(s.percentile(1.0), Some(hi));
+    }
+
+    /// The 64-bit edge buckets must not overflow the interpolation
+    /// arithmetic.
+    #[test]
+    fn interpolation_survives_extreme_buckets() {
+        let h = Histogram::new();
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+        assert!(s.percentile(0.5).unwrap() >= bucket_bounds(64).0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! an explicit `"schema": 1` version; bumping it is a deliberate act
 //! that breaks the golden tests (DESIGN.md §8).
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::counter::Counter;
@@ -55,12 +56,23 @@ pub enum MetricValue {
 /// row type.
 pub type CollectedSeries = (String, Labels, MetricValue);
 
+/// The registry's interior: the series in registration order plus a
+/// hash index over `(name, labels)`. The index keeps get-or-create
+/// O(1): a fleet-scale enrollment mints a handful of per-device series
+/// per join, and a linear directory scan would turn the whole
+/// enrollment quadratic in fleet size.
+#[derive(Default)]
+struct Directory {
+    series: Vec<Series>,
+    index: HashMap<(String, Labels), usize>,
+}
+
 /// A shared, thread-safe instrument directory.
 ///
 /// Cloning is shallow; all clones view and mint the same series.
 #[derive(Clone, Default)]
 pub struct Registry {
-    series: Arc<Mutex<Vec<Series>>>,
+    inner: Arc<Mutex<Directory>>,
 }
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -82,37 +94,29 @@ impl Registry {
 
     /// Gets or creates the counter series `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        let mut series = lock_unpoisoned(&self.series);
-        if let Some(s) = find(&series, name, labels) {
-            if let Instrument::Counter(c) = &s.instrument {
+        let mut dir = lock_unpoisoned(&self.inner);
+        if let Some(&i) = dir.index.get(&key_of(name, labels)) {
+            if let Instrument::Counter(c) = &dir.series[i].instrument {
                 return c.clone();
             }
             panic!("series {name} already registered as a histogram");
         }
         let c = Counter::new();
-        series.push(Series {
-            name: name.to_string(),
-            labels: to_owned_labels(labels),
-            instrument: Instrument::Counter(c.clone()),
-        });
+        dir.push(name, labels, Instrument::Counter(c.clone()));
         c
     }
 
     /// Gets or creates the histogram series `name{labels}`.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
-        let mut series = lock_unpoisoned(&self.series);
-        if let Some(s) = find(&series, name, labels) {
-            if let Instrument::Histogram(h) = &s.instrument {
+        let mut dir = lock_unpoisoned(&self.inner);
+        if let Some(&i) = dir.index.get(&key_of(name, labels)) {
+            if let Instrument::Histogram(h) = &dir.series[i].instrument {
                 return h.clone();
             }
             panic!("series {name} already registered as a counter");
         }
         let h = Histogram::new();
-        series.push(Series {
-            name: name.to_string(),
-            labels: to_owned_labels(labels),
-            instrument: Instrument::Histogram(h.clone()),
-        });
+        dir.push(name, labels, Instrument::Histogram(h.clone()));
         h
     }
 
@@ -130,23 +134,20 @@ impl Registry {
     }
 
     fn register(&self, name: &str, labels: &[(&str, &str)], instrument: Instrument) {
-        let mut series = lock_unpoisoned(&self.series);
-        if let Some(s) = find_mut(&mut series, name, labels) {
-            s.instrument = instrument;
+        let mut dir = lock_unpoisoned(&self.inner);
+        if let Some(&i) = dir.index.get(&key_of(name, labels)) {
+            dir.series[i].instrument = instrument;
             return;
         }
-        series.push(Series {
-            name: name.to_string(),
-            labels: to_owned_labels(labels),
-            instrument,
-        });
+        dir.push(name, labels, instrument);
     }
 
     /// All series values, sorted by `(name, labels)` — the exporters'
     /// iteration order, exposed for tests and ad-hoc reporting.
     pub fn collect(&self) -> Vec<CollectedSeries> {
-        let series = lock_unpoisoned(&self.series);
-        let mut out: Vec<_> = series
+        let dir = lock_unpoisoned(&self.inner);
+        let mut out: Vec<_> = dir
+            .series
             .iter()
             .map(|s| {
                 let value = match &s.instrument {
@@ -283,25 +284,20 @@ impl Registry {
     }
 }
 
-fn find<'a>(series: &'a [Series], name: &str, labels: &[(&str, &str)]) -> Option<&'a Series> {
-    series.iter().find(|s| matches(s, name, labels))
+impl Directory {
+    fn push(&mut self, name: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        let i = self.series.len();
+        self.series.push(Series {
+            name: name.to_string(),
+            labels: to_owned_labels(labels),
+            instrument,
+        });
+        self.index.insert(key_of(name, labels), i);
+    }
 }
 
-fn find_mut<'a>(
-    series: &'a mut [Series],
-    name: &str,
-    labels: &[(&str, &str)],
-) -> Option<&'a mut Series> {
-    series.iter_mut().find(|s| matches(s, name, labels))
-}
-
-fn matches(s: &Series, name: &str, labels: &[(&str, &str)]) -> bool {
-    s.name == name
-        && s.labels.len() == labels.len()
-        && s.labels
-            .iter()
-            .zip(labels)
-            .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+fn key_of(name: &str, labels: &[(&str, &str)]) -> (String, Labels) {
+    (name.to_string(), to_owned_labels(labels))
 }
 
 /// Escapes a string for a JSON string literal (same subset the service

@@ -129,8 +129,10 @@ fn percentiles_are_monotone_in_q() {
 
 #[test]
 fn percentile_brackets_the_exact_nearest_rank() {
-    // The histogram answers with the containing bucket's upper bound:
-    // exact_nearest_rank <= reported < 2 * exact (same log2 bucket).
+    // The histogram interpolates within the bucket holding the ranked
+    // observation, so the report lands in the exact nearest-rank
+    // value's own log2 bucket — within 2x of the exact answer, and no
+    // longer pinned to the bucket's upper bound.
     let mut state = 0xBEEF;
     for round in 0..50 {
         let n = (round % 23) * 4 + 1;
@@ -147,14 +149,11 @@ fn percentile_brackets_the_exact_nearest_rank() {
             let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
             let exact = values[rank - 1];
             let reported = snap.percentile(q).unwrap();
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
             assert!(
-                reported >= exact,
-                "round {round} q={q}: reported {reported} < exact {exact}"
-            );
-            assert_eq!(
-                bucket_index(reported),
-                bucket_index(exact),
-                "round {round} q={q}: reported {reported} not in exact's bucket ({exact})"
+                (lo..=hi).contains(&reported),
+                "round {round} q={q}: reported {reported} outside exact's bucket \
+                 [{lo}, {hi}] (exact {exact})"
             );
         }
     }

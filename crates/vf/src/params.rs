@@ -66,6 +66,27 @@ impl VfParams {
         }
     }
 
+    /// The smallest legal configuration: one warp, one iteration, a
+    /// 4 KiB data region (the floor set by the resident code image).
+    /// Built for the fleet-scale service benchmark, where ten thousand
+    /// devices each carry an installed VF and the per-round replay must
+    /// be negligible next to control-plane work (the build fits a
+    /// `sim_nano` device's memory).
+    pub fn fleet_tiny() -> VfParams {
+        VfParams {
+            data_bytes: 4096,
+            unroll: 4,
+            pattern_pairs: 2,
+            iterations: 1,
+            smc: SmcMode::Off,
+            inner: None,
+            grid_blocks: 1,
+            block_threads: 32,
+            naive_schedule: false,
+            injected_nops: 0,
+        }
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if !self.data_bytes.is_power_of_two() {

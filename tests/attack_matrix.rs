@@ -586,6 +586,7 @@ fn honest_fleet_report(bank_capacity: usize, expected_path: EvidencePath) -> Hon
             stale_after: 60_000,
             degraded_after: 120_000,
         },
+        ..ServiceConfig::default()
     };
     let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
     svc.join(
