@@ -75,6 +75,16 @@ cargo run -q --release -p sage-bench --bin evperf -- \
     --out /tmp/BENCH_evidence_smoke.json
 test -s /tmp/BENCH_evidence_smoke.json
 
+echo "==> transport loopback + chaos (UDS framing, sever/resume, byte-identical chains)"
+cargo test -q --release --test transport_loopback --test transport_chaos
+
+echo "==> netperf gate (severing regime: core-scaled sessions/sec floor, >=99% resume rate, zero false accepts)"
+cargo run -q --release -p sage-bench --bin netperf -- \
+    --devices 7 --rounds 5 --seed 7 --regime severing --gate \
+    --out /tmp/BENCH_net_smoke.json
+test -s /tmp/BENCH_net_smoke.json
+grep -q '"false_accepts": 0,' /tmp/BENCH_net_smoke.json
+
 echo "==> chaos soak smoke (3 seeds, crash+restore, zero-false-accept gate)"
 cargo run -q --release -p sage-bench --bin soak -- \
     --seeds 5,6,7 --ticks 400000 --devices 2 \

@@ -33,6 +33,12 @@ pub struct AttestationOutcome {
 /// harness: called with the flow step index and the in-flight message.
 pub type MessageTap<'a> = &'a mut dyn FnMut(usize, &mut SakeMessage);
 
+/// A transport closure carrying one challenge set to the device and
+/// returning its `(checksum, measured_cycles)` answer — the seam that
+/// lets [`Verifier::calibrate_with`] run over in-process sessions and
+/// real sockets alike.
+pub type ChecksumRun<'a> = &'a mut dyn FnMut(&[[u8; 16]]) -> Result<([u32; 8], u64)>;
+
 /// Which verification path judged a response: the classic online-replay
 /// path ([`Verifier::check_response`]) or the precomputed bank-hit fast
 /// path ([`Verifier::check_response_precomputed`]). Telemetry labels
@@ -274,10 +280,19 @@ impl Verifier {
     /// (replay overlaps the device runs instead of serializing with
     /// them).
     pub fn calibrate(&mut self, session: &mut GpuSession, runs: usize) -> Result<Calibration> {
+        self.calibrate_with(runs, &mut |ch| session.run_checksum(ch))
+    }
+
+    /// Transport-agnostic calibration: the `run` closure carries each
+    /// challenge set to wherever the device lives (an in-process
+    /// [`GpuSession`], or a socket) and returns the `(checksum,
+    /// measured_cycles)` pair it produced. Verdict logic is identical to
+    /// [`Verifier::calibrate`], which is a thin wrapper over this.
+    pub fn calibrate_with(&mut self, runs: usize, run: ChecksumRun<'_>) -> Result<Calibration> {
         let mut samples = Vec::with_capacity(runs);
         for _ in 0..runs {
             let (ch, precomputed) = self.prepare_round_blocking();
-            let (got, measured) = session.run_checksum(&ch)?;
+            let (got, measured) = run(&ch)?;
             let expected = precomputed.unwrap_or_else(|| self.expected(&ch));
             if got != expected {
                 return Err(SageError::ChecksumMismatch { got, expected });
@@ -449,12 +464,43 @@ impl Verifier {
         agent: &mut DeviceAgent,
         mut tap: Option<MessageTap<'_>>,
     ) -> Result<AttestationOutcome> {
-        let mut touch = |step: usize, msg: &mut SakeMessage| {
-            if let Some(t) = tap.as_mut() {
-                t(step, msg);
-            }
-        };
+        let group = self.group.clone();
+        self.establish_key_with(&mut |step, mut msg| {
+            let mut touch = |step: usize, msg: &mut SakeMessage| {
+                if let Some(t) = tap.as_mut() {
+                    t(step, msg);
+                }
+            };
+            // Tap numbering is unchanged from the monolithic flow: even
+            // steps are verifier→device, odd steps device→verifier.
+            touch(step * 2, &mut msg);
+            let (mut reply, measured) = match (step, msg) {
+                (0, SakeMessage::Challenge { v2 }) => {
+                    let (commit, measured) = agent.handle_challenge(session, group.clone(), v2)?;
+                    (commit, Some(measured))
+                }
+                (1, SakeMessage::RevealV1 { v1 }) => (agent.handle_reveal_v1(v1)?, None),
+                (2, SakeMessage::RevealV0 { v0 }) => (agent.handle_reveal_v0(v0)?, None),
+                _ => return Err(SageError::Protocol("bad flow: unexpected step".into())),
+            };
+            touch(step * 2 + 1, &mut reply);
+            Ok((reply, measured))
+        })
+    }
 
+    /// Transport-agnostic modified-SAKE key establishment: the enclave
+    /// side of the flow runs here, while the `exchange` closure carries
+    /// each verifier message to the device and returns its reply. Step 0
+    /// sends the challenge and must come back as a commit together with
+    /// the device's measured exchange time (`Some(cycles)` — over a real
+    /// link the device reports it in the commit frame); steps 1 and 2
+    /// carry the v1/v0 reveals. Timing and checksum verdicts, and their
+    /// ordering relative to the reveals, are identical to the in-process
+    /// [`Verifier::establish_key`], which is a thin wrapper over this.
+    pub fn establish_key_with(
+        &mut self,
+        exchange: &mut dyn FnMut(usize, SakeMessage) -> Result<(SakeMessage, Option<u64>)>,
+    ) -> Result<AttestationOutcome> {
         let mut entropy = {
             // The enclave DRBG provides the verifier's randomness.
             let seed = self.enclave.random(32);
@@ -462,16 +508,16 @@ impl Verifier {
             let iv: [u8; 16] = seed[16..].try_into().expect("16 bytes");
             sage_crypto::AesCtr::new(&key, &iv)
         };
-        let (mut sake, mut msg) = SakeVerifier::start(self.group.clone(), &mut entropy);
-        touch(0, &mut msg);
+        let (mut sake, msg) = SakeVerifier::start(self.group.clone(), &mut entropy);
         let SakeMessage::Challenge { v2 } = msg else {
             return Err(SageError::Protocol("bad flow: challenge".into()));
         };
 
         // The device computes the checksum under the v2-derived
         // challenges; the verifier replays the same derivation.
-        let (mut commit, measured) = agent.handle_challenge(session, self.group.clone(), v2)?;
-        touch(1, &mut commit);
+        let (commit, measured) = exchange(0, SakeMessage::Challenge { v2 })?;
+        let measured =
+            measured.ok_or_else(|| SageError::Protocol("commit carried no timing".into()))?;
         let challenges = derive_challenges(&v2, self.build.params.grid_blocks);
         sake.set_expected_checksum(self.expected(&challenges));
         let threshold = self.check_timing(measured, VerdictPath::Classic)?;
@@ -479,23 +525,13 @@ impl Verifier {
         let SakeMessage::Commit { w2, mac } = commit else {
             return Err(SageError::Protocol("bad flow: commit".into()));
         };
-        let mut reveal1 = sake.on_commit(w2, mac)?;
-        touch(2, &mut reveal1);
-        let SakeMessage::RevealV1 { v1 } = reveal1 else {
-            return Err(SageError::Protocol("bad flow: reveal v1".into()));
-        };
-        let mut dev1 = agent.handle_reveal_v1(v1)?;
-        touch(3, &mut dev1);
+        let reveal1 = sake.on_commit(w2, mac)?;
+        let (dev1, _) = exchange(1, reveal1)?;
         let SakeMessage::DeviceReveal1 { w1, k, mac_k } = dev1 else {
             return Err(SageError::Protocol("bad flow: device reveal 1".into()));
         };
-        let mut reveal0 = sake.on_device_reveal1(w1, k, mac_k)?;
-        touch(4, &mut reveal0);
-        let SakeMessage::RevealV0 { v0 } = reveal0 else {
-            return Err(SageError::Protocol("bad flow: reveal v0".into()));
-        };
-        let mut dev0 = agent.handle_reveal_v0(v0)?;
-        touch(5, &mut dev0);
+        let reveal0 = sake.on_device_reveal1(w1, k, mac_k)?;
+        let (dev0, _) = exchange(2, reveal0)?;
         let SakeMessage::DeviceReveal0 { w0 } = dev0 else {
             return Err(SageError::Protocol("bad flow: device reveal 0".into()));
         };

@@ -15,6 +15,10 @@ pub enum FailReason {
     TooSlow,
     /// No response arrived before the round deadline.
     Timeout,
+    /// The deadline expired while the device's transport link was
+    /// known-down. Recoverable: appends no evidence and burns no
+    /// failure budget — a severed cable is not a cheating GPU.
+    LinkDown,
 }
 
 impl FailReason {
@@ -24,6 +28,7 @@ impl FailReason {
             FailReason::WrongValue => "wrong_value",
             FailReason::TooSlow => "too_slow",
             FailReason::Timeout => "timeout",
+            FailReason::LinkDown => "link_down",
         }
     }
 }
@@ -94,6 +99,13 @@ pub enum EventKind {
         /// The sealed Merkle root.
         root: [u8; 32],
     },
+    /// The device's transport link went down (connection severed or
+    /// heartbeats missed). Trust drops to `Degraded`, never
+    /// `Quarantined` — the attestation record is untouched.
+    LinkDown,
+    /// The device's transport link resumed (session resume, not
+    /// re-enrollment); any outstanding challenge is re-sent.
+    LinkResumed,
 }
 
 /// A timestamped, per-device event.
@@ -136,6 +148,10 @@ pub struct Counters {
     pub freshness_transitions: u64,
     /// Fleet evidence epochs sealed.
     pub epochs_sealed: u64,
+    /// Transport links lost (sever or heartbeat exhaustion).
+    pub link_downs: u64,
+    /// Transport links resumed without re-enrollment.
+    pub link_resumes: u64,
 }
 
 /// Round-latency distribution over passed rounds, in virtual ticks
@@ -162,7 +178,7 @@ struct LogTelemetry {
     rounds_started: Counter,
     rounds_passed: Counter,
     /// Failures by [`FailReason`] discriminant order.
-    round_failed: [Counter; 3],
+    round_failed: [Counter; 4],
     restarts: Counter,
     late_responses: Counter,
     quarantines: Counter,
@@ -171,6 +187,8 @@ struct LogTelemetry {
     /// discriminant order: trusted, stale, degraded).
     freshness_transitions: [Counter; 3],
     epochs_sealed: Counter,
+    link_downs: Counter,
+    link_resumes: Counter,
     /// Events evicted from the bounded in-memory ring.
     events_dropped: Counter,
     round_latency: Histogram,
@@ -189,6 +207,7 @@ impl LogTelemetry {
                 FailReason::WrongValue,
                 FailReason::TooSlow,
                 FailReason::Timeout,
+                FailReason::LinkDown,
             ]
             .map(|r| reg.counter("service_rounds_failed_total", &[("reason", r.as_str())])),
             restarts: reg.counter("service_restarts_total", &[]),
@@ -198,6 +217,8 @@ impl LogTelemetry {
             freshness_transitions: [Freshness::Trusted, Freshness::Stale, Freshness::Degraded]
                 .map(|l| reg.counter("service_freshness_transitions_total", &[("to", l.as_str())])),
             epochs_sealed: reg.counter("service_epochs_sealed_total", &[]),
+            link_downs: reg.counter("service_link_downs_total", &[]),
+            link_resumes: reg.counter("service_link_resumes_total", &[]),
             events_dropped: reg.counter("service_events_dropped_total", &[]),
             round_latency: reg.histogram("service_round_latency_ticks", &[]),
             open_rounds: Vec::new(),
@@ -237,6 +258,8 @@ impl LogTelemetry {
                 self.freshness_transitions[to.tag() as usize].inc()
             }
             EventKind::EpochSealed { .. } => self.epochs_sealed.inc(),
+            EventKind::LinkDown => self.link_downs.inc(),
+            EventKind::LinkResumed => self.link_resumes.inc(),
         }
     }
 }
@@ -341,11 +364,17 @@ impl EventLog {
                 FailReason::WrongValue => self.counters.value_rejects += 1,
                 FailReason::TooSlow => self.counters.timing_rejects += 1,
                 FailReason::Timeout => self.counters.timeouts += 1,
+                // Deliberately not folded into `timeouts`: dashboards
+                // must tell a flapping link from a hung device. The
+                // link itself is counted by `link_downs`.
+                FailReason::LinkDown => {}
             },
             EventKind::Restarted { .. } => self.counters.restarts += 1,
             EventKind::LateResponse { .. } => self.counters.late_responses += 1,
             EventKind::FreshnessChanged { .. } => self.counters.freshness_transitions += 1,
             EventKind::EpochSealed { .. } => self.counters.epochs_sealed += 1,
+            EventKind::LinkDown => self.counters.link_downs += 1,
+            EventKind::LinkResumed => self.counters.link_resumes += 1,
         }
         self.events.push(Event {
             at,
@@ -466,7 +495,8 @@ impl EventLog {
                 "\"rounds_passed\": {}, \"value_rejects\": {}, \"timing_rejects\": {}, ",
                 "\"timeouts\": {}, \"restarts\": {}, \"late_responses\": {}, ",
                 "\"quarantines\": {}, \"calibration_failures\": {}, ",
-                "\"freshness_transitions\": {}, \"epochs_sealed\": {}}}"
+                "\"freshness_transitions\": {}, \"epochs_sealed\": {}, ",
+                "\"link_downs\": {}, \"link_resumes\": {}}}"
             ),
             c.joins,
             c.leaves,
@@ -481,6 +511,8 @@ impl EventLog {
             c.calibration_failures,
             c.freshness_transitions,
             c.epochs_sealed,
+            c.link_downs,
+            c.link_resumes,
         )
     }
 
@@ -559,6 +591,8 @@ fn kind_json(kind: &EventKind) -> String {
             let hex: String = root.iter().map(|b| format!("{b:02x}")).collect();
             format!("\"kind\": \"epoch_sealed\", \"epoch\": {epoch}, \"root\": \"{hex}\"")
         }
+        EventKind::LinkDown => "\"kind\": \"link_down\"".into(),
+        EventKind::LinkResumed => "\"kind\": \"link_resumed\"".into(),
     }
 }
 

@@ -38,25 +38,36 @@
 //! See DESIGN.md §5 for the architecture and EXPERIMENTS.md for the
 //! walkthrough (`examples/attestation_service.rs`).
 
+pub mod clock;
 pub mod events;
 pub mod net;
 pub mod node;
 pub mod policy;
+pub mod proxy;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod tcp;
 pub mod wheel;
 pub mod wire;
 
+pub use clock::{ClockDriver, Pump, RealTransport};
 pub use events::{Counters, Event, EventKind, EventLog, FailReason, LatencyPercentiles};
-pub use net::{Envelope, Fault, LinkProfile, NetStats, NodeId, SimNet, SplitMix64, Transport};
+pub use net::{
+    Envelope, Fault, LinkEvent, LinkProfile, NetStats, NodeId, SimNet, SplitMix64, Transport,
+};
 pub use node::DeviceNode;
-pub use policy::Policy;
+pub use policy::{seeded_jitter, Policy};
+pub use proxy::{ChaosProfile, ChaosProxy, ProxyStats};
 pub use service::{
     AttestationService, DeviceHealth, DeviceState, DeviceStatus, SealedEpoch, ServiceConfig,
     VERIFIER_NODE,
 };
 pub use shard::{FxBuildHasher, FxHashMap, ShardIndex};
 pub use snapshot::{Endpoint, SnapshotError};
+pub use tcp::{
+    Bind, DeviceLink, DeviceLinkConfig, DeviceLinkReport, FrameStream, LinkConfig, StreamError,
+    TcpTransport, TransportStats,
+};
 pub use wheel::TimerWheel;
 pub use wire::{CodecError, Frame};

@@ -35,6 +35,20 @@ pub struct Envelope {
     pub bytes: Vec<u8>,
 }
 
+/// A connection-lifecycle notification from a transport that has real
+/// links to lose. The service folds these into trust policy — a flapping
+/// link degrades a device without touching its attestation record,
+/// because a severed cable must never look like a cheating GPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The link to `node` went down (read error, heartbeat budget
+    /// exhausted, or an orderly close).
+    Down(NodeId),
+    /// The device on `node` re-authenticated against its existing SAKE
+    /// session and the link is live again.
+    Resumed(NodeId),
+}
+
 /// A message transport driven by the service's virtual clock.
 pub trait Transport {
     /// Hands an envelope to the network at virtual time `now` (a future
@@ -58,6 +72,13 @@ pub trait Transport {
     /// of one `poll` per device, so delivery cost is O(due frames)
     /// rather than O(fleet).
     fn drain_due(&mut self, now: u64) -> Vec<Envelope>;
+
+    /// Drains pending connection-lifecycle events. The default covers
+    /// transports whose links cannot flap ([`SimNet`]); real socket
+    /// transports override it.
+    fn take_link_events(&mut self) -> Vec<LinkEvent> {
+        Vec::new()
+    }
 }
 
 /// SplitMix64 — the crate's only randomness source, seeded and

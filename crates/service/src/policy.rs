@@ -61,6 +61,27 @@ impl Policy {
     }
 }
 
+/// Deterministic backoff jitter in `0..=max`, keyed by `(name,
+/// attempt)` — no shared RNG, so parallel workers and separate
+/// processes compute the same value, yet two peers recovering from the
+/// same outage land on different retry schedules instead of a
+/// synchronized storm. `max == 0` disables jitter (and keeps historical
+/// schedules byte-identical).
+pub fn seeded_jitter(max: u64, name: &str, attempt: u64) -> u64 {
+    if max == 0 {
+        return 0;
+    }
+    // FNV-1a over the name, then one splitmix round folding the attempt.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % (max + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +103,23 @@ mod tests {
     #[test]
     fn zero_failures_still_positive() {
         assert!(Policy::default().backoff_delay(0) >= 1);
+    }
+
+    #[test]
+    fn seeded_jitter_is_deterministic_bounded_and_desynchronized() {
+        assert_eq!(seeded_jitter(0, "gpu-a", 3), 0, "max 0 disables jitter");
+        for attempt in 0..32 {
+            let j = seeded_jitter(100, "gpu-a", attempt);
+            assert!(j <= 100);
+            assert_eq!(j, seeded_jitter(100, "gpu-a", attempt));
+        }
+        // Two peers backing off from the same outage must not follow
+        // the same schedule.
+        let schedule = |name: &str| {
+            (0..8)
+                .map(|a| seeded_jitter(1_000, name, a))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(schedule("gpu-a"), schedule("gpu-b"));
     }
 }

@@ -1,0 +1,511 @@
+//! A seeded in-path chaos relay for torturing the socket transport.
+//!
+//! [`ChaosProxy`] sits between devices and the verifier listener and
+//! relays raw bytes while misbehaving on a deterministic schedule:
+//! it **splits** writes at arbitrary byte boundaries (torn length
+//! prefixes, interleaved partial frames), **delays** and **throttles**
+//! chunks, **duplicates** or **drops** raw byte runs (which desyncs the
+//! length-prefixed stream — the framing layer must answer with a typed
+//! error and a counted disconnect, never a partial-frame accept), and
+//! **severs** connections mid-session, either on a per-connection
+//! schedule or on demand via [`ChaosProxy::sever_all`]. Severed clients
+//! are expected to reconnect through the proxy and resume their
+//! session; the proxy keeps accepting forever.
+//!
+//! Everything is seeded: one `u64` fixes each connection's fault
+//! schedule, so a chaos run replays bit-for-bit.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::net::SplitMix64;
+use crate::tcp::{connect, Bind, Conn};
+
+/// One connection's misbehaviour profile. [`ChaosProfile::default`] is
+/// a clean relay; each knob adds one failure mode.
+#[derive(Clone, Debug)]
+pub struct ChaosProfile {
+    /// Seed for every random decision below.
+    pub seed: u64,
+    /// Maximum bytes forwarded per write: chunks are re-split into
+    /// `1..=max_split` byte pieces, so frames arrive torn at arbitrary
+    /// boundaries. `0` forwards whole reads.
+    pub max_split: usize,
+    /// Maximum random per-chunk delay in microseconds (throttling).
+    pub delay_us_max: u64,
+    /// Probability (per mille) that a forwarded chunk is written twice
+    /// — raw stream corruption the framing layer must reject.
+    pub dup_per_mille: u16,
+    /// Probability (per mille) that a forwarded chunk is silently
+    /// dropped — desyncs the stream mid-frame.
+    pub drop_per_mille: u16,
+    /// Sever each connection after relaying this many chunks in either
+    /// direction (`None` = never). The client is expected to reconnect
+    /// through the proxy.
+    pub sever_after_chunks: Option<u64>,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> ChaosProfile {
+        ChaosProfile {
+            seed: 0x000C_4A05,
+            max_split: 0,
+            delay_us_max: 0,
+            dup_per_mille: 0,
+            drop_per_mille: 0,
+            sever_after_chunks: None,
+        }
+    }
+}
+
+impl ChaosProfile {
+    /// A regime that tears every frame into tiny interleaved pieces
+    /// with small random delays, without corrupting or severing.
+    pub fn torn(seed: u64) -> ChaosProfile {
+        ChaosProfile {
+            seed,
+            max_split: 7,
+            delay_us_max: 500,
+            ..ChaosProfile::default()
+        }
+    }
+
+    /// A regime that severs every connection after a few dozen relayed
+    /// chunks, forcing repeated session resumes.
+    pub fn severing(seed: u64, after_chunks: u64) -> ChaosProfile {
+        ChaosProfile {
+            seed,
+            max_split: 16,
+            sever_after_chunks: Some(after_chunks),
+            ..ChaosProfile::default()
+        }
+    }
+}
+
+/// Relay counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Connections accepted from clients.
+    pub conns: u64,
+    /// Raw bytes relayed (both directions).
+    pub bytes: u64,
+    /// Connections severed (schedule or [`ChaosProxy::sever_all`]).
+    pub severed: u64,
+    /// Chunks dropped by `drop_per_mille`.
+    pub dropped_chunks: u64,
+    /// Chunks duplicated by `dup_per_mille`.
+    pub duplicated_chunks: u64,
+}
+
+#[derive(Default)]
+struct AtomicProxyStats {
+    conns: AtomicU64,
+    bytes: AtomicU64,
+    severed: AtomicU64,
+    dropped_chunks: AtomicU64,
+    duplicated_chunks: AtomicU64,
+}
+
+struct Shared {
+    stats: AtomicProxyStats,
+    shutdown: AtomicBool,
+    /// Live connection pairs (client side, upstream side) for
+    /// `sever_all`; severed/finished entries are pruned lazily.
+    live: Mutex<Vec<(u64, Arc<ConnPair>)>>,
+}
+
+struct ConnPair {
+    client: Conn,
+    upstream: Conn,
+    severed: AtomicBool,
+}
+
+impl ConnPair {
+    fn sever(&self) -> bool {
+        if self.severed.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        self.client.shutdown();
+        self.upstream.shutdown();
+        true
+    }
+}
+
+/// The chaos relay. Dropping it shuts the listener and severs
+/// everything.
+pub struct ChaosProxy {
+    shared: Arc<Shared>,
+    local_bind: Bind,
+}
+
+impl ChaosProxy {
+    /// Listens on `listen`, relaying every connection to `upstream`
+    /// under `profile`.
+    pub fn spawn(listen: Bind, upstream: Bind, profile: ChaosProfile) -> io::Result<ChaosProxy> {
+        let listener = Listener::bind(&listen)?;
+        let local_bind = listener.local_bind(&listen);
+        let shared = Arc::new(Shared {
+            stats: AtomicProxyStats::default(),
+            shutdown: AtomicBool::new(false),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(listener, upstream, profile, accept_shared))
+            .expect("spawn chaos acceptor");
+        Ok(ChaosProxy { shared, local_bind })
+    }
+
+    /// The address clients should dial (resolves an ephemeral port).
+    pub fn local_bind(&self) -> Bind {
+        self.local_bind.clone()
+    }
+
+    /// Severs every live relayed connection; returns how many were cut.
+    pub fn sever_all(&self) -> usize {
+        let mut cut = 0;
+        let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        live.retain(|(_, pair)| {
+            if pair.sever() {
+                cut += 1;
+            }
+            false
+        });
+        self.shared
+            .stats
+            .severed
+            .fetch_add(cut as u64, Ordering::Relaxed);
+        cut
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProxyStats {
+        let s = &self.shared.stats;
+        ProxyStats {
+            conns: s.conns.load(Ordering::Relaxed),
+            bytes: s.bytes.load(Ordering::Relaxed),
+            severed: s.severed.load(Ordering::Relaxed),
+            dropped_chunks: s.dropped_chunks.load(Ordering::Relaxed),
+            duplicated_chunks: s.duplicated_chunks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.sever_all();
+    }
+}
+
+// A private re-bind of the listener plumbing (tcp.rs keeps its own
+// non-public Listener; duplicating ~20 lines beats exposing it).
+enum Listener {
+    Tcp(std::net::TcpListener),
+    Uds(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    fn bind(b: &Bind) -> io::Result<Listener> {
+        match b {
+            Bind::Tcp(addr) => Ok(Listener::Tcp(std::net::TcpListener::bind(addr)?)),
+            Bind::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Uds(std::os::unix::net::UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+            Listener::Uds(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Unix(s))
+            }
+        }
+    }
+
+    fn local_bind(&self, requested: &Bind) -> Bind {
+        match (self, requested) {
+            (Listener::Tcp(l), _) => match l.local_addr() {
+                Ok(a) => Bind::Tcp(a),
+                Err(_) => requested.clone(),
+            },
+            (Listener::Uds(_), b) => b.clone(),
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, upstream: Bind, profile: ChaosProfile, shared: Arc<Shared>) {
+    let mut conn_id = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let client = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let up = match connect(&upstream) {
+            Ok(c) => c,
+            Err(_) => {
+                client.shutdown();
+                continue;
+            }
+        };
+        conn_id += 1;
+        shared.stats.conns.fetch_add(1, Ordering::Relaxed);
+        let pair = match (client.try_clone(), up.try_clone()) {
+            (Ok(c), Ok(u)) => Arc::new(ConnPair {
+                client: c,
+                upstream: u,
+                severed: AtomicBool::new(false),
+            }),
+            _ => {
+                client.shutdown();
+                up.shutdown();
+                continue;
+            }
+        };
+        {
+            let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+            live.retain(|(_, p)| !p.severed.load(Ordering::Relaxed));
+            live.push((conn_id, Arc::clone(&pair)));
+        }
+        // Each direction's relay has an independent seeded schedule;
+        // both share one chunk budget so `sever_after_chunks` counts
+        // traffic in either direction.
+        let chunk_budget = Arc::new(AtomicU64::new(0));
+        spawn_relay(
+            client,
+            up,
+            profile.clone(),
+            profile.seed ^ conn_id.wrapping_mul(0x9E37_79B9),
+            Arc::clone(&pair),
+            Arc::clone(&chunk_budget),
+            Arc::clone(&shared),
+            "c2s",
+        );
+        spawn_relay(
+            pair.upstream.try_clone().expect("clone upstream"),
+            pair.client.try_clone().expect("clone client"),
+            profile.clone(),
+            profile.seed ^ conn_id.wrapping_mul(0x9E37_79B9) ^ 0xFFFF,
+            Arc::clone(&pair),
+            chunk_budget,
+            Arc::clone(&shared),
+            "s2c",
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_relay(
+    mut from: Conn,
+    mut to: Conn,
+    profile: ChaosProfile,
+    seed: u64,
+    pair: Arc<ConnPair>,
+    chunk_budget: Arc<AtomicU64>,
+    shared: Arc<Shared>,
+    dir: &'static str,
+) {
+    let _ = thread::Builder::new()
+        .name(format!("chaos-{dir}"))
+        .spawn(move || {
+            let mut rng = SplitMix64::new(seed);
+            let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+            let mut buf = [0u8; 4096];
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) || pair.severed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let n = match from.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                };
+                let chunk = &buf[..n];
+                if let Some(limit) = profile.sever_after_chunks {
+                    if chunk_budget.fetch_add(1, Ordering::SeqCst) + 1 >= limit {
+                        if pair.sever() {
+                            shared.stats.severed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                }
+                if profile.drop_per_mille > 0 && rng.per_mille(profile.drop_per_mille) {
+                    shared.stats.dropped_chunks.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let copies = if profile.dup_per_mille > 0 && rng.per_mille(profile.dup_per_mille) {
+                    shared
+                        .stats
+                        .duplicated_chunks
+                        .fetch_add(1, Ordering::Relaxed);
+                    2
+                } else {
+                    1
+                };
+                let mut failed = false;
+                for _ in 0..copies {
+                    if relay_chunk(&mut to, chunk, &profile, &mut rng).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                shared
+                    .stats
+                    .bytes
+                    .fetch_add((n * copies) as u64, Ordering::Relaxed);
+                if failed {
+                    break;
+                }
+            }
+            // One side died: sever both so the peer notices promptly.
+            if pair.sever() {
+                // An organic EOF/error close, not a scheduled sever —
+                // still counts as this connection ending.
+            }
+        });
+}
+
+/// Forwards one chunk, split into seeded sub-writes with optional
+/// per-piece delay.
+fn relay_chunk(
+    to: &mut Conn,
+    chunk: &[u8],
+    profile: &ChaosProfile,
+    rng: &mut SplitMix64,
+) -> io::Result<()> {
+    let mut rest = chunk;
+    while !rest.is_empty() {
+        let piece = if profile.max_split == 0 {
+            rest.len()
+        } else {
+            (1 + rng.below(profile.max_split as u64) as usize).min(rest.len())
+        };
+        if profile.delay_us_max > 0 {
+            let us = rng.below(profile.delay_us_max + 1);
+            if us > 0 {
+                thread::sleep(Duration::from_micros(us));
+            }
+        }
+        to.write_all(&rest[..piece])?;
+        to.flush()?;
+        rest = &rest[piece..];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn clean_relay_passes_bytes_through() {
+        let dir = std::env::temp_dir().join(format!("sage-proxy-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let up_path = dir.join("up.sock");
+        let listen_path = dir.join("proxy.sock");
+        let upstream = std::os::unix::net::UnixListener::bind(&up_path).unwrap();
+        let proxy = ChaosProxy::spawn(
+            Bind::Uds(listen_path.clone()),
+            Bind::Uds(up_path.clone()),
+            ChaosProfile::torn(42),
+        )
+        .unwrap();
+
+        let echo = thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let mut got = Vec::new();
+            while got.len() < 10 {
+                let n = s.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            s.write_all(&got).unwrap();
+        });
+
+        let mut client = UnixStream::connect(&listen_path).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        client.write_all(b"0123456789").unwrap();
+        let mut back = [0u8; 10];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"0123456789", "torn relay must still be lossless");
+        echo.join().unwrap();
+        // The byte counter is bumped after the write that unblocked us;
+        // give the relay threads a moment to account.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while proxy.stats().bytes < 20 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(proxy.stats().bytes >= 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sever_all_cuts_live_connections() {
+        let dir = std::env::temp_dir().join(format!("sage-proxy-sever-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let up_path = dir.join("up.sock");
+        let listen_path = dir.join("proxy.sock");
+        let upstream = std::os::unix::net::UnixListener::bind(&up_path).unwrap();
+        let proxy = ChaosProxy::spawn(
+            Bind::Uds(listen_path.clone()),
+            Bind::Uds(up_path.clone()),
+            ChaosProfile::default(),
+        )
+        .unwrap();
+        let srv = thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 16];
+            // Block until the sever propagates as EOF.
+            let _ = s.read(&mut buf);
+        });
+        let mut client = UnixStream::connect(&listen_path).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Let the relay threads attach.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(proxy.sever_all(), 1);
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            client.read(&mut buf).unwrap_or(0),
+            0,
+            "severed client must see EOF"
+        );
+        srv.join().unwrap();
+        assert!(proxy.stats().severed >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

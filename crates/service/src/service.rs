@@ -74,7 +74,7 @@ use sage_vf::ReplayPool;
 use crate::events::{EventKind, EventLog, FailReason};
 use crate::net::{Envelope, NodeId, Transport};
 use crate::node::DeviceNode;
-use crate::policy::Policy;
+use crate::policy::{seeded_jitter, Policy};
 use crate::shard::ShardIndex;
 use crate::wheel::TimerWheel;
 use crate::wire::{self, Frame};
@@ -172,6 +172,12 @@ pub struct ServiceConfig {
     /// Dropped events still count — see
     /// [`crate::events::EventLog::events_dropped`].
     pub event_capacity: usize,
+    /// Maximum deterministic jitter (virtual ticks) added to every
+    /// failure-backoff delay, keyed by `(device name, failure count)`
+    /// via [`crate::policy::seeded_jitter`] — devices failing together
+    /// retry apart. `0` (the default) disables jitter and keeps
+    /// historical schedules byte-identical.
+    pub backoff_jitter: u64,
 }
 
 impl Default for ServiceConfig {
@@ -190,6 +196,7 @@ impl Default for ServiceConfig {
             shards: 1,
             workers: 0,
             event_capacity: 0,
+            backoff_jitter: 0,
         }
     }
 }
@@ -232,6 +239,13 @@ pub(crate) struct ManagedDevice {
     /// state — rebuilt from `last_attested` on restore, never
     /// snapshotted.
     pub(crate) next_fresh_at: Option<u64>,
+    /// Whether the transport link to this device is up. Runtime state
+    /// fed by [`crate::net::LinkEvent`]s — always `true` behind
+    /// transports that never flap ([`crate::net::SimNet`]), and reset
+    /// to `true` on restore. A deadline expiring while the link is down
+    /// is classified [`FailReason::LinkDown`]: retried under backoff,
+    /// never recorded as attestation evidence.
+    pub(crate) link_up: bool,
 }
 
 // Work units for different devices run on pool threads; the disjoint
@@ -658,7 +672,22 @@ impl<T: Transport> AttestationService<T> {
         if outcome.is_none() {
             record_state(&mut self.log, self.now, DeviceState::Quarantined);
         }
+        self.admit_device(id, member, verifier, state, outcome)
+    }
 
+    /// Installs a (possibly failed) enrollment as a managed device:
+    /// session key, evidence chain, roster slot, first-action timer.
+    /// Shared tail of the in-process [`AttestationService::join`] and
+    /// the socket-side `join_remote`.
+    fn admit_device(
+        &mut self,
+        id: NodeId,
+        member: FleetMember,
+        verifier: Verifier,
+        state: DeviceState,
+        outcome: Option<sage::verifier::AttestationOutcome>,
+    ) -> NodeId {
+        let name = member.name.clone();
         let next_action_at = outcome.is_some().then_some(self.now + 1);
         let mut node = DeviceNode::new(member, id);
         // An established key opens the device's evidence chain: its first
@@ -697,6 +726,7 @@ impl<T: Transport> AttestationService<T> {
             last_attested,
             freshness: Freshness::Trusted,
             next_fresh_at: None,
+            link_up: true,
         });
         self.index.insert(id, slot);
         self.work_of.push(u32::MAX);
@@ -866,7 +896,8 @@ impl<T: Transport> AttestationService<T> {
     fn step(&mut self) {
         let now = self.now;
 
-        // ---- intake: one network drain + one wheel pop ---------------
+        // ---- intake: link events, one network drain, one wheel pop ---
+        self.intake_link_events();
         let arrivals = self.net.drain_due(now);
         let mut due = std::mem::take(&mut self.timer_scratch);
         self.timers.pop_due(now, &mut due);
@@ -1253,6 +1284,228 @@ impl<T: Transport> AttestationService<T> {
         out.push_str("\n}\n");
         out
     }
+
+    /// How many devices have a round in flight. The wall-clock driver
+    /// ([`crate::clock::ClockDriver`]) freezes virtual time while this
+    /// is non-zero, so responses are verdicted on their round's start
+    /// tick regardless of real network latency.
+    pub fn outstanding_rounds(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.outstanding.is_some())
+            .count()
+    }
+
+    /// Folds transport link events into trust policy. Link loss is a
+    /// *recoverable* condition with its own labels — it degrades a
+    /// device but never touches its attestation record or failure
+    /// budgets, because a severed cable must not look like a cheating
+    /// GPU (and must never cause a false accept: the round simply stays
+    /// outstanding until resume or watchdog).
+    fn intake_link_events(&mut self) {
+        for ev in self.net.take_link_events() {
+            match ev {
+                crate::net::LinkEvent::Down(node) => {
+                    if let Some(slot) = self.index.get(node) {
+                        self.link_down(slot);
+                    }
+                }
+                crate::net::LinkEvent::Resumed(node) => {
+                    if let Some(slot) = self.index.get(node) {
+                        self.link_resumed(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    fn link_down(&mut self, slot: usize) {
+        let (name, transition) = {
+            let d = &mut self.devices[slot];
+            if !d.link_up {
+                return;
+            }
+            d.link_up = false;
+            let transition =
+                matches!(d.state, DeviceState::Trusted | DeviceState::Attesting).then(|| {
+                    let from = d.state;
+                    d.state = DeviceState::Degraded;
+                    from
+                });
+            (d.node.member.name.clone(), transition)
+        };
+        self.log.record(self.now, &name, EventKind::LinkDown);
+        if let Some(from) = transition {
+            self.log.record(
+                self.now,
+                &name,
+                EventKind::StateChanged {
+                    from,
+                    to: DeviceState::Degraded,
+                },
+            );
+        }
+    }
+
+    fn link_resumed(&mut self, slot: usize) {
+        let (name, resend) = {
+            let d = &mut self.devices[slot];
+            if d.link_up {
+                return;
+            }
+            d.link_up = true;
+            // The outstanding challenge may have died with the old
+            // connection (or been shed while down): re-encode it from
+            // the live round state and send it again. The device
+            // answers idempotently, and a duplicate response is a
+            // logged no-op (`LateResponse`).
+            let resend = d.outstanding.as_ref().map(|o| Envelope {
+                src: VERIFIER_NODE,
+                dst: d.node.id,
+                bytes: wire::encode(&Frame::Challenge {
+                    round: o.round,
+                    challenges: o.challenges.clone(),
+                }),
+            });
+            (d.node.member.name.clone(), resend)
+        };
+        self.log.record(self.now, &name, EventKind::LinkResumed);
+        if let Some(env) = resend {
+            let now = self.now;
+            self.net.send(now, env);
+        }
+    }
+}
+
+impl AttestationService<crate::tcp::TcpTransport> {
+    /// Enrolls a device that lives across a socket. `twin` is the
+    /// verifier's local replica of the device's VF build — the paper's
+    /// verifier-side simulation, used for checksum replay and the
+    /// challenge bank — not the remote device itself: every protocol
+    /// byte of calibration and SAKE crosses `stream`. On success the
+    /// stream is adopted into the transport as the device's supervised
+    /// connection and future reconnects resume against the SAKE session
+    /// (no re-enrollment); on failure the device lands `Quarantined`
+    /// and the connection is dropped.
+    pub fn join_remote(
+        &mut self,
+        mut twin: FleetMember,
+        enclave: Enclave,
+        mut stream: crate::tcp::FrameStream,
+    ) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let name = twin.name.clone();
+        self.log.record(self.now, &name, EventKind::Joined);
+
+        let mut verifier = Verifier::new(enclave, twin.session.build().clone(), self.group.clone());
+        if self.cfg.bank_capacity > 0 {
+            verifier.enable_fast_path(sage_vf::BankConfig {
+                capacity: self.cfg.bank_capacity,
+                workers: self.cfg.bank_workers,
+            });
+            if self.cfg.prefill_rounds > 0 {
+                let t = std::time::Instant::now();
+                verifier.prefill_rounds(self.cfg.prefill_rounds);
+                self.prefill_wall += t.elapsed();
+            }
+        }
+        if let Some(reg) = &self.registry {
+            verifier.attach_telemetry(reg, &[("device", &name)]);
+            twin.session
+                .dev
+                .install_telemetry(reg, &[("device", &name)]);
+        }
+
+        let mut state = DeviceState::Enrolled;
+        let mut record_state = |log: &mut EventLog, now: u64, to: DeviceState| {
+            log.record(now, &name, EventKind::StateChanged { from: state, to });
+            state = to;
+        };
+        record_state(&mut self.log, self.now, DeviceState::Attesting);
+
+        // One wall budget covers the whole exchange; a stalled or
+        // severed link fails the enrollment instead of hanging the
+        // control plane.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let mut calib_round = 0u64;
+        let calibrated = verifier.calibrate_with(self.cfg.calibration_runs, &mut |challenges| {
+            calib_round += 1;
+            stream
+                .write_frame(&Frame::Challenge {
+                    round: calib_round,
+                    challenges: challenges.to_vec(),
+                })
+                .map_err(|_| SageError::Protocol("enrollment link failed".into()))?;
+            loop {
+                match stream.read_frame_deadline(deadline) {
+                    Ok(Some(Frame::Response {
+                        round,
+                        checksum,
+                        measured_cycles,
+                    })) if round == calib_round => return Ok((checksum, measured_cycles)),
+                    Ok(Some(Frame::Heartbeat { .. })) => continue,
+                    _ => return Err(SageError::Protocol("enrollment link failed".into())),
+                }
+            }
+        });
+        let outcome = match calibrated {
+            Err(_) => {
+                self.log
+                    .record(self.now, &name, EventKind::CalibrationFailed);
+                None
+            }
+            Ok(_) => {
+                // Over a real link the commit rides in SakeCommitTimed,
+                // carrying the device's measured exchange time that the
+                // in-process flow passes out of band.
+                let est = verifier.establish_key_with(&mut |step, msg| {
+                    stream
+                        .write_frame(&Frame::Sake(msg))
+                        .map_err(|_| SageError::Protocol("enrollment link failed".into()))?;
+                    loop {
+                        return match stream.read_frame_deadline(deadline) {
+                            Ok(Some(Frame::SakeCommitTimed {
+                                w2,
+                                mac,
+                                measured_cycles,
+                            })) if step == 0 => {
+                                Ok((SakeMessage::Commit { w2, mac }, Some(measured_cycles)))
+                            }
+                            Ok(Some(Frame::Sake(reply))) if step > 0 => Ok((reply, None)),
+                            Ok(Some(Frame::Heartbeat { .. })) => continue,
+                            _ => Err(SageError::Protocol("enrollment link failed".into())),
+                        };
+                    }
+                });
+                match est {
+                    Ok(o) => Some(o),
+                    Err(_) => {
+                        self.log.record(self.now, &name, EventKind::EstablishFailed);
+                        None
+                    }
+                }
+            }
+        };
+        match &outcome {
+            Some(o) => {
+                // Adopt the live connection: supervision threads, a
+                // bounded outbox, and the resume key derived from the
+                // freshly-established SAKE session.
+                self.net.adopt_peer(
+                    name.clone(),
+                    id,
+                    crate::tcp::link_key(&o.session_key),
+                    stream,
+                );
+            }
+            None => {
+                record_state(&mut self.log, self.now, DeviceState::Quarantined);
+                stream.conn().shutdown();
+            }
+        }
+        self.admit_device(id, twin, verifier, state, outcome)
+    }
 }
 
 /// Runs one device's due work in the canonical per-device phase order,
@@ -1306,12 +1559,16 @@ fn run_unit(cfg: &ServiceConfig, now: u64, d: &mut ManagedDevice, w: &mut DevWor
     // above may have consumed the outstanding round).
     if d.outstanding.as_ref().is_some_and(|o| o.deadline <= now) {
         if let Some(o) = d.outstanding.take() {
-            let path = match o.expected {
-                Some(_) => EvidencePath::Precomputed,
-                None => EvidencePath::Classic,
-            };
             let mut fx = Effects::default();
-            core_round_failed(cfg, now, d, o.round, FailReason::Timeout, 0, path, &mut fx);
+            if d.link_up {
+                let path = match o.expected {
+                    Some(_) => EvidencePath::Precomputed,
+                    None => EvidencePath::Classic,
+                };
+                core_round_failed(cfg, now, d, o.round, FailReason::Timeout, 0, path, &mut fx);
+            } else {
+                core_round_link_down(cfg, now, d, o.round, &mut fx);
+            }
             eff.deadline = Some(fx);
         }
     }
@@ -1429,7 +1686,9 @@ fn core_round_failed(
     let verdict = match reason {
         FailReason::WrongValue => StageVerdict::WrongValue,
         FailReason::TooSlow => StageVerdict::TooSlow,
-        FailReason::Timeout => StageVerdict::Timeout,
+        // LinkDown never reaches this function — it has its own
+        // evidence-free path (`core_round_link_down`).
+        FailReason::Timeout | FailReason::LinkDown => StageVerdict::Timeout,
     };
     let threshold = d.verifier.threshold().unwrap_or(0);
     core_append_evidence(
@@ -1454,7 +1713,7 @@ fn core_round_failed(
     let restartable = match reason {
         FailReason::TooSlow => true,
         FailReason::Timeout => policy.restart_on_timeout,
-        FailReason::WrongValue => false,
+        FailReason::WrongValue | FailReason::LinkDown => false,
     };
     if restartable && d.consecutive_restarts < policy.max_timing_restarts {
         d.consecutive_restarts += 1;
@@ -1477,13 +1736,46 @@ fn core_round_failed(
         d.next_action_at = None;
         core_set_state(d, DeviceState::Quarantined, fx);
     } else {
-        let delay = policy.backoff_delay(d.consecutive_failures);
+        let delay = policy.backoff_delay(d.consecutive_failures)
+            + seeded_jitter(
+                cfg.backoff_jitter,
+                &d.node.member.name,
+                u64::from(d.consecutive_failures),
+            );
         let at = now + delay;
         d.next_action_at = Some(at);
         fx.timers.push(TimerReq::Action(at));
         if d.state != DeviceState::Degraded {
             core_set_state(d, DeviceState::Degraded, fx);
         }
+    }
+}
+
+/// A round's deadline expired while the device's link was known-down.
+/// This is the one failure path that must stay off the attestation
+/// record: no evidence is appended and no failure budget is touched —
+/// the link already demoted the device to `Degraded`, and a severed
+/// cable must never read as a cheating GPU. The round is abandoned
+/// (never accepted — no false-accept window) and a jittered retry is
+/// scheduled so the fleet doesn't storm the moment links heal.
+fn core_round_link_down(
+    cfg: &ServiceConfig,
+    now: u64,
+    d: &mut ManagedDevice,
+    round: u64,
+    fx: &mut Effects,
+) {
+    fx.events.push(EventKind::RoundFailed {
+        round,
+        reason: FailReason::LinkDown,
+    });
+    let delay =
+        cfg.policy.backoff_base + seeded_jitter(cfg.backoff_jitter, &d.node.member.name, d.round);
+    let at = now + delay;
+    d.next_action_at = Some(at);
+    fx.timers.push(TimerReq::Action(at));
+    if d.state != DeviceState::Degraded && d.state != DeviceState::Quarantined {
+        core_set_state(d, DeviceState::Degraded, fx);
     }
 }
 

@@ -45,7 +45,7 @@ const MAGIC: u32 = 0x5A6E_A950;
 /// counters and drop count explicitly: with a bounded log the retained
 /// event window no longer determines the counters, so replaying it on
 /// restore (the v2 scheme) would under-count.
-const VERSION: u16 = 3;
+const VERSION: u16 = 4;
 
 /// Why a snapshot could not be decoded or re-married to its endpoints.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -151,6 +151,7 @@ fn reason_tag(r: FailReason) -> u8 {
         FailReason::WrongValue => 0,
         FailReason::TooSlow => 1,
         FailReason::Timeout => 2,
+        FailReason::LinkDown => 3,
     }
 }
 
@@ -199,6 +200,8 @@ fn put_event(out: &mut Vec<u8>, e: &Event) {
             put_u64(out, *epoch);
             out.extend_from_slice(root);
         }
+        EventKind::LinkDown => out.push(12),
+        EventKind::LinkResumed => out.push(13),
     }
 }
 
@@ -326,6 +329,8 @@ fn put_counters(out: &mut Vec<u8>, c: &Counters) {
         c.calibration_failures,
         c.freshness_transitions,
         c.epochs_sealed,
+        c.link_downs,
+        c.link_resumes,
     ] {
         put_u64(out, v);
     }
@@ -625,6 +630,8 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
                 epoch: r.u64()?,
                 root: r.fixed::<32>()?,
             },
+            12 => EventKind::LinkDown,
+            13 => EventKind::LinkResumed,
             value => {
                 return Err(SnapshotError::BadTag {
                     field: "event kind",
@@ -648,6 +655,8 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         calibration_failures: r.u64()?,
         freshness_transitions: r.u64()?,
         epochs_sealed: r.u64()?,
+        link_downs: r.u64()?,
+        link_resumes: r.u64()?,
     };
     let events_dropped = r.u64()?;
     if r.pos != bytes.len() {
@@ -722,6 +731,9 @@ pub(crate) fn restore<T: Transport>(
             // Derived from `last_attested` by `rebuild_schedule` below;
             // never snapshotted.
             next_fresh_at: None,
+            // Link state is runtime-only: a restored service starts
+            // optimistic and the transport's first events correct it.
+            link_up: true,
         });
     }
     if let Some(extra) = endpoint_pool.into_iter().flatten().next() {

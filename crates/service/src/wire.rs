@@ -43,9 +43,20 @@ const K_SAKE_REVEAL_V1: u8 = 0x03;
 const K_SAKE_DEV_REVEAL1: u8 = 0x04;
 const K_SAKE_REVEAL_V0: u8 = 0x05;
 const K_SAKE_DEV_REVEAL0: u8 = 0x06;
+const K_SAKE_COMMIT_TIMED: u8 = 0x07;
 const K_CHANNEL: u8 = 0x10;
 const K_CHALLENGE: u8 = 0x20;
 const K_RESPONSE: u8 = 0x21;
+// Link-layer frames (0x30+): connection supervision for the real
+// transport — enrollment, authenticated session resume, heartbeats.
+const K_LINK_NONCE: u8 = 0x30;
+const K_ENROLL: u8 = 0x31;
+const K_HELLO: u8 = 0x32;
+const K_HELLO_ACK: u8 = 0x33;
+const K_HEARTBEAT: u8 = 0x34;
+
+/// Longest device name the link frames will carry.
+pub const MAX_NAME: usize = 256;
 
 /// A decoded control-plane frame.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +81,64 @@ pub enum Frame {
         checksum: [u32; 8],
         /// Measured exchange time in device cycles.
         measured_cycles: u64,
+    },
+    /// Device → verifier: a SAKE commit carrying the device's measured
+    /// checksum-exchange time. In-process flows pass the timing out of
+    /// band; over a real link it rides in the commit frame.
+    SakeCommitTimed {
+        /// The commit hash `w2`.
+        w2: [u8; 32],
+        /// The commit MAC.
+        mac: [u8; 16],
+        /// Measured exchange time in device cycles.
+        measured_cycles: u64,
+    },
+    /// Server → device, first frame on every accepted connection: a
+    /// fresh nonce the device must fold into its `Hello` MAC, so a
+    /// recorded resume handshake cannot be replayed on a later link.
+    LinkNonce {
+        /// Fresh per-connection server nonce.
+        nonce: [u8; 16],
+    },
+    /// Device → verifier: a first-contact enrollment request; the
+    /// connection then carries calibration and SAKE frames in the clear
+    /// protocol order.
+    Enroll {
+        /// The device's fleet name.
+        device: String,
+    },
+    /// Device → verifier: an authenticated session-resume request. The
+    /// MAC is keyed by the link key derived from the SAKE session key,
+    /// over the device name, the server's `LinkNonce`, and the evidence
+    /// sequence the device believes is current — proof of key
+    /// possession without rerunning SAKE.
+    Hello {
+        /// The device's fleet name.
+        device: String,
+        /// Echo of the server's `LinkNonce` nonce.
+        nonce: [u8; 16],
+        /// The device's view of its evidence-chain sequence head.
+        resume_from: u64,
+        /// `CMAC(link_key, transcript)`.
+        mac: [u8; 16],
+    },
+    /// Verifier → device: accepts a `Hello`, proving the verifier also
+    /// holds the link key (mutual authentication).
+    HelloAck {
+        /// Echo of the device's hello nonce.
+        nonce: [u8; 16],
+        /// `CMAC(link_key, ack transcript)`.
+        mac: [u8; 16],
+    },
+    /// Either direction: connection liveness probe. `echo == false`
+    /// requests a reply; the reply echoes the sequence with
+    /// `echo == true`. Handled inside the transport, never surfaced to
+    /// the service loop.
+    Heartbeat {
+        /// Sender-chosen sequence number, echoed back.
+        seq: u64,
+        /// Whether this frame is the reply leg.
+        echo: bool,
     },
 }
 
@@ -135,6 +204,48 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             p.extend_from_slice(&measured_cycles.to_le_bytes());
             (K_RESPONSE, p)
         }
+        Frame::SakeCommitTimed {
+            w2,
+            mac,
+            measured_cycles,
+        } => {
+            let mut p = Vec::with_capacity(56);
+            p.extend_from_slice(w2);
+            p.extend_from_slice(mac);
+            p.extend_from_slice(&measured_cycles.to_le_bytes());
+            (K_SAKE_COMMIT_TIMED, p)
+        }
+        Frame::LinkNonce { nonce } => (K_LINK_NONCE, nonce.to_vec()),
+        Frame::Enroll { device } => {
+            let mut p = Vec::with_capacity(2 + device.len());
+            encode_name(&mut p, device);
+            (K_ENROLL, p)
+        }
+        Frame::Hello {
+            device,
+            nonce,
+            resume_from,
+            mac,
+        } => {
+            let mut p = Vec::with_capacity(42 + device.len());
+            encode_name(&mut p, device);
+            p.extend_from_slice(nonce);
+            p.extend_from_slice(&resume_from.to_le_bytes());
+            p.extend_from_slice(mac);
+            (K_HELLO, p)
+        }
+        Frame::HelloAck { nonce, mac } => {
+            let mut p = Vec::with_capacity(32);
+            p.extend_from_slice(nonce);
+            p.extend_from_slice(mac);
+            (K_HELLO_ACK, p)
+        }
+        Frame::Heartbeat { seq, echo } => {
+            let mut p = Vec::with_capacity(9);
+            p.extend_from_slice(&seq.to_le_bytes());
+            p.push(*echo as u8);
+            (K_HEARTBEAT, p)
+        }
     };
     assert!(
         payload.len() as u32 <= MAX_PAYLOAD,
@@ -175,6 +286,12 @@ fn encode_sake(msg: &SakeMessage) -> (u8, Vec<u8>) {
         }
         SakeMessage::DeviceReveal0 { w0 } => (K_SAKE_DEV_REVEAL0, w0.to_vec()),
     }
+}
+
+fn encode_name(p: &mut Vec<u8>, name: &str) {
+    assert!(name.len() <= MAX_NAME, "device name too long for the wire");
+    p.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    p.extend_from_slice(name.as_bytes());
 }
 
 fn encode_channel(wire: &Wire) -> Vec<u8> {
@@ -286,6 +403,31 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, CodecError> {
                 measured_cycles: r.u64()?,
             }
         }
+        K_SAKE_COMMIT_TIMED => Frame::SakeCommitTimed {
+            w2: r.arr32()?,
+            mac: r.arr16()?,
+            measured_cycles: r.u64()?,
+        },
+        K_LINK_NONCE => Frame::LinkNonce { nonce: r.arr16()? },
+        K_ENROLL => Frame::Enroll { device: r.name()? },
+        K_HELLO => Frame::Hello {
+            device: r.name()?,
+            nonce: r.arr16()?,
+            resume_from: r.u64()?,
+            mac: r.arr16()?,
+        },
+        K_HELLO_ACK => Frame::HelloAck {
+            nonce: r.arr16()?,
+            mac: r.arr16()?,
+        },
+        K_HEARTBEAT => Frame::Heartbeat {
+            seq: r.u64()?,
+            echo: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::BadField("heartbeat echo flag")),
+            },
+        },
         other => return Err(CodecError::BadKind(other)),
     };
     r.finish()?;
@@ -344,6 +486,15 @@ impl<'a> Reader<'a> {
         self.take(32)?.try_into().map_err(|_| CodecError::Truncated)
     }
 
+    fn name(&mut self) -> Result<String, CodecError> {
+        let len = self.u16()? as usize;
+        if len > MAX_NAME {
+            return Err(CodecError::Oversize(len as u32));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadField("device name"))
+    }
+
     fn finish(&self) -> Result<(), CodecError> {
         if self.remaining() != 0 {
             return Err(CodecError::Trailing(self.remaining()));
@@ -400,6 +551,69 @@ mod tests {
             checksum: [1, 2, 3, 4, 5, 6, 7, 8],
             measured_cycles: 12345,
         });
+    }
+
+    #[test]
+    fn link_frames_roundtrip() {
+        roundtrip(Frame::SakeCommitTimed {
+            w2: [0x11; 32],
+            mac: [0x22; 16],
+            measured_cycles: 987_654,
+        });
+        roundtrip(Frame::LinkNonce { nonce: [0x33; 16] });
+        roundtrip(Frame::Enroll {
+            device: "gpu-00042".to_string(),
+        });
+        roundtrip(Frame::Enroll {
+            device: String::new(),
+        });
+        roundtrip(Frame::Hello {
+            device: "gpu-a".to_string(),
+            nonce: [0x44; 16],
+            resume_from: 17,
+            mac: [0x55; 16],
+        });
+        roundtrip(Frame::HelloAck {
+            nonce: [0x66; 16],
+            mac: [0x77; 16],
+        });
+        roundtrip(Frame::Heartbeat {
+            seq: 9,
+            echo: false,
+        });
+        roundtrip(Frame::Heartbeat {
+            seq: 10,
+            echo: true,
+        });
+    }
+
+    #[test]
+    fn oversize_name_and_bad_flags_rejected() {
+        // A Hello whose name-length field claims more than MAX_NAME.
+        let mut bytes = encode(&Frame::Hello {
+            device: "x".to_string(),
+            nonce: [0; 16],
+            resume_from: 0,
+            mac: [0; 16],
+        });
+        bytes[HEADER_BYTES..HEADER_BYTES + 2].copy_from_slice(&(MAX_NAME as u16 + 1).to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CodecError::Oversize(_))));
+
+        // Non-UTF-8 name bytes.
+        let mut bytes = encode(&Frame::Enroll {
+            device: "ab".to_string(),
+        });
+        bytes[HEADER_BYTES + 2] = 0xFF;
+        bytes[HEADER_BYTES + 3] = 0xFE;
+        assert_eq!(decode(&bytes), Err(CodecError::BadField("device name")));
+
+        // Heartbeat echo flag outside {0, 1}.
+        let mut bytes = encode(&Frame::Heartbeat { seq: 1, echo: true });
+        bytes[HEADER_BYTES + 8] = 7;
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::BadField("heartbeat echo flag"))
+        );
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! in every `cargo test`. A proptest-shaped twin lives in
 //! `wire_properties.rs` behind the `proptest` feature gate.
 
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
 use sage::channel::Wire;
 use sage::sake::SakeMessage;
 use sage_crypto::DhGroup;
+use sage_service::tcp::{Conn, FrameStream, StreamError, MAX_FRAME_BYTES};
 use sage_service::wire::{decode, encode};
 use sage_service::{AttestationService, Frame, LinkProfile, ServiceConfig, SimNet, SplitMix64};
 
@@ -160,6 +165,124 @@ fn decode_never_panics_on_mutated_valid_frames() {
             // A mutation may still decode (e.g. a payload-byte flip);
             // whatever comes out must itself round-trip.
             assert_eq!(decode(&encode(&reframe)), Ok(reframe));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing: the length-prefixed layer over live sockets. The same
+// adversarial stance as the codec fuzz above — torn prefixes, mid-frame
+// severs, interleaved partial writes, and raw garbage must produce typed
+// errors or clean reassembly, never a panic or a partial-frame accept.
+// ---------------------------------------------------------------------------
+
+/// One length-prefixed wire message, as `write_frame` would emit it.
+fn framed(frame: &Frame) -> Vec<u8> {
+    let body = encode(frame);
+    let mut msg = Vec::with_capacity(4 + body.len());
+    msg.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    msg.extend_from_slice(&body);
+    msg
+}
+
+#[test]
+fn torn_interleaved_writes_reassemble_every_frame() {
+    let mut rng = SplitMix64::new(0x7EA2_F00D);
+    let frames: Vec<Frame> = (0..300).map(|_| random_frame(&mut rng)).collect();
+    let stream_bytes: Vec<u8> = frames.iter().flat_map(framed).collect();
+
+    let (writer_sock, reader_sock) = UnixStream::pair().unwrap();
+    let mut reader = FrameStream::new(Conn::Unix(reader_sock));
+    let writer = std::thread::spawn(move || {
+        // Dribble the whole stream in 1..=9-byte pieces: every length
+        // prefix and every frame body crosses a write boundary somewhere.
+        let mut wrng = SplitMix64::new(0x0017_EA57);
+        let mut sock = writer_sock;
+        let mut rest = &stream_bytes[..];
+        while !rest.is_empty() {
+            let n = (1 + wrng.below(9) as usize).min(rest.len());
+            sock.write_all(&rest[..n]).unwrap();
+            sock.flush().unwrap();
+            rest = &rest[n..];
+        }
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got = Vec::new();
+    while got.len() < frames.len() {
+        match reader.read_frame_deadline(deadline) {
+            Ok(Some(f)) => got.push(f),
+            Ok(None) => panic!("deadline with {}/{} frames", got.len(), frames.len()),
+            Err(e) => panic!("typed error on valid torn stream: {e}"),
+        }
+    }
+    assert_eq!(got, frames, "reassembled frames must match, in order");
+    writer.join().unwrap();
+}
+
+#[test]
+fn mid_frame_sever_is_closed_never_partial_accept() {
+    let mut rng = SplitMix64::new(0x5E7E_12ED);
+    for _ in 0..500 {
+        let frame = random_frame(&mut rng);
+        let msg = framed(&frame);
+        // Cut anywhere strictly inside the message — torn prefix (1..4)
+        // or torn body — including zero bytes sent.
+        let cut = rng.below(msg.len() as u64) as usize;
+
+        let (mut writer_sock, reader_sock) = UnixStream::pair().unwrap();
+        let mut reader = FrameStream::new(Conn::Unix(reader_sock));
+        writer_sock.write_all(&msg[..cut]).unwrap();
+        drop(writer_sock); // sever
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        match reader.read_frame_deadline(deadline) {
+            Err(StreamError::Closed) => {}
+            Ok(Some(f)) => panic!("partial write of {frame:?} accepted as {f:?}"),
+            other => panic!("expected Closed after mid-frame sever, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn garbage_on_live_socket_is_typed_error_never_panic() {
+    let mut rng = SplitMix64::new(0x6A2B_A6E0);
+    for _ in 0..500 {
+        let (mut writer_sock, reader_sock) = UnixStream::pair().unwrap();
+        let mut reader = FrameStream::new(Conn::Unix(reader_sock));
+        // A garbage blob with a truthful stream-level length prefix:
+        // framing succeeds, the codec inside must reject it.
+        let blob = bytes(&mut rng, 64);
+        let mut msg = (blob.len() as u32).to_le_bytes().to_vec();
+        msg.extend_from_slice(&blob);
+        writer_sock.write_all(&msg).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        match reader.read_frame_deadline(deadline) {
+            Err(StreamError::Codec(_)) => {} // the expected typed rejection
+            Ok(Some(f)) => {
+                // A random blob that happens to be a valid frame must
+                // itself round-trip (same rule as the codec fuzz).
+                assert_eq!(decode(&encode(&f)), Ok(f));
+            }
+            other => panic!("garbage produced {other:?}"),
+        }
+        drop(writer_sock);
+    }
+}
+
+#[test]
+fn oversize_prefix_is_rejected_without_buffering() {
+    let mut rng = SplitMix64::new(0x0E12_51E5);
+    for _ in 0..200 {
+        let len = MAX_FRAME_BYTES + 1 + rng.next_u64() as u32 % 1_000_000;
+        let (mut writer_sock, reader_sock) = UnixStream::pair().unwrap();
+        let mut reader = FrameStream::new(Conn::Unix(reader_sock));
+        writer_sock.write_all(&len.to_le_bytes()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        match reader.read_frame_deadline(deadline) {
+            Err(StreamError::Oversize(l)) => assert_eq!(l, len),
+            other => panic!("oversize prefix produced {other:?}"),
         }
     }
 }
