@@ -85,6 +85,13 @@ cargo run -q --release -p sage-bench --bin netperf -- \
 test -s /tmp/BENCH_net_smoke.json
 grep -q '"false_accepts": 0,' /tmp/BENCH_net_smoke.json
 
+echo "==> quorumperf gate (honest-unanimous byte identity, >=3x sampling speedup at 25% coverage, zero false accepts)"
+cargo run -q --release -p sage-bench --bin quorumperf -- \
+    --devices 12 --horizon 600000 --reps 3 --seed 7 --gate \
+    --out /tmp/BENCH_quorum_smoke.json
+test -s /tmp/BENCH_quorum_smoke.json
+grep -q '"false_accepts": 0,' /tmp/BENCH_quorum_smoke.json
+
 echo "==> chaos soak smoke (3 seeds, crash+restore, zero-false-accept gate)"
 cargo run -q --release -p sage-bench --bin soak -- \
     --seeds 5,6,7 --ticks 400000 --devices 2 \

@@ -49,7 +49,7 @@ fn counter_total(reg: &Registry, name: &str) -> u64 {
         .filter(|(n, _, _)| n == name)
         .map(|(_, _, v)| match v {
             MetricValue::Counter(c) => *c,
-            MetricValue::Histogram(_) => panic!("{name} is not a counter"),
+            _ => panic!("{name} is not a counter"),
         })
         .sum()
 }

@@ -91,7 +91,7 @@ fn counter_value(reg: &Registry, name: &str) -> u64 {
         .filter(|(n, _, _)| n == name)
         .map(|(_, _, v)| match v {
             MetricValue::Counter(c) => *c,
-            MetricValue::Histogram(_) => panic!("{name} is a histogram, not a counter"),
+            _ => panic!("{name} is not a counter"),
         })
         .sum()
 }

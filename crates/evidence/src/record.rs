@@ -147,6 +147,26 @@ pub enum EvidencePayload {
         /// Whether the authenticated echo came back intact.
         verdict: StageVerdict,
     },
+    /// A dissenting quorum vote: one verifier replica voted against the
+    /// quorum outcome for a round (or its vote failed MAC verification).
+    /// Honest, unanimous quorums append *nothing* — dissent is the only
+    /// quorum fact worth making durable, and keeping the happy path
+    /// silent is what keeps multi-verifier evidence heads byte-identical
+    /// to the single-verifier baseline.
+    QuorumVote {
+        /// Service round number the vote judged.
+        round: u64,
+        /// Index of the dissenting verifier replica.
+        verifier: u16,
+        /// What the dissenter voted.
+        vote: StageVerdict,
+        /// The quorum's winning verdict for the round.
+        outcome: StageVerdict,
+        /// Accepting votes in the tally.
+        votes_accept: u16,
+        /// Rejecting votes in the tally.
+        votes_reject: u16,
+    },
 }
 
 impl EvidencePayload {
@@ -157,17 +177,21 @@ impl EvidencePayload {
             EvidencePayload::ChecksumRound { .. } => "checksum",
             EvidencePayload::KernelHash { .. } => "kernel_hash",
             EvidencePayload::ChannelLiveness { .. } => "liveness",
+            EvidencePayload::QuorumVote { .. } => "quorum",
         }
     }
 
     /// The stage's verdict (SAKE confirmation records only exist for
-    /// successful establishments, so they are always `Pass`).
+    /// successful establishments, so they are always `Pass`; a quorum
+    /// dissent record carries the quorum *outcome*, never the dissenting
+    /// vote — a lying verifier's false accept must not read as a pass).
     pub fn verdict(&self) -> StageVerdict {
         match self {
             EvidencePayload::SakeConfirmed { .. } => StageVerdict::Pass,
             EvidencePayload::ChecksumRound { verdict, .. }
             | EvidencePayload::KernelHash { verdict, .. }
             | EvidencePayload::ChannelLiveness { verdict, .. } => *verdict,
+            EvidencePayload::QuorumVote { outcome, .. } => *outcome,
         }
     }
 
@@ -207,6 +231,22 @@ impl EvidencePayload {
                 canon::put_u64(out, *nonce);
                 canon::put_u8(out, verdict.tag());
             }
+            EvidencePayload::QuorumVote {
+                round,
+                verifier,
+                vote,
+                outcome,
+                votes_accept,
+                votes_reject,
+            } => {
+                canon::put_u8(out, 4);
+                canon::put_u64(out, *round);
+                canon::put_u16(out, *verifier);
+                canon::put_u8(out, vote.tag());
+                canon::put_u8(out, outcome.tag());
+                canon::put_u16(out, *votes_accept);
+                canon::put_u16(out, *votes_reject);
+            }
         }
     }
 
@@ -231,6 +271,14 @@ impl EvidencePayload {
             3 => EvidencePayload::ChannelLiveness {
                 nonce: r.u64()?,
                 verdict: StageVerdict::from_tag(r.u8()?)?,
+            },
+            4 => EvidencePayload::QuorumVote {
+                round: r.u64()?,
+                verifier: r.u16()?,
+                vote: StageVerdict::from_tag(r.u8()?)?,
+                outcome: StageVerdict::from_tag(r.u8()?)?,
+                votes_accept: r.u16()?,
+                votes_reject: r.u16()?,
             },
             value => {
                 return Err(CanonError::BadTag {
@@ -371,6 +419,14 @@ mod tests {
             EvidencePayload::ChannelLiveness {
                 nonce: 42,
                 verdict: StageVerdict::Timeout,
+            },
+            EvidencePayload::QuorumVote {
+                round: 11,
+                verifier: 2,
+                vote: StageVerdict::Pass,
+                outcome: StageVerdict::WrongValue,
+                votes_accept: 1,
+                votes_reject: 4,
             },
         ]
     }

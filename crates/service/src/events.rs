@@ -19,6 +19,11 @@ pub enum FailReason {
     /// known-down. Recoverable: appends no evidence and burns no
     /// failure budget — a severed cable is not a cheating GPU.
     LinkDown,
+    /// The response's wire share (wall elapsed minus reported compute)
+    /// exceeded the relay gate: the checksum was outsourced through a
+    /// proxy paying two link round trips. Never restartable — topology
+    /// does not flap the way timing noise does.
+    Relay,
 }
 
 impl FailReason {
@@ -29,6 +34,7 @@ impl FailReason {
             FailReason::TooSlow => "too_slow",
             FailReason::Timeout => "timeout",
             FailReason::LinkDown => "link_down",
+            FailReason::Relay => "relay",
         }
     }
 }
@@ -106,6 +112,32 @@ pub enum EventKind {
     /// The device's transport link resumed (session resume, not
     /// re-enrollment); any outstanding challenge is re-sent.
     LinkResumed,
+    /// The spot-check plan left this device out of the current epoch's
+    /// sample: the due round was skipped and the device sleeps until
+    /// the next epoch boundary. Only `Trusted` devices are skippable —
+    /// suspects under investigation always attest.
+    SpotCheckSkipped {
+        /// The sampling epoch that excluded the device.
+        epoch: u64,
+    },
+    /// The verifier quorum did not vote unanimously on this round's
+    /// verdict (the outcome stands — see `crate::quorum`).
+    QuorumDisputed {
+        /// Round number voted on.
+        round: u64,
+        /// Valid `Pass` ballots.
+        accepts: u16,
+        /// Valid non-`Pass` ballots.
+        rejects: u16,
+    },
+    /// A verifier replica dissented from the quorum outcome and is now
+    /// flagged suspect.
+    VerifierSuspected {
+        /// The dissenting replica's index.
+        verifier: u16,
+        /// Round number it dissented on.
+        round: u64,
+    },
 }
 
 /// A timestamped, per-device event.
@@ -152,6 +184,14 @@ pub struct Counters {
     pub link_downs: u64,
     /// Transport links resumed without re-enrollment.
     pub link_resumes: u64,
+    /// Rounds skipped by the spot-check sampling plan.
+    pub spotcheck_skips: u64,
+    /// Quorum votes with at least one dissenting ballot.
+    pub quorum_disputes: u64,
+    /// Dissenting verifier-replica ballots flagged.
+    pub verifier_suspects: u64,
+    /// Rounds rejected by the relay/topology detector.
+    pub relay_rejects: u64,
 }
 
 /// Round-latency distribution over passed rounds, in virtual ticks
@@ -178,7 +218,7 @@ struct LogTelemetry {
     rounds_started: Counter,
     rounds_passed: Counter,
     /// Failures by [`FailReason`] discriminant order.
-    round_failed: [Counter; 4],
+    round_failed: [Counter; 5],
     restarts: Counter,
     late_responses: Counter,
     quarantines: Counter,
@@ -189,6 +229,9 @@ struct LogTelemetry {
     epochs_sealed: Counter,
     link_downs: Counter,
     link_resumes: Counter,
+    spotcheck_skips: Counter,
+    quorum_disputes: Counter,
+    verifier_suspects: Counter,
     /// Events evicted from the bounded in-memory ring.
     events_dropped: Counter,
     round_latency: Histogram,
@@ -208,6 +251,7 @@ impl LogTelemetry {
                 FailReason::TooSlow,
                 FailReason::Timeout,
                 FailReason::LinkDown,
+                FailReason::Relay,
             ]
             .map(|r| reg.counter("service_rounds_failed_total", &[("reason", r.as_str())])),
             restarts: reg.counter("service_restarts_total", &[]),
@@ -219,6 +263,9 @@ impl LogTelemetry {
             epochs_sealed: reg.counter("service_epochs_sealed_total", &[]),
             link_downs: reg.counter("service_link_downs_total", &[]),
             link_resumes: reg.counter("service_link_resumes_total", &[]),
+            spotcheck_skips: reg.counter("service_spotcheck_skips_total", &[]),
+            quorum_disputes: reg.counter("service_quorum_disputes_total", &[]),
+            verifier_suspects: reg.counter("service_verifier_suspects_total", &[]),
             events_dropped: reg.counter("service_events_dropped_total", &[]),
             round_latency: reg.histogram("service_round_latency_ticks", &[]),
             open_rounds: Vec::new(),
@@ -260,6 +307,9 @@ impl LogTelemetry {
             EventKind::EpochSealed { .. } => self.epochs_sealed.inc(),
             EventKind::LinkDown => self.link_downs.inc(),
             EventKind::LinkResumed => self.link_resumes.inc(),
+            EventKind::SpotCheckSkipped { .. } => self.spotcheck_skips.inc(),
+            EventKind::QuorumDisputed { .. } => self.quorum_disputes.inc(),
+            EventKind::VerifierSuspected { .. } => self.verifier_suspects.inc(),
         }
     }
 }
@@ -368,6 +418,7 @@ impl EventLog {
                 // must tell a flapping link from a hung device. The
                 // link itself is counted by `link_downs`.
                 FailReason::LinkDown => {}
+                FailReason::Relay => self.counters.relay_rejects += 1,
             },
             EventKind::Restarted { .. } => self.counters.restarts += 1,
             EventKind::LateResponse { .. } => self.counters.late_responses += 1,
@@ -375,6 +426,9 @@ impl EventLog {
             EventKind::EpochSealed { .. } => self.counters.epochs_sealed += 1,
             EventKind::LinkDown => self.counters.link_downs += 1,
             EventKind::LinkResumed => self.counters.link_resumes += 1,
+            EventKind::SpotCheckSkipped { .. } => self.counters.spotcheck_skips += 1,
+            EventKind::QuorumDisputed { .. } => self.counters.quorum_disputes += 1,
+            EventKind::VerifierSuspected { .. } => self.counters.verifier_suspects += 1,
         }
         self.events.push(Event {
             at,
@@ -496,7 +550,9 @@ impl EventLog {
                 "\"timeouts\": {}, \"restarts\": {}, \"late_responses\": {}, ",
                 "\"quarantines\": {}, \"calibration_failures\": {}, ",
                 "\"freshness_transitions\": {}, \"epochs_sealed\": {}, ",
-                "\"link_downs\": {}, \"link_resumes\": {}}}"
+                "\"link_downs\": {}, \"link_resumes\": {}, ",
+                "\"spotcheck_skips\": {}, \"quorum_disputes\": {}, ",
+                "\"verifier_suspects\": {}, \"relay_rejects\": {}}}"
             ),
             c.joins,
             c.leaves,
@@ -513,6 +569,10 @@ impl EventLog {
             c.epochs_sealed,
             c.link_downs,
             c.link_resumes,
+            c.spotcheck_skips,
+            c.quorum_disputes,
+            c.verifier_suspects,
+            c.relay_rejects,
         )
     }
 
@@ -593,6 +653,20 @@ fn kind_json(kind: &EventKind) -> String {
         }
         EventKind::LinkDown => "\"kind\": \"link_down\"".into(),
         EventKind::LinkResumed => "\"kind\": \"link_resumed\"".into(),
+        EventKind::SpotCheckSkipped { epoch } => {
+            format!("\"kind\": \"spotcheck_skipped\", \"epoch\": {epoch}")
+        }
+        EventKind::QuorumDisputed {
+            round,
+            accepts,
+            rejects,
+        } => format!(
+            "\"kind\": \"quorum_disputed\", \"round\": {round}, \
+             \"accepts\": {accepts}, \"rejects\": {rejects}"
+        ),
+        EventKind::VerifierSuspected { verifier, round } => format!(
+            "\"kind\": \"verifier_suspected\", \"verifier\": {verifier}, \"round\": {round}"
+        ),
     }
 }
 

@@ -19,6 +19,12 @@
 //!   paper's 0.5% false-positive rule) and exponential backoff;
 //! - [`events`] — the structured event log and counters, exported as
 //!   JSON;
+//! - [`quorum`] — N verifier replicas voting on every verdict under a
+//!   ⌈2N/3⌉ acceptance rule, with dissent flagged and sealed into the
+//!   evidence chain, plus the relay/topology detector;
+//! - [`sampling`] — seeded spot-check plans attesting a coverage-`c`
+//!   sample of the fleet per epoch, with the closed-form
+//!   `P(detect within k epochs) = 1 − (1 − c)^k` detection model;
 //! - [`service`] — [`service::AttestationService`]: the per-device
 //!   lifecycle state machine (`Enrolled → Attesting → Trusted →
 //!   Degraded → Quarantined/Revoked`), deadline-driven re-attestation
@@ -44,6 +50,8 @@ pub mod net;
 pub mod node;
 pub mod policy;
 pub mod proxy;
+pub mod quorum;
+pub mod sampling;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
@@ -59,6 +67,13 @@ pub use net::{
 pub use node::DeviceNode;
 pub use policy::{seeded_jitter, Policy};
 pub use proxy::{ChaosProfile, ChaosProxy, ProxyStats};
+pub use quorum::{
+    quorum_threshold, relay_wire_excess, QuorumConfig, QuorumDecision, VerifierBehavior,
+    VerifierReplica, VerifierSet,
+};
+pub use sampling::{
+    covers, detect_probability_per_mille, epochs_to_detect, SamplingConfig, SpotCheckPlan,
+};
 pub use service::{
     AttestationService, DeviceHealth, DeviceState, DeviceStatus, SealedEpoch, ServiceConfig,
     VERIFIER_NODE,

@@ -25,6 +25,14 @@ pub struct DeviceNode {
     /// When `true`, the device ignores liveness probes (models a hung or
     /// unplugged device for tests; challenge rounds are unaffected).
     pub mute_liveness: bool,
+    /// Extra wire delay on every response — models a relay/proxy that
+    /// outsources the checksum to another GPU and forwards the answer.
+    /// Unlike [`DeviceNode::extra_compute`], this delay is *not* folded
+    /// into the reported `measured_cycles`: the relayed GPU's compute
+    /// time can look perfectly honest while the response still pays the
+    /// extra hop on the wire, which is exactly what the topology
+    /// detector ([`crate::quorum::relay_wire_excess`]) keys on.
+    pub relay_delay: u64,
 }
 
 impl DeviceNode {
@@ -36,6 +44,7 @@ impl DeviceNode {
             extra_compute: 0,
             session_key: None,
             mute_liveness: false,
+            relay_delay: 0,
         }
     }
 
@@ -63,7 +72,7 @@ impl DeviceNode {
                 let (checksum, measured) = self.member.session.run_checksum(challenges).ok()?;
                 let measured = measured + self.extra_compute;
                 Some((
-                    at + measured,
+                    at + measured + self.relay_delay,
                     Frame::Response {
                         round: *round,
                         checksum,

@@ -75,6 +75,8 @@ use crate::events::{EventKind, EventLog, FailReason};
 use crate::net::{Envelope, NodeId, Transport};
 use crate::node::DeviceNode;
 use crate::policy::{seeded_jitter, Policy};
+use crate::quorum::{QuorumConfig, VerifierSet};
+use crate::sampling::SamplingConfig;
 use crate::shard::ShardIndex;
 use crate::wheel::TimerWheel;
 use crate::wire::{self, Frame};
@@ -178,6 +180,25 @@ pub struct ServiceConfig {
     /// retry apart. `0` (the default) disables jitter and keeps
     /// historical schedules byte-identical.
     pub backoff_jitter: u64,
+    /// Verifier-quorum knobs: with `verifiers > 1` every verdict is put
+    /// to an N-replica ⌈2N/3⌉ vote (see [`crate::quorum`]). The default
+    /// (`verifiers == 1`) keeps the single-verifier behavior — and an
+    /// honest unanimous quorum appends nothing, so evidence heads stay
+    /// byte-identical to the single-verifier baseline either way.
+    pub quorum: QuorumConfig,
+    /// Spot-check sampling knobs: with coverage below 1000‰ (and
+    /// `epoch_interval > 0`), a `Trusted` device outside the epoch's
+    /// seeded plan skips its due round and sleeps to the next epoch
+    /// boundary (see [`crate::sampling`]). Full coverage — the default —
+    /// keeps historical schedules byte-identical.
+    pub sampling: SamplingConfig,
+    /// Relay/topology gate, in virtual ticks of allowed *wire* time
+    /// (wall elapsed minus device-reported compute) per exchange. A
+    /// response whose wire share exceeds the gate fails the round as
+    /// [`FailReason::Relay`] even when its checksum and timing check
+    /// out — a relayed exchange pays two link round trips. `0` (the
+    /// default) disables the detector.
+    pub relay_rtt_gate: u64,
 }
 
 impl Default for ServiceConfig {
@@ -197,6 +218,9 @@ impl Default for ServiceConfig {
             workers: 0,
             event_capacity: 0,
             backoff_jitter: 0,
+            quorum: QuorumConfig::default(),
+            sampling: SamplingConfig::default(),
+            relay_rtt_gate: 0,
         }
     }
 }
@@ -208,6 +232,9 @@ pub(crate) struct Outstanding {
     /// verifies via online replay.
     pub(crate) expected: Option<[u32; 8]>,
     pub(crate) deadline: u64,
+    /// Virtual time the challenge was dispatched — the wall anchor the
+    /// relay/topology detector subtracts reported compute time from.
+    pub(crate) started_at: u64,
 }
 
 pub(crate) struct ManagedDevice {
@@ -338,13 +365,23 @@ enum TimerReq {
     Fresh(u64),
 }
 
-/// Effects one logical action produced: events to record (in order)
-/// and timers to arm. Buffered inside work units, flushed serially in
-/// canonical order by the merge stage.
+/// A verdict to put to the verifier quorum's vote — buffered like
+/// events so ballots are tallied in canonical merge order regardless
+/// of the shard/worker geometry.
+#[derive(Clone, Copy, Debug)]
+struct VoteReq {
+    round: u64,
+    verdict: StageVerdict,
+}
+
+/// Effects one logical action produced: events to record (in order),
+/// timers to arm, and quorum ballots to tally. Buffered inside work
+/// units, flushed serially in canonical order by the merge stage.
 #[derive(Default)]
 struct Effects {
     events: Vec<EventKind>,
     timers: Vec<TimerReq>,
+    votes: Vec<VoteReq>,
 }
 
 /// Everything one device is due to process this step, in per-device
@@ -433,6 +470,10 @@ pub struct AttestationService<T: Transport> {
     pub(crate) pool: Option<ReplayPool>,
     /// Reused pop buffer for the timer wheel.
     pub(crate) timer_scratch: Vec<(u64, Timer)>,
+    /// The verifier-replica quorum (`Some` iff `cfg.quorum.verifiers >
+    /// 1`). Lives outside the per-device state: replicas vote on every
+    /// device's verdicts and keep fleet-wide view digests.
+    pub(crate) quorum: Option<VerifierSet>,
 }
 
 impl<T: Transport> AttestationService<T> {
@@ -457,6 +498,7 @@ impl<T: Transport> AttestationService<T> {
             work_of: Vec::new(),
             pool: (cfg.workers > 0).then(|| ReplayPool::new(cfg.workers)),
             timer_scratch: Vec::new(),
+            quorum: VerifierSet::from_config(&cfg.quorum),
         }
     }
 
@@ -491,6 +533,18 @@ impl<T: Transport> AttestationService<T> {
                 .dev
                 .install_telemetry(reg, &[("device", &name)]);
         }
+        // The sampling layer's model quantities: the coverage knob and
+        // the closed-form detection probability at the horizon `k` that
+        // reaches ≥ 98% confidence — both fixed-point per-mille gauges.
+        if self.cfg.sampling.is_active() {
+            let cov = self.cfg.sampling.coverage_per_mille;
+            let k = crate::sampling::epochs_to_detect(cov, 980);
+            let ks = k.to_string();
+            reg.gauge("service_spotcheck_coverage_per_mille", &[])
+                .set(u64::from(cov));
+            reg.gauge("service_detection_probability_per_mille", &[("k", &ks)])
+                .set(crate::sampling::detect_probability_per_mille(cov, k));
+        }
         self.registry = Some(reg.clone());
     }
 
@@ -512,6 +566,17 @@ impl<T: Transport> AttestationService<T> {
     /// The structured event log.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The verifier quorum, when configured with more than one replica.
+    pub fn quorum(&self) -> Option<&VerifierSet> {
+        self.quorum.as_ref()
+    }
+
+    /// Mutable quorum access — the attack harness's hook for
+    /// compromising verifier replicas after enrollment.
+    pub fn quorum_mut(&mut self) -> Option<&mut VerifierSet> {
+        self.quorum.as_mut()
     }
 
     /// Per-device summaries, in roster (most-powerful-first) order.
@@ -1066,6 +1131,13 @@ impl<T: Transport> AttestationService<T> {
                 self.log.record(self.now, &name, ev);
             }
         }
+        // Quorum ballots tally after the verdict's own events/evidence,
+        // so dissent records land immediately behind the round they
+        // dispute. The dispute effects carry no votes of their own, so
+        // the nested flush terminates.
+        for req in &fx.votes {
+            self.tally_vote(slot, *req);
+        }
         for req in fx.timers {
             match req {
                 TimerReq::Action(t) => {
@@ -1095,6 +1167,53 @@ impl<T: Transport> AttestationService<T> {
                 }
             }
         }
+    }
+
+    /// Puts one verdict to the verifier quorum. Agreement is silent —
+    /// counters inside the [`VerifierSet`] move, nothing else — which
+    /// is what keeps an honest-unanimous quorum's event history and
+    /// evidence heads byte-identical to the single-verifier baseline.
+    /// Dissent records a `QuorumDisputed` event, flags each dissenting
+    /// replica `VerifierSuspected`, and seals one
+    /// [`EvidencePayload::QuorumVote`] record per dissent into the
+    /// device's chain.
+    fn tally_vote(&mut self, slot: usize, req: VoteReq) {
+        if self.quorum.is_none() {
+            return;
+        }
+        let name = self.devices[slot].node.member.name.clone();
+        let set = self.quorum.as_mut().expect("checked above");
+        let decision = set.collect(&name, req.round, req.verdict);
+        if decision.dissenters.is_empty() {
+            return;
+        }
+        let mut fx = Effects::default();
+        fx.events.push(EventKind::QuorumDisputed {
+            round: req.round,
+            accepts: decision.votes_accept,
+            rejects: decision.votes_reject,
+        });
+        for &(verifier, vote) in &decision.dissenters {
+            fx.events.push(EventKind::VerifierSuspected {
+                verifier,
+                round: req.round,
+            });
+            core_append_evidence(
+                &self.cfg,
+                self.now,
+                &mut self.devices[slot],
+                EvidencePayload::QuorumVote {
+                    round: req.round,
+                    verifier,
+                    vote,
+                    outcome: decision.outcome,
+                    votes_accept: decision.votes_accept,
+                    votes_reject: decision.votes_reject,
+                },
+                &mut fx,
+            );
+        }
+        self.flush_effects(slot, fx);
     }
 
     /// Seals every epoch due at the current time (a catch-up loop, so a
@@ -1604,6 +1723,26 @@ fn core_verdict(
             return;
         }
     };
+    // Relay/topology gate (checked before value and timing): a response
+    // whose wire share — wall elapsed minus the compute time it reports
+    // — exceeds the calibrated direct-link gate paid at least two link
+    // round trips. The checksum may be perfect and the §7.2 timing
+    // clean (the outsourced GPU is faster), but the topology cannot
+    // lie about the extra hop.
+    if crate::quorum::relay_wire_excess(
+        measured,
+        now.saturating_sub(o.started_at),
+        cfg.relay_rtt_gate,
+    )
+    .is_some()
+    {
+        let path = match o.expected {
+            Some(_) => EvidencePath::Precomputed,
+            None => EvidencePath::Classic,
+        };
+        core_round_failed(cfg, now, d, round, FailReason::Relay, measured, path, fx);
+        return;
+    }
     // A bank hit carries its precomputed expected checksum: the verdict
     // is a compare + timing check, zero replay online.
     let verdict = match o.expected {
@@ -1652,6 +1791,12 @@ fn core_round_passed(
     fx.timers.push(TimerReq::Action(at));
     let threshold = d.verifier.threshold().unwrap_or(0);
     fx.events.push(EventKind::RoundPassed { round, measured });
+    if cfg.quorum.is_active() {
+        fx.votes.push(VoteReq {
+            round,
+            verdict: StageVerdict::Pass,
+        });
+    }
     core_append_evidence(
         cfg,
         now,
@@ -1685,11 +1830,16 @@ fn core_round_failed(
     fx.events.push(EventKind::RoundFailed { round, reason });
     let verdict = match reason {
         FailReason::WrongValue => StageVerdict::WrongValue,
-        FailReason::TooSlow => StageVerdict::TooSlow,
+        // A relay reject is a timing-family verdict: the exchange took
+        // too long once the wire share is accounted for.
+        FailReason::TooSlow | FailReason::Relay => StageVerdict::TooSlow,
         // LinkDown never reaches this function — it has its own
         // evidence-free path (`core_round_link_down`).
         FailReason::Timeout | FailReason::LinkDown => StageVerdict::Timeout,
     };
+    if cfg.quorum.is_active() {
+        fx.votes.push(VoteReq { round, verdict });
+    }
     let threshold = d.verifier.threshold().unwrap_or(0);
     core_append_evidence(
         cfg,
@@ -1713,7 +1863,9 @@ fn core_round_failed(
     let restartable = match reason {
         FailReason::TooSlow => true,
         FailReason::Timeout => policy.restart_on_timeout,
-        FailReason::WrongValue | FailReason::LinkDown => false,
+        // Topology does not flap the way timing noise does — a relayed
+        // exchange stays relayed, so no restart allowance.
+        FailReason::WrongValue | FailReason::LinkDown | FailReason::Relay => false,
     };
     if restartable && d.consecutive_restarts < policy.max_timing_restarts {
         d.consecutive_restarts += 1;
@@ -1795,6 +1947,23 @@ fn core_start_round(
         return None;
     }
     let threshold = d.verifier.threshold()?; // uncalibrated devices never get here (join quarantines them)
+                                             // Spot-check sampling: a `Trusted` device outside this epoch's
+                                             // seeded plan sleeps to the next epoch boundary instead of
+                                             // attesting. Only `Trusted` devices are skippable — `Attesting`
+                                             // and `Degraded` devices are under investigation and always
+                                             // attest, so a suspect cannot hide behind the sampler. The rule is
+                                             // a pure function of `(seed, epoch, name)`, so every shard/worker
+                                             // geometry (and every verifier replica) draws the same plan.
+    if cfg.sampling.is_active() && cfg.epoch_interval > 0 && d.state == DeviceState::Trusted {
+        let epoch = now / cfg.epoch_interval;
+        if !crate::sampling::covers(&cfg.sampling, epoch, &d.node.member.name) {
+            let at = (epoch + 1) * cfg.epoch_interval;
+            d.next_action_at = Some(at);
+            fx.timers.push(TimerReq::Action(at));
+            fx.events.push(EventKind::SpotCheckSkipped { epoch });
+            return None;
+        }
+    }
     d.round += 1;
     // Blocking take keeps the consumed challenge sequence
     // deterministic (the bank's single producer draws in generator
@@ -1809,6 +1978,7 @@ fn core_start_round(
         challenges: challenges.clone(),
         expected,
         deadline,
+        started_at: now,
     });
     fx.timers.push(TimerReq::Deadline(deadline));
     let round = d.round;

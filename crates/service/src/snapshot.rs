@@ -31,6 +31,7 @@ use sage_vf::ReplayPool;
 use crate::events::{Counters, Event, EventKind, EventLog, FailReason};
 use crate::net::{NodeId, Transport};
 use crate::node::DeviceNode;
+use crate::quorum::{VerifierBehavior, VerifierSet};
 use crate::service::{
     AttestationService, DeviceState, ManagedDevice, Outstanding, SealedEpoch, ServiceConfig,
 };
@@ -44,8 +45,12 @@ const MAGIC: u32 = 0x5A6E_A950;
 /// service's sealed fleet epochs. Version 3 carries the event-log
 /// counters and drop count explicitly: with a bounded log the retained
 /// event window no longer determines the counters, so replaying it on
-/// restore (the v2 scheme) would under-count.
-const VERSION: u16 = 4;
+/// restore (the v2 scheme) would under-count. Version 5 added the
+/// verifier-quorum layer: per-replica vote state (behavior, suspect
+/// flag, dissent count, evidence-view digest), the outstanding round's
+/// dispatch time (the relay detector's wall anchor), and the
+/// sampling/quorum/relay counters and event kinds.
+const VERSION: u16 = 5;
 
 /// Why a snapshot could not be decoded or re-married to its endpoints.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -152,6 +157,7 @@ fn reason_tag(r: FailReason) -> u8 {
         FailReason::TooSlow => 1,
         FailReason::Timeout => 2,
         FailReason::LinkDown => 3,
+        FailReason::Relay => 4,
     }
 }
 
@@ -202,6 +208,25 @@ fn put_event(out: &mut Vec<u8>, e: &Event) {
         }
         EventKind::LinkDown => out.push(12),
         EventKind::LinkResumed => out.push(13),
+        EventKind::SpotCheckSkipped { epoch } => {
+            out.push(14);
+            put_u64(out, *epoch);
+        }
+        EventKind::QuorumDisputed {
+            round,
+            accepts,
+            rejects,
+        } => {
+            out.push(15);
+            put_u64(out, *round);
+            put_u16(out, *accepts);
+            put_u16(out, *rejects);
+        }
+        EventKind::VerifierSuspected { verifier, round } => {
+            out.push(16);
+            put_u16(out, *verifier);
+            put_u64(out, *round);
+        }
     }
 }
 
@@ -233,6 +258,7 @@ pub(crate) fn encode<T: Transport>(svc: &AttestationService<T>) -> Vec<u8> {
                 out.push(1);
                 put_u64(&mut out, o.round);
                 put_u64(&mut out, o.deadline);
+                put_u64(&mut out, o.started_at);
                 match o.expected {
                     Some(words) => {
                         out.push(1);
@@ -310,6 +336,24 @@ pub(crate) fn encode<T: Transport>(svc: &AttestationService<T>) -> Vec<u8> {
     }
     put_counters(&mut out, &svc.log.counters());
     put_u64(&mut out, svc.log.events_dropped());
+    // Verifier-quorum running state. Vote keys are not snapshotted:
+    // they re-derive from the configured quorum seed on restore,
+    // mirroring how device session keys survive in the endpoints.
+    match &svc.quorum {
+        Some(set) => {
+            out.push(1);
+            put_u16(&mut out, set.len() as u16);
+            put_u64(&mut out, set.rounds);
+            put_u64(&mut out, set.disputes);
+            for rep in set.replicas() {
+                out.push(rep.behavior.tag());
+                out.push(u8::from(rep.suspected));
+                put_u64(&mut out, rep.dissents);
+                out.extend_from_slice(&rep.view);
+            }
+        }
+        None => out.push(0),
+    }
     out
 }
 
@@ -331,6 +375,10 @@ fn put_counters(out: &mut Vec<u8>, c: &Counters) {
         c.epochs_sealed,
         c.link_downs,
         c.link_resumes,
+        c.spotcheck_skips,
+        c.quorum_disputes,
+        c.verifier_suspects,
+        c.relay_rejects,
     ] {
         put_u64(out, v);
     }
@@ -415,6 +463,8 @@ impl<'a> Reader<'a> {
             0 => FailReason::WrongValue,
             1 => FailReason::TooSlow,
             2 => FailReason::Timeout,
+            3 => FailReason::LinkDown,
+            4 => FailReason::Relay,
             value => {
                 return Err(SnapshotError::BadTag {
                     field: "fail reason",
@@ -466,6 +516,21 @@ struct DeviceRecord {
     freshness: Freshness,
 }
 
+/// One verifier replica's durable state, decoded from a snapshot.
+struct ReplicaRecord {
+    behavior: VerifierBehavior,
+    suspected: bool,
+    dissents: u64,
+    view: [u8; 32],
+}
+
+/// The quorum's durable state, decoded from a snapshot.
+struct QuorumRecord {
+    rounds: u64,
+    disputes: u64,
+    replicas: Vec<ReplicaRecord>,
+}
+
 struct Decoded {
     now: u64,
     next_node: u16,
@@ -475,6 +540,7 @@ struct Decoded {
     events: Vec<Event>,
     counters: Counters,
     events_dropped: u64,
+    quorum: Option<QuorumRecord>,
 }
 
 fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
@@ -503,6 +569,7 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         let outstanding = if r.flag("outstanding")? {
             let o_round = r.u64()?;
             let deadline = r.u64()?;
+            let started_at = r.u64()?;
             let expected = if r.flag("expected")? {
                 let mut words = [0u32; 8];
                 for w in &mut words {
@@ -524,6 +591,7 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
                 challenges,
                 expected,
                 deadline,
+                started_at,
             })
         } else {
             None
@@ -632,6 +700,16 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
             },
             12 => EventKind::LinkDown,
             13 => EventKind::LinkResumed,
+            14 => EventKind::SpotCheckSkipped { epoch: r.u64()? },
+            15 => EventKind::QuorumDisputed {
+                round: r.u64()?,
+                accepts: r.u16()?,
+                rejects: r.u16()?,
+            },
+            16 => EventKind::VerifierSuspected {
+                verifier: r.u16()?,
+                round: r.u64()?,
+            },
             value => {
                 return Err(SnapshotError::BadTag {
                     field: "event kind",
@@ -657,8 +735,41 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         epochs_sealed: r.u64()?,
         link_downs: r.u64()?,
         link_resumes: r.u64()?,
+        spotcheck_skips: r.u64()?,
+        quorum_disputes: r.u64()?,
+        verifier_suspects: r.u64()?,
+        relay_rejects: r.u64()?,
     };
     let events_dropped = r.u64()?;
+    let quorum = if r.flag("quorum")? {
+        let n = r.u16()? as usize;
+        let rounds = r.u64()?;
+        let disputes = r.u64()?;
+        let mut replicas = Vec::with_capacity(n);
+        for _ in 0..n {
+            let value = r.u8()?;
+            let behavior = VerifierBehavior::from_tag(value).ok_or(SnapshotError::BadTag {
+                field: "verifier behavior",
+                value,
+            })?;
+            let suspected = r.flag("verifier suspected")?;
+            let dissents = r.u64()?;
+            let view = r.fixed::<32>()?;
+            replicas.push(ReplicaRecord {
+                behavior,
+                suspected,
+                dissents,
+                view,
+            });
+        }
+        Some(QuorumRecord {
+            rounds,
+            disputes,
+            replicas,
+        })
+    } else {
+        None
+    };
     if r.pos != bytes.len() {
         return Err(SnapshotError::TrailingBytes);
     }
@@ -671,6 +782,7 @@ fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
         events,
         counters,
         events_dropped,
+        quorum,
     })
 }
 
@@ -752,6 +864,20 @@ pub(crate) fn restore<T: Transport>(
         decoded.events_dropped,
         cfg.event_capacity,
     );
+    // The quorum rebuilds from the snapshot's replica count (vote keys
+    // re-derive from the configured seed) and then re-imposes each
+    // replica's durable state — behavior, suspect flag, dissent count,
+    // and evidence-view digest — so a restored set is indistinguishable
+    // from one that never stopped.
+    let quorum = decoded.quorum.map(|q| {
+        let mut set = VerifierSet::with_size(q.replicas.len() as u16, cfg.quorum.seed);
+        set.rounds = q.rounds;
+        set.disputes = q.disputes;
+        for (i, rep) in q.replicas.into_iter().enumerate() {
+            set.restore_replica(i, rep.behavior, rep.suspected, rep.dissents, rep.view);
+        }
+        set
+    });
     let mut svc = AttestationService {
         cfg,
         group,
@@ -771,6 +897,7 @@ pub(crate) fn restore<T: Transport>(
         work_of: Vec::new(),
         pool: worker_pool,
         timer_scratch: Vec::new(),
+        quorum,
     };
     svc.rebuild_schedule();
     Ok(svc)
@@ -849,6 +976,7 @@ mod tests {
         put_u32(&mut out, 0); // events
         put_counters(&mut out, &Counters::default());
         put_u64(&mut out, 0); // events_dropped
+        out.push(0); // quorum
         let d = decode(&out).unwrap();
         assert_eq!(d.now, 1234);
         assert_eq!(d.next_node, 7);

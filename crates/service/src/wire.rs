@@ -24,6 +24,7 @@ use core::fmt;
 
 use sage::channel::Wire;
 use sage::sake::SakeMessage;
+use sage_evidence::StageVerdict;
 
 /// Frame magic ("SAGE service", arbitrary but fixed).
 pub const MAGIC: u16 = 0x5AE5;
@@ -54,6 +55,10 @@ const K_ENROLL: u8 = 0x31;
 const K_HELLO: u8 = 0x32;
 const K_HELLO_ACK: u8 = 0x33;
 const K_HEARTBEAT: u8 = 0x34;
+// Quorum frames (0x40+): cross-verifier vote exchange and spot-check
+// plan broadcast for the multi-verifier control plane.
+const K_QUORUM_VOTE: u8 = 0x40;
+const K_SAMPLING_PLAN: u8 = 0x41;
 
 /// Longest device name the link frames will carry.
 pub const MAX_NAME: usize = 256;
@@ -140,6 +145,65 @@ pub enum Frame {
         /// Whether this frame is the reply leg.
         echo: bool,
     },
+    /// Verifier ↔ verifier: one replica's authenticated vote on a
+    /// round verdict. The vote rides the wire as a *self-checking*
+    /// byte — verdict tag in the low nibble, its bitwise complement in
+    /// the high — so any single-bit corruption is rejected at decode
+    /// time, before the CMAC layer even looks at it.
+    QuorumVote {
+        /// Index of the voting verifier replica.
+        verifier: u16,
+        /// The device whose round is being judged.
+        device: String,
+        /// The round the vote judges.
+        round: u64,
+        /// The replica's verdict.
+        vote: StageVerdict,
+        /// `CMAC(vote_key, verifier ‖ device ‖ round ‖ vote)` under the
+        /// replica's per-session vote key.
+        mac: [u8; 16],
+    },
+    /// Verifier ↔ verifier: one epoch's spot-check plan, broadcast so
+    /// every replica attests (and expects silence from) the same
+    /// sample. Coverage above 1000‰ is rejected at decode.
+    SamplingPlan {
+        /// The epoch the plan covers.
+        epoch: u64,
+        /// Coverage the plan was drawn at, in per-mille (≤ 1000).
+        coverage_per_mille: u32,
+        /// The plan seed (lets a receiver re-derive and cross-check).
+        seed: u64,
+        /// Devices selected for attestation this epoch.
+        selected: Vec<String>,
+    },
+}
+
+/// The self-checking vote-tag byte: verdict tag in the low nibble, its
+/// bitwise complement in the high nibble. Any two valid encodings
+/// differ in at least two bits, so every single-bit mutation breaks
+/// the complement relation and fails decode.
+fn vote_byte(v: StageVerdict) -> u8 {
+    let t: u8 = match v {
+        StageVerdict::Pass => 0,
+        StageVerdict::WrongValue => 1,
+        StageVerdict::TooSlow => 2,
+        StageVerdict::Timeout => 3,
+    };
+    ((t ^ 0x0F) << 4) | t
+}
+
+fn vote_from_byte(b: u8) -> Result<StageVerdict, CodecError> {
+    let t = b & 0x0F;
+    if (b >> 4) != (t ^ 0x0F) {
+        return Err(CodecError::BadField("vote tag"));
+    }
+    Ok(match t {
+        0 => StageVerdict::Pass,
+        1 => StageVerdict::WrongValue,
+        2 => StageVerdict::TooSlow,
+        3 => StageVerdict::Timeout,
+        _ => return Err(CodecError::BadField("vote tag")),
+    })
 }
 
 /// Decoding failures (all fail closed).
@@ -245,6 +309,42 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             p.extend_from_slice(&seq.to_le_bytes());
             p.push(*echo as u8);
             (K_HEARTBEAT, p)
+        }
+        Frame::QuorumVote {
+            verifier,
+            device,
+            round,
+            vote,
+            mac,
+        } => {
+            let mut p = Vec::with_capacity(29 + device.len());
+            p.extend_from_slice(&verifier.to_le_bytes());
+            encode_name(&mut p, device);
+            p.extend_from_slice(&round.to_le_bytes());
+            p.push(vote_byte(*vote));
+            p.extend_from_slice(mac);
+            (K_QUORUM_VOTE, p)
+        }
+        Frame::SamplingPlan {
+            epoch,
+            coverage_per_mille,
+            seed,
+            selected,
+        } => {
+            assert!(
+                *coverage_per_mille <= 1000,
+                "coverage is per-mille, at most 1000"
+            );
+            let mut p =
+                Vec::with_capacity(24 + selected.iter().map(|n| 2 + n.len()).sum::<usize>());
+            p.extend_from_slice(&epoch.to_le_bytes());
+            p.extend_from_slice(&coverage_per_mille.to_le_bytes());
+            p.extend_from_slice(&seed.to_le_bytes());
+            p.extend_from_slice(&(selected.len() as u32).to_le_bytes());
+            for name in selected {
+                encode_name(&mut p, name);
+            }
+            (K_SAMPLING_PLAN, p)
         }
     };
     assert!(
@@ -428,6 +528,36 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, CodecError> {
                 _ => return Err(CodecError::BadField("heartbeat echo flag")),
             },
         },
+        K_QUORUM_VOTE => Frame::QuorumVote {
+            verifier: r.u16()?,
+            device: r.name()?,
+            round: r.u64()?,
+            vote: vote_from_byte(r.u8()?)?,
+            mac: r.arr16()?,
+        },
+        K_SAMPLING_PLAN => {
+            let epoch = r.u64()?;
+            let coverage_per_mille = r.u32()?;
+            if coverage_per_mille > 1000 {
+                return Err(CodecError::BadField("coverage per-mille"));
+            }
+            let seed = r.u64()?;
+            let count = r.u32()?;
+            // Each selected name costs at least its 2-byte length prefix.
+            if count > MAX_PAYLOAD / 2 {
+                return Err(CodecError::Oversize(count));
+            }
+            let mut selected = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                selected.push(r.name()?);
+            }
+            Frame::SamplingPlan {
+                epoch,
+                coverage_per_mille,
+                seed,
+                selected,
+            }
+        }
         other => return Err(CodecError::BadKind(other)),
     };
     r.finish()?;
@@ -585,6 +715,93 @@ mod tests {
             seq: 10,
             echo: true,
         });
+    }
+
+    #[test]
+    fn quorum_frames_roundtrip() {
+        for vote in [
+            StageVerdict::Pass,
+            StageVerdict::WrongValue,
+            StageVerdict::TooSlow,
+            StageVerdict::Timeout,
+        ] {
+            roundtrip(Frame::QuorumVote {
+                verifier: 3,
+                device: "gpu-07".to_string(),
+                round: 42,
+                vote,
+                mac: [0x5A; 16],
+            });
+        }
+        roundtrip(Frame::SamplingPlan {
+            epoch: 9,
+            coverage_per_mille: 250,
+            seed: 0xFEED,
+            selected: vec!["gpu-00".to_string(), "gpu-03".to_string()],
+        });
+        roundtrip(Frame::SamplingPlan {
+            epoch: 0,
+            coverage_per_mille: 1000,
+            seed: 0,
+            selected: vec![],
+        });
+    }
+
+    #[test]
+    fn every_single_bit_vote_tag_mutation_rejected() {
+        let device = "gpu-07";
+        let bytes = encode(&Frame::QuorumVote {
+            verifier: 1,
+            device: device.to_string(),
+            round: 5,
+            vote: StageVerdict::Pass,
+            mac: [0x11; 16],
+        });
+        // Payload layout: verifier u16, name (u16 len + bytes), round
+        // u64, vote byte, mac.
+        let vote_off = HEADER_BYTES + 2 + 2 + device.len() + 8;
+        for vote in [
+            StageVerdict::Pass,
+            StageVerdict::WrongValue,
+            StageVerdict::TooSlow,
+            StageVerdict::Timeout,
+        ] {
+            let mut bytes = bytes.clone();
+            bytes[vote_off] = super::vote_byte(vote);
+            assert!(decode(&bytes).is_ok());
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[vote_off] ^= 1 << bit;
+                assert_eq!(
+                    decode(&mutated),
+                    Err(CodecError::BadField("vote tag")),
+                    "single-bit flip {bit} of vote {vote:?} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_plan_bad_coverage_and_oversize_count_rejected() {
+        let bytes = encode(&Frame::SamplingPlan {
+            epoch: 1,
+            coverage_per_mille: 500,
+            seed: 2,
+            selected: vec!["gpu-00".to_string()],
+        });
+        // Coverage above 1000‰.
+        let cov_off = HEADER_BYTES + 8;
+        let mut bad = bytes.clone();
+        bad[cov_off..cov_off + 4].copy_from_slice(&1001u32.to_le_bytes());
+        assert_eq!(
+            decode(&bad),
+            Err(CodecError::BadField("coverage per-mille"))
+        );
+        // A selected-count field claiming half the maximum payload.
+        let count_off = HEADER_BYTES + 20;
+        let mut bad = bytes.clone();
+        bad[count_off..count_off + 4].copy_from_slice(&(MAX_PAYLOAD / 2 + 1).to_le_bytes());
+        assert!(matches!(decode(&bad), Err(CodecError::Oversize(_))));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use sage::channel::Wire;
 use sage::sake::SakeMessage;
 use sage_crypto::DhGroup;
+use sage_evidence::StageVerdict;
 use sage_service::tcp::{Conn, FrameStream, StreamError, MAX_FRAME_BYTES};
 use sage_service::wire::{decode, encode};
 use sage_service::{AttestationService, Frame, LinkProfile, ServiceConfig, SimNet, SplitMix64};
@@ -41,9 +42,25 @@ fn bytes(rng: &mut SplitMix64, max_len: u64) -> Vec<u8> {
         .collect()
 }
 
+/// A random device name (the codec requires valid UTF-8).
+fn ascii_name(rng: &mut SplitMix64, max_len: u64) -> String {
+    (0..rng.below(max_len))
+        .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+        .collect()
+}
+
+fn verdict(rng: &mut SplitMix64) -> StageVerdict {
+    match rng.below(4) {
+        0 => StageVerdict::Pass,
+        1 => StageVerdict::WrongValue,
+        2 => StageVerdict::TooSlow,
+        _ => StageVerdict::Timeout,
+    }
+}
+
 /// A random valid frame covering every variant.
 fn random_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.below(9) {
+    match rng.below(11) {
         0 => Frame::Sake(SakeMessage::Challenge { v2: arr32(rng) }),
         1 => Frame::Sake(SakeMessage::Commit {
             w2: arr32(rng),
@@ -68,7 +85,7 @@ fn random_frame(rng: &mut SplitMix64) -> Frame {
             round: rng.next_u64(),
             challenges: (0..rng.below(5)).map(|_| arr16(rng)).collect(),
         },
-        _ => {
+        8 => {
             let mut checksum = [0u32; 8];
             for w in &mut checksum {
                 *w = rng.next_u64() as u32;
@@ -79,6 +96,19 @@ fn random_frame(rng: &mut SplitMix64) -> Frame {
                 measured_cycles: rng.next_u64(),
             }
         }
+        9 => Frame::QuorumVote {
+            verifier: rng.next_u64() as u16,
+            device: ascii_name(rng, 24),
+            round: rng.next_u64(),
+            vote: verdict(rng),
+            mac: arr16(rng),
+        },
+        _ => Frame::SamplingPlan {
+            epoch: rng.next_u64(),
+            coverage_per_mille: (rng.next_u64() % 1001) as u32,
+            seed: rng.next_u64(),
+            selected: (0..rng.below(6)).map(|_| ascii_name(rng, 16)).collect(),
+        },
     }
 }
 
@@ -111,7 +141,8 @@ fn decode_never_panics_on_structured_garbage() {
     // into the per-kind payload parsers.
     let mut rng = SplitMix64::new(0x57A6_E001);
     let kinds = [
-        0x00u8, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x10, 0x11, 0x20, 0x21, 0x22, 0xFF,
+        0x00u8, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x10, 0x11, 0x20, 0x21, 0x22, 0x40, 0x41,
+        0xFF,
     ];
     for _ in 0..20_000 {
         let mut buf = Vec::new();
@@ -165,6 +196,40 @@ fn decode_never_panics_on_mutated_valid_frames() {
             // A mutation may still decode (e.g. a payload-byte flip);
             // whatever comes out must itself round-trip.
             assert_eq!(decode(&encode(&reframe)), Ok(reframe));
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_vote_tag_mutation_is_rejected() {
+    // The vote byte is self-checking (verdict tag in the low nibble,
+    // its complement in the high nibble), so the valid code points
+    // differ pairwise by ≥ 2 bits: across random quorum-vote frames,
+    // flipping ANY single bit of the vote tag must fail decode — a
+    // ballot can never silently mutate into a different verdict.
+    let mut rng = SplitMix64::new(0x0007_EB17);
+    for _ in 0..1_000 {
+        let device = ascii_name(&mut rng, 24);
+        let frame = Frame::QuorumVote {
+            verifier: rng.next_u64() as u16,
+            device: device.clone(),
+            round: rng.next_u64(),
+            vote: verdict(&mut rng),
+            mac: arr16(&mut rng),
+        };
+        let buf = encode(&frame);
+        assert_eq!(decode(&buf).as_ref(), Ok(&frame));
+        // header (8) + verifier (2) + name length prefix (2) + name +
+        // round (8) = the vote byte's offset.
+        let vote_off = 8 + 2 + 2 + device.len() + 8;
+        for bit in 0..8 {
+            let mut mutated = buf.clone();
+            mutated[vote_off] ^= 1 << bit;
+            assert!(
+                decode(&mutated).is_err(),
+                "bit {bit} of the vote tag mutated {frame:?} into {:?}",
+                decode(&mutated)
+            );
         }
     }
 }

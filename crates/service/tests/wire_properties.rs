@@ -11,8 +11,22 @@
 use proptest::prelude::*;
 use sage::channel::Wire;
 use sage::sake::SakeMessage;
+use sage_evidence::StageVerdict;
 use sage_service::wire::{decode, encode};
 use sage_service::Frame;
+
+fn arb_verdict() -> impl Strategy<Value = StageVerdict> {
+    prop_oneof![
+        Just(StageVerdict::Pass),
+        Just(StageVerdict::WrongValue),
+        Just(StageVerdict::TooSlow),
+        Just(StageVerdict::Timeout),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z0-9-]{0,24}"
+}
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
@@ -56,6 +70,34 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 measured_cycles,
             }
         ),
+        (
+            any::<u16>(),
+            arb_name(),
+            any::<u64>(),
+            arb_verdict(),
+            any::<[u8; 16]>()
+        )
+            .prop_map(|(verifier, device, round, vote, mac)| Frame::QuorumVote {
+                verifier,
+                device,
+                round,
+                vote,
+                mac,
+            }),
+        (
+            any::<u64>(),
+            0u32..=1000,
+            any::<u64>(),
+            prop::collection::vec(arb_name(), 0..6)
+        )
+            .prop_map(
+                |(epoch, coverage_per_mille, seed, selected)| Frame::SamplingPlan {
+                    epoch,
+                    coverage_per_mille,
+                    seed,
+                    selected,
+                }
+            ),
     ]
 }
 
@@ -84,5 +126,23 @@ proptest! {
         if let Ok(reframe) = decode(&buf) {
             prop_assert_eq!(decode(&encode(&reframe)).as_ref(), Ok(&reframe));
         }
+    }
+
+    #[test]
+    fn vote_tag_single_bit_mutations_rejected(
+        verifier in any::<u16>(),
+        device in arb_name(),
+        round in any::<u64>(),
+        vote in arb_verdict(),
+        mac in any::<[u8; 16]>(),
+        bit in 0u8..8,
+    ) {
+        let frame = Frame::QuorumVote { verifier, device: device.clone(), round, vote, mac };
+        let mut buf = encode(&frame);
+        // header (8) + verifier (2) + name length prefix (2) + name +
+        // round (8) = the self-checking vote byte's offset.
+        let vote_off = 8 + 2 + 2 + device.len() + 8;
+        buf[vote_off] ^= 1 << bit;
+        prop_assert!(decode(&buf).is_err());
     }
 }

@@ -8,6 +8,9 @@
 //!
 //! - [`Counter`] — a sharded atomic counter. Hot paths pay one relaxed
 //!   `fetch_add` on a cache-line-padded shard; reads sum the shards.
+//! - [`Gauge`] — a last-value cell for model quantities that move both
+//!   ways (e.g. the sampling layer's detection probability), exported
+//!   in fixed-point per-mille to keep the renderers integer-only.
 //! - [`Histogram`] — fixed log2 buckets (65 of them, covering the full
 //!   `u64` range), mergeable snapshots, nearest-rank percentile
 //!   queries. Recording is two relaxed `fetch_add`s, no CAS loops.
@@ -32,11 +35,13 @@
 //! feature; seeded deterministic twins of each property always run.
 
 mod counter;
+mod gauge;
 mod hist;
 mod registry;
 mod span;
 
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricValue, Registry};
 pub use span::{VirtualSpan, WallSpan};

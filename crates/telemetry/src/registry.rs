@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::counter::Counter;
+use crate::gauge::Gauge;
 use crate::hist::{bucket_bounds, Histogram, BUCKETS};
 
 /// A label set: ordered `(key, value)` pairs. Order is part of the
@@ -29,6 +30,7 @@ type Labels = Vec<(String, String)>;
 
 enum Instrument {
     Counter(Counter),
+    Gauge(Gauge),
     Histogram(Histogram),
 }
 
@@ -48,6 +50,8 @@ struct Series {
 pub enum MetricValue {
     /// A counter total.
     Counter(u64),
+    /// A gauge's last-set value.
+    Gauge(u64),
     /// A histogram snapshot.
     Histogram(crate::hist::HistogramSnapshot),
 }
@@ -106,6 +110,20 @@ impl Registry {
         c
     }
 
+    /// Gets or creates the gauge series `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut dir = lock_unpoisoned(&self.inner);
+        if let Some(&i) = dir.index.get(&key_of(name, labels)) {
+            if let Instrument::Gauge(g) = &dir.series[i].instrument {
+                return g.clone();
+            }
+            panic!("series {name} already registered as a non-gauge");
+        }
+        let g = Gauge::new();
+        dir.push(name, labels, Instrument::Gauge(g.clone()));
+        g
+    }
+
     /// Gets or creates the histogram series `name{labels}`.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let mut dir = lock_unpoisoned(&self.inner);
@@ -126,6 +144,11 @@ impl Registry {
     /// expose the live instrument, not a stale one.
     pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], counter: Counter) {
         self.register(name, labels, Instrument::Counter(counter));
+    }
+
+    /// Registers an existing gauge under `name{labels}`.
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: Gauge) {
+        self.register(name, labels, Instrument::Gauge(gauge));
     }
 
     /// Registers an existing histogram under `name{labels}`.
@@ -152,6 +175,7 @@ impl Registry {
             .map(|s| {
                 let value = match &s.instrument {
                     Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
                     Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 };
                 (s.name.clone(), s.labels.clone(), value)
@@ -187,6 +211,9 @@ impl Registry {
             match value {
                 MetricValue::Counter(total) => {
                     out.push_str(&format!("\"type\": \"counter\", \"value\": {total}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("\"type\": \"gauge\", \"value\": {v}"));
                 }
                 MetricValue::Histogram(s) => {
                     let p = |q: f64| {
@@ -240,13 +267,14 @@ impl Registry {
             if last_name != Some(name.as_str()) {
                 let kind = match value {
                     MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
                     MetricValue::Histogram(_) => "histogram",
                 };
                 out.push_str(&format!("# TYPE {name} {kind}\n"));
                 last_name = Some(name.as_str());
             }
             match value {
-                MetricValue::Counter(total) => {
+                MetricValue::Counter(total) | MetricValue::Gauge(total) => {
                     out.push_str(name);
                     out.push_str(&prom_labels(labels, None));
                     out.push_str(&format!(" {total}\n"));
@@ -384,6 +412,24 @@ mod tests {
         reg.register_counter("bank_hits_total", &[], mine.clone());
         mine.add(1);
         assert_eq!(reg.collect()[0].2, MetricValue::Counter(8));
+    }
+
+    #[test]
+    fn gauge_series_export_last_value_in_both_formats() {
+        let reg = Registry::new();
+        let g = reg.gauge("detect_probability_per_mille", &[("k", "4")]);
+        g.set(100);
+        g.set(684);
+        assert_eq!(reg.collect()[0].2, MetricValue::Gauge(684));
+        let json = reg.to_json();
+        assert!(json.contains("\"type\": \"gauge\", \"value\": 684"));
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("# TYPE detect_probability_per_mille gauge\n"));
+        assert!(prom.contains("detect_probability_per_mille{k=\"4\"} 684\n"));
+        // Re-asking for the same series shares state.
+        reg.gauge("detect_probability_per_mille", &[("k", "4")])
+            .set(7);
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

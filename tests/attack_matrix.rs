@@ -40,11 +40,14 @@ use sage_repro::core::{
 use sage_repro::crypto::{DhGroup, EntropySource};
 use sage_repro::evidence::{
     verify_report, DeviceReport, EvidencePath, EvidencePayload, EvidenceRecord, Freshness,
-    FreshnessPolicy, ReportError,
+    FreshnessPolicy, ReportError, StageVerdict,
 };
 use sage_repro::gpu::{BusTap, Device, DeviceConfig, LaunchParams};
 use sage_repro::isa::Opcode;
-use sage_repro::service::{AttestationService, LinkProfile, Policy, ServiceConfig, SimNet};
+use sage_repro::service::{
+    covers, epochs_to_detect, AttestationService, DeviceState, EventKind, FailReason, LinkProfile,
+    Policy, QuorumConfig, SamplingConfig, ServiceConfig, SimNet, VerifierBehavior,
+};
 use sage_repro::sgx::SgxPlatform;
 use sage_repro::telemetry::{MetricValue, Registry};
 use sage_repro::vf::{BankConfig, VfParams};
@@ -802,6 +805,695 @@ fn evidence_tampering_rejected_on_classic_path_history() {
 fn evidence_tampering_rejected_on_precomputed_path_history() {
     let h = honest_fleet_report(2, EvidencePath::Precomputed);
     assert_campaigns_rejected(&h);
+}
+
+// ---------------------------------------------------------------------
+// Byzantine campaigns (PR-10): verifier quorums, spot-check sampling and
+// the relay/topology detector, mounted against a live fleet. Each
+// campaign runs twice — once with `bank_capacity = 0` (every verdict on
+// the classic online-replay path) and once with a stocked bank (every
+// verdict on the precomputed fast path) — and asserts the exact
+// reject/suspect causes plus zero false accepts on both.
+// ---------------------------------------------------------------------
+
+/// One fleet device for the Byzantine campaigns (same tiny build the
+/// evidence campaigns use).
+fn byz_member(name: &str, seed: u8) -> FleetMember {
+    let mut params = VfParams::test_tiny();
+    params.iterations = 5;
+    let session =
+        GpuSession::install(Device::new(DeviceConfig::sim_tiny()), &params, 0xF1EE7).unwrap();
+    let mut m = FleetMember::new(session, DeviceAgent::new(Box::new(entropy(seed))));
+    m.name = name.to_string();
+    m
+}
+
+/// The knobs one Byzantine campaign turns; everything else is the same
+/// deterministic perfect-link fleet the evidence campaigns run on.
+struct FleetSpec {
+    bank_capacity: usize,
+    quorum: QuorumConfig,
+    sampling: SamplingConfig,
+    relay_rtt_gate: u64,
+}
+
+fn byzantine_fleet(spec: &FleetSpec, names: &[&str]) -> AttestationService<SimNet> {
+    let net = SimNet::new(
+        7,
+        LinkProfile {
+            latency: 100,
+            jitter: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        },
+    );
+    let cfg = ServiceConfig {
+        reattest_interval: 20_000,
+        latency_budget: 200,
+        deadline_slack: 10_000,
+        calibration_runs: 5,
+        policy: Policy::default(),
+        bank_capacity: spec.bank_capacity,
+        bank_workers: 0,
+        epoch_interval: 30_000,
+        quorum: spec.quorum,
+        sampling: spec.sampling,
+        relay_rtt_gate: spec.relay_rtt_gate,
+        ..ServiceConfig::default()
+    };
+    let mut svc = AttestationService::new(cfg, DhGroup::test_group(), net);
+    for (i, name) in names.iter().enumerate() {
+        svc.join(
+            byz_member(name, 41 + i as u8),
+            SgxPlatform::new([7u8; 16]).launch(b"svc-verifier", &mut entropy(61 + i as u8)),
+        );
+    }
+    svc
+}
+
+/// Installs the §8 replay tap on an enrolled fleet device (the same
+/// post-enrollment compromise `tests/service_fleet.rs` uses).
+fn compromise_fleet_device(svc: &mut AttestationService<SimNet>, name: &str) {
+    let session = svc.session_mut(name).expect("device is managed");
+    let result_addr = session.build().layout.result_addr();
+    session
+        .dev
+        .install_bus_tap(Box::new(ReplayTap::new(result_addr)));
+}
+
+fn fleet_rounds_passed(svc: &AttestationService<SimNet>, name: &str) -> u64 {
+    svc.statuses()
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap()
+        .rounds_passed
+}
+
+/// Asserts every checksum round a device recorded rode the expected
+/// verdict path — proving which path produced the history under test.
+fn assert_fleet_path(svc: &AttestationService<SimNet>, name: &str, expected: EvidencePath) {
+    let rounds: Vec<EvidencePath> = svc
+        .evidence_of(name)
+        .unwrap()
+        .records()
+        .iter()
+        .filter_map(|r| match r.payload {
+            EvidencePayload::ChecksumRound { path, .. } => Some(path),
+            _ => None,
+        })
+        .collect();
+    assert!(!rounds.is_empty(), "{name}: no checksum rounds recorded");
+    assert!(
+        rounds.iter().all(|p| *p == expected),
+        "{name}: rounds must ride the {expected:?} path, got {rounds:?}"
+    );
+}
+
+/// Every sealed quorum-vote record on one device's chain, as
+/// `(verifier, vote, outcome, votes_accept, votes_reject)`.
+fn quorum_votes_of(
+    svc: &AttestationService<SimNet>,
+    name: &str,
+) -> Vec<(u16, StageVerdict, StageVerdict, u16, u16)> {
+    svc.evidence_of(name)
+        .unwrap()
+        .records()
+        .iter()
+        .filter_map(|r| match r.payload {
+            EvidencePayload::QuorumVote {
+                verifier,
+                vote,
+                outcome,
+                votes_accept,
+                votes_reject,
+                ..
+            } => Some((verifier, vote, outcome, votes_accept, votes_reject)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Campaign: colluding cheating devices under spot-check sampling. Two
+/// devices mount the §8 replay together while the sampler attests only
+/// half the fleet per epoch. Sampling may *delay* detection — a still-
+/// `Trusted` cheater sleeps through uncovered epochs — but never
+/// prevents it: the first covered epoch fails the round, the device
+/// leaves `Trusted` (losing skip eligibility), and the quarantine
+/// budget runs out.
+fn colluding_cheaters_under_sampling(bank_capacity: usize, expected_path: EvidencePath) {
+    let names = ["gpu-a", "gpu-b", "gpu-c", "gpu-evil1", "gpu-evil2"];
+    let evil = ["gpu-evil1", "gpu-evil2"];
+    let mut svc = byzantine_fleet(
+        &FleetSpec {
+            bank_capacity,
+            quorum: QuorumConfig::default(),
+            sampling: SamplingConfig {
+                coverage_per_mille: 500,
+                seed: 0xC0FFEE,
+            },
+            relay_rtt_gate: 0,
+        },
+        &names,
+    );
+    svc.run_for(45_000);
+    for n in names {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n} after settling"
+        );
+    }
+
+    for n in evil {
+        compromise_fleet_device(&mut svc, n);
+    }
+    let banked: Vec<u64> = evil.iter().map(|n| fleet_rounds_passed(&svc, n)).collect();
+
+    let mut settled = false;
+    for _ in 0..200 {
+        svc.run_for(30_000);
+        if evil
+            .iter()
+            .all(|n| svc.state_of(n) == Some(DeviceState::Quarantined))
+        {
+            settled = true;
+            break;
+        }
+    }
+    assert!(settled, "both colluders must quarantine despite sampling");
+
+    // Zero false accepts: past one honest round already in flight at
+    // compromise time plus the tap's recording round, no cheating round
+    // ever passed.
+    for (i, n) in evil.iter().enumerate() {
+        assert!(
+            fleet_rounds_passed(&svc, n) <= banked[i] + 2,
+            "{n}: cheating rounds were accepted"
+        );
+    }
+    // Zero false rejects: honest devices hold Trusted throughout.
+    for n in &names[..3] {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n} must stay trusted"
+        );
+    }
+
+    let counters = svc.log().counters();
+    assert_eq!(counters.quarantines, 2, "exactly the two colluders fall");
+    assert!(
+        counters.value_rejects >= 2 * u64::from(Policy::default().value_quarantine_after),
+        "each colluder must burn its full value-reject budget"
+    );
+    assert!(
+        counters.spotcheck_skips >= 1,
+        "the sampler must actually skip epochs"
+    );
+    assert_eq!(counters.timing_rejects, 0);
+    assert_eq!(counters.relay_rejects, 0);
+    for n in names {
+        assert_fleet_path(&svc, n, expected_path);
+    }
+}
+
+#[test]
+fn colluding_cheaters_under_sampling_rejected_on_classic_path() {
+    colluding_cheaters_under_sampling(0, EvidencePath::Classic);
+}
+
+#[test]
+fn colluding_cheaters_under_sampling_rejected_on_precomputed_path() {
+    colluding_cheaters_under_sampling(2, EvidencePath::Precomputed);
+}
+
+/// Campaign: one lying verifier in an N = 4 quorum (threshold 3). The
+/// liar inverts every ballot — false rejects against honest passes,
+/// false accepts laundering the cheater's failures — and every lie is
+/// outvoted 3-to-1, flagged `VerifierSuspect`, and sealed into the
+/// evidence chain. The lifecycle never follows the liar: zero false
+/// accepts, zero false rejects.
+fn lying_verifier_outvoted(bank_capacity: usize, expected_path: EvidencePath) {
+    let names = ["gpu-a", "gpu-b", "gpu-evil"];
+    let mut svc = byzantine_fleet(
+        &FleetSpec {
+            bank_capacity,
+            quorum: QuorumConfig {
+                verifiers: 4,
+                seed: 0x51D,
+            },
+            sampling: SamplingConfig::default(),
+            relay_rtt_gate: 0,
+        },
+        &names,
+    );
+    svc.run_for(45_000);
+    for n in names {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n} after settling"
+        );
+    }
+    // An all-honest quorum is silent: unanimous agreement appends no
+    // dispute events and no vote evidence.
+    assert_eq!(svc.log().counters().quorum_disputes, 0);
+    assert_eq!(svc.log().counters().verifier_suspects, 0);
+
+    svc.quorum_mut()
+        .unwrap()
+        .set_behavior(1, VerifierBehavior::Invert);
+    compromise_fleet_device(&mut svc, "gpu-evil");
+
+    let mut settled = false;
+    for _ in 0..100 {
+        svc.run_for(30_000);
+        if svc.state_of("gpu-evil") == Some(DeviceState::Quarantined) {
+            settled = true;
+            break;
+        }
+    }
+    assert!(
+        settled,
+        "the cheater must quarantine despite the liar's accept votes"
+    );
+    for n in &names[..2] {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n}: the liar's reject votes must not dent an honest device"
+        );
+    }
+
+    let counters = svc.log().counters();
+    assert!(counters.quorum_disputes >= 2);
+    assert!(counters.verifier_suspects >= 1);
+
+    let set = svc.quorum().unwrap();
+    assert_eq!(set.threshold(), 3);
+    let liar = &set.replicas()[1];
+    assert!(liar.suspected, "the liar must be flagged VerifierSuspect");
+    assert!(liar.dissents >= 2);
+    for (i, r) in set.replicas().iter().enumerate() {
+        if i != 1 {
+            assert!(!r.suspected, "replica {i} is honest and must stay clean");
+        }
+    }
+    assert!(
+        set.honest_views_agree(),
+        "honest replicas' evidence views must stay identical"
+    );
+
+    // The sealed dissent always records the honest outcome — a false
+    // reject on a passing honest round...
+    let honest_dissents = quorum_votes_of(&svc, "gpu-a");
+    assert!(
+        !honest_dissents.is_empty(),
+        "false-reject dissents must be sealed into the honest chain"
+    );
+    for (verifier, vote, outcome, acc, rej) in &honest_dissents {
+        assert_eq!(*verifier, 1, "only the liar dissents");
+        assert_eq!(
+            *outcome,
+            StageVerdict::Pass,
+            "outcome follows the honest verdict"
+        );
+        assert_ne!(
+            *vote,
+            StageVerdict::Pass,
+            "the sealed ballot is the lie itself"
+        );
+        assert_eq!(
+            (*acc, *rej),
+            (3, 1),
+            "3 honest accepts outvote 1 lying reject"
+        );
+    }
+    // ...and a false accept cannot launder the cheater's failures.
+    let laundering: Vec<_> = quorum_votes_of(&svc, "gpu-evil")
+        .into_iter()
+        .filter(|(_, _, outcome, _, _)| *outcome != StageVerdict::Pass)
+        .collect();
+    assert!(
+        !laundering.is_empty(),
+        "false-accept dissents must be sealed into the cheater's chain"
+    );
+    for (verifier, vote, outcome, acc, rej) in &laundering {
+        assert_eq!(*verifier, 1);
+        assert_eq!(*vote, StageVerdict::Pass, "the liar votes accept");
+        assert_ne!(*outcome, StageVerdict::Pass, "the round still fails");
+        assert_eq!(
+            (*acc, *rej),
+            (1, 3),
+            "3 honest rejects outvote 1 lying accept"
+        );
+    }
+    for n in names {
+        assert_fleet_path(&svc, n, expected_path);
+    }
+}
+
+#[test]
+fn lying_verifier_outvoted_on_classic_path() {
+    lying_verifier_outvoted(0, EvidencePath::Classic);
+}
+
+#[test]
+fn lying_verifier_outvoted_on_precomputed_path() {
+    lying_verifier_outvoted(2, EvidencePath::Precomputed);
+}
+
+/// Campaign: ⌈N/3⌉ − 1 colluding lying verifiers at N = 7 (two
+/// colluders, threshold 5). The Byzantine minority dissents on every
+/// verdict, both are flagged, and the five honest replicas still clear
+/// the threshold on every round — the quorum stays correct.
+fn colluding_verifier_minority_outvoted(bank_capacity: usize, expected_path: EvidencePath) {
+    let names = ["gpu-a", "gpu-b", "gpu-evil"];
+    let colluders = [2usize, 5];
+    let mut svc = byzantine_fleet(
+        &FleetSpec {
+            bank_capacity,
+            quorum: QuorumConfig {
+                verifiers: 7,
+                seed: 0xBEEF,
+            },
+            sampling: SamplingConfig::default(),
+            relay_rtt_gate: 0,
+        },
+        &names,
+    );
+    svc.run_for(45_000);
+    for n in names {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n} after settling"
+        );
+    }
+    for i in colluders {
+        svc.quorum_mut()
+            .unwrap()
+            .set_behavior(i, VerifierBehavior::Invert);
+    }
+    compromise_fleet_device(&mut svc, "gpu-evil");
+
+    let mut settled = false;
+    for _ in 0..100 {
+        svc.run_for(30_000);
+        if svc.state_of("gpu-evil") == Some(DeviceState::Quarantined) {
+            settled = true;
+            break;
+        }
+    }
+    assert!(
+        settled,
+        "the cheater must quarantine under a Byzantine minority"
+    );
+    for n in &names[..2] {
+        assert_eq!(svc.state_of(n), Some(DeviceState::Trusted), "{n}");
+    }
+
+    let set = svc.quorum().unwrap();
+    assert_eq!(set.threshold(), 5, "⌈2·7/3⌉ = 5");
+    for i in colluders {
+        assert!(set.replicas()[i].suspected, "colluder {i} must be flagged");
+        assert!(set.replicas()[i].dissents >= 2);
+    }
+    for (i, r) in set.replicas().iter().enumerate() {
+        if !colluders.contains(&i) {
+            assert!(!r.suspected, "honest replica {i} must stay clean");
+        }
+    }
+    assert!(set.honest_views_agree());
+
+    // Every sealed vote shows the five honest replicas clearing the
+    // threshold against the two lies, with the outcome never flipped.
+    for n in names {
+        for (verifier, vote, outcome, acc, rej) in quorum_votes_of(&svc, n) {
+            assert!(
+                colluders.contains(&usize::from(verifier)),
+                "{n}: only colluders dissent"
+            );
+            assert_ne!(vote, outcome, "{n}: a dissent is a mismatched ballot");
+            if outcome == StageVerdict::Pass {
+                assert_eq!(
+                    (acc, rej),
+                    (5, 2),
+                    "{n}: 5 honest accepts vs 2 lying rejects"
+                );
+            } else {
+                assert_eq!(
+                    (acc, rej),
+                    (2, 5),
+                    "{n}: 5 honest rejects vs 2 lying accepts"
+                );
+            }
+        }
+        assert_fleet_path(&svc, n, expected_path);
+    }
+}
+
+#[test]
+fn colluding_verifier_minority_outvoted_on_classic_path() {
+    colluding_verifier_minority_outvoted(0, EvidencePath::Classic);
+}
+
+#[test]
+fn colluding_verifier_minority_outvoted_on_precomputed_path() {
+    colluding_verifier_minority_outvoted(2, EvidencePath::Precomputed);
+}
+
+/// Campaign: relay/proxy checksum outsourcing (§8). The relayed GPU's
+/// compute time looks perfectly honest — `measured_cycles` stays under
+/// the §7.2 threshold — but the answer pays an extra hop on the wire,
+/// and the round-trip topology evidence (wall clock minus device-
+/// reported compute vs the calibrated RTT gate) catches it: rejected as
+/// `relay`, never restartable, straight to quarantine.
+fn relay_outsourcing_caught_by_topology(bank_capacity: usize, expected_path: EvidencePath) {
+    let names = ["gpu-a", "gpu-relay"];
+    let mut svc = byzantine_fleet(
+        &FleetSpec {
+            bank_capacity,
+            quorum: QuorumConfig::default(),
+            sampling: SamplingConfig::default(),
+            relay_rtt_gate: 2_000,
+        },
+        &names,
+    );
+    svc.run_for(45_000);
+    for n in names {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n} after settling"
+        );
+    }
+
+    // The compromise: responses now pay a second link crossing, without
+    // touching the reported compute time.
+    svc.node_mut("gpu-relay").unwrap().relay_delay = 5_000;
+    let banked = fleet_rounds_passed(&svc, "gpu-relay");
+
+    let mut settled = false;
+    for _ in 0..100 {
+        svc.run_for(30_000);
+        if svc.state_of("gpu-relay") == Some(DeviceState::Quarantined) {
+            settled = true;
+            break;
+        }
+    }
+    assert!(settled, "the relayed device must quarantine");
+    assert_eq!(svc.state_of("gpu-a"), Some(DeviceState::Trusted));
+    // Zero false accepts: past the one honest round already in flight
+    // when the relay was inserted, no relayed round may pass.
+    assert!(
+        fleet_rounds_passed(&svc, "gpu-relay") <= banked + 1,
+        "relayed rounds were accepted"
+    );
+
+    // The cause is exactly `relay` — not a timing or value reject, not
+    // a timeout — on every post-compromise failure.
+    let counters = svc.log().counters();
+    assert!(
+        counters.relay_rejects >= u64::from(Policy::default().quarantine_after),
+        "relay rejects must burn the quarantine budget"
+    );
+    assert_eq!(counters.timing_rejects, 0);
+    assert_eq!(counters.value_rejects, 0);
+    assert_eq!(counters.timeouts, 0);
+    assert_eq!(counters.quarantines, 1);
+    let relay_fails = svc
+        .log()
+        .events()
+        .iter()
+        .filter(|e| {
+            e.device == "gpu-relay"
+                && matches!(
+                    e.kind,
+                    EventKind::RoundFailed {
+                        reason: FailReason::Relay,
+                        ..
+                    }
+                )
+        })
+        .count() as u64;
+    assert_eq!(relay_fails, counters.relay_rejects);
+
+    // The evidence chain records the relayed rounds as TooSlow on the
+    // path under test (timing-class failure, §7.2 ∪ topology).
+    let verdicts: Vec<StageVerdict> = svc
+        .evidence_of("gpu-relay")
+        .unwrap()
+        .records()
+        .iter()
+        .filter_map(|r| match r.payload {
+            EvidencePayload::ChecksumRound { verdict, .. } => Some(verdict),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        verdicts
+            .iter()
+            .filter(|v| **v == StageVerdict::TooSlow)
+            .count() as u64,
+        counters.relay_rejects,
+        "every relay reject is sealed as a TooSlow round"
+    );
+    for n in names {
+        assert_fleet_path(&svc, n, expected_path);
+    }
+}
+
+#[test]
+fn relay_outsourcing_rejected_on_classic_path() {
+    relay_outsourcing_caught_by_topology(0, EvidencePath::Classic);
+}
+
+#[test]
+fn relay_outsourcing_rejected_on_precomputed_path() {
+    relay_outsourcing_caught_by_topology(2, EvidencePath::Precomputed);
+}
+
+/// Campaign: the sampling-aware cheater. A device compromised while
+/// `Trusted` keeps sleeping through every epoch the seeded plan leaves
+/// it uncovered — cheating undetected exactly as long as the sampler
+/// looks away — and is caught the first covered epoch, within the
+/// modeled `epochs_to_detect(c, 98%)` bound.
+fn unsampled_epoch_cheater_caught_within_model(bank_capacity: usize, expected_path: EvidencePath) {
+    let sampling = SamplingConfig {
+        coverage_per_mille: 250,
+        seed: 0x5A37,
+    };
+    let names = ["gpu-a", "gpu-cheat"];
+    let mut svc = byzantine_fleet(
+        &FleetSpec {
+            bank_capacity,
+            quorum: QuorumConfig::default(),
+            sampling,
+            relay_rtt_gate: 0,
+        },
+        &names,
+    );
+    svc.run_for(45_000);
+    for n in names {
+        assert_eq!(
+            svc.state_of(n),
+            Some(DeviceState::Trusted),
+            "{n} after settling"
+        );
+    }
+
+    compromise_fleet_device(&mut svc, "gpu-cheat");
+    let compromised_at = 45_000u64;
+    let start_epoch = compromised_at / 30_000;
+    let k = epochs_to_detect(sampling.coverage_per_mille, 980);
+
+    let mut settled = false;
+    for _ in 0..(k + 6) {
+        svc.run_for(30_000);
+        if svc.state_of("gpu-cheat") == Some(DeviceState::Quarantined) {
+            settled = true;
+            break;
+        }
+    }
+    assert!(settled, "the sampled-epoch cheater must still quarantine");
+    assert_eq!(svc.state_of("gpu-a"), Some(DeviceState::Trusted));
+
+    // The first failing round: find when it started and which epoch
+    // that was.
+    let events = svc.log().events();
+    let first_fail_round = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::RoundFailed { round, .. } if e.device == "gpu-cheat" => Some(round),
+            _ => None,
+        })
+        .expect("the cheater must fail a round");
+    let detect_at = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::RoundStarted { round }
+                if e.device == "gpu-cheat" && round == first_fail_round =>
+            {
+                Some(e.at)
+            }
+            _ => None,
+        })
+        .expect("the failing round has a start");
+    let detect_epoch = detect_at / 30_000;
+
+    // Caught within the modeled bound, in an epoch the plan covers.
+    assert!(
+        detect_epoch - start_epoch <= k,
+        "detection took {} epochs, model bounds it at {k}",
+        detect_epoch - start_epoch
+    );
+    assert!(
+        covers(&sampling, detect_epoch, "gpu-cheat"),
+        "detection must land in a covered epoch"
+    );
+
+    // The cheater really did hide first: at least one uncovered epoch
+    // was skipped between compromise and detection, and every skip the
+    // log shows for it agrees with the pure sampling rule.
+    let skipped: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::SpotCheckSkipped { epoch } if e.device == "gpu-cheat" => Some(epoch),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        skipped
+            .iter()
+            .any(|e| *e >= start_epoch && *e < detect_epoch),
+        "the cheater must hide through at least one uncovered epoch, skips: {skipped:?}"
+    );
+    for e in &skipped {
+        assert!(
+            !covers(&sampling, *e, "gpu-cheat"),
+            "epoch {e} was skipped but the plan covers it"
+        );
+    }
+
+    // Zero false accepts once caught: past the tap's recording round,
+    // nothing passed, and the budget ran out as value rejects.
+    let counters = svc.log().counters();
+    assert_eq!(counters.quarantines, 1);
+    assert!(counters.value_rejects >= u64::from(Policy::default().value_quarantine_after));
+    for n in names {
+        assert_fleet_path(&svc, n, expected_path);
+    }
+}
+
+#[test]
+fn unsampled_epoch_cheater_caught_on_classic_path() {
+    unsampled_epoch_cheater_caught_within_model(0, EvidencePath::Classic);
+}
+
+#[test]
+fn unsampled_epoch_cheater_caught_on_precomputed_path() {
+    unsampled_epoch_cheater_caught_within_model(2, EvidencePath::Precomputed);
 }
 
 /// The reject causes are what the matrix table says they are — the

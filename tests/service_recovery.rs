@@ -23,8 +23,8 @@ use sage_repro::crypto::{DhGroup, EntropySource};
 use sage_repro::evidence::{verify_report, FreshnessPolicy};
 use sage_repro::gpu::{Device, DeviceConfig, DeviceFault, FaultPlan};
 use sage_repro::service::{
-    AttestationService, DeviceState, EventKind, FailReason, LinkProfile, Policy, ServiceConfig,
-    SimNet, SnapshotError,
+    AttestationService, DeviceState, EventKind, FailReason, LinkProfile, Policy, QuorumConfig,
+    ServiceConfig, SimNet, SnapshotError, VerifierBehavior,
 };
 use sage_repro::sgx::{Enclave, SgxPlatform};
 use sage_repro::vf::VfParams;
@@ -347,6 +347,116 @@ fn mid_epoch_crash_preserves_chain_heads_and_epoch_roots() {
         let key = b.evidence_key_of("gpu-a").unwrap();
         verify_report(&report, &root, &key, b.now())
             .expect("post-restore report verifies standalone");
+    }
+}
+
+/// The recovery fleet replicated across an N = 4 verifier quorum with
+/// one replica turned Byzantine, so a crash has *quorum* state to lose:
+/// per-replica suspicion flags, dissent counts, rolling evidence-view
+/// digests, and the vote records already sealed into device chains.
+fn quorum_cfg() -> ServiceConfig {
+    ServiceConfig {
+        epoch_interval: 60_000,
+        quorum: QuorumConfig {
+            verifiers: 4,
+            seed: 0x51D,
+        },
+        ..cfg()
+    }
+}
+
+fn quorum_fleet(seed: u64) -> AttestationService<SimNet> {
+    let mut svc = AttestationService::new(quorum_cfg(), DhGroup::test_group(), jittery_net(seed));
+    svc.join(member("gpu-a", 41), enclave(61));
+    svc.join(member("gpu-b", 42), enclave(62));
+    // Replica 2 lies from the start (in both universes, so the twin
+    // histories stay comparable): every verdict is disputed, flagged,
+    // and sealed — non-trivial quorum state for the crash to threaten.
+    svc.quorum_mut()
+        .unwrap()
+        .set_behavior(2, VerifierBehavior::Invert);
+    svc
+}
+
+#[test]
+fn multi_verifier_crash_restore_is_byte_identical() {
+    for seed in [71u64, 72] {
+        // Crash mid-epoch (after the 60k seal, before the 120k one).
+        let crash_at = 90_000;
+        let end_at = 250_000;
+
+        // Universe A: never crashes.
+        let mut a = quorum_fleet(seed);
+        a.run_until(end_at);
+
+        // Universe B: identical twin, killed mid-epoch.
+        let mut b = quorum_fleet(seed);
+        b.run_until(crash_at);
+
+        // The crash point really holds live quorum state.
+        let pre = b.quorum().unwrap().clone();
+        assert!(pre.rounds >= 2, "seed {seed}: quorum must have voted");
+        assert!(
+            pre.disputes >= 1,
+            "seed {seed}: the liar must have dissented"
+        );
+        assert!(
+            pre.replicas()[2].suspected,
+            "seed {seed}: liar flagged pre-crash"
+        );
+        assert!(pre.replicas()[2].dissents >= 1);
+        assert_eq!(pre.replicas()[2].behavior, VerifierBehavior::Invert);
+        assert!(
+            pre.honest_views_agree(),
+            "seed {seed}: honest views agree pre-crash"
+        );
+
+        let snap = b.snapshot();
+        let (net, eps) = b.into_endpoints(); // control plane dies here
+        let mut b =
+            AttestationService::restore(quorum_cfg(), DhGroup::test_group(), net, &snap, eps)
+                .expect("quorum snapshot restores");
+
+        // Every replica crosses the crash intact: behavior, suspicion,
+        // dissent count and the rolling view digest (vote keys are
+        // re-derived from the config seed, not stored).
+        assert_eq!(
+            b.quorum().unwrap(),
+            &pre,
+            "seed {seed}: replica state changed across restore"
+        );
+
+        b.run_until(end_at);
+
+        // Quorum verdicts, evidence chains, sealed epochs, event log:
+        // all byte-identical to the universe that never crashed.
+        assert_eq!(
+            a.quorum().unwrap(),
+            b.quorum().unwrap(),
+            "seed {seed}: quorum verdict state diverged after the crash"
+        );
+        for n in ["gpu-a", "gpu-b"] {
+            assert_eq!(
+                a.evidence_of(n).unwrap().head(),
+                b.evidence_of(n).unwrap().head(),
+                "seed {seed}: {n} evidence head diverged"
+            );
+        }
+        assert_eq!(
+            a.snapshot_json(),
+            b.snapshot_json(),
+            "seed {seed}: state diverged after quorum crash-restart"
+        );
+        assert_eq!(
+            a.snapshot(),
+            b.snapshot(),
+            "seed {seed}: binary state diverged after quorum crash-restart"
+        );
+        // The run was not vacuous: disputes kept accruing post-crash.
+        assert!(
+            a.quorum().unwrap().disputes > pre.disputes,
+            "seed {seed}: no quorum activity after the crash point"
+        );
     }
 }
 
